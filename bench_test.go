@@ -1,0 +1,435 @@
+// Package segugio_bench benchmarks every stage of the pipeline and one
+// bench per reproduced table/figure (DESIGN.md Section 4). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the small test-scale networks so the suite completes in
+// minutes; cmd/segugio-experiments runs the same experiments at paper
+// scale.
+package segugio_bench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"segugio/internal/activity"
+	"segugio/internal/belief"
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/eval"
+	"segugio/internal/experiments"
+	"segugio/internal/features"
+	"segugio/internal/graph"
+	"segugio/internal/ml"
+	"segugio/internal/notos"
+	"segugio/internal/trace"
+)
+
+var bench struct {
+	once sync.Once
+	u    *experiments.Universe
+	isp1 *experiments.Network
+	isp2 *experiments.Network
+	err  error
+}
+
+func fixture(b *testing.B) (*experiments.Universe, *experiments.Network, *experiments.Network) {
+	b.Helper()
+	bench.once.Do(func() {
+		u, err := experiments.NewUniverse(experiments.TestUniverseParams(61), experiments.UniverseOptions{})
+		if err != nil {
+			bench.err = err
+			return
+		}
+		bench.u = u
+		bench.isp1 = u.Network(experiments.TestPopulation("B1", 31))
+		bench.isp2 = u.Network(experiments.TestPopulation("B2", 32))
+	})
+	if bench.err != nil {
+		b.Fatal(bench.err)
+	}
+	return bench.u, bench.isp1, bench.isp2
+}
+
+// labeledDay returns a labeled day graph plus its feature context.
+func labeledDay(b *testing.B, n *experiments.Network, day int) (*graph.Graph, *activity.Log, *core.TrainInput) {
+	b.Helper()
+	dd := n.Day(day)
+	g := n.Labeled(dd, n.Commercial, nil)
+	in := &core.TrainInput{Graph: g, Activity: dd.Activity, Abuse: n.Abuse(day, n.Commercial)}
+	return g, dd.Activity, in
+}
+
+// --- Table I: graph construction over a full ISP-day ---
+
+func BenchmarkTableIGraphBuild(b *testing.B) {
+	u, isp1, _ := fixture(b)
+	sl := dnsutil.DefaultSuffixList()
+	tr := isp1.Gen.GenerateDay(170)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := trace.BuildGraph(tr, u.Cat, sl)
+		if g.NumEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkGraphBuildScale sweeps the machine population, demonstrating
+// the near-linear scaling behind the paper's Section IV-G claim.
+func BenchmarkGraphBuildScale(b *testing.B) {
+	u, _, _ := fixture(b)
+	sl := dnsutil.DefaultSuffixList()
+	for _, machines := range []int{500, 1000, 2000, 4000} {
+		pop := experiments.TestPopulation("SCALE", 77)
+		pop.Machines = machines
+		gen := trace.NewGeneratorFor(u.Cat, pop)
+		tr := gen.GenerateDay(170)
+		b.Run(itoa(machines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				trace.BuildGraph(tr, u.Cat, sl)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Section III: pruning ---
+
+func BenchmarkGraphPrune(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	g, _, _ := labeledDay(b, isp1, 170)
+	cfg := graph.DefaultPruneConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := graph.Prune(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section IV-G: pipeline phases ---
+
+func BenchmarkPipelineTrain(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	_, _, in := labeledDay(b, isp1, 170)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Train(cfg, *in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineClassify(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	_, _, in := labeledDay(b, isp1, 170)
+	det, _, err := core.Train(core.DefaultConfig(), *in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ci := core.ClassifyInput{Graph: in.Graph, Activity: in.Activity, Abuse: in.Abuse}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := det.Classify(ci); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	_, _, in := labeledDay(b, isp1, 170)
+	pruned, _, err := graph.Prune(in.Graph, graph.DefaultPruneConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := features.NewExtractor(pruned, in.Activity, in.Abuse, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := features.TrainingSet(ex, nil)
+		if ds.Len() == 0 {
+			b.Fatal("empty training set")
+		}
+	}
+}
+
+// --- Figure 3 / Table I / pruning statistics ---
+
+func BenchmarkFig3Distribution(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(isp1, 170); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	nets := []*experiments.Network{isp1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(nets, []int{170}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPruningStats(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	nets := []*experiments.Network{isp1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPruning(nets, []int{170}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table II + Figure 6: cross-day / cross-network ---
+
+func BenchmarkFig6CrossDay(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCross(isp1, 170, isp1, 178, experiments.CrossOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6CrossNetwork(b *testing.B) {
+	_, isp1, isp2 := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCross(isp1, 170, isp2, 178, experiments.CrossOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: feature ablations ---
+
+func BenchmarkFig7Ablations(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(isp1, 170, 178, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 8: cross-malware-family ---
+
+func BenchmarkFig8CrossFamily(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(isp1, 175, 4, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table III: FP analysis ---
+
+func BenchmarkTable3FPAnalysis(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	cross, err := experiments.RunCross(isp1, 170, isp1, 178, experiments.CrossOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := map[string]*experiments.Network{isp1.Name(): isp1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3([]*experiments.CrossResult{cross}, nets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 10 + cross-blacklist (Section IV-E) ---
+
+func BenchmarkFig10PublicBlacklists(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig10(isp1, 170, 178, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossBlacklist(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCrossBlacklist(isp1, 170, 178, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 11: early detection ---
+
+func BenchmarkFig11EarlyDetection(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	nets := []*experiments.Network{isp1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig11(nets, []int{170}, 35, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12 + Table IV: Notos comparison ---
+
+func BenchmarkFig12NotosComparison(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	nets := []*experiments.Network{isp1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig12(nets, 170, 185, 13); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNotosTrain(b *testing.B) {
+	u, isp1, _ := fixture(b)
+	bl := isp1.Commercial.Union(isp1.Public)
+	cfg := notos.Config{Suffixes: u.Suffixes}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := notos.Train(cfg, u.DB, 170, bl, u.Top100K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section I: loopy belief propagation baseline ---
+
+func BenchmarkBeliefPropagation(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	g, _, _ := labeledDay(b, isp1, 170)
+	pruned, _, err := graph.Prune(g, graph.DefaultPruneConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := belief.Propagate(pruned, belief.Config{MaxIterations: 15}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLBPComparison(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLBP(isp1, 170, 178, false, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+func BenchmarkClassifierAblation(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunClassifiers(isp1, 170, 178, 21); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPruningAblation(b *testing.B) {
+	_, isp1, _ := fixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPruningAblation(isp1, 170, 178, 23); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the ML substrate ---
+
+func benchDataset(n int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(9))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		row := make([]float64, features.NumFeatures)
+		for f := range row {
+			row[f] = rng.NormFloat64() + float64(c)
+		}
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	X, y := benchDataset(20000)
+	cfg := ml.RandomForestConfig{NumTrees: 48, MaxDepth: 14, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := ml.NewRandomForest(cfg)
+		if err := rf.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestScore(b *testing.B) {
+	X, y := benchDataset(5000)
+	rf := ml.NewRandomForest(ml.RandomForestConfig{NumTrees: 48, MaxDepth: 14, Seed: 1})
+	if err := rf.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf.Score(X[i%len(X)])
+	}
+}
+
+func BenchmarkLogisticRegressionFit(b *testing.B) {
+	X, y := benchDataset(20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := ml.NewLogisticRegression(ml.LogisticRegressionConfig{Epochs: 10, Seed: 1})
+		if err := lr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkROCConstruction(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.ROC(scores, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Command segugio-experiments regenerates every table and figure of the
+// paper's evaluation on synthetic ISP networks (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	segugio-experiments -exp all                 # everything, paper scale
+//	segugio-experiments -exp fig6,table3 -small  # selected, test scale
+//	segugio-experiments -list
+//
+// ROC curves are additionally written as CSV files under -outdir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"segugio/internal/eval"
+	"segugio/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "segugio-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type env struct {
+	isp1, isp2 *experiments.Network
+	trainDay   int
+	testDay    int
+	gapDay     int // a farther test day for the Notos comparison
+	outdir     string
+	seed       int64
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*env) (fmt.Stringer, error)
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("segugio-experiments", flag.ContinueOnError)
+	expFlag := fs.String("exp", "all", "comma-separated experiment names, or 'all'")
+	small := fs.Bool("small", false, "use the small test-scale networks (fast)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	outdir := fs.String("outdir", "results", "directory for CSV curve output")
+	seed := fs.Int64("seed", 1, "base seed for held-out sampling")
+	trainDay := fs.Int("train-day", 170, "training observation day")
+	testDay := fs.Int("test-day", 183, "test observation day (cross-day gap)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	exps := catalog()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-16s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+
+	selected, err := selectExperiments(exps, *expFlag)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "building synthetic ISP networks (small=%v)...\n", *small)
+	t0 := time.Now()
+	e, err := buildEnv(*small, *seed, *trainDay, *testDay, *outdir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "networks ready in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	for _, ex := range selected {
+		t0 := time.Now()
+		res, err := ex.run(e)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+		fmt.Printf("==== %s (%v) ====\n%s\n", ex.name, time.Since(t0).Round(time.Millisecond), res)
+	}
+	return nil
+}
+
+func buildEnv(small bool, seed int64, trainDay, testDay int, outdir string) (*env, error) {
+	var u *experiments.Universe
+	var err error
+	var isp1, isp2 *experiments.Network
+	if small {
+		u, err = experiments.NewUniverse(experiments.TestUniverseParams(41), experiments.UniverseOptions{})
+		if err != nil {
+			return nil, err
+		}
+		isp1 = u.Network(experiments.TestPopulation("ISP1", 11))
+		isp2 = u.Network(experiments.TestPopulation("ISP2", 22))
+	} else {
+		u, err = experiments.NewUniverse(experiments.UniverseParams(), experiments.UniverseOptions{})
+		if err != nil {
+			return nil, err
+		}
+		isp1 = u.Network(experiments.ISP1Population())
+		isp2 = u.Network(experiments.ISP2Population())
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return nil, err
+	}
+	return &env{
+		isp1: isp1, isp2: isp2,
+		trainDay: trainDay, testDay: testDay, gapDay: testDay + 12,
+		outdir: outdir, seed: seed,
+	}, nil
+}
+
+func selectExperiments(all []experiment, spec string) ([]experiment, error) {
+	if spec == "all" {
+		return all, nil
+	}
+	byName := map[string]experiment{}
+	for _, e := range all {
+		byName[e.name] = e
+	}
+	var out []experiment
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		e, ok := byName[name]
+		if !ok {
+			names := make([]string, 0, len(byName))
+			for n := range byName {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown experiment %q (have: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// crossSummary adapts a CrossResult plus CSV side effects into the
+// experiment interface.
+type rendered string
+
+func (r rendered) String() string { return string(r) }
+
+func catalog() []experiment {
+	return []experiment{
+		{name: "table1", desc: "Table I: per-day dataset sizes", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunTable1([]*experiments.Network{e.isp1, e.isp2}, []int{e.trainDay, e.testDay})
+		}},
+		{name: "fig3", desc: "Figure 3: C&C domains per infected machine", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunFig3(e.isp1, e.trainDay)
+		}},
+		{name: "pruning", desc: "Section III: pruning reductions", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunPruning([]*experiments.Network{e.isp1, e.isp2}, []int{e.trainDay, e.testDay})
+		}},
+		{name: "fig6", desc: "Table II + Figure 6: cross-day and cross-network ROC", run: runFig6},
+		{name: "fig7", desc: "Figure 7: feature-group ablations", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunFig7(e.isp1, e.trainDay, e.testDay, e.seed)
+		}},
+		{name: "fig8", desc: "Figure 8: cross-malware-family detection", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunFig8(e.isp1, e.trainDay, 5, e.seed)
+		}},
+		{name: "table3", desc: "Table III: false-positive analysis", run: runTable3},
+		{name: "fig10", desc: "Figure 10: public-blacklist-only cross-day", run: func(e *env) (fmt.Stringer, error) {
+			r, err := experiments.RunFig10(e.isp2, e.trainDay, e.testDay, e.seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeCurve(e, "fig10_"+r.TestNet, r); err != nil {
+				return nil, err
+			}
+			return rendered("Figure 10: cross-day using only public blacklists\n" + r.Summary() +
+				"(paper: >94% TPs at 0.1% FPs)\n"), nil
+		}},
+		{name: "crossblacklist", desc: "Section IV-E: commercial-train, public-only test", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunCrossBlacklist(e.isp2, e.trainDay, e.testDay, e.seed)
+		}},
+		{name: "fig11", desc: "Figure 11: early detection vs blacklist lag", run: func(e *env) (fmt.Stringer, error) {
+			days := []int{e.trainDay, e.trainDay + 1, e.trainDay + 2, e.trainDay + 3}
+			return experiments.RunFig11([]*experiments.Network{e.isp1, e.isp2}, days, 35, e.seed)
+		}},
+		{name: "perf", desc: "Section IV-G: timing breakdown", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunPerf(e.isp1, e.trainDay)
+		}},
+		{name: "fig12", desc: "Figure 12 + Table IV: Notos comparison", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunFig12([]*experiments.Network{e.isp1, e.isp2}, e.trainDay, e.gapDay, e.seed)
+		}},
+		{name: "lbp", desc: "Section I: loopy belief propagation comparison", run: func(e *env) (fmt.Stringer, error) {
+			dense, err := experiments.RunLBP(e.isp1, e.trainDay, e.testDay, false, e.seed)
+			if err != nil {
+				return nil, err
+			}
+			sparse, err := experiments.RunLBP(e.isp1, e.trainDay, e.testDay, true, e.seed)
+			if err != nil {
+				return nil, err
+			}
+			return rendered(dense.String() + "\n" + sparse.String()), nil
+		}},
+		{name: "classifiers", desc: "Ablation: random forest vs logistic regression", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunClassifiers(e.isp1, e.trainDay, e.testDay, e.seed)
+		}},
+		{name: "pruneablation", desc: "Ablation: pruning on vs off", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunPruningAblation(e.isp1, e.trainDay, e.testDay, e.seed)
+		}},
+		{name: "proberfilter", desc: "Section VI: anomalous-client filter on vs off", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunProberFilter(e.isp1, e.trainDay, e.testDay, e.seed)
+		}},
+		{name: "churn", desc: "Section VI: DHCP churn sensitivity", run: func(e *env) (fmt.Stringer, error) {
+			base := experiments.ISP1Population()
+			base.Name = "ISP1"
+			return experiments.RunChurn(e.isp1.Universe, base, e.trainDay, e.testDay, nil, e.seed)
+		}},
+		{name: "coverage", desc: "Ablation: blacklist-coverage sweep", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunCoverage(e.isp1, e.trainDay, e.testDay, nil, e.seed)
+		}},
+		{name: "window", desc: "Ablation: activity look-back window sweep", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunWindow(e.isp1, e.trainDay, e.testDay, nil, e.seed)
+		}},
+		{name: "importance", desc: "Feature importances of the trained forest", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunImportances(e.isp1, e.trainDay)
+		}},
+		{name: "evasion", desc: "Section VI: C&C hidden under whitelisted zones", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunEvasion(e.isp1, e.trainDay, e.testDay, e.seed)
+		}},
+		{name: "crossval", desc: "5-fold cross-validation with bootstrap CI", run: func(e *env) (fmt.Stringer, error) {
+			return experiments.RunCrossValidation(e.isp1, e.trainDay, 5, e.seed)
+		}},
+	}
+}
+
+// runFig6 performs the three train/test settings of Table II / Figure 6.
+func runFig6(e *env) (fmt.Stringer, error) {
+	type setting struct {
+		name     string
+		trainNet *experiments.Network
+		testNet  *experiments.Network
+	}
+	settings := []setting{
+		{"ISP1 cross-day", e.isp1, e.isp1},
+		{"ISP2 cross-day", e.isp2, e.isp2},
+		{"cross-network ISP1->ISP2", e.isp1, e.isp2},
+	}
+	var b strings.Builder
+	b.WriteString("Table II + Figure 6: cross-day and cross-network tests\n\n")
+	for i, s := range settings {
+		r, err := experiments.RunCross(s.trainNet, e.trainDay, s.testNet, e.testDay,
+			experiments.CrossOptions{Seed: e.seed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Fprintf(&b, "(%c) %s\n%s", 'a'+i, s.name, r.Summary())
+		b.WriteString(eval.RenderASCII(r.Curve, 56, 10, 0.01))
+		b.WriteString("\n")
+		if err := writeCurve(e, fmt.Sprintf("fig6%c", 'a'+i), r); err != nil {
+			return nil, err
+		}
+	}
+	b.WriteString("(paper: consistently above 92% TPs at 0.1% FPs)\n")
+	return rendered(b.String()), nil
+}
+
+// runTable3 reruns the three Figure 6 settings and analyzes their FPs.
+func runTable3(e *env) (fmt.Stringer, error) {
+	nets := map[string]*experiments.Network{e.isp1.Name(): e.isp1, e.isp2.Name(): e.isp2}
+	var results []*experiments.CrossResult
+	for i, s := range []struct{ trainNet, testNet *experiments.Network }{
+		{e.isp1, e.isp1}, {e.isp2, e.isp2}, {e.isp1, e.isp2},
+	} {
+		r, err := experiments.RunCross(s.trainNet, e.trainDay, s.testNet, e.testDay,
+			experiments.CrossOptions{Seed: e.seed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return experiments.RunTable3(results, nets)
+}
+
+func writeCurve(e *env, name string, r *experiments.CrossResult) error {
+	path := filepath.Join(e.outdir, name+".csv")
+	return os.WriteFile(path, []byte(r.CurveCSV(400)), 0o644)
+}

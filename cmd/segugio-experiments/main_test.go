@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all := catalog()
+	if len(all) < 15 {
+		t.Fatalf("catalog has %d experiments, want >= 15", len(all))
+	}
+	names := map[string]bool{}
+	for _, e := range all {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if names[e.name] {
+			t.Fatalf("duplicate experiment name %q", e.name)
+		}
+		names[e.name] = true
+	}
+
+	sel, err := selectExperiments(all, "all")
+	if err != nil || len(sel) != len(all) {
+		t.Fatalf("all selection: %d, err %v", len(sel), err)
+	}
+	sel, err = selectExperiments(all, "fig6, table3")
+	if err != nil || len(sel) != 2 || sel[0].name != "fig6" || sel[1].name != "table3" {
+		t.Fatalf("subset selection = %v, err %v", sel, err)
+	}
+	if _, err := selectExperiments(all, "nonsense"); err == nil {
+		t.Fatal("unknown experiment must error")
+	} else if !strings.Contains(err.Error(), "fig6") {
+		t.Fatalf("error should list valid names: %v", err)
+	}
+}
+
+func TestRenderedStringer(t *testing.T) {
+	if rendered("x").String() != "x" {
+		t.Fatal("rendered stringer broken")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEndToEnd drives the real subcommand entry points over a temp
+// directory: generate -> train -> classify (with a JSON report) ->
+// evaluate -> track.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI test")
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	model := filepath.Join(dir, "det.bin")
+	reportPath := filepath.Join(dir, "rep.json")
+
+	mustRun := func(args ...string) {
+		t.Helper()
+		if err := run(args); err != nil {
+			t.Fatalf("segugio %v: %v", args, err)
+		}
+	}
+
+	mustRun("generate", "-out", data, "-machines", "900", "-days", "170,171,178", "-seed", "5")
+	for _, f := range []string{"blacklist.tsv", "whitelist.txt", "pdns.tsv", "activity.tsv",
+		"queries-170.tsv", "resolutions-178.tsv"} {
+		if _, err := os.Stat(filepath.Join(data, f)); err != nil {
+			t.Fatalf("generate did not write %s: %v", f, err)
+		}
+	}
+
+	mustRun("train", "-data", data, "-day", "170", "-model", model)
+	if fi, err := os.Stat(model); err != nil || fi.Size() == 0 {
+		t.Fatalf("model not written: %v", err)
+	}
+
+	mustRun("classify", "-data", data, "-day", "178", "-model", model, "-report", reportPath, "-top", "3")
+	rep, err := os.ReadFile(reportPath)
+	if err != nil || len(rep) == 0 {
+		t.Fatalf("report not written: %v", err)
+	}
+
+	mustRun("evaluate", "-data", data, "-train-day", "170", "-test-day", "178", "-fraction", "0.5")
+	mustRun("track", "-data", data, "-model", model, "-days", "171,178", "-min-days", "1")
+}
+
+// TestRunErrors covers the top-level dispatch failure paths.
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand must fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand must fail")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help must succeed: %v", err)
+	}
+	// Missing data directory surfaces a clear error.
+	if err := run([]string{"train", "-data", "/nonexistent-segugio-dir"}); err == nil {
+		t.Fatal("missing data dir must fail")
+	}
+	if err := run([]string{"classify", "-model", "/nonexistent-model.bin"}); err == nil {
+		t.Fatal("missing model must fail")
+	}
+	if err := run([]string{"track", "-days", ""}); err == nil {
+		t.Fatal("track without days must fail")
+	}
+}
+
+// TestGenerateBadFlags covers generate's input validation.
+func TestGenerateBadFlags(t *testing.T) {
+	if err := run([]string{"generate", "-days", "notaday", "-out", t.TempDir()}); err == nil {
+		t.Fatal("bad day list must fail")
+	}
+}
+
+// Silence accidental stdout noise in -v runs.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	fmt.Fprint(os.Stderr, "")
+	os.Exit(code)
+}

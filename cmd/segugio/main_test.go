@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestSplitComma(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{"a", []string{"a"}},
+		{"", nil},
+		{"a,,b", []string{"a", "b"}},
+		{",a,", []string{"a"}},
+	}
+	for _, tt := range tests {
+		got := splitComma(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("splitComma(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("splitComma(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestParseDays(t *testing.T) {
+	got, err := parseDays("170,183")
+	if err != nil || len(got) != 2 || got[0] != 170 || got[1] != 183 {
+		t.Fatalf("parseDays = %v, %v", got, err)
+	}
+	if _, err := parseDays("notaday"); err == nil {
+		t.Fatal("bad day must fail")
+	}
+	if _, err := parseDays(""); err == nil {
+		t.Fatal("empty spec must fail")
+	}
+}

@@ -1,0 +1,49 @@
+// Crossnetwork: train Segugio in one ISP, deploy it in another.
+//
+// The paper's Section IV-A shows a detector learned from one network's
+// traffic transfers to a different network, because the features describe
+// the behavior *around* a domain, not the identities of any particular
+// network's machines. This example builds two ISPs that observe the same
+// Internet (one domain universe) with disjoint machine populations,
+// trains on the first, and evaluates on held-out known domains of the
+// second.
+//
+//	go run ./examples/crossnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"segugio/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	universe, err := experiments.NewUniverse(
+		experiments.TestUniverseParams(19), experiments.UniverseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Same universe, different user populations: the cross-network
+	// deployment scenario.
+	west := universe.Network(experiments.TestPopulation("ISP-WEST", 100))
+	coast := universe.Network(experiments.TestPopulation("ISP-COAST", 200))
+
+	res, err := experiments.RunCross(west, 170, coast, 182, experiments.CrossOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print("cross-network deployment: ", res.Summary())
+	fmt.Println("\nROC operating points (FPR <= 1%):")
+	for _, p := range res.Curve {
+		if p.FPR > 0.01 {
+			break
+		}
+		fmt.Printf("  threshold %.3f: FPR %.3f%%  TPR %.1f%%\n", p.Threshold, p.FPR*100, p.TPR*100)
+	}
+	fmt.Println("\nThe paper reads >92% TPs at 0.1% FPs for its cross-network test at")
+	fmt.Println("full ISP scale; see EXPERIMENTS.md for this reproduction's numbers.")
+}

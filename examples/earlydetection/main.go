@@ -1,0 +1,56 @@
+// Earlydetection: how far ahead of the blacklist does Segugio run?
+//
+// Section IV-F of the paper deploys Segugio on consecutive days with its
+// threshold tuned to a 0.1% false-positive budget, classifies all
+// still-unknown domains, and then watches the commercial blacklist: many
+// of the detected control domains only appear on the list days or weeks
+// later. This example reproduces that timeline on a synthetic ISP, where
+// the listing delay is part of the ground-truth model.
+//
+//	go run ./examples/earlydetection
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"segugio/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	universe, err := experiments.NewUniverse(
+		experiments.TestUniverseParams(23), experiments.UniverseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	isp := universe.Network(experiments.TestPopulation("MONITORED", 5))
+
+	// Four consecutive monitoring days, 35-day blacklist horizon.
+	days := []int{168, 169, 170, 171}
+	res, err := experiments.RunFig11([]*experiments.Network{isp}, days, 35, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("monitored days: %v\n", days)
+	fmt.Printf("detections at the 0.1%%-FP threshold: %d\n", res.TotalDetections)
+	fmt.Printf("  of which truly malware-operated:   %d (simulator ground truth)\n", res.TrulyMalware)
+	fmt.Printf("  later added to the blacklist:      %d (within %d days)\n\n", res.LaterListed, res.Horizon)
+
+	fmt.Println("days between Segugio's detection and the blacklist listing:")
+	maxGap := 0
+	for gap := range res.Gaps {
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	for gap := 1; gap <= maxGap; gap++ {
+		if c := res.Gaps[gap]; c > 0 {
+			fmt.Printf("  +%2d days  %s (%d)\n", gap, strings.Repeat("#", c), c)
+		}
+	}
+	fmt.Println("\nEvery bar is lead time: domains blocked before any feed lists them.")
+}

@@ -1,0 +1,3 @@
+module segugio
+
+go 1.22

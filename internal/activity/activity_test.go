@@ -1,0 +1,177 @@
+package activity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogActiveDaysWindow(t *testing.T) {
+	l := NewLog()
+	for _, d := range []int{1, 2, 3, 7, 8, 12} {
+		l.MarkDomain(d, "d.com")
+	}
+	tests := []struct {
+		from, to, want int
+	}{
+		{1, 12, 6},
+		{1, 3, 3},
+		{4, 6, 0},
+		{7, 8, 2},
+		{12, 12, 1},
+		{13, 20, 0},
+	}
+	for _, tt := range tests {
+		if got := l.DomainActiveDays("d.com", tt.from, tt.to); got != tt.want {
+			t.Errorf("DomainActiveDays(%d, %d) = %d, want %d", tt.from, tt.to, got, tt.want)
+		}
+	}
+	if got := l.DomainActiveDays("absent.com", 0, 100); got != 0 {
+		t.Errorf("absent domain active days = %d, want 0 days", got)
+	}
+}
+
+func TestLogStreak(t *testing.T) {
+	l := NewLog()
+	for _, d := range []int{2, 3, 4, 8, 10, 11} {
+		l.MarkDomain(d, "d.com")
+	}
+	tests := []struct {
+		endDay, want int
+	}{
+		{4, 3},  // 2,3,4
+		{3, 2},  // 2,3
+		{2, 1},  // 2
+		{8, 1},  // isolated
+		{11, 2}, // 10,11
+		{5, 0},  // not active on endDay
+		{99, 0},
+	}
+	for _, tt := range tests {
+		if got := l.DomainStreak("d.com", tt.endDay); got != tt.want {
+			t.Errorf("DomainStreak(end=%d) = %d, want %d", tt.endDay, got, tt.want)
+		}
+	}
+}
+
+func TestLogDuplicateAndOutOfOrderMarks(t *testing.T) {
+	l := NewLog()
+	l.MarkDomain(5, "d.com")
+	l.MarkDomain(3, "d.com")
+	l.MarkDomain(5, "d.com") // duplicate
+	l.MarkDomain(4, "d.com")
+	if got := l.DomainActiveDays("d.com", 0, 10); got != 3 {
+		t.Fatalf("active days = %d, want 3", got)
+	}
+	if got := l.DomainStreak("d.com", 5); got != 3 {
+		t.Fatalf("streak = %d, want 3 (days 3,4,5)", got)
+	}
+}
+
+func TestLogE2LDTracking(t *testing.T) {
+	l := NewLog()
+	l.MarkE2LD(1, "example.com")
+	l.MarkE2LD(2, "example.com")
+	if got := l.E2LDActiveDays("example.com", 0, 5); got != 2 {
+		t.Fatalf("E2LDActiveDays = %d, want 2", got)
+	}
+	if got := l.E2LDStreak("example.com", 2); got != 2 {
+		t.Fatalf("E2LDStreak = %d, want 2", got)
+	}
+	if got := l.DomainActiveDays("example.com", 0, 5); got != 0 {
+		t.Fatalf("e2LD marks must not leak into domain tracking, got %d", got)
+	}
+}
+
+func TestLogDomainsCount(t *testing.T) {
+	l := NewLog()
+	l.MarkDomain(1, "a.com")
+	l.MarkDomain(2, "a.com")
+	l.MarkDomain(1, "b.com")
+	if got := l.Domains(); got != 2 {
+		t.Fatalf("Domains = %d, want 2", got)
+	}
+}
+
+// Property: regardless of mark order, the streak ending at the max marked
+// day equals the length of the final run of consecutive integers.
+func TestLogStreakProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		days := make(map[int]bool)
+		for i := 0; i < int(n)+1; i++ {
+			d := rng.Intn(40)
+			days[d] = true
+			l.MarkDomain(d, "d.com")
+		}
+		maxDay := -1
+		for d := range days {
+			if d > maxDay {
+				maxDay = d
+			}
+		}
+		want := 0
+		for d := maxDay; d >= 0 && days[d]; d-- {
+			want++
+		}
+		return l.DomainStreak("d.com", maxDay) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	l := NewLog()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for d := 0; d < 50; d++ {
+				l.MarkDomain(d, "shared.com")
+				l.MarkE2LD(d, "shared.com")
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := l.DomainActiveDays("shared.com", 0, 49); got != 50 {
+		t.Fatalf("active days = %d, want 50", got)
+	}
+}
+
+func TestLogTrim(t *testing.T) {
+	l := NewLog()
+	for d := 1; d <= 10; d++ {
+		l.MarkDomain(d, "old.com")
+	}
+	for d := 8; d <= 12; d++ {
+		l.MarkDomain(d, "fresh.com")
+		l.MarkE2LD(d, "fresh.com")
+	}
+	l.MarkDomain(2, "gone.com")
+
+	l.Trim(8)
+	if got := l.DomainActiveDays("old.com", 0, 20); got != 3 {
+		t.Fatalf("old.com days after trim = %d, want 3 (days 8-10)", got)
+	}
+	if got := l.DomainActiveDays("fresh.com", 0, 20); got != 5 {
+		t.Fatalf("fresh.com days after trim = %d, want 5", got)
+	}
+	if got := l.E2LDActiveDays("fresh.com", 0, 20); got != 5 {
+		t.Fatalf("fresh.com e2LD days after trim = %d, want 5", got)
+	}
+	if got := l.DomainActiveDays("gone.com", 0, 20); got != 0 {
+		t.Fatalf("gone.com should be fully dropped, got %d", got)
+	}
+	if got := l.Domains(); got != 2 {
+		t.Fatalf("tracked domains after trim = %d, want 2", got)
+	}
+	// Trim at a day before everything is a no-op.
+	l.Trim(0)
+	if got := l.DomainActiveDays("old.com", 0, 20); got != 3 {
+		t.Fatalf("no-op trim changed data: %d", got)
+	}
+}

@@ -1,0 +1,26 @@
+package activity
+
+import (
+	"segugio/internal/dnsutil"
+	"segugio/internal/pdns"
+)
+
+// FromDB derives an activity log from a passive-DNS database: a domain is
+// considered active on every day it has a resolution record in [from, to].
+// Deployments that archive the resolver's responses (which is what feeds
+// the passive-DNS database in the first place) get the F2 activity window
+// for free this way.
+func FromDB(db *pdns.DB, suffixes *dnsutil.SuffixList, from, to int) *Log {
+	l := NewLog()
+	e2ldCache := make(map[string]string)
+	db.ForEachRecord(from, to, func(day int, domain string, _ dnsutil.IPv4) {
+		l.MarkDomain(day, domain)
+		e2ld, ok := e2ldCache[domain]
+		if !ok {
+			e2ld = suffixes.E2LD(domain)
+			e2ldCache[domain] = e2ld
+		}
+		l.MarkE2LD(day, e2ld)
+	})
+	return l
+}

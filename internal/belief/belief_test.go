@@ -1,0 +1,155 @@
+package belief
+
+import (
+	"errors"
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+)
+
+// propagationFixture: two infected machines share a known C&C domain and
+// an unknown candidate; two clean machines share benign domains and a
+// second unknown domain.
+func propagationFixture(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("BP", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("bot1", "c2.evil.com")
+	b.AddQuery("bot1", "cand.net")
+	b.AddQuery("bot2", "c2.evil.com")
+	b.AddQuery("bot2", "cand.net")
+	b.AddQuery("clean1", "www.good.com")
+	b.AddQuery("clean1", "other.org")
+	b.AddQuery("clean2", "www.good.com")
+	b.AddQuery("clean2", "other.org")
+	g := b.Build()
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "c2.evil.com", FirstListed: 0})
+	wl := intel.NewWhitelist([]string{"good.com"})
+	g.ApplyLabels(graph.LabelSources{Blacklist: bl, Whitelist: wl, AsOf: 1})
+	return g
+}
+
+func TestPropagateRequiresLabels(t *testing.T) {
+	b := graph.NewBuilder("BP", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("m", "d.com")
+	g := b.Build()
+	if _, err := Propagate(g, Config{}); !errors.Is(err, ErrUnlabeledGraph) {
+		t.Fatalf("err = %v, want ErrUnlabeledGraph", err)
+	}
+}
+
+func TestPropagateSeparatesUnknowns(t *testing.T) {
+	g := propagationFixture(t)
+	res, err := Propagate(g, Config{MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, _ := g.DomainIndex("cand.net")
+	other, _ := g.DomainIndex("other.org")
+	if res.DomainBelief[cand] <= res.DomainBelief[other] {
+		t.Fatalf("cand.net belief %.4f should exceed other.org %.4f",
+			res.DomainBelief[cand], res.DomainBelief[other])
+	}
+	// The candidate queried only by infected machines leans malware; the
+	// domain queried only by clean machines leans benign.
+	if res.DomainBelief[cand] <= 0.5 {
+		t.Fatalf("cand.net belief = %.4f, want > 0.5", res.DomainBelief[cand])
+	}
+	if res.DomainBelief[other] >= 0.5 {
+		t.Fatalf("other.org belief = %.4f, want < 0.5", res.DomainBelief[other])
+	}
+}
+
+func TestPropagateMachineBeliefs(t *testing.T) {
+	g := propagationFixture(t)
+	res, err := Propagate(g, Config{MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot, _ := g.MachineIndex("bot1")
+	clean, _ := g.MachineIndex("clean1")
+	if res.MachineBelief[bot] <= res.MachineBelief[clean] {
+		t.Fatalf("bot belief %.4f should exceed clean %.4f",
+			res.MachineBelief[bot], res.MachineBelief[clean])
+	}
+}
+
+func TestPropagateLabeledNodesKeepStrongBeliefs(t *testing.T) {
+	g := propagationFixture(t)
+	res, err := Propagate(g, Config{MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := g.DomainIndex("c2.evil.com")
+	good, _ := g.DomainIndex("www.good.com")
+	if res.DomainBelief[c2] < 0.9 {
+		t.Fatalf("known C&C belief = %.4f, want >= 0.9", res.DomainBelief[c2])
+	}
+	if res.DomainBelief[good] > 0.1 {
+		t.Fatalf("known benign belief = %.4f, want <= 0.1", res.DomainBelief[good])
+	}
+}
+
+func TestPropagateConverges(t *testing.T) {
+	g := propagationFixture(t)
+	res, err := Propagate(g, Config{MaxIterations: 100, Tolerance: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	if res.Iterations >= 100 {
+		t.Fatal("convergence should arrive before the cap")
+	}
+}
+
+func TestPropagateBeliefsInRange(t *testing.T) {
+	g := propagationFixture(t)
+	res, err := Propagate(g, Config{MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, b := range res.DomainBelief {
+		if b <= 0 || b >= 1 {
+			t.Fatalf("domain %d belief %v out of (0,1)", d, b)
+		}
+	}
+	for m, b := range res.MachineBelief {
+		if b <= 0 || b >= 1 {
+			t.Fatalf("machine %d belief %v out of (0,1)", m, b)
+		}
+	}
+}
+
+func TestPropagateDeterministic(t *testing.T) {
+	g := propagationFixture(t)
+	a, err := Propagate(g, Config{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Propagate(g, Config{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.DomainBelief {
+		if a.DomainBelief[d] != b.DomainBelief[d] {
+			t.Fatalf("belief %d differs across runs", d)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxIterations != 15 || c.Epsilon != 0.02 || c.PriorMalware != 0.99 ||
+		c.Damping != 0 || c.Tolerance != 1e-4 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Out-of-range values fall back too.
+	c = Config{PriorMalware: 1.5, Damping: -1}.withDefaults()
+	if c.PriorMalware != 0.99 || c.Damping != 0 {
+		t.Fatalf("fallbacks = %+v", c)
+	}
+}

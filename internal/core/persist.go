@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"segugio/internal/graph"
+	"segugio/internal/ml"
+)
+
+// Detector persistence: a trained detector (model, threshold, feature
+// selection, pipeline settings) can be saved after the learning phase and
+// loaded by the deployment process that classifies live traffic.
+
+type detectorWire struct {
+	ModelKind      string // "randomforest" | "logreg"
+	ModelBytes     []byte
+	Threshold      float64
+	ActivityWindow int
+	Prune          graph.PruneConfig
+	DisablePruning bool
+	FeatureColumns []int
+}
+
+// Persistence errors.
+var (
+	ErrUnknownModel = errors.New("core: unsupported model type for persistence")
+)
+
+// SaveDetector writes a trained detector to w.
+func SaveDetector(w io.Writer, d *Detector) error {
+	wire := detectorWire{
+		Threshold:      d.threshold,
+		ActivityWindow: d.cfg.ActivityWindow,
+		Prune:          d.cfg.Prune,
+		DisablePruning: d.cfg.DisablePruning,
+		FeatureColumns: d.cfg.FeatureColumns,
+	}
+	switch m := d.model.(type) {
+	case *ml.RandomForest:
+		wire.ModelKind = "randomforest"
+		b, err := m.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		wire.ModelBytes = b
+	case *ml.LogisticRegression:
+		wire.ModelKind = "logreg"
+		b, err := m.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		wire.ModelBytes = b
+	default:
+		return fmt.Errorf("%w: %T", ErrUnknownModel, d.model)
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// LoadDetector reads a detector previously written by SaveDetector.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	var wire detectorWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("core: decode detector: %w", err)
+	}
+	var model ml.Model
+	switch wire.ModelKind {
+	case "randomforest":
+		rf := &ml.RandomForest{}
+		if err := rf.UnmarshalBinary(wire.ModelBytes); err != nil {
+			return nil, err
+		}
+		model = rf
+	case "logreg":
+		lr := &ml.LogisticRegression{}
+		if err := lr.UnmarshalBinary(wire.ModelBytes); err != nil {
+			return nil, err
+		}
+		model = lr
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, wire.ModelKind)
+	}
+	return &Detector{
+		cfg: Config{
+			ActivityWindow: wire.ActivityWindow,
+			Prune:          wire.Prune,
+			DisablePruning: wire.DisablePruning,
+			FeatureColumns: wire.FeatureColumns,
+		},
+		model:     model,
+		threshold: wire.Threshold,
+	}, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"segugio/internal/ml"
+)
+
+func trainedDetector(t *testing.T, newModel func(benign, malware int) ml.Model) (*Detector, [][]float64) {
+	t.Helper()
+	s := newScenario(t, 51)
+	g, log, abuse := s.dayContext(t, 170, nil)
+	cfg := DefaultConfig()
+	if newModel != nil {
+		cfg.NewModel = newModel
+	}
+	det, _, err := Train(cfg, TrainInput{Graph: g, Activity: log, Abuse: abuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe vectors for score comparison.
+	probes := [][]float64{
+		{1, 0, 5, 3, 3, 3, 3, 1, 1, 0, 0},
+		{0, 0.5, 100, 14, 14, 14, 14, 0, 0, 0, 0},
+		{0.8, 0.2, 10, 2, 2, 14, 14, 0.5, 1, 1, 2},
+	}
+	return det, probes
+}
+
+func TestDetectorPersistRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test")
+	}
+	det, probes := trainedDetector(t, nil)
+	det.SetThreshold(0.77)
+
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold() != 0.77 {
+		t.Fatalf("threshold = %v, want 0.77", loaded.Threshold())
+	}
+	for i, p := range probes {
+		if a, b := det.model.Score(p), loaded.model.Score(p); a != b {
+			t.Fatalf("probe %d: score %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestDetectorPersistLogreg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test")
+	}
+	det, probes := trainedDetector(t, func(benign, malware int) ml.Model {
+		return ml.NewLogisticRegression(ml.LogisticRegressionConfig{Seed: 3})
+	})
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probes {
+		if a, b := det.model.Score(p), loaded.model.Score(p); a != b {
+			t.Fatalf("probe %d: score %v != %v", i, a, b)
+		}
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Fit([][]float64, []int) error { return nil }
+func (fakeModel) Score([]float64) float64      { return 0 }
+
+func TestSaveDetectorUnknownModel(t *testing.T) {
+	d := &Detector{model: fakeModel{}}
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, d); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestLoadDetectorGarbage(t *testing.T) {
+	if _, err := LoadDetector(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}

@@ -1,0 +1,147 @@
+package dnsutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    string
+		wantErr error
+	}{
+		{name: "simple", in: "example.com", want: "example.com"},
+		{name: "uppercase", in: "EXAMPLE.Com", want: "example.com"},
+		{name: "trailing dot", in: "example.com.", want: "example.com"},
+		{name: "subdomain", in: "a.b.c.example.com", want: "a.b.c.example.com"},
+		{name: "digits and hyphen", in: "a-1.x0.net", want: "a-1.x0.net"},
+		{name: "underscore label", in: "_dmarc.example.com", want: "_dmarc.example.com"},
+		{name: "empty", in: "", wantErr: ErrEmptyDomain},
+		{name: "only dot", in: ".", wantErr: ErrEmptyDomain},
+		{name: "empty label", in: "a..com", wantErr: ErrBadLabel},
+		{name: "leading hyphen", in: "-a.com", wantErr: ErrBadLabel},
+		{name: "trailing hyphen", in: "a-.com", wantErr: ErrBadLabel},
+		{name: "bad char", in: "a b.com", wantErr: ErrBadLabel},
+		{name: "label too long", in: strings.Repeat("a", 64) + ".com", wantErr: ErrBadLabel},
+		{name: "name too long", in: strings.Repeat("a.", 127) + "toolongdomain", wantErr: ErrDomainTooLng},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Normalize(tt.in)
+			if tt.wantErr != nil {
+				if !errors.Is(err, tt.wantErr) {
+					t.Fatalf("Normalize(%q) error = %v, want %v", tt.in, err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Normalize(%q) unexpected error: %v", tt.in, err)
+			}
+			if got != tt.want {
+				t.Fatalf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(raw string) bool {
+		d, err := Normalize(raw)
+		if err != nil {
+			return true // invalid input: nothing to check
+		}
+		d2, err := Normalize(d)
+		return err == nil && d2 == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"example.com", 2},
+		{"a.b.c.d", 4},
+		{"com", 1},
+		{"", 0},
+	}
+	for _, tt := range tests {
+		if got := Labels(tt.in); len(got) != tt.want {
+			t.Errorf("Labels(%q) has %d labels, want %d", tt.in, len(got), tt.want)
+		}
+	}
+}
+
+func TestE2LD(t *testing.T) {
+	s := DefaultSuffixList()
+	tests := []struct {
+		in, want string
+	}{
+		{"example.com", "example.com"},
+		{"www.example.com", "example.com"},
+		{"a.b.c.example.com", "example.com"},
+		{"www.bbc.co.uk", "bbc.co.uk"},
+		{"bbc.co.uk", "bbc.co.uk"},
+		{"sites.uol.com.br", "uol.com.br"},
+		{"x.y.gov.uk", "y.gov.uk"},
+		{"foo.co.jp", "foo.co.jp"},
+		// Dynamic-DNS zones: the per-user subdomain is its own e2LD.
+		{"alice.dyndns.example", "alice.dyndns.example"},
+		{"c2.alice.dyndns.example", "alice.dyndns.example"},
+		// Wildcard rule.
+		{"host.eu-1.compute.amazonaws.example", "host.eu-1.compute.amazonaws.example"},
+		{"a.host.eu-1.compute.amazonaws.example", "host.eu-1.compute.amazonaws.example"},
+		// Public suffix itself.
+		{"co.uk", "co.uk"},
+		{"com", "com"},
+		// Unknown TLD falls back to the default rule.
+		{"foo.bar.unknowntld", "bar.unknowntld"},
+	}
+	for _, tt := range tests {
+		if got := s.E2LD(tt.in); got != tt.want {
+			t.Errorf("E2LD(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestE2LDIdempotent(t *testing.T) {
+	s := DefaultSuffixList()
+	for _, d := range []string{"a.b.example.com", "x.bbc.co.uk", "c2.alice.dyndns.example", "com"} {
+		e := s.E2LD(d)
+		if again := s.E2LD(e); again != e {
+			t.Errorf("E2LD not idempotent: E2LD(%q)=%q but E2LD(%q)=%q", d, e, e, again)
+		}
+	}
+}
+
+func TestSuffixListAdd(t *testing.T) {
+	s := NewSuffixList([]string{"com"})
+	if got := s.E2LD("user.blogs.example.com"); got != "example.com" {
+		t.Fatalf("before Add: E2LD = %q, want example.com", got)
+	}
+	s.Add("blogs.example.com")
+	if got := s.E2LD("user.blogs.example.com"); got != "user.blogs.example.com" {
+		t.Fatalf("after Add: E2LD = %q, want user.blogs.example.com", got)
+	}
+}
+
+func TestSuffixListLen(t *testing.T) {
+	s := NewSuffixList([]string{"com", "co.uk", "*.cdn.example"})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestPublicSuffixLongestRuleWins(t *testing.T) {
+	s := NewSuffixList([]string{"uk", "co.uk"})
+	if got := s.PublicSuffix("www.bbc.co.uk"); got != "co.uk" {
+		t.Fatalf("PublicSuffix = %q, want co.uk", got)
+	}
+}

@@ -1,0 +1,62 @@
+package dnsutil
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IPv4 is an IPv4 address packed into a uint32 in network (big-endian)
+// order. The compact representation matters: the passive-DNS database and
+// graph annotations hold tens of millions of addresses.
+type IPv4 uint32
+
+// ErrBadIPv4 is returned by ParseIPv4 for malformed dotted-quad strings.
+var ErrBadIPv4 = errors.New("dnsutil: invalid IPv4 address")
+
+// ParseIPv4 parses a dotted-quad IPv4 address.
+func ParseIPv4(s string) (IPv4, error) {
+	var ip uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		part := rest
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("%w: %q", ErrBadIPv4, s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 || n > 255 || (len(part) > 1 && part[0] == '0') {
+			return 0, fmt.Errorf("%w: %q", ErrBadIPv4, s)
+		}
+		ip = ip<<8 | uint32(n)
+	}
+	return IPv4(ip), nil
+}
+
+// MakeIPv4 assembles an address from its four octets.
+func MakeIPv4(a, b, c, d byte) IPv4 {
+	return IPv4(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders the address in dotted-quad form.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Prefix24 is a /24 network prefix: an IPv4 address with the low octet
+// cleared. The paper's IP-abuse features (F3) aggregate resolved addresses
+// at /24 granularity to capture reuse of bulletproof hosting ranges.
+type Prefix24 uint32
+
+// Prefix24Of returns the /24 prefix containing ip.
+func Prefix24Of(ip IPv4) Prefix24 { return Prefix24(uint32(ip) &^ 0xff) }
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix24) Contains(ip IPv4) bool { return Prefix24Of(ip) == p }
+
+// String renders the prefix in CIDR form.
+func (p Prefix24) String() string { return IPv4(p).String() + "/24" }

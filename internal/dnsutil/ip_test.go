@@ -1,0 +1,80 @@
+package dnsutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPv4(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    IPv4
+		wantErr bool
+	}{
+		{in: "0.0.0.0", want: 0},
+		{in: "1.2.3.4", want: MakeIPv4(1, 2, 3, 4)},
+		{in: "255.255.255.255", want: 0xffffffff},
+		{in: "192.168.0.1", want: MakeIPv4(192, 168, 0, 1)},
+		{in: "256.1.1.1", wantErr: true},
+		{in: "1.2.3", wantErr: true},
+		{in: "1.2.3.4.5", wantErr: true},
+		{in: "a.b.c.d", wantErr: true},
+		{in: "01.2.3.4", wantErr: true}, // leading zero rejected
+		{in: "", wantErr: true},
+		{in: "1.2.3.-4", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseIPv4(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseIPv4(%q) = %v, want error", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseIPv4(%q) unexpected error: %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseIPv4(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IPv4(v)
+		parsed, err := ParseIPv4(ip.String())
+		return err == nil && parsed == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefix24(t *testing.T) {
+	ip := MakeIPv4(10, 20, 30, 40)
+	p := Prefix24Of(ip)
+	if got := p.String(); got != "10.20.30.0/24" {
+		t.Fatalf("Prefix24.String() = %q, want 10.20.30.0/24", got)
+	}
+	if !p.Contains(MakeIPv4(10, 20, 30, 255)) {
+		t.Error("prefix should contain 10.20.30.255")
+	}
+	if p.Contains(MakeIPv4(10, 20, 31, 0)) {
+		t.Error("prefix should not contain 10.20.31.0")
+	}
+}
+
+func TestPrefix24OfProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IPv4(v)
+		p := Prefix24Of(ip)
+		// The prefix always contains its member, and clearing the low octet
+		// is idempotent.
+		return p.Contains(ip) && Prefix24Of(IPv4(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

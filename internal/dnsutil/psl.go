@@ -1,0 +1,46 @@
+package dnsutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseSuffixList reads rules in the Mozilla Public Suffix List file
+// format (publicsuffix.org/list): one rule per line, "//" comments, blank
+// lines ignored, "*." wildcard rules, and "!" exception rules that negate
+// a wildcard for a specific name ("!city.kawasaki.jp"). Production
+// deployments load the real PSL (plus their dynamic-DNS zone additions)
+// through this parser; DefaultSuffixList's embedded rules cover the
+// synthetic workloads.
+func ParseSuffixList(r io.Reader) (*SuffixList, error) {
+	s := &SuffixList{
+		exact:      make(map[string]struct{}),
+		wildcard:   make(map[string]struct{}),
+		exceptions: make(map[string]struct{}),
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		// The official list terminates rules at the first whitespace.
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		rule := strings.ToLower(line)
+		bare := strings.TrimPrefix(strings.TrimPrefix(rule, "!"), "*.")
+		if _, err := Normalize(bare); err != nil {
+			return nil, fmt.Errorf("dnsutil: suffix list line %d: %w", lineNo, err)
+		}
+		s.Add(rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dnsutil: suffix list: %w", err)
+	}
+	return s, nil
+}

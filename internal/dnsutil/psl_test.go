@@ -1,0 +1,96 @@
+package dnsutil
+
+import (
+	"strings"
+	"testing"
+)
+
+const samplePSL = `
+// ===BEGIN ICANN DOMAINS===
+com
+uk
+co.uk
+
+// Japan has wildcard geo zones with city exceptions.
+jp
+*.kawasaki.jp
+!city.kawasaki.jp
+
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+blogspot.example
+// trailing-comment style entries
+dyndns.example  registrar remark
+`
+
+func TestParseSuffixList(t *testing.T) {
+	s, err := ParseSuffixList(strings.NewReader(samplePSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		domain, wantE2LD string
+	}{
+		{"www.bbc.co.uk", "bbc.co.uk"},
+		{"example.com", "example.com"},
+		// Wildcard: anything.kawasaki.jp is a public suffix.
+		{"site.foo.kawasaki.jp", "site.foo.kawasaki.jp"},
+		{"deep.site.foo.kawasaki.jp", "site.foo.kawasaki.jp"},
+		// Exception: city.kawasaki.jp is registrable despite the wildcard.
+		{"city.kawasaki.jp", "city.kawasaki.jp"},
+		{"www.city.kawasaki.jp", "city.kawasaki.jp"},
+		// Private-section zones behave like any suffix.
+		{"alice.blogspot.example", "alice.blogspot.example"},
+		{"c2.alice.dyndns.example", "alice.dyndns.example"},
+	}
+	for _, tt := range tests {
+		if got := s.E2LD(tt.domain); got != tt.wantE2LD {
+			t.Errorf("E2LD(%q) = %q, want %q", tt.domain, got, tt.wantE2LD)
+		}
+	}
+}
+
+func TestParseSuffixListPublicSuffixException(t *testing.T) {
+	s, err := ParseSuffixList(strings.NewReader(samplePSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PublicSuffix("www.city.kawasaki.jp"); got != "kawasaki.jp" {
+		t.Fatalf("PublicSuffix = %q, want kawasaki.jp (exception strips leftmost label)", got)
+	}
+	if got := s.PublicSuffix("other.kawasaki.jp"); got != "other.kawasaki.jp" {
+		t.Fatalf("PublicSuffix = %q, want other.kawasaki.jp (wildcard)", got)
+	}
+}
+
+func TestParseSuffixListRejectsGarbage(t *testing.T) {
+	// Note the official format truncates rules at the first whitespace,
+	// so the invalid part must be in the first token.
+	if _, err := ParseSuffixList(strings.NewReader("b@d..rule\n")); err == nil {
+		t.Fatal("garbage rule must fail")
+	}
+}
+
+func TestParseSuffixListEmpty(t *testing.T) {
+	s, err := ParseSuffixList(strings.NewReader("// only comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	// Default rule still applies.
+	if got := s.E2LD("a.b.c"); got != "b.c" {
+		t.Fatalf("E2LD with default rule = %q, want b.c", got)
+	}
+}
+
+func TestSuffixListCaseInsensitiveRules(t *testing.T) {
+	s, err := ParseSuffixList(strings.NewReader("CO.UK\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.E2LD("www.bbc.co.uk"); got != "bbc.co.uk" {
+		t.Fatalf("E2LD = %q, want bbc.co.uk", got)
+	}
+}

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// BootstrapTPRCI estimates a confidence interval for TPR at a fixed FP
+// budget by case resampling: the (scores, labels) pairs are resampled
+// with replacement iters times, the ROC is rebuilt each time, and the
+// [lo, hi] quantiles of the TPR@maxFPR distribution are returned.
+//
+// The paper reads single operating points off its curves; with the
+// smaller test sets of a scaled-down reproduction, the interval says how
+// much a headline number can be trusted.
+func BootstrapTPRCI(scores []float64, labels []int, maxFPR float64, iters int, confidence float64, seed int64) (lo, hi float64, err error) {
+	if iters <= 0 {
+		iters = 200
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	// Validate once on the full sample.
+	if _, err := ROC(scores, labels); err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(scores)
+	tprs := make([]float64, 0, iters)
+	sampleScores := make([]float64, n)
+	sampleLabels := make([]int, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			sampleScores[i] = scores[j]
+			sampleLabels[i] = labels[j]
+		}
+		curve, err := ROC(sampleScores, sampleLabels)
+		if err != nil {
+			// A resample may hold a single class; skip it.
+			continue
+		}
+		tprs = append(tprs, TPRAtFPR(curve, maxFPR))
+	}
+	if len(tprs) == 0 {
+		return 0, 0, ErrOneClass
+	}
+	sort.Float64s(tprs)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(len(tprs)))
+	hiIdx := int((1 - alpha) * float64(len(tprs)))
+	if hiIdx >= len(tprs) {
+		hiIdx = len(tprs) - 1
+	}
+	return tprs[loIdx], tprs[hiIdx], nil
+}

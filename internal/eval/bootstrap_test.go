@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapTPRCI(t *testing.T) {
+	// A noisy-but-decent classifier: positives ~N(1.5,1), negatives ~N(0,1).
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		if i%4 == 0 {
+			labels[i] = 1
+			scores[i] = rng.NormFloat64() + 1.5
+		} else {
+			scores[i] = rng.NormFloat64()
+		}
+	}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := TPRAtFPR(curve, 0.05)
+	lo, hi, err := BootstrapTPRCI(scores, labels, 0.05, 300, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo <= hi) {
+		t.Fatalf("interval inverted: [%v, %v]", lo, hi)
+	}
+	if lo < 0 || hi > 1 {
+		t.Fatalf("interval out of [0,1]: [%v, %v]", lo, hi)
+	}
+	// The point estimate should be inside (or very close to) the interval.
+	if point < lo-0.05 || point > hi+0.05 {
+		t.Fatalf("point %v far outside CI [%v, %v]", point, lo, hi)
+	}
+	// A 2000-sample CI at 5%% FP should be reasonably tight.
+	if hi-lo > 0.25 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapTPRCIErrors(t *testing.T) {
+	if _, _, err := BootstrapTPRCI(nil, nil, 0.01, 10, 0.95, 1); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, _, err := BootstrapTPRCI([]float64{1, 2}, []int{1, 1}, 0.01, 10, 0.95, 1); err == nil {
+		t.Fatal("single-class input must error")
+	}
+}
+
+func TestBootstrapTPRCIDeterministic(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1, 0.6, 0.4}
+	labels := []int{1, 1, 1, 0, 0, 0, 0, 1}
+	lo1, hi1, err := BootstrapTPRCI(scores, labels, 0.2, 100, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapTPRCI(scores, labels, 0.2, 100, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("same seed must reproduce the interval")
+	}
+}

@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// FamilyFolds partitions malware domains into k folds by malware family,
+// never splitting a family across folds, with roughly the same number of
+// families per fold (the paper's "balanced sets of malware families",
+// Section IV-C). Input maps family tag -> its domains. Families are
+// shuffled deterministically by seed, then dealt round-robin in
+// descending-size order so domain counts stay roughly even too.
+func FamilyFolds(byFamily map[string][]string, k int, seed int64) ([][]string, error) {
+	if k <= 1 {
+		return nil, errors.New("eval: need at least 2 folds")
+	}
+	if len(byFamily) < k {
+		return nil, errors.New("eval: fewer families than folds")
+	}
+	type fam struct {
+		name    string
+		domains []string
+	}
+	fams := make([]fam, 0, len(byFamily))
+	for name, domains := range byFamily {
+		fams = append(fams, fam{name: name, domains: domains})
+	}
+	// Deterministic order independent of map iteration.
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(fams), func(i, j int) { fams[i], fams[j] = fams[j], fams[i] })
+	// Largest families first, then deal each to the currently smallest
+	// fold: balances both family counts and domain counts.
+	sort.SliceStable(fams, func(a, b int) bool { return len(fams[a].domains) > len(fams[b].domains) })
+
+	folds := make([][]string, k)
+	famCount := make([]int, k)
+	domCount := make([]int, k)
+	for _, f := range fams {
+		best := 0
+		for i := 1; i < k; i++ {
+			if famCount[i] < famCount[best] ||
+				(famCount[i] == famCount[best] && domCount[i] < domCount[best]) {
+				best = i
+			}
+		}
+		folds[best] = append(folds[best], f.domains...)
+		famCount[best]++
+		domCount[best] += len(f.domains)
+	}
+	return folds, nil
+}

@@ -1,0 +1,60 @@
+package eval
+
+// Confusion is a binary confusion matrix at a fixed threshold.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse counts the confusion matrix of scores against labels at the
+// given threshold (score >= threshold predicts malware).
+func Confuse(scores []float64, labels []int, threshold float64) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		pred := s >= threshold
+		pos := labels[i] == 1
+		switch {
+		case pred && pos:
+			c.TP++
+		case pred && !pos:
+			c.FP++
+		case !pred && pos:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision is TP / (TP + FP); zero when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP + FN) — the true-positive rate.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR is FP / (FP + TN) — the false-positive rate.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

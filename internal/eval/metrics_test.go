@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfuse(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.4, 0.3, 0.7, 0.1}
+	labels := []int{1, 0, 1, 0, 1, 0}
+	c := Confuse(scores, labels, 0.5)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v, want 2/3", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v, want 2/3 (2 of 3 positives found)", got)
+	}
+	if got := c.FPR(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("FPR = %v, want 1/3", got)
+	}
+	// Precision == recall == 2/3, so F1 == 2/3 too.
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v, want 2/3", got)
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.FPR() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must yield zero metrics, not NaN")
+	}
+}
+
+// Property: the confusion matrix at a threshold matches the ROC's
+// operating point at the same threshold.
+func TestConfusionMatchesROC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		labels[0], labels[1] = 0, 1
+		for i := range scores {
+			scores[i] = float64(rng.Intn(50)) / 50 // ties on purpose
+			if i > 1 {
+				labels[i] = rng.Intn(2)
+			}
+		}
+		curve, err := ROC(scores, labels)
+		if err != nil {
+			return false
+		}
+		threshold := scores[rng.Intn(n)]
+		c := Confuse(scores, labels, threshold)
+		fpr, tpr := OperatingPoint(curve, threshold)
+		return math.Abs(c.FPR()-fpr) < 1e-12 && math.Abs(c.Recall()-tpr) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

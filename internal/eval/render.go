@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws the ROC curve in a terminal-friendly grid, zoomed
+// into FPR <= maxFPR the way the paper's figures zoom into [0, 0.01].
+// Width and height are the plot's interior dimensions in characters.
+func RenderASCII(curve []ROCPoint, width, height int, maxFPR float64) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	if maxFPR <= 0 {
+		maxFPR = 0.01
+	}
+
+	// tprAt interpolates the curve's TPR at a given FPR (step function:
+	// the best TPR achievable at or below that FPR).
+	tprAt := func(fpr float64) float64 {
+		best := 0.0
+		for _, p := range curve {
+			if p.FPR <= fpr && p.TPR > best {
+				best = p.TPR
+			}
+		}
+		return best
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		fpr := maxFPR * float64(c) / float64(width-1)
+		tpr := tprAt(fpr)
+		r := int(tpr * float64(height-1))
+		if r >= height {
+			r = height - 1
+		}
+		row := height - 1 - r
+		grid[row][c] = '*'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "TPR 100%% +%s\n", strings.Repeat("-", width))
+	for r, line := range grid {
+		label := "         |"
+		switch r {
+		case height / 2:
+			label = "     50% |"
+		}
+		b.WriteString(label)
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "      0%% +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "          0%%%sFPR %.2f%%\n",
+		strings.Repeat(" ", max(1, width-12)), maxFPR*100)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+// Package eval provides the evaluation machinery behind every figure in
+// the paper: ROC curves over classifier scores, areas under (partial)
+// curves, TP-rate lookups at fixed FP budgets, deployment-threshold
+// selection, and the family-balanced fold construction of the
+// cross-malware-family experiment (Section IV-C).
+package eval
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point of a detector: at Threshold (classify
+// malware when score >= Threshold), the detector attains the given
+// false-positive and true-positive rates.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64
+	TPR       float64
+}
+
+// Errors returned by curve construction.
+var (
+	ErrNoScores  = errors.New("eval: no scores")
+	ErrOneClass  = errors.New("eval: need both positive and negative examples")
+	ErrMismatch  = errors.New("eval: scores and labels differ in length")
+	ErrEmptyROC  = errors.New("eval: empty ROC curve")
+	ErrBadLabels = errors.New("eval: labels must be 0 or 1")
+)
+
+// ROC builds the full ROC curve from scores and binary labels (1 =
+// malware). Tied scores collapse into a single operating point. The curve
+// is returned from the strictest threshold (FPR 0-ish) to the loosest
+// (FPR 1), and always ends with the all-positive point (0 threshold).
+func ROC(scores []float64, labels []int) ([]ROCPoint, error) {
+	if len(scores) == 0 {
+		return nil, ErrNoScores
+	}
+	if len(scores) != len(labels) {
+		return nil, ErrMismatch
+	}
+	var pos, neg int
+	for _, l := range labels {
+		switch l {
+		case 1:
+			pos++
+		case 0:
+			neg++
+		default:
+			return nil, ErrBadLabels
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrOneClass
+	}
+
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var curve []ROCPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		threshold := scores[idx[i]]
+		// Consume the whole tie group.
+		for i < len(idx) && scores[idx[i]] == threshold {
+			if labels[idx[i]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: threshold,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+	}
+	return curve, nil
+}
+
+// AUC computes the area under the curve by trapezoidal integration,
+// anchored at (0,0) and (1,1).
+func AUC(curve []ROCPoint) (float64, error) {
+	if len(curve) == 0 {
+		return 0, ErrEmptyROC
+	}
+	area := 0.0
+	prevFPR, prevTPR := 0.0, 0.0
+	for _, p := range curve {
+		area += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	area += (1 - prevFPR) * (1 + prevTPR) / 2
+	return area, nil
+}
+
+// PartialAUC integrates the curve only up to maxFPR and normalizes by
+// maxFPR, so a perfect low-FP detector scores 1. The paper's figures all
+// zoom into FPR <= 0.01; this is the matching scalar summary.
+func PartialAUC(curve []ROCPoint, maxFPR float64) (float64, error) {
+	if len(curve) == 0 {
+		return 0, ErrEmptyROC
+	}
+	if maxFPR <= 0 {
+		return 0, errors.New("eval: maxFPR must be positive")
+	}
+	area := 0.0
+	prevFPR, prevTPR := 0.0, 0.0
+	for _, p := range curve {
+		if p.FPR >= maxFPR {
+			// Interpolate the final sliver.
+			if p.FPR > prevFPR {
+				frac := (maxFPR - prevFPR) / (p.FPR - prevFPR)
+				tprAt := prevTPR + frac*(p.TPR-prevTPR)
+				area += (maxFPR - prevFPR) * (prevTPR + tprAt) / 2
+			}
+			prevFPR = maxFPR
+			break
+		}
+		area += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	if prevFPR < maxFPR {
+		area += (maxFPR - prevFPR) * prevTPR // flat extension at final TPR
+	}
+	return area / maxFPR, nil
+}
+
+// TPRAtFPR returns the best true-positive rate achievable with a
+// false-positive rate at most maxFPR.
+func TPRAtFPR(curve []ROCPoint, maxFPR float64) float64 {
+	best := 0.0
+	for _, p := range curve {
+		if p.FPR <= maxFPR && p.TPR > best {
+			best = p.TPR
+		}
+	}
+	return best
+}
+
+// ThresholdAtFPR returns the lowest threshold whose false-positive rate
+// stays within maxFPR — the paper's deployment-threshold tuning ("we set
+// the detection threshold to obtain <= 0.1% false positives"). Falls back
+// to the strictest threshold when even it exceeds the budget.
+func ThresholdAtFPR(curve []ROCPoint, maxFPR float64) float64 {
+	best := math.Inf(1)
+	found := false
+	for _, p := range curve {
+		if p.FPR <= maxFPR && (math.IsInf(best, 1) || p.Threshold < best) {
+			best = p.Threshold
+			found = true
+		}
+	}
+	if !found && len(curve) > 0 {
+		return curve[0].Threshold + 1e-12 // stricter than everything observed
+	}
+	return best
+}
+
+// OperatingPoint returns the realized (FPR, TPR) at a given threshold.
+func OperatingPoint(curve []ROCPoint, threshold float64) (fpr, tpr float64) {
+	for _, p := range curve {
+		if p.Threshold >= threshold {
+			fpr, tpr = p.FPR, p.TPR
+		} else {
+			break
+		}
+	}
+	return fpr, tpr
+}
+
+// Downsample thins a curve to at most n points for reporting, always
+// keeping the first and last.
+func Downsample(curve []ROCPoint, n int) []ROCPoint {
+	if n <= 0 || len(curve) <= n {
+		out := make([]ROCPoint, len(curve))
+		copy(out, curve)
+		return out
+	}
+	out := make([]ROCPoint, 0, n)
+	step := float64(len(curve)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, curve[int(float64(i)*step+0.5)])
+	}
+	return out
+}

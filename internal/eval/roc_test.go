@@ -1,0 +1,330 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := AUC(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1.0 {
+		t.Fatalf("AUC = %v, want 1.0", auc)
+	}
+	if got := TPRAtFPR(curve, 0); got != 1.0 {
+		t.Fatalf("TPR@FPR=0 = %v, want 1.0", got)
+	}
+}
+
+func TestROCRandomScoresAUCHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, _ := AUC(curve)
+	if math.Abs(auc-0.5) > 0.02 {
+		t.Fatalf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{1, 1, 0, 0}
+	curve, _ := ROC(scores, labels)
+	auc, _ := AUC(curve)
+	if auc != 0 {
+		t.Fatalf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCTies(t *testing.T) {
+	// All scores equal: single operating point (1,1).
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 {
+		t.Fatalf("curve has %d points, want 1 for fully tied scores", len(curve))
+	}
+	if curve[0].FPR != 1 || curve[0].TPR != 1 {
+		t.Fatalf("tied point = %+v, want FPR=TPR=1", curve[0])
+	}
+	auc, _ := AUC(curve)
+	if auc != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC(nil, nil); !errors.Is(err, ErrNoScores) {
+		t.Fatalf("err = %v, want ErrNoScores", err)
+	}
+	if _, err := ROC([]float64{1}, []int{1, 0}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+	if _, err := ROC([]float64{1, 2}, []int{1, 1}); !errors.Is(err, ErrOneClass) {
+		t.Fatalf("err = %v, want ErrOneClass", err)
+	}
+	if _, err := ROC([]float64{1, 2}, []int{1, 3}); !errors.Is(err, ErrBadLabels) {
+		t.Fatalf("err = %v, want ErrBadLabels", err)
+	}
+	if _, err := AUC(nil); !errors.Is(err, ErrEmptyROC) {
+		t.Fatalf("err = %v, want ErrEmptyROC", err)
+	}
+}
+
+func TestROCMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		labels[0], labels[1] = 0, 1 // guarantee both classes
+		scores[0], scores[1] = rng.Float64(), rng.Float64()
+		for i := 2; i < n; i++ {
+			scores[i] = rng.Float64()
+			labels[i] = rng.Intn(2)
+		}
+		curve, err := ROC(scores, labels)
+		if err != nil {
+			return false
+		}
+		prevF, prevT, prevTh := -1.0, -1.0, math.Inf(1)
+		for _, p := range curve {
+			if p.FPR < prevF || p.TPR < prevT || p.Threshold > prevTh {
+				return false
+			}
+			prevF, prevT, prevTh = p.FPR, p.TPR, p.Threshold
+		}
+		// Curve ends at (1,1).
+		last := curve[len(curve)-1]
+		return last.FPR == 1 && last.TPR == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPRAtFPR(t *testing.T) {
+	curve := []ROCPoint{
+		{Threshold: 0.9, FPR: 0.00, TPR: 0.50},
+		{Threshold: 0.7, FPR: 0.01, TPR: 0.80},
+		{Threshold: 0.5, FPR: 0.10, TPR: 0.95},
+		{Threshold: 0.1, FPR: 1.00, TPR: 1.00},
+	}
+	if got := TPRAtFPR(curve, 0.001); got != 0.5 {
+		t.Errorf("TPR@0.001 = %v, want 0.5", got)
+	}
+	if got := TPRAtFPR(curve, 0.05); got != 0.8 {
+		t.Errorf("TPR@0.05 = %v, want 0.8", got)
+	}
+	if got := TPRAtFPR(curve, 1.0); got != 1.0 {
+		t.Errorf("TPR@1.0 = %v, want 1.0", got)
+	}
+}
+
+func TestThresholdAtFPR(t *testing.T) {
+	curve := []ROCPoint{
+		{Threshold: 0.9, FPR: 0.00, TPR: 0.50},
+		{Threshold: 0.7, FPR: 0.01, TPR: 0.80},
+		{Threshold: 0.5, FPR: 0.10, TPR: 0.95},
+	}
+	if got := ThresholdAtFPR(curve, 0.05); got != 0.7 {
+		t.Errorf("Threshold@0.05 = %v, want 0.7", got)
+	}
+	if got := ThresholdAtFPR(curve, 0.5); got != 0.5 {
+		t.Errorf("Threshold@0.5 = %v, want 0.5", got)
+	}
+	// Budget below every point: stricter than the strictest threshold.
+	strict := []ROCPoint{{Threshold: 0.9, FPR: 0.5, TPR: 0.5}}
+	if got := ThresholdAtFPR(strict, 0.001); got <= 0.9 {
+		t.Errorf("Threshold below budget = %v, want > 0.9", got)
+	}
+}
+
+func TestOperatingPoint(t *testing.T) {
+	curve := []ROCPoint{
+		{Threshold: 0.9, FPR: 0.00, TPR: 0.50},
+		{Threshold: 0.7, FPR: 0.01, TPR: 0.80},
+		{Threshold: 0.5, FPR: 0.10, TPR: 0.95},
+	}
+	fpr, tpr := OperatingPoint(curve, 0.7)
+	if fpr != 0.01 || tpr != 0.8 {
+		t.Fatalf("OperatingPoint(0.7) = (%v, %v), want (0.01, 0.8)", fpr, tpr)
+	}
+	fpr, tpr = OperatingPoint(curve, 0.95)
+	if fpr != 0 || tpr != 0 {
+		t.Fatalf("OperatingPoint above max = (%v, %v), want (0, 0)", fpr, tpr)
+	}
+}
+
+func TestPartialAUC(t *testing.T) {
+	// Perfect detector: TPR=1 at FPR=0.
+	perfect := []ROCPoint{{Threshold: 0.9, FPR: 0, TPR: 1}, {Threshold: 0.1, FPR: 1, TPR: 1}}
+	got, err := PartialAUC(perfect, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.0 {
+		t.Fatalf("perfect pAUC = %v, want 1", got)
+	}
+	// Degenerate budget.
+	if _, err := PartialAUC(perfect, 0); err == nil {
+		t.Fatal("maxFPR=0 must error")
+	}
+	if _, err := PartialAUC(nil, 0.01); !errors.Is(err, ErrEmptyROC) {
+		t.Fatalf("err = %v, want ErrEmptyROC", err)
+	}
+	// pAUC never exceeds 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		labels[0], labels[1] = 0, 1
+		for i := range scores {
+			scores[i] = rng.Float64()
+			if i > 1 {
+				labels[i] = rng.Intn(2)
+			}
+		}
+		curve, err := ROC(scores, labels)
+		if err != nil {
+			return false
+		}
+		p, err := PartialAUC(curve, 0.1)
+		return err == nil && p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	curve := make([]ROCPoint, 1000)
+	for i := range curve {
+		curve[i] = ROCPoint{FPR: float64(i) / 999, TPR: float64(i) / 999}
+	}
+	ds := Downsample(curve, 10)
+	if len(ds) != 10 {
+		t.Fatalf("downsampled to %d, want 10", len(ds))
+	}
+	if ds[0] != curve[0] || ds[9] != curve[999] {
+		t.Fatal("endpoints must be preserved")
+	}
+	// No-op when already small.
+	small := Downsample(curve[:5], 10)
+	if len(small) != 5 {
+		t.Fatalf("small curve resized to %d", len(small))
+	}
+}
+
+func TestFamilyFolds(t *testing.T) {
+	byFamily := map[string][]string{}
+	for f := 0; f < 10; f++ {
+		name := string(rune('a' + f))
+		for d := 0; d < f+1; d++ {
+			byFamily[name] = append(byFamily[name], name+"-dom")
+		}
+	}
+	folds, err := FamilyFolds(byFamily, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d, want 5", len(folds))
+	}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+		if len(f) == 0 {
+			t.Fatal("empty fold")
+		}
+	}
+	if total != 55 {
+		t.Fatalf("total domains across folds = %d, want 55", total)
+	}
+	// A family never splits across folds: every domain of family X lives
+	// in exactly one fold. Domains are named after their family here.
+	famFold := map[string]int{}
+	for i, fold := range folds {
+		for _, d := range fold {
+			if prev, ok := famFold[d]; ok && prev != i {
+				t.Fatalf("family %q split across folds %d and %d", d, prev, i)
+			}
+			famFold[d] = i
+		}
+	}
+}
+
+func TestFamilyFoldsBalanced(t *testing.T) {
+	byFamily := map[string][]string{}
+	for f := 0; f < 40; f++ {
+		name := "fam" + string(rune('A'+f%26)) + string(rune('0'+f/26))
+		byFamily[name] = []string{name + ".com", name + ".net"}
+	}
+	folds, err := FamilyFolds(byFamily, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range folds {
+		// 40 families / 4 folds = 10 families = 20 domains each.
+		if len(f) != 20 {
+			t.Fatalf("fold size %d, want 20 (balanced)", len(f))
+		}
+	}
+}
+
+func TestFamilyFoldsErrors(t *testing.T) {
+	if _, err := FamilyFolds(map[string][]string{"a": {"x"}}, 1, 0); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := FamilyFolds(map[string][]string{"a": {"x"}}, 2, 0); err == nil {
+		t.Fatal("fewer families than folds must error")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	curve := []ROCPoint{
+		{Threshold: 0.9, FPR: 0.000, TPR: 0.5},
+		{Threshold: 0.7, FPR: 0.002, TPR: 0.9},
+		{Threshold: 0.5, FPR: 0.008, TPR: 1.0},
+	}
+	out := RenderASCII(curve, 40, 10, 0.01)
+	if !strings.Contains(out, "TPR 100%") || !strings.Contains(out, "FPR 1.00%") {
+		t.Fatalf("render missing axes:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Interior rows plus two axis rows plus the x label.
+	if len(lines) < 12 {
+		t.Fatalf("render too short: %d lines", len(lines))
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no curve points drawn")
+	}
+	// Degenerate parameters clamp instead of panicking.
+	_ = RenderASCII(curve, 1, 1, 0)
+	_ = RenderASCII(nil, 20, 6, 0.01)
+}

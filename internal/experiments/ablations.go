@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"segugio/internal/core"
+	"segugio/internal/ml"
+)
+
+// ClassifierResult compares the two classifier choices the paper
+// mentions for C (Section II-A3): random forest [9] and logistic
+// regression [10], on an identical train/test split.
+type ClassifierResult struct {
+	RandomForest *CrossResult
+	Logistic     *CrossResult
+}
+
+// RunClassifiers evaluates both models on one cross-day setting.
+func RunClassifiers(n *Network, trainDay, testDay int, seed int64) (*ClassifierResult, error) {
+	dd1, dd2 := n.Day(trainDay), n.Day(testDay)
+	split := NewSplit(n, dd1.Graph, dd2.Graph, n.Commercial, trainDay, 0.6, seed)
+
+	rf, err := RunCross(n, trainDay, n, testDay, CrossOptions{Split: split})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: classifiers rf: %w", err)
+	}
+	lrCfg := core.DefaultConfig()
+	lrCfg.NewModel = func(benign, malware int) ml.Model {
+		w := 1.0
+		if malware > 0 && benign > malware {
+			w = float64(benign) / float64(malware)
+			if w > 50 {
+				w = 50
+			}
+		}
+		return ml.NewLogisticRegression(ml.LogisticRegressionConfig{PositiveWeight: w, Seed: seed})
+	}
+	lr, err := RunCross(n, trainDay, n, testDay, CrossOptions{Split: split, Core: &lrCfg})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: classifiers lr: %w", err)
+	}
+	return &ClassifierResult{RandomForest: rf, Logistic: lr}, nil
+}
+
+// String renders the comparison.
+func (c *ClassifierResult) String() string {
+	var b strings.Builder
+	b.WriteString("Classifier choice ablation (Section II-A3: Random Forest vs Logistic Regression)\n")
+	fmt.Fprintf(&b, "%-20s %10s %12s %12s\n", "classifier", "AUC", "TPR@0.1%FP", "TPR@1%FP")
+	for _, row := range []struct {
+		name string
+		r    *CrossResult
+	}{{"random forest", c.RandomForest}, {"logistic regression", c.Logistic}} {
+		fmt.Fprintf(&b, "%-20s %10.4f %11.1f%% %11.1f%%\n",
+			row.name, row.r.AUC, row.r.TPRAt[0.001]*100, row.r.TPRAt[0.01]*100)
+	}
+	return b.String()
+}
+
+// PruningAblationResult measures what the R1-R4 rules buy: accuracy and
+// pipeline runtime with and without pruning (a DESIGN.md ablation; the
+// paper motivates pruning with performance and noise reduction).
+type PruningAblationResult struct {
+	WithPruning    *CrossResult
+	WithoutPruning *CrossResult
+}
+
+// RunPruningAblation evaluates the identical split with pruning on/off.
+func RunPruningAblation(n *Network, trainDay, testDay int, seed int64) (*PruningAblationResult, error) {
+	dd1, dd2 := n.Day(trainDay), n.Day(testDay)
+	split := NewSplit(n, dd1.Graph, dd2.Graph, n.Commercial, trainDay, 0.6, seed)
+
+	on, err := RunCross(n, trainDay, n, testDay, CrossOptions{Split: split})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pruning on: %w", err)
+	}
+	offCfg := core.DefaultConfig()
+	offCfg.DisablePruning = true
+	off, err := RunCross(n, trainDay, n, testDay, CrossOptions{Split: split, Core: &offCfg})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pruning off: %w", err)
+	}
+	return &PruningAblationResult{WithPruning: on, WithoutPruning: off}, nil
+}
+
+// String renders the ablation.
+func (p *PruningAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Pruning ablation (rules R1-R4 on vs off)\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %14s %14s\n", "pruning", "AUC", "TPR@0.1%FP", "train time", "classify time")
+	for _, row := range []struct {
+		name string
+		r    *CrossResult
+	}{{"on", p.WithPruning}, {"off", p.WithoutPruning}} {
+		fmt.Fprintf(&b, "%-12s %10.4f %11.1f%% %14v %14v\n",
+			row.name, row.r.AUC, row.r.TPRAt[0.001]*100,
+			row.r.Train.Timing.Total().Round(1e6), row.r.Classify.Timing.Total().Round(1e6))
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testUniverse builds the shared small-universe fixture once per test
+// binary: universe construction (pdns emission in particular) dominates
+// test runtime otherwise.
+var testFixture struct {
+	u    *Universe
+	isp1 *Network
+	isp2 *Network
+	err  error
+	once func(t *testing.T)
+}
+
+func sharedFixture(t *testing.T) (*Universe, *Network, *Network) {
+	t.Helper()
+	if testFixture.u == nil && testFixture.err == nil {
+		u, err := NewUniverse(TestUniverseParams(41), UniverseOptions{})
+		if err != nil {
+			testFixture.err = err
+		} else {
+			testFixture.u = u
+			testFixture.isp1 = u.Network(TestPopulation("TISP1", 11))
+			testFixture.isp2 = u.Network(TestPopulation("TISP2", 22))
+		}
+	}
+	if testFixture.err != nil {
+		t.Fatal(testFixture.err)
+	}
+	return testFixture.u, testFixture.isp1, testFixture.isp2
+}
+
+func TestNewUniverse(t *testing.T) {
+	u, isp1, isp2 := sharedFixture(t)
+	if u.Commercial.Len() == 0 || u.Public.Len() == 0 {
+		t.Fatal("blacklists empty")
+	}
+	if u.Commercial.Len() <= u.Public.Len() {
+		t.Fatalf("commercial (%d) should exceed public (%d) coverage",
+			u.Commercial.Len(), u.Public.Len())
+	}
+	if u.Whitelist.Len() == 0 {
+		t.Fatal("whitelist empty")
+	}
+	if u.DB.Len() == 0 {
+		t.Fatal("pdns database empty")
+	}
+	if isp1.Name() != "TISP1" || isp2.Name() != "TISP2" {
+		t.Fatal("network names wrong")
+	}
+}
+
+func TestNetworksShareDomainsNotMachines(t *testing.T) {
+	_, isp1, isp2 := sharedFixture(t)
+	g1 := isp1.Day(170).Graph
+	g2 := isp2.Day(170).Graph
+	shared := 0
+	for d := int32(0); d < int32(g1.NumDomains()); d += 7 {
+		if _, ok := g2.DomainIndex(g1.DomainName(d)); ok {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("two ISPs over one universe must observe overlapping domains")
+	}
+	for m := int32(0); m < int32(g1.NumMachines()); m += 97 {
+		if _, ok := g2.MachineIndex(g1.MachineID(m)); ok {
+			t.Fatalf("machine %s appears in both ISPs", g1.MachineID(m))
+		}
+	}
+}
+
+func TestDayCaching(t *testing.T) {
+	_, isp1, _ := sharedFixture(t)
+	a := isp1.Day(171)
+	b := isp1.Day(171)
+	if a != b {
+		t.Fatal("Day must cache")
+	}
+	isp1.DropDay(171)
+	c := isp1.Day(171)
+	if a == c {
+		t.Fatal("DropDay must evict")
+	}
+	isp1.DropDay(171)
+}
+
+func TestRunCrossSameNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	_, isp1, _ := sharedFixture(t)
+	res, err := RunCross(isp1, 170, isp1, 180, CrossOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestMalware < 10 || res.TestBenign < 500 {
+		t.Fatalf("test set too small: %d malware, %d benign", res.TestMalware, res.TestBenign)
+	}
+	if res.AUC < 0.85 {
+		t.Fatalf("cross-day AUC = %.3f, want >= 0.85 at test scale", res.AUC)
+	}
+	if res.TPRAt[0.01] < 0.6 {
+		t.Fatalf("TPR@1%% = %.3f, want >= 0.6 at test scale", res.TPRAt[0.01])
+	}
+	if !strings.Contains(res.Summary(), "AUC") {
+		t.Fatal("summary must mention AUC")
+	}
+	if !strings.Contains(res.CurveCSV(50), "threshold,fpr,tpr") {
+		t.Fatal("CSV header missing")
+	}
+	if res.Label() == "" {
+		t.Fatal("label empty")
+	}
+}
+
+func TestRunCrossNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	_, isp1, isp2 := sharedFixture(t)
+	res, err := RunCross(isp1, 170, isp2, 182, CrossOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainNet != "TISP1" || res.TestNet != "TISP2" {
+		t.Fatalf("nets = %s -> %s", res.TrainNet, res.TestNet)
+	}
+	// The transferred model must still rank well: the signal is the query
+	// behavior of ISP2's own infected machines, not ISP1's identities.
+	if res.AUC < 0.8 {
+		t.Fatalf("cross-network AUC = %.3f, want >= 0.8 at test scale", res.AUC)
+	}
+}
+
+func TestSplitCounts(t *testing.T) {
+	_, isp1, _ := sharedFixture(t)
+	dd1, dd2 := isp1.Day(170), isp1.Day(180)
+	s := NewSplit(isp1, dd1.Graph, dd2.Graph, isp1.Commercial, 170, 1.0, 3)
+	if s.Malware()+s.Benign() != len(s.Domains) {
+		t.Fatal("split counts inconsistent")
+	}
+	if s.Malware() == 0 || s.Benign() == 0 {
+		t.Fatal("split must contain both classes")
+	}
+	if len(s.Hidden) != len(s.Domains) {
+		t.Fatal("hidden set size mismatch")
+	}
+	// Fraction halves the set, roughly.
+	half := NewSplit(isp1, dd1.Graph, dd2.Graph, isp1.Commercial, 170, 0.5, 3)
+	if len(half.Domains) >= len(s.Domains) {
+		t.Fatal("fraction must shrink the split")
+	}
+}
+
+func TestSplitFromDomains(t *testing.T) {
+	_, isp1, _ := sharedFixture(t)
+	dd2 := isp1.Day(180)
+	mal := []string{}
+	for _, d := range isp1.Commercial.DomainsAsOf(180) {
+		if _, ok := dd2.Graph.DomainIndex(d); ok {
+			mal = append(mal, d)
+			if len(mal) == 5 {
+				break
+			}
+		}
+	}
+	mal = append(mal, "not-observed.example")
+	s := SplitFromDomains(isp1, dd2.Graph, mal, 0.3, 4)
+	if s.Malware() != 5 {
+		t.Fatalf("malware = %d, want 5 (unobserved dropped)", s.Malware())
+	}
+	if s.Benign() == 0 {
+		t.Fatal("no benign sampled")
+	}
+}

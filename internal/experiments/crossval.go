@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"segugio/internal/eval"
+)
+
+// CrossValResult is a k-fold cross-validation over one day of traffic
+// (the paper lists cross-validation among its evaluation settings in
+// Section VII): the known domains are partitioned at random into k folds;
+// each fold is hidden in turn, the classifier trains on the rest, and the
+// fold's scores are pooled into one curve.
+type CrossValResult struct {
+	Network string
+	Day     int
+	Folds   int
+	AUC     float64
+	TPRAt   map[float64]float64
+	Curve   []eval.ROCPoint
+	// TPRLo/TPRHi bound TPR@0.1%FP with a bootstrap 95% confidence
+	// interval over the pooled scores.
+	TPRLo, TPRHi float64
+	TestMalware  int
+	TestBenign   int
+}
+
+// RunCrossValidation performs the k-fold protocol on one observation day.
+func RunCrossValidation(n *Network, day, k int, seed int64) (*CrossValResult, error) {
+	if k < 2 {
+		k = 5
+	}
+	dd := n.Day(day)
+	// Enumerate the known domains once, deterministically.
+	g := n.Labeled(dd, n.Commercial, nil)
+	var known []string
+	var labels []int
+	for d := int32(0); d < int32(g.NumDomains()); d++ {
+		name := g.DomainName(d)
+		switch {
+		case n.Commercial.Contains(name, day):
+			known = append(known, name)
+			labels = append(labels, 1)
+		case n.Whitelist.ContainsE2LD(g.DomainE2LD(d)):
+			known = append(known, name)
+			labels = append(labels, 0)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(known))
+
+	res := &CrossValResult{Network: n.Name(), Day: day, Folds: k}
+	var scores []float64
+	var pooledLabels []int
+	for fold := 0; fold < k; fold++ {
+		split := &Split{Hidden: make(map[string]struct{})}
+		for i, pi := range perm {
+			if i%k != fold {
+				continue
+			}
+			split.Hidden[known[pi]] = struct{}{}
+			split.Domains = append(split.Domains, known[pi])
+			split.Labels = append(split.Labels, labels[pi])
+		}
+		r, err := RunCross(n, day, n, day, CrossOptions{Split: split})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: crossval fold %d: %w", fold, err)
+		}
+		scores = append(scores, r.Scores...)
+		pooledLabels = append(pooledLabels, r.Labels...)
+		res.TestMalware += split.Malware()
+		res.TestBenign += split.Benign()
+	}
+
+	curve, err := eval.ROC(scores, pooledLabels)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: crossval roc: %w", err)
+	}
+	res.Curve = curve
+	res.AUC, _ = eval.AUC(curve)
+	res.TPRAt = map[float64]float64{}
+	for _, b := range FPBudgets {
+		res.TPRAt[b] = eval.TPRAtFPR(curve, b)
+	}
+	res.TPRLo, res.TPRHi, err = eval.BootstrapTPRCI(scores, pooledLabels, 0.001, 200, 0.95, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: crossval ci: %w", err)
+	}
+	return res, nil
+}
+
+// String renders the pooled result.
+func (c *CrossValResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-fold cross-validation (%s, day %d)\n", c.Folds, c.Network, c.Day)
+	fmt.Fprintf(&b, "pooled test set: %d malware, %d benign\n", c.TestMalware, c.TestBenign)
+	fmt.Fprintf(&b, "AUC %.4f\n", c.AUC)
+	for _, budget := range FPBudgets {
+		fmt.Fprintf(&b, "  TPR @ %.2f%% FP: %5.1f%%\n", budget*100, c.TPRAt[budget]*100)
+	}
+	fmt.Fprintf(&b, "TPR @ 0.10%% FP bootstrap 95%% CI: [%.1f%%, %.1f%%]\n", c.TPRLo*100, c.TPRHi*100)
+	return b.String()
+}

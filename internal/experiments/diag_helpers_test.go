@@ -1,0 +1,10 @@
+package experiments
+
+import (
+	"segugio/internal/features"
+	"segugio/internal/graph"
+)
+
+func featuresExtractor(n *Network, day int, g *graph.Graph) (*features.Extractor, error) {
+	return features.NewExtractor(g, n.Day(day).Activity, n.Abuse(day, n.Commercial), 14)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"segugio/internal/core"
+	"segugio/internal/eval"
+	"segugio/internal/graph"
+)
+
+// EvasionResult quantifies the Section VI evasion discussion: an attacker
+// who operates a control channel under a legitimate, popular domain name
+// (a free-registration subdomain whose zone is whitelisted) is invisible
+// to Segugio *by labeling* — the whitelist marks the name benign and it
+// is never classified. The experiment takes every malware-operated
+// free-registration subdomain active on the test day (simulator ground
+// truth) and reports where each one ends up.
+type EvasionResult struct {
+	Network string
+	Day     int
+	// ActiveAbusedSubs is the number of malware-operated subdomains
+	// observed in the day's traffic.
+	ActiveAbusedSubs int
+	// WhitelistShadowed were labeled benign because their zone is
+	// whitelisted: undetectable by construction (the evasion succeeds
+	// against the classifier, though the paper notes popular zones are
+	// patrolled and takedowns are faster there).
+	WhitelistShadowed int
+	// Of the classified (unknown-labeled) remainder at a 0.1%-FP
+	// threshold:
+	Detected int
+	Missed   int
+	Pruned   int // dropped by R1-R4 before classification
+}
+
+// RunEvasion trains normally on trainDay and measures the fate of every
+// abused free-registration subdomain on testDay.
+func RunEvasion(n *Network, trainDay, testDay int, seed int64) (*EvasionResult, error) {
+	// Calibrate a deployment threshold as in the early-detection setup.
+	cal, err := RunCross(n, trainDay, n, trainDay, CrossOptions{TestFraction: 0.3, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: evasion calibrate: %w", err)
+	}
+	det := cal.Detector
+	det.SetThreshold(eval.ThresholdAtFPR(cal.Curve, 0.001))
+
+	dd := n.Day(testDay)
+	g := n.Labeled(dd, n.Commercial, nil)
+	dets, report, err := det.Classify(core.ClassifyInput{
+		Graph: g, Activity: dd.Activity, Abuse: n.Abuse(testDay, n.Commercial),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: evasion classify: %w", err)
+	}
+	score := make(map[string]float64, len(dets))
+	for _, d := range dets {
+		score[d.Domain] = d.Score
+	}
+
+	res := &EvasionResult{Network: n.Name(), Day: testDay}
+	for _, id := range n.Cat.AllAbusedSubdomains() {
+		name := n.Cat.Name(id)
+		di, observed := g.DomainIndex(name)
+		if !observed {
+			continue
+		}
+		res.ActiveAbusedSubs++
+		if g.DomainLabel(di) == graph.LabelBenign {
+			res.WhitelistShadowed++
+			continue
+		}
+		if _, inPruned := report.PrunedGraph.DomainIndex(name); !inPruned {
+			res.Pruned++
+			continue
+		}
+		if score[name] >= det.Threshold() {
+			res.Detected++
+		} else {
+			res.Missed++
+		}
+	}
+	return res, nil
+}
+
+// String renders the evasion accounting.
+func (e *EvasionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Evasion study (Section VI): C&C channels on free-registration subdomains (%s, day %d)\n",
+		e.Network, e.Day)
+	fmt.Fprintf(&b, "malware-operated subdomains observed: %d\n", e.ActiveAbusedSubs)
+	pct := func(x int) string {
+		if e.ActiveAbusedSubs == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(x)/float64(e.ActiveAbusedSubs))
+	}
+	fmt.Fprintf(&b, "  shadowed by a whitelisted zone (never classified): %4d (%s)\n",
+		e.WhitelistShadowed, pct(e.WhitelistShadowed))
+	fmt.Fprintf(&b, "  pruned before classification:                      %4d (%s)\n", e.Pruned, pct(e.Pruned))
+	fmt.Fprintf(&b, "  classified and detected at <=0.1%% FP:              %4d (%s)\n", e.Detected, pct(e.Detected))
+	fmt.Fprintf(&b, "  classified but missed:                             %4d (%s)\n", e.Missed, pct(e.Missed))
+	b.WriteString("(the whitelist-shadowed share is the cost of the evasion the paper discusses;\n")
+	b.WriteString(" its counterweight is operational: popular zones are patrolled and taken down)\n")
+	return b.String()
+}

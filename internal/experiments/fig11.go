@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"segugio/internal/core"
+	"segugio/internal/eval"
+)
+
+// Fig11Result reproduces the early-detection experiment of Section IV-F
+// (Figure 11): Segugio runs on several consecutive days with its
+// threshold tuned to <=0.1% FPs, classifies all still-unknown domains,
+// and each detection is checked against the blacklist's future listing
+// dates. The paper found 38 detected domains that entered the blacklist
+// up to 35 days later, many of them weeks after Segugio flagged them.
+type Fig11Result struct {
+	// Gaps histograms listing lag: Gaps[g] = number of detections that
+	// appeared on the blacklist g days after Segugio detected them.
+	Gaps map[int]int
+	// LaterListed counts detections later added to the blacklist within
+	// the horizon; TotalDetections counts all threshold-crossing unknown
+	// domains.
+	LaterListed     int
+	TotalDetections int
+	// TrulyMalware counts detections that are genuinely malware-operated
+	// per the simulator's ground truth (the paper cannot know this; the
+	// simulation can, and it bounds how many "non-listed" detections are
+	// actually correct).
+	TrulyMalware int
+	// Horizon is the look-ahead window in days (paper: 35).
+	Horizon int
+	// DaysRun lists the (network, day) pairs evaluated.
+	DaysRun []string
+}
+
+// RunFig11 performs the early-detection experiment over the given
+// consecutive observation days on each network.
+func RunFig11(nets []*Network, days []int, horizon int, seed int64) (*Fig11Result, error) {
+	if horizon <= 0 {
+		horizon = 35
+	}
+	res := &Fig11Result{Gaps: make(map[int]int), Horizon: horizon}
+	for _, n := range nets {
+		for _, day := range days {
+			if err := earlyDetectOneDay(n, day, horizon, seed, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+func earlyDetectOneDay(n *Network, day, horizon int, seed int64, res *Fig11Result) error {
+	// Calibrate the detection threshold on a same-day validation split.
+	r, err := RunCross(n, day, n, day, CrossOptions{TestFraction: 0.3, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("experiments: fig11 calibrate %s day %d: %w", n.Name(), day, err)
+	}
+	threshold := eval.ThresholdAtFPR(r.Curve, 0.001)
+	det := r.Detector
+	det.SetThreshold(threshold)
+
+	// Classify every still-unknown domain of the day. The graph currently
+	// carries the calibration labeling (validation split hidden); those
+	// hidden knowns are skipped below.
+	dd := n.Day(day)
+	g := n.Labeled(dd, n.Commercial, nil)
+	dets, _, err := det.Classify(core.ClassifyInput{
+		Graph: g, Activity: dd.Activity, Abuse: n.Abuse(day, n.Commercial),
+	})
+	if err != nil {
+		return fmt.Errorf("experiments: fig11 classify %s day %d: %w", n.Name(), day, err)
+	}
+	res.DaysRun = append(res.DaysRun, fmt.Sprintf("%s/day%d", n.Name(), day))
+
+	for _, d := range det.Detected(dets) {
+		res.TotalDetections++
+		if id, ok := n.Cat.IDByName(d.Domain); ok {
+			if _, malware := n.Cat.TrueFamily(id); malware {
+				res.TrulyMalware++
+			}
+		}
+		e, listed := n.Commercial.Entry(d.Domain)
+		if !listed || e.FirstListed <= day || e.FirstListed > day+horizon {
+			continue
+		}
+		res.LaterListed++
+		res.Gaps[e.FirstListed-day]++
+	}
+	return nil
+}
+
+// String renders the early-detection histogram.
+func (f *Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: early detection of malware-control domains (%s)\n",
+		strings.Join(f.DaysRun, ", "))
+	fmt.Fprintf(&b, "detections at <=0.1%% FP threshold: %d (of which %d truly malware-operated)\n",
+		f.TotalDetections, f.TrulyMalware)
+	fmt.Fprintf(&b, "detections appearing on the blacklist within %d days: %d (paper: 38)\n",
+		f.Horizon, f.LaterListed)
+	b.WriteString("histogram of days between detection and blacklisting:\n")
+	maxGap := 0
+	for g := range f.Gaps {
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	for g := 1; g <= maxGap; g++ {
+		if c := f.Gaps[g]; c > 0 {
+			fmt.Fprintf(&b, "  +%2d days: %3d %s\n", g, c, strings.Repeat("#", c))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"segugio/internal/core"
+	"segugio/internal/eval"
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+	"segugio/internal/notos"
+)
+
+// Fig12ISP is the Segugio-vs-Notos outcome on one network (paper
+// Figure 12): both systems are trained with ground truth frozen at the
+// training day (Notos's blacklist a proper superset of Segugio's, both
+// using the top-100K whitelist), then evaluated on the control domains
+// blacklisted *after* training and the big whitelist minus the top-100K.
+type Fig12ISP struct {
+	Network  string
+	TrainDay int
+	TestDay  int
+	// NewC2 counts the test-day-observed control domains blacklisted
+	// after training (the paper had 44 and 36).
+	NewC2       int
+	TestBenign  int
+	Segugio     CurveSummary
+	Notos       CurveSummary
+	NotosReject struct {
+		Malware int // new C&C rejected for lack of history
+		Benign  int
+	}
+}
+
+// CurveSummary compresses one system's ROC.
+type CurveSummary struct {
+	Curve []eval.ROCPoint
+	AUC   float64
+	// BestTPR is the maximum reachable detection rate; FPRAtBestTPR is
+	// the false-positive cost of reaching it.
+	BestTPR      float64
+	FPRAtBestTPR float64
+	TPRAt        map[float64]float64
+}
+
+// Table4 breaks down the Notos false positives at its best-TPR threshold
+// (paper Table IV), cascading each FP into the first matching evidence
+// class.
+type Table4 struct {
+	Total             int
+	SuspiciousContent int // benign sites in dirty hosting space
+	SandboxQueried    int // domains queried by sandboxed malware
+	MalwareIPs        int // resolved to IPs previously used by malware
+	MalwarePrefixes   int // resolved into /24s used by malware
+	NoEvidence        int // potential genuine reputation FPs
+}
+
+// Fig12Result bundles both networks plus the FP breakdown for the first.
+type Fig12Result struct {
+	PerISP []Fig12ISP
+	Table4 Table4
+}
+
+// RunFig12 runs the comparison on each network.
+func RunFig12(nets []*Network, trainDay, testDay int, seed int64) (*Fig12Result, error) {
+	res := &Fig12Result{}
+	for i, n := range nets {
+		isp, fps, err := compareOnNetwork(n, trainDay, testDay, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		res.PerISP = append(res.PerISP, *isp)
+		if i == 0 {
+			res.Table4 = fps
+		}
+	}
+	return res, nil
+}
+
+func compareOnNetwork(n *Network, trainDay, testDay int, seed int64) (*Fig12ISP, Table4, error) {
+	isp := &Fig12ISP{Network: n.Name(), TrainDay: trainDay, TestDay: testDay}
+
+	// Ground truth as of training time. The Notos blacklist is a proper
+	// superset of Segugio's (paper Section V).
+	notosBL := n.Commercial.Union(n.Public)
+
+	// Test sets: new C&C blacklisted after training, and the big
+	// whitelist minus the top-100K used in training.
+	dd2 := n.Day(testDay)
+	var testDomains []string
+	var testLabels []int
+	for _, d := range n.Commercial.Domains() {
+		e, _ := n.Commercial.Entry(d)
+		if e.FirstListed <= trainDay || e.FirstListed > testDay {
+			continue
+		}
+		if _, ok := dd2.Graph.DomainIndex(d); !ok {
+			continue
+		}
+		testDomains = append(testDomains, d)
+		testLabels = append(testLabels, 1)
+	}
+	isp.NewC2 = len(testDomains)
+	if isp.NewC2 == 0 {
+		return nil, Table4{}, fmt.Errorf("experiments: fig12: no newly blacklisted C&C observed on %s day %d", n.Name(), testDay)
+	}
+	bigMinusTop := n.Whitelist.Clone()
+	bigMinusTop.Remove(n.Top100K.E2LDs())
+	for d := int32(0); d < int32(dd2.Graph.NumDomains()); d++ {
+		name := dd2.Graph.DomainName(d)
+		if bigMinusTop.ContainsE2LD(dd2.Graph.DomainE2LD(d)) {
+			testDomains = append(testDomains, name)
+			testLabels = append(testLabels, 0)
+		}
+	}
+	isp.TestBenign = len(testDomains) - isp.NewC2
+
+	hidden := make(map[string]struct{}, len(testDomains))
+	for _, d := range testDomains {
+		hidden[d] = struct{}{}
+	}
+
+	// --- Segugio, trained on trainDay with the top-100K whitelist. ---
+	dd1 := n.Day(trainDay)
+	dd1.Graph.ApplyLabels(graph.LabelSources{
+		Blacklist: n.Commercial, Whitelist: n.Top100K, AsOf: trainDay, Hidden: hidden,
+	})
+	det, _, err := core.Train(core.DefaultConfig(), core.TrainInput{
+		Graph: dd1.Graph, Activity: dd1.Activity,
+		Abuse: n.Abuse(trainDay, n.Commercial), Exclude: hidden,
+	})
+	if err != nil {
+		return nil, Table4{}, fmt.Errorf("experiments: fig12 segugio train: %w", err)
+	}
+	dd2.Graph.ApplyLabels(graph.LabelSources{
+		Blacklist: n.Commercial, Whitelist: n.Top100K, AsOf: trainDay, Hidden: hidden,
+	})
+	dets, _, err := det.Classify(core.ClassifyInput{
+		Graph: dd2.Graph, Activity: dd2.Activity,
+		Abuse: n.Abuse(testDay, n.Commercial), Domains: testDomains,
+	})
+	if err != nil {
+		return nil, Table4{}, fmt.Errorf("experiments: fig12 segugio classify: %w", err)
+	}
+	segScores := scoresFor(testDomains, dets)
+	isp.Segugio, err = summarizeCurve(segScores, testLabels)
+	if err != nil {
+		return nil, Table4{}, err
+	}
+
+	// --- Notos, trained at the same cutoff on its superset blacklist. ---
+	nc, err := notos.Train(notos.Config{Suffixes: n.Suffixes}, n.DB, trainDay, notosBL, n.Top100K)
+	if err != nil {
+		return nil, Table4{}, fmt.Errorf("experiments: fig12 notos train: %w", err)
+	}
+	notosScores := make([]float64, len(testDomains))
+	for i, d := range testDomains {
+		s, ok := nc.Score(d, testDay)
+		if !ok {
+			// Reject option: the domain cannot be classified, hence never
+			// detected. Encode below every real score.
+			notosScores[i] = -1
+			if testLabels[i] == 1 {
+				isp.NotosReject.Malware++
+			} else {
+				isp.NotosReject.Benign++
+			}
+			continue
+		}
+		notosScores[i] = s
+	}
+	isp.Notos, err = summarizeCurve(notosScores, testLabels)
+	if err != nil {
+		return nil, Table4{}, err
+	}
+
+	// --- Table IV: break down Notos's FPs at its best-TPR threshold. ---
+	table4 := breakdownNotosFPs(n, dd2.Graph, testDomains, testLabels, notosScores, isp.Notos, testDay, notosBL)
+	return isp, table4, nil
+}
+
+// summarizeCurve builds the curve and reads the headline points. BestTPR
+// ignores the artificial -1 "rejected" threshold: detection requires a
+// real score.
+func summarizeCurve(scores []float64, labels []int) (CurveSummary, error) {
+	curve, err := eval.ROC(scores, labels)
+	if err != nil {
+		return CurveSummary{}, fmt.Errorf("experiments: fig12 roc: %w", err)
+	}
+	s := CurveSummary{Curve: curve, TPRAt: map[float64]float64{}}
+	s.AUC, _ = eval.AUC(curve)
+	for _, b := range append(FPBudgets, 0.007, 0.03) {
+		s.TPRAt[b] = eval.TPRAtFPR(curve, b)
+	}
+	for _, p := range curve {
+		if p.Threshold < 0 {
+			break // the rejected mass is not detectable
+		}
+		if p.TPR > s.BestTPR {
+			s.BestTPR, s.FPRAtBestTPR = p.TPR, p.FPR
+		}
+	}
+	return s, nil
+}
+
+func scoresFor(domains []string, dets []core.Detection) []float64 {
+	byDomain := make(map[string]float64, len(dets))
+	for _, d := range dets {
+		byDomain[d.Domain] = d.Score
+	}
+	out := make([]float64, len(domains))
+	for i, d := range domains {
+		out[i] = byDomain[d]
+	}
+	return out
+}
+
+// breakdownNotosFPs classifies each Notos FP by its first matching
+// evidence class, mirroring Table IV.
+func breakdownNotosFPs(n *Network, g *graph.Graph, domains []string, labels []int,
+	scores []float64, notosSummary CurveSummary, testDay int, notosBL *intel.Blacklist) Table4 {
+	threshold := eval.ThresholdAtFPR(notosSummary.Curve, notosSummary.FPRAtBestTPR)
+	abuse := n.Abuse(testDay, notosBL)
+	var t Table4
+	for i, name := range domains {
+		if labels[i] != 0 || scores[i] < threshold || scores[i] < 0 {
+			continue
+		}
+		t.Total++
+		id, known := n.Cat.IDByName(name)
+		inSandbox := n.Sandbox.QueriedByMalware(name, testDay)
+		ips := []bool{false, false} // [ip evidence, prefix evidence]
+		if di, ok := g.DomainIndex(name); ok {
+			for _, ip := range g.DomainIPs(di) {
+				if abuse.MalwareIP(ip) {
+					ips[0] = true
+				}
+				if abuse.MalwarePrefix(ip) {
+					ips[1] = true
+				}
+			}
+		}
+		switch {
+		case known && n.Cat.IsDirtyBenign(id):
+			t.SuspiciousContent++
+		case inSandbox:
+			t.SandboxQueried++
+		case ips[0]:
+			t.MalwareIPs++
+		case ips[1]:
+			t.MalwarePrefixes++
+		default:
+			t.NoEvidence++
+		}
+	}
+	return t
+}
+
+// String renders the comparison.
+func (f *Fig12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: comparison between Notos and Segugio\n")
+	for _, isp := range f.PerISP {
+		fmt.Fprintf(&b, "\n%s (train day %d, test day %d, gap %d days)\n",
+			isp.Network, isp.TrainDay, isp.TestDay, isp.TestDay-isp.TrainDay)
+		fmt.Fprintf(&b, "  newly blacklisted C&C observed: %d; benign test domains: %d\n",
+			isp.NewC2, isp.TestBenign)
+		fmt.Fprintf(&b, "  Segugio: TPR %.1f%% @0.7%%FP, %.1f%% @3%%FP (AUC %.4f)\n",
+			isp.Segugio.TPRAt[0.007]*100, isp.Segugio.TPRAt[0.03]*100, isp.Segugio.AUC)
+		fmt.Fprintf(&b, "  Notos:   best TPR %.1f%% at %.1f%% FP; TPR @3%%FP %.1f%% (AUC %.4f)\n",
+			isp.Notos.BestTPR*100, isp.Notos.FPRAtBestTPR*100, isp.Notos.TPRAt[0.03]*100, isp.Notos.AUC)
+		fmt.Fprintf(&b, "  Notos reject option: %d/%d new C&C and %d benign rejected (no history)\n",
+			isp.NotosReject.Malware, isp.NewC2, isp.NotosReject.Benign)
+	}
+	b.WriteString("\n(paper: Segugio 90.9%/75% TPs below 0.7% FPs; Notos <56% TPs at 16-21% FPs)\n")
+	t := f.Table4
+	b.WriteString("\nTable IV: break-down of Notos's FPs (first network)\n")
+	fmt.Fprintf(&b, "  all Notos FPs                                 %6d\n", t.Total)
+	fmt.Fprintf(&b, "  suspicious content (dirty hosting)            %6d (%s)\n", t.SuspiciousContent, pct(t.SuspiciousContent, t.Total))
+	fmt.Fprintf(&b, "  domains queried by malware (sandbox)          %6d (%s)\n", t.SandboxQueried, pct(t.SandboxQueried, t.Total))
+	fmt.Fprintf(&b, "  domains with IPs previously used by malware   %6d (%s)\n", t.MalwareIPs, pct(t.MalwareIPs, t.Total))
+	fmt.Fprintf(&b, "  domains in /24 networks used by malware       %6d (%s)\n", t.MalwarePrefixes, pct(t.MalwarePrefixes, t.Total))
+	fmt.Fprintf(&b, "  no evidence (potential reputation FPs)        %6d (%s)\n", t.NoEvidence, pct(t.NoEvidence, t.Total))
+	return b.String()
+}
+
+func pct(x, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(x)/float64(total))
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"segugio/internal/graph"
+)
+
+// Fig3Result reproduces Figure 3: the distribution of the number of
+// known malware-control domains queried per infected machine in one day
+// of traffic. The paper's headline reading: about 70% of infected
+// machines query more than one control domain, and essentially none
+// query more than twenty.
+type Fig3Result struct {
+	Network string
+	Day     int
+	// Histogram[k] counts machines that queried exactly k malware
+	// domains (k >= 1); the tail is clipped at MaxBucket.
+	Histogram map[int]int
+	Infected  int
+	// FracMoreThanOne is the fraction of infected machines querying >1.
+	FracMoreThanOne float64
+	// FracMoreThanTwenty is the (expected tiny) heavy tail.
+	FracMoreThanTwenty float64
+}
+
+// RunFig3 measures the distribution on one labeled ISP-day.
+func RunFig3(n *Network, day int) (*Fig3Result, error) {
+	dd := n.Day(day)
+	g := n.Labeled(dd, n.Commercial, nil)
+
+	res := &Fig3Result{Network: n.Name(), Day: day, Histogram: make(map[int]int)}
+	for m := int32(0); m < int32(g.NumMachines()); m++ {
+		if g.MachineLabel(m) != graph.LabelMalware {
+			continue
+		}
+		k := g.MachineMalwareCount(m)
+		res.Infected++
+		res.Histogram[k]++
+		if k > 1 {
+			res.FracMoreThanOne++
+		}
+		if k > 20 {
+			res.FracMoreThanTwenty++
+		}
+	}
+	if res.Infected > 0 {
+		res.FracMoreThanOne /= float64(res.Infected)
+		res.FracMoreThanTwenty /= float64(res.Infected)
+	}
+	return res, nil
+}
+
+// String renders the distribution as a CDF table.
+func (f *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: malware-control domains queried per infected machine (%s, day %d)\n",
+		f.Network, f.Day)
+	fmt.Fprintf(&b, "infected machines: %d\n", f.Infected)
+	maxK := 0
+	for k := range f.Histogram {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	cum := 0
+	fmt.Fprintf(&b, "%6s %8s %8s %8s\n", "k", "count", "pdf", "cdf")
+	for k := 1; k <= maxK && k <= 25; k++ {
+		c := f.Histogram[k]
+		cum += c
+		if c == 0 && k > 20 {
+			continue
+		}
+		fmt.Fprintf(&b, "%6d %8d %7.1f%% %7.1f%%\n", k, c,
+			100*float64(c)/float64(f.Infected), 100*float64(cum)/float64(f.Infected))
+	}
+	fmt.Fprintf(&b, "fraction querying >1 domain:  %5.1f%%  (paper: ~70%%)\n", f.FracMoreThanOne*100)
+	fmt.Fprintf(&b, "fraction querying >20 domains: %5.2f%% (paper: ~0%%)\n", f.FracMoreThanTwenty*100)
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+)
+
+// Split is a held-out test set for the train/test protocol of
+// Section IV-A: known benign and malware domains appearing in both the
+// training-day and test-day graphs, whose ground truth is hidden from
+// training, feature measurement, and machine labeling.
+type Split struct {
+	// Hidden is the test set as a lookup (for graph.LabelSources.Hidden
+	// and core.TrainInput.Exclude).
+	Hidden map[string]struct{}
+	// Domains and Labels are the parallel test vectors (label 1 =
+	// malware per the ground-truth blacklist).
+	Domains []string
+	Labels  []int
+}
+
+// Malware and Benign count the test classes.
+func (s *Split) Malware() int {
+	n := 0
+	for _, l := range s.Labels {
+		n += l
+	}
+	return n
+}
+
+// Benign counts the benign test domains.
+func (s *Split) Benign() int { return len(s.Labels) - s.Malware() }
+
+// NewSplit samples the held-out test set: known domains (per blacklist
+// asOf the training day, or whitelist) present in both graphs, each kept
+// with probability fraction.
+func NewSplit(n *Network, g1, g2 *graph.Graph, bl *intel.Blacklist, asOf int, fraction float64, seed int64) *Split {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Split{Hidden: make(map[string]struct{})}
+	for d := int32(0); d < int32(g2.NumDomains()); d++ {
+		name := g2.DomainName(d)
+		if _, inTrain := g1.DomainIndex(name); !inTrain {
+			continue
+		}
+		var label int
+		switch {
+		case bl.Contains(name, asOf):
+			label = 1
+		case n.Whitelist.ContainsE2LD(g2.DomainE2LD(d)):
+			label = 0
+		default:
+			continue
+		}
+		if rng.Float64() > fraction {
+			continue
+		}
+		s.Hidden[name] = struct{}{}
+		s.Domains = append(s.Domains, name)
+		s.Labels = append(s.Labels, label)
+	}
+	return s
+}
+
+// SplitFromDomains builds a Split from an explicit malware test list
+// (e.g. one cross-family fold) plus benign domains sampled from the test
+// graph. Malware domains absent from the test graph are dropped (they
+// cannot be observed, let alone detected).
+func SplitFromDomains(n *Network, g2 *graph.Graph, malware []string, benignFraction float64, seed int64) *Split {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Split{Hidden: make(map[string]struct{})}
+	for _, name := range malware {
+		if _, ok := g2.DomainIndex(name); !ok {
+			continue
+		}
+		if _, dup := s.Hidden[name]; dup {
+			continue
+		}
+		s.Hidden[name] = struct{}{}
+		s.Domains = append(s.Domains, name)
+		s.Labels = append(s.Labels, 1)
+	}
+	for d := int32(0); d < int32(g2.NumDomains()); d++ {
+		name := g2.DomainName(d)
+		if !n.Whitelist.ContainsE2LD(g2.DomainE2LD(d)) {
+			continue
+		}
+		if _, dup := s.Hidden[name]; dup {
+			continue
+		}
+		if rng.Float64() > benignFraction {
+			continue
+		}
+		s.Hidden[name] = struct{}{}
+		s.Domains = append(s.Domains, name)
+		s.Labels = append(s.Labels, 0)
+	}
+	return s
+}

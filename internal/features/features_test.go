@@ -1,0 +1,371 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+	"segugio/internal/pdns"
+)
+
+// fixture builds a small labeled graph with activity and abuse context:
+//
+//	bot1, bot2, bot3 are infected (query c2.known.com)
+//	clean1, clean2 query only whitelisted domains
+//	mixed queries benign + the unknown candidate
+//	candidate.net is queried by bot1, bot2, bot3, mixed
+type fixture struct {
+	g     *graph.Graph
+	log   *activity.Log
+	abuse *pdns.AbuseIndex
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	day := 100
+	b := graph.NewBuilder("F", day, dnsutil.DefaultSuffixList())
+	// Infected machines: known C&C plus the unknown candidate.
+	for _, m := range []string{"bot1", "bot2", "bot3"} {
+		b.AddQuery(m, "c2.known.com")
+		b.AddQuery(m, "candidate.net")
+		b.AddQuery(m, "www.good.com")
+	}
+	// Clean machines.
+	b.AddQuery("clean1", "www.good.com")
+	b.AddQuery("clean1", "www.nice.org")
+	b.AddQuery("clean2", "www.good.com")
+	// Mixed machine: queries candidate but no known malware.
+	b.AddQuery("mixed", "candidate.net")
+	b.AddQuery("mixed", "www.good.com")
+	b.SetDomainIPs("candidate.net", []dnsutil.IPv4{
+		dnsutil.MakeIPv4(185, 1, 1, 10), // shared with known malware
+		dnsutil.MakeIPv4(50, 1, 1, 10),  // clean
+	})
+	b.SetDomainIPs("c2.known.com", []dnsutil.IPv4{dnsutil.MakeIPv4(185, 1, 1, 9)})
+	g := b.Build()
+
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "c2.known.com", FirstListed: 0})
+	wl := intel.NewWhitelist([]string{"good.com", "nice.org"})
+	g.ApplyLabels(graph.LabelSources{Blacklist: bl, Whitelist: wl, AsOf: day})
+
+	log := activity.NewLog()
+	// candidate.net active the last 3 days; its e2LD the same.
+	for d := day - 2; d <= day; d++ {
+		log.MarkDomain(d, "candidate.net")
+		log.MarkE2LD(d, "candidate.net")
+	}
+	// good.com active the whole window.
+	for d := day - 13; d <= day; d++ {
+		log.MarkDomain(d, "www.good.com")
+		log.MarkE2LD(d, "good.com")
+	}
+
+	db := pdns.NewDB()
+	// Abused IP history: another malware domain used 185.1.1.10.
+	db.Add(day-30, "old.evil.com", dnsutil.MakeIPv4(185, 1, 1, 10))
+	// An unknown domain used the same /24.
+	db.Add(day-20, "stranger.com", dnsutil.MakeIPv4(185, 1, 1, 77))
+	abuse := pdns.BuildAbuseIndex(db, day-150, day-1, func(d string) pdns.Verdict {
+		switch d {
+		case "old.evil.com":
+			return pdns.VerdictMalware
+		case "stranger.com":
+			return pdns.VerdictUnknown
+		default:
+			return pdns.VerdictBenign
+		}
+	})
+	return &fixture{g: g, log: log, abuse: abuse}
+}
+
+func (f *fixture) extractor(t *testing.T) *Extractor {
+	t.Helper()
+	e, err := NewExtractor(f.g, f.log, f.abuse, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func (f *fixture) vector(t *testing.T, domain string) []float64 {
+	t.Helper()
+	d, ok := f.g.DomainIndex(domain)
+	if !ok {
+		t.Fatalf("domain %s missing", domain)
+	}
+	return f.extractor(t).Vector(d)
+}
+
+func TestNewExtractorRequiresLabels(t *testing.T) {
+	b := graph.NewBuilder("X", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("m", "d.com")
+	g := b.Build()
+	if _, err := NewExtractor(g, nil, nil, 14); !errors.Is(err, ErrUnlabeledGraph) {
+		t.Fatalf("err = %v, want ErrUnlabeledGraph", err)
+	}
+}
+
+func TestVectorMachineBehavior(t *testing.T) {
+	f := newFixture(t)
+	v := f.vector(t, "candidate.net")
+	// candidate.net is queried by bot1..3 (infected via c2.known.com,
+	// independent of candidate) and mixed (unknown: its other domains are
+	// benign but candidate is ignored, leaving only benign -> benign!).
+	// mixed queries candidate + www.good.com; hiding candidate, all its
+	// remaining domains are benign, so mixed counts as benign.
+	if got := v[FTotalMachines]; got != 4 {
+		t.Fatalf("t = %v, want 4", got)
+	}
+	if got := v[FInfectedFraction]; got != 0.75 {
+		t.Fatalf("m = %v, want 0.75", got)
+	}
+	if got := v[FUnknownFraction]; got != 0 {
+		t.Fatalf("u = %v, want 0 (mixed re-derives to benign)", got)
+	}
+}
+
+func TestVectorHidingKnownMalware(t *testing.T) {
+	f := newFixture(t)
+	v := f.vector(t, "c2.known.com")
+	// Hiding c2.known.com: bots lose their only malware evidence and
+	// re-derive. Each bot queries c2.known (hidden), candidate (unknown),
+	// good.com (benign): with c2 ignored, candidate is still unknown ->
+	// bots become unknown machines.
+	if got := v[FInfectedFraction]; got != 0 {
+		t.Fatalf("m = %v, want 0 after hiding the sole malware evidence", got)
+	}
+	if got := v[FUnknownFraction]; got != 1 {
+		t.Fatalf("u = %v, want 1", got)
+	}
+	if got := v[FTotalMachines]; got != 3 {
+		t.Fatalf("t = %v, want 3", got)
+	}
+}
+
+func TestVectorActivity(t *testing.T) {
+	f := newFixture(t)
+	v := f.vector(t, "candidate.net")
+	if got := v[FDomainActiveDays]; got != 3 {
+		t.Fatalf("active days = %v, want 3", got)
+	}
+	if got := v[FDomainStreak]; got != 3 {
+		t.Fatalf("streak = %v, want 3", got)
+	}
+	if got := v[FE2LDActiveDays]; got != 3 {
+		t.Fatalf("e2LD active days = %v, want 3", got)
+	}
+	vg := f.vector(t, "www.good.com")
+	if got := vg[FDomainActiveDays]; got != 14 {
+		t.Fatalf("good.com active days = %v, want 14", got)
+	}
+	if got := vg[FE2LDStreak]; got != 14 {
+		t.Fatalf("good.com e2LD streak = %v, want 14", got)
+	}
+}
+
+func TestVectorIPAbuse(t *testing.T) {
+	f := newFixture(t)
+	v := f.vector(t, "candidate.net")
+	// One of candidate's two IPs (185.1.1.10) was used by old.evil.com.
+	if got := v[FMalwareIPFraction]; got != 0.5 {
+		t.Fatalf("malware IP fraction = %v, want 0.5", got)
+	}
+	// Same one prefix matches; 50.1.1.0/24 has no history.
+	if got := v[FMalwarePrefixFraction]; got != 0.5 {
+		t.Fatalf("malware prefix fraction = %v, want 0.5", got)
+	}
+	// stranger.com (unknown) used 185.1.1.0/24 but not the exact IP.
+	if got := v[FUnknownIPs]; got != 0 {
+		t.Fatalf("unknown IPs = %v, want 0", got)
+	}
+	if got := v[FUnknownPrefixes]; got != 1 {
+		t.Fatalf("unknown prefixes = %v, want 1", got)
+	}
+}
+
+func TestVectorNilAbuseAndLog(t *testing.T) {
+	f := newFixture(t)
+	e, err := NewExtractor(f.g, nil, nil, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.g.DomainIndex("candidate.net")
+	v := e.Vector(d)
+	for _, i := range []int{FDomainActiveDays, FDomainStreak, FE2LDActiveDays, FE2LDStreak,
+		FMalwareIPFraction, FMalwarePrefixFraction, FUnknownIPs, FUnknownPrefixes} {
+		if v[i] != 0 {
+			t.Fatalf("feature %d = %v, want 0 without context sources", i, v[i])
+		}
+	}
+	if v[FTotalMachines] == 0 {
+		t.Fatal("F1 must still be measured")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != NumFeatures {
+		t.Fatalf("names = %d, want %d", len(names), NumFeatures)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("invalid or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGroupColumns(t *testing.T) {
+	all := map[int]bool{}
+	for _, g := range []Group{GroupMachineBehavior, GroupDomainActivity, GroupIPAbuse} {
+		for _, c := range g.Columns() {
+			if all[c] {
+				t.Fatalf("column %d in two groups", c)
+			}
+			all[c] = true
+		}
+	}
+	if len(all) != NumFeatures {
+		t.Fatalf("groups cover %d columns, want %d", len(all), NumFeatures)
+	}
+	if got := len(ColumnsExcluding(GroupIPAbuse)); got != NumFeatures-4 {
+		t.Fatalf("ColumnsExcluding(IPAbuse) = %d columns, want %d", got, NumFeatures-4)
+	}
+	if Group(99).Columns() != nil {
+		t.Fatal("unknown group must return nil")
+	}
+}
+
+func TestTrainingSet(t *testing.T) {
+	f := newFixture(t)
+	e := f.extractor(t)
+	ds := TrainingSet(e, nil)
+	// Known domains: c2.known.com (malware), www.good.com, www.nice.org
+	// (benign). candidate.net is unknown and excluded by construction.
+	if ds.Len() != 3 {
+		t.Fatalf("training set = %d examples, want 3", ds.Len())
+	}
+	benign, malware := ds.Counts()
+	if benign != 2 || malware != 1 {
+		t.Fatalf("counts = (%d, %d), want (2, 1)", benign, malware)
+	}
+	for i, dom := range ds.Domains {
+		if dom == "candidate.net" {
+			t.Fatal("unknown domain in training set")
+		}
+		if len(ds.X[i]) != NumFeatures {
+			t.Fatalf("vector %d has %d features", i, len(ds.X[i]))
+		}
+	}
+}
+
+func TestTrainingSetExclusion(t *testing.T) {
+	f := newFixture(t)
+	e := f.extractor(t)
+	ds := TrainingSet(e, map[string]struct{}{"c2.known.com": {}})
+	if ds.Len() != 2 {
+		t.Fatalf("training set = %d, want 2 after exclusion", ds.Len())
+	}
+	for _, dom := range ds.Domains {
+		if dom == "c2.known.com" {
+			t.Fatal("excluded domain still present")
+		}
+	}
+}
+
+func TestVectorsFor(t *testing.T) {
+	f := newFixture(t)
+	e := f.extractor(t)
+	X, ok := VectorsFor(e, []string{"candidate.net", "missing.com"})
+	if !ok[0] || ok[1] {
+		t.Fatalf("ok = %v, want [true false]", ok)
+	}
+	if X[0] == nil || X[1] != nil {
+		t.Fatal("vector presence mismatch")
+	}
+}
+
+func TestUnknownDomains(t *testing.T) {
+	f := newFixture(t)
+	e := f.extractor(t)
+	unknown := UnknownDomains(e)
+	if len(unknown) != 1 || unknown[0] != "candidate.net" {
+		t.Fatalf("unknown = %v, want [candidate.net]", unknown)
+	}
+}
+
+// TestVectorInvariants checks, over randomized graphs, that every
+// measured vector respects the feature semantics: fractions in [0,1],
+// m+u <= 1, counts bounded by the window and the IP set.
+func TestVectorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		day := 100
+		b := graph.NewBuilder("Q", day, dnsutil.DefaultSuffixList())
+		bl := intel.NewBlacklist()
+		var wl []string
+		nd := 8 + rng.Intn(20)
+		for d := 0; d < nd; d++ {
+			name := fmt.Sprintf("dom%02d.com", d)
+			switch rng.Intn(4) {
+			case 0:
+				bl.Add(intel.BlacklistEntry{Domain: name})
+			case 1:
+				wl = append(wl, name)
+			}
+		}
+		for m := 0; m < 5+rng.Intn(15); m++ {
+			id := fmt.Sprintf("m%02d", m)
+			for e := 0; e < 1+rng.Intn(6); e++ {
+				d := rng.Intn(nd)
+				b.AddQuery(id, fmt.Sprintf("dom%02d.com", d))
+			}
+		}
+		g := b.Build()
+		g.ApplyLabels(graph.LabelSources{Blacklist: bl, Whitelist: intel.NewWhitelist(wl), AsOf: day})
+
+		log := activity.NewLog()
+		for d := 0; d < nd; d++ {
+			for day0 := day - rng.Intn(14); day0 <= day; day0++ {
+				log.MarkDomain(day0, fmt.Sprintf("dom%02d.com", d))
+				log.MarkE2LD(day0, fmt.Sprintf("dom%02d.com", d))
+			}
+		}
+		window := 14
+		ex, err := NewExtractor(g, log, nil, window)
+		if err != nil {
+			return false
+		}
+		for d := int32(0); d < int32(g.NumDomains()); d++ {
+			v := ex.Vector(d)
+			m, u, tt := v[FInfectedFraction], v[FUnknownFraction], v[FTotalMachines]
+			if m < 0 || m > 1 || u < 0 || u > 1 || m+u > 1+1e-12 {
+				return false
+			}
+			if tt != float64(g.DomainDegree(d)) {
+				return false
+			}
+			if v[FDomainActiveDays] < 0 || v[FDomainActiveDays] > float64(window) {
+				return false
+			}
+			if v[FDomainStreak] > v[FDomainActiveDays] {
+				return false
+			}
+			if v[FE2LDActiveDays] < v[FDomainActiveDays] {
+				return false // e2LD activity includes the domain's own
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

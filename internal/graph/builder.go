@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"sort"
+
+	"segugio/internal/dnsutil"
+)
+
+// Builder accumulates one observation window of DNS queries and produces
+// an immutable Graph. Duplicate (machine, domain) observations are
+// deduplicated at Build time. Builder is not safe for concurrent use.
+type Builder struct {
+	name     string
+	day      int
+	suffixes *dnsutil.SuffixList
+
+	machineIndex map[string]int32
+	machineIDs   []string
+	domainIndex  map[string]int32
+	domains      []string
+	domainIPs    [][]dnsutil.IPv4
+
+	edges []edge
+}
+
+type edge struct{ m, d int32 }
+
+// NewBuilder starts a graph for the named network and observation day.
+// The suffix list is used to annotate each domain with its effective 2LD.
+func NewBuilder(name string, day int, suffixes *dnsutil.SuffixList) *Builder {
+	return &Builder{
+		name:         name,
+		day:          day,
+		suffixes:     suffixes,
+		machineIndex: make(map[string]int32),
+		domainIndex:  make(map[string]int32),
+	}
+}
+
+// AddQuery records that machineID queried domain during the window.
+func (b *Builder) AddQuery(machineID, domain string) {
+	m := b.machine(machineID)
+	d := b.domain(domain)
+	b.edges = append(b.edges, edge{m: m, d: d})
+}
+
+// SetDomainIPs annotates domain with the addresses it resolved to. Calling
+// it again for the same domain merges the address sets.
+func (b *Builder) SetDomainIPs(domain string, ips []dnsutil.IPv4) {
+	d := b.domain(domain)
+	existing := b.domainIPs[d]
+merge:
+	for _, ip := range ips {
+		for _, have := range existing {
+			if have == ip {
+				continue merge
+			}
+		}
+		existing = append(existing, ip)
+	}
+	b.domainIPs[d] = existing
+}
+
+func (b *Builder) machine(id string) int32 {
+	if m, ok := b.machineIndex[id]; ok {
+		return m
+	}
+	m := int32(len(b.machineIDs))
+	b.machineIndex[id] = m
+	b.machineIDs = append(b.machineIDs, id)
+	return m
+}
+
+func (b *Builder) domain(name string) int32 {
+	if d, ok := b.domainIndex[name]; ok {
+		return d
+	}
+	d := int32(len(b.domains))
+	b.domainIndex[name] = d
+	b.domains = append(b.domains, name)
+	b.domainIPs = append(b.domainIPs, nil)
+	return d
+}
+
+// Build deduplicates the recorded queries and assembles the bidirectional
+// CSR adjacency. The Builder can be discarded afterwards.
+func (b *Builder) Build() *Graph {
+	nm := len(b.machineIDs)
+	nd := len(b.domains)
+
+	// Sort by (machine, domain) and deduplicate in place.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].m != b.edges[j].m {
+			return b.edges[i].m < b.edges[j].m
+		}
+		return b.edges[i].d < b.edges[j].d
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i > 0 && e == b.edges[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	b.edges = dedup
+
+	g := &Graph{
+		name:         b.name,
+		day:          b.day,
+		machineIDs:   b.machineIDs,
+		domains:      b.domains,
+		domainIPs:    b.domainIPs,
+		domainIndex:  b.domainIndex,
+		machineIndex: b.machineIndex,
+		domainLabel:  make([]Label, nd),
+		machineLabel: make([]Label, nm),
+		cntMalware:   make([]int32, nm),
+		cntNonBenign: make([]int32, nm),
+	}
+
+	g.domainE2LD = make([]string, nd)
+	for d, name := range b.domains {
+		g.domainE2LD[d] = b.suffixes.E2LD(name)
+	}
+
+	// Machine-side CSR comes straight from the sorted edge list.
+	g.mOff = make([]int32, nm+1)
+	g.mAdj = make([]int32, len(b.edges))
+	for _, e := range b.edges {
+		g.mOff[e.m+1]++
+	}
+	for m := 0; m < nm; m++ {
+		g.mOff[m+1] += g.mOff[m]
+	}
+	for i, e := range b.edges {
+		g.mAdj[i] = e.d
+	}
+
+	// Domain-side CSR via counting sort on the same edges.
+	g.dOff = make([]int32, nd+1)
+	for _, e := range b.edges {
+		g.dOff[e.d+1]++
+	}
+	for d := 0; d < nd; d++ {
+		g.dOff[d+1] += g.dOff[d]
+	}
+	g.dAdj = make([]int32, len(b.edges))
+	cursor := make([]int32, nd)
+	copy(cursor, g.dOff[:nd])
+	for _, e := range b.edges {
+		g.dAdj[cursor[e.d]] = e.m
+		cursor[e.d]++
+	}
+	return g
+}

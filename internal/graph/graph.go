@@ -1,0 +1,151 @@
+// Package graph implements Segugio's machine-domain bipartite behavior
+// graph (paper Section II-A): nodes are ISP user machines and queried
+// domain names; an edge connects a machine to a domain it queried during
+// the observation window. Domain nodes carry annotations (resolved IPs,
+// effective 2LD); both node kinds carry labels seeded from blacklists and
+// whitelists. The package also implements the conservative pruning rules
+// R1-R4 with the paper's two exceptions.
+//
+// The adjacency is stored in compressed sparse row (CSR) form in both
+// directions, because feature measurement iterates machines-of-domain and
+// labeling iterates domains-of-machine over graphs with millions of edges.
+package graph
+
+import (
+	"segugio/internal/dnsutil"
+)
+
+// Label is the ground-truth state of a node. The zero value is
+// LabelUnknown on purpose: a freshly observed node is unknown until a
+// ground-truth source says otherwise.
+type Label uint8
+
+// Label values.
+const (
+	// LabelUnknown nodes are the classification targets.
+	LabelUnknown Label = iota
+	// LabelBenign marks whitelisted domains and machines that query only
+	// whitelisted domains.
+	LabelBenign
+	// LabelMalware marks blacklisted C&C domains and machines that query
+	// at least one of them.
+	LabelMalware
+)
+
+// String renders the label for logs and reports.
+func (l Label) String() string {
+	switch l {
+	case LabelBenign:
+		return "benign"
+	case LabelMalware:
+		return "malware"
+	default:
+		return "unknown"
+	}
+}
+
+// Graph is an immutable bipartite behavior graph for one observation day.
+// Build one with a Builder, then call ApplyLabels and Prune.
+type Graph struct {
+	name string
+	day  int
+
+	machineIDs []string
+	domains    []string
+	domainE2LD []string
+	domainIPs  [][]dnsutil.IPv4
+
+	// CSR adjacency, machine -> domains and domain -> machines.
+	mOff []int32
+	mAdj []int32
+	dOff []int32
+	dAdj []int32
+
+	domainLabel  []Label
+	machineLabel []Label
+	// Per-machine label-derivation counts, maintained by ApplyLabels:
+	// how many of the machine's queried domains are labeled malware, and
+	// how many are labeled anything other than benign. Feature measurement
+	// uses them to re-derive machine labels with one domain's label hidden
+	// in O(1) (paper Figure 5).
+	cntMalware    []int32
+	cntNonBenign  []int32
+	domainIndex   map[string]int32
+	machineIndex  map[string]int32
+	labeledAsOf   int
+	labelsApplied bool
+}
+
+// Name returns the network name the graph was observed in.
+func (g *Graph) Name() string { return g.name }
+
+// Day returns the observation day.
+func (g *Graph) Day() int { return g.day }
+
+// NumMachines reports the machine-node count.
+func (g *Graph) NumMachines() int { return len(g.machineIDs) }
+
+// NumDomains reports the domain-node count.
+func (g *Graph) NumDomains() int { return len(g.domains) }
+
+// NumEdges reports the edge count.
+func (g *Graph) NumEdges() int { return len(g.mAdj) }
+
+// MachineID returns the identifier of machine node m.
+func (g *Graph) MachineID(m int32) string { return g.machineIDs[m] }
+
+// DomainName returns the name of domain node d.
+func (g *Graph) DomainName(d int32) string { return g.domains[d] }
+
+// DomainE2LD returns the effective second-level domain of node d.
+func (g *Graph) DomainE2LD(d int32) string { return g.domainE2LD[d] }
+
+// DomainIPs returns the addresses node d resolved to during the
+// observation window. The returned slice must not be modified.
+func (g *Graph) DomainIPs(d int32) []dnsutil.IPv4 { return g.domainIPs[d] }
+
+// DomainIndex returns the node index for a domain name.
+func (g *Graph) DomainIndex(domain string) (int32, bool) {
+	i, ok := g.domainIndex[domain]
+	return i, ok
+}
+
+// MachineIndex returns the node index for a machine identifier.
+func (g *Graph) MachineIndex(id string) (int32, bool) {
+	i, ok := g.machineIndex[id]
+	return i, ok
+}
+
+// DomainsOf returns the domain nodes queried by machine m. The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) DomainsOf(m int32) []int32 { return g.mAdj[g.mOff[m]:g.mOff[m+1]] }
+
+// MachinesOf returns the machine nodes that queried domain d. The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) MachinesOf(d int32) []int32 { return g.dAdj[g.dOff[d]:g.dOff[d+1]] }
+
+// MachineDegree returns how many distinct domains machine m queried.
+func (g *Graph) MachineDegree(m int32) int { return int(g.mOff[m+1] - g.mOff[m]) }
+
+// DomainDegree returns how many distinct machines queried domain d.
+func (g *Graph) DomainDegree(d int32) int { return int(g.dOff[d+1] - g.dOff[d]) }
+
+// DomainLabel returns the label of domain node d.
+func (g *Graph) DomainLabel(d int32) Label { return g.domainLabel[d] }
+
+// MachineLabel returns the label of machine node m.
+func (g *Graph) MachineLabel(m int32) Label { return g.machineLabel[m] }
+
+// MachineMalwareCount reports how many malware-labeled domains machine m
+// queries.
+func (g *Graph) MachineMalwareCount(m int32) int { return int(g.cntMalware[m]) }
+
+// MachineNonBenignCount reports how many of machine m's queried domains
+// are labeled anything other than benign.
+func (g *Graph) MachineNonBenignCount(m int32) int { return int(g.cntNonBenign[m]) }
+
+// LabeledAsOf returns the ground-truth cutoff day passed to ApplyLabels.
+func (g *Graph) LabeledAsOf() int { return g.labeledAsOf }
+
+// Labeled reports whether ApplyLabels has run.
+func (g *Graph) Labeled() bool { return g.labelsApplied }

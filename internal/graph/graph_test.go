@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+)
+
+// buildTestGraph assembles the paper's Figure 1-style example:
+//
+//	M_A -> d1(benign), d2(benign)
+//	M_B -> d2(benign), d3(unknown), mal1(malware)
+//	M_C -> d3(unknown), mal1(malware), mal2(malware)
+//	M_D -> d3(unknown), d4(unknown)
+func buildTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("TEST", 100, dnsutil.DefaultSuffixList())
+	add := func(m string, ds ...string) {
+		for _, d := range ds {
+			b.AddQuery(m, d)
+		}
+	}
+	add("MA", "www.d1.com", "www.d2.com")
+	add("MB", "www.d2.com", "d3.net", "c2.mal1.com")
+	add("MC", "d3.net", "c2.mal1.com", "c2.mal2.com")
+	add("MD", "d3.net", "d4.org")
+	b.SetDomainIPs("c2.mal1.com", []dnsutil.IPv4{dnsutil.MakeIPv4(6, 6, 6, 6)})
+	return b.Build()
+}
+
+func labelTestGraph(t *testing.T, g *Graph, hidden map[string]struct{}) LabelStats {
+	t.Helper()
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "c2.mal1.com", FirstListed: 0})
+	bl.Add(intel.BlacklistEntry{Domain: "c2.mal2.com", FirstListed: 0})
+	wl := intel.NewWhitelist([]string{"d1.com", "d2.com"})
+	return g.ApplyLabels(LabelSources{Blacklist: bl, Whitelist: wl, AsOf: 100, Hidden: hidden})
+}
+
+func TestBuilderDedupAndAdjacency(t *testing.T) {
+	b := NewBuilder("T", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("m1", "a.com")
+	b.AddQuery("m1", "a.com") // duplicate
+	b.AddQuery("m1", "b.com")
+	b.AddQuery("m2", "a.com")
+	g := b.Build()
+
+	if g.NumMachines() != 2 || g.NumDomains() != 2 {
+		t.Fatalf("nodes = (%d, %d), want (2, 2)", g.NumMachines(), g.NumDomains())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3 (deduplicated)", g.NumEdges())
+	}
+	m1, _ := g.MachineIndex("m1")
+	if g.MachineDegree(m1) != 2 {
+		t.Fatalf("m1 degree = %d, want 2", g.MachineDegree(m1))
+	}
+	a, _ := g.DomainIndex("a.com")
+	if g.DomainDegree(a) != 2 {
+		t.Fatalf("a.com degree = %d, want 2", g.DomainDegree(a))
+	}
+	// Adjacency is mutually consistent.
+	for m := int32(0); m < int32(g.NumMachines()); m++ {
+		for _, d := range g.DomainsOf(m) {
+			found := false
+			for _, mm := range g.MachinesOf(d) {
+				if mm == m {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d, %d) missing from domain-side adjacency", m, d)
+			}
+		}
+	}
+}
+
+func TestBuilderMergesIPs(t *testing.T) {
+	b := NewBuilder("T", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("m1", "a.com")
+	b.SetDomainIPs("a.com", []dnsutil.IPv4{1, 2})
+	b.SetDomainIPs("a.com", []dnsutil.IPv4{2, 3})
+	g := b.Build()
+	a, _ := g.DomainIndex("a.com")
+	if got := g.DomainIPs(a); len(got) != 3 {
+		t.Fatalf("IPs = %v, want 3 distinct", got)
+	}
+}
+
+func TestBuilderE2LDAnnotation(t *testing.T) {
+	b := NewBuilder("T", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("m1", "a.b.example.co.uk")
+	g := b.Build()
+	d, _ := g.DomainIndex("a.b.example.co.uk")
+	if got := g.DomainE2LD(d); got != "example.co.uk" {
+		t.Fatalf("e2LD = %q, want example.co.uk", got)
+	}
+}
+
+func TestApplyLabels(t *testing.T) {
+	g := buildTestGraph(t)
+	stats := labelTestGraph(t, g, nil)
+
+	if stats.MalwareDomains != 2 || stats.BenignDomains != 2 || stats.UnknownDomains != 2 {
+		t.Fatalf("domain stats = %+v", stats)
+	}
+
+	wantDomain := map[string]Label{
+		"www.d1.com":  LabelBenign,
+		"www.d2.com":  LabelBenign,
+		"d3.net":      LabelUnknown,
+		"d4.org":      LabelUnknown,
+		"c2.mal1.com": LabelMalware,
+		"c2.mal2.com": LabelMalware,
+	}
+	for name, want := range wantDomain {
+		d, ok := g.DomainIndex(name)
+		if !ok {
+			t.Fatalf("domain %s missing", name)
+		}
+		if got := g.DomainLabel(d); got != want {
+			t.Errorf("label(%s) = %v, want %v", name, got, want)
+		}
+	}
+
+	wantMachine := map[string]Label{
+		"MA": LabelBenign,  // queries only benign
+		"MB": LabelMalware, // queries c2.mal1.com
+		"MC": LabelMalware,
+		"MD": LabelUnknown, // queries only unknown
+	}
+	for id, want := range wantMachine {
+		m, _ := g.MachineIndex(id)
+		if got := g.MachineLabel(m); got != want {
+			t.Errorf("machine %s = %v, want %v", id, got, want)
+		}
+	}
+
+	mb, _ := g.MachineIndex("MB")
+	if g.MachineMalwareCount(mb) != 1 {
+		t.Errorf("MB malware count = %d, want 1", g.MachineMalwareCount(mb))
+	}
+	if g.MachineNonBenignCount(mb) != 2 { // d3.net + c2.mal1.com
+		t.Errorf("MB non-benign count = %d, want 2", g.MachineNonBenignCount(mb))
+	}
+}
+
+func TestApplyLabelsAsOfCutoff(t *testing.T) {
+	b := NewBuilder("T", 50, dnsutil.DefaultSuffixList())
+	b.AddQuery("m1", "late.evil.com")
+	g := b.Build()
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "late.evil.com", FirstListed: 60})
+	g.ApplyLabels(LabelSources{Blacklist: bl, AsOf: 50})
+	d, _ := g.DomainIndex("late.evil.com")
+	if g.DomainLabel(d) != LabelUnknown {
+		t.Fatal("domain listed after AsOf must stay unknown")
+	}
+	g.ApplyLabels(LabelSources{Blacklist: bl, AsOf: 60})
+	if g.DomainLabel(d) != LabelMalware {
+		t.Fatal("domain listed at AsOf must be malware")
+	}
+}
+
+func TestApplyLabelsHidden(t *testing.T) {
+	g := buildTestGraph(t)
+	hidden := map[string]struct{}{"c2.mal1.com": {}}
+	stats := labelTestGraph(t, g, hidden)
+	if stats.HiddenDomains != 1 {
+		t.Fatalf("hidden = %d, want 1", stats.HiddenDomains)
+	}
+	d, _ := g.DomainIndex("c2.mal1.com")
+	if g.DomainLabel(d) != LabelUnknown {
+		t.Fatal("hidden domain must stay unknown")
+	}
+	// MB queried only c2.mal1.com among malware domains: with it hidden,
+	// MB must be unknown (Figure 5's machine M1). MC still queries
+	// c2.mal2.com and keeps its malware label.
+	mb, _ := g.MachineIndex("MB")
+	if got := g.MachineLabel(mb); got != LabelUnknown {
+		t.Fatalf("MB = %v, want unknown", got)
+	}
+	mc, _ := g.MachineIndex("MC")
+	if got := g.MachineLabel(mc); got != LabelMalware {
+		t.Fatalf("MC = %v, want malware", got)
+	}
+}
+
+func TestMachineLabelHiding(t *testing.T) {
+	g := buildTestGraph(t)
+	labelTestGraph(t, g, nil)
+
+	mal1, _ := g.DomainIndex("c2.mal1.com")
+	mb, _ := g.MachineIndex("MB")
+	mc, _ := g.MachineIndex("MC")
+	// Hiding mal1: MB loses its only malware evidence -> unknown; MC keeps
+	// mal2 -> malware.
+	if got := g.MachineLabelHiding(mb, mal1); got != LabelUnknown {
+		t.Errorf("MB hiding mal1 = %v, want unknown", got)
+	}
+	if got := g.MachineLabelHiding(mc, mal1); got != LabelMalware {
+		t.Errorf("MC hiding mal1 = %v, want malware", got)
+	}
+
+	// Hiding a benign domain: MA queried only benign; ignoring d2, all
+	// remaining (d1) are benign -> stays benign.
+	d2, _ := g.DomainIndex("www.d2.com")
+	ma, _ := g.MachineIndex("MA")
+	if got := g.MachineLabelHiding(ma, d2); got != LabelBenign {
+		t.Errorf("MA hiding d2 = %v, want benign", got)
+	}
+
+	// Hiding an unknown domain: MD queries d3 (unknown) and d4 (unknown).
+	// Ignoring d3, d4 is still unknown -> MD unknown.
+	d3, _ := g.DomainIndex("d3.net")
+	md, _ := g.MachineIndex("MD")
+	if got := g.MachineLabelHiding(md, d3); got != LabelUnknown {
+		t.Errorf("MD hiding d3 = %v, want unknown", got)
+	}
+}
+
+func TestDomainsWithLabel(t *testing.T) {
+	g := buildTestGraph(t)
+	labelTestGraph(t, g, nil)
+	if got := len(g.DomainsWithLabel(LabelMalware)); got != 2 {
+		t.Fatalf("malware domains = %d, want 2", got)
+	}
+	if got := len(g.DomainsWithLabel(LabelBenign)); got != 2 {
+		t.Fatalf("benign domains = %d, want 2", got)
+	}
+	if got := len(g.DomainsWithLabel(LabelUnknown)); got != 2 {
+		t.Fatalf("unknown domains = %d, want 2", got)
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if LabelUnknown.String() != "unknown" || LabelBenign.String() != "benign" || LabelMalware.String() != "malware" {
+		t.Fatal("Label.String mismatch")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := buildTestGraph(t)
+	if g.Name() != "TEST" || g.Day() != 100 {
+		t.Fatalf("Name/Day = %q/%d", g.Name(), g.Day())
+	}
+	if g.Labeled() {
+		t.Fatal("graph must not report labeled before ApplyLabels")
+	}
+	labelTestGraph(t, g, nil)
+	if !g.Labeled() || g.LabeledAsOf() != 100 {
+		t.Fatal("graph must report labeled after ApplyLabels")
+	}
+	if _, ok := g.DomainIndex("absent.com"); ok {
+		t.Fatal("absent domain must not resolve")
+	}
+	if _, ok := g.MachineIndex("absent"); ok {
+		t.Fatal("absent machine must not resolve")
+	}
+}

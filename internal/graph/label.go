@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"segugio/internal/intel"
+)
+
+// LabelSources carries the ground truth used to seed node labels (paper
+// Section II-A1).
+type LabelSources struct {
+	// Blacklist supplies known malware-control domains; the full domain
+	// string is matched.
+	Blacklist *intel.Blacklist
+	// Whitelist supplies trusted e2LDs; a domain is benign when its
+	// effective 2LD is whitelisted.
+	Whitelist *intel.Whitelist
+	// AsOf restricts blacklist knowledge to entries listed on or before
+	// this day, so experiments never leak future ground truth.
+	AsOf int
+	// Hidden lists domains whose ground-truth label must be withheld:
+	// they stay LabelUnknown and machine labels are derived as if their
+	// nature were unknown. The train/test protocol hides the test set this
+	// way (paper Section IV-A).
+	Hidden map[string]struct{}
+}
+
+// LabelStats summarizes the labeling outcome.
+type LabelStats struct {
+	MalwareDomains int
+	BenignDomains  int
+	UnknownDomains int
+	MalwareMachine int
+	BenignMachine  int
+	UnknownMachine int
+	HiddenDomains  int
+}
+
+// ApplyLabels assigns domain labels from the ground-truth sources and
+// derives machine labels: a machine is malware when it queries at least
+// one malware-labeled domain, benign when every queried domain is
+// benign-labeled, unknown otherwise. It may be called again to relabel
+// (e.g. with a different Hidden set).
+func (g *Graph) ApplyLabels(src LabelSources) LabelStats {
+	var stats LabelStats
+	for d := range g.domains {
+		label := LabelUnknown
+		if _, hidden := src.Hidden[g.domains[d]]; hidden {
+			stats.HiddenDomains++
+		} else if src.Blacklist != nil && src.Blacklist.Contains(g.domains[d], src.AsOf) {
+			label = LabelMalware
+		} else if src.Whitelist != nil && src.Whitelist.ContainsE2LD(g.domainE2LD[d]) {
+			label = LabelBenign
+		}
+		g.domainLabel[d] = label
+		switch label {
+		case LabelMalware:
+			stats.MalwareDomains++
+		case LabelBenign:
+			stats.BenignDomains++
+		default:
+			stats.UnknownDomains++
+		}
+	}
+	g.recomputeMachineLabels()
+	for m := range g.machineIDs {
+		switch g.machineLabel[m] {
+		case LabelMalware:
+			stats.MalwareMachine++
+		case LabelBenign:
+			stats.BenignMachine++
+		default:
+			stats.UnknownMachine++
+		}
+	}
+	g.labeledAsOf = src.AsOf
+	g.labelsApplied = true
+	return stats
+}
+
+// recomputeMachineLabels rebuilds the per-machine counts and labels from
+// the current domain labels.
+func (g *Graph) recomputeMachineLabels() {
+	for m := range g.machineIDs {
+		var mal, nonBenign int32
+		for _, d := range g.DomainsOf(int32(m)) {
+			switch g.domainLabel[d] {
+			case LabelMalware:
+				mal++
+				nonBenign++
+			case LabelUnknown:
+				nonBenign++
+			}
+		}
+		g.cntMalware[m] = mal
+		g.cntNonBenign[m] = nonBenign
+		switch {
+		case mal > 0:
+			g.machineLabel[m] = LabelMalware
+		case nonBenign == 0 && g.MachineDegree(int32(m)) > 0:
+			g.machineLabel[m] = LabelBenign
+		default:
+			g.machineLabel[m] = LabelUnknown
+		}
+	}
+}
+
+// MachineLabelHiding returns machine m's label as derived when domain d's
+// label is withheld — the per-domain "hiding" step of training-set
+// preparation (paper Figure 5). m must be a machine that queries d.
+//
+//   - malware: m queries a malware-labeled domain other than d;
+//   - benign: every queried domain except d is benign-labeled;
+//   - unknown: otherwise.
+func (g *Graph) MachineLabelHiding(m, d int32) Label {
+	mal := g.cntMalware[m]
+	nonBenign := g.cntNonBenign[m]
+	switch g.domainLabel[d] {
+	case LabelMalware:
+		mal--
+		nonBenign--
+	case LabelUnknown:
+		nonBenign--
+	}
+	switch {
+	case mal > 0:
+		return LabelMalware
+	case nonBenign == 0:
+		return LabelBenign
+	default:
+		return LabelUnknown
+	}
+}
+
+// DomainsWithLabel returns the indexes of domains carrying the label.
+func (g *Graph) DomainsWithLabel(l Label) []int32 {
+	var out []int32
+	for d := range g.domains {
+		if g.domainLabel[d] == l {
+			out = append(out, int32(d))
+		}
+	}
+	return out
+}

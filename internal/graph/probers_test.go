@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+)
+
+// buildProberGraph: 3 ordinary infected machines (2 C&C domains each, 20
+// benign), one scanner querying 40 C&C domains and 5 benign.
+func buildProberGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("P", 1, dnsutil.DefaultSuffixList())
+	bl := intel.NewBlacklist()
+	for i := 0; i < 50; i++ {
+		bl.Add(intel.BlacklistEntry{Domain: fmt.Sprintf("c2-%02d.evil.net", i)})
+	}
+	for m := 0; m < 3; m++ {
+		id := fmt.Sprintf("bot%d", m)
+		for j := 0; j < 2; j++ {
+			b.AddQuery(id, fmt.Sprintf("c2-%02d.evil.net", (m*2+j)%50))
+		}
+		for j := 0; j < 20; j++ {
+			b.AddQuery(id, fmt.Sprintf("site%02d.com", j))
+		}
+	}
+	for j := 0; j < 40; j++ {
+		b.AddQuery("scanner", fmt.Sprintf("c2-%02d.evil.net", j))
+	}
+	for j := 0; j < 5; j++ {
+		b.AddQuery("scanner", fmt.Sprintf("site%02d.com", j))
+	}
+	g := b.Build()
+	g.ApplyLabels(LabelSources{Blacklist: bl, AsOf: 1})
+	return g
+}
+
+func TestFindProbersRequiresLabels(t *testing.T) {
+	b := NewBuilder("P", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("m", "d.com")
+	g := b.Build()
+	if _, err := FindProbers(g, DefaultProberConfig()); !errors.Is(err, ErrNotLabeled) {
+		t.Fatalf("err = %v, want ErrNotLabeled", err)
+	}
+}
+
+func TestFindProbers(t *testing.T) {
+	g := buildProberGraph(t)
+	probers, err := FindProbers(g, DefaultProberConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probers) != 1 {
+		t.Fatalf("found %d probers, want 1", len(probers))
+	}
+	if g.MachineID(probers[0]) != "scanner" {
+		t.Fatalf("prober = %s, want scanner", g.MachineID(probers[0]))
+	}
+}
+
+func TestFindProbersSparesRealInfections(t *testing.T) {
+	// An infected machine at Figure 3's observed maximum (20 C&C domains)
+	// with normal browsing must not be flagged.
+	b := NewBuilder("P", 1, dnsutil.DefaultSuffixList())
+	bl := intel.NewBlacklist()
+	for j := 0; j < 20; j++ {
+		d := fmt.Sprintf("c2-%02d.evil.net", j)
+		bl.Add(intel.BlacklistEntry{Domain: d})
+		b.AddQuery("heavybot", d)
+	}
+	for j := 0; j < 80; j++ {
+		b.AddQuery("heavybot", fmt.Sprintf("site%02d.com", j))
+	}
+	g := b.Build()
+	g.ApplyLabels(LabelSources{Blacklist: bl, AsOf: 1})
+	probers, err := FindProbers(g, DefaultProberConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probers) != 0 {
+		t.Fatalf("heavily infected but plausible machine flagged as prober")
+	}
+}
+
+func TestFilterProbers(t *testing.T) {
+	g := buildProberGraph(t)
+	filtered, removed, err := FilterProbers(g, DefaultProberConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "scanner" {
+		t.Fatalf("removed = %v, want [scanner]", removed)
+	}
+	if _, ok := filtered.MachineIndex("scanner"); ok {
+		t.Fatal("scanner still present")
+	}
+	if _, ok := filtered.MachineIndex("bot0"); !ok {
+		t.Fatal("bot0 lost")
+	}
+	if filtered.NumDomains() != g.NumDomains() {
+		t.Fatal("domains must be kept; only machines are filtered")
+	}
+	// C&C domain degrees drop by the scanner's edge.
+	d, _ := filtered.DomainIndex("c2-00.evil.net")
+	dOrig, _ := g.DomainIndex("c2-00.evil.net")
+	if filtered.DomainDegree(d) != g.DomainDegree(dOrig)-1 {
+		t.Fatal("domain degree should shrink by the removed scanner")
+	}
+	if !filtered.Labeled() {
+		t.Fatal("filtered graph must stay labeled")
+	}
+}
+
+func TestFilterProbersNoopWhenClean(t *testing.T) {
+	b := NewBuilder("P", 1, dnsutil.DefaultSuffixList())
+	b.AddQuery("m1", "a.com")
+	b.AddQuery("m2", "a.com")
+	g := b.Build()
+	g.ApplyLabels(LabelSources{AsOf: 1})
+	filtered, removed, err := FilterProbers(g, DefaultProberConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("removed = %v, want none", removed)
+	}
+	if filtered != g {
+		t.Fatal("clean graph should be returned unchanged")
+	}
+}

@@ -1,0 +1,295 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// PruneConfig parameterizes the conservative filtering rules of paper
+// Section II-A2.
+type PruneConfig struct {
+	// MaxInactiveDegree is R1's threshold: machines querying this many or
+	// fewer domains are considered inactive and dropped (paper: 5), unless
+	// they are malware-labeled (the R1 exception keeps infected machines
+	// whose only traffic is a short C&C heartbeat).
+	MaxInactiveDegree int
+	// ProxyPercentile is R2's threshold: machines whose degree reaches
+	// this percentile of the machine-degree distribution are treated as
+	// proxies/forwarders and dropped (paper: 99.99).
+	ProxyPercentile float64
+	// MinDomainMachines is R3's threshold: domains queried by fewer
+	// distinct machines are dropped (paper: 2, i.e. single-machine domains
+	// go), unless they are malware-labeled (the R3 exception).
+	MinDomainMachines int
+	// MaxE2LDMachineFraction is R4's threshold: domains whose effective
+	// 2LD is queried by at least this fraction of all machines are too
+	// popular to be malware control and are dropped (paper: 1/3).
+	MaxE2LDMachineFraction float64
+}
+
+// DefaultPruneConfig returns the paper's settings.
+func DefaultPruneConfig() PruneConfig {
+	return PruneConfig{
+		MaxInactiveDegree:      5,
+		ProxyPercentile:        99.99,
+		MinDomainMachines:      2,
+		MaxE2LDMachineFraction: 1.0 / 3.0,
+	}
+}
+
+// PruneStats reports the reduction achieved by pruning, matching the
+// aggregate numbers the paper gives in Section III.
+type PruneStats struct {
+	MachinesBefore, MachinesAfter int
+	DomainsBefore, DomainsAfter   int
+	EdgesBefore, EdgesAfter       int
+	// ThetaD is the resolved R2 degree threshold.
+	ThetaD int
+	// ThetaM is the resolved R4 machine-count threshold.
+	ThetaM int
+	// Dropped counts by rule (a node dropped by several rules counts for
+	// the first one that matched, in R2, R1, R4, R3 order).
+	DroppedR1, DroppedR2, DroppedR3, DroppedR4 int
+}
+
+// MachineReduction returns the fractional machine-node reduction.
+func (s PruneStats) MachineReduction() float64 {
+	return reduction(s.MachinesBefore, s.MachinesAfter)
+}
+
+// DomainReduction returns the fractional domain-node reduction.
+func (s PruneStats) DomainReduction() float64 {
+	return reduction(s.DomainsBefore, s.DomainsAfter)
+}
+
+// EdgeReduction returns the fractional edge reduction.
+func (s PruneStats) EdgeReduction() float64 {
+	return reduction(s.EdgesBefore, s.EdgesAfter)
+}
+
+func reduction(before, after int) float64 {
+	if before == 0 {
+		return 0
+	}
+	return float64(before-after) / float64(before)
+}
+
+// ErrNotLabeled is returned when pruning an unlabeled graph: the R1/R3
+// exceptions depend on node labels.
+var ErrNotLabeled = errors.New("graph: ApplyLabels must run before Prune")
+
+// Prune applies rules R1-R4 to a labeled graph and materializes a new,
+// smaller graph. Rules are evaluated against the input graph's degrees
+// (one pass, not to fixpoint), mirroring the paper's one-shot filtering.
+func Prune(g *Graph, cfg PruneConfig) (*Graph, PruneStats, error) {
+	if !g.labelsApplied {
+		return nil, PruneStats{}, ErrNotLabeled
+	}
+	stats := PruneStats{
+		MachinesBefore: g.NumMachines(),
+		DomainsBefore:  g.NumDomains(),
+		EdgesBefore:    g.NumEdges(),
+	}
+
+	thetaD := degreePercentile(g, cfg.ProxyPercentile)
+	stats.ThetaD = thetaD
+	thetaM := int(math.Ceil(cfg.MaxE2LDMachineFraction * float64(g.NumMachines())))
+	if thetaM < 1 {
+		thetaM = 1
+	}
+	stats.ThetaM = thetaM
+
+	keepM := make([]bool, g.NumMachines())
+	for m := range keepM {
+		deg := g.MachineDegree(int32(m))
+		switch {
+		case deg >= thetaD:
+			stats.DroppedR2++ // R2: proxy/forwarder
+		case deg <= cfg.MaxInactiveDegree && g.machineLabel[m] != LabelMalware:
+			stats.DroppedR1++ // R1: inactive (exception: infected machines stay)
+		default:
+			keepM[m] = true
+		}
+	}
+
+	// Domain rules run against the machine-filtered graph, so R3's
+	// "queried by only one machine" means one *surviving* machine — the
+	// pruned graph never contains non-malware domains with a single
+	// querying machine.
+	e2ldMachines := g.e2ldMachineCounts(keepM)
+	keepD := make([]bool, g.NumDomains())
+	for d := range keepD {
+		deg := 0
+		for _, m := range g.MachinesOf(int32(d)) {
+			if keepM[m] {
+				deg++
+			}
+		}
+		switch {
+		case e2ldMachines[g.domainE2LD[d]] >= thetaM:
+			stats.DroppedR4++ // R4: too popular to be malware control
+		case deg < cfg.MinDomainMachines && g.domainLabel[d] != LabelMalware:
+			stats.DroppedR3++ // R3: single-machine domain (exception: known malware stays)
+		default:
+			keepD[d] = true
+		}
+	}
+
+	pruned := materialize(g, keepM, keepD)
+	stats.MachinesAfter = pruned.NumMachines()
+	stats.DomainsAfter = pruned.NumDomains()
+	stats.EdgesAfter = pruned.NumEdges()
+	return pruned, stats, nil
+}
+
+// degreePercentile returns the machine-degree value at the given
+// percentile (nearest-rank).
+func degreePercentile(g *Graph, pct float64) int {
+	n := g.NumMachines()
+	if n == 0 {
+		return 1
+	}
+	degrees := make([]int, n)
+	for m := 0; m < n; m++ {
+		degrees[m] = g.MachineDegree(int32(m))
+	}
+	sort.Ints(degrees)
+	rank := int(math.Ceil(pct / 100.0 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return degrees[rank-1]
+}
+
+// e2ldMachineCounts counts, per effective 2LD, the distinct surviving
+// machines that query any domain under it. A per-machine stamp keeps the
+// scan O(edges). keepM may be nil to count every machine.
+func (g *Graph) e2ldMachineCounts(keepM []bool) map[string]int {
+	// Group domains by e2LD.
+	byE2LD := make(map[string][]int32)
+	for d := range g.domains {
+		byE2LD[g.domainE2LD[d]] = append(byE2LD[g.domainE2LD[d]], int32(d))
+	}
+	counts := make(map[string]int, len(byE2LD))
+	stamp := make([]int, g.NumMachines())
+	cur := 0
+	for e2ld, ds := range byE2LD {
+		cur++
+		n := 0
+		for _, d := range ds {
+			for _, m := range g.MachinesOf(d) {
+				if keepM != nil && !keepM[m] {
+					continue
+				}
+				if stamp[m] != cur {
+					stamp[m] = cur
+					n++
+				}
+			}
+		}
+		counts[e2ld] = n
+	}
+	return counts
+}
+
+// materialize builds the subgraph induced by the kept nodes, carrying over
+// labels and annotations and re-deriving machine labels.
+func materialize(g *Graph, keepM, keepD []bool) *Graph {
+	out := &Graph{
+		name:          g.name,
+		day:           g.day,
+		labeledAsOf:   g.labeledAsOf,
+		labelsApplied: g.labelsApplied,
+	}
+
+	mMap := make([]int32, g.NumMachines())
+	out.machineIndex = make(map[string]int32)
+	for m := range keepM {
+		mMap[m] = -1
+		if !keepM[m] {
+			continue
+		}
+		id := int32(len(out.machineIDs))
+		mMap[m] = id
+		out.machineIndex[g.machineIDs[m]] = id
+		out.machineIDs = append(out.machineIDs, g.machineIDs[m])
+	}
+
+	dMap := make([]int32, g.NumDomains())
+	out.domainIndex = make(map[string]int32)
+	for d := range keepD {
+		dMap[d] = -1
+		if !keepD[d] {
+			continue
+		}
+		id := int32(len(out.domains))
+		dMap[d] = id
+		out.domainIndex[g.domains[d]] = id
+		out.domains = append(out.domains, g.domains[d])
+		out.domainE2LD = append(out.domainE2LD, g.domainE2LD[d])
+		out.domainIPs = append(out.domainIPs, g.domainIPs[d])
+		out.domainLabel = append(out.domainLabel, g.domainLabel[d])
+	}
+
+	nm := len(out.machineIDs)
+	nd := len(out.domains)
+	out.machineLabel = make([]Label, nm)
+	out.cntMalware = make([]int32, nm)
+	out.cntNonBenign = make([]int32, nm)
+
+	// Machine-side CSR over surviving edges.
+	out.mOff = make([]int32, nm+1)
+	for m := range keepM {
+		if !keepM[m] {
+			continue
+		}
+		for _, d := range g.DomainsOf(int32(m)) {
+			if dMap[d] >= 0 {
+				out.mOff[mMap[m]+1]++
+			}
+		}
+	}
+	for m := 0; m < nm; m++ {
+		out.mOff[m+1] += out.mOff[m]
+	}
+	out.mAdj = make([]int32, out.mOff[nm])
+	cursor := make([]int32, nm)
+	copy(cursor, out.mOff[:nm])
+	for m := range keepM {
+		if !keepM[m] {
+			continue
+		}
+		nm2 := mMap[m]
+		for _, d := range g.DomainsOf(int32(m)) {
+			if dMap[d] >= 0 {
+				out.mAdj[cursor[nm2]] = dMap[d]
+				cursor[nm2]++
+			}
+		}
+	}
+
+	// Domain-side CSR via counting sort.
+	out.dOff = make([]int32, nd+1)
+	for _, d := range out.mAdj {
+		out.dOff[d+1]++
+	}
+	for d := 0; d < nd; d++ {
+		out.dOff[d+1] += out.dOff[d]
+	}
+	out.dAdj = make([]int32, len(out.mAdj))
+	dCursor := make([]int32, nd)
+	copy(dCursor, out.dOff[:nd])
+	for m := 0; m < nm; m++ {
+		for _, d := range out.DomainsOf(int32(m)) {
+			out.dAdj[dCursor[d]] = int32(m)
+			dCursor[d]++
+		}
+	}
+
+	out.recomputeMachineLabels()
+	return out
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+)
+
+// buildPruneGraph creates a graph exercising every pruning rule:
+//   - "idle" queries 2 domains (R1 target).
+//   - "idlebot" queries only 2 malware domains (R1 exception).
+//   - "proxy" queries every domain (R2 target at a low percentile).
+//   - "lonely.com" is queried by one machine (R3 target).
+//   - "c2.solo.com" is malware queried by one machine (R3 exception).
+//   - "popular.com" is queried by nearly all machines (R4 target).
+func buildPruneGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("P", 10, dnsutil.DefaultSuffixList())
+
+	normals := make([]string, 30)
+	for i := range normals {
+		normals[i] = fmt.Sprintf("m%02d", i)
+		// Enough breadth to survive R1, spread thin enough that no site
+		// e2LD approaches the R4 popularity threshold.
+		for j := 0; j < 8; j++ {
+			b.AddQuery(normals[i], fmt.Sprintf("site%d.com", (i*3+j)%40))
+		}
+		b.AddQuery(normals[i], "www.popular.com")
+	}
+	b.AddQuery("m00", "lonely.com")
+	b.AddQuery("m01", "c2.solo.com")
+
+	b.AddQuery("idle", "site0.com")
+	b.AddQuery("idle", "site1.com")
+
+	b.AddQuery("idlebot", "c2.bot.com")
+	b.AddQuery("idlebot", "c2.bot2.com")
+
+	for j := 0; j < 12; j++ {
+		b.AddQuery("proxy", fmt.Sprintf("site%d.com", j))
+	}
+	for j := 0; j < 300; j++ {
+		b.AddQuery("proxy", fmt.Sprintf("proxyonly%03d.net", j))
+	}
+	return b.Build()
+}
+
+func labelPruneGraph(t *testing.T, g *Graph) {
+	t.Helper()
+	bl := intel.NewBlacklist()
+	for _, d := range []string{"c2.solo.com", "c2.bot.com", "c2.bot2.com"} {
+		bl.Add(intel.BlacklistEntry{Domain: d, FirstListed: 0})
+	}
+	wl := intel.NewWhitelist([]string{"popular.com"})
+	g.ApplyLabels(LabelSources{Blacklist: bl, Whitelist: wl, AsOf: 10})
+}
+
+func TestPruneRequiresLabels(t *testing.T) {
+	g := buildPruneGraph(t)
+	if _, _, err := Prune(g, DefaultPruneConfig()); !errors.Is(err, ErrNotLabeled) {
+		t.Fatalf("err = %v, want ErrNotLabeled", err)
+	}
+}
+
+func TestPruneRules(t *testing.T) {
+	g := buildPruneGraph(t)
+	labelPruneGraph(t, g)
+	cfg := DefaultPruneConfig()
+	cfg.ProxyPercentile = 97 // small population: make R2 bite the proxy
+	pruned, stats, err := Prune(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := pruned.MachineIndex("idle"); ok {
+		t.Error("R1: idle machine must be pruned")
+	}
+	if _, ok := pruned.MachineIndex("idlebot"); !ok {
+		t.Error("R1 exception: infected idle machine must survive")
+	}
+	if _, ok := pruned.MachineIndex("proxy"); ok {
+		t.Error("R2: proxy machine must be pruned")
+	}
+	if _, ok := pruned.MachineIndex("m05"); !ok {
+		t.Error("ordinary machine must survive")
+	}
+	if _, ok := pruned.DomainIndex("lonely.com"); ok {
+		t.Error("R3: single-machine domain must be pruned")
+	}
+	if _, ok := pruned.DomainIndex("c2.solo.com"); !ok {
+		t.Error("R3 exception: known malware domain must survive")
+	}
+	if _, ok := pruned.DomainIndex("www.popular.com"); ok {
+		t.Error("R4: domain under near-universally queried e2LD must be pruned")
+	}
+	if _, ok := pruned.DomainIndex("site0.com"); !ok {
+		t.Error("ordinary domain must survive")
+	}
+
+	if stats.DroppedR1 == 0 || stats.DroppedR2 == 0 || stats.DroppedR3 == 0 || stats.DroppedR4 == 0 {
+		t.Errorf("every rule should fire: %+v", stats)
+	}
+	if stats.MachinesAfter >= stats.MachinesBefore || stats.DomainsAfter >= stats.DomainsBefore {
+		t.Errorf("pruning must shrink the graph: %+v", stats)
+	}
+	if stats.EdgesAfter >= stats.EdgesBefore {
+		t.Errorf("pruning must drop edges: %+v", stats)
+	}
+}
+
+func TestPruneKeepsLabelsAndAnnotations(t *testing.T) {
+	g := buildPruneGraph(t)
+	labelPruneGraph(t, g)
+	cfg := DefaultPruneConfig()
+	cfg.ProxyPercentile = 97
+	pruned, _, err := Prune(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := pruned.DomainIndex("c2.bot.com")
+	if !ok {
+		t.Fatal("c2.bot.com should survive (malware exception)")
+	}
+	if pruned.DomainLabel(d) != LabelMalware {
+		t.Fatal("label must carry over")
+	}
+	if pruned.DomainE2LD(d) != "bot.com" {
+		t.Fatalf("e2LD = %q, want bot.com", pruned.DomainE2LD(d))
+	}
+	m, ok := pruned.MachineIndex("idlebot")
+	if !ok {
+		t.Fatal("idlebot should survive")
+	}
+	if pruned.MachineLabel(m) != LabelMalware {
+		t.Fatal("machine labels must be re-derived on the pruned graph")
+	}
+	if !pruned.Labeled() {
+		t.Fatal("pruned graph must remain labeled")
+	}
+}
+
+func TestPruneAdjacencyConsistent(t *testing.T) {
+	g := buildPruneGraph(t)
+	labelPruneGraph(t, g)
+	cfg := DefaultPruneConfig()
+	cfg.ProxyPercentile = 97
+	pruned, _, err := Prune(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for m := int32(0); m < int32(pruned.NumMachines()); m++ {
+		for _, d := range pruned.DomainsOf(m) {
+			edges++
+			found := false
+			for _, mm := range pruned.MachinesOf(d) {
+				if mm == m {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) missing from domain side", m, d)
+			}
+		}
+	}
+	if edges != pruned.NumEdges() {
+		t.Fatalf("edge count mismatch: %d vs %d", edges, pruned.NumEdges())
+	}
+}
+
+func TestPruneReductionStats(t *testing.T) {
+	s := PruneStats{
+		MachinesBefore: 100, MachinesAfter: 80,
+		DomainsBefore: 200, DomainsAfter: 150,
+		EdgesBefore: 1000, EdgesAfter: 700,
+	}
+	if got := s.MachineReduction(); got != 0.2 {
+		t.Errorf("MachineReduction = %v, want 0.2", got)
+	}
+	if got := s.DomainReduction(); got != 0.25 {
+		t.Errorf("DomainReduction = %v, want 0.25", got)
+	}
+	if got := s.EdgeReduction(); got != 0.3 {
+		t.Errorf("EdgeReduction = %v, want 0.3", got)
+	}
+	var zero PruneStats
+	if zero.MachineReduction() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}
+
+func TestDegreePercentile(t *testing.T) {
+	b := NewBuilder("T", 1, dnsutil.DefaultSuffixList())
+	// Machine i queries i+1 domains, i in [0,9].
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			b.AddQuery(fmt.Sprintf("m%d", i), fmt.Sprintf("d%d.com", j))
+		}
+	}
+	g := b.Build()
+	if got := degreePercentile(g, 100); got != 10 {
+		t.Errorf("p100 = %d, want 10", got)
+	}
+	if got := degreePercentile(g, 50); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := degreePercentile(g, 10); got != 1 {
+		t.Errorf("p10 = %d, want 1", got)
+	}
+}

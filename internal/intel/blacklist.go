@@ -1,0 +1,181 @@
+// Package intel manages the ground-truth sources Segugio seeds its graph
+// labels from: malware C&C domain blacklists (commercial or public, with
+// malware-family tags and first-listed dates) and popular-domain whitelists
+// built from a daily ranking archive with a "consistently popular for a
+// year" filter and free-registration-zone exclusions (paper Section III).
+package intel
+
+import (
+	"sort"
+	"strings"
+)
+
+// BlacklistEntry is one blacklisted malware-control domain.
+type BlacklistEntry struct {
+	// Domain is the full (normalized) domain name; the paper matches the
+	// entire FQD string against the blacklist.
+	Domain string
+	// Family is the malware family (or criminal-group) tag provided by the
+	// blacklist vendor; empty when unlabeled.
+	Family string
+	// FirstListed is the day the entry appeared on the list. Time-aware
+	// lookups use it so experiments can honestly exclude future knowledge,
+	// and the early-detection experiment (Section IV-F) compares Segugio's
+	// detection day against it.
+	FirstListed int
+}
+
+// Blacklist is a set of known malware-control domains. The zero value is
+// not usable; construct with NewBlacklist.
+type Blacklist struct {
+	entries map[string]BlacklistEntry
+}
+
+// NewBlacklist returns an empty blacklist.
+func NewBlacklist() *Blacklist {
+	return &Blacklist{entries: make(map[string]BlacklistEntry)}
+}
+
+// Add inserts or replaces an entry. When the domain is already present the
+// earlier FirstListed day is kept, matching how real feeds accumulate.
+func (b *Blacklist) Add(e BlacklistEntry) {
+	if old, ok := b.entries[e.Domain]; ok && old.FirstListed < e.FirstListed {
+		e.FirstListed = old.FirstListed
+	}
+	b.entries[e.Domain] = e
+}
+
+// Len reports the number of blacklisted domains.
+func (b *Blacklist) Len() int { return len(b.entries) }
+
+// Contains reports whether domain was on the blacklist as of the given day.
+// The full domain string is matched, per the paper's labeling rule.
+func (b *Blacklist) Contains(domain string, asOf int) bool {
+	e, ok := b.entries[domain]
+	return ok && e.FirstListed <= asOf
+}
+
+// Entry returns the entry for domain regardless of listing day.
+func (b *Blacklist) Entry(domain string) (BlacklistEntry, bool) {
+	e, ok := b.entries[domain]
+	return e, ok
+}
+
+// Domains returns all blacklisted domains in sorted order, ignoring listing
+// days. Use DomainsAsOf for time-aware enumeration.
+func (b *Blacklist) Domains() []string {
+	out := make([]string, 0, len(b.entries))
+	for d := range b.entries {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DomainsAsOf returns the domains listed on or before day, sorted.
+func (b *Blacklist) DomainsAsOf(day int) []string {
+	out := make([]string, 0, len(b.entries))
+	for d, e := range b.entries {
+		if e.FirstListed <= day {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Families returns the distinct family tags present, sorted. Entries with
+// an empty family tag are skipped.
+func (b *Blacklist) Families() []string {
+	set := make(map[string]struct{})
+	for _, e := range b.entries {
+		if e.Family != "" {
+			set[e.Family] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByFamily groups blacklisted domains by family tag. Unlabeled entries are
+// grouped under the empty string.
+func (b *Blacklist) ByFamily() map[string][]string {
+	out := make(map[string][]string)
+	for d, e := range b.entries {
+		out[e.Family] = append(out[e.Family], d)
+	}
+	for f := range out {
+		sort.Strings(out[f])
+	}
+	return out
+}
+
+// Minus returns the entries of b whose domains are not in other. The
+// cross-blacklist experiment (Section IV-E) tests on public-list domains
+// absent from the commercial list used in training.
+func (b *Blacklist) Minus(other *Blacklist) *Blacklist {
+	out := NewBlacklist()
+	for d, e := range b.entries {
+		if _, dup := other.entries[d]; !dup {
+			out.Add(e)
+		}
+	}
+	return out
+}
+
+// Union merges two blacklists into a new one, keeping the earlier
+// FirstListed day for shared domains.
+func (b *Blacklist) Union(other *Blacklist) *Blacklist {
+	out := NewBlacklist()
+	for _, e := range b.entries {
+		out.Add(e)
+	}
+	for _, e := range other.entries {
+		out.Add(e)
+	}
+	return out
+}
+
+// Intersect returns the domains present in both lists (entries from b).
+func (b *Blacklist) Intersect(other *Blacklist) *Blacklist {
+	out := NewBlacklist()
+	for d, e := range b.entries {
+		if _, ok := other.entries[d]; ok {
+			out.Add(e)
+		}
+	}
+	return out
+}
+
+// IsSupersetOf reports whether b contains every domain of other. Section V
+// verifies the Notos training blacklist is a proper superset of Segugio's.
+func (b *Blacklist) IsSupersetOf(other *Blacklist) bool {
+	for d := range other.entries {
+		if _, ok := b.entries[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterFamilies returns a new blacklist keeping only entries whose family
+// tag is in keep. Used to build family-balanced folds.
+func (b *Blacklist) FilterFamilies(keep map[string]struct{}) *Blacklist {
+	out := NewBlacklist()
+	for _, e := range b.entries {
+		if _, ok := keep[e.Family]; ok {
+			out.Add(e)
+		}
+	}
+	return out
+}
+
+// MatchesZone reports whether domain equals zone or is a subdomain of it.
+// Helper for heuristics that group FQDs under listed zones.
+func MatchesZone(domain, zone string) bool {
+	return domain == zone || strings.HasSuffix(domain, "."+zone)
+}

@@ -1,0 +1,140 @@
+package intel
+
+import (
+	"testing"
+)
+
+func TestBlacklistAddContains(t *testing.T) {
+	b := NewBlacklist()
+	b.Add(BlacklistEntry{Domain: "c2.evil.com", Family: "zeus", FirstListed: 10})
+
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if !b.Contains("c2.evil.com", 10) {
+		t.Error("should be listed on its FirstListed day")
+	}
+	if !b.Contains("c2.evil.com", 50) {
+		t.Error("should be listed after FirstListed")
+	}
+	if b.Contains("c2.evil.com", 9) {
+		t.Error("must not be listed before FirstListed")
+	}
+	if b.Contains("other.com", 100) {
+		t.Error("unlisted domain must not match")
+	}
+	// Full-string match only: subdomains of listed domains do not match.
+	if b.Contains("x.c2.evil.com", 100) {
+		t.Error("blacklist matching is exact, not suffix-based")
+	}
+}
+
+func TestBlacklistKeepsEarliestListing(t *testing.T) {
+	b := NewBlacklist()
+	b.Add(BlacklistEntry{Domain: "d.com", Family: "a", FirstListed: 5})
+	b.Add(BlacklistEntry{Domain: "d.com", Family: "b", FirstListed: 9})
+	e, ok := b.Entry("d.com")
+	if !ok || e.FirstListed != 5 {
+		t.Fatalf("FirstListed = %d, want 5 (earliest kept)", e.FirstListed)
+	}
+	if e.Family != "b" {
+		t.Fatalf("Family = %q, want latest tag %q", e.Family, "b")
+	}
+
+	// Adding an earlier sighting moves FirstListed back.
+	b.Add(BlacklistEntry{Domain: "d.com", Family: "b", FirstListed: 2})
+	if e, _ := b.Entry("d.com"); e.FirstListed != 2 {
+		t.Fatalf("FirstListed = %d, want 2", e.FirstListed)
+	}
+}
+
+func TestBlacklistDomainsAsOf(t *testing.T) {
+	b := NewBlacklist()
+	b.Add(BlacklistEntry{Domain: "a.com", FirstListed: 1})
+	b.Add(BlacklistEntry{Domain: "b.com", FirstListed: 5})
+	b.Add(BlacklistEntry{Domain: "c.com", FirstListed: 9})
+
+	got := b.DomainsAsOf(5)
+	if len(got) != 2 || got[0] != "a.com" || got[1] != "b.com" {
+		t.Fatalf("DomainsAsOf(5) = %v, want [a.com b.com]", got)
+	}
+	if all := b.Domains(); len(all) != 3 {
+		t.Fatalf("Domains = %v, want 3 entries", all)
+	}
+}
+
+func TestBlacklistFamilies(t *testing.T) {
+	b := NewBlacklist()
+	b.Add(BlacklistEntry{Domain: "a.com", Family: "zeus"})
+	b.Add(BlacklistEntry{Domain: "b.com", Family: "spyeye"})
+	b.Add(BlacklistEntry{Domain: "c.com", Family: "zeus"})
+	b.Add(BlacklistEntry{Domain: "d.com"}) // unlabeled
+
+	fams := b.Families()
+	if len(fams) != 2 || fams[0] != "spyeye" || fams[1] != "zeus" {
+		t.Fatalf("Families = %v, want [spyeye zeus]", fams)
+	}
+
+	byFam := b.ByFamily()
+	if len(byFam["zeus"]) != 2 || len(byFam["spyeye"]) != 1 || len(byFam[""]) != 1 {
+		t.Fatalf("ByFamily = %v", byFam)
+	}
+}
+
+func TestBlacklistSetOps(t *testing.T) {
+	commercial := NewBlacklist()
+	commercial.Add(BlacklistEntry{Domain: "a.com"})
+	commercial.Add(BlacklistEntry{Domain: "b.com"})
+	public := NewBlacklist()
+	public.Add(BlacklistEntry{Domain: "b.com"})
+	public.Add(BlacklistEntry{Domain: "c.com"})
+
+	onlyPublic := public.Minus(commercial)
+	if onlyPublic.Len() != 1 || !onlyPublic.Contains("c.com", 0) {
+		t.Fatalf("Minus: got %v", onlyPublic.Domains())
+	}
+
+	u := commercial.Union(public)
+	if u.Len() != 3 {
+		t.Fatalf("Union Len = %d, want 3", u.Len())
+	}
+	if !u.IsSupersetOf(commercial) || !u.IsSupersetOf(public) {
+		t.Error("union must be a superset of both inputs")
+	}
+	if commercial.IsSupersetOf(public) {
+		t.Error("commercial is not a superset of public")
+	}
+
+	i := commercial.Intersect(public)
+	if i.Len() != 1 || !i.Contains("b.com", 0) {
+		t.Fatalf("Intersect: got %v", i.Domains())
+	}
+}
+
+func TestBlacklistFilterFamilies(t *testing.T) {
+	b := NewBlacklist()
+	b.Add(BlacklistEntry{Domain: "a.com", Family: "zeus"})
+	b.Add(BlacklistEntry{Domain: "b.com", Family: "spyeye"})
+	kept := b.FilterFamilies(map[string]struct{}{"zeus": {}})
+	if kept.Len() != 1 || !kept.Contains("a.com", 0) {
+		t.Fatalf("FilterFamilies: got %v", kept.Domains())
+	}
+}
+
+func TestMatchesZone(t *testing.T) {
+	tests := []struct {
+		domain, zone string
+		want         bool
+	}{
+		{"evil.com", "evil.com", true},
+		{"c2.evil.com", "evil.com", true},
+		{"a.b.evil.com", "evil.com", true},
+		{"notevil.com", "evil.com", false},
+		{"evil.com.org", "evil.com", false},
+	}
+	for _, tt := range tests {
+		if got := MatchesZone(tt.domain, tt.zone); got != tt.want {
+			t.Errorf("MatchesZone(%q, %q) = %v, want %v", tt.domain, tt.zone, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package intel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"segugio/internal/dnsutil"
+)
+
+// RankArchive is a multi-day archive of popularity rankings of effective
+// second-level domains, analogous to the paper's one-year collection of
+// daily alexa.com top-1M lists. Day i's list is a rank-ordered slice
+// (index 0 = most popular).
+type RankArchive struct {
+	days [][]string
+}
+
+// NewRankArchive returns an empty archive.
+func NewRankArchive() *RankArchive { return &RankArchive{} }
+
+// AddDay appends one day's ranked e2LD list. The slice is copied.
+func (a *RankArchive) AddDay(ranked []string) {
+	day := make([]string, len(ranked))
+	copy(day, ranked)
+	a.days = append(a.days, day)
+}
+
+// Days reports the number of archived days.
+func (a *RankArchive) Days() int { return len(a.days) }
+
+// ErrEmptyArchive is returned when building a whitelist from no data.
+var ErrEmptyArchive = errors.New("intel: rank archive has no days")
+
+// WhitelistConfig controls whitelist construction.
+type WhitelistConfig struct {
+	// TopK restricts each day's list to its TopK most popular e2LDs before
+	// the consistency intersection (the paper uses the full top-1M for the
+	// main whitelist and top-100K for the Notos comparison). Zero means use
+	// each day's entire list.
+	TopK int
+	// MinDays is the number of archive days an e2LD must appear in (within
+	// TopK) to be whitelisted. Zero means "every archived day", the paper's
+	// consistently-top-for-a-year rule.
+	MinDays int
+	// ExcludeZones lists e2LDs that must never be whitelisted even when
+	// consistently popular — free-registration zones such as dynamic-DNS
+	// and blog-hosting services whose subdomains are routinely abused.
+	ExcludeZones []string
+}
+
+// Whitelist is a set of trusted effective second-level domains. A full
+// domain name is whitelisted when its e2LD is in the set.
+type Whitelist struct {
+	e2lds map[string]struct{}
+}
+
+// BuildWhitelist applies the paper's filtering strategy to the archive:
+// keep e2LDs that appeared in the (top-K of the) ranking on at least
+// MinDays days, then drop excluded free-registration zones.
+func BuildWhitelist(a *RankArchive, cfg WhitelistConfig) (*Whitelist, error) {
+	if a.Days() == 0 {
+		return nil, ErrEmptyArchive
+	}
+	minDays := cfg.MinDays
+	if minDays <= 0 {
+		minDays = a.Days()
+	}
+	if minDays > a.Days() {
+		return nil, fmt.Errorf("intel: MinDays %d exceeds archived days %d", minDays, a.Days())
+	}
+	counts := make(map[string]int)
+	for _, day := range a.days {
+		limit := len(day)
+		if cfg.TopK > 0 && cfg.TopK < limit {
+			limit = cfg.TopK
+		}
+		for _, e2ld := range day[:limit] {
+			counts[e2ld]++
+		}
+	}
+	w := &Whitelist{e2lds: make(map[string]struct{})}
+	for e2ld, c := range counts {
+		if c >= minDays {
+			w.e2lds[e2ld] = struct{}{}
+		}
+	}
+	for _, zone := range cfg.ExcludeZones {
+		delete(w.e2lds, zone)
+	}
+	return w, nil
+}
+
+// NewWhitelist builds a whitelist directly from a set of e2LDs, for tests
+// and for deployments with a pre-vetted list.
+func NewWhitelist(e2lds []string) *Whitelist {
+	w := &Whitelist{e2lds: make(map[string]struct{}, len(e2lds))}
+	for _, d := range e2lds {
+		w.e2lds[d] = struct{}{}
+	}
+	return w
+}
+
+// Len reports the number of whitelisted e2LDs.
+func (w *Whitelist) Len() int { return len(w.e2lds) }
+
+// ContainsE2LD reports whether the exact e2LD is whitelisted.
+func (w *Whitelist) ContainsE2LD(e2ld string) bool {
+	_, ok := w.e2lds[e2ld]
+	return ok
+}
+
+// ContainsDomain reports whether domain's effective second-level domain is
+// whitelisted, e.g. "www.bbc.co.uk" is benign when "bbc.co.uk" is listed.
+func (w *Whitelist) ContainsDomain(domain string, suffixes *dnsutil.SuffixList) bool {
+	return w.ContainsE2LD(suffixes.E2LD(domain))
+}
+
+// Remove deletes e2LDs from the whitelist, returning how many were present.
+// The Notos comparison removes the top-100K training domains from the test
+// whitelist (Section V).
+func (w *Whitelist) Remove(e2lds []string) int {
+	removed := 0
+	for _, d := range e2lds {
+		if _, ok := w.e2lds[d]; ok {
+			delete(w.e2lds, d)
+			removed++
+		}
+	}
+	return removed
+}
+
+// E2LDs returns the whitelisted e2LDs in sorted order.
+func (w *Whitelist) E2LDs() []string {
+	out := make([]string, 0, len(w.e2lds))
+	for d := range w.e2lds {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy.
+func (w *Whitelist) Clone() *Whitelist {
+	return NewWhitelist(w.E2LDs())
+}

@@ -1,0 +1,124 @@
+package intel
+
+import (
+	"errors"
+	"testing"
+
+	"segugio/internal/dnsutil"
+)
+
+func TestBuildWhitelistConsistency(t *testing.T) {
+	a := NewRankArchive()
+	a.AddDay([]string{"stable.com", "flaky.com", "also-stable.org"})
+	a.AddDay([]string{"stable.com", "also-stable.org"})
+	a.AddDay([]string{"also-stable.org", "stable.com", "newcomer.net"})
+
+	w, err := BuildWhitelist(a, WhitelistConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.ContainsE2LD("stable.com") || !w.ContainsE2LD("also-stable.org") {
+		t.Error("consistently-listed e2LDs must be whitelisted")
+	}
+	if w.ContainsE2LD("flaky.com") || w.ContainsE2LD("newcomer.net") {
+		t.Error("inconsistently-listed e2LDs must be excluded")
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", w.Len())
+	}
+}
+
+func TestBuildWhitelistTopK(t *testing.T) {
+	a := NewRankArchive()
+	// "tail.com" is present daily but always below the top-2 cut.
+	a.AddDay([]string{"a.com", "b.com", "tail.com"})
+	a.AddDay([]string{"b.com", "a.com", "tail.com"})
+
+	w, err := BuildWhitelist(a, WhitelistConfig{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ContainsE2LD("tail.com") {
+		t.Error("e2LD below TopK must not be whitelisted")
+	}
+	if !w.ContainsE2LD("a.com") || !w.ContainsE2LD("b.com") {
+		t.Error("consistently top-K e2LDs must be whitelisted")
+	}
+}
+
+func TestBuildWhitelistMinDays(t *testing.T) {
+	a := NewRankArchive()
+	a.AddDay([]string{"often.com", "rare.com"})
+	a.AddDay([]string{"often.com"})
+	a.AddDay([]string{"often.com"})
+
+	w, err := BuildWhitelist(a, WhitelistConfig{MinDays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.ContainsE2LD("often.com") {
+		t.Error("often.com appears 3 days, MinDays 2: must be listed")
+	}
+	if w.ContainsE2LD("rare.com") {
+		t.Error("rare.com appears 1 day, MinDays 2: must not be listed")
+	}
+
+	if _, err := BuildWhitelist(a, WhitelistConfig{MinDays: 10}); err == nil {
+		t.Error("MinDays beyond archive length must fail")
+	}
+}
+
+func TestBuildWhitelistExcludesFreeRegistrationZones(t *testing.T) {
+	a := NewRankArchive()
+	a.AddDay([]string{"good.com", "dyndns.example"})
+	a.AddDay([]string{"good.com", "dyndns.example"})
+
+	w, err := BuildWhitelist(a, WhitelistConfig{ExcludeZones: []string{"dyndns.example"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ContainsE2LD("dyndns.example") {
+		t.Error("excluded free-registration zone must not be whitelisted")
+	}
+	if !w.ContainsE2LD("good.com") {
+		t.Error("good.com must remain whitelisted")
+	}
+}
+
+func TestBuildWhitelistEmptyArchive(t *testing.T) {
+	if _, err := BuildWhitelist(NewRankArchive(), WhitelistConfig{}); !errors.Is(err, ErrEmptyArchive) {
+		t.Fatalf("err = %v, want ErrEmptyArchive", err)
+	}
+}
+
+func TestWhitelistContainsDomain(t *testing.T) {
+	w := NewWhitelist([]string{"bbc.co.uk", "example.com"})
+	s := dnsutil.DefaultSuffixList()
+	if !w.ContainsDomain("www.bbc.co.uk", s) {
+		t.Error("www.bbc.co.uk should match via e2LD bbc.co.uk")
+	}
+	if !w.ContainsDomain("example.com", s) {
+		t.Error("exact e2LD should match")
+	}
+	if w.ContainsDomain("www.evil.com", s) {
+		t.Error("unlisted e2LD must not match")
+	}
+}
+
+func TestWhitelistRemoveAndClone(t *testing.T) {
+	w := NewWhitelist([]string{"a.com", "b.com", "c.com"})
+	clone := w.Clone()
+	if n := w.Remove([]string{"b.com", "zzz.com"}); n != 1 {
+		t.Fatalf("Remove returned %d, want 1", n)
+	}
+	if w.ContainsE2LD("b.com") {
+		t.Error("b.com should be removed")
+	}
+	if !clone.ContainsE2LD("b.com") {
+		t.Error("clone must be unaffected by Remove on the original")
+	}
+	got := w.E2LDs()
+	if len(got) != 2 || got[0] != "a.com" || got[1] != "c.com" {
+		t.Fatalf("E2LDs = %v, want [a.com c.com]", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package logio defines the plain-text file formats the segugio CLI
+// exchanges with the outside world, with streaming readers and writers:
+//
+//	query log     machine<TAB>domain
+//	resolutions   domain<TAB>ip[,ip...]
+//	blacklist     domain<TAB>family<TAB>firstListedDay
+//	whitelist     e2ld
+//	passive DNS   day<TAB>domain<TAB>ip
+//	activity      day<TAB>domain
+//
+// Lines starting with '#' and blank lines are ignored everywhere. All
+// readers validate domain syntax via dnsutil.Normalize so malformed input
+// fails loudly at the boundary instead of corrupting graphs.
+package logio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+	"segugio/internal/pdns"
+)
+
+// maxLineBytes bounds a single input line; DNS names cap at 253 bytes but
+// resolution lines carry many addresses.
+const maxLineBytes = 1 << 20
+
+// scanLines iterates non-comment lines, reporting 1-based line numbers.
+func scanLines(r io.Reader, fn func(lineNo int, line string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := fn(lineNo, line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ReadQueryLog streams (machine, domain) pairs into fn.
+func ReadQueryLog(r io.Reader, fn func(machine, domain string)) error {
+	return scanLines(r, func(lineNo int, line string) error {
+		machine, rest, ok := strings.Cut(line, "\t")
+		if !ok || machine == "" {
+			return fmt.Errorf("logio: query log line %d: want machine<TAB>domain", lineNo)
+		}
+		domain, err := dnsutil.Normalize(rest)
+		if err != nil {
+			return fmt.Errorf("logio: query log line %d: %w", lineNo, err)
+		}
+		fn(machine, domain)
+		return nil
+	})
+}
+
+// WriteQuery writes one query-log line.
+func WriteQuery(w io.Writer, machine, domain string) error {
+	_, err := fmt.Fprintf(w, "%s\t%s\n", machine, domain)
+	return err
+}
+
+// ReadResolutions streams (domain, ips) records into fn.
+func ReadResolutions(r io.Reader, fn func(domain string, ips []dnsutil.IPv4)) error {
+	return scanLines(r, func(lineNo int, line string) error {
+		name, rest, ok := strings.Cut(line, "\t")
+		if !ok {
+			return fmt.Errorf("logio: resolutions line %d: want domain<TAB>ip[,ip...]", lineNo)
+		}
+		domain, err := dnsutil.Normalize(name)
+		if err != nil {
+			return fmt.Errorf("logio: resolutions line %d: %w", lineNo, err)
+		}
+		parts := strings.Split(rest, ",")
+		ips := make([]dnsutil.IPv4, 0, len(parts))
+		for _, p := range parts {
+			ip, err := dnsutil.ParseIPv4(strings.TrimSpace(p))
+			if err != nil {
+				return fmt.Errorf("logio: resolutions line %d: %w", lineNo, err)
+			}
+			ips = append(ips, ip)
+		}
+		fn(domain, ips)
+		return nil
+	})
+}
+
+// WriteResolution writes one resolutions line.
+func WriteResolution(w io.Writer, domain string, ips []dnsutil.IPv4) error {
+	parts := make([]string, len(ips))
+	for i, ip := range ips {
+		parts[i] = ip.String()
+	}
+	_, err := fmt.Fprintf(w, "%s\t%s\n", domain, strings.Join(parts, ","))
+	return err
+}
+
+// ReadBlacklist parses a blacklist file. The family and first-listed-day
+// fields are optional (missing day means 0, i.e. "always known").
+func ReadBlacklist(r io.Reader) (*intel.Blacklist, error) {
+	bl := intel.NewBlacklist()
+	err := scanLines(r, func(lineNo int, line string) error {
+		fields := strings.Split(line, "\t")
+		domain, err := dnsutil.Normalize(fields[0])
+		if err != nil {
+			return fmt.Errorf("logio: blacklist line %d: %w", lineNo, err)
+		}
+		e := intel.BlacklistEntry{Domain: domain}
+		if len(fields) > 1 {
+			e.Family = fields[1]
+		}
+		if len(fields) > 2 && fields[2] != "" {
+			day, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return fmt.Errorf("logio: blacklist line %d: bad day %q", lineNo, fields[2])
+			}
+			e.FirstListed = day
+		}
+		bl.Add(e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bl, nil
+}
+
+// WriteBlacklist writes every entry of a blacklist.
+func WriteBlacklist(w io.Writer, bl *intel.Blacklist) error {
+	for _, d := range bl.Domains() {
+		e, _ := bl.Entry(d)
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%d\n", e.Domain, e.Family, e.FirstListed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWhitelist parses a whitelist file (one e2LD per line).
+func ReadWhitelist(r io.Reader) (*intel.Whitelist, error) {
+	var e2lds []string
+	err := scanLines(r, func(lineNo int, line string) error {
+		d, err := dnsutil.Normalize(line)
+		if err != nil {
+			return fmt.Errorf("logio: whitelist line %d: %w", lineNo, err)
+		}
+		e2lds = append(e2lds, d)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return intel.NewWhitelist(e2lds), nil
+}
+
+// WriteWhitelist writes every e2LD of a whitelist.
+func WriteWhitelist(w io.Writer, wl *intel.Whitelist) error {
+	for _, d := range wl.E2LDs() {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadActivity streams day<TAB>domain activity marks into the log,
+// tracking e2LDs via the suffix list. The activity file carries the
+// per-day query-log digest the F2 features are measured against; it is
+// finer-grained than the passive-DNS snapshots.
+func ReadActivity(r io.Reader, log *activity.Log, suffixes *dnsutil.SuffixList) error {
+	e2ldCache := make(map[string]string)
+	return scanLines(r, func(lineNo int, line string) error {
+		dayStr, rest, ok := strings.Cut(line, "\t")
+		if !ok {
+			return fmt.Errorf("logio: activity line %d: want day<TAB>domain", lineNo)
+		}
+		day, err := strconv.Atoi(dayStr)
+		if err != nil {
+			return fmt.Errorf("logio: activity line %d: bad day %q", lineNo, dayStr)
+		}
+		domain, err := dnsutil.Normalize(rest)
+		if err != nil {
+			return fmt.Errorf("logio: activity line %d: %w", lineNo, err)
+		}
+		log.MarkDomain(day, domain)
+		e2ld, cached := e2ldCache[domain]
+		if !cached {
+			e2ld = suffixes.E2LD(domain)
+			e2ldCache[domain] = e2ld
+		}
+		log.MarkE2LD(day, e2ld)
+		return nil
+	})
+}
+
+// WriteActivityMark writes one activity line.
+func WriteActivityMark(w io.Writer, day int, domain string) error {
+	_, err := fmt.Fprintf(w, "%d\t%s\n", day, domain)
+	return err
+}
+
+// ReadPDNS streams passive-DNS records into a database.
+func ReadPDNS(r io.Reader, db *pdns.DB) error {
+	return scanLines(r, func(lineNo int, line string) error {
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return fmt.Errorf("logio: pdns line %d: want day<TAB>domain<TAB>ip", lineNo)
+		}
+		day, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("logio: pdns line %d: bad day %q", lineNo, fields[0])
+		}
+		domain, err := dnsutil.Normalize(fields[1])
+		if err != nil {
+			return fmt.Errorf("logio: pdns line %d: %w", lineNo, err)
+		}
+		ip, err := dnsutil.ParseIPv4(fields[2])
+		if err != nil {
+			return fmt.Errorf("logio: pdns line %d: %w", lineNo, err)
+		}
+		db.Add(day, domain, ip)
+		return nil
+	})
+}
+
+// WritePDNSRecord writes one passive-DNS line.
+func WritePDNSRecord(w io.Writer, day int, domain string, ip dnsutil.IPv4) error {
+	_, err := fmt.Fprintf(w, "%d\t%s\t%s\n", day, domain, ip)
+	return err
+}

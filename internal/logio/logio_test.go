@@ -1,0 +1,187 @@
+package logio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+	"segugio/internal/pdns"
+)
+
+func TestQueryLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteQuery(&buf, "m1", "a.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteQuery(&buf, "m2", "B.Example.COM"); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("# comment\n\n")
+
+	var got [][2]string
+	if err := ReadQueryLog(&buf, func(m, d string) { got = append(got, [2]string{m, d}) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d queries, want 2", len(got))
+	}
+	if got[0] != [2]string{"m1", "a.example.com"} {
+		t.Fatalf("first = %v", got[0])
+	}
+	if got[1][1] != "b.example.com" {
+		t.Fatalf("domain not normalized: %v", got[1])
+	}
+}
+
+func TestReadQueryLogErrors(t *testing.T) {
+	tests := []struct {
+		name, input string
+	}{
+		{"no tab", "machineonly\n"},
+		{"empty machine", "\tdomain.com\n"},
+		{"bad domain", "m1\tnot a domain!\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := ReadQueryLog(strings.NewReader(tt.input), func(string, string) {})
+			if err == nil {
+				t.Fatalf("input %q must fail", tt.input)
+			}
+			if !strings.Contains(err.Error(), "line 1") {
+				t.Fatalf("error should carry the line number: %v", err)
+			}
+		})
+	}
+}
+
+func TestResolutionsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := []dnsutil.IPv4{dnsutil.MakeIPv4(1, 2, 3, 4), dnsutil.MakeIPv4(5, 6, 7, 8)}
+	if err := WriteResolution(&buf, "a.com", want); err != nil {
+		t.Fatal(err)
+	}
+	var gotDomain string
+	var gotIPs []dnsutil.IPv4
+	if err := ReadResolutions(&buf, func(d string, ips []dnsutil.IPv4) {
+		gotDomain, gotIPs = d, ips
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gotDomain != "a.com" || len(gotIPs) != 2 || gotIPs[0] != want[0] || gotIPs[1] != want[1] {
+		t.Fatalf("got %s %v", gotDomain, gotIPs)
+	}
+
+	if err := ReadResolutions(strings.NewReader("a.com\t1.2.3.999\n"), func(string, []dnsutil.IPv4) {}); err == nil {
+		t.Fatal("bad IP must fail")
+	}
+	if err := ReadResolutions(strings.NewReader("notab\n"), func(string, []dnsutil.IPv4) {}); err == nil {
+		t.Fatal("missing tab must fail")
+	}
+}
+
+func TestBlacklistRoundTrip(t *testing.T) {
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "c2.evil.com", Family: "zeus", FirstListed: 42})
+	bl.Add(intel.BlacklistEntry{Domain: "other.net"})
+
+	var buf bytes.Buffer
+	if err := WriteBlacklist(&buf, bl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBlacklist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", got.Len())
+	}
+	e, ok := got.Entry("c2.evil.com")
+	if !ok || e.Family != "zeus" || e.FirstListed != 42 {
+		t.Fatalf("entry = %+v", e)
+	}
+
+	// Optional fields.
+	short, err := ReadBlacklist(strings.NewReader("only.domain.com\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !short.Contains("only.domain.com", 0) {
+		t.Fatal("bare domain line must parse with FirstListed 0")
+	}
+	if _, err := ReadBlacklist(strings.NewReader("a.com\tfam\tnotaday\n")); err == nil {
+		t.Fatal("bad day must fail")
+	}
+}
+
+func TestWhitelistRoundTrip(t *testing.T) {
+	wl := intel.NewWhitelist([]string{"example.com", "bbc.co.uk"})
+	var buf bytes.Buffer
+	if err := WriteWhitelist(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWhitelist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !got.ContainsE2LD("bbc.co.uk") {
+		t.Fatalf("whitelist = %v", got.E2LDs())
+	}
+	if _, err := ReadWhitelist(strings.NewReader("bad domain!\n")); err == nil {
+		t.Fatal("bad domain must fail")
+	}
+}
+
+func TestPDNSRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePDNSRecord(&buf, 10, "a.com", dnsutil.MakeIPv4(9, 9, 9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	db := pdns.NewDB()
+	if err := ReadPDNS(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+	ips := db.IPs("a.com", 0, 20)
+	if len(ips) != 1 || ips[0] != dnsutil.MakeIPv4(9, 9, 9, 9) {
+		t.Fatalf("ips = %v", ips)
+	}
+
+	for _, bad := range []string{"x\ty\tz\n", "1\ta.com\n", "1\tbad domain\t1.1.1.1\n", "1\ta.com\tnope\n"} {
+		if err := ReadPDNS(strings.NewReader(bad), pdns.NewDB()); err == nil {
+			t.Fatalf("input %q must fail", bad)
+		}
+	}
+}
+
+func TestActivityRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for d := 5; d <= 7; d++ {
+		if err := WriteActivityMark(&buf, d, "www.example.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := activity.NewLog()
+	if err := ReadActivity(&buf, log, dnsutil.DefaultSuffixList()); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.DomainActiveDays("www.example.com", 0, 10); got != 3 {
+		t.Fatalf("active days = %d, want 3", got)
+	}
+	if got := log.DomainStreak("www.example.com", 7); got != 3 {
+		t.Fatalf("streak = %d, want 3", got)
+	}
+	if got := log.E2LDActiveDays("example.com", 0, 10); got != 3 {
+		t.Fatalf("e2LD active days = %d, want 3", got)
+	}
+
+	for _, bad := range []string{"notaday\ta.com\n", "1\tbad domain\n", "justone\n"} {
+		if err := ReadActivity(strings.NewReader(bad), activity.NewLog(), dnsutil.DefaultSuffixList()); err == nil {
+			t.Fatalf("input %q must fail", bad)
+		}
+	}
+}

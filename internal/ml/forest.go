@@ -1,0 +1,245 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// RandomForestConfig parameterizes forest training. Zero values select the
+// documented defaults, so RandomForestConfig{} is usable as-is.
+type RandomForestConfig struct {
+	// NumTrees is the ensemble size (default 64).
+	NumTrees int
+	// MaxDepth bounds tree depth (default 16).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// MaxFeatures is the number of features considered per split
+	// (default: ceil(sqrt(total features))).
+	MaxFeatures int
+	// MaxBins bounds the per-feature histogram resolution (default 64).
+	MaxBins int
+	// SubsampleSize is the bootstrap sample size per tree (default: the
+	// training-set size). Capping it trades a little accuracy for much
+	// faster training on ISP-scale sets.
+	SubsampleSize int
+	// PositiveWeight scales the malware class during impurity and leaf
+	// computation (default 1). Segugio's training sets are heavily
+	// imbalanced (millions of benign vs. tens of thousands of malware
+	// domains); a moderate weight keeps the trees sensitive to the rare
+	// class.
+	PositiveWeight float64
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+	// Workers bounds training parallelism (default GOMAXPROCS).
+	Workers int
+	// TrackOOB records which training rows each tree left out of its
+	// bootstrap, enabling OOBScores after Fit — an honest validation
+	// estimate without holding out data.
+	TrackOOB bool
+}
+
+// RandomForest is a bagged ensemble of histogram-based CART trees, the
+// paper's reference classifier. The zero value is not usable; construct
+// with NewRandomForest and call Fit before Score.
+type RandomForest struct {
+	cfg   RandomForestConfig
+	trees []*tree
+	nf    int
+	// oobSums/oobCounts accumulate per-training-row out-of-bag votes.
+	oobSums   []float64
+	oobCounts []int32
+}
+
+var _ Model = (*RandomForest)(nil)
+
+// NewRandomForest returns an untrained forest.
+func NewRandomForest(cfg RandomForestConfig) *RandomForest {
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 64
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 16
+	}
+	if cfg.MinLeaf <= 0 {
+		cfg.MinLeaf = 2
+	}
+	if cfg.MaxBins <= 0 {
+		cfg.MaxBins = maxBinsDefault
+	}
+	if cfg.PositiveWeight <= 0 {
+		cfg.PositiveWeight = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &RandomForest{cfg: cfg}
+}
+
+// Fit trains the ensemble. Trees are grown in parallel; the result is
+// deterministic for a fixed config because each tree derives its own RNG
+// from (Seed, tree index).
+func (rf *RandomForest) Fit(X [][]float64, y []int) error {
+	nf, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	rf.nf = nf
+
+	mtry := rf.cfg.MaxFeatures
+	if mtry <= 0 {
+		mtry = int(math.Ceil(math.Sqrt(float64(nf))))
+	}
+	if mtry > nf {
+		mtry = nf
+	}
+	sample := rf.cfg.SubsampleSize
+	if sample <= 0 || sample > len(X) {
+		sample = len(X)
+	}
+
+	bn := fitBinner(X, rf.cfg.MaxBins)
+	cols := bn.transform(X)
+	tcfg := treeConfig{
+		maxDepth:    rf.cfg.MaxDepth,
+		minLeaf:     rf.cfg.MinLeaf,
+		mtry:        mtry,
+		classWeight: [2]float64{1, rf.cfg.PositiveWeight},
+	}
+
+	rf.trees = make([]*tree, rf.cfg.NumTrees)
+	var oobMu sync.Mutex
+	if rf.cfg.TrackOOB {
+		rf.oobSums = make([]float64, len(X))
+		rf.oobCounts = make([]int32, len(X))
+	} else {
+		rf.oobSums, rf.oobCounts = nil, nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, rf.cfg.Workers)
+	for ti := range rf.trees {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ti int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(rf.cfg.Seed + int64(ti)*0x9e3779b9))
+			idx := make([]int, sample)
+			var inBag []bool
+			if rf.cfg.TrackOOB {
+				inBag = make([]bool, len(X))
+			}
+			for i := range idx {
+				idx[i] = rng.Intn(len(X))
+				if inBag != nil {
+					inBag[idx[i]] = true
+				}
+			}
+			t := growTree(cols, bn.edges, y, idx, tcfg, rng)
+			rf.trees[ti] = t
+			if inBag != nil {
+				// Score the rows this tree never saw.
+				oobMu.Lock()
+				for i := range X {
+					if !inBag[i] {
+						rf.oobSums[i] += t.score(X[i])
+						rf.oobCounts[i]++
+					}
+				}
+				oobMu.Unlock()
+			}
+		}(ti)
+	}
+	wg.Wait()
+	return nil
+}
+
+// OOBScores returns, for every training row, the mean score of the trees
+// whose bootstrap excluded it, plus a validity mask (a row sampled into
+// every bootstrap has no out-of-bag estimate). Requires TrackOOB at Fit
+// time; returns nil otherwise. Feed the valid scores with their labels to
+// an ROC to calibrate a deployment threshold without a held-out split.
+func (rf *RandomForest) OOBScores() (scores []float64, valid []bool) {
+	if rf.oobSums == nil {
+		return nil, nil
+	}
+	scores = make([]float64, len(rf.oobSums))
+	valid = make([]bool, len(rf.oobSums))
+	for i := range rf.oobSums {
+		if rf.oobCounts[i] > 0 {
+			scores[i] = rf.oobSums[i] / float64(rf.oobCounts[i])
+			valid[i] = true
+		}
+	}
+	return scores, valid
+}
+
+// Score returns the mean leaf probability across trees.
+func (rf *RandomForest) Score(x []float64) float64 {
+	if len(rf.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range rf.trees {
+		sum += t.score(x)
+	}
+	return sum / float64(len(rf.trees))
+}
+
+// ScoreBatch scores many examples in parallel.
+func (rf *RandomForest) ScoreBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	workers := rf.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(X) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(X) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = rf.Score(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// NumTrees reports the fitted ensemble size.
+func (rf *RandomForest) NumTrees() int { return len(rf.trees) }
+
+// FeatureImportances returns the mean-decrease-in-impurity importance of
+// each feature, normalized to sum to 1 (all zeros before Fit, when no
+// split was ever made, or on a forest restored from serialized form —
+// importances are training-time analysis and are not persisted).
+func (rf *RandomForest) FeatureImportances() []float64 {
+	out := make([]float64, rf.nf)
+	for _, t := range rf.trees {
+		for f, imp := range t.importances {
+			out[f] += imp
+		}
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for f := range out {
+			out[f] /= total
+		}
+	}
+	return out
+}

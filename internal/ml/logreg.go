@@ -1,0 +1,141 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LogisticRegressionConfig parameterizes the linear model. Zero values
+// select the documented defaults.
+type LogisticRegressionConfig struct {
+	// Epochs is the number of passes over the training set (default 30).
+	Epochs int
+	// LearningRate is the SGD step size (default 0.1).
+	LearningRate float64
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+	// PositiveWeight scales the malware-class gradient (default 1); see
+	// RandomForestConfig.PositiveWeight.
+	PositiveWeight float64
+	// Seed drives example shuffling.
+	Seed int64
+}
+
+// LogisticRegression is an L2-regularized linear classifier trained with
+// SGD over standardized features — the paper's liblinear-style
+// alternative classifier [10]. Construct with NewLogisticRegression.
+type LogisticRegression struct {
+	cfg  LogisticRegressionConfig
+	w    []float64
+	b    float64
+	mean []float64
+	std  []float64
+}
+
+var _ Model = (*LogisticRegression)(nil)
+
+// NewLogisticRegression returns an untrained model.
+func NewLogisticRegression(cfg LogisticRegressionConfig) *LogisticRegression {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.L2 < 0 {
+		cfg.L2 = 0
+	} else if cfg.L2 == 0 {
+		cfg.L2 = 1e-4
+	}
+	if cfg.PositiveWeight <= 0 {
+		cfg.PositiveWeight = 1
+	}
+	return &LogisticRegression{cfg: cfg}
+}
+
+// Fit standardizes the features and runs SGD.
+func (lr *LogisticRegression) Fit(X [][]float64, y []int) error {
+	nf, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	lr.mean = make([]float64, nf)
+	lr.std = make([]float64, nf)
+	for f := 0; f < nf; f++ {
+		var sum, sq float64
+		for _, row := range X {
+			sum += row[f]
+		}
+		m := sum / float64(len(X))
+		for _, row := range X {
+			d := row[f] - m
+			sq += d * d
+		}
+		s := math.Sqrt(sq / float64(len(X)))
+		if s == 0 {
+			s = 1
+		}
+		lr.mean[f], lr.std[f] = m, s
+	}
+
+	lr.w = make([]float64, nf)
+	lr.b = 0
+	rng := rand.New(rand.NewSource(lr.cfg.Seed))
+	order := rng.Perm(len(X))
+	xs := make([]float64, nf)
+	for epoch := 0; epoch < lr.cfg.Epochs; epoch++ {
+		// Decaying step size keeps late epochs stable.
+		eta := lr.cfg.LearningRate / (1 + 0.1*float64(epoch))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			for f := 0; f < nf; f++ {
+				xs[f] = (X[i][f] - lr.mean[f]) / lr.std[f]
+			}
+			p := sigmoid(dot(lr.w, xs) + lr.b)
+			grad := p - float64(y[i])
+			if y[i] == 1 {
+				grad *= lr.cfg.PositiveWeight
+			}
+			for f := 0; f < nf; f++ {
+				lr.w[f] -= eta * (grad*xs[f] + lr.cfg.L2*lr.w[f])
+			}
+			lr.b -= eta * grad
+		}
+	}
+	return nil
+}
+
+// Score returns the sigmoid of the standardized linear response.
+func (lr *LogisticRegression) Score(x []float64) float64 {
+	if lr.w == nil {
+		return 0
+	}
+	z := lr.b
+	for f := range lr.w {
+		z += lr.w[f] * (x[f] - lr.mean[f]) / lr.std[f]
+	}
+	return sigmoid(z)
+}
+
+// Weights returns a copy of the fitted coefficients (standardized space).
+func (lr *LogisticRegression) Weights() []float64 {
+	out := make([]float64, len(lr.w))
+	copy(out, lr.w)
+	return out
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

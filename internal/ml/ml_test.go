@@ -1,0 +1,372 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// synthBlobs generates a two-class problem: class 0 centered at (0,0,..),
+// class 1 at (sep,sep,..), with unit Gaussian noise.
+func synthBlobs(n, nf int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		row := make([]float64, nf)
+		for f := range row {
+			row[f] = rng.NormFloat64() + float64(c)*sep
+		}
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+// accuracy scores a model at threshold 0.5.
+func accuracy(m Model, X [][]float64, y []int) float64 {
+	ok := 0
+	for i, x := range X {
+		pred := 0
+		if m.Score(x) >= 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		X    [][]float64
+		y    []int
+		want error
+	}{
+		{name: "empty", X: nil, y: nil, want: ErrNoData},
+		{name: "len mismatch", X: [][]float64{{1}}, y: []int{0, 1}, want: ErrDimMismatch},
+		{name: "zero features", X: [][]float64{{}}, y: []int{0}, want: ErrDimMismatch},
+		{name: "ragged rows", X: [][]float64{{1}, {1, 2}}, y: []int{0, 1}, want: ErrDimMismatch},
+		{name: "bad label", X: [][]float64{{1}, {2}}, y: []int{0, 2}, want: ErrBadLabel},
+		{name: "one class", X: [][]float64{{1}, {2}}, y: []int{1, 1}, want: ErrOneClass},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := validate(tt.X, tt.y); !errors.Is(err, tt.want) {
+				t.Fatalf("validate err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+	if nf, err := validate([][]float64{{1, 2}, {3, 4}}, []int{0, 1}); err != nil || nf != 2 {
+		t.Fatalf("valid input: nf=%d err=%v", nf, err)
+	}
+}
+
+func TestRandomForestSeparable(t *testing.T) {
+	X, y := synthBlobs(600, 4, 3.0, 1)
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 30, Seed: 7})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := synthBlobs(400, 4, 3.0, 2)
+	if acc := accuracy(rf, Xt, yt); acc < 0.95 {
+		t.Fatalf("accuracy = %.3f, want >= 0.95 on well-separated blobs", acc)
+	}
+	if rf.NumTrees() != 30 {
+		t.Fatalf("NumTrees = %d, want 30", rf.NumTrees())
+	}
+}
+
+func TestRandomForestDeterministic(t *testing.T) {
+	X, y := synthBlobs(300, 3, 2.0, 3)
+	a := NewRandomForest(RandomForestConfig{NumTrees: 10, Seed: 42})
+	b := NewRandomForest(RandomForestConfig{NumTrees: 10, Seed: 42})
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if sa, sb := a.Score(X[i]), b.Score(X[i]); sa != sb {
+			t.Fatalf("scores diverge at %d: %v vs %v", i, sa, sb)
+		}
+	}
+}
+
+func TestRandomForestScoreRange(t *testing.T) {
+	X, y := synthBlobs(300, 3, 1.0, 5)
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 15, Seed: 1})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		s := rf.Score(x)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestRandomForestScoreBeforeFit(t *testing.T) {
+	rf := NewRandomForest(RandomForestConfig{})
+	if got := rf.Score([]float64{1, 2}); got != 0 {
+		t.Fatalf("unfitted Score = %v, want 0", got)
+	}
+}
+
+func TestRandomForestScoreBatch(t *testing.T) {
+	X, y := synthBlobs(200, 3, 2.0, 9)
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 8, Seed: 1})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	batch := rf.ScoreBatch(X)
+	if len(batch) != len(X) {
+		t.Fatalf("batch size = %d, want %d", len(batch), len(X))
+	}
+	for i := range X {
+		if batch[i] != rf.Score(X[i]) {
+			t.Fatalf("batch[%d] != Score", i)
+		}
+	}
+}
+
+func TestRandomForestSubsampleAndWeights(t *testing.T) {
+	// Heavy imbalance: 20 positives vs 800 negatives. A positive-weighted
+	// forest should still score positives higher than negatives.
+	rng := rand.New(rand.NewSource(11))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 800; i++ {
+		X = append(X, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < 20; i++ {
+		X = append(X, []float64{rng.NormFloat64() + 3, rng.NormFloat64() + 3})
+		y = append(y, 1)
+	}
+	rf := NewRandomForest(RandomForestConfig{
+		NumTrees: 20, Seed: 5, SubsampleSize: 400, PositiveWeight: 10,
+	})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pos := rf.Score([]float64{3, 3})
+	neg := rf.Score([]float64{0, 0})
+	if pos <= neg {
+		t.Fatalf("positive score %v <= negative score %v", pos, neg)
+	}
+}
+
+func TestLogisticRegressionSeparable(t *testing.T) {
+	X, y := synthBlobs(600, 4, 3.0, 21)
+	lr := NewLogisticRegression(LogisticRegressionConfig{Seed: 3})
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := synthBlobs(400, 4, 3.0, 22)
+	if acc := accuracy(lr, Xt, yt); acc < 0.95 {
+		t.Fatalf("accuracy = %.3f, want >= 0.95", acc)
+	}
+	w := lr.Weights()
+	if len(w) != 4 {
+		t.Fatalf("weights len = %d, want 4", len(w))
+	}
+	for _, wi := range w {
+		if wi <= 0 {
+			t.Fatalf("separating weights should be positive, got %v", w)
+		}
+	}
+}
+
+func TestLogisticRegressionScoreBeforeFit(t *testing.T) {
+	lr := NewLogisticRegression(LogisticRegressionConfig{})
+	if got := lr.Score([]float64{1}); got != 0 {
+		t.Fatalf("unfitted Score = %v, want 0", got)
+	}
+}
+
+func TestLogisticRegressionConstantFeature(t *testing.T) {
+	// A zero-variance feature must not produce NaNs.
+	X := [][]float64{{1, 5}, {2, 5}, {3, 5}, {10, 5}, {11, 5}, {12, 5}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	lr := NewLogisticRegression(LogisticRegressionConfig{Seed: 1})
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	s := lr.Score([]float64{11, 5})
+	if s != s { // NaN check
+		t.Fatal("score is NaN")
+	}
+	if s <= lr.Score([]float64{2, 5}) {
+		t.Fatal("model failed to separate on the informative feature")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := sigmoid(0); got != 0.5 {
+		t.Fatalf("sigmoid(0) = %v, want 0.5", got)
+	}
+	if got := sigmoid(100); got <= 0.999 {
+		t.Fatalf("sigmoid(100) = %v, want ~1", got)
+	}
+	if got := sigmoid(-100); got >= 0.001 {
+		t.Fatalf("sigmoid(-100) = %v, want ~0", got)
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	X := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	got := SelectColumns(X, []int{2, 0})
+	if got[0][0] != 3 || got[0][1] != 1 || got[1][0] != 6 || got[1][1] != 4 {
+		t.Fatalf("SelectColumns = %v", got)
+	}
+	// Original untouched.
+	if X[0][0] != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestBinnerFewDistinctValues(t *testing.T) {
+	X := [][]float64{{0}, {0}, {1}, {1}, {0.5}}
+	bn := fitBinner(X, 64)
+	if len(bn.edges[0]) != 2 {
+		t.Fatalf("edges = %v, want 2 midpoints for 3 distinct values", bn.edges[0])
+	}
+	if bn.bin(0, 0) == bn.bin(0, 1) {
+		t.Fatal("distinct values must land in distinct bins")
+	}
+	if bn.bin(0, 0.5) == bn.bin(0, 0) || bn.bin(0, 0.5) == bn.bin(0, 1) {
+		t.Fatal("middle value must get its own bin")
+	}
+}
+
+func TestBinnerManyValuesRespectsMaxBins(t *testing.T) {
+	n := 10000
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+	}
+	bn := fitBinner(X, 32)
+	if len(bn.edges[0]) >= 32 {
+		t.Fatalf("edges = %d, want < 32", len(bn.edges[0]))
+	}
+	// Monotone: larger values never get smaller bins.
+	prev := uint8(0)
+	for i := 0; i < n; i += 97 {
+		b := bn.bin(0, float64(i))
+		if b < prev {
+			t.Fatalf("bin not monotone at %d", i)
+		}
+		prev = b
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	X, y := synthBlobs(500, 3, 0.5, 31)
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 1, MaxDepth: 1, Seed: 1})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Depth 1 means at most 3 nodes (root + 2 leaves).
+	if n := len(rf.trees[0].nodes); n > 3 {
+		t.Fatalf("tree has %d nodes, want <= 3 at depth 1", n)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini(10, 0); g != 0 {
+		t.Fatalf("pure node gini = %v, want 0", g)
+	}
+	if g := gini(5, 5); g != 0.5 {
+		t.Fatalf("balanced node gini = %v, want 0.5", g)
+	}
+	if g := gini(0, 0); g != 0 {
+		t.Fatalf("empty node gini = %v, want 0", g)
+	}
+}
+
+func TestRandomForestFeatureImportances(t *testing.T) {
+	// Feature 0 carries all the signal; features 1 and 2 are pure noise.
+	rng := rand.New(rand.NewSource(13))
+	n := 600
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		X[i] = []float64{float64(c)*4 + rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = c
+	}
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 20, Seed: 2})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := rf.FeatureImportances()
+	if len(imp) != 3 {
+		t.Fatalf("importances len = %d, want 3", len(imp))
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importances sum = %v, want 1", sum)
+	}
+	if imp[0] < 0.8 {
+		t.Fatalf("signal feature importance = %v, want > 0.8 (noise: %v, %v)", imp[0], imp[1], imp[2])
+	}
+}
+
+func TestFeatureImportancesBeforeFit(t *testing.T) {
+	rf := NewRandomForest(RandomForestConfig{})
+	if imp := rf.FeatureImportances(); len(imp) != 0 {
+		t.Fatalf("unfitted importances = %v, want empty", imp)
+	}
+}
+
+func TestOOBScores(t *testing.T) {
+	X, y := synthBlobs(500, 3, 3.0, 41)
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 30, Seed: 2, TrackOOB: true})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	scores, valid := rf.OOBScores()
+	if len(scores) != len(X) || len(valid) != len(X) {
+		t.Fatalf("lengths = %d/%d, want %d", len(scores), len(valid), len(X))
+	}
+	// With 30 trees virtually every row has OOB votes (P(in every bag)
+	// ~ (1-1/e)^-30 ~ 0).
+	validCount, correct := 0, 0
+	for i := range X {
+		if !valid[i] {
+			continue
+		}
+		validCount++
+		pred := 0
+		if scores[i] >= 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if validCount < len(X)*9/10 {
+		t.Fatalf("only %d/%d rows have OOB estimates", validCount, len(X))
+	}
+	// OOB accuracy approximates test accuracy on separable blobs.
+	if acc := float64(correct) / float64(validCount); acc < 0.9 {
+		t.Fatalf("OOB accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestOOBScoresWithoutTracking(t *testing.T) {
+	X, y := synthBlobs(100, 2, 2.0, 43)
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 5, Seed: 1})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if scores, valid := rf.OOBScores(); scores != nil || valid != nil {
+		t.Fatal("OOBScores must be nil without TrackOOB")
+	}
+}

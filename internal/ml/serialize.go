@@ -1,0 +1,99 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Serialization uses encoding/gob over exported mirror types, so trained
+// models survive process restarts (deploy-time classification may run in
+// a different process than training, e.g. the segugio CLI).
+
+type forestWire struct {
+	Config RandomForestConfig
+	NF     int
+	Trees  []treeWire
+}
+
+type treeWire struct {
+	Nodes []nodeWire
+}
+
+type nodeWire struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Prob      float64
+}
+
+// MarshalBinary encodes the fitted forest.
+func (rf *RandomForest) MarshalBinary() ([]byte, error) {
+	w := forestWire{Config: rf.cfg, NF: rf.nf, Trees: make([]treeWire, len(rf.trees))}
+	for i, t := range rf.trees {
+		tw := treeWire{Nodes: make([]nodeWire, len(t.nodes))}
+		for j, n := range t.nodes {
+			tw.Nodes[j] = nodeWire{
+				Feature: n.feature, Threshold: n.threshold,
+				Left: n.left, Right: n.right, Prob: n.prob,
+			}
+		}
+		w.Trees[i] = tw
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("ml: encode forest: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a fitted forest.
+func (rf *RandomForest) UnmarshalBinary(data []byte) error {
+	var w forestWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("ml: decode forest: %w", err)
+	}
+	rf.cfg = w.Config
+	rf.nf = w.NF
+	rf.trees = make([]*tree, len(w.Trees))
+	for i, tw := range w.Trees {
+		t := &tree{nodes: make([]treeNode, len(tw.Nodes))}
+		for j, n := range tw.Nodes {
+			t.nodes[j] = treeNode{
+				feature: n.Feature, threshold: n.Threshold,
+				left: n.Left, right: n.Right, prob: n.Prob,
+			}
+		}
+		rf.trees[i] = t
+	}
+	return nil
+}
+
+type logregWire struct {
+	Config LogisticRegressionConfig
+	W      []float64
+	B      float64
+	Mean   []float64
+	Std    []float64
+}
+
+// MarshalBinary encodes the fitted linear model.
+func (lr *LogisticRegression) MarshalBinary() ([]byte, error) {
+	w := logregWire{Config: lr.cfg, W: lr.w, B: lr.b, Mean: lr.mean, Std: lr.std}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("ml: encode logreg: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a fitted linear model.
+func (lr *LogisticRegression) UnmarshalBinary(data []byte) error {
+	var w logregWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("ml: decode logreg: %w", err)
+	}
+	lr.cfg, lr.w, lr.b, lr.mean, lr.std = w.Config, w.W, w.B, w.Mean, w.Std
+	return nil
+}

@@ -1,0 +1,64 @@
+package ml
+
+import (
+	"testing"
+)
+
+func TestRandomForestSerializationRoundTrip(t *testing.T) {
+	X, y := synthBlobs(300, 3, 2.0, 77)
+	rf := NewRandomForest(RandomForestConfig{NumTrees: 12, Seed: 5})
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := rf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &RandomForest{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumTrees() != rf.NumTrees() {
+		t.Fatalf("tree count %d != %d", restored.NumTrees(), rf.NumTrees())
+	}
+	for i := 0; i < 50; i++ {
+		if a, b := rf.Score(X[i]), restored.Score(X[i]); a != b {
+			t.Fatalf("score mismatch at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRandomForestUnmarshalGarbage(t *testing.T) {
+	rf := &RandomForest{}
+	if err := rf.UnmarshalBinary([]byte("not gob")); err == nil {
+		t.Fatal("garbage must fail to decode")
+	}
+}
+
+func TestLogisticRegressionSerializationRoundTrip(t *testing.T) {
+	X, y := synthBlobs(300, 3, 2.0, 78)
+	lr := NewLogisticRegression(LogisticRegressionConfig{Seed: 5})
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := lr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &LogisticRegression{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if a, b := lr.Score(X[i]), restored.Score(X[i]); a != b {
+			t.Fatalf("score mismatch at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestLogisticRegressionUnmarshalGarbage(t *testing.T) {
+	lr := &LogisticRegression{}
+	if err := lr.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage must fail to decode")
+	}
+}

@@ -1,0 +1,261 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// The decision trees are histogram-based: feature values are quantized
+// into at most maxBins quantile bins once per forest, and split search
+// scans per-bin class counts instead of sorting samples at every node.
+// This keeps tree construction O(rows × features) per level, which is
+// what lets the pipeline train on a full ISP-day in minutes (paper
+// Section IV-G).
+
+// binner maps raw feature values to small bin indexes. edges[f] holds the
+// sorted thresholds between bins for feature f; a value v falls in the
+// first bin whose upper edge exceeds it.
+type binner struct {
+	edges [][]float64
+}
+
+const maxBinsDefault = 64
+
+// fitBinner computes quantile-based bin edges per feature.
+func fitBinner(X [][]float64, maxBins int) *binner {
+	if maxBins <= 1 {
+		maxBins = maxBinsDefault
+	}
+	if maxBins > 255 {
+		maxBins = 255
+	}
+	nf := len(X[0])
+	b := &binner{edges: make([][]float64, nf)}
+	vals := make([]float64, len(X))
+	for f := 0; f < nf; f++ {
+		for i, row := range X {
+			vals[i] = row[f]
+		}
+		sort.Float64s(vals)
+		// Distinct values, then thin to maxBins quantiles.
+		distinct := vals[:0:len(vals)]
+		prev := 0.0
+		for i, v := range vals {
+			if i == 0 || v != prev {
+				distinct = append(distinct, v)
+				prev = v
+			}
+		}
+		var edges []float64
+		if len(distinct) <= maxBins {
+			// One bin per distinct value; edges are midpoints.
+			for i := 1; i < len(distinct); i++ {
+				edges = append(edges, (distinct[i-1]+distinct[i])/2)
+			}
+		} else {
+			for k := 1; k < maxBins; k++ {
+				q := distinct[k*len(distinct)/maxBins]
+				if len(edges) == 0 || q > edges[len(edges)-1] {
+					edges = append(edges, q)
+				}
+			}
+		}
+		b.edges[f] = edges
+	}
+	return b
+}
+
+// bin quantizes one value of feature f.
+func (b *binner) bin(f int, v float64) uint8 {
+	edges := b.edges[f]
+	// Binary search: first edge > v.
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint8(lo)
+}
+
+// transform quantizes the whole matrix into column-major bins.
+func (b *binner) transform(X [][]float64) [][]uint8 {
+	nf := len(b.edges)
+	cols := make([][]uint8, nf)
+	for f := 0; f < nf; f++ {
+		col := make([]uint8, len(X))
+		for i, row := range X {
+			col[i] = b.bin(f, row[f])
+		}
+		cols[f] = col
+	}
+	return cols
+}
+
+// treeNode is one node of a fitted tree, in a flat arena. Leaves have
+// feature == -1.
+type treeNode struct {
+	feature   int32
+	threshold float64 // raw-value threshold: go left when v <= threshold
+	left      int32
+	right     int32
+	prob      float64 // leaf malware probability
+}
+
+// tree is a fitted CART classifier. importances accumulates the total
+// weighted Gini decrease per feature (mean-decrease-in-impurity).
+type tree struct {
+	nodes       []treeNode
+	importances []float64
+}
+
+// score walks the tree for a raw feature vector.
+func (t *tree) score(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.prob
+		}
+		if x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// treeConfig bundles the growth hyperparameters.
+type treeConfig struct {
+	maxDepth    int
+	minLeaf     int
+	mtry        int // features sampled per split
+	classWeight [2]float64
+}
+
+// growTree fits one tree on the rows idx of the binned matrix.
+func growTree(cols [][]uint8, edges [][]float64, y []int, idx []int, cfg treeConfig, rng *rand.Rand) *tree {
+	t := &tree{importances: make([]float64, len(cols))}
+	scratch := make([]int, len(idx))
+	t.grow(cols, edges, y, idx, scratch, 0, cfg, rng)
+	return t
+}
+
+// grow recursively builds a node over idx and returns its arena index.
+func (t *tree) grow(cols [][]uint8, edges [][]float64, y []int, idx, scratch []int, depth int, cfg treeConfig, rng *rand.Rand) int32 {
+	var w0, w1 float64
+	for _, i := range idx {
+		if y[i] == 1 {
+			w1 += cfg.classWeight[1]
+		} else {
+			w0 += cfg.classWeight[0]
+		}
+	}
+	me := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1, prob: leafProb(w0, w1)})
+
+	if depth >= cfg.maxDepth || len(idx) < 2*cfg.minLeaf || w0 == 0 || w1 == 0 {
+		return me
+	}
+
+	f, bin, gain := t.bestSplit(cols, y, idx, cfg, rng, w0, w1)
+	if gain <= 0 {
+		return me
+	}
+
+	// Partition idx by the chosen split, preserving order.
+	nl := 0
+	for _, i := range idx {
+		if cols[f][i] <= bin {
+			nl++
+		}
+	}
+	if nl < cfg.minLeaf || len(idx)-nl < cfg.minLeaf {
+		return me
+	}
+	li, ri := 0, nl
+	for _, i := range idx {
+		if cols[f][i] <= bin {
+			scratch[li] = i
+			li++
+		} else {
+			scratch[ri] = i
+			ri++
+		}
+	}
+	copy(idx, scratch[:len(idx)])
+
+	t.nodes[me].feature = int32(f)
+	t.nodes[me].threshold = edges[f][bin]
+	t.importances[f] += gain * float64(len(idx))
+	left := t.grow(cols, edges, y, idx[:nl], scratch[:nl], depth+1, cfg, rng)
+	right := t.grow(cols, edges, y, idx[nl:], scratch[:len(idx)-nl], depth+1, cfg, rng)
+	t.nodes[me].left = left
+	t.nodes[me].right = right
+	return me
+}
+
+// bestSplit scans mtry random features' histograms and returns the
+// (feature, bin, gain) with the highest weighted Gini decrease.
+func (t *tree) bestSplit(cols [][]uint8, y []int, idx []int, cfg treeConfig, rng *rand.Rand, w0, w1 float64) (bestF int, bestBin uint8, bestGain float64) {
+	nf := len(cols)
+	parent := gini(w0, w1)
+	total := w0 + w1
+	bestF, bestBin, bestGain = -1, 0, 0
+
+	// Sample mtry distinct features.
+	perm := rng.Perm(nf)
+	var hist [256][2]float64
+	for _, f := range perm[:cfg.mtry] {
+		maxBin := 0
+		col := cols[f]
+		// Zero only the touched region after use; track max bin seen.
+		for _, i := range idx {
+			b := int(col[i])
+			if y[i] == 1 {
+				hist[b][1] += cfg.classWeight[1]
+			} else {
+				hist[b][0] += cfg.classWeight[0]
+			}
+			if b > maxBin {
+				maxBin = b
+			}
+		}
+		var l0, l1 float64
+		for b := 0; b < maxBin; b++ { // split "<= b": last bin can't split
+			l0 += hist[b][0]
+			l1 += hist[b][1]
+			r0, r1 := w0-l0, w1-l1
+			lTot, rTot := l0+l1, r0+r1
+			if lTot == 0 || rTot == 0 {
+				continue
+			}
+			gain := parent - (lTot*gini(l0, l1)+rTot*gini(r0, r1))/total
+			if gain > bestGain {
+				bestF, bestBin, bestGain = f, uint8(b), gain
+			}
+		}
+		for b := 0; b <= maxBin; b++ {
+			hist[b][0], hist[b][1] = 0, 0
+		}
+	}
+	return bestF, bestBin, bestGain
+}
+
+// gini returns the Gini impurity of a two-class weight pair.
+func gini(w0, w1 float64) float64 {
+	tot := w0 + w1
+	if tot == 0 {
+		return 0
+	}
+	p := w1 / tot
+	return 2 * p * (1 - p)
+}
+
+// leafProb is the Laplace-smoothed malware probability of a leaf.
+func leafProb(w0, w1 float64) float64 {
+	return (w1 + 1) / (w0 + w1 + 2)
+}

@@ -1,0 +1,170 @@
+package notos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+	"segugio/internal/pdns"
+)
+
+// reputationFixture seeds a pdns database with three populations:
+// long-lived benign domains on clean IPs, blacklisted C&C on abused IPs,
+// and a fresh unlisted C&C sharing the abused space.
+func reputationFixture(t *testing.T) (*pdns.DB, *intel.Blacklist, *intel.Whitelist) {
+	t.Helper()
+	db := pdns.NewDB()
+	bl := intel.NewBlacklist()
+	var wlE2LDs []string
+
+	// 30 benign domains with months of stable history.
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("www.site%02d.com", i)
+		for day := 10; day < 140; day += 15 {
+			db.Add(day, name, dnsutil.MakeIPv4(20, byte(i), 0, 1))
+		}
+		wlE2LDs = append(wlE2LDs, fmt.Sprintf("site%02d.com", i))
+	}
+	// 20 blacklisted C&C domains on abused prefixes, with varied
+	// lifetimes (some control infrastructure lives for months), so the
+	// model cannot separate on history span alone.
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("c2-%02d.net", i)
+		bl.Add(intel.BlacklistEntry{Domain: name, FirstListed: 50})
+		from, until := 40, 90
+		if i%2 == 0 {
+			from, until = 10, 140
+		}
+		for day := from; day < until; day += 7 {
+			db.Add(day, name, dnsutil.MakeIPv4(185, 100, byte(i%4), byte(10+i)))
+		}
+	}
+	// A fresh, unlisted C&C in the same abused /24s, active only recently.
+	db.Add(148, "fresh-c2.org", dnsutil.MakeIPv4(185, 100, 1, 200))
+	db.Add(149, "fresh-c2.org", dnsutil.MakeIPv4(185, 100, 1, 200))
+	// A dirty benign site sharing abused space with months of history.
+	for day := 10; day < 140; day += 15 {
+		db.Add(day, "www.dirtybiz.com", dnsutil.MakeIPv4(185, 100, 2, 60))
+	}
+	wlE2LDs = append(wlE2LDs, "dirtybiz.com")
+
+	return db, bl, intel.NewWhitelist(wlE2LDs)
+}
+
+func trainFixture(t *testing.T) *Classifier {
+	t.Helper()
+	db, bl, wl := reputationFixture(t)
+	c, err := Train(Config{Suffixes: dnsutil.DefaultSuffixList()}, db, 150, bl, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTrainRequiresSuffixes(t *testing.T) {
+	db, bl, wl := reputationFixture(t)
+	if _, err := Train(Config{}, db, 150, bl, wl); !errors.Is(err, ErrNoSuffixes) {
+		t.Fatalf("err = %v, want ErrNoSuffixes", err)
+	}
+}
+
+func TestTrainEmptyDatabase(t *testing.T) {
+	db := pdns.NewDB()
+	bl := intel.NewBlacklist()
+	wl := intel.NewWhitelist(nil)
+	if _, err := Train(Config{Suffixes: dnsutil.DefaultSuffixList()}, db, 150, bl, wl); !errors.Is(err, ErrNoTraining) {
+		t.Fatalf("err = %v, want ErrNoTraining", err)
+	}
+}
+
+func TestScoreSeparatesKnownPopulations(t *testing.T) {
+	c := trainFixture(t)
+	mal, ok := c.Score("c2-05.net", 150)
+	if !ok {
+		t.Fatal("listed C&C with history must not be rejected")
+	}
+	ben, ok := c.Score("www.site10.com", 150)
+	if !ok {
+		t.Fatal("benign domain with history must not be rejected")
+	}
+	if mal <= ben {
+		t.Fatalf("C&C score %.3f should exceed benign %.3f", mal, ben)
+	}
+}
+
+func TestRejectOption(t *testing.T) {
+	c := trainFixture(t)
+	if _, ok := c.Score("never-seen.example", 150); ok {
+		t.Fatal("domain without history must be rejected")
+	}
+}
+
+func TestFreshC2VsDirtyBenign(t *testing.T) {
+	// The structural weakness the Section V comparison demonstrates: a
+	// reputation system cannot separate a fresh C&C domain from a benign
+	// site in dirty hosting space, because both show abused-IP overlap
+	// and neither behavior is visible to it.
+	c := trainFixture(t)
+	fresh, ok := c.Score("fresh-c2.org", 150)
+	if !ok {
+		t.Fatal("fresh C&C has (thin) history; should be scored")
+	}
+	dirty, ok := c.Score("www.dirtybiz.com", 150)
+	if !ok {
+		t.Fatal("dirty benign must be scored")
+	}
+	clean, _ := c.Score("www.site01.com", 150)
+	// Catching the fresh C&C forces a threshold at or below its score;
+	// the dirty benign domain must sit close to or above that threshold
+	// (that is the FP cost), while clean benign stays clearly below.
+	if fresh <= clean {
+		t.Fatalf("fresh C&C %.3f should outscore clean benign %.3f", fresh, clean)
+	}
+	if dirty <= clean {
+		t.Fatalf("dirty benign %.3f should outscore clean benign %.3f (the FP cost)", dirty, clean)
+	}
+}
+
+func TestFeatureVectorShape(t *testing.T) {
+	c := trainFixture(t)
+	v, ok := c.features("c2-01.net", 150)
+	if !ok {
+		t.Fatal("expected features")
+	}
+	if len(v) != NumFeatures {
+		t.Fatalf("vector length = %d, want %d", len(v), NumFeatures)
+	}
+	if len(FeatureNames()) != NumFeatures {
+		t.Fatalf("names length = %d, want %d", len(FeatureNames()), NumFeatures)
+	}
+	// Shared-fraction features are fractions.
+	if v[5] < 0 || v[5] > 1 || v[6] < 0 || v[6] > 1 {
+		t.Fatalf("shared fractions out of range: %v", v[5:7])
+	}
+}
+
+func TestHistoryWindowRespected(t *testing.T) {
+	db := pdns.NewDB()
+	// History exists, but only outside the look-back window.
+	db.Add(5, "old.com", dnsutil.MakeIPv4(1, 1, 1, 1))
+	for i := 0; i < 3; i++ {
+		for _, day := range []int{100, 105, 110} {
+			db.Add(day, fmt.Sprintf("mal%d.com", i), dnsutil.MakeIPv4(185, 1, 1, byte(i)))
+			db.Add(day, fmt.Sprintf("ben%d.com", i), dnsutil.MakeIPv4(20, 1, 1, byte(i)))
+		}
+	}
+	bl := intel.NewBlacklist()
+	wl := intel.NewWhitelist([]string{"ben0.com", "ben1.com", "ben2.com", "old.com"})
+	for i := 0; i < 3; i++ {
+		bl.Add(intel.BlacklistEntry{Domain: fmt.Sprintf("mal%d.com", i), FirstListed: 100})
+	}
+	c, err := Train(Config{Suffixes: dnsutil.DefaultSuffixList(), HistoryWindow: 30}, db, 120, bl, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Score("old.com", 120); ok {
+		t.Fatal("history outside the window must trigger the reject option")
+	}
+}

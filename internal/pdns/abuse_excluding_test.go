@@ -1,0 +1,80 @@
+package pdns
+
+import (
+	"testing"
+)
+
+// TestAbuseIndexExcluding verifies the self-exclusion semantics feature
+// measurement relies on: a domain's own history must never count as
+// "abused IP space" evidence for itself.
+func TestAbuseIndexExcluding(t *testing.T) {
+	db := NewDB()
+	// solo.evil.com is the only malware domain on 1.1.1.1.
+	db.Add(10, "solo.evil.com", ip(1, 1, 1, 1))
+	// Two malware domains share 2.2.2.2.
+	db.Add(10, "a.evil.com", ip(2, 2, 2, 2))
+	db.Add(11, "b.evil.com", ip(2, 2, 2, 2))
+	// Unknown domain alone on 3.3.3.3.
+	db.Add(12, "mystery.com", ip(3, 3, 3, 3))
+
+	verdict := func(d string) Verdict {
+		switch d {
+		case "solo.evil.com", "a.evil.com", "b.evil.com":
+			return VerdictMalware
+		default:
+			return VerdictUnknown
+		}
+	}
+	idx := BuildAbuseIndex(db, 0, 50, verdict)
+
+	// Sole contributor excluded: no evidence left.
+	if idx.MalwareIPExcluding(ip(1, 1, 1, 1), "solo.evil.com") {
+		t.Error("solo contributor must be excludable (IP)")
+	}
+	if idx.MalwarePrefixExcluding(ip(1, 1, 1, 1), "solo.evil.com") {
+		t.Error("solo contributor must be excludable (prefix)")
+	}
+	// Other domains keep seeing the evidence.
+	if !idx.MalwareIPExcluding(ip(1, 1, 1, 1), "other.com") {
+		t.Error("excluding an unrelated domain must not erase evidence")
+	}
+	// Shared IP: excluding either contributor still leaves the other.
+	if !idx.MalwareIPExcluding(ip(2, 2, 2, 2), "a.evil.com") {
+		t.Error("shared IP must survive excluding one contributor")
+	}
+	if !idx.MalwareIPExcluding(ip(2, 2, 2, 2), "b.evil.com") {
+		t.Error("shared IP must survive excluding the other contributor")
+	}
+	// Unknown set has the same semantics.
+	if idx.UnknownIPExcluding(ip(3, 3, 3, 3), "mystery.com") {
+		t.Error("unknown solo contributor must be excludable")
+	}
+	if !idx.UnknownIPExcluding(ip(3, 3, 3, 3), "else.com") {
+		t.Error("unknown evidence must survive unrelated exclusion")
+	}
+	if idx.UnknownPrefixExcluding(ip(3, 3, 3, 3), "mystery.com") {
+		t.Error("unknown prefix solo contributor must be excludable")
+	}
+	// Absent address: no evidence regardless of exclusion.
+	if idx.MalwareIPExcluding(ip(9, 9, 9, 9), "any.com") {
+		t.Error("absent IP must have no evidence")
+	}
+}
+
+// TestAbuseIndexPrefixCountsDistinctDomains checks that one domain with
+// many IPs in the same /24 counts as a single prefix contributor.
+func TestAbuseIndexPrefixCountsDistinctDomains(t *testing.T) {
+	db := NewDB()
+	db.Add(10, "multi.evil.com", ip(5, 5, 5, 1))
+	db.Add(10, "multi.evil.com", ip(5, 5, 5, 2))
+	db.Add(10, "multi.evil.com", ip(5, 5, 5, 3))
+	idx := BuildAbuseIndex(db, 0, 50, func(string) Verdict { return VerdictMalware })
+	// The domain is the sole contributor to the prefix despite three IPs,
+	// so excluding it removes the prefix evidence.
+	if idx.MalwarePrefixExcluding(ip(5, 5, 5, 100), "multi.evil.com") {
+		t.Error("one domain with several IPs in a /24 must remain excludable")
+	}
+	if !idx.MalwarePrefix(ip(5, 5, 5, 100)) {
+		t.Error("prefix evidence must exist without exclusion")
+	}
+}

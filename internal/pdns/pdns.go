@@ -1,0 +1,167 @@
+// Package pdns implements a passive-DNS database: a time-indexed history of
+// domain→IP resolutions, as collected below a local resolver over months of
+// monitoring.
+//
+// Segugio's IP-abuse features (F3) ask, for each resolved address of a
+// candidate domain, whether that address or its /24 prefix was pointed to by
+// already-known malware-control domains during a look-back window W (five
+// months in the paper), and how much the address space was shared with
+// still-unknown domains. This package stores the raw history and builds the
+// AbuseIndex those features are measured against.
+//
+// Days are plain integers counting days since the start of the simulated
+// timeline; the observation day of a graph is always larger than every
+// historical day recorded here.
+package pdns
+
+import (
+	"sort"
+	"sync"
+
+	"segugio/internal/dnsutil"
+)
+
+// Record is a single observed resolution: domain pointed to IP on Day.
+type Record struct {
+	Day    int
+	Domain string
+	IP     dnsutil.IPv4
+}
+
+// resolution is the packed per-domain history entry.
+type resolution struct {
+	day int
+	ip  dnsutil.IPv4
+}
+
+// DB is an append-mostly passive-DNS store. It is safe for concurrent use.
+type DB struct {
+	mu       sync.RWMutex
+	byDomain map[string][]resolution
+	records  int
+	minDay   int
+	maxDay   int
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{byDomain: make(map[string][]resolution), minDay: -1, maxDay: -1}
+}
+
+// Add records that domain resolved to ip on day. Duplicate observations are
+// deduplicated lazily at query time.
+func (db *DB) Add(day int, domain string, ip dnsutil.IPv4) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.byDomain[domain] = append(db.byDomain[domain], resolution{day: day, ip: ip})
+	db.records++
+	if db.minDay < 0 || day < db.minDay {
+		db.minDay = day
+	}
+	if day > db.maxDay {
+		db.maxDay = day
+	}
+}
+
+// AddRecord is a convenience wrapper around Add.
+func (db *DB) AddRecord(r Record) { db.Add(r.Day, r.Domain, r.IP) }
+
+// Len reports the total number of stored resolution records.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.records
+}
+
+// Domains reports the number of distinct domains with history.
+func (db *DB) Domains() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byDomain)
+}
+
+// DayRange returns the earliest and latest recorded days, or (-1, -1) for an
+// empty database.
+func (db *DB) DayRange() (minDay, maxDay int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.minDay, db.maxDay
+}
+
+// IPs returns the distinct addresses domain resolved to within [from, to]
+// (inclusive), in ascending order.
+func (db *DB) IPs(domain string, from, to int) []dnsutil.IPv4 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	seen := make(map[dnsutil.IPv4]struct{})
+	for _, r := range db.byDomain[domain] {
+		if r.day >= from && r.day <= to {
+			seen[r.ip] = struct{}{}
+		}
+	}
+	out := make([]dnsutil.IPv4, 0, len(seen))
+	for ip := range seen {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActiveDays returns the distinct days within [from, to] on which domain had
+// at least one recorded resolution, in ascending order.
+func (db *DB) ActiveDays(domain string, from, to int) []int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	seen := make(map[int]struct{})
+	for _, r := range db.byDomain[domain] {
+		if r.day >= from && r.day <= to {
+			seen[r.day] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ForEachRecord calls fn for every stored resolution with day in
+// [from, to]. Iteration order is unspecified. fn must not call back into
+// the DB's write methods.
+func (db *DB) ForEachRecord(from, to int, fn func(day int, domain string, ip dnsutil.IPv4)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for domain, hist := range db.byDomain {
+		for _, r := range hist {
+			if r.day >= from && r.day <= to {
+				fn(r.day, domain, r.ip)
+			}
+		}
+	}
+}
+
+// ForEachDomain calls fn for every domain with at least one record in
+// [from, to], passing the distinct IPs observed in that window. Iteration
+// order is unspecified. fn must not call back into the DB's write methods.
+func (db *DB) ForEachDomain(from, to int, fn func(domain string, ips []dnsutil.IPv4)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for domain, hist := range db.byDomain {
+		var ips []dnsutil.IPv4
+		seen := make(map[dnsutil.IPv4]struct{})
+		for _, r := range hist {
+			if r.day < from || r.day > to {
+				continue
+			}
+			if _, dup := seen[r.ip]; dup {
+				continue
+			}
+			seen[r.ip] = struct{}{}
+			ips = append(ips, r.ip)
+		}
+		if len(ips) > 0 {
+			fn(domain, ips)
+		}
+	}
+}

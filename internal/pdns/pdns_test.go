@@ -1,0 +1,188 @@
+package pdns
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segugio/internal/dnsutil"
+)
+
+func ip(a, b, c, d byte) dnsutil.IPv4 { return dnsutil.MakeIPv4(a, b, c, d) }
+
+func TestDBEmpty(t *testing.T) {
+	db := NewDB()
+	if db.Len() != 0 || db.Domains() != 0 {
+		t.Fatalf("empty DB: Len=%d Domains=%d, want 0, 0", db.Len(), db.Domains())
+	}
+	if minD, maxD := db.DayRange(); minD != -1 || maxD != -1 {
+		t.Fatalf("empty DB DayRange = (%d, %d), want (-1, -1)", minD, maxD)
+	}
+	if got := db.IPs("absent.com", 0, 100); len(got) != 0 {
+		t.Fatalf("IPs for absent domain = %v, want empty", got)
+	}
+}
+
+func TestDBAddAndQuery(t *testing.T) {
+	db := NewDB()
+	db.Add(10, "c2.evil.com", ip(1, 2, 3, 4))
+	db.Add(11, "c2.evil.com", ip(1, 2, 3, 5))
+	db.Add(12, "c2.evil.com", ip(1, 2, 3, 4)) // duplicate IP, later day
+	db.Add(20, "c2.evil.com", ip(9, 9, 9, 9)) // outside the query window below
+	db.Add(10, "www.good.com", ip(5, 6, 7, 8))
+
+	if db.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", db.Len())
+	}
+	if db.Domains() != 2 {
+		t.Fatalf("Domains = %d, want 2", db.Domains())
+	}
+	if minD, maxD := db.DayRange(); minD != 10 || maxD != 20 {
+		t.Fatalf("DayRange = (%d, %d), want (10, 20)", minD, maxD)
+	}
+
+	ips := db.IPs("c2.evil.com", 10, 15)
+	if len(ips) != 2 || ips[0] != ip(1, 2, 3, 4) || ips[1] != ip(1, 2, 3, 5) {
+		t.Fatalf("IPs in window = %v, want [1.2.3.4 1.2.3.5]", ips)
+	}
+
+	days := db.ActiveDays("c2.evil.com", 0, 100)
+	want := []int{10, 11, 12, 20}
+	if len(days) != len(want) {
+		t.Fatalf("ActiveDays = %v, want %v", days, want)
+	}
+	for i := range want {
+		if days[i] != want[i] {
+			t.Fatalf("ActiveDays = %v, want %v", days, want)
+		}
+	}
+}
+
+func TestDBWindowBoundariesInclusive(t *testing.T) {
+	db := NewDB()
+	db.Add(5, "d.com", ip(1, 1, 1, 1))
+	db.Add(10, "d.com", ip(2, 2, 2, 2))
+	if got := db.IPs("d.com", 5, 10); len(got) != 2 {
+		t.Fatalf("inclusive window: got %d IPs, want 2", len(got))
+	}
+	if got := db.IPs("d.com", 6, 9); len(got) != 0 {
+		t.Fatalf("exclusive interior window: got %d IPs, want 0", len(got))
+	}
+}
+
+func TestForEachDomainDedupsIPs(t *testing.T) {
+	db := NewDB()
+	db.Add(1, "d.com", ip(1, 1, 1, 1))
+	db.Add(2, "d.com", ip(1, 1, 1, 1))
+	db.Add(3, "d.com", ip(1, 1, 1, 2))
+	var calls int
+	db.ForEachDomain(0, 10, func(domain string, ips []dnsutil.IPv4) {
+		calls++
+		if domain != "d.com" {
+			t.Errorf("unexpected domain %q", domain)
+		}
+		if len(ips) != 2 {
+			t.Errorf("got %d IPs, want 2 (deduplicated)", len(ips))
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("ForEachDomain visited %d domains, want 1", calls)
+	}
+}
+
+func TestAbuseIndex(t *testing.T) {
+	db := NewDB()
+	// Malware domain in window.
+	db.Add(10, "c2.evil.com", ip(6, 6, 6, 6))
+	// Unknown domain sharing the /24 with the malware IP.
+	db.Add(11, "maybe.com", ip(6, 6, 6, 7))
+	// Benign domain: must not be indexed.
+	db.Add(12, "www.good.com", ip(8, 8, 8, 8))
+	// Malware domain outside the window: must not be indexed.
+	db.Add(99, "late.evil.com", ip(7, 7, 7, 7))
+
+	verdict := func(d string) Verdict {
+		switch d {
+		case "c2.evil.com", "late.evil.com":
+			return VerdictMalware
+		case "www.good.com":
+			return VerdictBenign
+		default:
+			return VerdictUnknown
+		}
+	}
+	idx := BuildAbuseIndex(db, 0, 50, verdict)
+
+	if !idx.MalwareIP(ip(6, 6, 6, 6)) {
+		t.Error("6.6.6.6 should be a malware IP")
+	}
+	if idx.MalwareIP(ip(6, 6, 6, 7)) {
+		t.Error("6.6.6.7 is only unknown-associated, not a malware IP")
+	}
+	if !idx.MalwarePrefix(ip(6, 6, 6, 200)) {
+		t.Error("6.6.6.0/24 should be a malware prefix")
+	}
+	if !idx.UnknownIP(ip(6, 6, 6, 7)) {
+		t.Error("6.6.6.7 should be an unknown-associated IP")
+	}
+	if idx.MalwareIP(ip(8, 8, 8, 8)) || idx.UnknownIP(ip(8, 8, 8, 8)) {
+		t.Error("benign history must not be indexed")
+	}
+	if idx.MalwareIP(ip(7, 7, 7, 7)) {
+		t.Error("record outside window must not be indexed")
+	}
+	if from, to := idx.Window(); from != 0 || to != 50 {
+		t.Errorf("Window = (%d, %d), want (0, 50)", from, to)
+	}
+	mi, mp, ui, up := idx.Stats()
+	if mi != 1 || mp != 1 || ui != 1 || up != 1 {
+		t.Errorf("Stats = (%d,%d,%d,%d), want (1,1,1,1)", mi, mp, ui, up)
+	}
+}
+
+// Property: every malware IP implies its prefix is a malware prefix.
+func TestAbuseIndexPrefixConsistency(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		for i := 0; i < int(n)+1; i++ {
+			addr := dnsutil.IPv4(rng.Uint32())
+			db.Add(rng.Intn(100), "mal.com", addr)
+			db.Add(rng.Intn(100), "unk.com", dnsutil.IPv4(rng.Uint32()))
+		}
+		idx := BuildAbuseIndex(db, 0, 99, func(d string) Verdict {
+			if d == "mal.com" {
+				return VerdictMalware
+			}
+			return VerdictUnknown
+		})
+		for _, ip := range db.IPs("mal.com", 0, 99) {
+			if !idx.MalwareIP(ip) || !idx.MalwarePrefix(ip) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBConcurrentAdd(t *testing.T) {
+	db := NewDB()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				db.Add(i, "d.com", dnsutil.MakeIPv4(byte(g), byte(i), 0, 1))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if db.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", db.Len())
+	}
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/features"
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+)
+
+func fixture(t *testing.T) (*graph.Graph, *features.Extractor, *core.Detector, []core.Detection) {
+	t.Helper()
+	b := graph.NewBuilder("R", 42, dnsutil.DefaultSuffixList())
+	for _, m := range []string{"bot1", "bot2"} {
+		b.AddQuery(m, "c2.known.com")
+		b.AddQuery(m, "suspect.net")
+		b.AddQuery(m, "www.good.com")
+	}
+	b.AddQuery("clean", "www.good.com")
+	b.AddQuery("clean", "benign-too.org")
+	b.AddQuery("bot1", "benign-too.org")
+	b.SetDomainIPs("suspect.net", []dnsutil.IPv4{dnsutil.MakeIPv4(185, 1, 1, 5)})
+	g := b.Build()
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "c2.known.com", FirstListed: 0})
+	wl := intel.NewWhitelist([]string{"good.com"})
+	g.ApplyLabels(graph.LabelSources{Blacklist: bl, Whitelist: wl, AsOf: 42})
+
+	ex, err := features.NewExtractor(g, nil, nil, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &core.Detector{}
+	det.SetThreshold(0.5)
+	dets := []core.Detection{
+		{Domain: "suspect.net", Score: 0.93},
+		{Domain: "benign-too.org", Score: 0.12}, // below threshold
+		{Domain: "vanished.com", Score: 0.99},   // not in graph
+	}
+	return g, ex, det, dets
+}
+
+func TestBuildReport(t *testing.T) {
+	g, ex, det, dets := fixture(t)
+	r := Build(g, ex, det, dets, 2)
+	if r.Network != "R" || r.Day != 42 || r.Threshold != 0.5 || r.Classified != 2 {
+		t.Fatalf("header = %+v", r)
+	}
+	if len(r.Detections) != 1 {
+		t.Fatalf("detections = %d, want 1 (below-threshold and vanished dropped)", len(r.Detections))
+	}
+	e := r.Detections[0]
+	if e.Domain != "suspect.net" || e.Score != 0.93 {
+		t.Fatalf("evidence = %+v", e)
+	}
+	if e.QueryingMachines != 2 || e.InfectedFraction != 1 {
+		t.Fatalf("machine evidence = %+v", e)
+	}
+	if len(e.ResolvedIPs) != 1 || e.ResolvedIPs[0] != "185.1.1.5" {
+		t.Fatalf("IPs = %v", e.ResolvedIPs)
+	}
+	if len(e.Machines) != 2 || e.Machines[0] != "bot1" {
+		t.Fatalf("machines = %v", e.Machines)
+	}
+	all := r.AllMachines()
+	if len(all) != 2 {
+		t.Fatalf("AllMachines = %v", all)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	g, ex, det, dets := fixture(t)
+	r := Build(g, ex, det, dets, 2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Network != "R" || len(decoded.Detections) != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Detections[0].Domain != "suspect.net" {
+		t.Fatalf("decoded detection = %+v", decoded.Detections[0])
+	}
+}
+
+func TestReportText(t *testing.T) {
+	g, ex, det, dets := fixture(t)
+	r := Build(g, ex, det, dets, 2)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"suspect.net", "185.1.1.5", "bot1", "remediation list: 2 machines"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportMachineCap(t *testing.T) {
+	b := graph.NewBuilder("R", 1, dnsutil.DefaultSuffixList())
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "c2.x.com"})
+	for i := 0; i < MaxMachinesPerDomain+10; i++ {
+		id := "m" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		b.AddQuery(id, "busy.net")
+		b.AddQuery(id, "c2.x.com")
+	}
+	g := b.Build()
+	g.ApplyLabels(graph.LabelSources{Blacklist: bl, AsOf: 1})
+	ex, err := features.NewExtractor(g, nil, nil, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &core.Detector{}
+	det.SetThreshold(0.1)
+	r := Build(g, ex, det, []core.Detection{{Domain: "busy.net", Score: 0.9}}, 1)
+	if got := len(r.Detections[0].Machines); got != MaxMachinesPerDomain {
+		t.Fatalf("machines = %d, want capped at %d", got, MaxMachinesPerDomain)
+	}
+	if r.Detections[0].QueryingMachines != MaxMachinesPerDomain+10 {
+		t.Fatal("QueryingMachines must report the uncapped count")
+	}
+}

@@ -1,0 +1,127 @@
+// Package sandbox models a malware dynamic-analysis trace database: the
+// network behavior recorded by executing malware samples in an
+// instrumented environment. The paper consults such a database twice —
+// "using a separate large database of malware network traces obtained by
+// executing malware samples in a sandbox" to show that 21% of Segugio's
+// counted false positives were in fact contacted by known malware
+// (Table III), and to break down Notos's false positives (Table IV).
+//
+// A trace records, per executed sample, the domains it queried; samples
+// carry the family tag assigned by the vendor's clustering. Queries by
+// sample and by domain are both indexed.
+package sandbox
+
+import (
+	"sort"
+	"sync"
+)
+
+// Trace is the recorded network behavior of one executed sample.
+type Trace struct {
+	// SampleID identifies the executed binary (e.g. its hash).
+	SampleID string
+	// Family is the vendor's family tag (may be empty for unclustered
+	// samples).
+	Family string
+	// Day is when the sample was executed.
+	Day int
+	// Domains are the names the sample queried during execution.
+	Domains []string
+}
+
+// DB is a queryable collection of sandbox traces. It is safe for
+// concurrent use.
+type DB struct {
+	mu       sync.RWMutex
+	traces   []Trace
+	byDomain map[string][]int // trace indexes
+}
+
+// NewDB returns an empty trace database.
+func NewDB() *DB {
+	return &DB{byDomain: make(map[string][]int)}
+}
+
+// Add records one execution trace. The trace is copied.
+func (db *DB) Add(t Trace) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t.Domains = append([]string(nil), t.Domains...)
+	idx := len(db.traces)
+	db.traces = append(db.traces, t)
+	seen := make(map[string]struct{}, len(t.Domains))
+	for _, d := range t.Domains {
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		seen[d] = struct{}{}
+		db.byDomain[d] = append(db.byDomain[d], idx)
+	}
+}
+
+// Samples reports the number of recorded traces.
+func (db *DB) Samples() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.traces)
+}
+
+// QueriedByMalware reports whether any executed sample queried the domain
+// on or before asOf — the evidence row of Tables III and IV.
+func (db *DB) QueriedByMalware(domain string, asOf int) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, i := range db.byDomain[domain] {
+		if db.traces[i].Day <= asOf {
+			return true
+		}
+	}
+	return false
+}
+
+// SamplesQuerying returns the IDs of samples (executed on or before asOf)
+// that queried the domain, sorted.
+func (db *DB) SamplesQuerying(domain string, asOf int) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for _, i := range db.byDomain[domain] {
+		if db.traces[i].Day <= asOf {
+			out = append(out, db.traces[i].SampleID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FamiliesQuerying returns the distinct family tags of samples querying
+// the domain on or before asOf, sorted; unclustered samples are skipped.
+func (db *DB) FamiliesQuerying(domain string, asOf int) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := map[string]struct{}{}
+	for _, i := range db.byDomain[domain] {
+		if db.traces[i].Day <= asOf && db.traces[i].Family != "" {
+			set[db.traces[i].Family] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Domains returns the distinct domains observed across all traces,
+// sorted. Mostly useful for tests and stats.
+func (db *DB) Domains() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byDomain))
+	for d := range db.byDomain {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

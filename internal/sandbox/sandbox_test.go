@@ -1,0 +1,81 @@
+package sandbox
+
+import (
+	"testing"
+)
+
+func seeded() *DB {
+	db := NewDB()
+	db.Add(Trace{SampleID: "sha-a", Family: "zeus", Day: 10,
+		Domains: []string{"c2.evil.com", "c2.evil.com", "www.google.example"}})
+	db.Add(Trace{SampleID: "sha-b", Family: "zeus", Day: 20,
+		Domains: []string{"c2.evil.com", "gate.other.net"}})
+	db.Add(Trace{SampleID: "sha-c", Family: "spyeye", Day: 30,
+		Domains: []string{"gate.other.net"}})
+	db.Add(Trace{SampleID: "sha-d", Family: "", Day: 5,
+		Domains: []string{"mystery.org"}})
+	return db
+}
+
+func TestQueriedByMalware(t *testing.T) {
+	db := seeded()
+	if !db.QueriedByMalware("c2.evil.com", 100) {
+		t.Error("c2.evil.com was queried")
+	}
+	if db.QueriedByMalware("c2.evil.com", 5) {
+		t.Error("no sample had run by day 5")
+	}
+	if db.QueriedByMalware("never.com", 100) {
+		t.Error("never-queried domain matched")
+	}
+}
+
+func TestSamplesQuerying(t *testing.T) {
+	db := seeded()
+	got := db.SamplesQuerying("c2.evil.com", 100)
+	if len(got) != 2 || got[0] != "sha-a" || got[1] != "sha-b" {
+		t.Fatalf("samples = %v", got)
+	}
+	// Time-bounded.
+	got = db.SamplesQuerying("c2.evil.com", 15)
+	if len(got) != 1 || got[0] != "sha-a" {
+		t.Fatalf("samples asOf 15 = %v", got)
+	}
+}
+
+func TestFamiliesQuerying(t *testing.T) {
+	db := seeded()
+	got := db.FamiliesQuerying("gate.other.net", 100)
+	if len(got) != 2 || got[0] != "spyeye" || got[1] != "zeus" {
+		t.Fatalf("families = %v", got)
+	}
+	// Unclustered samples are skipped.
+	if got := db.FamiliesQuerying("mystery.org", 100); len(got) != 0 {
+		t.Fatalf("unclustered family leaked: %v", got)
+	}
+}
+
+func TestDedupAndCounts(t *testing.T) {
+	db := seeded()
+	if db.Samples() != 4 {
+		t.Fatalf("samples = %d, want 4", db.Samples())
+	}
+	// sha-a queried c2.evil.com twice but indexes once.
+	if got := db.SamplesQuerying("c2.evil.com", 12); len(got) != 1 {
+		t.Fatalf("duplicate domain in one trace double-indexed: %v", got)
+	}
+	doms := db.Domains()
+	if len(doms) != 4 {
+		t.Fatalf("domains = %v", doms)
+	}
+}
+
+func TestAddCopiesTrace(t *testing.T) {
+	db := NewDB()
+	domains := []string{"a.com"}
+	db.Add(Trace{SampleID: "s", Day: 1, Domains: domains})
+	domains[0] = "mutated.com"
+	if !db.QueriedByMalware("a.com", 10) {
+		t.Fatal("trace must be copied at Add time")
+	}
+}

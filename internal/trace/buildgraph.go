@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+)
+
+// BuildGraph assembles the machine-domain behavior graph for one day
+// trace, annotating every queried domain with the addresses it resolved
+// to that day (the paper only considers authoritative responses mapping a
+// domain to valid IPs, which is the only traffic the generator emits).
+func BuildGraph(tr *DayTrace, cat *Catalog, suffixes *dnsutil.SuffixList) *graph.Graph {
+	name := tr.Network
+	if name == "" {
+		name = cat.Config().Name
+	}
+	b := graph.NewBuilder(name, tr.Day, suffixes)
+	seenDomain := make(map[int32]struct{})
+	for _, e := range tr.Edges {
+		name := cat.Name(e.Domain)
+		b.AddQuery(tr.MachineIDs[e.Machine], name)
+		if _, dup := seenDomain[e.Domain]; !dup {
+			seenDomain[e.Domain] = struct{}{}
+			b.SetDomainIPs(name, cat.ResolveOn(tr.Day, e.Domain))
+		}
+	}
+	return b.Build()
+}

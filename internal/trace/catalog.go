@@ -1,0 +1,548 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"segugio/internal/dnsutil"
+)
+
+// DomainKind classifies catalog domains by their true nature, which the
+// ground-truth feeds expose only partially (that partiality is the point of
+// the reproduction).
+type DomainKind uint8
+
+// DomainKind values.
+const (
+	// KindBenign is a hostname under a legitimate, popularity-ranked e2LD.
+	KindBenign DomainKind = iota + 1
+	// KindFreeRegSub is a user subdomain under a free-registration zone
+	// (blog host, dynamic DNS); a fraction of them are malware-operated.
+	KindFreeRegSub
+	// KindCC is a dedicated malware-control domain.
+	KindCC
+	// KindTail is an unpopular long-tail domain that never gets
+	// whitelisted or blacklisted.
+	KindTail
+)
+
+// Catalog is the deterministic universe of domains for one simulated ISP:
+// who exists, when each domain is active, and what it resolves to. All
+// answers are pure functions of (Config, day), so any day can be generated
+// independently and reproducibly.
+type Catalog struct {
+	cfg Config
+
+	names []string // global domain ID -> name
+
+	// Benign block: e2LD i has FQDNs fqdnsOfE2LD[i] (global IDs).
+	benignE2LDs []string
+	fqdnE2LD    []int32 // benign-local index -> e2LD index
+	fqdnLabelIx []uint8 // which hostname label (0 = bare e2LD)
+	fqdnBirth   []int   // day the hostname went live (0 = pre-timeline)
+	fqdnsOfE2LD [][]int32
+	dirtyE2LD   []bool
+	e2ldIPs     [][]dnsutil.IPv4
+
+	// Free-registration block.
+	zoneNames []string
+	subZone   []int32 // sub-local index -> zone index
+	subAbused []bool
+	subFamily []int32 // abused subs: owning family; -1 otherwise
+	subFrom   []int   // abused subs: active window
+	subTo     []int
+	subIPs    [][]dnsutil.IPv4
+
+	// C&C block.
+	familyNames    []string
+	familyDomains  [][]int32 // family -> global IDs
+	familyLifetime []int     // per-family control-domain lifetime in days
+	ccFamily       []int32   // cc-local index -> family
+	ccFrom         []int
+	ccTo           []int
+	ccEarlyIPs     [][]dnsutil.IPv4 // first half of lifetime
+	ccLateIPs      [][]dnsutil.IPv4 // after the mid-life relocation
+
+	// Tail block.
+	tailBirth []int
+	tailIPs   [][]dnsutil.IPv4
+
+	offSub, offCC, offTail int32
+
+	nameIndexOnce sync.Once
+	nameIndex     map[string]int32
+}
+
+var fqdnLabels = []string{"", "www", "m", "api", "cdn", "img", "mail", "shop", "static", "blog"}
+
+var benignTLDs = []string{"com", "net", "org", "co.uk", "com.br", "co.jp", "info", "com.au"}
+
+var ccWords = []string{"update", "node", "svc", "panel", "gate", "drop", "stat", "sync", "relay", "feed"}
+
+// NewCatalog builds the domain universe for cfg. It returns an error when
+// the configuration is invalid.
+func NewCatalog(cfg Config) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Catalog{cfg: cfg}
+	c.buildBenign()
+	c.buildFreeReg()
+	c.buildCC()
+	c.buildTail()
+	return c, nil
+}
+
+// Config returns the catalog's configuration.
+func (c *Catalog) Config() Config { return c.cfg }
+
+func (c *Catalog) buildBenign() {
+	cfg := c.cfg
+	seed := uint64(cfg.Seed)
+	c.benignE2LDs = make([]string, cfg.BenignE2LDs)
+	c.dirtyE2LD = make([]bool, cfg.BenignE2LDs)
+	c.e2ldIPs = make([][]dnsutil.IPv4, cfg.BenignE2LDs)
+	c.fqdnsOfE2LD = make([][]int32, cfg.BenignE2LDs)
+	for i := 0; i < cfg.BenignE2LDs; i++ {
+		h := mix(seed, 0x10, uint64(i))
+		tld := benignTLDs[pick(len(benignTLDs), h, 1)]
+		// Mix naming styles so string shape is not a class giveaway:
+		// real benign names use hyphens and digits too.
+		switch pick(3, h, 4) {
+		case 0:
+			c.benignE2LDs[i] = fmt.Sprintf("site%05d.%s", i, tld)
+		case 1:
+			c.benignE2LDs[i] = fmt.Sprintf("my-site%05d.%s", i, tld)
+		default:
+			c.benignE2LDs[i] = fmt.Sprintf("brand%05dshop.%s", i, tld)
+		}
+		dirty := chance(cfg.DirtyBenignFraction, h, 2)
+		c.dirtyE2LD[i] = dirty
+		c.e2ldIPs[i] = c.benignIPsFor(i, dirty)
+		// Popular e2LDs (low rank) tend to host more FQDNs.
+		n := 1 + pick(cfg.MaxFQDNsPerE2LD, h, 3)
+		if i > cfg.BenignE2LDs/4 && n > 3 {
+			n = 3
+		}
+		for j := 0; j < n; j++ {
+			label := fqdnLabels[j%len(fqdnLabels)]
+			name := c.benignE2LDs[i]
+			if label != "" {
+				name = label + "." + name
+			}
+			id := int32(len(c.names))
+			// Sites launch new hostnames over time: secondary FQDNs of a
+			// long-established e2LD may be only days old. Their thin
+			// per-FQDN passive-DNS history is what pushes reputation
+			// systems into false positives (Section V), while Segugio's
+			// e2LD-level activity features stay informative. The bare
+			// e2LD (j = 0) is always as old as the site itself.
+			birth := 0
+			if j >= 1 && chance(0.3, h, uint64(200+j)) {
+				birth = pick(cfg.TimelineDays, h, uint64(300+j))
+			}
+			c.names = append(c.names, name)
+			c.fqdnE2LD = append(c.fqdnE2LD, int32(i))
+			c.fqdnLabelIx = append(c.fqdnLabelIx, uint8(j%len(fqdnLabels)))
+			c.fqdnBirth = append(c.fqdnBirth, birth)
+			c.fqdnsOfE2LD[i] = append(c.fqdnsOfE2LD[i], id)
+		}
+	}
+	c.offSub = int32(len(c.names))
+}
+
+// benignIPsFor assigns hosting addresses: dirty sites share the abused
+// prefixes with malware operations, a realistic fraction lives in large
+// shared-hosting providers (where some malware servers also end up), and
+// the rest gets dedicated clean space.
+func (c *Catalog) benignIPsFor(i int, dirty bool) []dnsutil.IPv4 {
+	h := mix(uint64(c.cfg.Seed), 0x11, uint64(i))
+	n := 1 + pick(3, h, 1)
+	shared := !dirty && chance(c.cfg.SharedBenignFraction, h, 0)
+	ips := make([]dnsutil.IPv4, 0, n)
+	for j := 0; j < n; j++ {
+		switch {
+		case dirty:
+			ips = append(ips, c.abusedIP(pick(c.cfg.AbusedPrefixes, h, uint64(2+j)), int(mix(h, uint64(100+j))%200)+30))
+		case shared:
+			ips = append(ips, c.sharedIP(pick(c.cfg.SharedHostingPrefixes, h, uint64(2+j)), int(mix(h, uint64(100+j))%200)+30))
+		default:
+			ips = append(ips, dnsutil.MakeIPv4(20, byte(i>>8), byte(i), byte(1+j)))
+		}
+	}
+	return ips
+}
+
+// abusedIP returns host "host" inside abused /24 prefix index p.
+func (c *Catalog) abusedIP(p, host int) dnsutil.IPv4 {
+	return dnsutil.MakeIPv4(185, 100+byte(p>>8), byte(p), byte(host))
+}
+
+// sharedIP returns host "host" inside shared-hosting /24 prefix index p.
+func (c *Catalog) sharedIP(p, host int) dnsutil.IPv4 {
+	return dnsutil.MakeIPv4(45, 10+byte(p>>8), byte(p), byte(host))
+}
+
+// freshIP returns an address in a unique, never-reused prefix.
+func (c *Catalog) freshIP(h, salt uint64) dnsutil.IPv4 {
+	v := mix(h, salt, 0xf1e5)
+	return dnsutil.MakeIPv4(91, byte(v>>16), byte(v>>8), byte(v%200)+30)
+}
+
+func (c *Catalog) buildFreeReg() {
+	cfg := c.cfg
+	seed := uint64(cfg.Seed)
+	c.zoneNames = make([]string, cfg.FreeRegZones)
+	for z := 0; z < cfg.FreeRegZones; z++ {
+		h := mix(seed, 0x20, uint64(z))
+		c.zoneNames[z] = fmt.Sprintf("hostzone%02d.%s", z, benignTLDs[pick(len(benignTLDs), h, 1)])
+		zoneIPs := []dnsutil.IPv4{dnsutil.MakeIPv4(30, byte(z), 0, 1), dnsutil.MakeIPv4(30, byte(z), 0, 2)}
+		for s := 0; s < cfg.SubdomainsPerZone; s++ {
+			hs := mix(seed, 0x21, uint64(z), uint64(s))
+			var name string
+			if s == 0 {
+				name = c.zoneNames[z] // the zone root itself, heavily visited
+			} else {
+				name = fmt.Sprintf("user%04d.%s", s, c.zoneNames[z])
+			}
+			abused := s != 0 && chance(cfg.AbusedSubdomainFraction, hs, 1)
+			fam := int32(-1)
+			from, to := 0, cfg.TimelineDays
+			ips := zoneIPs
+			if abused {
+				fam = int32(pick(cfg.Families, hs, 2))
+				// Abused subdomains behave like control pages, but free
+				// pages cost attackers nothing to keep, so they live
+				// several times longer than dedicated registrations
+				// before takedown.
+				life := 3 * cfg.CCLifetimeDays
+				from = pick(cfg.TimelineDays+life, hs, 3) - life
+				to = from + life - 1
+				p := c.familyPrefix(int(fam), pick(cfg.PrefixesPerFamily, hs, 4))
+				ips = []dnsutil.IPv4{c.abusedIP(p, int(mix(hs, 5)%200)+30)}
+			}
+			c.names = append(c.names, name)
+			c.subZone = append(c.subZone, int32(z))
+			c.subAbused = append(c.subAbused, abused)
+			c.subFamily = append(c.subFamily, fam)
+			c.subFrom = append(c.subFrom, from)
+			c.subTo = append(c.subTo, to)
+			c.subIPs = append(c.subIPs, ips)
+		}
+	}
+	c.offCC = int32(len(c.names))
+}
+
+// familyPrefix maps (family, k) to one of the family's preferred abused /24
+// prefixes. Families overlap in prefix space, modeling shared bulletproof
+// hosting (Section IV-C's explanation for F3's cross-family value).
+func (c *Catalog) familyPrefix(family, k int) int {
+	return pick(c.cfg.AbusedPrefixes, uint64(c.cfg.Seed), 0x30, uint64(family), uint64(k))
+}
+
+func (c *Catalog) buildCC() {
+	cfg := c.cfg
+	seed := uint64(cfg.Seed)
+	c.familyNames = make([]string, cfg.Families)
+	c.familyDomains = make([][]int32, cfg.Families)
+	c.familyLifetime = make([]int, cfg.Families)
+	for f := 0; f < cfg.Families; f++ {
+		c.familyNames[f] = fmt.Sprintf("fam%03d", f)
+		// Operational tempo differs by crew: half rotate domains on the
+		// base cadence, others keep infrastructure alive for two or four
+		// lifetimes. Heterogeneous lifetimes are what keep *some*
+		// pre-blacklist-cutoff domains alive weeks later, so machine
+		// labels do not starve across long train/test gaps.
+		lifetime := cfg.CCLifetimeDays
+		switch pick(6, seed, 0x32, uint64(f)) {
+		case 0, 1, 2:
+		case 3, 4:
+			lifetime *= 2
+		default:
+			lifetime *= 4
+		}
+		c.familyLifetime[f] = lifetime
+		spacing := lifetime / cfg.CCActivePerFamily
+		if spacing < 1 {
+			spacing = 1
+		}
+		perFamily := (cfg.TimelineDays+lifetime)/spacing + 1
+		for j := 0; j < perFamily; j++ {
+			h := mix(seed, 0x31, uint64(f), uint64(j))
+			from := -lifetime + j*spacing + pick(spacing, h, 1)
+			to := from + lifetime - 1
+			word := ccWords[pick(len(ccWords), h, 2)]
+			tld := benignTLDs[pick(len(benignTLDs), h, 3)]
+			// Control names mimic ordinary hosting names (attackers pick
+			// inconspicuous registrations); only some carry hyphens.
+			var name string
+			if pick(2, h, 7) == 0 {
+				name = fmt.Sprintf("%s-%06x.%s", word, mix(h, 4)&0xffffff, tld)
+			} else {
+				name = fmt.Sprintf("%s%06x.%s", word, mix(h, 4)&0xffffff, tld)
+			}
+			var early, late []dnsutil.IPv4
+			if chance(cfg.CCFreshHostingFraction, h, 8) {
+				// Freshly acquired dedicated servers: unique prefixes
+				// with no abuse history.
+				early = []dnsutil.IPv4{c.freshIP(h, 5)}
+				late = []dnsutil.IPv4{c.freshIP(h, 6)}
+			} else {
+				early = c.ccIPSet(f, h, 5)
+				late = c.ccIPSet(f, h, 6)
+			}
+			id := int32(len(c.names))
+			c.names = append(c.names, name)
+			c.ccFamily = append(c.ccFamily, int32(f))
+			c.ccFrom = append(c.ccFrom, from)
+			c.ccTo = append(c.ccTo, to)
+			c.ccEarlyIPs = append(c.ccEarlyIPs, early)
+			c.ccLateIPs = append(c.ccLateIPs, late)
+			c.familyDomains[f] = append(c.familyDomains[f], id)
+		}
+	}
+	c.offTail = int32(len(c.names))
+}
+
+// ccIPSet draws 1-2 addresses, mostly from the family's preferred abused
+// prefixes, with a realistic fraction placed in commercial shared hosting
+// (which is what contaminates /24-level abuse evidence for everyone else
+// hosted there).
+func (c *Catalog) ccIPSet(family int, h, salt uint64) []dnsutil.IPv4 {
+	n := 1 + pick(2, h, salt, 1)
+	ips := make([]dnsutil.IPv4, 0, n)
+	for j := 0; j < n; j++ {
+		if chance(c.cfg.CCSharedHostingFraction, h, salt, uint64(20+j)) {
+			p := pick(c.cfg.SharedHostingPrefixes, h, salt, uint64(30+j))
+			ips = append(ips, c.sharedIP(p, int(mix(h, salt, uint64(10+j))%200)+30))
+			continue
+		}
+		p := c.familyPrefix(family, pick(c.cfg.PrefixesPerFamily, h, salt, uint64(2+j)))
+		ips = append(ips, c.abusedIP(p, int(mix(h, salt, uint64(10+j))%200)+30))
+	}
+	return ips
+}
+
+func (c *Catalog) buildTail() {
+	cfg := c.cfg
+	seed := uint64(cfg.Seed)
+	for i := 0; i < cfg.TailDomains; i++ {
+		h := mix(seed, 0x40, uint64(i))
+		tld := benignTLDs[pick(len(benignTLDs), h, 1)]
+		name := fmt.Sprintf("tail%06x.%s", mix(h, 2)&0xffffff, tld)
+		birth := pick(cfg.TimelineDays+30, h, 3) - 30
+		var ips []dnsutil.IPv4
+		switch {
+		case chance(cfg.DirtyTailFraction, h, 4):
+			ips = []dnsutil.IPv4{c.abusedIP(pick(cfg.AbusedPrefixes, h, 5), int(mix(h, 6)%200)+30)}
+		case chance(0.2, h, 7): // cheap shared hosting is the long tail's natural home
+			ips = []dnsutil.IPv4{c.sharedIP(pick(cfg.SharedHostingPrefixes, h, 8), int(mix(h, 9)%200)+30)}
+		default:
+			ips = []dnsutil.IPv4{dnsutil.MakeIPv4(40, byte(i>>16), byte(i>>8), byte(i))}
+		}
+		c.names = append(c.names, name)
+		c.tailBirth = append(c.tailBirth, birth)
+		c.tailIPs = append(c.tailIPs, ips)
+	}
+}
+
+// NumDomains reports the total catalog size.
+func (c *Catalog) NumDomains() int { return len(c.names) }
+
+// IDByName returns the global ID of a domain name. The reverse index is
+// built lazily on first use.
+func (c *Catalog) IDByName(name string) (int32, bool) {
+	c.nameIndexOnce.Do(func() {
+		c.nameIndex = make(map[string]int32, len(c.names))
+		for id, n := range c.names {
+			c.nameIndex[n] = int32(id)
+		}
+	})
+	id, ok := c.nameIndex[name]
+	return id, ok
+}
+
+// IsDirtyBenign reports whether the domain is a benign site hosted in
+// abused IP space ("dirty" hosting, e.g. adult-content networks) — the
+// population behind most of Notos's false positives in Section V.
+func (c *Catalog) IsDirtyBenign(id int32) bool {
+	return c.Kind(id) == KindBenign && c.dirtyE2LD[c.fqdnE2LD[id]]
+}
+
+// Name returns the domain name for a global ID.
+func (c *Catalog) Name(id int32) string { return c.names[id] }
+
+// Kind returns the true nature of a domain.
+func (c *Catalog) Kind(id int32) DomainKind {
+	switch {
+	case id < c.offSub:
+		return KindBenign
+	case id < c.offCC:
+		return KindFreeRegSub
+	case id < c.offTail:
+		return KindCC
+	default:
+		return KindTail
+	}
+}
+
+// BenignE2LDNames returns the benign e2LDs in popularity-rank order (index
+// 0 = most popular).
+func (c *Catalog) BenignE2LDNames() []string {
+	out := make([]string, len(c.benignE2LDs))
+	copy(out, c.benignE2LDs)
+	return out
+}
+
+// ZoneNames returns the free-registration zone e2LDs.
+func (c *Catalog) ZoneNames() []string {
+	out := make([]string, len(c.zoneNames))
+	copy(out, c.zoneNames)
+	return out
+}
+
+// FamilyNames returns the malware family tags.
+func (c *Catalog) FamilyNames() []string {
+	out := make([]string, len(c.familyNames))
+	copy(out, c.familyNames)
+	return out
+}
+
+// TrueFamily returns the malware family operating the domain, for C&C
+// domains and abused free-registration subdomains, with ok=false for all
+// benign-natured domains. It is ground truth that feeds (only partially)
+// into the blacklists.
+func (c *Catalog) TrueFamily(id int32) (string, bool) {
+	switch c.Kind(id) {
+	case KindCC:
+		return c.familyNames[c.ccFamily[id-c.offCC]], true
+	case KindFreeRegSub:
+		l := id - c.offSub
+		if c.subAbused[l] {
+			return c.familyNames[c.subFamily[l]], true
+		}
+	}
+	return "", false
+}
+
+// ActiveOn reports whether the domain is queried/resolvable on day.
+func (c *Catalog) ActiveOn(day int, id int32) bool {
+	switch c.Kind(id) {
+	case KindBenign:
+		if day < c.fqdnBirth[id] {
+			return false
+		}
+		e2ld := c.fqdnE2LD[id]
+		// Popular sites are active essentially daily; tail-rank benign
+		// sites skip days. Thresholds keyed by rank percentile.
+		frac := float64(e2ld) / float64(len(c.benignE2LDs))
+		p := 0.99
+		switch {
+		case frac > 0.8:
+			p = 0.55
+		case frac > 0.5:
+			p = 0.80
+		case frac > 0.2:
+			p = 0.93
+		}
+		return chance(p, uint64(c.cfg.Seed), 0x50, uint64(id), uint64(day))
+	case KindFreeRegSub:
+		l := id - c.offSub
+		if c.subAbused[l] {
+			return day >= c.subFrom[l] && day <= c.subTo[l]
+		}
+		if c.names[id] == c.zoneNames[c.subZone[l]] {
+			return true // zone roots are always up
+		}
+		return chance(0.35, uint64(c.cfg.Seed), 0x51, uint64(id), uint64(day))
+	case KindCC:
+		l := id - c.offCC
+		return day >= c.ccFrom[l] && day <= c.ccTo[l]
+	default: // KindTail
+		l := id - c.offTail
+		return day >= c.tailBirth[l] &&
+			chance(0.25, uint64(c.cfg.Seed), 0x52, uint64(id), uint64(day))
+	}
+}
+
+// ResolveOn returns the addresses the domain resolves to on day, or nil
+// when it is not active. Control domains relocate to their late IP set at
+// the midpoint of their lifetime (network agility in IP space).
+func (c *Catalog) ResolveOn(day int, id int32) []dnsutil.IPv4 {
+	if !c.ActiveOn(day, id) {
+		return nil
+	}
+	switch c.Kind(id) {
+	case KindBenign:
+		return c.e2ldIPs[c.fqdnE2LD[id]]
+	case KindFreeRegSub:
+		return c.subIPs[id-c.offSub]
+	case KindCC:
+		l := id - c.offCC
+		if day >= (c.ccFrom[l]+c.ccTo[l])/2 {
+			return c.ccLateIPs[l]
+		}
+		return c.ccEarlyIPs[l]
+	default:
+		return c.tailIPs[id-c.offTail]
+	}
+}
+
+// ActiveCC returns the global IDs of family f's control domains active on
+// day, in activation order.
+func (c *Catalog) ActiveCC(day, f int) []int32 {
+	var out []int32
+	for _, id := range c.familyDomains[f] {
+		l := id - c.offCC
+		if day >= c.ccFrom[l] && day <= c.ccTo[l] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ActiveAbusedSubs returns the abused free-registration subdomains of
+// family f active on day.
+func (c *Catalog) ActiveAbusedSubs(day, f int) []int32 {
+	var out []int32
+	for l := range c.subAbused {
+		if c.subAbused[l] && int(c.subFamily[l]) == f && day >= c.subFrom[l] && day <= c.subTo[l] {
+			out = append(out, c.offSub+int32(l))
+		}
+	}
+	return out
+}
+
+// CCActivationDay returns the day a control domain went live, with
+// ok=false for non-C&C domains. The early-detection experiment compares it
+// with blacklist listing days.
+func (c *Catalog) CCActivationDay(id int32) (int, bool) {
+	if c.Kind(id) != KindCC {
+		return 0, false
+	}
+	return c.ccFrom[id-c.offCC], true
+}
+
+// FamilyLifetime returns family f's control-domain lifetime in days.
+func (c *Catalog) FamilyLifetime(f int) int { return c.familyLifetime[f] }
+
+// AllCCDomains returns the global IDs of every control domain.
+func (c *Catalog) AllCCDomains() []int32 {
+	out := make([]int32, 0, int(c.offTail-c.offCC))
+	for id := c.offCC; id < c.offTail; id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
+// AllAbusedSubdomains returns the global IDs of every malware-operated
+// free-registration subdomain.
+func (c *Catalog) AllAbusedSubdomains() []int32 {
+	var out []int32
+	for l, ab := range c.subAbused {
+		if ab {
+			out = append(out, c.offSub+int32(l))
+		}
+	}
+	return out
+}

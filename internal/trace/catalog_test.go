@@ -1,0 +1,340 @@
+package trace
+
+import (
+	"testing"
+
+	"segugio/internal/dnsutil"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog(DefaultConfig("TEST", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestNewCatalogInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig("TEST", 1)
+	cfg.ZipfS = 0.5
+	if _, err := NewCatalog(cfg); err == nil {
+		t.Fatal("ZipfS <= 1 must be rejected")
+	}
+	cfg = DefaultConfig("", 1)
+	if _, err := NewCatalog(cfg); err == nil {
+		t.Fatal("empty Name must be rejected")
+	}
+	cfg = DefaultConfig("TEST", 1)
+	cfg.PrefixesPerFamily = cfg.AbusedPrefixes + 1
+	if _, err := NewCatalog(cfg); err == nil {
+		t.Fatal("PrefixesPerFamily > AbusedPrefixes must be rejected")
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := testCatalog(t)
+	b := testCatalog(t)
+	if a.NumDomains() != b.NumDomains() {
+		t.Fatalf("sizes differ: %d vs %d", a.NumDomains(), b.NumDomains())
+	}
+	for id := int32(0); int(id) < a.NumDomains(); id += 37 {
+		if a.Name(id) != b.Name(id) {
+			t.Fatalf("name mismatch at %d: %q vs %q", id, a.Name(id), b.Name(id))
+		}
+		day := int(id) % a.cfg.TimelineDays
+		if a.ActiveOn(day, id) != b.ActiveOn(day, id) {
+			t.Fatalf("activity mismatch at %d day %d", id, day)
+		}
+	}
+}
+
+func TestCatalogSeedsDiffer(t *testing.T) {
+	a, err := NewCatalog(DefaultConfig("A", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCatalog(DefaultConfig("B", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	n := 0
+	for _, id := range a.AllCCDomains() {
+		if int(id) < b.NumDomains() && a.Name(id) == b.Name(id) {
+			same++
+		}
+		n++
+	}
+	if n == 0 || same == n {
+		t.Fatalf("different seeds should produce different C&C names (%d/%d identical)", same, n)
+	}
+}
+
+func TestCatalogKindPartitions(t *testing.T) {
+	cat := testCatalog(t)
+	counts := map[DomainKind]int{}
+	for id := int32(0); int(id) < cat.NumDomains(); id++ {
+		counts[cat.Kind(id)]++
+	}
+	if counts[KindBenign] == 0 || counts[KindFreeRegSub] == 0 || counts[KindCC] == 0 || counts[KindTail] == 0 {
+		t.Fatalf("all kinds must be populated: %v", counts)
+	}
+	cfg := cat.Config()
+	if got, want := counts[KindFreeRegSub], cfg.FreeRegZones*cfg.SubdomainsPerZone; got != want {
+		t.Fatalf("free-reg subdomains = %d, want %d", got, want)
+	}
+	if got, want := counts[KindTail], cfg.TailDomains; got != want {
+		t.Fatalf("tail domains = %d, want %d", got, want)
+	}
+}
+
+func TestCatalogNamesValid(t *testing.T) {
+	cat := testCatalog(t)
+	seen := make(map[string]struct{}, cat.NumDomains())
+	for id := int32(0); int(id) < cat.NumDomains(); id++ {
+		name := cat.Name(id)
+		if _, err := dnsutil.Normalize(name); err != nil {
+			t.Fatalf("invalid generated name %q: %v", name, err)
+		}
+		if _, dup := seen[name]; dup {
+			t.Fatalf("duplicate generated name %q", name)
+		}
+		seen[name] = struct{}{}
+	}
+}
+
+func TestCCDomainLifecycle(t *testing.T) {
+	cat := testCatalog(t)
+	ccs := cat.AllCCDomains()
+	if len(ccs) == 0 {
+		t.Fatal("no C&C domains generated")
+	}
+	for _, id := range ccs {
+		from, ok := cat.CCActivationDay(id)
+		if !ok {
+			t.Fatalf("CCActivationDay not ok for C&C domain %d", id)
+		}
+		fam, _ := cat.TrueFamily(id)
+		famIdx := -1
+		for i, name := range cat.FamilyNames() {
+			if name == fam {
+				famIdx = i
+			}
+		}
+		lifetime := cat.FamilyLifetime(famIdx)
+		if cat.ActiveOn(from-1, id) {
+			t.Fatalf("domain %s active before activation", cat.Name(id))
+		}
+		if !cat.ActiveOn(from, id) && from >= 0 {
+			t.Fatalf("domain %s inactive on activation day", cat.Name(id))
+		}
+		if cat.ActiveOn(from+lifetime, id) {
+			t.Fatalf("domain %s active after retirement", cat.Name(id))
+		}
+	}
+}
+
+func TestCCSteadyStateActiveCount(t *testing.T) {
+	cat := testCatalog(t)
+	cfg := cat.Config()
+	day := cfg.TimelineDays / 2
+	for f := 0; f < cfg.Families; f++ {
+		active := cat.ActiveCC(day, f)
+		// Staggered activation should keep roughly CCActivePerFamily
+		// domains live at once.
+		if len(active) < cfg.CCActivePerFamily/2 || len(active) > cfg.CCActivePerFamily*2 {
+			t.Errorf("family %d: %d active C&C domains, want ~%d", f, len(active), cfg.CCActivePerFamily)
+		}
+	}
+}
+
+func TestCCNetworkAgility(t *testing.T) {
+	// Intuition 1: in time, control infrastructure relocates. The active
+	// set of a family a full (family-specific) lifetime apart must be
+	// (almost) disjoint.
+	cat := testCatalog(t)
+	cfg := cat.Config()
+	day := cfg.TimelineDays / 3
+	for f := 0; f < 3; f++ {
+		later := day + cat.FamilyLifetime(f)
+		now := map[int32]struct{}{}
+		for _, id := range cat.ActiveCC(day, f) {
+			now[id] = struct{}{}
+		}
+		overlap := 0
+		for _, id := range cat.ActiveCC(later, f) {
+			if _, ok := now[id]; ok {
+				overlap++
+			}
+		}
+		if overlap > 1 {
+			t.Errorf("family %d: %d shared active domains a full lifetime apart, want <=1", f, overlap)
+		}
+	}
+}
+
+func TestFamilyLifetimesHeterogeneous(t *testing.T) {
+	cfg := DefaultConfig("LIFE", 9)
+	cfg.Families = 24
+	cat, err := NewCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for f := 0; f < cfg.Families; f++ {
+		l := cat.FamilyLifetime(f)
+		if l != cfg.CCLifetimeDays && l != 2*cfg.CCLifetimeDays && l != 4*cfg.CCLifetimeDays {
+			t.Fatalf("family %d lifetime %d not in {1,2,4}x base", f, l)
+		}
+		seen[l/cfg.CCLifetimeDays]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("lifetimes not heterogeneous: %v", seen)
+	}
+}
+
+func TestResolveOnConsistentWithActivity(t *testing.T) {
+	cat := testCatalog(t)
+	for id := int32(0); int(id) < cat.NumDomains(); id += 13 {
+		for _, day := range []int{0, 50, 150, 250} {
+			ips := cat.ResolveOn(day, id)
+			if cat.ActiveOn(day, id) && len(ips) == 0 {
+				t.Fatalf("active domain %s on day %d has no IPs", cat.Name(id), day)
+			}
+			if !cat.ActiveOn(day, id) && ips != nil {
+				t.Fatalf("inactive domain %s on day %d resolved to %v", cat.Name(id), day, ips)
+			}
+		}
+	}
+}
+
+func TestCCMidLifeIPRelocation(t *testing.T) {
+	cat := testCatalog(t)
+	moved := 0
+	checked := 0
+	for _, id := range cat.AllCCDomains() {
+		l := id - cat.offCC
+		from, to := cat.ccFrom[l], cat.ccTo[l]
+		if from < 0 || to >= cat.Config().TimelineDays {
+			continue
+		}
+		early := cat.ResolveOn(from, id)
+		late := cat.ResolveOn(to, id)
+		checked++
+		if len(early) > 0 && len(late) > 0 && early[0] != late[0] {
+			moved++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no fully in-timeline C&C domains to check")
+	}
+	if moved == 0 {
+		t.Error("no C&C domain relocated IPs mid-life; agility model broken")
+	}
+}
+
+func TestCCIPsHostingMix(t *testing.T) {
+	cat := testCatalog(t)
+	abused, shared, fresh := 0, 0, 0
+	for _, id := range cat.AllCCDomains() {
+		l := id - cat.offCC
+		for _, ip := range cat.ccEarlyIPs[l] {
+			switch byte(ip >> 24) {
+			case 185:
+				abused++
+			case 45:
+				shared++
+			case 91:
+				fresh++
+			default:
+				t.Fatalf("C&C IP %v outside known hosting spaces", ip)
+			}
+		}
+	}
+	if abused == 0 {
+		t.Fatal("no C&C in bulletproof space")
+	}
+	if shared == 0 {
+		t.Fatal("no C&C in shared hosting: /24 evidence would be too clean")
+	}
+	if fresh == 0 {
+		t.Fatal("no C&C on fresh dedicated hosting: IP reputation would see everything")
+	}
+	if shared+fresh >= abused {
+		t.Fatalf("bulletproof (%d) should dominate shared (%d) + fresh (%d)", abused, shared, fresh)
+	}
+}
+
+func TestBenignSharedHosting(t *testing.T) {
+	cat := testCatalog(t)
+	shared := 0
+	for i := range cat.benignE2LDs {
+		for _, ip := range cat.e2ldIPs[i] {
+			if byte(ip>>24) == 45 {
+				shared++
+				break
+			}
+		}
+	}
+	frac := float64(shared) / float64(len(cat.benignE2LDs))
+	if frac < 0.10 || frac > 0.30 {
+		t.Fatalf("shared-hosted benign fraction = %.3f, want ~0.18", frac)
+	}
+}
+
+func TestAbusedPrefixSharingAcrossFamilies(t *testing.T) {
+	// F3's cross-family power requires families to share hosting prefixes.
+	cat := testCatalog(t)
+	prefixFams := map[dnsutil.Prefix24]map[int32]struct{}{}
+	for _, id := range cat.AllCCDomains() {
+		l := id - cat.offCC
+		f := cat.ccFamily[l]
+		for _, ip := range cat.ccEarlyIPs[l] {
+			p := dnsutil.Prefix24Of(ip)
+			if prefixFams[p] == nil {
+				prefixFams[p] = map[int32]struct{}{}
+			}
+			prefixFams[p][f] = struct{}{}
+		}
+	}
+	shared := 0
+	for _, fams := range prefixFams {
+		if len(fams) > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("no abused /24 prefix shared across families")
+	}
+}
+
+func TestTrueFamily(t *testing.T) {
+	cat := testCatalog(t)
+	for _, id := range cat.AllCCDomains()[:20] {
+		if fam, ok := cat.TrueFamily(id); !ok || fam == "" {
+			t.Fatalf("C&C domain %s must report a family", cat.Name(id))
+		}
+	}
+	for _, id := range cat.AllAbusedSubdomains() {
+		if fam, ok := cat.TrueFamily(id); !ok || fam == "" {
+			t.Fatalf("abused subdomain %s must report a family", cat.Name(id))
+		}
+	}
+	if _, ok := cat.TrueFamily(0); ok {
+		t.Fatal("benign FQDN must not report a family")
+	}
+}
+
+func TestZoneRootsAlwaysActive(t *testing.T) {
+	cat := testCatalog(t)
+	cfg := cat.Config()
+	for z := 0; z < cfg.FreeRegZones; z++ {
+		id := cat.offSub + int32(z*cfg.SubdomainsPerZone)
+		for _, day := range []int{0, 100, 200} {
+			if !cat.ActiveOn(day, id) {
+				t.Fatalf("zone root %s inactive on day %d", cat.Name(id), day)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes one synthetic ISP network. The defaults (see
+// DefaultConfig) are sized for unit tests; the experiment harness scales
+// them up per DESIGN.md Section 5.
+//
+// The generator substitutes for the proprietary ISP DNS traces of the
+// paper's evaluation. Every knob maps to a structural property Segugio's
+// features depend on: infection density and co-querying (F1), domain churn
+// and freshness (F2), and abused-hosting reuse (F3).
+type Config struct {
+	// Name identifies the network (e.g. "ISP1") and prefixes machine IDs.
+	Name string
+	// Seed drives all randomness; two configs differing only in Seed model
+	// distinct ISPs with the same gross shape.
+	Seed int64
+
+	// TimelineDays is the number of simulated days, [0, TimelineDays).
+	// Observation days must leave room for the passive-DNS look-back
+	// window before them.
+	TimelineDays int
+
+	// --- machine population ---
+
+	// Machines is the number of ordinary active user machines.
+	Machines int
+	// InfectedFraction of ordinary machines carry a malware infection.
+	InfectedFraction float64
+	// MultiInfectionFraction of infected machines carry a second,
+	// different family (Section IV-C attributes cross-family detection
+	// power partly to multiple infections).
+	MultiInfectionFraction float64
+	// Proxies is the number of proxy/DNS-forwarder machines with very high
+	// query degree (pruning rule R2 targets).
+	Proxies int
+	// ProxyBreadth is the number of distinct domains a proxy queries per
+	// day.
+	ProxyBreadth int
+	// Inactive is the number of near-idle machines querying <=5 domains
+	// per day (pruning rule R1 targets).
+	Inactive int
+	// InactiveInfectedFraction of inactive machines run malware that
+	// queries 2-3 control domains and nothing else (the paper's R1
+	// exception exists for them).
+	InactiveInfectedFraction float64
+	// Probers is the number of security-scanner clients that query long
+	// lists of known malware domains (Section VI noise discussion).
+	Probers int
+	// DHCPChurnRate is the per-day probability that a machine's identifier
+	// changes (Section VI; zero by default since the paper's identifiers
+	// were stable).
+	DHCPChurnRate float64
+
+	// --- benign domain catalog ---
+
+	// BenignE2LDs is the number of legitimate second-level domains, ranked
+	// by popularity.
+	BenignE2LDs int
+	// MaxFQDNsPerE2LD caps the hostnames under each benign e2LD (www,
+	// mail, cdn, ...); popular e2LDs get more.
+	MaxFQDNsPerE2LD int
+	// DirtyBenignFraction of benign e2LDs are hosted in "dirty" shared IP
+	// space adjacent to abuse (adult-content sites etc.) — the population
+	// behind most of Notos's false positives in Section V.
+	DirtyBenignFraction float64
+	// FreeRegZones is the number of free-registration zones (blog hosts,
+	// dynamic DNS) whose per-user subdomains can be abused.
+	FreeRegZones int
+	// SubdomainsPerZone is the number of user subdomains under each
+	// free-registration zone.
+	SubdomainsPerZone int
+	// AbusedSubdomainFraction of those subdomains are malware-operated
+	// (Segugio's residual false positives in Section IV-D).
+	AbusedSubdomainFraction float64
+	// TailDomains is the number of unpopular long-tail domains that are
+	// never whitelisted (they stay label-unknown).
+	TailDomains int
+	// DirtyTailFraction of tail domains sit in dirty hosting space.
+	DirtyTailFraction float64
+
+	// --- malware ---
+
+	// Families is the number of malware families active in the network.
+	Families int
+	// CCActivePerFamily is the steady-state number of simultaneously
+	// active control domains per family.
+	CCActivePerFamily int
+	// CCLifetimeDays is how long a control domain stays active before the
+	// operators relocate (network agility, intuition 1).
+	CCLifetimeDays int
+	// AbusedPrefixes is the number of /24 bulletproof-hosting prefixes
+	// shared by malware operators.
+	AbusedPrefixes int
+	// PrefixesPerFamily is how many of those prefixes each family draws
+	// its hosting from (overlap across families powers F3's value for
+	// never-seen families).
+	PrefixesPerFamily int
+	// SharedHostingPrefixes is the number of /24s of large commercial
+	// shared-hosting providers. Plenty of benign sites live there, and
+	// some malware control servers do too — which is what makes "/24 used
+	// by malware" weak evidence and drives a reputation system's false
+	// positives (paper Table IV: 54.7% of Notos's FPs).
+	SharedHostingPrefixes int
+	// SharedBenignFraction of benign e2LDs are hosted in shared hosting.
+	SharedBenignFraction float64
+	// CCSharedHostingFraction of control-server addresses are drawn from
+	// shared hosting instead of bulletproof ranges.
+	CCSharedHostingFraction float64
+	// CCFreshHostingFraction of control domains point to freshly acquired
+	// dedicated servers with no abuse history at all. These are invisible
+	// to IP-reputation evidence (a key reason the paper's Notos baseline
+	// cannot reach high detection, Section V) yet remain detectable from
+	// who queries them.
+	CCFreshHostingFraction float64
+
+	// --- behavior ---
+
+	// MeanDomainsPerMachine is the mean daily distinct-domain breadth of
+	// an ordinary machine.
+	MeanDomainsPerMachine int
+	// ZipfS is the benign-popularity skew (must be > 1 for math/rand.Zipf).
+	ZipfS float64
+	// MaxCCQueriesPerDay caps how many control domains one infection
+	// queries in a day (Figure 3: essentially never above twenty).
+	MaxCCQueriesPerDay int
+	// CCQueryGeomP is the success probability of the truncated geometric
+	// distribution over the number of control domains queried per day;
+	// 0.3 reproduces Figure 3's "~70% query more than one" shape.
+	CCQueryGeomP float64
+}
+
+// DefaultConfig returns a small network sized for unit tests. Experiments
+// override the population fields.
+func DefaultConfig(name string, seed int64) Config {
+	return Config{
+		Name:                     name,
+		Seed:                     seed,
+		TimelineDays:             260,
+		Machines:                 2000,
+		InfectedFraction:         0.05,
+		MultiInfectionFraction:   0.15,
+		Proxies:                  4,
+		ProxyBreadth:             4000,
+		Inactive:                 120,
+		InactiveInfectedFraction: 0.10,
+		Probers:                  2,
+		BenignE2LDs:              3000,
+		MaxFQDNsPerE2LD:          4,
+		DirtyBenignFraction:      0.03,
+		FreeRegZones:             4,
+		SubdomainsPerZone:        150,
+		AbusedSubdomainFraction:  0.15,
+		TailDomains:              4000,
+		DirtyTailFraction:        0.10,
+		Families:                 12,
+		CCActivePerFamily:        10,
+		CCLifetimeDays:           30,
+		AbusedPrefixes:           128,
+		PrefixesPerFamily:        6,
+		SharedHostingPrefixes:    40,
+		SharedBenignFraction:     0.18,
+		CCSharedHostingFraction:  0.15,
+		CCFreshHostingFraction:   0.30,
+		MeanDomainsPerMachine:    60,
+		ZipfS:                    1.15,
+		MaxCCQueriesPerDay:       20,
+		CCQueryGeomP:             0.26,
+	}
+}
+
+// Validate checks the configuration for structural errors.
+func (c Config) Validate() error {
+	var errs []error
+	check := func(ok bool, msg string) {
+		if !ok {
+			errs = append(errs, errors.New(msg))
+		}
+	}
+	check(c.Name != "", "Name must be set")
+	check(c.TimelineDays > 0, "TimelineDays must be positive")
+	check(c.Machines > 0, "Machines must be positive")
+	check(c.InfectedFraction >= 0 && c.InfectedFraction <= 1, "InfectedFraction must be in [0,1]")
+	check(c.MultiInfectionFraction >= 0 && c.MultiInfectionFraction <= 1, "MultiInfectionFraction must be in [0,1]")
+	check(c.BenignE2LDs > 0, "BenignE2LDs must be positive")
+	check(c.MaxFQDNsPerE2LD > 0, "MaxFQDNsPerE2LD must be positive")
+	check(c.Families > 0, "Families must be positive")
+	check(c.CCActivePerFamily > 0, "CCActivePerFamily must be positive")
+	check(c.CCLifetimeDays > 0, "CCLifetimeDays must be positive")
+	check(c.AbusedPrefixes > 0, "AbusedPrefixes must be positive")
+	check(c.PrefixesPerFamily > 0 && c.PrefixesPerFamily <= c.AbusedPrefixes,
+		"PrefixesPerFamily must be in [1, AbusedPrefixes]")
+	check(c.SharedBenignFraction >= 0 && c.SharedBenignFraction <= 1,
+		"SharedBenignFraction must be in [0,1]")
+	check(c.CCSharedHostingFraction >= 0 && c.CCSharedHostingFraction <= 1,
+		"CCSharedHostingFraction must be in [0,1]")
+	check(c.CCFreshHostingFraction >= 0 && c.CCFreshHostingFraction <= 1,
+		"CCFreshHostingFraction must be in [0,1]")
+	check(c.SharedHostingPrefixes > 0 || (c.SharedBenignFraction == 0 && c.CCSharedHostingFraction == 0),
+		"SharedHostingPrefixes must be positive when shared hosting is used")
+	check(c.MeanDomainsPerMachine > 0, "MeanDomainsPerMachine must be positive")
+	check(c.ZipfS > 1, "ZipfS must be > 1")
+	check(c.MaxCCQueriesPerDay > 0, "MaxCCQueriesPerDay must be positive")
+	check(c.CCQueryGeomP > 0 && c.CCQueryGeomP < 1, "CCQueryGeomP must be in (0,1)")
+	if len(errs) > 0 {
+		return fmt.Errorf("trace: invalid config: %w", errors.Join(errs...))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestValidateAllChecks(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty name", func(c *Config) { c.Name = "" }},
+		{"zero timeline", func(c *Config) { c.TimelineDays = 0 }},
+		{"zero machines", func(c *Config) { c.Machines = 0 }},
+		{"bad infected fraction", func(c *Config) { c.InfectedFraction = 1.5 }},
+		{"bad multi fraction", func(c *Config) { c.MultiInfectionFraction = -0.1 }},
+		{"zero benign", func(c *Config) { c.BenignE2LDs = 0 }},
+		{"zero fqdns", func(c *Config) { c.MaxFQDNsPerE2LD = 0 }},
+		{"zero families", func(c *Config) { c.Families = 0 }},
+		{"zero cc active", func(c *Config) { c.CCActivePerFamily = 0 }},
+		{"zero lifetime", func(c *Config) { c.CCLifetimeDays = 0 }},
+		{"zero abused prefixes", func(c *Config) { c.AbusedPrefixes = 0 }},
+		{"prefixes per family too big", func(c *Config) { c.PrefixesPerFamily = c.AbusedPrefixes + 1 }},
+		{"bad shared fraction", func(c *Config) { c.SharedBenignFraction = 2 }},
+		{"bad cc shared fraction", func(c *Config) { c.CCSharedHostingFraction = -1 }},
+		{"bad fresh fraction", func(c *Config) { c.CCFreshHostingFraction = 1.1 }},
+		{"shared prefixes zero with shared use", func(c *Config) { c.SharedHostingPrefixes = 0 }},
+		{"zero mean domains", func(c *Config) { c.MeanDomainsPerMachine = 0 }},
+		{"zipf not > 1", func(c *Config) { c.ZipfS = 1.0 }},
+		{"zero max cc queries", func(c *Config) { c.MaxCCQueriesPerDay = 0 }},
+		{"geom p out of range", func(c *Config) { c.CCQueryGeomP = 1.0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig("V", 1)
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("mutation %q must fail validation", tt.name)
+			}
+		})
+	}
+	if err := DefaultConfig("V", 1).Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig("JSON", 9)
+	cfg.Machines = 1234
+	var buf bytes.Buffer
+	if err := SaveConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != cfg {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", loaded, cfg)
+	}
+}
+
+func TestLoadConfigRejectsUnknownFieldsAndInvalid(t *testing.T) {
+	if _, err := LoadConfig(strings.NewReader(`{"NoSuchField": 1}`)); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+	if _, err := LoadConfig(strings.NewReader(`{"Name": ""}`)); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	if _, err := LoadConfig(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}
+
+func TestLoadPopulation(t *testing.T) {
+	pop, err := LoadPopulation(strings.NewReader(`{"Name":"P","Seed":3,"Machines":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.Name != "P" || pop.Machines != 100 {
+		t.Fatalf("pop = %+v", pop)
+	}
+	if _, err := LoadPopulation(strings.NewReader(`{"Nope":1}`)); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+}
+
+func TestConfigPopulationExtraction(t *testing.T) {
+	cfg := DefaultConfig("X", 7)
+	pop := cfg.Population()
+	if pop.Name != cfg.Name || pop.Seed != cfg.Seed || pop.Machines != cfg.Machines ||
+		pop.MeanDomainsPerMachine != cfg.MeanDomainsPerMachine {
+		t.Fatalf("population extraction mismatch: %+v", pop)
+	}
+}

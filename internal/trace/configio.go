@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Config and Population are plain structs, so custom universes and
+// machine populations can be described in JSON files and loaded by the
+// CLI (`segugio generate -config universe.json`).
+
+// LoadConfig decodes a Config from JSON and validates it. Unknown fields
+// are rejected so typos fail loudly.
+func LoadConfig(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("trace: decode config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// SaveConfig writes the config as indented JSON, a starting point for
+// hand-edited scenario files.
+func SaveConfig(w io.Writer, cfg Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// LoadPopulation decodes a Population from JSON.
+func LoadPopulation(r io.Reader) (Population, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var pop Population
+	if err := dec.Decode(&pop); err != nil {
+		return Population{}, fmt.Errorf("trace: decode population: %w", err)
+	}
+	return pop, nil
+}

@@ -1,0 +1,29 @@
+// Package trace is the synthetic ISP substrate standing in for the
+// paper's proprietary DNS traces (DESIGN.md Section 2 documents the
+// substitution): a deterministic domain universe plus machine populations
+// that together generate multi-day, ISP-style DNS query logs with the
+// structural properties Segugio's features depend on.
+//
+// The Catalog is the "Internet": benign e2LDs with Zipf popularity and
+// occasionally young hostnames, free-registration zones whose user
+// subdomains are sometimes malware-operated, malware families whose
+// control domains relocate on family-specific cadences (network agility),
+// long-tail sites, and an IP space split into clean dedicated hosting,
+// shared commercial hosting, reused bulletproof ranges, and fresh servers
+// with no history. Every answer — is this domain active on day d, what
+// does it resolve to — is a pure function of (Config, day), so any day
+// regenerates independently and identically.
+//
+// A Population is the machine side of one monitored network: ordinary
+// users (a fraction infected, possibly with several families via
+// pay-per-install chains), enterprise proxies, near-idle machines,
+// security scanners, and optional DHCP churn. Attaching two Populations
+// to one Catalog yields two ISPs watching the same Internet — the
+// cross-network deployment scenario of paper Section IV-A.
+//
+// The catalog also emits the ground-truth feeds derived from it:
+// commercial and public C&C blacklists (partial coverage, family tags,
+// listing delays), popularity-ranking archives for whitelist
+// construction, passive-DNS history, sandbox execution traces, and
+// per-day activity marks.
+package trace

@@ -1,0 +1,381 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Edge is one observed (machine queried domain) pair. Domain is a catalog
+// global ID; Machine indexes DayTrace.MachineIDs.
+type Edge struct {
+	Machine int32
+	Domain  int32
+}
+
+// DayTrace is one day of deduplicated DNS query observations for an ISP.
+// Resolutions are not stored: they are a pure function of (catalog, day)
+// via Catalog.ResolveOn.
+type DayTrace struct {
+	Day        int
+	Network    string
+	MachineIDs []string
+	Edges      []Edge
+}
+
+// MachineRole classifies simulated machines.
+type MachineRole uint8
+
+// proberDailyProbes bounds how many malware domains a scanner client
+// probes per day.
+const proberDailyProbes = 120
+
+// MachineRole values.
+const (
+	// RoleOrdinary machines browse benign content; a fraction also carry
+	// infections.
+	RoleOrdinary MachineRole = iota + 1
+	// RoleProxy machines are enterprise proxies/DNS forwarders with very
+	// high query degree.
+	RoleProxy
+	// RoleInactive machines query five or fewer domains per day.
+	RoleInactive
+	// RoleProber machines are security scanners probing malware domains.
+	RoleProber
+)
+
+// Population describes the machine side of one monitored network. Two
+// ISPs observing the same Internet (one Catalog) carry distinct
+// Populations — which is exactly the cross-network deployment scenario of
+// paper Section IV-A: the domain universe is shared, the users are not.
+type Population struct {
+	// Name prefixes machine identifiers (e.g. "ISP2").
+	Name string
+	// Seed drives all machine-side randomness independently of the
+	// catalog's seed.
+	Seed int64
+
+	Machines                 int
+	InfectedFraction         float64
+	MultiInfectionFraction   float64
+	Proxies                  int
+	ProxyBreadth             int
+	Inactive                 int
+	InactiveInfectedFraction float64
+	Probers                  int
+	DHCPChurnRate            float64
+	MeanDomainsPerMachine    int
+}
+
+// Population extracts the machine-side parameters of a Config.
+func (c Config) Population() Population {
+	return Population{
+		Name:                     c.Name,
+		Seed:                     c.Seed,
+		Machines:                 c.Machines,
+		InfectedFraction:         c.InfectedFraction,
+		MultiInfectionFraction:   c.MultiInfectionFraction,
+		Proxies:                  c.Proxies,
+		ProxyBreadth:             c.ProxyBreadth,
+		Inactive:                 c.Inactive,
+		InactiveInfectedFraction: c.InactiveInfectedFraction,
+		Probers:                  c.Probers,
+		DHCPChurnRate:            c.DHCPChurnRate,
+		MeanDomainsPerMachine:    c.MeanDomainsPerMachine,
+	}
+}
+
+// Generator produces per-day traces for one (catalog, population) pair.
+// It is safe for concurrent GenerateDay calls on distinct days.
+type Generator struct {
+	cat *Catalog
+	cfg Config // catalog-side behavior constants
+	pop Population
+
+	roles    []MachineRole
+	families [][]int32 // per machine: infecting families (nil = clean)
+	breadth  []int     // ordinary machines: daily distinct-domain budget
+}
+
+// NewGenerator prepares the machine population embedded in the catalog's
+// own configuration — the common single-network case.
+func NewGenerator(cat *Catalog) *Generator {
+	return NewGeneratorFor(cat, cat.Config().Population())
+}
+
+// NewGeneratorFor prepares an explicit machine population over the shared
+// catalog, enabling several networks to observe the same domain universe.
+func NewGeneratorFor(cat *Catalog, pop Population) *Generator {
+	cfg := cat.Config()
+	g := &Generator{cat: cat, cfg: cfg, pop: pop}
+	total := pop.Machines + pop.Proxies + pop.Inactive + pop.Probers
+	g.roles = make([]MachineRole, total)
+	g.families = make([][]int32, total)
+	g.breadth = make([]int, total)
+	seed := uint64(pop.Seed)
+	idx := 0
+	for i := 0; i < pop.Machines; i++ {
+		h := mix(seed, 0x61, uint64(idx))
+		g.roles[idx] = RoleOrdinary
+		// Log-normal-ish breadth around the configured mean.
+		sigma := 0.6
+		z := rand.New(rand.NewSource(int64(h))).NormFloat64()
+		b := int(float64(pop.MeanDomainsPerMachine) * math.Exp(sigma*z-sigma*sigma/2))
+		if b < 8 {
+			b = 8
+		}
+		g.breadth[idx] = b
+		if chance(pop.InfectedFraction, h, 1) {
+			// Pay-per-install droppers sell the same victim to several
+			// criminal groups, so infections chain: each additional
+			// family lands with probability MultiInfectionFraction, up to
+			// four (Section IV-C explains cross-family detection power
+			// partly through such multiple infections).
+			fams := []int32{int32(pick(cfg.Families, h, 2))}
+			for attempt := 0; attempt < 8 && len(fams) < 4 && len(fams) < cfg.Families; attempt++ {
+				if !chance(pop.MultiInfectionFraction, h, uint64(100+attempt)) {
+					break
+				}
+				next := int32(pick(cfg.Families, h, uint64(200+attempt)))
+				dup := false
+				for _, f := range fams {
+					if f == next {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					fams = append(fams, next)
+				}
+			}
+			g.families[idx] = fams
+		}
+		idx++
+	}
+	for i := 0; i < pop.Proxies; i++ {
+		g.roles[idx] = RoleProxy
+		g.breadth[idx] = pop.ProxyBreadth
+		idx++
+	}
+	for i := 0; i < pop.Inactive; i++ {
+		h := mix(seed, 0x62, uint64(idx))
+		g.roles[idx] = RoleInactive
+		g.breadth[idx] = 1 + pick(5, h, 1)
+		if chance(pop.InactiveInfectedFraction, h, 2) {
+			g.families[idx] = []int32{int32(pick(cfg.Families, h, 3))}
+		}
+		idx++
+	}
+	for i := 0; i < pop.Probers; i++ {
+		g.roles[idx] = RoleProber
+		g.breadth[idx] = 40
+		idx++
+	}
+	return g
+}
+
+// Catalog returns the domain universe this generator draws from.
+func (g *Generator) Catalog() *Catalog { return g.cat }
+
+// Machines reports the total machine population size.
+func (g *Generator) Machines() int { return len(g.roles) }
+
+// Role returns a machine's role.
+func (g *Generator) Role(machine int) MachineRole { return g.roles[machine] }
+
+// InfectingFamilies returns the family indexes infecting a machine (nil
+// when clean). The returned slice must not be modified.
+func (g *Generator) InfectingFamilies(machine int) []int32 { return g.families[machine] }
+
+// MachineID returns the stable identifier of a machine on the given day.
+// With DHCP churn enabled, identifiers occasionally rotate between days.
+func (g *Generator) MachineID(machine, day int) string {
+	if g.churnsOn(machine, day) {
+		return fmt.Sprintf("%s-m%06d-d%d", g.pop.Name, machine, day)
+	}
+	return fmt.Sprintf("%s-m%06d", g.pop.Name, machine)
+}
+
+// churnsOn reports whether the machine's DHCP lease rotates on the given
+// day. A rotating machine appears under two identifiers that day — the
+// lease changes mid-day and its traffic splits across them (Section VI:
+// churn "may cause some inflation in the number of machines that query a
+// given domain").
+func (g *Generator) churnsOn(machine, day int) bool {
+	return g.pop.DHCPChurnRate > 0 &&
+		chance(g.pop.DHCPChurnRate, uint64(g.pop.Seed), 0x63, uint64(machine), uint64(day))
+}
+
+// GenerateDay synthesizes the full deduplicated query trace for one day.
+func (g *Generator) GenerateDay(day int) *DayTrace {
+	cfg := g.cfg
+	tr := &DayTrace{Day: day, Network: g.pop.Name}
+	tr.MachineIDs = make([]string, len(g.roles))
+	for m := range g.roles {
+		tr.MachineIDs[m] = g.MachineID(m, day)
+	}
+
+	// Per-day family views, shared across machines.
+	activeCC := make([][]int32, cfg.Families)
+	abusedSubs := make([][]int32, cfg.Families)
+	for f := 0; f < cfg.Families; f++ {
+		activeCC[f] = g.cat.ActiveCC(day, f)
+		abusedSubs[f] = g.cat.ActiveAbusedSubs(day, f)
+	}
+
+	seen := make(map[int32]struct{}, 256)
+	for m := range g.roles {
+		rng := rand.New(rand.NewSource(int64(mix(uint64(g.pop.Seed), 0x64, uint64(m), uint64(day)))))
+		clear(seen)
+		switch g.roles[m] {
+		case RoleOrdinary:
+			g.browse(rng, day, g.breadth[m], seen)
+			g.infectionQueries(rng, day, g.families[m], activeCC, abusedSubs, seen)
+		case RoleProxy:
+			g.browse(rng, day, g.breadth[m], seen)
+			// Proxies front whole enterprises: some users behind them are
+			// infected, adding C&C noise the R2 pruning rule removes.
+			for i := 0; i < 3; i++ {
+				f := rng.Intn(cfg.Families)
+				if cc := activeCC[f]; len(cc) > 0 {
+					seen[cc[rng.Intn(len(cc))]] = struct{}{}
+				}
+			}
+		case RoleInactive:
+			if fams := g.families[m]; fams != nil {
+				// Idle machine whose only traffic is its malware heartbeat
+				// to two or three control domains (the paper's exception
+				// to pruning rule R1).
+				if cc := activeCC[fams[0]]; len(cc) > 0 {
+					n := 2 + rng.Intn(2)
+					for i := 0; i < n; i++ {
+						seen[cc[rng.Intn(len(cc))]] = struct{}{}
+					}
+				}
+			} else {
+				g.browse(rng, day, g.breadth[m], seen)
+			}
+		case RoleProber:
+			// Security scanners probe a slice of the known-malware list
+			// each day plus a few benign references (Section VI noise).
+			// The daily slice is bounded: a handful of scanners must not
+			// rival the C&C query volume of the whole infected population.
+			totalActive := 0
+			for f := 0; f < cfg.Families; f++ {
+				totalActive += len(activeCC[f])
+			}
+			p := 1.0
+			if totalActive > proberDailyProbes {
+				p = float64(proberDailyProbes) / float64(totalActive)
+			}
+			for f := 0; f < cfg.Families; f++ {
+				for _, id := range activeCC[f] {
+					if rng.Float64() < p {
+						seen[id] = struct{}{}
+					}
+				}
+			}
+			g.browse(rng, day, 10, seen)
+		}
+		// Flush in sorted domain order so the trace is deterministic
+		// despite map iteration. A machine whose DHCP lease rotated
+		// mid-day splits its queries across its two identifiers.
+		owner := int32(m)
+		secondary := int32(-1)
+		if g.churnsOn(m, day) {
+			secondary = int32(len(tr.MachineIDs))
+			tr.MachineIDs = append(tr.MachineIDs,
+				fmt.Sprintf("%s-m%06d-d%d-b", g.pop.Name, m, day))
+		}
+		start := len(tr.Edges)
+		for id := range seen {
+			to := owner
+			// The split is a pure function of (machine, domain, day) so
+			// map-iteration order cannot affect the trace.
+			if secondary >= 0 && chance(0.5, uint64(g.pop.Seed), 0x66, uint64(m), uint64(id), uint64(day)) {
+				to = secondary
+			}
+			tr.Edges = append(tr.Edges, Edge{Machine: to, Domain: id})
+		}
+		added := tr.Edges[start:]
+		sort.Slice(added, func(i, j int) bool {
+			if added[i].Domain != added[j].Domain {
+				return added[i].Domain < added[j].Domain
+			}
+			return added[i].Machine < added[j].Machine
+		})
+	}
+	return tr
+}
+
+// browse adds a machine's benign browsing for the day: Zipf-popular benign
+// sites, occasional free-registration zone visits, and a sprinkle of
+// long-tail domains.
+func (g *Generator) browse(rng *rand.Rand, day, breadth int, seen map[int32]struct{}) {
+	cfg := g.cfg
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.BenignE2LDs-1))
+	for k := 0; k < breadth; k++ {
+		e2ld := int(zipf.Uint64())
+		fqdns := g.cat.fqdnsOfE2LD[e2ld]
+		id := fqdns[rng.Intn(len(fqdns))]
+		if g.cat.ActiveOn(day, id) {
+			seen[id] = struct{}{}
+		}
+	}
+	if breadth <= 6 {
+		// Near-idle machines stick to a handful of popular sites.
+		return
+	}
+	// Free-registration zone browsing: mostly the zone root, sometimes a
+	// user page (benign readers of abused pages are rare but possible).
+	if cfg.FreeRegZones > 0 && cfg.SubdomainsPerZone > 0 {
+		visits := rng.Intn(3)
+		for k := 0; k < visits; k++ {
+			z := rng.Intn(cfg.FreeRegZones)
+			s := 0
+			if rng.Float64() > 0.5 {
+				s = rng.Intn(cfg.SubdomainsPerZone)
+			}
+			id := g.cat.offSub + int32(z*cfg.SubdomainsPerZone+s)
+			if g.cat.ActiveOn(day, id) {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	// Long-tail visits.
+	if cfg.TailDomains > 0 {
+		for k := rng.Intn(4); k > 0; k-- {
+			id := g.cat.offTail + int32(rng.Intn(cfg.TailDomains))
+			if g.cat.ActiveOn(day, id) {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+}
+
+// infectionQueries adds the malware-control lookups for a machine's
+// infections. The per-day count follows a truncated geometric law shaped to
+// Figure 3 (about 30% of infections query exactly one control domain; the
+// tail is capped at MaxCCQueriesPerDay).
+func (g *Generator) infectionQueries(rng *rand.Rand, day int, fams []int32,
+	activeCC, abusedSubs [][]int32, seen map[int32]struct{}) {
+	cfg := g.cfg
+	for _, f := range fams {
+		cc := activeCC[f]
+		if len(cc) == 0 {
+			continue
+		}
+		n := 1
+		for rng.Float64() > cfg.CCQueryGeomP && n < cfg.MaxCCQueriesPerDay && n < len(cc) {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			seen[cc[rng.Intn(len(cc))]] = struct{}{}
+		}
+		// Secondary channel on a free-registration subdomain.
+		if subs := abusedSubs[f]; len(subs) > 0 && rng.Float64() < 0.5 {
+			seen[subs[rng.Intn(len(subs))]] = struct{}{}
+		}
+	}
+}

@@ -1,0 +1,527 @@
+package trace
+
+import (
+	"testing"
+
+	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+	"segugio/internal/pdns"
+	"segugio/internal/sandbox"
+)
+
+func testGenerator(t *testing.T) *Generator {
+	t.Helper()
+	return NewGenerator(testCatalog(t))
+}
+
+func TestGenerateDayDeterministic(t *testing.T) {
+	g1 := testGenerator(t)
+	g2 := testGenerator(t)
+	a := g1.GenerateDay(180)
+	b := g2.GenerateDay(180)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestGenerateDayEdgesUniquePerMachine(t *testing.T) {
+	g := testGenerator(t)
+	tr := g.GenerateDay(180)
+	seen := make(map[Edge]struct{}, len(tr.Edges))
+	for _, e := range tr.Edges {
+		if _, dup := seen[e]; dup {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = struct{}{}
+		if int(e.Machine) >= len(tr.MachineIDs) {
+			t.Fatalf("edge references machine %d beyond population", e.Machine)
+		}
+		if int(e.Domain) >= g.Catalog().NumDomains() {
+			t.Fatalf("edge references domain %d beyond catalog", e.Domain)
+		}
+	}
+}
+
+func TestGenerateDayQueriesOnlyActiveDomains(t *testing.T) {
+	g := testGenerator(t)
+	day := 180
+	tr := g.GenerateDay(day)
+	for _, e := range tr.Edges {
+		if !g.Catalog().ActiveOn(day, e.Domain) {
+			t.Fatalf("queried domain %s inactive on day %d", g.Catalog().Name(e.Domain), day)
+		}
+	}
+}
+
+func TestMachineRolesPopulated(t *testing.T) {
+	g := testGenerator(t)
+	cfg := g.cfg
+	wantTotal := cfg.Machines + cfg.Proxies + cfg.Inactive + cfg.Probers
+	if g.Machines() != wantTotal {
+		t.Fatalf("Machines = %d, want %d", g.Machines(), wantTotal)
+	}
+	counts := map[MachineRole]int{}
+	infected := 0
+	for m := 0; m < g.Machines(); m++ {
+		counts[g.Role(m)]++
+		if g.InfectingFamilies(m) != nil {
+			infected++
+		}
+	}
+	if counts[RoleOrdinary] != cfg.Machines || counts[RoleProxy] != cfg.Proxies ||
+		counts[RoleInactive] != cfg.Inactive || counts[RoleProber] != cfg.Probers {
+		t.Fatalf("role counts = %v", counts)
+	}
+	// Infection density should be near the configured fraction.
+	lo := int(float64(cfg.Machines)*cfg.InfectedFraction*0.5) + 1
+	hi := int(float64(cfg.Machines)*cfg.InfectedFraction*2.0) + int(float64(cfg.Inactive)*cfg.InactiveInfectedFraction) + 10
+	if infected < lo || infected > hi {
+		t.Fatalf("infected machines = %d, want within [%d, %d]", infected, lo, hi)
+	}
+}
+
+func TestInfectedMachinesQueryFamilyDomains(t *testing.T) {
+	g := testGenerator(t)
+	cat := g.Catalog()
+	day := 180
+	tr := g.GenerateDay(day)
+	perMachineCC := map[int32]map[string]struct{}{}
+	for _, e := range tr.Edges {
+		if cat.Kind(e.Domain) == KindCC {
+			fam, _ := cat.TrueFamily(e.Domain)
+			if perMachineCC[e.Machine] == nil {
+				perMachineCC[e.Machine] = map[string]struct{}{}
+			}
+			perMachineCC[e.Machine][fam] = struct{}{}
+		}
+	}
+	checked := 0
+	for m := 0; m < g.Machines(); m++ {
+		if g.Role(m) != RoleOrdinary {
+			continue
+		}
+		fams := g.InfectingFamilies(m)
+		got := perMachineCC[int32(m)]
+		if fams == nil {
+			if got != nil {
+				t.Fatalf("clean ordinary machine %d queried C&C domains %v", m, got)
+			}
+			continue
+		}
+		checked++
+		if got == nil {
+			t.Fatalf("infected machine %d queried no C&C domain", m)
+		}
+		want := map[string]struct{}{}
+		for _, f := range fams {
+			want[cat.FamilyNames()[f]] = struct{}{}
+		}
+		for fam := range got {
+			if _, ok := want[fam]; !ok {
+				t.Fatalf("machine %d queried family %q it is not infected with", m, fam)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no infected ordinary machines in test population")
+	}
+}
+
+// TestFig3Shape verifies the paper's Figure 3 workload property: roughly
+// 70% of infected machines query more than one control domain in a day,
+// and essentially none query more than twenty.
+func TestFig3Shape(t *testing.T) {
+	cfg := DefaultConfig("FIG3", 11)
+	cfg.Machines = 4000
+	cat, err := NewCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(cat)
+	tr := g.GenerateDay(180)
+	ccCount := map[int32]int{}
+	for _, e := range tr.Edges {
+		if cat.Kind(e.Domain) == KindCC {
+			ccCount[e.Machine]++
+		}
+	}
+	multi, over20, infected := 0, 0, 0
+	for m := 0; m < g.Machines(); m++ {
+		if g.Role(m) != RoleOrdinary || g.InfectingFamilies(m) == nil {
+			continue
+		}
+		infected++
+		if c := ccCount[int32(m)]; c > 1 {
+			multi++
+			if c > 20 {
+				over20++
+			}
+		}
+	}
+	if infected < 50 {
+		t.Fatalf("too few infected machines (%d) for a stable shape check", infected)
+	}
+	frac := float64(multi) / float64(infected)
+	if frac < 0.55 || frac > 0.9 {
+		t.Fatalf("fraction querying >1 C&C domain = %.2f, want ~0.7", frac)
+	}
+	if float64(over20)/float64(infected) > 0.02 {
+		t.Fatalf("%d/%d infections queried >20 C&C domains; Figure 3 says almost none do", over20, infected)
+	}
+}
+
+func TestProxiesHaveHighDegree(t *testing.T) {
+	g := testGenerator(t)
+	tr := g.GenerateDay(180)
+	deg := map[int32]int{}
+	for _, e := range tr.Edges {
+		deg[e.Machine]++
+	}
+	ordinaryMax := 0
+	for m := 0; m < g.Machines(); m++ {
+		switch g.Role(m) {
+		case RoleOrdinary:
+			if d := deg[int32(m)]; d > ordinaryMax {
+				ordinaryMax = d
+			}
+		}
+	}
+	for m := 0; m < g.Machines(); m++ {
+		if g.Role(m) == RoleProxy {
+			if deg[int32(m)] < ordinaryMax {
+				t.Fatalf("proxy %d degree %d below max ordinary degree %d", m, deg[int32(m)], ordinaryMax)
+			}
+		}
+	}
+}
+
+func TestInactiveMachinesLowDegree(t *testing.T) {
+	g := testGenerator(t)
+	tr := g.GenerateDay(180)
+	deg := map[int32]int{}
+	for _, e := range tr.Edges {
+		deg[e.Machine]++
+	}
+	for m := 0; m < g.Machines(); m++ {
+		if g.Role(m) == RoleInactive && deg[int32(m)] > 5 {
+			t.Fatalf("inactive machine %d queried %d domains, want <=5", m, deg[int32(m)])
+		}
+	}
+}
+
+func TestMachineIDStableWithoutChurn(t *testing.T) {
+	g := testGenerator(t)
+	if g.MachineID(10, 100) != g.MachineID(10, 101) {
+		t.Fatal("identifiers must be stable when churn is disabled")
+	}
+}
+
+func TestMachineIDChurn(t *testing.T) {
+	cfg := DefaultConfig("CHURN", 3)
+	cfg.DHCPChurnRate = 0.5
+	cat, err := NewCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(cat)
+	changed := 0
+	for m := 0; m < 200; m++ {
+		if g.MachineID(m, 100) != g.MachineID(m, 101) {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("with 50% churn some identifiers must rotate")
+	}
+}
+
+func TestBlacklistSampling(t *testing.T) {
+	cat := testCatalog(t)
+	bl := cat.Blacklist(BlacklistConfig{Coverage: 0.7, MeanListingDelayDays: 3, Salt: 1})
+	total := len(cat.AllCCDomains())
+	if bl.Len() < total/2 || bl.Len() > total {
+		t.Fatalf("blacklist covers %d of %d, want ~70%%", bl.Len(), total)
+	}
+	// Listing never precedes activation.
+	for _, d := range bl.Domains() {
+		e, _ := bl.Entry(d)
+		if e.Family == "" {
+			t.Fatalf("entry %s missing family tag", d)
+		}
+	}
+	// Independent feeds differ.
+	bl2 := cat.Blacklist(BlacklistConfig{Coverage: 0.7, MeanListingDelayDays: 3, Salt: 2})
+	if bl.Len() == bl2.Intersect(bl).Len() && bl2.Len() == bl.Len() {
+		t.Fatal("different salts should sample different feeds")
+	}
+}
+
+func TestBlacklistNoise(t *testing.T) {
+	cat := testCatalog(t)
+	bl := cat.Blacklist(BlacklistConfig{Coverage: 0.2, NoiseDomains: 5, Salt: 9})
+	noise := 0
+	for _, d := range bl.Domains() {
+		e, _ := bl.Entry(d)
+		if e.Family == "misc" {
+			noise++
+		}
+	}
+	if noise == 0 || noise > 5 {
+		t.Fatalf("noise entries = %d, want 1..5", noise)
+	}
+}
+
+func TestRankArchiveAndWhitelist(t *testing.T) {
+	cat := testCatalog(t)
+	arch := cat.RankArchive(RankArchiveConfig{Days: 20, ListLen: 2000, JitterFraction: 0.02})
+	if arch.Days() != 20 {
+		t.Fatalf("archive days = %d, want 20", arch.Days())
+	}
+	wl, err := intel.BuildWhitelist(arch, intel.WhitelistConfig{
+		ExcludeZones: cat.KnownFreeRegZones(1.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Len() == 0 {
+		t.Fatal("whitelist is empty")
+	}
+	// With a perfect exclusion list no zone is whitelisted.
+	for _, z := range cat.ZoneNames() {
+		if wl.ContainsE2LD(z) {
+			t.Fatalf("excluded zone %s in whitelist", z)
+		}
+	}
+	// The most popular benign e2LD must be whitelisted.
+	top := cat.BenignE2LDNames()[0]
+	if !wl.ContainsE2LD(top) {
+		t.Fatalf("top benign e2LD %s not whitelisted", top)
+	}
+	// No C&C domain's name may appear.
+	for _, id := range cat.AllCCDomains()[:30] {
+		if wl.ContainsE2LD(cat.Name(id)) {
+			t.Fatalf("C&C domain %s whitelisted", cat.Name(id))
+		}
+	}
+}
+
+func TestKnownFreeRegZonesFraction(t *testing.T) {
+	cat := testCatalog(t)
+	all := cat.KnownFreeRegZones(1.0)
+	if len(all) != cat.Config().FreeRegZones {
+		t.Fatalf("known zones at fraction 1.0 = %d, want %d", len(all), cat.Config().FreeRegZones)
+	}
+	none := cat.KnownFreeRegZones(0.0)
+	if len(none) != 0 {
+		t.Fatalf("known zones at fraction 0.0 = %d, want 0", len(none))
+	}
+}
+
+func TestEmitPDNSHistory(t *testing.T) {
+	cat := testCatalog(t)
+	db := pdns.NewDB()
+	cat.EmitPDNSHistory(db, 0, 180)
+	if db.Len() == 0 {
+		t.Fatal("no history emitted")
+	}
+	// A C&C domain active in the window must have history, and its history
+	// must stay inside its activity window.
+	for _, id := range cat.AllCCDomains() {
+		from, _ := cat.CCActivationDay(id)
+		if from < 10 || from > 100 {
+			continue
+		}
+		ips := db.IPs(cat.Name(id), 0, 180)
+		if len(ips) == 0 {
+			t.Fatalf("C&C domain %s active at day %d has no pdns history", cat.Name(id), from)
+		}
+		days := db.ActiveDays(cat.Name(id), 0, 180)
+		if days[0] < from {
+			t.Fatalf("history for %s precedes activation", cat.Name(id))
+		}
+		break
+	}
+	// Benign domains have stable history.
+	if ips := db.IPs(cat.Name(0), 0, 180); len(ips) == 0 {
+		t.Fatal("benign FQDN missing history")
+	}
+}
+
+func TestMarkActivity(t *testing.T) {
+	cat := testCatalog(t)
+	log := activity.NewLog()
+	sl := dnsutil.DefaultSuffixList()
+	cat.MarkActivity(log, sl, 170, 183)
+	// Zone roots are always active: 14 days of activity and a 14-day
+	// streak.
+	root := cat.ZoneNames()[0]
+	if got := log.DomainActiveDays(root, 170, 183); got != 14 {
+		t.Fatalf("zone root active days = %d, want 14", got)
+	}
+	if got := log.DomainStreak(root, 183); got != 14 {
+		t.Fatalf("zone root streak = %d, want 14", got)
+	}
+	// A C&C domain that activated mid-window shows a short streak.
+	found := false
+	for _, id := range cat.AllCCDomains() {
+		from, _ := cat.CCActivationDay(id)
+		if from == 180 {
+			if got := log.DomainStreak(cat.Name(id), 183); got != 4 {
+				t.Fatalf("fresh C&C streak = %d, want 4", got)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no C&C domain activated exactly on day 180 with this seed")
+	}
+}
+
+func TestSandboxSet(t *testing.T) {
+	cat := testCatalog(t)
+	sb := cat.SandboxSet()
+	for _, id := range cat.AllCCDomains()[:20] {
+		if _, ok := sb[cat.Name(id)]; !ok {
+			t.Fatalf("C&C domain %s missing from sandbox set", cat.Name(id))
+		}
+	}
+	for _, id := range cat.AllAbusedSubdomains() {
+		if _, ok := sb[cat.Name(id)]; !ok {
+			t.Fatalf("abused subdomain %s missing from sandbox set", cat.Name(id))
+		}
+	}
+	// Some popular benign domains appear too (malware queries them).
+	benign := 0
+	for id := int32(0); id < cat.offSub; id++ {
+		if _, ok := sb[cat.Name(id)]; ok {
+			benign++
+		}
+	}
+	if benign == 0 {
+		t.Fatal("sandbox set should include some benign domains")
+	}
+}
+
+func TestChurnSplitsTrafficWithinDay(t *testing.T) {
+	cfg := DefaultConfig("SPLIT", 5)
+	cfg.DHCPChurnRate = 0.5
+	cat, err := NewCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGeneratorFor(cat, cfg.Population())
+	tr := g.GenerateDay(180)
+	// Churned machines appear under extra "-b" identifiers beyond the
+	// stable population.
+	if len(tr.MachineIDs) <= g.Machines() {
+		t.Fatalf("no secondary identifiers emitted: %d ids for %d machines",
+			len(tr.MachineIDs), g.Machines())
+	}
+	// Traffic actually lands on secondary identifiers.
+	used := map[int32]bool{}
+	for _, e := range tr.Edges {
+		used[e.Machine] = true
+	}
+	secondaryUsed := 0
+	for m := int32(g.Machines()); m < int32(len(tr.MachineIDs)); m++ {
+		if used[m] {
+			secondaryUsed++
+		}
+	}
+	if secondaryUsed == 0 {
+		t.Fatal("no edges assigned to secondary identifiers")
+	}
+	// Determinism holds with churn enabled.
+	tr2 := NewGeneratorFor(cat, cfg.Population()).GenerateDay(180)
+	if len(tr.Edges) != len(tr2.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(tr.Edges), len(tr2.Edges))
+	}
+	for i := range tr.Edges {
+		if tr.Edges[i] != tr2.Edges[i] {
+			t.Fatalf("edge %d differs under churn", i)
+		}
+	}
+}
+
+func TestProberDailyProbeBound(t *testing.T) {
+	cfg := DefaultConfig("PROBE", 5)
+	cfg.Families = 40
+	cfg.CCActivePerFamily = 12 // ~480 active, far above the probe budget
+	cat, err := NewCatalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(cat)
+	tr := g.GenerateDay(180)
+	ccPerMachine := map[int32]int{}
+	for _, e := range tr.Edges {
+		if cat.Kind(e.Domain) == KindCC {
+			ccPerMachine[e.Machine]++
+		}
+	}
+	for m := 0; m < g.Machines(); m++ {
+		if g.Role(m) != RoleProber {
+			continue
+		}
+		c := ccPerMachine[int32(m)]
+		if c == 0 {
+			t.Fatalf("prober %d probed nothing", m)
+		}
+		if c > 2*proberDailyProbes {
+			t.Fatalf("prober %d probed %d C&C domains, want bounded near %d", m, c, proberDailyProbes)
+		}
+	}
+}
+
+func TestEmitSandboxTraces(t *testing.T) {
+	cat := testCatalog(t)
+	db := sandbox.NewDB()
+	cat.EmitSandboxTraces(db, 20, 200)
+	if db.Samples() < cat.Config().Families*10 {
+		t.Fatalf("samples = %d, want most of %d families x 20", db.Samples(), cat.Config().Families)
+	}
+	// Most C&C domains active within the window appear in some trace.
+	queried, total := 0, 0
+	for _, id := range cat.AllCCDomains() {
+		from, _ := cat.CCActivationDay(id)
+		if from < 0 || from > 180 {
+			continue
+		}
+		total++
+		if db.QueriedByMalware(cat.Name(id), 200) {
+			queried++
+		}
+	}
+	if total == 0 || float64(queried)/float64(total) < 0.4 {
+		t.Fatalf("only %d/%d in-window C&C domains appear in traces", queried, total)
+	}
+	// Family tags map back to catalog families.
+	fams := map[string]bool{}
+	for _, f := range cat.FamilyNames() {
+		fams[f] = true
+	}
+	for _, d := range db.Domains()[:50] {
+		for _, f := range db.FamiliesQuerying(d, 200) {
+			if !fams[f] {
+				t.Fatalf("unknown family tag %q", f)
+			}
+		}
+	}
+	// Some benign domains are contacted too (connectivity checks).
+	benign := 0
+	for id := int32(0); int(id) < cat.Config().BenignE2LDs; id++ {
+		if db.QueriedByMalware(cat.Name(id), 200) {
+			benign++
+		}
+	}
+	if benign == 0 {
+		t.Fatal("sandbox traces should include benign connectivity checks")
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+// Deterministic per-entity randomness.
+//
+// The generator must produce identical traffic for identical (Config.Seed,
+// day) inputs regardless of evaluation order, so per-machine and per-domain
+// decisions are derived from hash-based seeds rather than a shared stream.
+// splitmix64 is the standard 64-bit mixing function (Steele et al., 2014);
+// it is statistically strong enough for workload synthesis.
+
+// splitmix64 advances and mixes a 64-bit state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix hashes an arbitrary number of 64-bit words into one seed.
+func mix(words ...uint64) uint64 {
+	h := uint64(0x8f1bbcdcbfa53e0b)
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return h
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// chance returns a deterministic Bernoulli draw with probability p for the
+// given hash words.
+func chance(p float64, words ...uint64) bool {
+	return unitFloat(mix(words...)) < p
+}
+
+// pick returns a deterministic integer in [0, n).
+func pick(n int, words ...uint64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(mix(words...) % uint64(n))
+}

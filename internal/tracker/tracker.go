@@ -1,0 +1,150 @@
+// Package tracker accumulates Segugio's detections across consecutive
+// observation days. The paper's deployment model is exactly this loop —
+// "Segugio's detection reports are generated after a given observation
+// time window (one day, in our experiments)" (Section VI) — and the
+// operational questions between days are: what is new today, what keeps
+// recurring (high-confidence control infrastructure), and what went
+// dormant (agility: the operators moved on).
+package tracker
+
+import (
+	"sort"
+	"sync"
+
+	"segugio/internal/core"
+	"segugio/internal/graph"
+)
+
+// Entry is the accumulated state of one detected domain.
+type Entry struct {
+	Domain string
+	// FirstDetected and LastDetected are observation days.
+	FirstDetected int
+	LastDetected  int
+	// DaysDetected counts distinct detection days.
+	DaysDetected int
+	// PeakScore is the highest score observed.
+	PeakScore float64
+	// Machines is the cumulative set of machine identifiers seen querying
+	// the domain on detection days.
+	Machines map[string]struct{}
+}
+
+// DayDiff summarizes one day's detections against the tracker's history.
+type DayDiff struct {
+	Day int
+	// New lists domains detected for the first time.
+	New []string
+	// Recurring lists domains detected today and on an earlier day.
+	Recurring []string
+	// Dormant lists domains detected earlier but not today — typically
+	// retired control infrastructure (network agility).
+	Dormant []string
+}
+
+// Tracker is safe for concurrent use.
+type Tracker struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	lastDay int
+	started bool
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{entries: make(map[string]*Entry)}
+}
+
+// Observe folds one day's detections in and returns the diff. g, when
+// non-nil, supplies the querying machines per detected domain (pass the
+// pruned graph classification ran on).
+func (t *Tracker) Observe(day int, detections []core.Detection, g *graph.Graph) *DayDiff {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	diff := &DayDiff{Day: day}
+	seenToday := make(map[string]struct{}, len(detections))
+	for _, det := range detections {
+		seenToday[det.Domain] = struct{}{}
+		e, known := t.entries[det.Domain]
+		if !known {
+			e = &Entry{
+				Domain:        det.Domain,
+				FirstDetected: day,
+				Machines:      make(map[string]struct{}),
+			}
+			t.entries[det.Domain] = e
+			diff.New = append(diff.New, det.Domain)
+		} else {
+			diff.Recurring = append(diff.Recurring, det.Domain)
+		}
+		if day != e.LastDetected || !known {
+			e.DaysDetected++
+		}
+		e.LastDetected = day
+		if det.Score > e.PeakScore {
+			e.PeakScore = det.Score
+		}
+		if g != nil {
+			if d, ok := g.DomainIndex(det.Domain); ok {
+				for _, m := range g.MachinesOf(d) {
+					e.Machines[g.MachineID(m)] = struct{}{}
+				}
+			}
+		}
+	}
+	for domain, e := range t.entries {
+		if _, today := seenToday[domain]; !today && e.LastDetected < day {
+			diff.Dormant = append(diff.Dormant, domain)
+		}
+	}
+	sort.Strings(diff.New)
+	sort.Strings(diff.Recurring)
+	sort.Strings(diff.Dormant)
+	t.lastDay = day
+	t.started = true
+	return diff
+}
+
+// Entries returns a snapshot of all tracked domains, sorted by first
+// detection day then name.
+func (t *Tracker) Entries() []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		copied := *e
+		copied.Machines = make(map[string]struct{}, len(e.Machines))
+		for m := range e.Machines {
+			copied.Machines[m] = struct{}{}
+		}
+		out = append(out, copied)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FirstDetected != out[j].FirstDetected {
+			return out[i].FirstDetected < out[j].FirstDetected
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// Persistent returns the domains detected on at least minDays distinct
+// days — the recurring control infrastructure an operator blocks with the
+// most confidence.
+func (t *Tracker) Persistent(minDays int) []Entry {
+	var out []Entry
+	for _, e := range t.Entries() {
+		if e.DaysDetected >= minDays {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len reports the number of tracked domains.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

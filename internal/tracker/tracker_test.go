@@ -1,0 +1,108 @@
+package tracker
+
+import (
+	"testing"
+
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+)
+
+func det(domain string, score float64) core.Detection {
+	return core.Detection{Domain: domain, Score: score}
+}
+
+func TestTrackerDiffs(t *testing.T) {
+	tr := New()
+
+	d1 := tr.Observe(10, []core.Detection{det("a.com", 0.9), det("b.com", 0.8)}, nil)
+	if len(d1.New) != 2 || len(d1.Recurring) != 0 || len(d1.Dormant) != 0 {
+		t.Fatalf("day 10 diff = %+v", d1)
+	}
+
+	d2 := tr.Observe(11, []core.Detection{det("a.com", 0.95), det("c.com", 0.7)}, nil)
+	if len(d2.New) != 1 || d2.New[0] != "c.com" {
+		t.Fatalf("day 11 new = %v", d2.New)
+	}
+	if len(d2.Recurring) != 1 || d2.Recurring[0] != "a.com" {
+		t.Fatalf("day 11 recurring = %v", d2.Recurring)
+	}
+	if len(d2.Dormant) != 1 || d2.Dormant[0] != "b.com" {
+		t.Fatalf("day 11 dormant = %v", d2.Dormant)
+	}
+
+	if tr.Len() != 3 {
+		t.Fatalf("tracked = %d, want 3", tr.Len())
+	}
+}
+
+func TestTrackerEntryAccumulation(t *testing.T) {
+	tr := New()
+	tr.Observe(10, []core.Detection{det("a.com", 0.6)}, nil)
+	tr.Observe(11, []core.Detection{det("a.com", 0.9)}, nil)
+	tr.Observe(13, []core.Detection{det("a.com", 0.7)}, nil)
+
+	entries := tr.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0]
+	if e.FirstDetected != 10 || e.LastDetected != 13 || e.DaysDetected != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.PeakScore != 0.9 {
+		t.Fatalf("peak = %v, want 0.9", e.PeakScore)
+	}
+}
+
+func TestTrackerPersistent(t *testing.T) {
+	tr := New()
+	tr.Observe(1, []core.Detection{det("stable.com", 0.9), det("flaky.com", 0.9)}, nil)
+	tr.Observe(2, []core.Detection{det("stable.com", 0.9)}, nil)
+	tr.Observe(3, []core.Detection{det("stable.com", 0.9)}, nil)
+
+	p := tr.Persistent(3)
+	if len(p) != 1 || p[0].Domain != "stable.com" {
+		t.Fatalf("persistent = %v", p)
+	}
+	if got := len(tr.Persistent(1)); got != 2 {
+		t.Fatalf("persistent(1) = %d, want 2", got)
+	}
+}
+
+func TestTrackerMachineAccumulation(t *testing.T) {
+	build := func(machines ...string) *graph.Graph {
+		b := graph.NewBuilder("T", 1, dnsutil.DefaultSuffixList())
+		for _, m := range machines {
+			b.AddQuery(m, "c2.net")
+		}
+		return b.Build()
+	}
+	tr := New()
+	tr.Observe(1, []core.Detection{det("c2.net", 0.9)}, build("m1", "m2"))
+	tr.Observe(2, []core.Detection{det("c2.net", 0.9)}, build("m2", "m3"))
+
+	e := tr.Entries()[0]
+	if len(e.Machines) != 3 {
+		t.Fatalf("machines = %v, want union of 3", e.Machines)
+	}
+	// Snapshot isolation: mutating the returned entry must not affect the
+	// tracker.
+	e.Machines["mX"] = struct{}{}
+	if len(tr.Entries()[0].Machines) != 3 {
+		t.Fatal("Entries must return copies")
+	}
+}
+
+func TestTrackerSameDayReobserve(t *testing.T) {
+	tr := New()
+	tr.Observe(5, []core.Detection{det("a.com", 0.5)}, nil)
+	tr.Observe(5, []core.Detection{det("a.com", 0.6)}, nil)
+	e := tr.Entries()[0]
+	if e.DaysDetected != 1 {
+		t.Fatalf("DaysDetected = %d, want 1 (same day re-observed)", e.DaysDetected)
+	}
+	if e.PeakScore != 0.6 {
+		t.Fatalf("peak = %v", e.PeakScore)
+	}
+}
