@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full test suite
+# under the race detector.
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f segugio segugiod segugio-experiments

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"segugio/internal/eval"
@@ -25,7 +28,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "segugio-experiments:", err)
 		os.Exit(1)
 	}
@@ -46,7 +51,7 @@ type experiment struct {
 	run  func(*env) (fmt.Stringer, error)
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("segugio-experiments", flag.ContinueOnError)
 	expFlag := fs.String("exp", "all", "comma-separated experiment names, or 'all'")
 	small := fs.Bool("small", false, "use the small test-scale networks (fast)")
@@ -72,6 +77,9 @@ func run(args []string) error {
 		return err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "building synthetic ISP networks (small=%v)...\n", *small)
 	t0 := time.Now()
 	e, err := buildEnv(*small, *seed, *trainDay, *testDay, *outdir)
@@ -80,7 +88,12 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "networks ready in %v\n\n", time.Since(t0).Round(time.Millisecond))
 
+	// Experiments run one at a time; a Ctrl-C lands between them instead
+	// of waiting for the remaining catalog.
 	for _, ex := range selected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t0 := time.Now()
 		res, err := ex.run(e)
 		if err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -39,5 +41,14 @@ func TestSelectExperiments(t *testing.T) {
 func TestRenderedStringer(t *testing.T) {
 	if rendered("x").String() != "x" {
 		t.Fatal("rendered stringer broken")
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-exp", "table1", "-small", "-outdir", t.TempDir()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,7 +23,7 @@ func TestEndToEnd(t *testing.T) {
 
 	mustRun := func(args ...string) {
 		t.Helper()
-		if err := run(args); err != nil {
+		if err := run(context.Background(), args); err != nil {
 			t.Fatalf("segugio %v: %v", args, err)
 		}
 	}
@@ -51,30 +53,41 @@ func TestEndToEnd(t *testing.T) {
 
 // TestRunErrors covers the top-level dispatch failure paths.
 func TestRunErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("missing subcommand must fail")
 	}
-	if err := run([]string{"bogus"}); err == nil {
+	if err := run(context.Background(), []string{"bogus"}); err == nil {
 		t.Fatal("unknown subcommand must fail")
 	}
-	if err := run([]string{"help"}); err != nil {
+	if err := run(context.Background(), []string{"help"}); err != nil {
 		t.Fatalf("help must succeed: %v", err)
 	}
 	// Missing data directory surfaces a clear error.
-	if err := run([]string{"train", "-data", "/nonexistent-segugio-dir"}); err == nil {
+	if err := run(context.Background(), []string{"train", "-data", "/nonexistent-segugio-dir"}); err == nil {
 		t.Fatal("missing data dir must fail")
 	}
-	if err := run([]string{"classify", "-model", "/nonexistent-model.bin"}); err == nil {
+	if err := run(context.Background(), []string{"classify", "-model", "/nonexistent-model.bin"}); err == nil {
 		t.Fatal("missing model must fail")
 	}
-	if err := run([]string{"track", "-days", ""}); err == nil {
+	if err := run(context.Background(), []string{"track", "-days", ""}); err == nil {
 		t.Fatal("track without days must fail")
+	}
+}
+
+// TestRunCanceled verifies a canceled context aborts long subcommands
+// instead of letting them run to completion.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"generate", "-out", t.TempDir(), "-machines", "300", "-days", "170"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
 // TestGenerateBadFlags covers generate's input validation.
 func TestGenerateBadFlags(t *testing.T) {
-	if err := run([]string{"generate", "-days", "notaday", "-out", t.TempDir()}); err == nil {
+	if err := run(context.Background(), []string{"generate", "-days", "notaday", "-out", t.TempDir()}); err == nil {
 		t.Fatal("bad day list must fail")
 	}
 }

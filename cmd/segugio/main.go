@@ -15,11 +15,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"segugio/internal/activity"
@@ -37,28 +40,30 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "segugio:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
 	}
 	switch args[0] {
 	case "generate":
-		return cmdGenerate(args[1:])
+		return cmdGenerate(ctx, args[1:])
 	case "train":
-		return cmdTrain(args[1:])
+		return cmdTrain(ctx, args[1:])
 	case "classify":
-		return cmdClassify(args[1:])
+		return cmdClassify(ctx, args[1:])
 	case "evaluate":
-		return cmdEvaluate(args[1:])
+		return cmdEvaluate(ctx, args[1:])
 	case "track":
-		return cmdTrack(args[1:])
+		return cmdTrack(ctx, args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -83,7 +88,7 @@ Run 'segugio <subcommand> -h' for flags.
 
 // ---- generate ----
 
-func cmdGenerate(args []string) error {
+func cmdGenerate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	out := fs.String("out", "data", "output directory")
 	seed := fs.Int64("seed", 42, "generator seed")
@@ -163,6 +168,9 @@ func cmdGenerate(args []string) error {
 
 	// Per-day query logs and resolutions.
 	for _, day := range dayList {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tr := gen.GenerateDay(day)
 		if err := writeFile(filepath.Join(*out, fmt.Sprintf("queries-%d.tsv", day)), func(w *bufio.Writer) error {
 			for _, e := range tr.Edges {
@@ -198,7 +206,7 @@ func cmdGenerate(args []string) error {
 
 // ---- train ----
 
-func cmdTrain(args []string) error {
+func cmdTrain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
 	data := fs.String("data", "data", "dataset directory (as written by generate)")
 	day := fs.Int("day", 170, "training observation day")
@@ -238,6 +246,9 @@ func cmdTrain(args []string) error {
 	}
 	env.label(val)
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t0 := time.Now()
 	det, report, err := core.Train(core.DefaultConfig(), core.TrainInput{
 		Graph: env.graph, Activity: env.activity, Abuse: env.abuse, Exclude: val,
@@ -267,6 +278,9 @@ func cmdTrain(args []string) error {
 	tpr := eval.TPRAtFPR(curve, *fpBudget)
 
 	// Final pass: retrain on every known domain, keep the threshold.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	env.label(nil)
 	det, report, err = core.Train(core.DefaultConfig(), core.TrainInput{
 		Graph: env.graph, Activity: env.activity, Abuse: env.abuse,
@@ -294,7 +308,7 @@ func cmdTrain(args []string) error {
 
 // ---- classify ----
 
-func cmdClassify(args []string) error {
+func cmdClassify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
 	data := fs.String("data", "data", "dataset directory")
 	day := fs.Int("day", 183, "observation day to classify")
@@ -323,6 +337,9 @@ func cmdClassify(args []string) error {
 	}
 	env.label(nil)
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t0 := time.Now()
 	dets, report, err := det.Classify(core.ClassifyInput{
 		Graph: env.graph, Activity: env.activity, Abuse: env.abuse,
@@ -376,7 +393,7 @@ func cmdClassify(args []string) error {
 // folds the detections into the multi-day tracker: what is new, what
 // recurs (block with confidence), what went dormant (the operators moved
 // on).
-func cmdTrack(args []string) error {
+func cmdTrack(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("track", flag.ContinueOnError)
 	data := fs.String("data", "data", "dataset directory")
 	model := fs.String("model", "detector.bin", "trained model path")
@@ -403,6 +420,9 @@ func cmdTrack(args []string) error {
 
 	track := tracker.New()
 	for _, day := range dayList {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		env, err := loadDayEnv(*data, day, *psl)
 		if err != nil {
 			return err
@@ -439,7 +459,7 @@ func cmdTrack(args []string) error {
 // hidden from labeling, feature measurement, and training), the detector
 // is trained on the first day and scored on the second, and the ROC is
 // printed.
-func cmdEvaluate(args []string) error {
+func cmdEvaluate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	data := fs.String("data", "data", "dataset directory")
 	trainDay := fs.Int("train-day", 170, "training observation day")
@@ -486,11 +506,17 @@ func cmdEvaluate(args []string) error {
 		return fmt.Errorf("no known domains shared between days %d and %d", *trainDay, *testDay)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	trainEnv.label(hidden)
 	det, trainReport, err := core.Train(core.DefaultConfig(), core.TrainInput{
 		Graph: trainEnv.graph, Activity: trainEnv.activity, Abuse: trainEnv.abuse, Exclude: hidden,
 	})
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	testEnv.label(hidden)

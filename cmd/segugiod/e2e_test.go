@@ -1,0 +1,422 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+	"segugio/internal/logio"
+	"segugio/internal/ml"
+)
+
+const e2eDay = 42
+
+// genEvents builds the synthetic day stream: blacklisted C&C domains
+// queried by infected machines, whitelisted sites queried by clean
+// machines, and a handful of unknown domains queried by the infected
+// population (the detection targets). Repetitions push the count past the
+// 1000-event floor the daemon e2e asserts.
+func genEvents() []logio.Event {
+	var evs []logio.Event
+	for rep := 0; rep < 5; rep++ {
+		for i := 0; i < 10; i++ {
+			name := fmt.Sprintf("c%d.evil.net", i)
+			for m := 0; m < 6; m++ {
+				evs = append(evs, logio.Event{
+					Kind: logio.EventQuery, Day: e2eDay,
+					Machine: fmt.Sprintf("inf%02d", (i+m)%12), Domain: name,
+				})
+			}
+			evs = append(evs, logio.Event{
+				Kind: logio.EventResolution, Day: e2eDay, Domain: name,
+				IPs: []dnsutil.IPv4{dnsutil.IPv4(0x0a000000 + uint32(i))},
+			})
+		}
+		for i := 0; i < 20; i++ {
+			name := fmt.Sprintf("www.good%d.com", i)
+			for m := 0; m < 8; m++ {
+				evs = append(evs, logio.Event{
+					Kind: logio.EventQuery, Day: e2eDay,
+					Machine: fmt.Sprintf("clean%02d", (i+m)%25), Domain: name,
+				})
+			}
+			evs = append(evs, logio.Event{
+				Kind: logio.EventResolution, Day: e2eDay, Domain: name,
+				IPs: []dnsutil.IPv4{dnsutil.IPv4(0x0b000000 + uint32(i))},
+			})
+		}
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("unk%d.gray.org", i)
+			for m := 0; m < 5; m++ {
+				evs = append(evs, logio.Event{
+					Kind: logio.EventQuery, Day: e2eDay,
+					Machine: fmt.Sprintf("inf%02d", (i+m)%12), Domain: name,
+				})
+			}
+			evs = append(evs, logio.Event{
+				Kind: logio.EventResolution, Day: e2eDay, Domain: name,
+				IPs: []dnsutil.IPv4{dnsutil.IPv4(0x0c000000 + uint32(i))},
+			})
+		}
+	}
+	return evs
+}
+
+// writeIntel drops blacklist.tsv and whitelist.txt for -data.
+func writeIntel(t *testing.T, dir string) (*intel.Blacklist, *intel.Whitelist) {
+	t.Helper()
+	bl := intel.NewBlacklist()
+	for i := 0; i < 10; i++ {
+		bl.Add(intel.BlacklistEntry{
+			Domain: fmt.Sprintf("c%d.evil.net", i), Family: "fam", FirstListed: 0,
+		})
+	}
+	var e2lds []string
+	for i := 0; i < 20; i++ {
+		e2lds = append(e2lds, fmt.Sprintf("good%d.com", i))
+	}
+	wl := intel.NewWhitelist(e2lds)
+
+	mustWrite := func(name string, fn func(w *bufio.Writer) error) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		if err := fn(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite("blacklist.tsv", func(w *bufio.Writer) error { return logio.WriteBlacklist(w, bl) })
+	mustWrite("whitelist.txt", func(w *bufio.Writer) error { return logio.WriteWhitelist(w, wl) })
+	return bl, wl
+}
+
+// trainModel trains a detector on the batch graph of the same event
+// distribution the e2e streams, and saves it for -model.
+func trainModel(t *testing.T, dir string, bl *intel.Blacklist, wl *intel.Whitelist) string {
+	t.Helper()
+	b := graph.NewBuilder("train", e2eDay, dnsutil.DefaultSuffixList())
+	for _, e := range genEvents() {
+		switch e.Kind {
+		case logio.EventQuery:
+			b.AddQuery(e.Machine, e.Domain)
+		case logio.EventResolution:
+			for _, ip := range e.IPs {
+				b.AddResolution(e.Domain, ip)
+			}
+		}
+	}
+	g := b.Build()
+	g.ApplyLabels(graph.LabelSources{Blacklist: bl, Whitelist: wl, AsOf: e2eDay})
+
+	cfg := core.DefaultConfig()
+	cfg.DisablePruning = true
+	cfg.NewModel = func(benign, malware int) ml.Model {
+		return ml.NewLogisticRegression(ml.LogisticRegressionConfig{Seed: 7})
+	}
+	det, _, err := core.Train(cfg, core.TrainInput{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "detector.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveDetector(f, det); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// metricValue scrapes one un-labeled counter/gauge from /metrics.
+func metricValue(t *testing.T, base, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value in %q: %v", name, line, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test")
+	}
+	dir := t.TempDir()
+	bl, wl := writeIntel(t, dir)
+	model := trainModel(t, dir, bl, wl)
+
+	logBuf := &bytes.Buffer{}
+	d, err := newDaemon(options{
+		listen:   "127.0.0.1:0",
+		events:   "tcp://127.0.0.1:0",
+		model:    model,
+		dataDir:  dir,
+		network:  "e2e",
+		startDay: e2eDay,
+		workers:  4,
+		queue:    8192,
+		window:   14,
+		keepDays: 30,
+	}, log.New(logBuf, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx, nil) }()
+
+	base := "http://" + d.httpLn.Addr().String()
+
+	// Stream the synthetic day over a real TCP connection.
+	evs := genEvents()
+	if len(evs) < 1000 {
+		t.Fatalf("generated only %d events, e2e needs at least 1000", len(evs))
+	}
+	conn, err := net.Dial("tcp", d.eventsLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(conn)
+	for _, e := range evs {
+		if err := logio.WriteEvent(w, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ingest-events counter must converge on exactly the streamed
+	// count (the queue is deep enough that nothing is dropped).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if v, ok := metricValue(t, base, "segugiod_ingest_events_total"); ok && v == float64(len(evs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, _ := metricValue(t, base, "segugiod_ingest_events_total")
+			dropped, _ := metricValue(t, base, "segugiod_ingest_dropped_total")
+			t.Fatalf("ingested %v of %d events (%v dropped) before deadline", v, len(evs), dropped)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if v, _ := metricValue(t, base, "segugiod_ingest_dropped_total"); v != 0 {
+		t.Fatalf("dropped %v events, want 0", v)
+	}
+	if v, ok := metricValue(t, base, "segugiod_graph_domains"); !ok || v != 34 {
+		t.Fatalf("graph domains gauge = %v, want 34", v)
+	}
+
+	// Classify the live graph.
+	var classify struct {
+		Day        int      `json:"day"`
+		Threshold  float64  `json:"threshold"`
+		Classified int      `json:"classified"`
+		Missing    []string `json:"missing"`
+		Detections []struct {
+			Domain   string  `json:"domain"`
+			Score    float64 `json:"score"`
+			Detected bool    `json:"detected"`
+		} `json:"detections"`
+	}
+	resp, err := http.Post(base+"/v1/classify", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &classify); err != nil {
+		t.Fatalf("classify: bad JSON %q: %v", body, err)
+	}
+	if classify.Day != e2eDay {
+		t.Fatalf("classify day = %d, want %d", classify.Day, e2eDay)
+	}
+	if classify.Classified != 4 || len(classify.Detections) != 4 {
+		t.Fatalf("classified %d (%d detections), want the 4 unknown domains: %s",
+			classify.Classified, len(classify.Detections), body)
+	}
+	for _, det := range classify.Detections {
+		if !strings.HasPrefix(det.Domain, "unk") {
+			t.Fatalf("unexpected classification target %q", det.Domain)
+		}
+		if det.Detected != (det.Score >= classify.Threshold) {
+			t.Fatalf("detection %+v inconsistent with threshold %v", det, classify.Threshold)
+		}
+	}
+
+	// Per-domain evidence from the live graph.
+	resp, err = http.Get(base + "/v1/domains/unk0.gray.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("domains: status %d: %s", resp.StatusCode, body)
+	}
+	var evidence struct {
+		Label            string  `json:"label"`
+		InfectedFraction float64 `json:"infectedFraction"`
+		QueryingMachines int     `json:"queryingMachines"`
+	}
+	if err := json.Unmarshal(body, &evidence); err != nil {
+		t.Fatal(err)
+	}
+	if evidence.Label != "unknown" || evidence.QueryingMachines != 5 || evidence.InfectedFraction != 1 {
+		t.Fatalf("evidence = %s", body)
+	}
+
+	// Health and hot-reload.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "ok"`) {
+		t.Fatalf("healthz: status %d: %s", resp.StatusCode, body)
+	}
+	resp, err = http.Post(base+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Graceful shutdown on context cancel.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down cleanly; log:\n%s", logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "shut down cleanly") {
+		t.Fatalf("missing clean-shutdown log line:\n%s", logBuf.String())
+	}
+}
+
+// TestDaemonStdinSource covers the "-" event source: events arrive on
+// stdin and the API serves them without a TCP listener.
+func TestDaemonStdinSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test")
+	}
+	var stream bytes.Buffer
+	evs := genEvents()[:300]
+	for _, e := range evs {
+		if err := logio.WriteEvent(&stream, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := newDaemon(options{
+		listen:   "127.0.0.1:0",
+		events:   "-",
+		network:  "stdin",
+		startDay: e2eDay,
+	}, log.New(io.Discard, "", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx, &stream) }()
+
+	base := "http://" + d.httpLn.Addr().String()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v, ok := metricValue(t, base, "segugiod_ingest_events_total"); ok && v == float64(len(evs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stdin events not ingested before deadline")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// No detector configured: classify must answer 503, not crash.
+	resp, err := http.Post(base+"/v1/classify", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("classify without detector: status %d, want 503", resp.StatusCode)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down cleanly")
+	}
+}
+
+func TestParseFlagsRejectsExtraArgs(t *testing.T) {
+	if _, err := parseFlags([]string{"extra"}); err == nil {
+		t.Fatal("positional arguments must be rejected")
+	}
+	opts, err := parseFlags([]string{"-listen", "127.0.0.1:1234", "-events", "tcp://127.0.0.1:9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.listen != "127.0.0.1:1234" || opts.events != "tcp://127.0.0.1:9" {
+		t.Fatalf("opts = %+v", opts)
+	}
+}

@@ -1,0 +1,416 @@
+// Command segugiod is the deployment daemon: it ingests a live stream of
+// DNS events (queries and resolutions), maintains the current day's
+// behavior graph incrementally, and serves online classification plus
+// health and metrics over HTTP.
+//
+//	segugiod -listen 127.0.0.1:8080 -events tcp://127.0.0.1:9000 \
+//	    -model detector.gob -data ./day-data -start-day 170
+//
+// Event sources (-events):
+//
+//	"-"              read the event stream from stdin
+//	tcp://host:port  listen and accept any number of streaming connections
+//	path             tail a file, following appended events
+//
+// The HTTP surface is internal/server: POST /v1/classify,
+// GET /v1/domains/{name}, POST /v1/reload, GET /healthz, GET /metrics.
+// SIGHUP reloads the detector in place; SIGINT/SIGTERM shut down
+// gracefully (drain ingest queues, stop the HTTP server).
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/ingest"
+	"segugio/internal/intel"
+	"segugio/internal/logio"
+	"segugio/internal/metrics"
+	"segugio/internal/pdns"
+	"segugio/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "segugiod:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	listen   string
+	events   string
+	model    string
+	dataDir  string
+	pslPath  string
+	network  string
+	startDay int
+	workers  int
+	queue    int
+	window   int
+	keepDays int
+}
+
+func parseFlags(args []string) (options, error) {
+	var opts options
+	fs := flag.NewFlagSet("segugiod", flag.ContinueOnError)
+	fs.StringVar(&opts.listen, "listen", "127.0.0.1:8080", "HTTP API listen address")
+	fs.StringVar(&opts.events, "events", "-", `event source: "-" (stdin), tcp://host:port (listener), or a file path (tail)`)
+	fs.StringVar(&opts.model, "model", "", "trained detector file (optional; classify answers 503 without one)")
+	fs.StringVar(&opts.dataDir, "data", "", "directory with blacklist.tsv, whitelist.txt, and optional pdns.tsv/activity.tsv")
+	fs.StringVar(&opts.pslPath, "psl", "", "public-suffix list file (optional)")
+	fs.StringVar(&opts.network, "network", "isp", "network name stamped on live graphs")
+	fs.IntVar(&opts.startDay, "start-day", 0, "initial epoch day; earlier events are dropped as stale")
+	fs.IntVar(&opts.workers, "workers", 4, "ingest worker shards")
+	fs.IntVar(&opts.queue, "queue", 4096, "per-shard event queue depth")
+	fs.IntVar(&opts.window, "window", 14, "activity look-back window in days (F2 features)")
+	fs.IntVar(&opts.keepDays, "keep-days", 30, "days of activity history kept across rotations")
+	if err := fs.Parse(args); err != nil {
+		return opts, err
+	}
+	if fs.NArg() != 0 {
+		return opts, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return opts, nil
+}
+
+func run(ctx context.Context, args []string, stdin io.Reader, logw io.Writer) error {
+	opts, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	d, err := newDaemon(opts, log.New(logw, "segugiod: ", log.LstdFlags))
+	if err != nil {
+		return err
+	}
+	return d.run(ctx, stdin)
+}
+
+// daemon wires the ingester, the HTTP server, and the event source. It is
+// constructed with its listeners already bound so tests can read the
+// assigned ports before starting run.
+type daemon struct {
+	opts   options
+	logger *log.Logger
+
+	reg    *metrics.Registry
+	ing    *ingest.Ingester
+	srv    *server.Server
+	handle *server.DetectorHandle
+
+	httpLn   net.Listener
+	eventsLn net.Listener // non-nil only for tcp:// sources
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
+	d := &daemon{opts: opts, logger: logger, conns: make(map[net.Conn]struct{})}
+
+	suffixes := dnsutil.DefaultSuffixList()
+	if opts.pslPath != "" {
+		f, err := os.Open(opts.pslPath)
+		if err != nil {
+			return nil, err
+		}
+		sl, err := dnsutil.ParseSuffixList(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("psl: %w", err)
+		}
+		suffixes = sl
+	}
+
+	bl := intel.NewBlacklist()
+	wl := intel.NewWhitelist(nil)
+	act := activity.NewLog()
+	var abuse *pdns.AbuseIndex
+	if opts.dataDir != "" {
+		var err error
+		bl, wl, abuse, err = loadIntel(opts.dataDir, opts.startDay, act, suffixes)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	d.reg = metrics.NewRegistry()
+	ingMetrics := &ingest.Metrics{
+		EventsIngested: d.reg.NewCounter("segugiod_ingest_events_total",
+			"Events applied to the live graph.", ""),
+		EventsDropped: d.reg.NewCounter("segugiod_ingest_dropped_total",
+			"Events dropped because a shard queue was full.", ""),
+		EventsStale: d.reg.NewCounter("segugiod_ingest_stale_total",
+			"Events discarded for belonging to a rotated-out day.", ""),
+		ParseErrors: d.reg.NewCounter("segugiod_ingest_parse_errors_total",
+			"Event streams aborted by malformed input.", ""),
+		Rotations: d.reg.NewCounter("segugiod_ingest_rotations_total",
+			"Day-boundary epoch rotations.", ""),
+		GraphMachines: d.reg.NewGauge("segugiod_graph_machines",
+			"Machines in the live behavior graph.", ""),
+		GraphDomains: d.reg.NewGauge("segugiod_graph_domains",
+			"Domains in the live behavior graph.", ""),
+		GraphObservations: d.reg.NewGauge("segugiod_graph_observations",
+			"Raw query observations in the live behavior graph.", ""),
+	}
+
+	d.ing = ingest.New(ingest.Config{
+		Network:          opts.network,
+		StartDay:         opts.startDay,
+		Suffixes:         suffixes,
+		Workers:          opts.workers,
+		QueueDepth:       opts.queue,
+		Activity:         act,
+		ActivityKeepDays: opts.keepDays,
+		PrepareSnapshot: func(g *graph.Graph) {
+			g.ApplyLabels(graph.LabelSources{Blacklist: bl, Whitelist: wl, AsOf: g.Day()})
+		},
+		OnRotate: func(day int, final *graph.Graph) {
+			logger.Printf("epoch rotated: day %d finalized with %d machines, %d domains",
+				day, final.NumMachines(), final.NumDomains())
+		},
+		Metrics: ingMetrics,
+	})
+
+	if opts.model != "" {
+		var err error
+		d.handle, err = server.OpenDetector(opts.model)
+		if err != nil {
+			d.ing.Shutdown()
+			return nil, err
+		}
+	}
+	d.srv = server.New(server.Config{
+		Graphs:   d.ing,
+		Detector: d.handle,
+		Activity: act,
+		Abuse:    abuse,
+		Window:   opts.window,
+		Registry: d.reg,
+	})
+
+	var err error
+	d.httpLn, err = net.Listen("tcp", opts.listen)
+	if err != nil {
+		d.ing.Shutdown()
+		return nil, fmt.Errorf("listen %s: %w", opts.listen, err)
+	}
+	if addr, ok := strings.CutPrefix(opts.events, "tcp://"); ok {
+		d.eventsLn, err = net.Listen("tcp", addr)
+		if err != nil {
+			d.httpLn.Close()
+			d.ing.Shutdown()
+			return nil, fmt.Errorf("listen events %s: %w", addr, err)
+		}
+	}
+	return d, nil
+}
+
+// loadIntel reads the ground-truth files segugiod labels snapshots with.
+// blacklist.tsv and whitelist.txt are required once -data is given;
+// pdns.tsv (F3 abuse features) and activity.tsv (F2 history preload) are
+// optional.
+func loadIntel(dir string, day int, act *activity.Log, suffixes *dnsutil.SuffixList) (*intel.Blacklist, *intel.Whitelist, *pdns.AbuseIndex, error) {
+	var bl *intel.Blacklist
+	var wl *intel.Whitelist
+	if err := readFile(filepath.Join(dir, "blacklist.tsv"), func(f *os.File) (err error) {
+		bl, err = logio.ReadBlacklist(f)
+		return err
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := readFile(filepath.Join(dir, "whitelist.txt"), func(f *os.File) (err error) {
+		wl, err = logio.ReadWhitelist(f)
+		return err
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+
+	var abuse *pdns.AbuseIndex
+	pdnsPath := filepath.Join(dir, "pdns.tsv")
+	if _, err := os.Stat(pdnsPath); err == nil {
+		db := pdns.NewDB()
+		if err := readFile(pdnsPath, func(f *os.File) error {
+			return logio.ReadPDNS(bufio.NewReader(f), db)
+		}); err != nil {
+			return nil, nil, nil, err
+		}
+		abuse = pdns.BuildAbuseIndex(db, day-150, day-1, func(d string) pdns.Verdict {
+			if bl.Contains(d, day) {
+				return pdns.VerdictMalware
+			}
+			if wl.ContainsDomain(d, suffixes) {
+				return pdns.VerdictBenign
+			}
+			return pdns.VerdictUnknown
+		})
+	}
+
+	actPath := filepath.Join(dir, "activity.tsv")
+	if _, err := os.Stat(actPath); err == nil {
+		if err := readFile(actPath, func(f *os.File) error {
+			return logio.ReadActivity(bufio.NewReader(f), act, suffixes)
+		}); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return bl, wl, abuse, nil
+}
+
+func readFile(path string, fn func(f *os.File) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+// run serves until ctx is canceled, then shuts down in order: stop
+// accepting events, drain the ingest queues, stop the HTTP server.
+func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
+	httpSrv := &http.Server{Handler: d.srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+	}()
+	d.logger.Printf("HTTP API on %s", d.httpLn.Addr())
+
+	var sources sync.WaitGroup
+	srcCtx, cancelSources := context.WithCancel(ctx)
+	defer cancelSources()
+	switch {
+	case d.eventsLn != nil:
+		d.logger.Printf("event listener on tcp://%s", d.eventsLn.Addr())
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			d.acceptEvents(srcCtx)
+		}()
+	case d.opts.events == "-":
+		if stdin != nil {
+			sources.Add(1)
+			go func() {
+				defer sources.Done()
+				if err := d.ing.Consume(stdin); err != nil && !errors.Is(err, ingest.ErrShuttingDown) {
+					d.logger.Printf("stdin stream: %v", err)
+				}
+			}()
+		}
+	default:
+		d.logger.Printf("tailing %s", d.opts.events)
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			if err := d.ing.TailFile(srcCtx, d.opts.events, 0); err != nil {
+				d.logger.Printf("tail %s: %v", d.opts.events, err)
+			}
+		}()
+	}
+
+	// SIGHUP: hot-reload the detector without restarting.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if d.handle == nil {
+				d.logger.Printf("SIGHUP ignored: no detector configured")
+				continue
+			}
+			if err := d.srv.ReloadForSignal(); err != nil {
+				d.logger.Printf("SIGHUP reload failed: %v", err)
+			} else {
+				d.logger.Printf("SIGHUP: detector reloaded from %s", d.handle.Path())
+			}
+		}
+	}()
+
+	var serveErr error
+	select {
+	case <-ctx.Done():
+	case serveErr = <-httpErr:
+	}
+
+	// Shutdown order matters: stop the event sources first so the
+	// ingester's queues stop refilling, drain them, then stop HTTP.
+	cancelSources()
+	if d.eventsLn != nil {
+		d.eventsLn.Close()
+	}
+	d.closeConns()
+	d.ing.Shutdown()
+	sources.Wait()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	d.logger.Printf("shut down cleanly")
+	return serveErr
+}
+
+// acceptEvents accepts streaming connections until the listener closes,
+// feeding each to the ingester.
+func (d *daemon) acceptEvents(ctx context.Context) {
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := d.eventsLn.Accept()
+		if err != nil {
+			return // listener closed during shutdown
+		}
+		d.trackConn(conn, true)
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer d.trackConn(conn, false)
+			defer conn.Close()
+			if err := d.ing.Consume(conn); err != nil &&
+				!errors.Is(err, ingest.ErrShuttingDown) && ctx.Err() == nil {
+				d.logger.Printf("event stream %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (d *daemon) trackConn(c net.Conn, add bool) {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	if add {
+		d.conns[c] = struct{}{}
+	} else {
+		delete(d.conns, c)
+	}
+}
+
+// closeConns unblocks Consume loops stuck reading idle connections.
+func (d *daemon) closeConns() {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	for c := range d.conns {
+		c.Close()
+	}
+}

@@ -14,7 +14,15 @@ import (
 // selection, pipeline settings) can be saved after the learning phase and
 // loaded by the deployment process that classifies live traffic.
 
+// DetectorFormatVersion is the current on-disk detector format. Files
+// written by other versions (including pre-versioning files, which decode
+// as version 0) are rejected with ErrIncompatibleVersion so segugiod's
+// hot-reload fails with a clear error instead of scoring with a detector
+// whose bytes it may be misinterpreting.
+const DetectorFormatVersion = 1
+
 type detectorWire struct {
+	Version        int
 	ModelKind      string // "randomforest" | "logreg"
 	ModelBytes     []byte
 	Threshold      float64
@@ -27,11 +35,15 @@ type detectorWire struct {
 // Persistence errors.
 var (
 	ErrUnknownModel = errors.New("core: unsupported model type for persistence")
+	// ErrIncompatibleVersion marks a detector file written by an
+	// incompatible format version.
+	ErrIncompatibleVersion = errors.New("core: incompatible detector format version")
 )
 
 // SaveDetector writes a trained detector to w.
 func SaveDetector(w io.Writer, d *Detector) error {
 	wire := detectorWire{
+		Version:        DetectorFormatVersion,
 		Threshold:      d.threshold,
 		ActivityWindow: d.cfg.ActivityWindow,
 		Prune:          d.cfg.Prune,
@@ -64,6 +76,10 @@ func LoadDetector(r io.Reader) (*Detector, error) {
 	var wire detectorWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("core: decode detector: %w", err)
+	}
+	if wire.Version != DetectorFormatVersion {
+		return nil, fmt.Errorf("%w: file is version %d, this build reads version %d",
+			ErrIncompatibleVersion, wire.Version, DetectorFormatVersion)
 	}
 	var model ml.Model
 	switch wire.ModelKind {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"errors"
 	"testing"
 
@@ -92,5 +93,47 @@ func TestSaveDetectorUnknownModel(t *testing.T) {
 func TestLoadDetectorGarbage(t *testing.T) {
 	if _, err := LoadDetector(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Fatal("garbage must fail to load")
+	}
+}
+
+// TestLoadDetectorVersionMismatch checks that a detector file carrying a
+// different format version is rejected with ErrIncompatibleVersion — the
+// guarantee segugiod's hot-reload relies on to refuse stale files.
+func TestLoadDetectorVersionMismatch(t *testing.T) {
+	for _, version := range []int{0, DetectorFormatVersion + 1} {
+		wire := detectorWire{
+			Version:   version,
+			ModelKind: "logreg",
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadDetector(&buf)
+		if !errors.Is(err, ErrIncompatibleVersion) {
+			t.Fatalf("version %d: err = %v, want ErrIncompatibleVersion", version, err)
+		}
+	}
+}
+
+// TestSaveDetectorStampsVersion decodes the wire struct directly to pin
+// the version field round-trip.
+func TestSaveDetectorStampsVersion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test")
+	}
+	det, _ := trainedDetector(t, func(benign, malware int) ml.Model {
+		return ml.NewLogisticRegression(ml.LogisticRegressionConfig{Seed: 3})
+	})
+	var buf bytes.Buffer
+	if err := SaveDetector(&buf, det); err != nil {
+		t.Fatal(err)
+	}
+	var wire detectorWire
+	if err := gob.NewDecoder(&buf).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Version != DetectorFormatVersion {
+		t.Fatalf("saved version = %d, want %d", wire.Version, DetectorFormatVersion)
 	}
 }

@@ -7,8 +7,18 @@ import (
 )
 
 // Builder accumulates one observation window of DNS queries and produces
-// an immutable Graph. Duplicate (machine, domain) observations are
-// deduplicated at Build time. Builder is not safe for concurrent use.
+// Graphs. It supports two usage modes with identical results:
+//
+//   - batch: feed a full trace, call Build once, discard the Builder;
+//   - incremental: keep appending queries and resolutions (the segugiod
+//     streaming path) and call Snapshot whenever a consistent, immutable
+//     view is needed for concurrent scoring.
+//
+// Duplicate (machine, domain) observations are deduplicated at
+// Build/Snapshot time. Builder is not safe for concurrent use; callers
+// that append and snapshot from different goroutines must serialize
+// access themselves. Snapshots, once returned, share no mutable state
+// with the Builder and may be read concurrently with further appends.
 type Builder struct {
 	name     string
 	day      int
@@ -18,6 +28,7 @@ type Builder struct {
 	machineIDs   []string
 	domainIndex  map[string]int32
 	domains      []string
+	domainE2LD   []string
 	domainIPs    [][]dnsutil.IPv4
 
 	edges []edge
@@ -37,6 +48,23 @@ func NewBuilder(name string, day int, suffixes *dnsutil.SuffixList) *Builder {
 	}
 }
 
+// Name returns the network name passed to NewBuilder.
+func (b *Builder) Name() string { return b.name }
+
+// Day returns the observation day passed to NewBuilder.
+func (b *Builder) Day() int { return b.day }
+
+// NumMachines reports how many distinct machines have been observed.
+func (b *Builder) NumMachines() int { return len(b.machineIDs) }
+
+// NumDomains reports how many distinct domains have been observed.
+func (b *Builder) NumDomains() int { return len(b.domains) }
+
+// NumObservations reports the raw (machine, domain) observation count,
+// before Build/Snapshot-time deduplication. It can only shrink when a
+// Build or Snapshot compacts duplicates away.
+func (b *Builder) NumObservations() int { return len(b.edges) }
+
 // AddQuery records that machineID queried domain during the window.
 func (b *Builder) AddQuery(machineID, domain string) {
 	m := b.machine(machineID)
@@ -44,21 +72,25 @@ func (b *Builder) AddQuery(machineID, domain string) {
 	b.edges = append(b.edges, edge{m: m, d: d})
 }
 
+// AddResolution annotates domain with one address it resolved to during
+// the window. Duplicate addresses are ignored. This is the streaming
+// counterpart of SetDomainIPs: one resolution event at a time.
+func (b *Builder) AddResolution(domain string, ip dnsutil.IPv4) {
+	d := b.domain(domain)
+	for _, have := range b.domainIPs[d] {
+		if have == ip {
+			return
+		}
+	}
+	b.domainIPs[d] = append(b.domainIPs[d], ip)
+}
+
 // SetDomainIPs annotates domain with the addresses it resolved to. Calling
 // it again for the same domain merges the address sets.
 func (b *Builder) SetDomainIPs(domain string, ips []dnsutil.IPv4) {
-	d := b.domain(domain)
-	existing := b.domainIPs[d]
-merge:
 	for _, ip := range ips {
-		for _, have := range existing {
-			if have == ip {
-				continue merge
-			}
-		}
-		existing = append(existing, ip)
+		b.AddResolution(domain, ip)
 	}
-	b.domainIPs[d] = existing
 }
 
 func (b *Builder) machine(id string) int32 {
@@ -78,17 +110,26 @@ func (b *Builder) domain(name string) int32 {
 	d := int32(len(b.domains))
 	b.domainIndex[name] = d
 	b.domains = append(b.domains, name)
+	b.domainE2LD = append(b.domainE2LD, b.suffixes.E2LD(name))
 	b.domainIPs = append(b.domainIPs, nil)
 	return d
 }
 
-// Build deduplicates the recorded queries and assembles the bidirectional
-// CSR adjacency. The Builder can be discarded afterwards.
-func (b *Builder) Build() *Graph {
+// Build assembles the bidirectional CSR adjacency. The Builder remains
+// usable afterwards; Build is simply Snapshot under its historical name.
+func (b *Builder) Build() *Graph { return b.Snapshot() }
+
+// Snapshot deduplicates the recorded queries and assembles an immutable
+// Graph that shares no mutable state with the Builder: further AddQuery /
+// AddResolution calls never affect a previously returned snapshot, so the
+// daemon can keep ingesting while older snapshots are being scored.
+func (b *Builder) Snapshot() *Graph {
 	nm := len(b.machineIDs)
 	nd := len(b.domains)
 
-	// Sort by (machine, domain) and deduplicate in place.
+	// Sort by (machine, domain) and deduplicate in place. Compacting the
+	// Builder's own edge list is safe — duplicates carry no information —
+	// and keeps repeated snapshots from re-sorting the same observations.
 	sort.Slice(b.edges, func(i, j int) bool {
 		if b.edges[i].m != b.edges[j].m {
 			return b.edges[i].m < b.edges[j].m
@@ -107,20 +148,27 @@ func (b *Builder) Build() *Graph {
 	g := &Graph{
 		name:         b.name,
 		day:          b.day,
-		machineIDs:   b.machineIDs,
-		domains:      b.domains,
-		domainIPs:    b.domainIPs,
-		domainIndex:  b.domainIndex,
-		machineIndex: b.machineIndex,
+		machineIDs:   append([]string(nil), b.machineIDs...),
+		domains:      append([]string(nil), b.domains...),
+		domainE2LD:   append([]string(nil), b.domainE2LD...),
+		domainIPs:    make([][]dnsutil.IPv4, nd),
+		domainIndex:  make(map[string]int32, nd),
+		machineIndex: make(map[string]int32, nm),
 		domainLabel:  make([]Label, nd),
 		machineLabel: make([]Label, nm),
 		cntMalware:   make([]int32, nm),
 		cntNonBenign: make([]int32, nm),
 	}
-
-	g.domainE2LD = make([]string, nd)
-	for d, name := range b.domains {
-		g.domainE2LD[d] = b.suffixes.E2LD(name)
+	for d, ips := range b.domainIPs {
+		if len(ips) > 0 {
+			g.domainIPs[d] = append([]dnsutil.IPv4(nil), ips...)
+		}
+	}
+	for name, i := range b.domainIndex {
+		g.domainIndex[name] = i
+	}
+	for id, i := range b.machineIndex {
+		g.machineIndex[id] = i
 	}
 
 	// Machine-side CSR comes straight from the sorted edge list.

@@ -1,0 +1,404 @@
+// Package ingest turns segugio's batch graph construction into a
+// streaming subsystem: it consumes logio event-stream records (DNS
+// queries and resolutions) from any reader — stdin, a tailed file, or a
+// TCP connection — shards them by machine-ID hash across worker
+// goroutines, and applies them incrementally to a live behavior-graph
+// Builder. Bounded per-shard channels give explicit backpressure: when a
+// shard falls behind, events are dropped and counted rather than ever
+// blocking the accept loop, which is how an ISP tap has to behave (the
+// resolver will not wait for us).
+//
+// Epochs rotate at day boundaries: an event stamped with a later day than
+// the current epoch finalizes the old graph (handing a snapshot to the
+// OnRotate hook) and starts a fresh one, so the live graph always covers
+// exactly the current observation window, mirroring the paper's
+// one-day-at-a-time deployment loop.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/logio"
+	"segugio/internal/metrics"
+
+	"segugio/internal/activity"
+)
+
+// Metrics bundles the instrumentation hooks the ingester feeds. Any field
+// may be nil; nil metrics are simply not recorded.
+type Metrics struct {
+	// EventsIngested counts events applied to the live graph.
+	EventsIngested *metrics.Counter
+	// EventsDropped counts events dropped because a shard queue was full.
+	EventsDropped *metrics.Counter
+	// EventsStale counts events discarded for belonging to an already
+	// rotated-out day.
+	EventsStale *metrics.Counter
+	// ParseErrors counts streams aborted by malformed input.
+	ParseErrors *metrics.Counter
+	// Rotations counts epoch rotations.
+	Rotations *metrics.Counter
+	// GraphMachines/GraphDomains/GraphObservations mirror the live
+	// builder's size after each applied batch.
+	GraphMachines     *metrics.Gauge
+	GraphDomains      *metrics.Gauge
+	GraphObservations *metrics.Gauge
+}
+
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+func addN(c *metrics.Counter, n int64) {
+	if c != nil {
+		c.Add(n)
+	}
+}
+
+// Config parameterizes an Ingester.
+type Config struct {
+	// Network names the graphs built from the stream.
+	Network string
+	// StartDay is the initial epoch day. Events from earlier days are
+	// counted stale and dropped; an event from a later day rotates the
+	// epoch forward.
+	StartDay int
+	// Suffixes annotates domains with effective 2LDs; defaults to
+	// dnsutil.DefaultSuffixList.
+	Suffixes *dnsutil.SuffixList
+	// Workers is the shard count (default 4). Events are sharded by
+	// machine-ID hash (queries) or domain hash (resolutions), so one
+	// machine's events stay ordered relative to each other.
+	Workers int
+	// QueueDepth bounds each shard's channel (default 4096). A full shard
+	// drops events instead of blocking the accept loop.
+	QueueDepth int
+	// Activity, when non-nil, receives per-day domain/e2LD activity marks
+	// for every applied query, keeping F2 features live.
+	Activity *activity.Log
+	// ActivityKeepDays bounds the activity log's history after a rotation
+	// (default 30 days; 0 keeps everything only if Activity is nil).
+	ActivityKeepDays int
+	// PrepareSnapshot, when non-nil, runs once on every freshly built
+	// snapshot before it is cached and returned (segugiod applies
+	// ground-truth labels here). It must not call back into the Ingester.
+	PrepareSnapshot func(*graph.Graph)
+	// OnRotate, when non-nil, is called with the finalized graph of each
+	// completed epoch. It runs outside the ingest lock but on a worker
+	// goroutine: heavy work should be handed off. It must not call back
+	// into the Ingester.
+	OnRotate func(day int, final *graph.Graph)
+	// Metrics hooks; may be nil.
+	Metrics *Metrics
+}
+
+// ErrShuttingDown aborts Consume loops once Shutdown has begun.
+var ErrShuttingDown = errors.New("ingest: shutting down")
+
+// Ingester owns the live behavior graph and the worker shards applying
+// events to it.
+type Ingester struct {
+	cfg Config
+	m   Metrics
+
+	shards  []chan logio.Event
+	workers sync.WaitGroup
+
+	consumers sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
+
+	// mu guards the live builder, the epoch day, and the activity log.
+	mu      sync.Mutex
+	builder *graph.Builder
+	day     int
+	version uint64
+
+	// snapMu serializes snapshot construction; the cached snapshot is
+	// reused until the underlying version moves.
+	snapMu      sync.Mutex
+	snap        *graph.Graph
+	snapVersion uint64
+	snapDay     int
+}
+
+// New builds an Ingester and starts its worker shards. Call Shutdown to
+// stop them.
+func New(cfg Config) *Ingester {
+	if cfg.Suffixes == nil {
+		cfg.Suffixes = dnsutil.DefaultSuffixList()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.ActivityKeepDays <= 0 {
+		cfg.ActivityKeepDays = 30
+	}
+	in := &Ingester{
+		cfg:     cfg,
+		closing: make(chan struct{}),
+		builder: graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes),
+		day:     cfg.StartDay,
+	}
+	if cfg.Metrics != nil {
+		in.m = *cfg.Metrics
+	}
+	in.shards = make([]chan logio.Event, cfg.Workers)
+	for s := range in.shards {
+		in.shards[s] = make(chan logio.Event, cfg.QueueDepth)
+		in.workers.Add(1)
+		go in.worker(in.shards[s])
+	}
+	return in
+}
+
+// Consume parses one event stream and dispatches its records to the
+// shards, returning when the reader is exhausted, the input is malformed
+// (a line-numbered error), or Shutdown begins. It never blocks on a slow
+// shard. Multiple Consume calls may run concurrently (one per TCP
+// connection).
+func (in *Ingester) Consume(r io.Reader) error {
+	in.consumers.Add(1)
+	defer in.consumers.Done()
+	err := logio.ReadEvents(r, func(e logio.Event) error {
+		select {
+		case <-in.closing:
+			return ErrShuttingDown
+		default:
+		}
+		in.dispatch(e)
+		return nil
+	})
+	if err != nil && !errors.Is(err, ErrShuttingDown) {
+		inc(in.m.ParseErrors)
+	}
+	return err
+}
+
+// dispatch routes one event to its shard, dropping it if the shard's
+// queue is full.
+func (in *Ingester) dispatch(e logio.Event) {
+	key := e.Machine
+	if e.Kind == logio.EventResolution {
+		key = e.Domain
+	}
+	shard := in.shards[fnv32(key)%uint32(len(in.shards))]
+	select {
+	case shard <- e:
+	default:
+		inc(in.m.EventsDropped)
+	}
+}
+
+// fnv32 is the FNV-1a hash, inlined to keep dispatch allocation-free.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// batchSize bounds how many queued events a worker applies per lock
+// acquisition, amortizing contention on the shared builder.
+const batchSize = 512
+
+// worker drains one shard, applying events in batches.
+func (in *Ingester) worker(ch chan logio.Event) {
+	defer in.workers.Done()
+	batch := make([]logio.Event, 0, batchSize)
+	for {
+		e, ok := <-ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], e)
+	refill:
+		for len(batch) < batchSize {
+			select {
+			case e, ok := <-ch:
+				if !ok {
+					in.apply(batch)
+					return
+				}
+				batch = append(batch, e)
+			default:
+				break refill
+			}
+		}
+		in.apply(batch)
+	}
+}
+
+// apply folds a batch of events into the live epoch, rotating when a
+// later day appears.
+func (in *Ingester) apply(batch []logio.Event) {
+	type rotation struct {
+		day   int
+		final *graph.Graph
+	}
+	var rotations []rotation
+	applied := int64(0)
+
+	in.mu.Lock()
+	for _, e := range batch {
+		switch {
+		case e.Day < in.day:
+			inc(in.m.EventsStale)
+			continue
+		case e.Day > in.day:
+			// Day boundary: finalize the current epoch and start the next.
+			// A multi-day jump in one event still causes one rotation.
+			final := in.builder.Snapshot()
+			rotations = append(rotations, rotation{day: in.day, final: final})
+			in.builder = graph.NewBuilder(in.cfg.Network, e.Day, in.cfg.Suffixes)
+			in.day = e.Day
+			in.version++
+			inc(in.m.Rotations)
+			if in.cfg.Activity != nil {
+				in.cfg.Activity.Trim(e.Day - in.cfg.ActivityKeepDays)
+			}
+		}
+		switch e.Kind {
+		case logio.EventQuery:
+			in.builder.AddQuery(e.Machine, e.Domain)
+			if in.cfg.Activity != nil {
+				in.cfg.Activity.MarkDomain(e.Day, e.Domain)
+				in.cfg.Activity.MarkE2LD(e.Day, in.cfg.Suffixes.E2LD(e.Domain))
+			}
+		case logio.EventResolution:
+			for _, ip := range e.IPs {
+				in.builder.AddResolution(e.Domain, ip)
+			}
+		}
+		applied++
+	}
+	if applied > 0 {
+		in.version++
+	}
+	machines, domains, observations := in.builder.NumMachines(), in.builder.NumDomains(), in.builder.NumObservations()
+	in.mu.Unlock()
+
+	addN(in.m.EventsIngested, applied)
+	if in.m.GraphMachines != nil {
+		in.m.GraphMachines.SetInt(int64(machines))
+	}
+	if in.m.GraphDomains != nil {
+		in.m.GraphDomains.SetInt(int64(domains))
+	}
+	if in.m.GraphObservations != nil {
+		in.m.GraphObservations.SetInt(int64(observations))
+	}
+	for _, r := range rotations {
+		if in.cfg.OnRotate != nil {
+			in.cfg.OnRotate(r.day, r.final)
+		}
+	}
+}
+
+// Day returns the current epoch day.
+func (in *Ingester) Day() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.day
+}
+
+// Version returns a counter that moves whenever the live graph changes;
+// callers can cheaply detect staleness between Snapshot calls.
+func (in *Ingester) Version() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.version
+}
+
+// Snapshot returns an immutable view of the live graph plus its version.
+// Snapshots are cached: repeated calls without intervening ingestion
+// return the same graph. The PrepareSnapshot hook has already run on the
+// returned graph.
+func (in *Ingester) Snapshot() (*graph.Graph, uint64) {
+	in.snapMu.Lock()
+	defer in.snapMu.Unlock()
+
+	in.mu.Lock()
+	v, day := in.version, in.day
+	if in.snap != nil && v == in.snapVersion && day == in.snapDay {
+		in.mu.Unlock()
+		return in.snap, v
+	}
+	g := in.builder.Snapshot()
+	in.mu.Unlock()
+
+	if in.cfg.PrepareSnapshot != nil {
+		in.cfg.PrepareSnapshot(g)
+	}
+	in.snap, in.snapVersion, in.snapDay = g, v, day
+	return g, v
+}
+
+// Shutdown drains the ingest pipeline: new and in-flight Consume loops
+// stop, queued events are applied, and workers exit. It is idempotent.
+func (in *Ingester) Shutdown() {
+	in.closeOnce.Do(func() {
+		close(in.closing)
+		in.consumers.Wait()
+		for _, ch := range in.shards {
+			close(ch)
+		}
+	})
+	in.workers.Wait()
+}
+
+// TailFile consumes a file in follow mode: it reads to EOF, then polls
+// for appended data every interval until ctx is canceled (returning nil)
+// or the stream errors. This is the "tail -f" ingestion source for
+// deployments that drop event files next to the daemon.
+func (in *Ingester) TailFile(ctx context.Context, path string, interval time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	err = in.Consume(&followReader{ctx: ctx, f: f, interval: interval})
+	if errors.Is(err, ErrShuttingDown) || ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// followReader blocks at EOF, polling for appended bytes until its
+// context is canceled, at which point it reports EOF.
+type followReader struct {
+	ctx      context.Context
+	f        *os.File
+	interval time.Duration
+}
+
+func (r *followReader) Read(p []byte) (int, error) {
+	for {
+		n, err := r.f.Read(p)
+		if n > 0 || (err != nil && err != io.EOF) {
+			return n, err
+		}
+		select {
+		case <-r.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(r.interval):
+		}
+	}
+}

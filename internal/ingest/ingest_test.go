@@ -1,0 +1,348 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/logio"
+	"segugio/internal/metrics"
+)
+
+func newMetrics() (*Metrics, *metrics.Registry) {
+	r := metrics.NewRegistry()
+	return &Metrics{
+		EventsIngested:    r.NewCounter("ingested_total", "", ""),
+		EventsDropped:     r.NewCounter("dropped_total", "", ""),
+		EventsStale:       r.NewCounter("stale_total", "", ""),
+		ParseErrors:       r.NewCounter("parse_errors_total", "", ""),
+		Rotations:         r.NewCounter("rotations_total", "", ""),
+		GraphMachines:     r.NewGauge("graph_machines", "", ""),
+		GraphDomains:      r.NewGauge("graph_domains", "", ""),
+		GraphObservations: r.NewGauge("graph_observations", "", ""),
+	}, r
+}
+
+// stream renders events as the wire format.
+func stream(t *testing.T, events []logio.Event) string {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range events {
+		if err := logio.WriteEvent(&b, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestIngestBuildsSameGraphAsBatch(t *testing.T) {
+	sl := dnsutil.DefaultSuffixList()
+	var events []logio.Event
+	batch := graph.NewBuilder("net", 3, sl)
+	for i := 0; i < 3000; i++ {
+		machine := fmt.Sprintf("m%03d", i%70)
+		domain := fmt.Sprintf("h%d.zone%d.com", i%40, i%15)
+		events = append(events, logio.Event{Kind: logio.EventQuery, Day: 3, Machine: machine, Domain: domain})
+		batch.AddQuery(machine, domain)
+		if i%5 == 0 {
+			ip := dnsutil.MakeIPv4(10, 0, byte(i%7), byte(i%90))
+			events = append(events, logio.Event{Kind: logio.EventResolution, Day: 3, Domain: domain, IPs: []dnsutil.IPv4{ip}})
+			batch.AddResolution(domain, ip)
+		}
+	}
+	want := batch.Build()
+
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 3, Workers: 4, Metrics: m})
+	if err := in.Consume(strings.NewReader(stream(t, events))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "all events applied", func() bool {
+		return m.EventsIngested.Value() == int64(len(events))
+	})
+	got, v1 := in.Snapshot()
+	in.Shutdown()
+
+	if got.NumMachines() != want.NumMachines() || got.NumDomains() != want.NumDomains() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("sizes: got (%d,%d,%d), want (%d,%d,%d)",
+			got.NumMachines(), got.NumDomains(), got.NumEdges(),
+			want.NumMachines(), want.NumDomains(), want.NumEdges())
+	}
+	for d := int32(0); int(d) < want.NumDomains(); d++ {
+		name := want.DomainName(d)
+		gd, ok := got.DomainIndex(name)
+		if !ok {
+			t.Fatalf("domain %q missing", name)
+		}
+		if got.DomainDegree(gd) != want.DomainDegree(d) {
+			t.Fatalf("domain %q degree %d != %d", name, got.DomainDegree(gd), want.DomainDegree(d))
+		}
+		if len(got.DomainIPs(gd)) != len(want.DomainIPs(d)) {
+			t.Fatalf("domain %q ips %d != %d", name, len(got.DomainIPs(gd)), len(want.DomainIPs(d)))
+		}
+	}
+	if m.EventsDropped.Value() != 0 || m.EventsStale.Value() != 0 {
+		t.Fatalf("unexpected drops %d / stale %d", m.EventsDropped.Value(), m.EventsStale.Value())
+	}
+	_ = v1
+}
+
+func TestSnapshotCaching(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 2, Metrics: m})
+	defer in.Shutdown()
+
+	if err := in.Consume(strings.NewReader("q\t1\tm1\ta.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "event applied", func() bool { return m.EventsIngested.Value() == 1 })
+	g1, v1 := in.Snapshot()
+	g2, v2 := in.Snapshot()
+	if g1 != g2 || v1 != v2 {
+		t.Fatal("unchanged graph must return the cached snapshot")
+	}
+	if err := in.Consume(strings.NewReader("q\t1\tm2\tb.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second event applied", func() bool { return m.EventsIngested.Value() == 2 })
+	g3, v3 := in.Snapshot()
+	if g3 == g1 || v3 == v1 {
+		t.Fatal("changed graph must rebuild the snapshot")
+	}
+	if g3.NumMachines() != 2 {
+		t.Fatalf("machines = %d", g3.NumMachines())
+	}
+}
+
+func TestPrepareSnapshotHook(t *testing.T) {
+	prepared := 0
+	in := New(Config{
+		Network: "net", StartDay: 1, Workers: 1,
+		PrepareSnapshot: func(g *graph.Graph) {
+			prepared++
+			g.ApplyLabels(graph.LabelSources{AsOf: 1})
+		},
+	})
+	defer in.Shutdown()
+	g, _ := in.Snapshot()
+	if !g.Labeled() {
+		t.Fatal("PrepareSnapshot must have labeled the snapshot")
+	}
+	in.Snapshot()
+	if prepared != 1 {
+		t.Fatalf("prepare ran %d times for one version", prepared)
+	}
+}
+
+func TestEpochRotation(t *testing.T) {
+	m, _ := newMetrics()
+	var mu sync.Mutex
+	var rotatedDays []int
+	var finals []*graph.Graph
+	act := activity.NewLog()
+	in := New(Config{
+		Network: "net", StartDay: 10, Workers: 1, Activity: act,
+		OnRotate: func(day int, final *graph.Graph) {
+			mu.Lock()
+			rotatedDays = append(rotatedDays, day)
+			finals = append(finals, final)
+			mu.Unlock()
+		},
+		Metrics: m,
+	})
+
+	input := "q\t10\tm1\ta.example.com\n" +
+		"q\t10\tm2\tb.example.com\n" +
+		"q\t11\tm1\tc.example.com\n" + // rotates 10 -> 11
+		"q\t9\tm9\told.example.com\n" + // stale: day 9 < 11
+		"q\t11\tm3\td.example.com\n"
+	if err := in.Consume(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rotation applied", func() bool {
+		return m.Rotations.Value() == 1 && m.EventsIngested.Value() == 4
+	})
+	in.Shutdown()
+
+	if in.Day() != 11 {
+		t.Fatalf("day = %d, want 11", in.Day())
+	}
+	if m.EventsStale.Value() != 1 {
+		t.Fatalf("stale = %d, want 1", m.EventsStale.Value())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(rotatedDays) != 1 || rotatedDays[0] != 10 {
+		t.Fatalf("rotated days = %v", rotatedDays)
+	}
+	if finals[0].NumMachines() != 2 || finals[0].NumDomains() != 2 {
+		t.Fatalf("final graph of day 10: %d machines, %d domains", finals[0].NumMachines(), finals[0].NumDomains())
+	}
+	g, _ := in.Snapshot()
+	if g.Day() != 11 || g.NumDomains() != 2 {
+		t.Fatalf("live graph: day %d, %d domains", g.Day(), g.NumDomains())
+	}
+	// The query marks landed in the activity log.
+	if act.DomainActiveDays("c.example.com", 11, 11) != 1 {
+		t.Fatal("activity mark missing for day 11")
+	}
+}
+
+func TestBackpressureDropsInsteadOfBlocking(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, QueueDepth: 1, Metrics: m})
+
+	// Stall the single worker by saturating the builder lock.
+	in.mu.Lock()
+	var b strings.Builder
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&b, "q\t1\tm%d\td%d.example.com\n", i, i)
+	}
+	done := make(chan error, 1)
+	go func() { done <- in.Consume(strings.NewReader(b.String())) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("consume: %v", err)
+		}
+		// Accept loop finished while the worker was stalled: backpressure
+		// dropped instead of blocking.
+	case <-time.After(10 * time.Second):
+		t.Error("accept loop blocked on a stalled worker")
+	}
+	in.mu.Unlock()
+	in.Shutdown()
+	if m.EventsDropped.Value() == 0 {
+		t.Fatal("expected dropped events under backpressure")
+	}
+	if m.EventsDropped.Value()+m.EventsIngested.Value() != 5000 {
+		t.Fatalf("dropped %d + ingested %d != 5000", m.EventsDropped.Value(), m.EventsIngested.Value())
+	}
+}
+
+func TestConcurrentConsumers(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 4, Metrics: m})
+
+	const streams, perStream = 8, 500
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var b strings.Builder
+			for i := 0; i < perStream; i++ {
+				fmt.Fprintf(&b, "q\t1\tm%d-%d\tshared%d.example.com\n", s, i, i%30)
+			}
+			if err := in.Consume(strings.NewReader(b.String())); err != nil {
+				t.Errorf("stream %d: %v", s, err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	waitFor(t, "all streams applied", func() bool {
+		return m.EventsIngested.Value()+m.EventsDropped.Value() == streams*perStream
+	})
+	// Snapshot while more events trickle in concurrently.
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		in.Consume(strings.NewReader("q\t1\tlate\tlate.example.com\n"))
+	}()
+	g, _ := in.Snapshot()
+	if g.NumDomains() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	wg2.Wait()
+	in.Shutdown()
+}
+
+func TestShutdownDrainsQueues(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 2, QueueDepth: 10000, Metrics: m})
+	var b strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&b, "q\t1\tm%d\td%d.example.com\n", i%50, i%80)
+	}
+	if err := in.Consume(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	in.Shutdown() // must apply everything still queued
+	if got := m.EventsIngested.Value() + m.EventsDropped.Value(); got != 2000 {
+		t.Fatalf("after shutdown: ingested+dropped = %d, want 2000", got)
+	}
+	// Consume after shutdown aborts.
+	if err := in.Consume(strings.NewReader("q\t1\tx\ty.example.com\n")); err == nil {
+		t.Fatal("consume after shutdown must fail")
+	}
+	in.Shutdown() // idempotent
+}
+
+func TestConsumeMalformedStream(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	defer in.Shutdown()
+	err := in.Consume(strings.NewReader("q\t1\tm1\ta.example.com\nGARBAGE\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered parse error, got %v", err)
+	}
+	if m.ParseErrors.Value() != 1 {
+		t.Fatalf("parse errors = %d", m.ParseErrors.Value())
+	}
+}
+
+func TestTailFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "q\t1\tm1\ta.example.com\n")
+	f.Sync()
+
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.TailFile(ctx, path, 10*time.Millisecond) }()
+
+	waitFor(t, "first event", func() bool { return m.EventsIngested.Value() == 1 })
+	// Append while tailing.
+	io.WriteString(f, "q\t1\tm2\tb.example.com\n")
+	f.Sync()
+	waitFor(t, "appended event", func() bool { return m.EventsIngested.Value() == 2 })
+	f.Close()
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	in.Shutdown()
+	g, _ := in.Snapshot()
+	if g.NumMachines() != 2 {
+		t.Fatalf("machines = %d", g.NumMachines())
+	}
+}

@@ -7,10 +7,18 @@
 //	whitelist     e2ld
 //	passive DNS   day<TAB>domain<TAB>ip
 //	activity      day<TAB>domain
+//	event stream  q<TAB>day<TAB>machine<TAB>domain
+//	              r<TAB>day<TAB>domain<TAB>ip[,ip...]
+//
+// The event stream interleaves the query and resolution records with a
+// day stamp; it is what segugiod ingests live (stdin, tailed file, or TCP
+// connection).
 //
 // Lines starting with '#' and blank lines are ignored everywhere. All
 // readers validate domain syntax via dnsutil.Normalize so malformed input
-// fails loudly at the boundary instead of corrupting graphs.
+// fails loudly at the boundary instead of corrupting graphs, and every
+// error — including scanner-level failures such as an over-long line — is
+// reported with the 1-based line number it occurred on.
 package logio
 
 import (
@@ -31,6 +39,9 @@ import (
 const maxLineBytes = 1 << 20
 
 // scanLines iterates non-comment lines, reporting 1-based line numbers.
+// Scanner-level failures (for example a line exceeding maxLineBytes) are
+// wrapped with the line number they occurred on, so no reader ever
+// silently truncates its input.
 func scanLines(r io.Reader, fn func(lineNo int, line string) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
@@ -45,7 +56,10 @@ func scanLines(r io.Reader, fn func(lineNo int, line string) error) error {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("logio: line %d: %w", lineNo+1, err)
+	}
+	return nil
 }
 
 // ReadQueryLog streams (machine, domain) pairs into fn.
@@ -81,18 +95,27 @@ func ReadResolutions(r io.Reader, fn func(domain string, ips []dnsutil.IPv4)) er
 		if err != nil {
 			return fmt.Errorf("logio: resolutions line %d: %w", lineNo, err)
 		}
-		parts := strings.Split(rest, ",")
-		ips := make([]dnsutil.IPv4, 0, len(parts))
-		for _, p := range parts {
-			ip, err := dnsutil.ParseIPv4(strings.TrimSpace(p))
-			if err != nil {
-				return fmt.Errorf("logio: resolutions line %d: %w", lineNo, err)
-			}
-			ips = append(ips, ip)
+		ips, err := parseIPList(rest)
+		if err != nil {
+			return fmt.Errorf("logio: resolutions line %d: %w", lineNo, err)
 		}
 		fn(domain, ips)
 		return nil
 	})
+}
+
+// parseIPList parses a comma-separated IPv4 list.
+func parseIPList(s string) ([]dnsutil.IPv4, error) {
+	parts := strings.Split(s, ",")
+	ips := make([]dnsutil.IPv4, 0, len(parts))
+	for _, p := range parts {
+		ip, err := dnsutil.ParseIPv4(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		ips = append(ips, ip)
+	}
+	return ips, nil
 }
 
 // WriteResolution writes one resolutions line.
@@ -237,4 +260,97 @@ func ReadPDNS(r io.Reader, db *pdns.DB) error {
 func WritePDNSRecord(w io.Writer, day int, domain string, ip dnsutil.IPv4) error {
 	_, err := fmt.Fprintf(w, "%d\t%s\t%s\n", day, domain, ip)
 	return err
+}
+
+// EventKind distinguishes the two record kinds of the live event stream.
+type EventKind uint8
+
+// EventKind values.
+const (
+	// EventQuery is one observed (machine queried domain) pair.
+	EventQuery EventKind = iota + 1
+	// EventResolution is one observed domain->address resolution.
+	EventResolution
+)
+
+// Event is one record of the live DNS event stream segugiod ingests.
+type Event struct {
+	Kind EventKind
+	// Day is the observation day the event belongs to; segugiod rotates
+	// its behavior-graph epoch when it advances.
+	Day int
+	// Machine is set for EventQuery.
+	Machine string
+	Domain  string
+	// IPs is set for EventResolution.
+	IPs []dnsutil.IPv4
+}
+
+// ReadEvents streams event records into fn until EOF, a malformed line,
+// or a non-nil error from fn (which is returned verbatim, so consumers
+// can abort on shutdown). Format:
+//
+//	q<TAB>day<TAB>machine<TAB>domain
+//	r<TAB>day<TAB>domain<TAB>ip[,ip...]
+func ReadEvents(r io.Reader, fn func(Event) error) error {
+	return scanLines(r, func(lineNo int, line string) error {
+		kind, rest, ok := strings.Cut(line, "\t")
+		if !ok {
+			return fmt.Errorf("logio: event line %d: want q|r<TAB>day<TAB>...", lineNo)
+		}
+		dayStr, rest, ok := strings.Cut(rest, "\t")
+		if !ok {
+			return fmt.Errorf("logio: event line %d: want q|r<TAB>day<TAB>...", lineNo)
+		}
+		day, err := strconv.Atoi(dayStr)
+		if err != nil {
+			return fmt.Errorf("logio: event line %d: bad day %q", lineNo, dayStr)
+		}
+		switch kind {
+		case "q":
+			machine, rest, ok := strings.Cut(rest, "\t")
+			if !ok || machine == "" {
+				return fmt.Errorf("logio: event line %d: want q<TAB>day<TAB>machine<TAB>domain", lineNo)
+			}
+			domain, err := dnsutil.Normalize(rest)
+			if err != nil {
+				return fmt.Errorf("logio: event line %d: %w", lineNo, err)
+			}
+			return fn(Event{Kind: EventQuery, Day: day, Machine: machine, Domain: domain})
+		case "r":
+			name, rest, ok := strings.Cut(rest, "\t")
+			if !ok {
+				return fmt.Errorf("logio: event line %d: want r<TAB>day<TAB>domain<TAB>ip[,ip...]", lineNo)
+			}
+			domain, err := dnsutil.Normalize(name)
+			if err != nil {
+				return fmt.Errorf("logio: event line %d: %w", lineNo, err)
+			}
+			ips, err := parseIPList(rest)
+			if err != nil {
+				return fmt.Errorf("logio: event line %d: %w", lineNo, err)
+			}
+			return fn(Event{Kind: EventResolution, Day: day, Domain: domain, IPs: ips})
+		default:
+			return fmt.Errorf("logio: event line %d: unknown kind %q (want q or r)", lineNo, kind)
+		}
+	})
+}
+
+// WriteEvent writes one event-stream line.
+func WriteEvent(w io.Writer, e Event) error {
+	switch e.Kind {
+	case EventQuery:
+		_, err := fmt.Fprintf(w, "q\t%d\t%s\t%s\n", e.Day, e.Machine, e.Domain)
+		return err
+	case EventResolution:
+		parts := make([]string, len(e.IPs))
+		for i, ip := range e.IPs {
+			parts[i] = ip.String()
+		}
+		_, err := fmt.Fprintf(w, "r\t%d\t%s\t%s\n", e.Day, e.Domain, strings.Join(parts, ","))
+		return err
+	default:
+		return fmt.Errorf("logio: unknown event kind %d", e.Kind)
+	}
 }

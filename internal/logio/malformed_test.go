@@ -1,0 +1,207 @@
+package logio
+
+import (
+	"strings"
+	"testing"
+
+	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
+	"segugio/internal/pdns"
+)
+
+// Every streaming reader must handle empty, malformed, and truncated
+// input by returning a line-numbered error — never panicking, never
+// silently dropping or truncating records.
+
+// readers drives each reader over an arbitrary string input.
+var readers = map[string]func(s string) error{
+	"querylog": func(s string) error {
+		return ReadQueryLog(strings.NewReader(s), func(machine, domain string) {})
+	},
+	"resolutions": func(s string) error {
+		return ReadResolutions(strings.NewReader(s), func(domain string, ips []dnsutil.IPv4) {})
+	},
+	"blacklist": func(s string) error {
+		_, err := ReadBlacklist(strings.NewReader(s))
+		return err
+	},
+	"whitelist": func(s string) error {
+		_, err := ReadWhitelist(strings.NewReader(s))
+		return err
+	},
+	"activity": func(s string) error {
+		return ReadActivity(strings.NewReader(s), activity.NewLog(), dnsutil.DefaultSuffixList())
+	},
+	"pdns": func(s string) error {
+		return ReadPDNS(strings.NewReader(s), pdns.NewDB())
+	},
+	"events": func(s string) error {
+		return ReadEvents(strings.NewReader(s), func(Event) error { return nil })
+	},
+}
+
+func TestReadersEmptyInput(t *testing.T) {
+	for name, read := range readers {
+		for _, input := range []string{"", "\n\n", "# only a comment\n", "   \n\t\n"} {
+			if err := read(input); err != nil {
+				t.Errorf("%s: empty-ish input %q: unexpected error %v", name, input, err)
+			}
+		}
+	}
+}
+
+func TestReadersMalformedInput(t *testing.T) {
+	malformed := map[string][]string{
+		"querylog": {
+			"no-tab-here",
+			"\texample.com",              // empty machine
+			"m1\tnot a domain!!",         // invalid domain
+			"# ok\nm1\texample.com\nbad", // fails on line 3
+		},
+		"resolutions": {
+			"no-tab-here",
+			"example.com\tnot-an-ip",
+			"example.com\t1.2.3.4,999.1.1.1",
+			"not a domain\t1.2.3.4",
+		},
+		"blacklist": {
+			"not a domain!!",
+			"evil.com\tfam\tnot-a-day",
+		},
+		"whitelist": {
+			"not a domain!!",
+		},
+		"activity": {
+			"17", // missing domain
+			"notaday\texample.com",
+			"17\tnot a domain!!",
+		},
+		"pdns": {
+			"17\texample.com", // missing ip
+			"notaday\texample.com\t1.2.3.4",
+			"17\texample.com\tnot-an-ip",
+			"17\tnot a domain\t1.2.3.4",
+		},
+		"events": {
+			"x\t17\tm1\texample.com", // unknown kind
+			"q\tnotaday\tm1\texample.com",
+			"q\t17",                // truncated record
+			"q\t17\t\texample.com", // empty machine
+			"q\t17\tm1\tnot a domain!!",
+			"r\t17", // truncated record
+			"r\t17\texample.com\tnot-an-ip",
+			"r\t17\tnot a domain\t1.2.3.4",
+			"justnoise",
+		},
+	}
+	for name, inputs := range malformed {
+		read := readers[name]
+		for _, input := range inputs {
+			err := read(input)
+			if err == nil {
+				t.Errorf("%s: malformed input %q: expected error", name, input)
+				continue
+			}
+			if !strings.Contains(err.Error(), "line") {
+				t.Errorf("%s: error for %q is not line-numbered: %v", name, input, err)
+			}
+		}
+	}
+}
+
+// TestReadersFailOnCorrectLine checks the reported line number points at
+// the offending line, counting comments and blanks.
+func TestReadersFailOnCorrectLine(t *testing.T) {
+	input := "# header\n\nm1\texample.com\nBROKEN-NO-TAB\n"
+	err := ReadQueryLog(strings.NewReader(input), func(machine, domain string) {})
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("want line 4 in error, got %v", err)
+	}
+}
+
+// TestReadersOverlongLine checks that a line exceeding the scanner buffer
+// surfaces as a line-numbered error instead of silent truncation.
+func TestReadersOverlongLine(t *testing.T) {
+	long := "m1\t" + strings.Repeat("a", maxLineBytes+10) + ".com\n"
+	input := "m0\texample.com\n" + long
+	err := ReadQueryLog(strings.NewReader(input), func(machine, domain string) {})
+	if err == nil {
+		t.Fatal("overlong line must fail")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line 2 in error, got %v", err)
+	}
+}
+
+// TestReadersTruncatedFinalLine: a final line cut off mid-record (no
+// trailing newline) must still either parse or error — a record missing
+// its required fields errors.
+func TestReadersTruncatedFinalLine(t *testing.T) {
+	// Query log line chopped after the machine field.
+	if err := ReadQueryLog(strings.NewReader("m1\texample.com\nm2"), func(string, string) {}); err == nil {
+		t.Fatal("truncated final query line must fail")
+	}
+	// Event stream chopped mid-record.
+	if err := ReadEvents(strings.NewReader("q\t17\tm1\texample.com\nr\t17"), func(Event) error { return nil }); err == nil {
+		t.Fatal("truncated final event must fail")
+	}
+	// A complete final line without a newline parses fine.
+	n := 0
+	if err := ReadQueryLog(strings.NewReader("m1\texample.com"), func(string, string) { n++ }); err != nil || n != 1 {
+		t.Fatalf("final line without newline: n=%d err=%v", n, err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	var b strings.Builder
+	events := []Event{
+		{Kind: EventQuery, Day: 17, Machine: "m1", Domain: "a.example.com"},
+		{Kind: EventResolution, Day: 17, Domain: "a.example.com",
+			IPs: []dnsutil.IPv4{dnsutil.MakeIPv4(10, 0, 0, 1), dnsutil.MakeIPv4(10, 0, 0, 2)}},
+		{Kind: EventQuery, Day: 18, Machine: "m2", Domain: "b.example.org"},
+	}
+	for _, e := range events {
+		if err := WriteEvent(&b, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Event
+	if err := ReadEvents(strings.NewReader(b.String()), func(e Event) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i, e := range events {
+		g := got[i]
+		if g.Kind != e.Kind || g.Day != e.Day || g.Machine != e.Machine || g.Domain != e.Domain || len(g.IPs) != len(e.IPs) {
+			t.Fatalf("event %d: %+v != %+v", i, g, e)
+		}
+	}
+	if err := WriteEvent(&b, Event{Kind: 99}); err == nil {
+		t.Fatal("unknown kind must fail to write")
+	}
+}
+
+// TestReadEventsConsumerAbort checks fn's error is propagated verbatim so
+// the ingester can stop mid-stream on shutdown.
+func TestReadEventsConsumerAbort(t *testing.T) {
+	input := "q\t17\tm1\ta.example.com\nq\t17\tm2\tb.example.com\n"
+	seen := 0
+	err := ReadEvents(strings.NewReader(input), func(Event) error {
+		seen++
+		return errStop
+	})
+	if err != errStop || seen != 1 {
+		t.Fatalf("seen=%d err=%v", seen, err)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }

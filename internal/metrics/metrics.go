@@ -1,0 +1,283 @@
+// Package metrics is a small hand-rolled instrumentation library for the
+// segugiod daemon: atomic counters, gauges, and fixed-bucket latency
+// histograms, rendered in the Prometheus text exposition format
+// (version 0.0.4) so any standard scraper can consume /metrics. It
+// deliberately implements only what the daemon needs — no labels beyond
+// per-metric constant ones, no runtime re-registration — in exchange for
+// zero dependencies and lock-free hot paths.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value. The zero value is usable.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored (counters
+// never go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is usable.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt replaces the gauge value with an integer.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: each bucket counts observations less than or equal to its upper
+// bound, plus a +Inf bucket, a sum, and a count. Create one with
+// NewHistogram; observation is lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, not including +Inf
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// NewHistogram builds a histogram with the given upper bounds (sorted
+// ascending; the +Inf bucket is implicit).
+func NewHistogram(bounds ...float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// DefBuckets are latency bounds in seconds suited to request handling,
+// spanning 100µs to 10s.
+func DefBuckets() []float64 {
+	return []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are cumulative at exposition time; record into the first
+	// bucket whose bound holds the sample, or the +Inf overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metric is one registered name.
+type metric struct {
+	name   string
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	labels string // rendered constant label set, "" or `{k="v",...}`
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // gauge callback alternative
+}
+
+// Registry holds named metrics and renders them. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]string // name -> kind, for TYPE dedup and collision checks
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]string)}
+}
+
+// Labels renders a constant label set for registration, e.g.
+// Labels("source", "tcp") -> `{source="tcp"}`. Keys are rendered in the
+// order given.
+func Labels(kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) register(m metric) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kind, dup := r.byName[m.name]; dup && kind != m.kind {
+		return fmt.Errorf("metrics: %s already registered as %s", m.name, kind)
+	}
+	r.byName[m.name] = m.kind
+	r.metrics = append(r.metrics, m)
+	return nil
+}
+
+// NewCounter registers and returns a counter. labels is "" or a set
+// rendered with Labels. Registration failures (same name, different type)
+// panic: they are programming errors caught at startup.
+func (r *Registry) NewCounter(name, help, labels string) *Counter {
+	c := &Counter{}
+	if err := r.register(metric{name: name, help: help, kind: "counter", labels: labels, c: c}); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help, labels string) *Gauge {
+	g := &Gauge{}
+	if err := r.register(metric{name: name, help: help, kind: "gauge", labels: labels, g: g}); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help, labels string, fn func() float64) {
+	if err := r.register(metric{name: name, help: help, kind: "gauge", labels: labels, fn: fn}); err != nil {
+		panic(err)
+	}
+}
+
+// NewHistogram registers and returns a histogram with the given bucket
+// upper bounds (nil means DefBuckets).
+func (r *Registry) NewHistogram(name, help, labels string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	h := NewHistogram(bounds...)
+	if err := r.register(metric{name: name, help: help, kind: "histogram", labels: labels, h: h}); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without an exponent, +Inf as "+Inf".
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered metric in text exposition
+// format. Metrics appear in registration order; HELP/TYPE headers are
+// emitted once per metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	seen := make(map[string]bool)
+	for _, m := range metrics {
+		if !seen[m.name] {
+			seen[m.name] = true
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+				return err
+			}
+		}
+		switch {
+		case m.c != nil:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.c.Value()); err != nil {
+				return err
+			}
+		case m.g != nil:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatValue(m.g.Value())); err != nil {
+				return err
+			}
+		case m.fn != nil:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatValue(m.fn())); err != nil {
+				return err
+			}
+		case m.h != nil:
+			if err := writeHistogram(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, m metric) error {
+	h := m.h
+	// Bucket lines carry an le label merged with the constant labels.
+	base := strings.TrimSuffix(strings.TrimPrefix(m.labels, "{"), "}")
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := writeBucket(w, m.name, base, formatValue(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	if err := writeBucket(w, m.name, base, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, h.Count())
+	return err
+}
+
+func writeBucket(w io.Writer, name, baseLabels, le string, cum int64) error {
+	sep := ""
+	if baseLabels != "" {
+		sep = ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, baseLabels, sep, le, cum)
+	return err
+}

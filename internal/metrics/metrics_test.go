@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-100) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.SetInt(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-102.65) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 6 {
+		t.Fatalf("count after duration = %d", h.Count())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("events_total", "events", "")
+	h := r.NewHistogram("lat_seconds", "latency", "", []float64{0.01, 0.1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.05)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter %d, histogram %d, want 8000 each", c.Value(), h.Count())
+	}
+	if math.Abs(h.Sum()-8000*0.05) > 1e-6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("segugiod_events_ingested_total", "Events applied to the graph.", "")
+	g := r.NewGauge("segugiod_graph_domains", "Domain nodes.", "")
+	r.NewGaugeFunc("segugiod_uptime_seconds", "Uptime.", "", func() float64 { return 12.5 })
+	h := r.NewHistogram("segugiod_classify_seconds", "Classify latency.", "", []float64{0.1, 1})
+	lc := r.NewCounter("segugiod_events_dropped_total", "Dropped.", Labels("reason", "backpressure"))
+
+	c.Add(42)
+	g.SetInt(7)
+	h.Observe(0.05)
+	h.Observe(5)
+	lc.Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP segugiod_events_ingested_total Events applied to the graph.",
+		"# TYPE segugiod_events_ingested_total counter",
+		"segugiod_events_ingested_total 42",
+		"segugiod_graph_domains 7",
+		"segugiod_uptime_seconds 12.5",
+		`segugiod_classify_seconds_bucket{le="0.1"} 1`,
+		`segugiod_classify_seconds_bucket{le="1"} 1`,
+		`segugiod_classify_seconds_bucket{le="+Inf"} 2`,
+		"segugiod_classify_seconds_sum 5.05",
+		"segugiod_classify_seconds_count 2",
+		`segugiod_events_dropped_total{reason="backpressure"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramWithConstLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", Labels("source", "tcp"), []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `lat_seconds_bucket{source="tcp",le="1"} 1`) {
+		t.Fatalf("bad bucket labels:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `lat_seconds_sum{source="tcp"} 0.5`) {
+		t.Fatalf("bad sum labels:\n%s", b.String())
+	}
+}
+
+func TestRegistryCollision(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x_total as a gauge must panic")
+		}
+	}()
+	r.NewGauge("x_total", "x", "")
+}
+
+func TestLabels(t *testing.T) {
+	if got := Labels("a", "b", "c", "d"); got != `{a="b",c="d"}` {
+		t.Fatalf("Labels = %s", got)
+	}
+	if got := Labels("odd"); got != "" {
+		t.Fatalf("odd Labels = %q", got)
+	}
+	if got := Labels(); got != "" {
+		t.Fatalf("empty Labels = %q", got)
+	}
+}

@@ -1,0 +1,480 @@
+// Package server is segugiod's HTTP surface: a stdlib net/http JSON API
+// for online classification against the live behavior graph, per-domain
+// evidence lookups, health, Prometheus metrics, and detector hot-reload.
+//
+//	POST /v1/classify      score a batch of domains (or all unknowns)
+//	GET  /v1/domains/{name} evidence for one domain
+//	POST /v1/reload        reload the detector from disk
+//	GET  /healthz          liveness + basic state
+//	GET  /metrics          Prometheus text exposition
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"segugio/internal/activity"
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/features"
+	"segugio/internal/graph"
+	"segugio/internal/metrics"
+	"segugio/internal/pdns"
+)
+
+// GraphSource supplies immutable snapshots of the live behavior graph.
+// *ingest.Ingester implements it; tests may use anything.
+type GraphSource interface {
+	// Snapshot returns a labeled, immutable graph plus a version counter
+	// that moves whenever the underlying graph changes.
+	Snapshot() (*graph.Graph, uint64)
+	// Day returns the current observation day.
+	Day() int
+}
+
+// DetectorHandle holds the deployed detector and supports atomic
+// hot-reload from its file (POST /v1/reload or SIGHUP). A reload that
+// fails — unreadable file, incompatible format version — leaves the
+// previous detector serving.
+type DetectorHandle struct {
+	path string
+
+	mu       sync.RWMutex
+	det      *core.Detector
+	loadedAt time.Time
+}
+
+// OpenDetector loads the detector file and returns a reloadable handle.
+func OpenDetector(path string) (*DetectorHandle, error) {
+	h := &DetectorHandle{path: path}
+	if err := h.Reload(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Get returns the current detector and when it was loaded.
+func (h *DetectorHandle) Get() (*core.Detector, time.Time) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.det, h.loadedAt
+}
+
+// Path returns the file the handle reloads from.
+func (h *DetectorHandle) Path() string { return h.path }
+
+// Reload re-reads the detector file, swapping it in atomically on
+// success and keeping the old detector on any failure.
+func (h *DetectorHandle) Reload() error {
+	f, err := os.Open(h.path)
+	if err != nil {
+		return fmt.Errorf("server: reload detector: %w", err)
+	}
+	defer f.Close()
+	det, err := core.LoadDetector(f)
+	if err != nil {
+		return fmt.Errorf("server: reload detector %s: %w", h.path, err)
+	}
+	h.mu.Lock()
+	h.det = det
+	h.loadedAt = time.Now()
+	h.mu.Unlock()
+	return nil
+}
+
+// Age reports how long ago the current detector was loaded.
+func (h *DetectorHandle) Age() time.Duration {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return time.Since(h.loadedAt)
+}
+
+// Config wires a Server.
+type Config struct {
+	// Graphs supplies live graph snapshots; required.
+	Graphs GraphSource
+	// Detector serves and hot-reloads the classifier; nil means no
+	// detector is configured and classification endpoints answer 503.
+	Detector *DetectorHandle
+	// Activity backs the F2 features at classification time; may be nil.
+	Activity *activity.Log
+	// Abuse backs the F3 features; may be nil.
+	Abuse *pdns.AbuseIndex
+	// Window is the F2 look-back in days (default 14).
+	Window int
+	// Registry receives the server's own metrics and is rendered by
+	// GET /metrics; required.
+	Registry *metrics.Registry
+	// MaxClassifyDomains bounds one classify request (default 10000).
+	MaxClassifyDomains int
+}
+
+// Server is the daemon's HTTP API. Create with New, then serve its
+// Handler.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	reqTotal    map[string]*metrics.Counter
+	reqErrors   *metrics.Counter
+	classifyLat *metrics.Histogram
+	domainLat   *metrics.Histogram
+	reloads     *metrics.Counter
+	reloadFails *metrics.Counter
+}
+
+// New builds the server and registers its metrics.
+func New(cfg Config) *Server {
+	if cfg.Window <= 0 {
+		cfg.Window = 14
+	}
+	if cfg.MaxClassifyDomains <= 0 {
+		cfg.MaxClassifyDomains = 10000
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+
+	r := cfg.Registry
+	s.reqTotal = map[string]*metrics.Counter{}
+	for _, h := range []string{"classify", "domains", "healthz", "metrics", "reload"} {
+		s.reqTotal[h] = r.NewCounter("segugiod_http_requests_total",
+			"HTTP requests served, by handler.", metrics.Labels("handler", h))
+	}
+	s.reqErrors = r.NewCounter("segugiod_http_request_errors_total",
+		"HTTP requests answered with a 4xx/5xx status.", "")
+	s.classifyLat = r.NewHistogram("segugiod_classify_seconds",
+		"Latency of POST /v1/classify.", "", nil)
+	s.domainLat = r.NewHistogram("segugiod_domain_lookup_seconds",
+		"Latency of GET /v1/domains/{name}.", "", nil)
+	s.reloads = r.NewCounter("segugiod_detector_reloads_total",
+		"Successful detector reloads.", "")
+	s.reloadFails = r.NewCounter("segugiod_detector_reload_failures_total",
+		"Failed detector reloads (previous detector kept).", "")
+	if cfg.Detector != nil {
+		r.NewGaugeFunc("segugiod_detector_age_seconds",
+			"Seconds since the serving detector was loaded.", "",
+			func() float64 { return cfg.Detector.Age().Seconds() })
+	}
+	r.NewGaugeFunc("segugiod_uptime_seconds", "Seconds since the server started.", "",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("GET /v1/domains/{name}", s.handleDomain)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON renders v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if status >= 400 {
+		s.reqErrors.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// ClassifyRequest is the POST /v1/classify body. All fields are optional.
+type ClassifyRequest struct {
+	// Domains restricts scoring to these names; empty scores every
+	// unknown domain in the live (pruned) graph.
+	Domains []string `json:"domains"`
+	// Top caps the detections returned (0 means all scored domains).
+	Top int `json:"top"`
+	// DetectedOnly keeps only scores at or above the threshold.
+	DetectedOnly bool `json:"detectedOnly"`
+}
+
+// ClassifyDetection is one scored domain.
+type ClassifyDetection struct {
+	Domain   string  `json:"domain"`
+	Score    float64 `json:"score"`
+	Detected bool    `json:"detected"`
+}
+
+// ClassifyResponse is the POST /v1/classify reply.
+type ClassifyResponse struct {
+	Day          int                 `json:"day"`
+	GraphVersion uint64              `json:"graphVersion"`
+	Threshold    float64             `json:"threshold"`
+	Classified   int                 `json:"classified"`
+	Detected     int                 `json:"detected"`
+	Missing      []string            `json:"missing,omitempty"`
+	Detections   []ClassifyDetection `json:"detections"`
+	TookMS       float64             `json:"tookMs"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal["classify"].Inc()
+	det, _ := s.detector()
+	if det == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no detector loaded")
+		return
+	}
+	var req ClassifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Domains) > s.cfg.MaxClassifyDomains {
+		s.writeError(w, http.StatusBadRequest, "too many domains: %d > %d", len(req.Domains), s.cfg.MaxClassifyDomains)
+		return
+	}
+	for i, d := range req.Domains {
+		n, err := dnsutil.Normalize(d)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "domain %q: %v", d, err)
+			return
+		}
+		req.Domains[i] = n
+	}
+
+	t0 := time.Now()
+	g, version := s.cfg.Graphs.Snapshot()
+	if !g.Labeled() {
+		s.writeError(w, http.StatusServiceUnavailable, "live graph is not labeled yet")
+		return
+	}
+	dets, report, err := det.Classify(core.ClassifyInput{
+		Graph:    g,
+		Activity: s.cfg.Activity,
+		Abuse:    s.cfg.Abuse,
+		Domains:  orNil(req.Domains),
+	})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "classify: %v", err)
+		return
+	}
+	took := time.Since(t0)
+	s.classifyLat.ObserveDuration(took)
+
+	resp := ClassifyResponse{
+		Day:          g.Day(),
+		GraphVersion: version,
+		Threshold:    det.Threshold(),
+		Classified:   report.Classified,
+		Missing:      report.Missing,
+		TookMS:       float64(took.Microseconds()) / 1000,
+	}
+	for _, d := range dets {
+		detected := d.Score >= det.Threshold()
+		if detected {
+			resp.Detected++
+		}
+		if req.DetectedOnly && !detected {
+			continue
+		}
+		if req.Top > 0 && len(resp.Detections) >= req.Top {
+			continue
+		}
+		resp.Detections = append(resp.Detections, ClassifyDetection{
+			Domain: d.Domain, Score: d.Score, Detected: detected,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func orNil(s []string) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	return s
+}
+
+// DomainResponse is the GET /v1/domains/{name} reply: the analyst-facing
+// evidence of internal/report, measured against the live graph.
+type DomainResponse struct {
+	Domain       string   `json:"domain"`
+	Day          int      `json:"day"`
+	GraphVersion uint64   `json:"graphVersion"`
+	Label        string   `json:"label"`
+	E2LD         string   `json:"e2ld"`
+	Score        *float64 `json:"score,omitempty"`
+	Detected     *bool    `json:"detected,omitempty"`
+
+	QueryingMachines int     `json:"queryingMachines"`
+	InfectedFraction float64 `json:"infectedFraction"`
+	UnknownFraction  float64 `json:"unknownFraction"`
+	ActiveDays       int     `json:"activeDays"`
+	ConsecutiveDays  int     `json:"consecutiveDays"`
+
+	ResolvedIPs           []string `json:"resolvedIps"`
+	MalwareIPFraction     float64  `json:"malwareIpFraction"`
+	MalwarePrefixFraction float64  `json:"malwarePrefixFraction"`
+
+	Machines []string `json:"machines"`
+}
+
+// maxMachinesInResponse caps the per-domain machine enumeration, mirroring
+// report.MaxMachinesPerDomain.
+const maxMachinesInResponse = 25
+
+func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal["domains"].Inc()
+	t0 := time.Now()
+	name, err := dnsutil.Normalize(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad domain: %v", err)
+		return
+	}
+	g, version := s.cfg.Graphs.Snapshot()
+	if !g.Labeled() {
+		s.writeError(w, http.StatusServiceUnavailable, "live graph is not labeled yet")
+		return
+	}
+	d, ok := g.DomainIndex(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "domain %q not observed in the current window", name)
+		return
+	}
+	ex, err := features.NewExtractor(g, s.cfg.Activity, s.cfg.Abuse, s.cfg.Window)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "extractor: %v", err)
+		return
+	}
+	v := ex.Vector(d)
+	resp := DomainResponse{
+		Domain:                name,
+		Day:                   g.Day(),
+		GraphVersion:          version,
+		Label:                 g.DomainLabel(d).String(),
+		E2LD:                  g.DomainE2LD(d),
+		QueryingMachines:      int(v[features.FTotalMachines]),
+		InfectedFraction:      v[features.FInfectedFraction],
+		UnknownFraction:       v[features.FUnknownFraction],
+		ActiveDays:            int(v[features.FDomainActiveDays]),
+		ConsecutiveDays:       int(v[features.FDomainStreak]),
+		MalwareIPFraction:     v[features.FMalwareIPFraction],
+		MalwarePrefixFraction: v[features.FMalwarePrefixFraction],
+	}
+	for _, ip := range g.DomainIPs(d) {
+		resp.ResolvedIPs = append(resp.ResolvedIPs, ip.String())
+	}
+	for _, m := range g.MachinesOf(d) {
+		if len(resp.Machines) == maxMachinesInResponse {
+			break
+		}
+		resp.Machines = append(resp.Machines, g.MachineID(m))
+	}
+	// Score the domain when a detector is loaded and the domain is a
+	// classification target (unknown label). The score is measured on the
+	// pruned deployment graph, so a pruned-away domain has no score.
+	if det, _ := s.detector(); det != nil && g.DomainLabel(d) == graph.LabelUnknown {
+		dets, _, err := det.Classify(core.ClassifyInput{
+			Graph:    g,
+			Activity: s.cfg.Activity,
+			Abuse:    s.cfg.Abuse,
+			Domains:  []string{name},
+		})
+		if err == nil && len(dets) == 1 {
+			score := dets[0].Score
+			detected := score >= det.Threshold()
+			resp.Score = &score
+			resp.Detected = &detected
+		}
+	}
+	s.domainLat.ObserveDuration(time.Since(t0))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	Status         string  `json:"status"`
+	Day            int     `json:"day"`
+	GraphVersion   uint64  `json:"graphVersion"`
+	UptimeSeconds  float64 `json:"uptimeSeconds"`
+	DetectorLoaded bool    `json:"detectorLoaded"`
+	DetectorAgeSec float64 `json:"detectorAgeSeconds,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal["healthz"].Inc()
+	det, loadedAt := s.detector()
+	resp := HealthResponse{
+		Status:        "ok",
+		Day:           s.cfg.Graphs.Day(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	_, resp.GraphVersion = s.cfg.Graphs.Snapshot()
+	if det != nil {
+		resp.DetectorLoaded = true
+		resp.DetectorAgeSec = time.Since(loadedAt).Seconds()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal["metrics"].Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Registry.WritePrometheus(w)
+}
+
+// ReloadResponse is the POST /v1/reload reply.
+type ReloadResponse struct {
+	Reloaded  bool    `json:"reloaded"`
+	Threshold float64 `json:"threshold"`
+	Path      string  `json:"path"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal["reload"].Inc()
+	if s.cfg.Detector == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no detector configured")
+		return
+	}
+	if err := s.cfg.Detector.Reload(); err != nil {
+		s.reloadFails.Inc()
+		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.reloads.Inc()
+	det, _ := s.cfg.Detector.Get()
+	s.writeJSON(w, http.StatusOK, ReloadResponse{
+		Reloaded:  true,
+		Threshold: det.Threshold(),
+		Path:      s.cfg.Detector.Path(),
+	})
+}
+
+// ReloadForSignal is the SIGHUP entry point: it reloads the detector and
+// records the outcome in the same metrics as POST /v1/reload.
+func (s *Server) ReloadForSignal() error {
+	if s.cfg.Detector == nil {
+		return errors.New("server: no detector configured")
+	}
+	if err := s.cfg.Detector.Reload(); err != nil {
+		s.reloadFails.Inc()
+		return err
+	}
+	s.reloads.Inc()
+	return nil
+}
+
+// detector returns the current detector, or nil when none is configured.
+func (s *Server) detector() (*core.Detector, time.Time) {
+	if s.cfg.Detector == nil {
+		return nil, time.Time{}
+	}
+	return s.cfg.Detector.Get()
+}
