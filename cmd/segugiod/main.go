@@ -45,6 +45,7 @@ import (
 	"segugio/internal/metrics"
 	"segugio/internal/pdns"
 	"segugio/internal/server"
+	"segugio/internal/wal"
 )
 
 func main() {
@@ -68,6 +69,14 @@ type options struct {
 	queue    int
 	window   int
 	keepDays int
+
+	// Durability and hardening knobs. A zero value disables the feature
+	// (no -state means a purely in-memory daemon, as before).
+	stateDir         string
+	ckptInterval     time.Duration
+	walSyncEvery     int
+	maxEventConns    int
+	eventIdleTimeout time.Duration
 }
 
 func parseFlags(args []string) (options, error) {
@@ -84,6 +93,11 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.queue, "queue", 4096, "per-shard event queue depth")
 	fs.IntVar(&opts.window, "window", 14, "activity look-back window in days (F2 features)")
 	fs.IntVar(&opts.keepDays, "keep-days", 30, "days of activity history kept across rotations")
+	fs.StringVar(&opts.stateDir, "state", "", "state directory for the write-ahead log and checkpoints (empty: in-memory only)")
+	fs.DurationVar(&opts.ckptInterval, "checkpoint-interval", 30*time.Second, "how often to checkpoint the live graph (with -state)")
+	fs.IntVar(&opts.walSyncEvery, "wal-sync-every", 256, "fsync the WAL after this many records (with -state; 1 = every record)")
+	fs.IntVar(&opts.maxEventConns, "max-event-conns", 64, "concurrent tcp:// event connections accepted (0 = unlimited)")
+	fs.DurationVar(&opts.eventIdleTimeout, "event-idle-timeout", 5*time.Minute, "drop a tcp:// event connection idle this long (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -120,6 +134,12 @@ type daemon struct {
 	httpLn   net.Listener
 	eventsLn net.Listener // non-nil only for tcp:// sources
 
+	// panics/restarts back segugiod_panics_total and
+	// segugiod_source_restarts_total; shared by the ingest workers, the
+	// HTTP handlers, and the source supervisors.
+	panics   *metrics.Counter
+	restarts *metrics.Counter
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 }
@@ -154,6 +174,10 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 	}
 
 	d.reg = metrics.NewRegistry()
+	d.panics = d.reg.NewCounter("segugiod_panics_total",
+		"Panics recovered anywhere in the daemon (ingest workers, HTTP handlers, sources).", "")
+	d.restarts = d.reg.NewCounter("segugiod_source_restarts_total",
+		"Supervised event-source restarts after a failure.", "")
 	ingMetrics := &ingest.Metrics{
 		EventsIngested: d.reg.NewCounter("segugiod_ingest_events_total",
 			"Events applied to the live graph.", ""),
@@ -171,9 +195,14 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 			"Domains in the live behavior graph.", ""),
 		GraphObservations: d.reg.NewGauge("segugiod_graph_observations",
 			"Raw query observations in the live behavior graph.", ""),
+		Panics: d.panics,
+		TailReopens: d.reg.NewCounter("segugiod_tail_reopens_total",
+			"Tailed-file reopens forced by rotation or truncation.", ""),
+		WALAppendFailures: d.reg.NewCounter("segugiod_wal_append_failures_total",
+			"Applied batches that could not be logged to the WAL.", ""),
 	}
 
-	d.ing = ingest.New(ingest.Config{
+	ingCfg := ingest.Config{
 		Network:          opts.network,
 		StartDay:         opts.startDay,
 		Suffixes:         suffixes,
@@ -189,7 +218,49 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 				day, final.NumMachines(), final.NumDomains())
 		},
 		Metrics: ingMetrics,
-	})
+	}
+	if opts.stateDir == "" {
+		d.ing = ingest.New(ingCfg)
+	} else {
+		durMetrics := &ingest.DurableMetrics{
+			WAL: wal.Metrics{
+				Appends: d.reg.NewCounter("segugiod_wal_appends_total",
+					"Records appended to the write-ahead log.", ""),
+				Bytes: d.reg.NewCounter("segugiod_wal_bytes_total",
+					"Bytes appended to the write-ahead log.", ""),
+				Syncs: d.reg.NewCounter("segugiod_wal_syncs_total",
+					"Write-ahead log fsync batches.", ""),
+				TornRecords: d.reg.NewCounter("segugiod_wal_torn_records_total",
+					"Torn or corrupt trailing WAL records truncated at startup.", ""),
+				Segments: d.reg.NewGauge("segugiod_wal_segments",
+					"Live WAL segment files.", ""),
+			},
+			ReplayedEvents: d.reg.NewCounter("segugiod_recovery_replayed_events_total",
+				"Events re-applied from the WAL during startup recovery.", ""),
+			ReplayErrors: d.reg.NewCounter("segugiod_recovery_replay_errors_total",
+				"Intact WAL records skipped during recovery because they did not parse.", ""),
+			CheckpointFallbacks: d.reg.NewCounter("segugiod_recovery_checkpoint_fallbacks_total",
+				"Recoveries that discarded a corrupt checkpoint for the previous generation.", ""),
+			Checkpoints: d.reg.NewCounter("segugiod_checkpoints_total",
+				"Checkpoints durably written.", ""),
+			CheckpointFailures: d.reg.NewCounter("segugiod_checkpoint_failures_total",
+				"Checkpoint attempts that failed.", ""),
+			LastCheckpointUnix: d.reg.NewGauge("segugiod_last_checkpoint_unix",
+				"Wall-clock second of the newest durable checkpoint.", ""),
+		}
+		var info *ingest.RecoveryInfo
+		var err error
+		d.ing, info, err = ingest.OpenDurable(ingCfg, ingest.DurableConfig{
+			Dir:             opts.stateDir,
+			CheckpointEvery: opts.ckptInterval,
+			SyncEvery:       opts.walSyncEvery,
+			Metrics:         durMetrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("open state %s: %w", opts.stateDir, err)
+		}
+		logger.Printf("state recovered from %s: %s", opts.stateDir, info)
+	}
 
 	if opts.model != "" {
 		var err error
@@ -206,6 +277,7 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 		Abuse:    abuse,
 		Window:   opts.window,
 		Registry: d.reg,
+		Panics:   d.panics,
 	})
 
 	var err error
@@ -288,7 +360,13 @@ func readFile(path string, fn func(f *os.File) error) error {
 // run serves until ctx is canceled, then shuts down in order: stop
 // accepting events, drain the ingest queues, stop the HTTP server.
 func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
-	httpSrv := &http.Server{Handler: d.srv.Handler()}
+	httpSrv := &http.Server{
+		Handler: d.srv.Handler(),
+		// Slowloris and fd-leak protection: a client must finish its
+		// headers promptly and keep-alive connections do not linger forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	httpErr := make(chan error, 1)
 	go func() {
 		if err := httpSrv.Serve(d.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -306,7 +384,10 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 		sources.Add(1)
 		go func() {
 			defer sources.Done()
-			d.acceptEvents(srcCtx)
+			err := ingest.Supervise(srcCtx, d.supervisorConfig("events-listener"), d.acceptEvents)
+			if err != nil {
+				d.logger.Printf("event listener: %v", err)
+			}
 		}()
 	case d.opts.events == "-":
 		if stdin != nil {
@@ -323,7 +404,13 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 		sources.Add(1)
 		go func() {
 			defer sources.Done()
-			if err := d.ing.TailFile(srcCtx, d.opts.events, 0); err != nil {
+			// Supervision makes the tail robust to the file not existing
+			// yet and to transient I/O errors: the source restarts with
+			// backoff instead of silently dying for the daemon's lifetime.
+			err := ingest.Supervise(srcCtx, d.supervisorConfig("tail"), func(ctx context.Context) error {
+				return d.ing.TailFile(ctx, d.opts.events, 0)
+			})
+			if err != nil {
 				d.logger.Printf("tail %s: %v", d.opts.events, err)
 			}
 		}()
@@ -372,15 +459,47 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	return serveErr
 }
 
-// acceptEvents accepts streaming connections until the listener closes,
-// feeding each to the ingester.
-func (d *daemon) acceptEvents(ctx context.Context) {
+// supervisorConfig builds the restart policy shared by the daemon's
+// event sources: back off exponentially with jitter, never give up (the
+// context ending is the only way out), and feed the shared counters.
+func (d *daemon) supervisorConfig(name string) ingest.SupervisorConfig {
+	return ingest.SupervisorConfig{
+		Name:     name,
+		Restarts: d.restarts,
+		Panics:   d.panics,
+		Logf:     d.logger.Printf,
+	}
+}
+
+// acceptEvents accepts streaming connections, feeding each to the
+// ingester. Connections beyond the -max-event-conns cap are refused
+// immediately, and each accepted connection carries a rolling read
+// deadline so an idle peer cannot pin a slot forever. A nil return means
+// shutdown; any other accept failure is handed to the supervisor.
+func (d *daemon) acceptEvents(ctx context.Context) error {
 	var conns sync.WaitGroup
 	defer conns.Wait()
+	var sem chan struct{}
+	if d.opts.maxEventConns > 0 {
+		sem = make(chan struct{}, d.opts.maxEventConns)
+	}
 	for {
 		conn, err := d.eventsLn.Accept()
 		if err != nil {
-			return // listener closed during shutdown
+			if ctx.Err() != nil {
+				return nil // listener closed during shutdown
+			}
+			return err
+		}
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			default:
+				d.logger.Printf("event stream %s refused: %d connections already open",
+					conn.RemoteAddr(), d.opts.maxEventConns)
+				conn.Close()
+				continue
+			}
 		}
 		d.trackConn(conn, true)
 		conns.Add(1)
@@ -388,12 +507,31 @@ func (d *daemon) acceptEvents(ctx context.Context) {
 			defer conns.Done()
 			defer d.trackConn(conn, false)
 			defer conn.Close()
-			if err := d.ing.Consume(conn); err != nil &&
+			if sem != nil {
+				defer func() { <-sem }()
+			}
+			r := io.Reader(conn)
+			if d.opts.eventIdleTimeout > 0 {
+				r = &deadlineReader{conn: conn, timeout: d.opts.eventIdleTimeout}
+			}
+			if err := d.ing.Consume(r); err != nil &&
 				!errors.Is(err, ingest.ErrShuttingDown) && ctx.Err() == nil {
 				d.logger.Printf("event stream %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
+}
+
+// deadlineReader arms a fresh read deadline before every read, turning a
+// silent idle peer into a timeout error that releases the connection.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	r.conn.SetReadDeadline(time.Now().Add(r.timeout))
+	return r.conn.Read(p)
 }
 
 func (d *daemon) trackConn(c net.Conn, add bool) {

@@ -5,10 +5,54 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"segugio/internal/graph"
 	"segugio/internal/ml"
 )
+
+// WriteAtomic durably replaces the file at path with the bytes produced
+// by write: the content goes to a temporary file in the same directory,
+// is fsynced, and is renamed over path, so a crash at any point leaves
+// either the old file or the new one — never a torn mix. The containing
+// directory is fsynced afterwards so the rename itself survives a power
+// loss. segugiod's checkpoints and any detector written next to a live
+// daemon go through this.
+func WriteAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Detector persistence: a trained detector (model, threshold, feature
 // selection, pipeline settings) can be saved after the learning phase and

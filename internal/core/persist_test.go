@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"segugio/internal/ml"
@@ -135,5 +138,53 @@ func TestSaveDetectorStampsVersion(t *testing.T) {
 	}
 	if wire.Version != DetectorFormatVersion {
 		t.Fatalf("saved version = %d, want %d", wire.Version, DetectorFormatVersion)
+	}
+}
+
+func TestWriteAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("content = %q", got)
+	}
+
+	// Overwrite succeeds and replaces wholesale.
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("second"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content = %q", got)
+	}
+
+	// A failing writer leaves the previous file intact and no temp
+	// droppings behind.
+	boom := errors.New("boom")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("after failed write: %q", got)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want only the target file", len(entries))
 	}
 }

@@ -1,0 +1,143 @@
+// Package faultinject provides the small, deterministic fault injectors
+// segugio's recovery tests are built on: readers that fail mid-stream,
+// return short reads, or stall; listeners that feed such readers to the
+// daemon's ingest path; and file mutators that simulate torn writes and
+// bit rot. Production code never imports this package — it exists so
+// crash-recovery behavior (WAL tail truncation, checkpoint fallback,
+// source supervision) is exercised by tests instead of trusted on faith.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error injected by the readers here, so
+// tests can assert the failure they provoked is the failure they saw.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FlakyReader reads from R until FailAfter bytes have been delivered,
+// then returns Err (ErrInjected when nil) on every subsequent call. A
+// mid-record failure for stream consumers.
+type FlakyReader struct {
+	R         io.Reader
+	FailAfter int64
+	Err       error
+
+	delivered int64
+}
+
+// Read implements io.Reader.
+func (r *FlakyReader) Read(p []byte) (int, error) {
+	if r.delivered >= r.FailAfter {
+		return 0, r.err()
+	}
+	if max := r.FailAfter - r.delivered; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := r.R.Read(p)
+	r.delivered += int64(n)
+	if err == io.EOF {
+		err = nil // the injected fault arrives first
+	}
+	if err == nil && r.delivered >= r.FailAfter {
+		err = r.err()
+	}
+	return n, err
+}
+
+func (r *FlakyReader) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// ShortReader delivers at most one byte per Read call, surfacing every
+// buffer-boundary bug a consumer has.
+type ShortReader struct {
+	R io.Reader
+}
+
+// Read implements io.Reader.
+func (r *ShortReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return r.R.Read(p)
+}
+
+// SlowReader sleeps Delay before every Read, modelling a stalled or
+// trickling peer.
+type SlowReader struct {
+	R     io.Reader
+	Delay time.Duration
+}
+
+// Read implements io.Reader.
+func (r *SlowReader) Read(p []byte) (int, error) {
+	time.Sleep(r.Delay)
+	return r.R.Read(p)
+}
+
+// FailNTimes returns a function that fails with err its first n calls
+// and then delegates to fn forever after — the canonical supervised
+// source that recovers after transient faults. It is safe for
+// concurrent use.
+func FailNTimes(n int64, err error, fn func() error) func() error {
+	if err == nil {
+		err = ErrInjected
+	}
+	var calls atomic.Int64
+	return func() error {
+		if calls.Add(1) <= n {
+			return err
+		}
+		return fn()
+	}
+}
+
+// TruncateTail removes the final n bytes of the file at path, simulating
+// a torn write: the record framing survives but its payload does not.
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}
+
+// FlipByte XORs the byte at offset off with 0xff — undetectable without
+// a checksum, which is the point.
+func FlipByte(path string, off int64) error {
+	return mutateByte(path, off, func(b byte) byte { return b ^ 0xff })
+}
+
+// WriteByte overwrites the byte at offset off with v.
+func WriteByte(path string, off int64, v byte) error {
+	return mutateByte(path, off, func(byte) byte { return v })
+}
+
+func mutateByte(path string, off int64, fn func(byte) byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] = fn(b[0])
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Sync()
+}

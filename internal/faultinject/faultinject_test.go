@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlakyReaderFailsMidStream(t *testing.T) {
+	r := &FlakyReader{R: strings.NewReader("0123456789"), FailAfter: 4}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("delivered %q, want %q", got, "0123")
+	}
+	// Subsequent reads keep failing.
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v", err)
+	}
+}
+
+func TestFlakyReaderCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	r := &FlakyReader{R: strings.NewReader("abc"), FailAfter: 0, Err: sentinel}
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestShortReaderDeliversWholeStream(t *testing.T) {
+	got, err := io.ReadAll(&ShortReader{R: strings.NewReader("hello world")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFailNTimes(t *testing.T) {
+	calls := 0
+	fn := FailNTimes(2, nil, func() error { calls++; return nil })
+	if err := fn(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := fn(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 2: %v", err)
+	}
+	if err := fn(); err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("inner fn ran %d times", calls)
+	}
+}
+
+func TestFileMutators(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateTail(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteByte(path, 1, 'X'); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'a' ^ 0xff, 'X', 'c', 'd'}
+	if string(got) != string(want) {
+		t.Fatalf("file = %q, want %q", got, want)
+	}
+	// Truncating past the start clamps to empty.
+	if err := TruncateTail(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("size = %d, want 0", fi.Size())
+	}
+}

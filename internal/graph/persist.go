@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"segugio/internal/dnsutil"
+)
+
+// Graph snapshot persistence: segugiod checkpoints its live behavior
+// graph so an unclean death does not forget the day's machine-domain
+// observations. Only the observation data (nodes, edges, resolved IPs)
+// is serialized — labels are re-derived from the ground-truth sources on
+// load, and e2LD annotations are recomputed from the suffix list, so a
+// checkpoint can never pin stale intelligence.
+
+// SnapshotFormatVersion is the current on-disk snapshot format. Files
+// written by other versions are rejected with ErrSnapshotVersion.
+const SnapshotFormatVersion = 1
+
+// ErrSnapshotVersion marks a snapshot written by an incompatible format
+// version.
+var ErrSnapshotVersion = errors.New("graph: incompatible snapshot format version")
+
+type snapshotWire struct {
+	Version  int
+	Name     string
+	Day      int
+	Machines []string
+	Domains  []string
+	// IPDomain/IPAddr are parallel: domain index -> one resolved address.
+	IPDomain []int32
+	IPAddr   []dnsutil.IPv4
+	// EdgeOff/EdgeAdj are the machine-side CSR adjacency.
+	EdgeOff []int32
+	EdgeAdj []int32
+}
+
+// EncodeSnapshot writes g's observation data to w.
+func EncodeSnapshot(w io.Writer, g *Graph) error {
+	wire := snapshotWire{
+		Version:  SnapshotFormatVersion,
+		Name:     g.name,
+		Day:      g.day,
+		Machines: g.machineIDs,
+		Domains:  g.domains,
+		EdgeOff:  g.mOff,
+		EdgeAdj:  g.mAdj,
+	}
+	for d, ips := range g.domainIPs {
+		for _, ip := range ips {
+			wire.IPDomain = append(wire.IPDomain, int32(d))
+			wire.IPAddr = append(wire.IPAddr, ip)
+		}
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// DecodeSnapshot reads a snapshot written by EncodeSnapshot and rebuilds
+// it as a Builder seeded with every recorded observation, ready for
+// further streaming appends. The suffix list recomputes the e2LD
+// annotations; labels are left for ApplyLabels at the next Snapshot.
+func DecodeSnapshot(r io.Reader, suffixes *dnsutil.SuffixList) (*Builder, error) {
+	var wire snapshotWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("graph: decode snapshot: %w", err)
+	}
+	if wire.Version != SnapshotFormatVersion {
+		return nil, fmt.Errorf("%w: file is version %d, this build reads version %d",
+			ErrSnapshotVersion, wire.Version, SnapshotFormatVersion)
+	}
+	nm, nd := len(wire.Machines), len(wire.Domains)
+	if len(wire.EdgeOff) != nm+1 && !(nm == 0 && len(wire.EdgeOff) == 0) {
+		return nil, fmt.Errorf("graph: decode snapshot: offsets length %d does not match %d machines", len(wire.EdgeOff), nm)
+	}
+	if len(wire.IPDomain) != len(wire.IPAddr) {
+		return nil, fmt.Errorf("graph: decode snapshot: ip columns disagree (%d vs %d)", len(wire.IPDomain), len(wire.IPAddr))
+	}
+
+	b := NewBuilder(wire.Name, wire.Day, suffixes)
+	// Interning machines and domains in wire order keeps the rebuilt
+	// builder's indices aligned with the serialized adjacency.
+	for _, id := range wire.Machines {
+		b.machine(id)
+	}
+	for _, name := range wire.Domains {
+		b.domain(name)
+	}
+	for m := 0; m < nm; m++ {
+		lo, hi := wire.EdgeOff[m], wire.EdgeOff[m+1]
+		if lo < 0 || hi < lo || int(hi) > len(wire.EdgeAdj) {
+			return nil, fmt.Errorf("graph: decode snapshot: bad offsets for machine %d", m)
+		}
+		for _, d := range wire.EdgeAdj[lo:hi] {
+			if d < 0 || int(d) >= nd {
+				return nil, fmt.Errorf("graph: decode snapshot: edge to out-of-range domain %d", d)
+			}
+			b.edges = append(b.edges, edge{m: int32(m), d: d})
+		}
+	}
+	for i, d := range wire.IPDomain {
+		if d < 0 || int(d) >= nd {
+			return nil, fmt.Errorf("graph: decode snapshot: address for out-of-range domain %d", d)
+		}
+		b.domainIPs[d] = append(b.domainIPs[d], wire.IPAddr[i])
+	}
+	return b, nil
+}

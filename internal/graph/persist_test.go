@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"testing"
+
+	"segugio/internal/dnsutil"
+)
+
+func buildSample(t *testing.T) *Builder {
+	t.Helper()
+	sl := dnsutil.DefaultSuffixList()
+	b := NewBuilder("net", 42, sl)
+	for i := 0; i < 200; i++ {
+		machine := fmt.Sprintf("m%02d", i%17)
+		domain := fmt.Sprintf("h%d.zone%d.com", i%23, i%9)
+		b.AddQuery(machine, domain)
+		if i%4 == 0 {
+			b.AddResolution(domain, dnsutil.MakeIPv4(10, 1, byte(i%5), byte(i%200)))
+		}
+	}
+	// A domain observed only through a resolution: no query edges.
+	b.SetDomainIPs("lonely.example.org", []dnsutil.IPv4{dnsutil.MakeIPv4(192, 0, 2, 1)})
+	return b
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	sl := dnsutil.DefaultSuffixList()
+	b := buildSample(t)
+	want := b.Snapshot()
+
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeSnapshot(&buf, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Snapshot()
+
+	if got.Name() != want.Name() || got.Day() != want.Day() {
+		t.Fatalf("identity: got (%s,%d), want (%s,%d)", got.Name(), got.Day(), want.Name(), want.Day())
+	}
+	if got.NumMachines() != want.NumMachines() || got.NumDomains() != want.NumDomains() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("sizes: got (%d,%d,%d), want (%d,%d,%d)",
+			got.NumMachines(), got.NumDomains(), got.NumEdges(),
+			want.NumMachines(), want.NumDomains(), want.NumEdges())
+	}
+	for d := int32(0); int(d) < want.NumDomains(); d++ {
+		name := want.DomainName(d)
+		gd, ok := got.DomainIndex(name)
+		if !ok {
+			t.Fatalf("domain %q missing after round trip", name)
+		}
+		if got.DomainE2LD(gd) != want.DomainE2LD(d) {
+			t.Fatalf("domain %q e2ld %q != %q", name, got.DomainE2LD(gd), want.DomainE2LD(d))
+		}
+		if got.DomainDegree(gd) != want.DomainDegree(d) {
+			t.Fatalf("domain %q degree %d != %d", name, got.DomainDegree(gd), want.DomainDegree(d))
+		}
+		if len(got.DomainIPs(gd)) != len(want.DomainIPs(d)) {
+			t.Fatalf("domain %q ips %d != %d", name, len(got.DomainIPs(gd)), len(want.DomainIPs(d)))
+		}
+	}
+	// The restored builder keeps accepting appends.
+	restored.AddQuery("fresh-machine", "fresh.example.com")
+	g2 := restored.Snapshot()
+	if g2.NumMachines() != want.NumMachines()+1 {
+		t.Fatalf("append after restore: %d machines", g2.NumMachines())
+	}
+}
+
+func TestDecodeSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot(bytes.NewReader([]byte("not gob")), dnsutil.DefaultSuffixList()); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+func TestDecodeSnapshotRejectsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshotWire{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := DecodeSnapshot(&buf, dnsutil.DefaultSuffixList())
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestDecodeSnapshotRejectsBadAdjacency(t *testing.T) {
+	sl := dnsutil.DefaultSuffixList()
+	cases := []snapshotWire{
+		{Version: 1, Machines: []string{"m"}, Domains: []string{"d.com"},
+			EdgeOff: []int32{0, 1}, EdgeAdj: []int32{5}}, // edge to missing domain
+		{Version: 1, Machines: []string{"m"}, Domains: []string{"d.com"},
+			EdgeOff: []int32{0}}, // offsets too short
+		{Version: 1, Domains: []string{"d.com"},
+			IPDomain: []int32{3}, IPAddr: []dnsutil.IPv4{1}}, // address for missing domain
+		{Version: 1, IPDomain: []int32{0}}, // ip columns disagree
+	}
+	for i, wire := range cases {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSnapshot(&buf, sl); err == nil {
+			t.Fatalf("case %d: malformed wire must not decode", i)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/logio"
+	"segugio/internal/metrics"
+	"segugio/internal/wal"
+)
+
+// Durability layer: OpenDurable wraps New with a write-ahead log and
+// periodic checkpoints so an unclean death loses at most the WAL's
+// unsynced suffix instead of the whole day's graph.
+//
+// The invariant the layer maintains is simple because WAL appends happen
+// inside apply's critical section: under the ingest mutex, the builder
+// state and the WAL end position always agree. A checkpoint therefore
+// captures (snapshot, version, WAL position) atomically; recovery loads
+// the newest intact checkpoint and replays only the WAL records at or
+// after its position. Corrupt trailing WAL records are truncated by
+// wal.Open; a corrupt or torn checkpoint falls back to the previous one,
+// which still works because WAL segments are only reclaimed up to the
+// position of the checkpoint one generation back.
+
+// Checkpoint file names inside the state directory. The previous
+// generation is kept as the fallback for a checkpoint torn mid-write or
+// rotted on disk.
+const (
+	checkpointFile     = "checkpoint.gob"
+	checkpointPrevFile = "checkpoint.prev.gob"
+	walDirName         = "wal"
+)
+
+// CheckpointFormatVersion is the current checkpoint file format.
+const CheckpointFormatVersion = 1
+
+// ErrNotDurable is returned by Checkpoint on an ingester built with New
+// instead of OpenDurable.
+var ErrNotDurable = errors.New("ingest: ingester has no durability layer")
+
+var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
+
+type checkpointWire struct {
+	Version      int
+	GraphVersion uint64
+	Day          int
+	WALSegment   uint64
+	WALOffset    int64
+	// CRC is the Castagnoli checksum of Snapshot; gob's self-describing
+	// framing catches structural damage, the CRC catches flipped bits
+	// inside the opaque snapshot bytes.
+	CRC      uint32
+	Snapshot []byte
+}
+
+// DurableMetrics bundles the durability layer's instrumentation. Any
+// field may be nil.
+type DurableMetrics struct {
+	// WAL hooks are passed through to the write-ahead log.
+	WAL wal.Metrics
+	// ReplayedEvents counts events re-applied from the WAL at startup.
+	ReplayedEvents *metrics.Counter
+	// ReplayErrors counts CRC-intact WAL records skipped during recovery
+	// because their contents did not parse (version skew or a bug).
+	ReplayErrors *metrics.Counter
+	// CheckpointFallbacks counts recoveries that had to discard the
+	// newest checkpoint and use the previous generation.
+	CheckpointFallbacks *metrics.Counter
+	// Checkpoints / CheckpointFailures count checkpoint attempts.
+	Checkpoints        *metrics.Counter
+	CheckpointFailures *metrics.Counter
+	// LastCheckpointUnix is the wall-clock second of the newest durable
+	// checkpoint.
+	LastCheckpointUnix *metrics.Gauge
+}
+
+// DurableConfig parameterizes the durability layer.
+type DurableConfig struct {
+	// Dir is the state directory: checkpoint files live at its root, WAL
+	// segments under Dir/wal. Required.
+	Dir string
+	// CheckpointEvery is the checkpoint interval (default 30s).
+	CheckpointEvery time.Duration
+	// SyncInterval bounds how stale the WAL's durable prefix may be
+	// (default 1s): a background loop fsyncs at this cadence on top of
+	// the count-based batching.
+	SyncInterval time.Duration
+	// SyncEvery fsyncs after this many WAL records (default 256; 1 makes
+	// every applied batch durable before the next is accepted).
+	SyncEvery int
+	// SegmentBytes sizes WAL segment files (default 8 MiB).
+	SegmentBytes int64
+	// Metrics hooks; may be nil.
+	Metrics *DurableMetrics
+
+	m       DurableMetrics // resolved copy
+	lastPos wal.Pos        // position of the previous checkpoint generation
+}
+
+// RecoveryInfo reports what startup recovery found and rebuilt.
+type RecoveryInfo struct {
+	// CheckpointLoaded is true when any checkpoint decoded successfully.
+	CheckpointLoaded bool
+	// UsedFallback is true when the newest checkpoint was corrupt and
+	// the previous generation was used instead.
+	UsedFallback bool
+	// ReplayedEvents is how many events were re-applied from the WAL.
+	ReplayedEvents int
+	// ReplayErrors is how many intact WAL records failed to parse and
+	// were skipped.
+	ReplayErrors int
+	// Day, Machines, Domains describe the recovered live graph.
+	Day      int
+	Machines int
+	Domains  int
+	// WALStart is the position replay began from.
+	WALStart wal.Pos
+}
+
+func (ri *RecoveryInfo) String() string {
+	if ri == nil {
+		return "no recovery"
+	}
+	src := "fresh start"
+	if ri.CheckpointLoaded {
+		src = "checkpoint"
+		if ri.UsedFallback {
+			src = "fallback checkpoint"
+		}
+	}
+	return fmt.Sprintf("%s + %d replayed events (%d unparseable) -> day %d, %d machines, %d domains",
+		src, ri.ReplayedEvents, ri.ReplayErrors, ri.Day, ri.Machines, ri.Domains)
+}
+
+// OpenDurable builds an Ingester whose state survives crashes: it
+// recovers the newest intact checkpoint from dc.Dir, replays the WAL
+// tail on top, and returns an ingester that logs every applied event to
+// the WAL and checkpoints periodically. The RecoveryInfo describes what
+// was rebuilt (a fresh start on an empty directory is not an error).
+func OpenDurable(cfg Config, dc DurableConfig) (*Ingester, *RecoveryInfo, error) {
+	if dc.Dir == "" {
+		return nil, nil, errors.New("ingest: DurableConfig.Dir is required")
+	}
+	if dc.CheckpointEvery <= 0 {
+		dc.CheckpointEvery = 30 * time.Second
+	}
+	if dc.SyncInterval <= 0 {
+		dc.SyncInterval = time.Second
+	}
+	if dc.Metrics != nil {
+		dc.m = *dc.Metrics
+	}
+	if cfg.Suffixes == nil {
+		cfg.Suffixes = dnsutil.DefaultSuffixList()
+	}
+	if err := os.MkdirAll(dc.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+
+	info := &RecoveryInfo{}
+	b, version, pos := loadCheckpoints(&dc, cfg, info)
+
+	l, err := wal.Open(filepath.Join(dc.Dir, walDirName), wal.Options{
+		SegmentBytes: dc.SegmentBytes,
+		SyncEvery:    dc.SyncEvery,
+		Metrics:      &dc.m.WAL,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: open wal: %w", err)
+	}
+
+	if b == nil {
+		b = graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes)
+	}
+	b, version = replayWAL(l, pos, b, version, cfg, &dc, info)
+	info.Day = b.Day()
+	info.Machines = b.NumMachines()
+	info.Domains = b.NumDomains()
+	info.WALStart = pos
+
+	// The WAL currently reaches back to pos at most one checkpoint
+	// generation old; remember it so the first new checkpoint does not
+	// reclaim segments the on-disk fallback still points into.
+	dc.lastPos = pos
+
+	cfg.restoredBuilder = b
+	cfg.restoredVersion = version
+	cfg.wal = l
+	cfg.durable = &dc
+	in := New(cfg)
+	return in, info, nil
+}
+
+// loadCheckpoints tries the current then the previous checkpoint file,
+// returning the restored builder, its graph version, and the WAL replay
+// position. A nil builder means fresh start.
+func loadCheckpoints(dc *DurableConfig, cfg Config, info *RecoveryInfo) (*graph.Builder, uint64, wal.Pos) {
+	b, version, pos, err := readCheckpoint(filepath.Join(dc.Dir, checkpointFile), cfg)
+	if err == nil {
+		info.CheckpointLoaded = true
+		return b, version, pos
+	}
+	discarded := !errors.Is(err, os.ErrNotExist)
+	if discarded {
+		// The newest checkpoint existed but was torn or corrupt.
+		inc(dc.m.CheckpointFallbacks)
+	}
+	b, version, pos, err = readCheckpoint(filepath.Join(dc.Dir, checkpointPrevFile), cfg)
+	if err != nil {
+		info.UsedFallback = discarded
+		return nil, 0, wal.Pos{}
+	}
+	info.CheckpointLoaded = true
+	info.UsedFallback = discarded
+	return b, version, pos
+}
+
+// readCheckpoint decodes and validates one checkpoint file.
+func readCheckpoint(path string, cfg Config) (*graph.Builder, uint64, wal.Pos, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, wal.Pos{}, err
+	}
+	defer f.Close()
+	var wire checkpointWire
+	if err := gob.NewDecoder(f).Decode(&wire); err != nil {
+		return nil, 0, wal.Pos{}, fmt.Errorf("ingest: decode checkpoint %s: %w", path, err)
+	}
+	if wire.Version != CheckpointFormatVersion {
+		return nil, 0, wal.Pos{}, fmt.Errorf("ingest: checkpoint %s: version %d, this build reads %d",
+			path, wire.Version, CheckpointFormatVersion)
+	}
+	if crc32.Checksum(wire.Snapshot, checkpointCRC) != wire.CRC {
+		return nil, 0, wal.Pos{}, fmt.Errorf("ingest: checkpoint %s: snapshot checksum mismatch", path)
+	}
+	b, err := graph.DecodeSnapshot(bytes.NewReader(wire.Snapshot), cfg.Suffixes)
+	if err != nil {
+		return nil, 0, wal.Pos{}, fmt.Errorf("ingest: checkpoint %s: %w", path, err)
+	}
+	return b, wire.GraphVersion, wal.Pos{Segment: wire.WALSegment, Offset: wire.WALOffset}, nil
+}
+
+// replayWAL re-applies every intact WAL record at or after pos to the
+// builder, honoring the same day-rotation and staleness rules as live
+// ingestion (rotation hooks are not re-fired: their epochs were handed
+// off before the crash). Records that fail to parse despite an intact
+// CRC are counted and skipped.
+func replayWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, version uint64, cfg Config, dc *DurableConfig, info *RecoveryInfo) (*graph.Builder, uint64) {
+	day := b.Day()
+	replayErr := l.Replay(pos, func(_ wal.Pos, payload []byte) error {
+		perr := logio.ReadEvents(bytes.NewReader(payload), func(e logio.Event) error {
+			if e.Day < day {
+				return nil
+			}
+			if e.Day > day {
+				b = graph.NewBuilder(cfg.Network, e.Day, cfg.Suffixes)
+				day = e.Day
+			}
+			switch e.Kind {
+			case logio.EventQuery:
+				b.AddQuery(e.Machine, e.Domain)
+				if cfg.Activity != nil {
+					cfg.Activity.MarkDomain(e.Day, e.Domain)
+					cfg.Activity.MarkE2LD(e.Day, cfg.Suffixes.E2LD(e.Domain))
+				}
+			case logio.EventResolution:
+				for _, ip := range e.IPs {
+					b.AddResolution(e.Domain, ip)
+				}
+			}
+			info.ReplayedEvents++
+			inc(dc.m.ReplayedEvents)
+			return nil
+		})
+		if perr != nil {
+			info.ReplayErrors++
+			inc(dc.m.ReplayErrors)
+		}
+		return nil
+	})
+	// Replay only fails on I/O errors; corruption stops it silently. An
+	// I/O failure mid-replay still leaves a usable (shorter) prefix.
+	if replayErr != nil {
+		info.ReplayErrors++
+		inc(dc.m.ReplayErrors)
+	}
+	// Advancing the version by the replayed count keeps it at or beyond
+	// any value the daemon reported before the crash: every applied
+	// batch bumped the version at most once per event it contained, and
+	// each of those events is in the WAL.
+	return b, version + uint64(info.ReplayedEvents)
+}
+
+// Checkpoint durably persists the live graph and the WAL position it
+// covers, then reclaims WAL segments older than the previous checkpoint
+// generation. OpenDurable runs this periodically and at Shutdown; tests
+// and operators may force one.
+func (in *Ingester) Checkpoint() error {
+	if in.cfg.durable == nil {
+		return ErrNotDurable
+	}
+	return in.checkpoint(in.cfg.durable)
+}
+
+func (in *Ingester) checkpoint(dc *DurableConfig) error {
+	// Serialize whole checkpoints: the rename dance and lastPos tracking
+	// assume one writer at a time (the periodic loop and a forced
+	// Checkpoint may otherwise overlap).
+	in.ckptMu.Lock()
+	defer in.ckptMu.Unlock()
+	err := in.checkpointOnce(dc)
+	if err != nil {
+		inc(dc.m.CheckpointFailures)
+	} else {
+		inc(dc.m.Checkpoints)
+		if dc.m.LastCheckpointUnix != nil {
+			dc.m.LastCheckpointUnix.SetInt(time.Now().Unix())
+		}
+	}
+	return err
+}
+
+func (in *Ingester) checkpointOnce(dc *DurableConfig) error {
+	// Builder snapshot, graph version, and WAL position move together
+	// under mu — this is the whole consistency argument.
+	in.mu.Lock()
+	g := in.builder.Snapshot()
+	version := in.version
+	pos := in.wal.End()
+	in.mu.Unlock()
+
+	if err := in.wal.Sync(); err != nil {
+		return err
+	}
+	var snap bytes.Buffer
+	if err := graph.EncodeSnapshot(&snap, g); err != nil {
+		return err
+	}
+	wire := checkpointWire{
+		Version:      CheckpointFormatVersion,
+		GraphVersion: version,
+		Day:          g.Day(),
+		WALSegment:   pos.Segment,
+		WALOffset:    pos.Offset,
+		CRC:          crc32.Checksum(snap.Bytes(), checkpointCRC),
+		Snapshot:     snap.Bytes(),
+	}
+	cur := filepath.Join(dc.Dir, checkpointFile)
+	prev := filepath.Join(dc.Dir, checkpointPrevFile)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, prev); err != nil {
+			return err
+		}
+	}
+	if err := core.WriteAtomic(cur, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(wire)
+	}); err != nil {
+		return err
+	}
+	// Reclaim only up to the PREVIOUS generation's position: if this
+	// checkpoint later turns out corrupt, the fallback file still has
+	// every WAL record it needs.
+	if _, err := in.wal.TruncateBefore(dc.lastPos); err != nil {
+		return err
+	}
+	dc.lastPos = pos
+	return nil
+}
+
+// durabilityLoop drives periodic WAL syncs and checkpoints until
+// Shutdown closes durStop.
+func (in *Ingester) durabilityLoop(dc *DurableConfig) {
+	defer in.durWG.Done()
+	syncT := time.NewTicker(dc.SyncInterval)
+	defer syncT.Stop()
+	ckptT := time.NewTicker(dc.CheckpointEvery)
+	defer ckptT.Stop()
+	for {
+		select {
+		case <-in.durStop:
+			return
+		case <-syncT.C:
+			in.wal.Sync()
+		case <-ckptT.C:
+			in.checkpoint(dc)
+		}
+	}
+}

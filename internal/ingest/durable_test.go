@@ -1,0 +1,397 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"segugio/internal/faultinject"
+	"segugio/internal/graph"
+	"segugio/internal/logio"
+	"segugio/internal/metrics"
+	"segugio/internal/wal"
+)
+
+func newDurableMetrics() *DurableMetrics {
+	r := metrics.NewRegistry()
+	return &DurableMetrics{
+		WAL: wal.Metrics{
+			Appends:     r.NewCounter("wal_appends", "", ""),
+			Syncs:       r.NewCounter("wal_syncs", "", ""),
+			TornRecords: r.NewCounter("wal_torn", "", ""),
+			Segments:    r.NewGauge("wal_segments", "", ""),
+		},
+		ReplayedEvents:      r.NewCounter("replayed", "", ""),
+		ReplayErrors:        r.NewCounter("replay_errors", "", ""),
+		CheckpointFallbacks: r.NewCounter("ckpt_fallbacks", "", ""),
+		Checkpoints:         r.NewCounter("ckpts", "", ""),
+		CheckpointFailures:  r.NewCounter("ckpt_failures", "", ""),
+		LastCheckpointUnix:  r.NewGauge("ckpt_unix", "", ""),
+	}
+}
+
+// durableCfg builds a durable ingester config pair with fast, test-sized
+// knobs: every WAL record synced immediately, checkpoints only on
+// demand (interval far in the future).
+func durableCfg(dir string, m *Metrics, dm *DurableMetrics) (Config, DurableConfig) {
+	return Config{Network: "net", StartDay: 5, Workers: 2, Metrics: m},
+		DurableConfig{
+			Dir:             dir,
+			SyncEvery:       1,
+			CheckpointEvery: time.Hour,
+			Metrics:         dm,
+		}
+}
+
+func feed(t *testing.T, in *Ingester, m *Metrics, events []logio.Event) {
+	t.Helper()
+	before := m.EventsIngested.Value()
+	if err := in.Consume(strings.NewReader(stream(t, events))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "events applied", func() bool {
+		return m.EventsIngested.Value() == before+int64(len(events))
+	})
+}
+
+func genDurableEvents(day, n int) []logio.Event {
+	var evs []logio.Event
+	for i := 0; i < n; i++ {
+		evs = append(evs, logio.Event{
+			Kind: logio.EventQuery, Day: day,
+			Machine: fmt.Sprintf("m%03d", i%37),
+			Domain:  fmt.Sprintf("h%d.zone%d.net", i%29, i%11),
+		})
+	}
+	return evs
+}
+
+func graphShape(g *graph.Graph) [3]int {
+	return [3]int{g.NumMachines(), g.NumDomains(), g.NumEdges()}
+}
+
+// TestDurableRecoveryFromWALOnly kills an ingester that never
+// checkpointed (simulated by skipping Shutdown's checkpoint via a fresh
+// OpenDurable on the same directory): every applied event must come
+// back from the WAL alone.
+func TestDurableRecoveryFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, info, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CheckpointLoaded || info.ReplayedEvents != 0 {
+		t.Fatalf("fresh start info = %+v", info)
+	}
+	evs := genDurableEvents(5, 1200)
+	feed(t, in, m, evs)
+	want, wantVersion := in.Snapshot()
+	// Unclean death: no Shutdown, no checkpoint. SyncEvery=1 means every
+	// applied record is already durable.
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	in2, info2, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if info2.CheckpointLoaded {
+		t.Fatalf("no checkpoint was written, info = %+v", info2)
+	}
+	if info2.ReplayedEvents != len(evs) {
+		t.Fatalf("replayed %d events, want %d", info2.ReplayedEvents, len(evs))
+	}
+	got, gotVersion := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v", graphShape(got), graphShape(want))
+	}
+	if gotVersion < wantVersion {
+		t.Fatalf("recovered version %d went backwards from %d", gotVersion, wantVersion)
+	}
+	if got.Day() != 5 {
+		t.Fatalf("recovered day %d", got.Day())
+	}
+}
+
+// TestDurableRecoveryFromCheckpointAndTail checkpoints mid-stream, feeds
+// more events, dies uncleanly, and must recover checkpoint + WAL tail.
+func TestDurableRecoveryFromCheckpointAndTail(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	dm := newDurableMetrics()
+	cfg, dc := durableCfg(dir, m, dm)
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 800))
+	if err := in.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Checkpoints.Value() != 1 {
+		t.Fatalf("checkpoints = %d", dm.Checkpoints.Value())
+	}
+	tail := genDurableEvents(5, 400)
+	for i := range tail {
+		tail[i].Machine = fmt.Sprintf("late%03d", i%23)
+	}
+	feed(t, in, m, tail)
+	want, _ := in.Snapshot()
+	// Unclean death here.
+
+	m2, _ := newMetrics()
+	dm2 := newDurableMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, dm2)
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if !info.CheckpointLoaded || info.UsedFallback {
+		t.Fatalf("info = %+v, want checkpoint without fallback", info)
+	}
+	if info.ReplayedEvents != len(tail) {
+		t.Fatalf("replayed %d, want only the %d tail events", info.ReplayedEvents, len(tail))
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v", graphShape(got), graphShape(want))
+	}
+}
+
+// TestDurableRecoveryTornWALTail truncates the WAL mid-record: recovery
+// must keep every intact record and drop only the torn one.
+func TestDurableRecoveryTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two separate consumes -> at least two WAL records (one per batch).
+	feed(t, in, m, genDurableEvents(5, 300))
+	feed(t, in, m, []logio.Event{{Kind: logio.EventQuery, Day: 5, Machine: "victim", Domain: "torn.example.com"}})
+
+	// Tear the final record's payload.
+	seg := filepath.Join(dir, walDirName, "wal-00000001.seg")
+	if err := faultinject.TruncateTail(seg, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := newMetrics()
+	dm2 := newDurableMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, dm2)
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if dm2.WAL.TornRecords.Value() != 1 {
+		t.Fatalf("torn records = %d, want 1", dm2.WAL.TornRecords.Value())
+	}
+	if info.ReplayedEvents != 300 {
+		t.Fatalf("replayed %d, want 300 (torn victim dropped)", info.ReplayedEvents)
+	}
+	g, _ := in2.Snapshot()
+	if _, ok := g.DomainIndex("torn.example.com"); ok {
+		t.Fatal("torn record's event must not survive recovery")
+	}
+}
+
+// TestDurableRecoveryCorruptCheckpointFallsBack corrupts the newest
+// checkpoint; recovery must use the previous generation plus a longer
+// WAL replay and still converge on the same graph.
+func TestDurableRecoveryCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 500))
+	if err := in.Checkpoint(); err != nil { // generation 1 (becomes .prev)
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 250))
+	if err := in.Checkpoint(); err != nil { // generation 2 (to be corrupted)
+		t.Fatal(err)
+	}
+	extra := []logio.Event{{Kind: logio.EventQuery, Day: 5, Machine: "post", Domain: "post-ckpt.example.org"}}
+	feed(t, in, m, extra)
+	want, _ := in.Snapshot()
+
+	// Flip a byte inside the newest checkpoint's snapshot payload.
+	cur := filepath.Join(dir, checkpointFile)
+	fi, err := os.Stat(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.FlipByte(cur, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := newMetrics()
+	dm2 := newDurableMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, dm2)
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if !info.CheckpointLoaded || !info.UsedFallback {
+		t.Fatalf("info = %+v, want fallback checkpoint", info)
+	}
+	if dm2.CheckpointFallbacks.Value() != 1 {
+		t.Fatalf("fallbacks = %d", dm2.CheckpointFallbacks.Value())
+	}
+	// The fallback is older, so replay covers everything after gen 1.
+	if info.ReplayedEvents != 251 {
+		t.Fatalf("replayed %d, want 251", info.ReplayedEvents)
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v", graphShape(got), graphShape(want))
+	}
+	if _, ok := got.DomainIndex("post-ckpt.example.org"); !ok {
+		t.Fatal("post-checkpoint event lost in fallback recovery")
+	}
+}
+
+// TestDurableCleanShutdownLeavesEmptyReplay verifies Shutdown's final
+// checkpoint: a restart after a clean exit replays nothing.
+func TestDurableCleanShutdownLeavesEmptyReplay(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 400))
+	want, _ := in.Snapshot()
+	in.Shutdown()
+	in.Shutdown() // idempotent with durability attached
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if !info.CheckpointLoaded || info.ReplayedEvents != 0 {
+		t.Fatalf("after clean shutdown: %+v, want checkpoint-only recovery", info)
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v", graphShape(got), graphShape(want))
+	}
+}
+
+// TestDurableRotationAcrossRestart: events from a later day land after a
+// checkpoint of the earlier day; recovery must end up on the later day.
+func TestDurableRotationAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 100))
+	if err := in.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	day6 := genDurableEvents(6, 40)
+	feed(t, in, m, day6)
+	// Unclean death.
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if info.Day != 6 {
+		t.Fatalf("recovered day %d, want 6", info.Day)
+	}
+	g, _ := in2.Snapshot()
+	if g.Day() != 6 {
+		t.Fatalf("live graph day %d, want 6", g.Day())
+	}
+	if in2.Day() != 6 {
+		t.Fatalf("ingester day %d, want 6", in2.Day())
+	}
+}
+
+// TestDurableWALTruncationKeepsFallbackWindow drives enough checkpoints
+// and segment rotations to trigger WAL reclamation, then corrupts the
+// newest checkpoint: the fallback must still find every record it
+// needs.
+func TestDurableWALTruncationKeepsFallbackWindow(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	dm := newDurableMetrics()
+	cfg, dc := durableCfg(dir, m, dm)
+	dc.SegmentBytes = 4096 // force frequent segment rotation
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		evs := genDurableEvents(5, 300)
+		for i := range evs {
+			evs[i].Machine = fmt.Sprintf("r%d-%s", round, evs[i].Machine)
+		}
+		feed(t, in, m, evs)
+		if err := in.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := in.Snapshot()
+	segs, _ := filepath.Glob(filepath.Join(dir, walDirName, "wal-*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("no wal segments on disk")
+	}
+
+	cur := filepath.Join(dir, checkpointFile)
+	fi, err := os.Stat(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.FlipByte(cur, fi.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if !info.UsedFallback {
+		t.Fatalf("info = %+v, want fallback", info)
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v (fallback window lost records)", graphShape(got), graphShape(want))
+	}
+}
+
+func TestCheckpointOnNonDurableIngester(t *testing.T) {
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1})
+	defer in.Shutdown()
+	if err := in.Checkpoint(); err != ErrNotDurable {
+		t.Fatalf("err = %v, want ErrNotDurable", err)
+	}
+}

@@ -16,6 +16,7 @@
 package ingest
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"segugio/internal/graph"
 	"segugio/internal/logio"
 	"segugio/internal/metrics"
+	"segugio/internal/wal"
 
 	"segugio/internal/activity"
 )
@@ -50,6 +52,16 @@ type Metrics struct {
 	GraphMachines     *metrics.Gauge
 	GraphDomains      *metrics.Gauge
 	GraphObservations *metrics.Gauge
+	// Panics counts panics recovered inside ingest workers (the worker
+	// restarts its drain loop instead of killing the daemon).
+	Panics *metrics.Counter
+	// TailReopens counts tailed-file reopens forced by log rotation or
+	// in-place truncation.
+	TailReopens *metrics.Counter
+	// WALAppendFailures counts applied batches that could not be logged
+	// to the write-ahead log (the daemon keeps serving; durability of
+	// those events is lost).
+	WALAppendFailures *metrics.Counter
 }
 
 func inc(c *metrics.Counter) {
@@ -64,7 +76,9 @@ func addN(c *metrics.Counter, n int64) {
 	}
 }
 
-// Config parameterizes an Ingester.
+// Config parameterizes an Ingester. The zero Config (plus a Network and
+// StartDay) is a purely in-memory ingester; OpenDurable layers the
+// write-ahead log and checkpointing on top.
 type Config struct {
 	// Network names the graphs built from the stream.
 	Network string
@@ -99,6 +113,14 @@ type Config struct {
 	OnRotate func(day int, final *graph.Graph)
 	// Metrics hooks; may be nil.
 	Metrics *Metrics
+
+	// Durability wiring, set by OpenDurable: a restored builder to resume
+	// from, the graph version it was checkpointed at, and the open WAL
+	// that apply() feeds.
+	restoredBuilder *graph.Builder
+	restoredVersion uint64
+	wal             *wal.Log
+	durable         *DurableConfig
 }
 
 // ErrShuttingDown aborts Consume loops once Shutdown has begun.
@@ -117,11 +139,22 @@ type Ingester struct {
 	closing   chan struct{}
 	closeOnce sync.Once
 
-	// mu guards the live builder, the epoch day, and the activity log.
+	// mu guards the live builder, the epoch day, the activity log, and
+	// the WAL append stream (appends happen inside apply's critical
+	// section so a checkpoint always sees builder state and WAL position
+	// move together).
 	mu      sync.Mutex
 	builder *graph.Builder
 	day     int
 	version uint64
+	walBuf  bytes.Buffer
+
+	// Durability plumbing (nil/zero without OpenDurable).
+	wal     *wal.Log
+	ckptMu  sync.Mutex
+	durStop chan struct{}
+	durWG   sync.WaitGroup
+	durOnce sync.Once
 
 	// snapMu serializes snapshot construction; the cached snapshot is
 	// reused until the underlying version moves.
@@ -151,9 +184,32 @@ func New(cfg Config) *Ingester {
 		closing: make(chan struct{}),
 		builder: graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes),
 		day:     cfg.StartDay,
+		wal:     cfg.wal,
+	}
+	if cfg.restoredBuilder != nil {
+		in.builder = cfg.restoredBuilder
+		in.day = cfg.restoredBuilder.Day()
+		in.version = cfg.restoredVersion
 	}
 	if cfg.Metrics != nil {
 		in.m = *cfg.Metrics
+	}
+	// Seed the size gauges from the (possibly checkpoint-restored)
+	// builder, so a recovered daemon reports its real graph before the
+	// first new batch lands.
+	if in.m.GraphMachines != nil {
+		in.m.GraphMachines.SetInt(int64(in.builder.NumMachines()))
+	}
+	if in.m.GraphDomains != nil {
+		in.m.GraphDomains.SetInt(int64(in.builder.NumDomains()))
+	}
+	if in.m.GraphObservations != nil {
+		in.m.GraphObservations.SetInt(int64(in.builder.NumObservations()))
+	}
+	if cfg.durable != nil {
+		in.durStop = make(chan struct{})
+		in.durWG.Add(1)
+		go in.durabilityLoop(cfg.durable)
 	}
 	in.shards = make([]chan logio.Event, cfg.Workers)
 	for s := range in.shards {
@@ -216,14 +272,30 @@ func fnv32(s string) uint32 {
 // acquisition, amortizing contention on the shared builder.
 const batchSize = 512
 
-// worker drains one shard, applying events in batches.
+// worker drains one shard until its channel closes. A panic anywhere in
+// the drain path (apply, a rotation hook, a metrics callback) is
+// recovered and counted, and the worker resumes draining: one poisonous
+// batch must not take the whole shard — let alone the daemon — down.
 func (in *Ingester) worker(ch chan logio.Event) {
 	defer in.workers.Done()
+	for !in.drainShard(ch) {
+	}
+}
+
+// drainShard applies queued events in batches, returning true once the
+// channel has closed. It returns false when a recovered panic aborted
+// the loop; the caller restarts it.
+func (in *Ingester) drainShard(ch chan logio.Event) (done bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			inc(in.m.Panics)
+		}
+	}()
 	batch := make([]logio.Event, 0, batchSize)
 	for {
 		e, ok := <-ch
 		if !ok {
-			return
+			return true
 		}
 		batch = append(batch[:0], e)
 	refill:
@@ -232,7 +304,7 @@ func (in *Ingester) worker(ch chan logio.Event) {
 			case e, ok := <-ch:
 				if !ok {
 					in.apply(batch)
-					return
+					return true
 				}
 				batch = append(batch, e)
 			default:
@@ -243,17 +315,45 @@ func (in *Ingester) worker(ch chan logio.Event) {
 	}
 }
 
+// rotation is one finalized epoch handed to the OnRotate hook.
+type rotation struct {
+	day   int
+	final *graph.Graph
+}
+
+// walFlushBytes caps one WAL record: a batch whose serialized lines
+// exceed it is split across several records.
+const walFlushBytes = 256 << 10
+
 // apply folds a batch of events into the live epoch, rotating when a
 // later day appears.
 func (in *Ingester) apply(batch []logio.Event) {
-	type rotation struct {
-		day   int
-		final *graph.Graph
-	}
-	var rotations []rotation
-	applied := int64(0)
+	rotations, applied, machines, domains, observations := in.applyLocked(batch)
 
+	addN(in.m.EventsIngested, applied)
+	if in.m.GraphMachines != nil {
+		in.m.GraphMachines.SetInt(int64(machines))
+	}
+	if in.m.GraphDomains != nil {
+		in.m.GraphDomains.SetInt(int64(domains))
+	}
+	if in.m.GraphObservations != nil {
+		in.m.GraphObservations.SetInt(int64(observations))
+	}
+	for _, r := range rotations {
+		if in.cfg.OnRotate != nil {
+			in.cfg.OnRotate(r.day, r.final)
+		}
+	}
+}
+
+// applyLocked is apply's critical section. The unlock is deferred so a
+// panic inside a builder append or activity mark cannot leave the
+// ingest mutex held when the worker's recovery kicks in.
+func (in *Ingester) applyLocked(batch []logio.Event) (rotations []rotation, applied int64, machines, domains, observations int) {
 	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.walBuf.Reset()
 	for _, e := range batch {
 		switch {
 		case e.Day < in.day:
@@ -284,29 +384,35 @@ func (in *Ingester) apply(batch []logio.Event) {
 				in.builder.AddResolution(e.Domain, ip)
 			}
 		}
+		if in.wal != nil {
+			logio.WriteEvent(&in.walBuf, e)
+			if in.walBuf.Len() >= walFlushBytes {
+				in.flushWALLocked()
+			}
+		}
 		applied++
+	}
+	if in.wal != nil {
+		in.flushWALLocked()
 	}
 	if applied > 0 {
 		in.version++
 	}
-	machines, domains, observations := in.builder.NumMachines(), in.builder.NumDomains(), in.builder.NumObservations()
-	in.mu.Unlock()
+	machines, domains, observations = in.builder.NumMachines(), in.builder.NumDomains(), in.builder.NumObservations()
+	return rotations, applied, machines, domains, observations
+}
 
-	addN(in.m.EventsIngested, applied)
-	if in.m.GraphMachines != nil {
-		in.m.GraphMachines.SetInt(int64(machines))
+// flushWALLocked appends the buffered event lines as one WAL record.
+// Append failures are counted, not fatal: segugiod stays available at
+// reduced durability rather than dying on a full disk.
+func (in *Ingester) flushWALLocked() {
+	if in.walBuf.Len() == 0 {
+		return
 	}
-	if in.m.GraphDomains != nil {
-		in.m.GraphDomains.SetInt(int64(domains))
+	if _, err := in.wal.Append(in.walBuf.Bytes()); err != nil {
+		inc(in.m.WALAppendFailures)
 	}
-	if in.m.GraphObservations != nil {
-		in.m.GraphObservations.SetInt(int64(observations))
-	}
-	for _, r := range rotations {
-		if in.cfg.OnRotate != nil {
-			in.cfg.OnRotate(r.day, r.final)
-		}
-	}
+	in.walBuf.Reset()
 }
 
 // Day returns the current epoch day.
@@ -349,7 +455,9 @@ func (in *Ingester) Snapshot() (*graph.Graph, uint64) {
 }
 
 // Shutdown drains the ingest pipeline: new and in-flight Consume loops
-// stop, queued events are applied, and workers exit. It is idempotent.
+// stop, queued events are applied, and workers exit. When the ingester
+// is durable, a final WAL sync and checkpoint run after the drain, so a
+// clean shutdown restarts with an empty replay. It is idempotent.
 func (in *Ingester) Shutdown() {
 	in.closeOnce.Do(func() {
 		close(in.closing)
@@ -359,22 +467,45 @@ func (in *Ingester) Shutdown() {
 		}
 	})
 	in.workers.Wait()
+	in.durOnce.Do(func() {
+		if in.wal == nil {
+			return
+		}
+		if in.durStop != nil {
+			close(in.durStop)
+			in.durWG.Wait()
+		}
+		if in.cfg.durable != nil {
+			in.checkpoint(in.cfg.durable)
+		}
+		in.wal.Close()
+	})
 }
 
 // TailFile consumes a file in follow mode: it reads to EOF, then polls
 // for appended data every interval until ctx is canceled (returning nil)
-// or the stream errors. This is the "tail -f" ingestion source for
-// deployments that drop event files next to the daemon.
+// or the stream errors. The poll re-stats the path each time it runs
+// dry: a rotated file (new inode at the same path) is reopened from the
+// start, and an in-place truncation (size below the read offset) seeks
+// back to zero — so logrotate-style deployments never leave the daemon
+// silently tailing a deleted fd. This is the "tail -f" ingestion source
+// for deployments that drop event files next to the daemon.
 func (in *Ingester) TailFile(ctx context.Context, path string, interval time.Duration) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
-	err = in.Consume(&followReader{ctx: ctx, f: f, interval: interval})
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	r := &followReader{ctx: ctx, path: path, f: f, fi: fi, interval: interval, reopens: in.m.TailReopens}
+	defer func() { r.f.Close() }()
+	err = in.Consume(r)
 	if errors.Is(err, ErrShuttingDown) || ctx.Err() != nil {
 		return nil
 	}
@@ -382,18 +513,29 @@ func (in *Ingester) TailFile(ctx context.Context, path string, interval time.Dur
 }
 
 // followReader blocks at EOF, polling for appended bytes until its
-// context is canceled, at which point it reports EOF.
+// context is canceled, at which point it reports EOF. Each poll checks
+// whether the path was rotated (different inode) or truncated in place
+// (size shrank below the offset already consumed) and reopens/rewinds
+// accordingly.
 type followReader struct {
 	ctx      context.Context
+	path     string
 	f        *os.File
+	fi       os.FileInfo
+	offset   int64
 	interval time.Duration
+	reopens  *metrics.Counter
 }
 
 func (r *followReader) Read(p []byte) (int, error) {
 	for {
 		n, err := r.f.Read(p)
+		r.offset += int64(n)
 		if n > 0 || (err != nil && err != io.EOF) {
 			return n, err
+		}
+		if r.checkRotated() {
+			continue
 		}
 		select {
 		case <-r.ctx.Done():
@@ -401,4 +543,35 @@ func (r *followReader) Read(p []byte) (int, error) {
 		case <-time.After(r.interval):
 		}
 	}
+}
+
+// checkRotated re-stats the tailed path and reopens or rewinds when the
+// file underneath has been swapped or truncated. It reports whether the
+// reader should immediately retry the read.
+func (r *followReader) checkRotated() bool {
+	fi, err := os.Stat(r.path)
+	if err != nil {
+		// Rotated away and not yet recreated: keep polling; the next
+		// successful stat sees a new inode and reopens.
+		return false
+	}
+	if !os.SameFile(r.fi, fi) {
+		f, err := os.Open(r.path)
+		if err != nil {
+			return false
+		}
+		r.f.Close()
+		r.f, r.fi, r.offset = f, fi, 0
+		inc(r.reopens)
+		return true
+	}
+	if fi.Size() < r.offset {
+		if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+			return false
+		}
+		r.offset = 0
+		inc(r.reopens)
+		return true
+	}
+	return false
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,6 +30,9 @@ func newMetrics() (*Metrics, *metrics.Registry) {
 		GraphMachines:     r.NewGauge("graph_machines", "", ""),
 		GraphDomains:      r.NewGauge("graph_domains", "", ""),
 		GraphObservations: r.NewGauge("graph_observations", "", ""),
+		Panics:            r.NewCounter("panics_total", "", ""),
+		TailReopens:       r.NewCounter("tail_reopens_total", "", ""),
+		WALAppendFailures: r.NewCounter("wal_append_failures_total", "", ""),
 	}, r
 }
 
@@ -344,5 +348,176 @@ func TestTailFile(t *testing.T) {
 	g, _ := in.Snapshot()
 	if g.NumMachines() != 2 {
 		t.Fatalf("machines = %d", g.NumMachines())
+	}
+}
+
+// TestTailFileRotation swaps a new file in at the tailed path (the
+// logrotate move-and-recreate dance); the tail must notice the inode
+// change and read the fresh file from the start.
+func TestTailFileRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.log")
+	if err := os.WriteFile(path, []byte("q\t1\tm1\ta.example.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.TailFile(ctx, path, 5*time.Millisecond) }()
+	waitFor(t, "pre-rotation event", func() bool { return m.EventsIngested.Value() == 1 })
+
+	// Rotate: the old file moves aside, a new one appears at the path.
+	if err := os.Rename(path, path+".1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("q\t1\tm2\tb.example.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-rotation event", func() bool { return m.EventsIngested.Value() == 2 })
+	if m.TailReopens.Value() != 1 {
+		t.Fatalf("tail reopens = %d, want 1", m.TailReopens.Value())
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	in.Shutdown()
+	g, _ := in.Snapshot()
+	if _, ok := g.DomainIndex("b.example.com"); !ok {
+		t.Fatal("rotated-in file's event missing")
+	}
+}
+
+// TestTailFileTruncation truncates the tailed file in place (copytruncate
+// rotation); the tail must rewind to offset zero instead of waiting for
+// the file to regrow past its old length.
+func TestTailFileTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.log")
+	if err := os.WriteFile(path, []byte("q\t1\tm1\tlong-first-machine.example.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.TailFile(ctx, path, 5*time.Millisecond) }()
+	waitFor(t, "pre-truncation event", func() bool { return m.EventsIngested.Value() == 1 })
+
+	// Same inode, shorter content: size drops below the consumed offset.
+	if err := os.WriteFile(path, []byte("q\t1\tm2\tb.example.com\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-truncation event", func() bool { return m.EventsIngested.Value() == 2 })
+	if m.TailReopens.Value() == 0 {
+		t.Fatal("truncation must count a tail reopen")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("tail: %v", err)
+	}
+	in.Shutdown()
+	g, _ := in.Snapshot()
+	if _, ok := g.DomainIndex("b.example.com"); !ok {
+		t.Fatal("post-truncation event missing")
+	}
+}
+
+// TestWorkerPanicRecovery poisons the OnRotate hook: the worker must
+// recover the panic, count it, and keep applying events afterwards.
+func TestWorkerPanicRecovery(t *testing.T) {
+	m, _ := newMetrics()
+	var hookCalls atomic.Int32
+	in := New(Config{
+		Network: "net", StartDay: 1, Workers: 1, Metrics: m,
+		OnRotate: func(day int, final *graph.Graph) {
+			if hookCalls.Add(1) == 1 {
+				panic("rotation hook exploded")
+			}
+		},
+	})
+	defer in.Shutdown()
+
+	if err := in.Consume(strings.NewReader("q\t1\tm1\ta.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first event", func() bool { return m.EventsIngested.Value() == 1 })
+
+	// Day 2 rotates; the hook panics on this first rotation.
+	if err := in.Consume(strings.NewReader("q\t2\tm2\tb.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "panic recovered", func() bool { return m.Panics.Value() == 1 })
+
+	// The shard must still be alive and applying.
+	if err := in.Consume(strings.NewReader("q\t2\tm3\tc.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-panic event", func() bool { return m.EventsIngested.Value() == 3 })
+
+	// A second rotation exercises the healed hook.
+	if err := in.Consume(strings.NewReader("q\t3\tm4\td.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second rotation", func() bool { return m.Rotations.Value() == 2 })
+	if hookCalls.Load() != 2 {
+		t.Fatalf("hook ran %d times, want 2", hookCalls.Load())
+	}
+	g, _ := in.Snapshot()
+	if g.Day() != 3 {
+		t.Fatalf("day = %d, want 3", g.Day())
+	}
+}
+
+// TestSnapshotShutdownRace hammers Snapshot/Version readers against
+// concurrent dispatch and a mid-flight Shutdown; run under -race.
+func TestSnapshotShutdownRace(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 4, Metrics: m})
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in.Snapshot()
+				in.Version()
+				in.Day()
+			}
+		}()
+	}
+
+	var feeders sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		feeders.Add(1)
+		go func(s int) {
+			defer feeders.Done()
+			var b strings.Builder
+			for i := 0; i < 500; i++ {
+				fmt.Fprintf(&b, "q\t%d\tm%d-%d\tr%d.example.com\n", 1+i/250, s, i, i%40)
+			}
+			in.Consume(strings.NewReader(b.String()))
+		}(s)
+	}
+	feeders.Wait()
+	in.Shutdown() // races the snapshot readers
+	close(stop)
+	readers.Wait()
+
+	g, _ := in.Snapshot()
+	if g.NumDomains() == 0 {
+		t.Fatal("empty graph after concurrent ingest")
 	}
 }

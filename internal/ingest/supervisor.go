@@ -1,0 +1,119 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"segugio/internal/metrics"
+)
+
+// Source supervision: segugiod's event sources (a tailed file, a TCP
+// listener, a stdin pipe) live in a hostile world — files vanish mid-
+// rotation, listeners hit transient EMFILE, a parse error aborts a
+// stream. Supervise keeps a source running across such failures with
+// exponential backoff plus jitter, recovers panics, and gives up only
+// when told to (restart cap) or when the context ends.
+
+// SupervisorConfig parameterizes Supervise.
+type SupervisorConfig struct {
+	// Name labels the source in log lines.
+	Name string
+	// InitialBackoff is the delay after the first failure (default
+	// 100ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 30s).
+	MaxBackoff time.Duration
+	// ResetAfter declares a run healthy once it has survived this long:
+	// the next failure backs off from InitialBackoff again (default
+	// 60s).
+	ResetAfter time.Duration
+	// MaxRestarts gives up after this many consecutive failed runs
+	// (0 means never give up).
+	MaxRestarts int
+	// Restarts counts restarts; may be nil.
+	Restarts *metrics.Counter
+	// Panics counts recovered panics; may be nil.
+	Panics *metrics.Counter
+	// Logf receives one line per failure and restart; may be nil.
+	Logf func(format string, args ...any)
+
+	// now and randFloat are test seams; nil means the real clock/rand.
+	now       func() time.Time
+	randFloat func() float64
+}
+
+// Supervise runs fn until it returns nil (the source completed), the
+// context is canceled, or MaxRestarts consecutive failures occurred (in
+// which case the last error is returned). A non-nil error or a panic
+// from fn triggers a restart after a jittered exponential backoff.
+func Supervise(ctx context.Context, cfg SupervisorConfig, fn func(context.Context) error) error {
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.ResetAfter <= 0 {
+		cfg.ResetAfter = time.Minute
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.randFloat == nil {
+		cfg.randFloat = rand.Float64
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	backoff := cfg.InitialBackoff
+	failures := 0
+	for {
+		started := cfg.now()
+		err := runRecovered(ctx, cfg.Panics, fn)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil // shutdown, not a source failure
+		}
+		if cfg.now().Sub(started) >= cfg.ResetAfter {
+			backoff = cfg.InitialBackoff
+			failures = 0
+		}
+		failures++
+		if cfg.MaxRestarts > 0 && failures > cfg.MaxRestarts {
+			logf("source %s: giving up after %d consecutive failures: %v", cfg.Name, failures-1, err)
+			return fmt.Errorf("ingest: source %s failed %d times, last: %w", cfg.Name, failures-1, err)
+		}
+		// Full jitter in [backoff/2, backoff): restarting fleets must not
+		// thunder back in lockstep.
+		delay := backoff/2 + time.Duration(cfg.randFloat()*float64(backoff/2))
+		logf("source %s: %v; restarting in %v", cfg.Name, err, delay.Round(time.Millisecond))
+		inc(cfg.Restarts)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+		if backoff *= 2; backoff > cfg.MaxBackoff {
+			backoff = cfg.MaxBackoff
+		}
+	}
+}
+
+// runRecovered invokes fn, converting a panic into an error so the
+// supervisor treats it like any other failure instead of letting it
+// unwind the daemon.
+func runRecovered(ctx context.Context, panics *metrics.Counter, fn func(context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inc(panics)
+			err = fmt.Errorf("ingest: source panicked: %v", r)
+		}
+	}()
+	return fn(ctx)
+}

@@ -113,6 +113,9 @@ type Config struct {
 	Registry *metrics.Registry
 	// MaxClassifyDomains bounds one classify request (default 10000).
 	MaxClassifyDomains int
+	// Panics, when non-nil, counts panics recovered in HTTP handlers: the
+	// panicking request is answered 500 instead of killing the daemon.
+	Panics *metrics.Counter
 }
 
 // Server is the daemon's HTTP API. Create with New, then serve its
@@ -172,8 +175,29 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the root http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root http.Handler: the mux wrapped in panic
+// recovery, so one poisonous request is answered 500 instead of tearing
+// the connection (or, unhandled, the daemon) down.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec) // deliberate connection abort, not a bug
+			}
+			if s.cfg.Panics != nil {
+				s.cfg.Panics.Inc()
+			}
+			// Best effort: if the handler already wrote headers this is a
+			// no-op on the status line, but the request still terminates.
+			s.writeError(w, http.StatusInternalServerError, "internal server error")
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // writeJSON renders v with the given status.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

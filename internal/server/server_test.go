@@ -463,3 +463,50 @@ func TestConcurrentRequests(t *testing.T) {
 	wg.Wait()
 	<-done
 }
+
+// panickingSource poisons every Snapshot call, driving the handler
+// panic-recovery middleware.
+type panickingSource struct{}
+
+func (panickingSource) Snapshot() (*graph.Graph, uint64) { panic("snapshot exploded") }
+func (panickingSource) Day() int                         { return 1 }
+
+func TestHandlerPanicRecovery(t *testing.T) {
+	reg := metrics.NewRegistry()
+	panics := reg.NewCounter("panics", "", "")
+	s := New(Config{
+		Graphs:   panickingSource{},
+		Registry: reg,
+		Panics:   panics,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// healthz calls Snapshot, which panics: the request must come back as
+	// a 500, not a dropped connection or a dead server.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("panicking handler must still answer: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "internal server error") {
+		t.Fatalf("body = %s", body)
+	}
+	if panics.Value() != 1 {
+		t.Fatalf("panics counter = %d, want 1", panics.Value())
+	}
+
+	// The server survives and keeps serving subsequent requests.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics after panic: status %d", resp.StatusCode)
+	}
+}

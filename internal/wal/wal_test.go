@@ -1,0 +1,313 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segugio/internal/faultinject"
+	"segugio/internal/metrics"
+)
+
+func newMetrics() *Metrics {
+	r := metrics.NewRegistry()
+	return &Metrics{
+		Appends:     r.NewCounter("appends", "", ""),
+		Bytes:       r.NewCounter("bytes", "", ""),
+		Syncs:       r.NewCounter("syncs", "", ""),
+		TornRecords: r.NewCounter("torn", "", ""),
+		Segments:    r.NewGauge("segments", "", ""),
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func collect(t *testing.T, l *Log, from Pos) []string {
+	t.Helper()
+	var got []string
+	if err := l.Replay(from, func(pos Pos, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncEvery: 1})
+	var want []string
+	for i := 0; i < 100; i++ {
+		rec := fmt.Sprintf("record-%03d", i)
+		want = append(want, rec)
+		if _, err := l.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, l, Pos{})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and replay again: durability across close.
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := collect(t, l2, Pos{}); len(got) != len(want) {
+		t.Fatalf("after reopen: %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestReplayFromPosition(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{SyncEvery: 1})
+	defer l.Close()
+	var positions []Pos
+	for i := 0; i < 10; i++ {
+		p, err := l.Append([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		positions = append(positions, p)
+	}
+	got := collect(t, l, positions[7])
+	if len(got) != 3 || got[0] != "r7" || got[2] != "r9" {
+		t.Fatalf("replay from positions[7] = %v", got)
+	}
+	// End() replays nothing.
+	if got := collect(t, l, l.End()); len(got) != 0 {
+		t.Fatalf("replay from End = %v", got)
+	}
+}
+
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	m := newMetrics()
+	l := mustOpen(t, t.TempDir(), Options{SegmentBytes: 128, SyncEvery: 1, Metrics: m})
+	defer l.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d-xxxxxxxxxxxxxxxx", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Segments.Value() < 3 {
+		t.Fatalf("expected several segments, have %v", m.Segments.Value())
+	}
+	if got := collect(t, l, Pos{}); len(got) != 50 {
+		t.Fatalf("replayed %d, want 50", len(got))
+	}
+
+	end := l.End()
+	removed, err := l.TruncateBefore(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("expected old segments removed")
+	}
+	// Records in the active segment survive; the log stays usable.
+	if _, err := l.Append([]byte("after-truncate")); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, end)
+	if len(got) != 1 || got[0] != "after-truncate" {
+		t.Fatalf("after truncate: %v", got)
+	}
+}
+
+// TestTornTailTruncatedOnOpen simulates a crash mid-write: the final
+// record loses its trailing bytes. Open must truncate it and resume
+// appending cleanly after the last intact record.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncEvery: 1})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("intact-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Append([]byte("doomed-final-record")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, segmentName(1))
+	if err := faultinject.TruncateTail(seg, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newMetrics()
+	l2 := mustOpen(t, dir, Options{SyncEvery: 1, Metrics: m})
+	defer l2.Close()
+	if m.TornRecords.Value() != 1 {
+		t.Fatalf("torn records = %d, want 1", m.TornRecords.Value())
+	}
+	got := collect(t, l2, Pos{})
+	if len(got) != 5 || got[4] != "intact-4" {
+		t.Fatalf("after torn-tail repair: %v", got)
+	}
+	// New appends land where the torn record was and replay correctly.
+	if _, err := l2.Append([]byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+	got = collect(t, l2, Pos{})
+	if len(got) != 6 || got[5] != "reborn" {
+		t.Fatalf("after repair+append: %v", got)
+	}
+}
+
+// TestCorruptTailRecord flips a byte inside the final record's payload:
+// the CRC must catch it and Open must truncate it away.
+func TestCorruptTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncEvery: 1})
+	if _, err := l.Append([]byte("good-record")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Append([]byte("bad-record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, segmentName(1))
+	if err := faultinject.FlipByte(seg, p.Offset+headerSize+2); err != nil {
+		t.Fatal(err)
+	}
+
+	m := newMetrics()
+	l2 := mustOpen(t, dir, Options{Metrics: m})
+	defer l2.Close()
+	if m.TornRecords.Value() != 1 {
+		t.Fatalf("torn records = %d, want 1", m.TornRecords.Value())
+	}
+	got := collect(t, l2, Pos{})
+	if len(got) != 1 || got[0] != "good-record" {
+		t.Fatalf("after corrupt-tail repair: %v", got)
+	}
+}
+
+// TestCorruptLengthField writes garbage over a record header so the
+// length decodes absurdly large; the scan must stop there rather than
+// allocate or read past the end.
+func TestCorruptLengthField(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncEvery: 1})
+	if _, err := l.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Append([]byte("overwrite-my-header"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, segmentName(1))
+	for off := int64(0); off < 4; off++ {
+		if err := faultinject.WriteByte(seg, p.Offset+off, 0xff); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	got := collect(t, l2, Pos{})
+	if len(got) != 1 || got[0] != "keep-me" {
+		t.Fatalf("after corrupt length: %v", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{})
+	defer l.Close()
+	if _, err := l.Append(make([]byte, maxRecordBytes+1)); err != ErrTooLarge {
+		t.Fatalf("oversized append: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSyncBatching(t *testing.T) {
+	m := newMetrics()
+	l := mustOpen(t, t.TempDir(), Options{SyncEvery: 10, Metrics: m})
+	defer l.Close()
+	for i := 0; i < 25; i++ {
+		if _, err := l.Append([]byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Syncs.Value() != 2 {
+		t.Fatalf("batch syncs = %d, want 2", m.Syncs.Value())
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Syncs.Value() != 3 {
+		t.Fatalf("after explicit sync: %d, want 3", m.Syncs.Value())
+	}
+	// Sync with nothing unsynced is a no-op.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Syncs.Value() != 3 {
+		t.Fatalf("idle sync bumped counter to %d", m.Syncs.Value())
+	}
+}
+
+// TestOpenIgnoresForeignFiles keeps the directory scan resilient to
+// stray files (editor droppings, checkpoints living alongside).
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint.gob"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := mustOpen(t, dir, Options{SyncEvery: 1})
+	defer l.Close()
+	if _, err := l.Append([]byte("works")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l, Pos{}); len(got) != 1 {
+		t.Fatalf("replay = %v", got)
+	}
+}
+
+func TestPosOrdering(t *testing.T) {
+	cases := []struct {
+		p, q   Pos
+		before bool
+	}{
+		{Pos{1, 0}, Pos{1, 1}, true},
+		{Pos{1, 100}, Pos{2, 0}, true},
+		{Pos{2, 0}, Pos{1, 100}, false},
+		{Pos{1, 5}, Pos{1, 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Before(c.q); got != c.before {
+			t.Fatalf("%v Before %v = %v, want %v", c.p, c.q, got, c.before)
+		}
+	}
+}
