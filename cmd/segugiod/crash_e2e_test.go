@@ -189,6 +189,9 @@ func TestDaemonCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("restart on crashed state: %v", err)
 	}
+	// Recovery runs inside newDaemon, so its log lines are already in
+	// logBuf; snapshot them before d.run starts writing concurrently.
+	recoveryLog := logBuf.String()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
@@ -197,8 +200,8 @@ func TestDaemonCrashRecovery(t *testing.T) {
 
 	// Recovery must have come from a checkpoint (one was scraped as
 	// durable before the kill) plus the WAL tail.
-	if !strings.Contains(logBuf.String(), "checkpoint") {
-		t.Fatalf("recovery did not report a checkpoint:\n%s", logBuf.String())
+	if !strings.Contains(recoveryLog, "checkpoint") {
+		t.Fatalf("recovery did not report a checkpoint:\n%s", recoveryLog)
 	}
 	// No acknowledged event lost: the full day's graph is back. genEvents
 	// yields 34 domains across 37 machines.

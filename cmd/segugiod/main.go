@@ -186,7 +186,7 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 		EventsStale: d.reg.NewCounter("segugiod_ingest_stale_total",
 			"Events discarded for belonging to a rotated-out day.", ""),
 		ParseErrors: d.reg.NewCounter("segugiod_ingest_parse_errors_total",
-			"Event streams aborted by malformed input.", ""),
+			"Malformed event lines (they abort stdin/TCP streams and are skipped by the tail source).", ""),
 		Rotations: d.reg.NewCounter("segugiod_ingest_rotations_total",
 			"Day-boundary epoch rotations.", ""),
 		GraphMachines: d.reg.NewGauge("segugiod_graph_machines",
@@ -407,9 +407,11 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 			// Supervision makes the tail robust to the file not existing
 			// yet and to transient I/O errors: the source restarts with
 			// backoff instead of silently dying for the daemon's lifetime.
-			err := ingest.Supervise(srcCtx, d.supervisorConfig("tail"), func(ctx context.Context) error {
-				return d.ing.TailFile(ctx, d.opts.events, 0)
-			})
+			// One Tailer is shared across restarts so each run resumes at
+			// the last fully consumed line instead of re-ingesting (and
+			// double-counting) the whole file.
+			tailer := d.ing.NewTailer(d.opts.events, 0)
+			err := ingest.Supervise(srcCtx, d.supervisorConfig("tail"), tailer.Run)
 			if err != nil {
 				d.logger.Printf("tail %s: %v", d.opts.events, err)
 			}

@@ -206,15 +206,22 @@ func OpenDurable(cfg Config, dc DurableConfig) (*Ingester, *RecoveryInfo, error)
 // returning the restored builder, its graph version, and the WAL replay
 // position. A nil builder means fresh start.
 func loadCheckpoints(dc *DurableConfig, cfg Config, info *RecoveryInfo) (*graph.Builder, uint64, wal.Pos) {
-	b, version, pos, err := readCheckpoint(filepath.Join(dc.Dir, checkpointFile), cfg)
+	cur := filepath.Join(dc.Dir, checkpointFile)
+	b, version, pos, err := readCheckpoint(cur, cfg)
 	if err == nil {
 		info.CheckpointLoaded = true
 		return b, version, pos
 	}
 	discarded := !errors.Is(err, os.ErrNotExist)
 	if discarded {
-		// The newest checkpoint existed but was torn or corrupt.
+		// The newest checkpoint existed but was torn or corrupt. Delete
+		// it so the next checkpointOnce does not rotate a known-bad file
+		// over the previous generation — that rename would destroy the
+		// only proven-good checkpoint before the newly written current
+		// one has ever been validated. Best effort: if the remove fails
+		// the file simply stays and the old (weaker) behavior applies.
 		inc(dc.m.CheckpointFallbacks)
+		os.Remove(cur)
 	}
 	b, version, pos, err = readCheckpoint(filepath.Join(dc.Dir, checkpointPrevFile), cfg)
 	if err != nil {
@@ -253,9 +260,14 @@ func readCheckpoint(path string, cfg Config) (*graph.Builder, uint64, wal.Pos, e
 
 // replayWAL re-applies every intact WAL record at or after pos to the
 // builder, honoring the same day-rotation and staleness rules as live
-// ingestion (rotation hooks are not re-fired: their epochs were handed
-// off before the crash). Records that fail to parse despite an intact
-// CRC are counted and skipped.
+// ingestion. Rotation hooks are not re-fired for day boundaries found in
+// the WAL tail, which makes OnRotate delivery at-most-once across
+// crashes: a rotating event is logged inside applyLocked but the hook
+// only runs after the lock is released, so a crash in that window
+// durably records the rotation yet never delivers the finalized epoch on
+// either side of the crash. Consumers needing exactly-once epoch
+// handoff must persist their own handoff state. Records that fail to
+// parse despite an intact CRC are counted and skipped.
 func replayWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, version uint64, cfg Config, dc *DurableConfig, info *RecoveryInfo) (*graph.Builder, uint64) {
 	day := b.Day()
 	replayErr := l.Replay(pos, func(_ wal.Pos, payload []byte) error {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"segugio/internal/dnsutil"
 	"segugio/internal/faultinject"
 	"segugio/internal/graph"
 	"segugio/internal/logio"
@@ -386,6 +387,175 @@ func TestDurableWALTruncationKeepsFallbackWindow(t *testing.T) {
 	if graphShape(got) != graphShape(want) {
 		t.Fatalf("recovered shape %v, want %v (fallback window lost records)", graphShape(got), graphShape(want))
 	}
+}
+
+// TestWALFlushFitsRecordCap pins the sizing invariant the WAL batching
+// relies on: the flush threshold triggers after a line is appended, so a
+// record can reach walFlushBytes plus one maximum-size event line (incl.
+// newline) and must still be accepted by wal.Append.
+func TestWALFlushFitsRecordCap(t *testing.T) {
+	if walFlushBytes+logio.MaxLineBytes+1 > wal.MaxRecordBytes {
+		t.Fatalf("walFlushBytes (%d) + logio.MaxLineBytes (%d) + 1 exceeds wal.MaxRecordBytes (%d): "+
+			"a batch holding large resolution lines would be rejected and silently lose durability",
+			walFlushBytes, logio.MaxLineBytes, wal.MaxRecordBytes)
+	}
+}
+
+// TestDurableLargeBatchKeepsDurability builds one worker batch whose
+// serialized size straddles the WAL flush threshold with a huge
+// resolution line on top: no WAL append may fail, and every applied
+// event must come back on recovery. (Regression: the record used to be
+// handed to wal.Append only after the oversized line was already in the
+// buffer, tripping ErrTooLarge and dropping the whole batch's
+// durability.)
+func TestDurableLargeBatchKeepsDurability(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	cfg.Workers = 1
+	cfg.QueueDepth = 1024
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 511 padded query lines (~200 KiB total) followed by one ~900 KiB
+	// line (a grotesque machine ID — only the serialized size matters
+	// here): drained as a single 512-event batch below, whose WAL record
+	// would have exceeded a 1 MiB cap.
+	pad := strings.Repeat("x", 350)
+	var evs []logio.Event
+	for i := 0; i < 511; i++ {
+		evs = append(evs, logio.Event{
+			Kind: logio.EventQuery, Day: 5,
+			Machine: fmt.Sprintf("m%04d-%s", i, pad),
+			Domain:  fmt.Sprintf("h%d.zone.net", i%7),
+		})
+	}
+	evs = append(evs, logio.Event{
+		Kind: logio.EventQuery, Day: 5,
+		Machine: "fat-" + strings.Repeat("m", 900_000),
+		Domain:  "fat.query.net",
+	})
+
+	// Stall the single worker on the builder lock so the whole stream
+	// queues up and drains as one maximal batch.
+	in.mu.Lock()
+	if err := in.Consume(strings.NewReader(stream(t, evs))); err != nil {
+		in.mu.Unlock()
+		t.Fatal(err)
+	}
+	in.mu.Unlock()
+	waitFor(t, "batch applied", func() bool {
+		return m.EventsIngested.Value() == int64(len(evs))
+	})
+	if m.WALAppendFailures.Value() != 0 {
+		t.Fatalf("wal append failures = %d, want 0", m.WALAppendFailures.Value())
+	}
+	want, _ := in.Snapshot()
+	// Unclean death: recovery must replay every event, including the fat
+	// resolution line.
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if info.ReplayedEvents != len(evs) {
+		t.Fatalf("replayed %d events, want %d", info.ReplayedEvents, len(evs))
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v", graphShape(got), graphShape(want))
+	}
+	if _, ok := got.DomainIndex("fat.query.net"); !ok {
+		t.Fatal("oversized query line lost")
+	}
+}
+
+// TestDurableFallbackSurvivesNextCheckpoint: after a recovery that fell
+// back to the previous checkpoint generation, the first new checkpoint
+// must not rotate the known-corrupt current file over the proven-good
+// fallback. A second corruption of the (new) current checkpoint must
+// therefore still recover through a valid previous generation.
+func TestDurableFallbackSurvivesNextCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 500))
+	if err := in.Checkpoint(); err != nil { // generation A (becomes .prev)
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 250))
+	if err := in.Checkpoint(); err != nil { // generation B (to be corrupted)
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, checkpointFile)
+	fi, err := os.Stat(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.FlipByte(cur, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery #1 falls back to generation A.
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.UsedFallback {
+		t.Fatalf("info = %+v, want fallback", info)
+	}
+	// The first post-fallback checkpoint must leave a loadable previous
+	// generation behind (generation A, not the corrupt B).
+	extra := []logio.Event{{Kind: logio.EventQuery, Day: 5, Machine: "late", Domain: "late.example.net"}}
+	feed(t, in2, m2, extra)
+	if err := in2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := in2.Snapshot()
+	cfgRead := cfg2
+	cfgRead.Suffixes = dnsutil.DefaultSuffixList()
+	if _, _, _, err := readCheckpoint(filepath.Join(dir, checkpointPrevFile), cfgRead); err != nil {
+		t.Fatalf("previous checkpoint generation unreadable after post-fallback checkpoint: %v", err)
+	}
+
+	// Corrupt the freshly written current checkpoint: recovery #2 must
+	// still come back through the valid previous generation.
+	fi, err = os.Stat(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.FlipByte(cur, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	m3, _ := newMetrics()
+	cfg3, dc3 := durableCfg(dir, m3, newDurableMetrics())
+	in3, info3, err := OpenDurable(cfg3, dc3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in3.Shutdown()
+	if !info3.CheckpointLoaded || !info3.UsedFallback {
+		t.Fatalf("info = %+v, want successful fallback recovery", info3)
+	}
+	got, _ := in3.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v (good fallback generation was clobbered)", graphShape(got), graphShape(want))
+	}
+	if _, ok := got.DomainIndex("late.example.net"); !ok {
+		t.Fatal("post-fallback event lost")
+	}
+	_ = in2 // left un-shutdown: it simulated a second unclean death
 }
 
 func TestCheckpointOnNonDurableIngester(t *testing.T) {

@@ -16,11 +16,13 @@
 package ingest
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,7 +45,9 @@ type Metrics struct {
 	// EventsStale counts events discarded for belonging to an already
 	// rotated-out day.
 	EventsStale *metrics.Counter
-	// ParseErrors counts streams aborted by malformed input.
+	// ParseErrors counts malformed input: a bad line aborts stream
+	// sources (stdin, TCP) and is counted and skipped by the tail
+	// source, which must survive whatever lands in a live log file.
 	ParseErrors *metrics.Counter
 	// Rotations counts epoch rotations.
 	Rotations *metrics.Counter
@@ -109,7 +113,10 @@ type Config struct {
 	// OnRotate, when non-nil, is called with the finalized graph of each
 	// completed epoch. It runs outside the ingest lock but on a worker
 	// goroutine: heavy work should be handed off. It must not call back
-	// into the Ingester.
+	// into the Ingester. With a durable ingester delivery is
+	// at-most-once across crashes: a crash between the WAL logging of a
+	// rotating event and the hook call loses that delivery, and WAL
+	// replay does not re-fire hooks.
 	OnRotate func(day int, final *graph.Graph)
 	// Metrics hooks; may be nil.
 	Metrics *Metrics
@@ -148,6 +155,7 @@ type Ingester struct {
 	day     int
 	version uint64
 	walBuf  bytes.Buffer
+	walLine bytes.Buffer // scratch for one encoded event line
 
 	// Durability plumbing (nil/zero without OpenDurable).
 	wal     *wal.Log
@@ -322,7 +330,11 @@ type rotation struct {
 }
 
 // walFlushBytes caps one WAL record: a batch whose serialized lines
-// exceed it is split across several records.
+// exceed it is split across several records. The flush triggers after an
+// appended line crosses the threshold, so a record can reach
+// walFlushBytes + one maximum-size event line — the constant must keep
+// that sum under wal.MaxRecordBytes (asserted in tests) or batches
+// holding large resolution lines would be rejected by wal.Append.
 const walFlushBytes = 256 << 10
 
 // apply folds a batch of events into the live epoch, rotating when a
@@ -385,7 +397,18 @@ func (in *Ingester) applyLocked(batch []logio.Event) (rotations []rotation, appl
 			}
 		}
 		if in.wal != nil {
-			logio.WriteEvent(&in.walBuf, e)
+			in.walLine.Reset()
+			logio.WriteEvent(&in.walLine, e)
+			// Flush first if this line would push the buffered record
+			// past the WAL's cap: wal.Append rejects oversized records
+			// wholesale, which would silently void durability for every
+			// event already in the buffer. Unreachable while
+			// walFlushBytes + logio.MaxLineBytes fits in a record
+			// (asserted in tests), but cheap insurance against drift.
+			if in.walBuf.Len() > 0 && in.walBuf.Len()+in.walLine.Len() > wal.MaxRecordBytes {
+				in.flushWALLocked()
+			}
+			in.walBuf.Write(in.walLine.Bytes())
 			if in.walBuf.Len() >= walFlushBytes {
 				in.flushWALLocked()
 			}
@@ -484,47 +507,188 @@ func (in *Ingester) Shutdown() {
 
 // TailFile consumes a file in follow mode: it reads to EOF, then polls
 // for appended data every interval until ctx is canceled (returning nil)
-// or the stream errors. The poll re-stats the path each time it runs
-// dry: a rotated file (new inode at the same path) is reopened from the
-// start, and an in-place truncation (size below the read offset) seeks
-// back to zero — so logrotate-style deployments never leave the daemon
-// silently tailing a deleted fd. This is the "tail -f" ingestion source
-// for deployments that drop event files next to the daemon.
+// or the file errors. A rotated file (new inode at the same path) is
+// reopened from the start, and an in-place truncation (size below the
+// read offset) rewinds to zero — so logrotate-style deployments never
+// leave the daemon silently tailing a deleted fd. This is the "tail -f"
+// ingestion source for deployments that drop event files next to the
+// daemon; it is shorthand for NewTailer(path, interval).Run(ctx).
 func (in *Ingester) TailFile(ctx context.Context, path string, interval time.Duration) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
+	return in.NewTailer(path, interval).Run(ctx)
+}
+
+// Tailer follows one event file at line granularity and remembers how
+// far it got: the byte offset just past the last fully read line, plus
+// the identity of the file that offset belongs to. The state survives
+// across Run calls, so a supervisor that restarts a failed tail source
+// resumes exactly where the previous run stopped instead of re-ingesting
+// — and double-counting — everything the file already delivered.
+// Malformed lines are counted and skipped rather than aborting the
+// stream, so one bad line cannot put a supervised tail into an infinite
+// restart/re-ingest loop. A Tailer is not safe for concurrent Run calls.
+type Tailer struct {
+	in       *Ingester
+	path     string
+	interval time.Duration
+
+	// offset is the resume point: every line before it was fully read
+	// (dispatched or deliberately skipped). fi identifies the file the
+	// offset belongs to; nil means start from scratch.
+	offset int64
+	fi     os.FileInfo
+}
+
+// NewTailer builds a Tailer for path polling at interval (default
+// 500ms). Pass its Run to Supervise to get a tail source that survives
+// transient I/O failures without replaying consumed data.
+func (in *Ingester) NewTailer(path string, interval time.Duration) *Tailer {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
+	}
+	return &Tailer{in: in, path: path, interval: interval}
+}
+
+// errFileChanged signals that the tailed path was rotated (new inode) or
+// truncated in place: the current file generation is exhausted and the
+// tail must reopen from offset zero.
+var errFileChanged = errors.New("ingest: tailed file rotated or truncated")
+
+// Run tails the file until ctx is canceled or the ingester shuts down
+// (both return nil) or an I/O error occurs (returned, so a supervisor
+// restarts the tail; the consumed offset is preserved for the next Run).
+func (t *Tailer) Run(ctx context.Context) error {
+	for {
+		err := t.runFile(ctx)
+		switch {
+		case errors.Is(err, errFileChanged):
+			// New file generation behind the same path: start it from
+			// byte zero.
+			t.fi, t.offset = nil, 0
+			inc(t.in.m.TailReopens)
+		case errors.Is(err, ErrShuttingDown) || ctx.Err() != nil:
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// runFile consumes one generation of the tailed file, resuming at the
+// remembered offset when the file on disk is still the one the offset
+// was measured against (same inode, not shrunk below it).
+func (t *Tailer) runFile(ctx context.Context) error {
+	f, err := os.Open(t.path)
+	if err != nil {
+		return err
 	}
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return err
 	}
-	r := &followReader{ctx: ctx, path: path, f: f, fi: fi, interval: interval, reopens: in.m.TailReopens}
-	defer func() { r.f.Close() }()
-	err = in.Consume(r)
-	if errors.Is(err, ErrShuttingDown) || ctx.Err() != nil {
-		return nil
+	start := int64(0)
+	if t.fi != nil && os.SameFile(t.fi, fi) && fi.Size() >= t.offset {
+		start = t.offset
 	}
-	return err
+	if start > 0 {
+		if _, err := f.Seek(start, io.SeekStart); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	t.fi, t.offset = fi, start
+	r := &followReader{ctx: ctx, closing: t.in.closing, path: t.path, f: f, fi: fi, offset: start, interval: t.interval}
+	defer f.Close()
+	return t.consume(r)
+}
+
+// consume reads line-delimited events from r, dispatching each one and
+// advancing t.offset past every fully read line — the offset therefore
+// always names a line boundary that is safe to resume from. Lines that
+// fail to parse, and lines longer than logio.MaxLineBytes, are counted
+// as parse errors and skipped.
+func (t *Tailer) consume(r *followReader) error {
+	in := t.in
+	in.consumers.Add(1)
+	defer in.consumers.Done()
+	br := bufio.NewReaderSize(r, 64<<10)
+	var line []byte
+	discarding := false // inside an over-long line, dropping until '\n'
+	var lineBytes int64 // bytes of the line accumulated so far
+	for {
+		chunk, rerr := br.ReadSlice('\n')
+		lineBytes += int64(len(chunk))
+		if !discarding {
+			line = append(line, chunk...)
+			if len(line) > logio.MaxLineBytes {
+				discarding, line = true, line[:0]
+			}
+		}
+		switch {
+		case rerr == nil:
+			if !discarding {
+				t.processLine(line)
+			} else {
+				inc(in.m.ParseErrors)
+			}
+			t.offset += lineBytes
+			line, discarding, lineBytes = line[:0], false, 0
+		case errors.Is(rerr, bufio.ErrBufferFull):
+			continue
+		case errors.Is(rerr, errFileChanged):
+			// The file was swapped or truncated underneath us. Treat an
+			// unterminated final line as complete (mirrors how scanners
+			// treat EOF without a trailing newline); the caller reopens
+			// the new generation from offset zero, resetting t.offset.
+			if !discarding && len(line) > 0 {
+				t.processLine(line)
+			}
+			return errFileChanged
+		case errors.Is(rerr, io.EOF):
+			// followReader reports EOF only when the context ended or the
+			// ingester began shutting down: leave any unterminated partial
+			// line unconsumed so the next run re-reads it from t.offset.
+			return nil
+		default:
+			return rerr
+		}
+		select {
+		case <-in.closing:
+			return ErrShuttingDown
+		default:
+		}
+	}
+}
+
+// processLine parses one event line and dispatches it; blank lines and
+// comments are ignored, malformed lines counted and dropped.
+func (t *Tailer) processLine(raw []byte) {
+	line := strings.TrimSpace(string(raw))
+	if line == "" || strings.HasPrefix(line, "#") {
+		return
+	}
+	e, err := logio.ParseEvent(line)
+	if err != nil {
+		inc(t.in.m.ParseErrors)
+		return
+	}
+	t.in.dispatch(e)
 }
 
 // followReader blocks at EOF, polling for appended bytes until its
-// context is canceled, at which point it reports EOF. Each poll checks
-// whether the path was rotated (different inode) or truncated in place
-// (size shrank below the offset already consumed) and reopens/rewinds
-// accordingly.
+// context is canceled or the ingester shuts down, at which point it
+// reports EOF. Each poll checks whether the path was rotated (different
+// inode) or truncated in place (size shrank below the offset already
+// read) and reports errFileChanged so the Tailer can reopen with a fresh
+// offset baseline.
 type followReader struct {
 	ctx      context.Context
+	closing  <-chan struct{}
 	path     string
 	f        *os.File
 	fi       os.FileInfo
 	offset   int64
 	interval time.Duration
-	reopens  *metrics.Counter
 }
 
 func (r *followReader) Read(p []byte) (int, error) {
@@ -535,43 +699,26 @@ func (r *followReader) Read(p []byte) (int, error) {
 			return n, err
 		}
 		if r.checkRotated() {
-			continue
+			return 0, errFileChanged
 		}
 		select {
 		case <-r.ctx.Done():
+			return 0, io.EOF
+		case <-r.closing:
 			return 0, io.EOF
 		case <-time.After(r.interval):
 		}
 	}
 }
 
-// checkRotated re-stats the tailed path and reopens or rewinds when the
-// file underneath has been swapped or truncated. It reports whether the
-// reader should immediately retry the read.
+// checkRotated re-stats the tailed path and reports whether the file
+// underneath has been swapped or truncated. A stat failure (rotated away
+// and not yet recreated) is not a change: the reader keeps polling until
+// a successful stat sees the new inode.
 func (r *followReader) checkRotated() bool {
 	fi, err := os.Stat(r.path)
 	if err != nil {
-		// Rotated away and not yet recreated: keep polling; the next
-		// successful stat sees a new inode and reopens.
 		return false
 	}
-	if !os.SameFile(r.fi, fi) {
-		f, err := os.Open(r.path)
-		if err != nil {
-			return false
-		}
-		r.f.Close()
-		r.f, r.fi, r.offset = f, fi, 0
-		inc(r.reopens)
-		return true
-	}
-	if fi.Size() < r.offset {
-		if _, err := r.f.Seek(0, io.SeekStart); err != nil {
-			return false
-		}
-		r.offset = 0
-		inc(r.reopens)
-		return true
-	}
-	return false
+	return !os.SameFile(r.fi, fi) || fi.Size() < r.offset
 }

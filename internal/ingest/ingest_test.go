@@ -428,6 +428,92 @@ func TestTailFileTruncation(t *testing.T) {
 	}
 }
 
+// TestTailFileSkipsMalformedLines feeds a tailed file containing garbage
+// between valid events: the tail must count and skip the bad line and
+// keep consuming, instead of aborting the stream (which would make a
+// supervisor restart re-ingest the whole file forever).
+func TestTailFileSkipsMalformedLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.log")
+	content := "q\t1\tm1\ta.example.com\n" +
+		"GARBAGE NOT AN EVENT\n" +
+		"q\t1\tm2\tb.example.com\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.TailFile(ctx, path, 5*time.Millisecond) }()
+
+	waitFor(t, "events past the garbage line", func() bool { return m.EventsIngested.Value() == 2 })
+	if m.ParseErrors.Value() != 1 {
+		t.Fatalf("parse errors = %d, want 1", m.ParseErrors.Value())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("tail must not abort on a malformed line: %v", err)
+	}
+	in.Shutdown()
+	g, _ := in.Snapshot()
+	if _, ok := g.DomainIndex("b.example.com"); !ok {
+		t.Fatal("event after the malformed line missing")
+	}
+}
+
+// TestTailerResumesAcrossRuns restarts a Tailer on the same file (the
+// supervisor scenario after a transient failure): the second run must
+// resume at the consumed offset instead of re-ingesting — and hence
+// double-counting — everything the first run already applied.
+func TestTailerResumesAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.log")
+	first := "q\t1\tm1\ta.example.com\n" + "q\t1\tm2\tb.example.com\n"
+	if err := os.WriteFile(path, []byte(first), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	tailer := in.NewTailer(path, 5*time.Millisecond)
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tailer.Run(ctx1) }()
+	waitFor(t, "first run's events", func() bool { return m.EventsIngested.Value() == 2 })
+	cancel1()
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "q\t1\tm3\tc.example.com\n")
+	f.Close()
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() { done <- tailer.Run(ctx2) }()
+	waitFor(t, "appended event", func() bool { return m.EventsIngested.Value() >= 3 })
+	// Give a re-ingesting tailer time to double-count before asserting.
+	time.Sleep(50 * time.Millisecond)
+	if got := m.EventsIngested.Value(); got != 3 {
+		t.Fatalf("ingested = %d, want 3 (restarted run must not re-consume the file)", got)
+	}
+	cancel2()
+	if err := <-done; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	in.Shutdown()
+	g, _ := in.Snapshot()
+	if g.NumMachines() != 3 {
+		t.Fatalf("machines = %d, want 3", g.NumMachines())
+	}
+}
+
 // TestWorkerPanicRecovery poisons the OnRotate hook: the worker must
 // recover the panic, count it, and keep applying events afterwards.
 func TestWorkerPanicRecovery(t *testing.T) {

@@ -29,8 +29,10 @@ type SupervisorConfig struct {
 	// the next failure backs off from InitialBackoff again (default
 	// 60s).
 	ResetAfter time.Duration
-	// MaxRestarts gives up after this many consecutive failed runs
-	// (0 means never give up).
+	// MaxRestarts caps consecutive restarts: a source that keeps failing
+	// is restarted at most this many times in a row — so it runs
+	// MaxRestarts+1 times in all — before Supervise gives up (0 means
+	// never give up).
 	MaxRestarts int
 	// Restarts counts restarts; may be nil.
 	Restarts *metrics.Counter
@@ -45,7 +47,7 @@ type SupervisorConfig struct {
 }
 
 // Supervise runs fn until it returns nil (the source completed), the
-// context is canceled, or MaxRestarts consecutive failures occurred (in
+// context is canceled, or the MaxRestarts restart cap is exhausted (in
 // which case the last error is returned). A non-nil error or a panic
 // from fn triggers a restart after a jittered exponential backoff.
 func Supervise(ctx context.Context, cfg SupervisorConfig, fn func(context.Context) error) error {
@@ -86,8 +88,12 @@ func Supervise(ctx context.Context, cfg SupervisorConfig, fn func(context.Contex
 		}
 		failures++
 		if cfg.MaxRestarts > 0 && failures > cfg.MaxRestarts {
-			logf("source %s: giving up after %d consecutive failures: %v", cfg.Name, failures-1, err)
-			return fmt.Errorf("ingest: source %s failed %d times, last: %w", cfg.Name, failures-1, err)
+			// failures counts consecutive failed runs; the restarts
+			// between them number one fewer (== MaxRestarts here).
+			logf("source %s: giving up after %d consecutive failed runs (%d restarts): %v",
+				cfg.Name, failures, failures-1, err)
+			return fmt.Errorf("ingest: source %s failed %d consecutive runs (restart cap %d), last: %w",
+				cfg.Name, failures, cfg.MaxRestarts, err)
 		}
 		// Full jitter in [backoff/2, backoff): restarting fleets must not
 		// thunder back in lockstep.

@@ -34,17 +34,18 @@ import (
 	"segugio/internal/pdns"
 )
 
-// maxLineBytes bounds a single input line; DNS names cap at 253 bytes but
-// resolution lines carry many addresses.
-const maxLineBytes = 1 << 20
+// MaxLineBytes bounds a single input line; DNS names cap at 253 bytes but
+// resolution lines carry many addresses. Exported so consumers that frame
+// lines themselves (the ingest tailer) enforce the same cap.
+const MaxLineBytes = 1 << 20
 
 // scanLines iterates non-comment lines, reporting 1-based line numbers.
-// Scanner-level failures (for example a line exceeding maxLineBytes) are
+// Scanner-level failures (for example a line exceeding MaxLineBytes) are
 // wrapped with the line number they occurred on, so no reader ever
 // silently truncates its input.
 func scanLines(r io.Reader, fn func(lineNo int, line string) error) error {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	sc.Buffer(make([]byte, 64*1024), MaxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -294,47 +295,59 @@ type Event struct {
 //	r<TAB>day<TAB>domain<TAB>ip[,ip...]
 func ReadEvents(r io.Reader, fn func(Event) error) error {
 	return scanLines(r, func(lineNo int, line string) error {
-		kind, rest, ok := strings.Cut(line, "\t")
-		if !ok {
-			return fmt.Errorf("logio: event line %d: want q|r<TAB>day<TAB>...", lineNo)
-		}
-		dayStr, rest, ok := strings.Cut(rest, "\t")
-		if !ok {
-			return fmt.Errorf("logio: event line %d: want q|r<TAB>day<TAB>...", lineNo)
-		}
-		day, err := strconv.Atoi(dayStr)
+		e, err := ParseEvent(line)
 		if err != nil {
-			return fmt.Errorf("logio: event line %d: bad day %q", lineNo, dayStr)
+			return fmt.Errorf("logio: event line %d: %w", lineNo, err)
 		}
-		switch kind {
-		case "q":
-			machine, rest, ok := strings.Cut(rest, "\t")
-			if !ok || machine == "" {
-				return fmt.Errorf("logio: event line %d: want q<TAB>day<TAB>machine<TAB>domain", lineNo)
-			}
-			domain, err := dnsutil.Normalize(rest)
-			if err != nil {
-				return fmt.Errorf("logio: event line %d: %w", lineNo, err)
-			}
-			return fn(Event{Kind: EventQuery, Day: day, Machine: machine, Domain: domain})
-		case "r":
-			name, rest, ok := strings.Cut(rest, "\t")
-			if !ok {
-				return fmt.Errorf("logio: event line %d: want r<TAB>day<TAB>domain<TAB>ip[,ip...]", lineNo)
-			}
-			domain, err := dnsutil.Normalize(name)
-			if err != nil {
-				return fmt.Errorf("logio: event line %d: %w", lineNo, err)
-			}
-			ips, err := parseIPList(rest)
-			if err != nil {
-				return fmt.Errorf("logio: event line %d: %w", lineNo, err)
-			}
-			return fn(Event{Kind: EventResolution, Day: day, Domain: domain, IPs: ips})
-		default:
-			return fmt.Errorf("logio: event line %d: unknown kind %q (want q or r)", lineNo, kind)
-		}
+		return fn(e)
 	})
+}
+
+// ParseEvent parses one event-stream line (already stripped of its
+// newline, leading/trailing space, and comment filtering). Exported for
+// consumers that frame lines themselves — the ingest tailer skips
+// malformed lines instead of aborting, so it needs per-line parsing.
+func ParseEvent(line string) (Event, error) {
+	kind, rest, ok := strings.Cut(line, "\t")
+	if !ok {
+		return Event{}, fmt.Errorf("want q|r<TAB>day<TAB>...")
+	}
+	dayStr, rest, ok := strings.Cut(rest, "\t")
+	if !ok {
+		return Event{}, fmt.Errorf("want q|r<TAB>day<TAB>...")
+	}
+	day, err := strconv.Atoi(dayStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad day %q", dayStr)
+	}
+	switch kind {
+	case "q":
+		machine, rest, ok := strings.Cut(rest, "\t")
+		if !ok || machine == "" {
+			return Event{}, fmt.Errorf("want q<TAB>day<TAB>machine<TAB>domain")
+		}
+		domain, err := dnsutil.Normalize(rest)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: EventQuery, Day: day, Machine: machine, Domain: domain}, nil
+	case "r":
+		name, rest, ok := strings.Cut(rest, "\t")
+		if !ok {
+			return Event{}, fmt.Errorf("want r<TAB>day<TAB>domain<TAB>ip[,ip...]")
+		}
+		domain, err := dnsutil.Normalize(name)
+		if err != nil {
+			return Event{}, err
+		}
+		ips, err := parseIPList(rest)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: EventResolution, Day: day, Domain: domain, IPs: ips}, nil
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q (want q or r)", kind)
+	}
 }
 
 // WriteEvent writes one event-stream line.

@@ -122,7 +122,7 @@ func TestReadersFailOnCorrectLine(t *testing.T) {
 // TestReadersOverlongLine checks that a line exceeding the scanner buffer
 // surfaces as a line-numbered error instead of silent truncation.
 func TestReadersOverlongLine(t *testing.T) {
-	long := "m1\t" + strings.Repeat("a", maxLineBytes+10) + ".com\n"
+	long := "m1\t" + strings.Repeat("a", MaxLineBytes+10) + ".com\n"
 	input := "m0\texample.com\n" + long
 	err := ReadQueryLog(strings.NewReader(input), func(machine, domain string) {})
 	if err == nil {

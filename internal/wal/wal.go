@@ -35,10 +35,13 @@ import (
 //	[n] payload
 const headerSize = 8
 
-// maxRecordBytes bounds one record; matches logio's line cap so any
-// valid event line fits, and a corrupt length field cannot cause a
-// gigantic allocation during replay.
-const maxRecordBytes = 1 << 20
+// MaxRecordBytes bounds one record. It sits comfortably above logio's
+// 1 MiB line cap so a record holding a buffered batch plus one
+// maximum-size event line always fits (the ingest layer flushes its
+// batch buffer long before this), while staying small enough that a
+// corrupt length field cannot cause a gigantic allocation during
+// replay. Exported so writers can size their batches against it.
+const MaxRecordBytes = 2 << 20
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -46,7 +49,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 var (
 	// ErrClosed is returned by operations on a closed log.
 	ErrClosed = errors.New("wal: log is closed")
-	// ErrTooLarge rejects a record above maxRecordBytes.
+	// ErrTooLarge rejects a record above MaxRecordBytes.
 	ErrTooLarge = errors.New("wal: record exceeds maximum size")
 )
 
@@ -241,7 +244,7 @@ func (l *Log) openSegment(seq uint64) error {
 // The record is durable once a Sync (explicit or batch-triggered) has
 // completed after the Append.
 func (l *Log) Append(payload []byte) (Pos, error) {
-	if len(payload) > maxRecordBytes {
+	if len(payload) > MaxRecordBytes {
 		return Pos{}, ErrTooLarge
 	}
 	l.mu.Lock()
@@ -380,7 +383,7 @@ func scanSegment(path string, start int64, fn func(off int64, payload []byte) er
 		}
 		n := binary.LittleEndian.Uint32(header[0:4])
 		want := binary.LittleEndian.Uint32(header[4:8])
-		if n > maxRecordBytes {
+		if n > MaxRecordBytes {
 			return off, 1, nil // corrupt length field
 		}
 		if cap(payload) < int(n) {

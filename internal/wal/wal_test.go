@@ -246,7 +246,7 @@ func TestAppendAfterCloseFails(t *testing.T) {
 func TestRecordTooLarge(t *testing.T) {
 	l := mustOpen(t, t.TempDir(), Options{})
 	defer l.Close()
-	if _, err := l.Append(make([]byte, maxRecordBytes+1)); err != ErrTooLarge {
+	if _, err := l.Append(make([]byte, MaxRecordBytes+1)); err != ErrTooLarge {
 		t.Fatalf("oversized append: %v, want ErrTooLarge", err)
 	}
 }
