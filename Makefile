@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench clean
+.PHONY: build test race vet check bench bench-all clean
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,15 @@ race:
 # under the race detector.
 check: vet race
 
+# bench runs the snapshot/ingest performance suite with 5 samples per
+# benchmark and archives the aggregated results as BENCH_snapshot.json.
+# It is informational (no CI gate); diff the JSON across commits to spot
+# regressions.
 bench:
+	$(GO) test -bench . -benchmem -count=5 -run '^$$' ./internal/graph ./internal/ingest \
+		| $(GO) run ./cmd/benchjson -o BENCH_snapshot.json
+
+bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 clean:

@@ -1,0 +1,177 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report, so benchmark runs can be archived and diffed mechanically:
+//
+//	go test -bench . -benchmem -count=5 -run '^$' ./internal/graph | benchjson -o BENCH_snapshot.json
+//
+// Repeated samples of the same benchmark (from -count=N) are aggregated:
+// the report carries the per-benchmark minimum (the conventional
+// steady-state estimate), mean, and sample count for ns/op and B/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasMem      bool
+}
+
+// Result is one aggregated benchmark in the JSON report.
+type Result struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	BPerOpMean  float64 `json:"b_per_op_mean,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	report, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads benchmark output from r, echoing every line to echo so the
+// tool can sit in a pipeline without hiding the underlying run.
+func parse(r io.Reader, echo io.Writer) (*Report, error) {
+	report := &Report{}
+	samples := make(map[string][]sample)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, s, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := samples[name]
+		res := Result{Name: name, Samples: len(ss)}
+		res.NsPerOp = ss[0].nsPerOp
+		for _, s := range ss {
+			if s.nsPerOp < res.NsPerOp {
+				res.NsPerOp = s.nsPerOp
+			}
+			res.NsPerOpMean += s.nsPerOp / float64(len(ss))
+			if s.hasMem {
+				if res.BPerOp == 0 || s.bytesPerOp < res.BPerOp {
+					res.BPerOp = s.bytesPerOp
+				}
+				res.BPerOpMean += s.bytesPerOp / float64(len(ss))
+				if res.AllocsPerOp == 0 || s.allocsPerOp < res.AllocsPerOp {
+					res.AllocsPerOp = s.allocsPerOp
+				}
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	return report, nil
+}
+
+// parseLine decodes one `BenchmarkName-8  123  456 ns/op  789 B/op ...`
+// result line. Unit tokens it does not know are skipped.
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", sample{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	var s sample
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+			seenNs = true
+		case "B/op":
+			s.bytesPerOp = v
+			s.hasMem = true
+		case "allocs/op":
+			s.allocsPerOp = v
+			s.hasMem = true
+		}
+	}
+	if !seenNs {
+		return "", sample{}, false
+	}
+	return name, s, true
+}

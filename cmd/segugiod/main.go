@@ -45,6 +45,7 @@ import (
 	"segugio/internal/metrics"
 	"segugio/internal/pdns"
 	"segugio/internal/server"
+	"segugio/internal/tracker"
 	"segugio/internal/wal"
 )
 
@@ -77,6 +78,11 @@ type options struct {
 	walSyncEvery     int
 	maxEventConns    int
 	eventIdleTimeout time.Duration
+
+	// classifyEvery enables the periodic tracker pass: a cached
+	// classify-all whose detections accumulate in the cross-day tracker.
+	classifyEvery time.Duration
+	pprof         bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -98,6 +104,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.walSyncEvery, "wal-sync-every", 256, "fsync the WAL after this many records (with -state; 1 = every record)")
 	fs.IntVar(&opts.maxEventConns, "max-event-conns", 64, "concurrent tcp:// event connections accepted (0 = unlimited)")
 	fs.DurationVar(&opts.eventIdleTimeout, "event-idle-timeout", 5*time.Minute, "drop a tcp:// event connection idle this long (0 = never)")
+	fs.DurationVar(&opts.classifyEvery, "classify-every", 0, "run a periodic classify-all and feed detections to the /v1/tracker history (0 = disabled; needs -model)")
+	fs.BoolVar(&opts.pprof, "pprof", true, "serve net/http/pprof under /debug/pprof/ on the API listener")
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -130,6 +138,7 @@ type daemon struct {
 	ing    *ingest.Ingester
 	srv    *server.Server
 	handle *server.DetectorHandle
+	trk    *tracker.Tracker
 
 	httpLn   net.Listener
 	eventsLn net.Listener // non-nil only for tcp:// sources
@@ -200,6 +209,10 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 			"Tailed-file reopens forced by rotation or truncation.", ""),
 		WALAppendFailures: d.reg.NewCounter("segugiod_wal_append_failures_total",
 			"Applied batches that could not be logged to the WAL.", ""),
+		SnapshotSeconds: d.reg.NewHistogram("segugiod_snapshot_seconds",
+			"Latency of taking one live-graph snapshot (incremental merge + labeling).", "", nil),
+		DirtyDomains: d.reg.NewGauge("segugiod_dirty_domains",
+			"Domains whose evidence changed between the last two snapshots.", ""),
 	}
 
 	ingCfg := ingest.Config{
@@ -270,14 +283,17 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 			return nil, err
 		}
 	}
+	d.trk = tracker.New()
 	d.srv = server.New(server.Config{
-		Graphs:   d.ing,
-		Detector: d.handle,
-		Activity: act,
-		Abuse:    abuse,
-		Window:   opts.window,
-		Registry: d.reg,
-		Panics:   d.panics,
+		Graphs:      d.ing,
+		Detector:    d.handle,
+		Activity:    act,
+		Abuse:       abuse,
+		Window:      opts.window,
+		Registry:    d.reg,
+		Panics:      d.panics,
+		Tracker:     d.trk,
+		EnablePprof: opts.pprof,
 	})
 
 	var err error
@@ -414,6 +430,34 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 			err := ingest.Supervise(srcCtx, d.supervisorConfig("tail"), tailer.Run)
 			if err != nil {
 				d.logger.Printf("tail %s: %v", d.opts.events, err)
+			}
+		}()
+	}
+
+	// Periodic tracker pass: classify-all through the delta cache, fold
+	// the detections into the cross-day tracker, and log the day diff.
+	// Failures (e.g. the graph not labeled yet at startup) only log.
+	if d.opts.classifyEvery > 0 && d.handle != nil {
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			tick := time.NewTicker(d.opts.classifyEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-srcCtx.Done():
+					return
+				case <-tick.C:
+				}
+				diff, err := d.srv.RunTrackerPass()
+				if err != nil {
+					d.logger.Printf("tracker pass: %v", err)
+					continue
+				}
+				if len(diff.New) > 0 || len(diff.Dormant) > 0 {
+					d.logger.Printf("tracker day %d: %d new, %d recurring, %d dormant",
+						diff.Day, len(diff.New), len(diff.Recurring), len(diff.Dormant))
+				}
 			}
 		}()
 	}

@@ -186,6 +186,15 @@ func (d *Detector) SetThreshold(t float64) { d.threshold = t }
 // Threshold returns the current detection threshold.
 func (d *Detector) Threshold() float64 { return d.threshold }
 
+// PruneConfig exposes the detector's pruning thresholds and whether
+// pruning is enabled at all. Score caches keyed by per-domain dirty sets
+// need this: combined with graph.PruneSignature it detects the global
+// threshold shifts (thetaD, thetaM) that can change the pruning fate of
+// domains no local mutation touched.
+func (d *Detector) PruneConfig() (graph.PruneConfig, bool) {
+	return d.cfg.Prune, !d.cfg.DisablePruning
+}
+
 // Detection is one scored domain.
 type Detection struct {
 	Domain string

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"slices"
 	"sort"
 
 	"segugio/internal/dnsutil"
@@ -14,6 +15,15 @@ import (
 //     streaming path) and call Snapshot whenever a consistent, immutable
 //     view is needed for concurrent scoring.
 //
+// Snapshotting is amortized-incremental: the edge list is kept as a
+// sorted, deduplicated base run plus a small unsorted pending buffer, so
+// Snapshot sorts only the pending delta and merges it in. Name slabs are
+// append-only and shared copy-on-write with snapshots, and the CSR
+// adjacency is shared with a per-node overlay for nodes touched since the
+// last full compaction. Compaction (a full CSR rebuild) runs when the
+// overlay grows past a fraction of the base, keeping the amortized
+// snapshot cost O(delta log delta + delta).
+//
 // Duplicate (machine, domain) observations are deduplicated at
 // Build/Snapshot time. Builder is not safe for concurrent use; callers
 // that append and snapshot from different goroutines must serialize
@@ -24,27 +34,126 @@ type Builder struct {
 	day      int
 	suffixes *dnsutil.SuffixList
 
-	machineIndex map[string]int32
-	machineIDs   []string
-	domainIndex  map[string]int32
-	domains      []string
-	domainE2LD   []string
-	domainIPs    [][]dnsutil.IPv4
+	// Interned node names. The slabs (machineIDs, domains, domainE2LD)
+	// are append-only: published prefixes are never rewritten, so a
+	// snapshot holds a length-capped view instead of a copy. The lookup
+	// maps are split into a frozen published map (shared read-only with
+	// snapshots) and a small recent map holding entries interned since
+	// the last publish; publishing re-merges the two when the recent map
+	// outgrows a fraction of the published one.
+	machinePub    map[string]int32
+	machineRecent map[string]int32
+	domainPub     map[string]int32
+	domainRecent  map[string]int32
+	machinePubGen uint64
+	domainPubGen  uint64
 
-	edges []edge
+	machineIDs []string
+	domains    []string
+	domainE2LD []string
+	domainIPs  [][]dnsutil.IPv4
+	// ipSets holds the per-domain address set for domains whose address
+	// count crossed ipSetThreshold (fast-flux); below the threshold a
+	// linear scan over domainIPs[d] is cheaper than a map.
+	ipSets map[int32]map[dnsutil.IPv4]struct{}
+
+	// Edge storage: base is sorted by (machine, domain) and deduplicated;
+	// pending collects appends since the last snapshot.
+	base    []edge
+	pending []edge
+
+	// Base CSR built at the last compaction, shared with snapshots.
+	csrMOff, csrMAdj []int32
+	csrDOff, csrDAdj []int32
+	csrNM, csrND     int
+
+	// Overlay adjacency for nodes whose edge set changed since the last
+	// compaction: ov[node] is -1 (read the base CSR row) or an index into
+	// ovAdj holding the node's full adjacency. ovMut/ipMut are change
+	// generations used to reuse the previous snapshot's frozen copies.
+	ovM, ovD       []int32
+	ovMAdj, ovDAdj [][]int32
+	ovEdges        int
+	ovMut, ipMut   uint64
+
+	// Dirty bookkeeping. freshLog records, in order, every edge that
+	// survived deduplication; ipLog every first-time (domain, address)
+	// pair. Positions are absolute (offset by freshBase/ipLogBase) so the
+	// logs can be trimmed once no baseline needs the prefix.
+	freshLog  []edge
+	freshBase int
+	ipLog     []int32
+	ipLogBase int
+
+	// Per-domain "queried at least once this window" flags and per-e2LD
+	// grouping, used to propagate first-query activity dirt to e2LD
+	// siblings (their e2LD activity features change too).
+	domainQueried []bool
+	e2lds         map[string]*e2ldEntry
+	e2ldPending   []*e2ldEntry
+
+	lastSnap      *Graph
+	lastSnapFresh int
+	lastSnapIP    int
+	lastSnapND    int
+	lastLabeled   *Graph
+
+	frozenNM, frozenND       int
+	frozenOvMut, frozenIPMut uint64
+	frozenMPubGen            uint64
+	frozenDPubGen            uint64
 }
 
 type edge struct{ m, d int32 }
+
+func edgeLess(a, b edge) bool {
+	if a.m != b.m {
+		return a.m < b.m
+	}
+	return a.d < b.d
+}
+
+func edgeCmp(a, b edge) int {
+	if a.m != b.m {
+		return int(a.m) - int(b.m)
+	}
+	return int(a.d) - int(b.d)
+}
+
+type e2ldEntry struct {
+	domains []int32
+	queried bool
+}
+
+const (
+	// ipSetThreshold is the per-domain address count past which
+	// AddResolution switches from a linear scan to a hash set. Fast-flux
+	// domains accumulate hundreds of addresses, making the scan O(n) per
+	// event and O(n²) cumulatively — the exact shape Segugio must track.
+	ipSetThreshold = 16
+	// indexPublishMin bounds how small the recent intern maps may grow
+	// before a publish is considered.
+	indexPublishMin = 64
+	// overlaySlackMin bounds how many overlay edges may accumulate before
+	// a compaction is considered.
+	overlaySlackMin = 1024
+	// logTrimMin is the minimum consumed log prefix worth compacting.
+	logTrimMin = 4096
+)
 
 // NewBuilder starts a graph for the named network and observation day.
 // The suffix list is used to annotate each domain with its effective 2LD.
 func NewBuilder(name string, day int, suffixes *dnsutil.SuffixList) *Builder {
 	return &Builder{
-		name:         name,
-		day:          day,
-		suffixes:     suffixes,
-		machineIndex: make(map[string]int32),
-		domainIndex:  make(map[string]int32),
+		name:          name,
+		day:           day,
+		suffixes:      suffixes,
+		machinePub:    make(map[string]int32),
+		machineRecent: make(map[string]int32),
+		domainPub:     make(map[string]int32),
+		domainRecent:  make(map[string]int32),
+		ipSets:        make(map[int32]map[dnsutil.IPv4]struct{}),
+		e2lds:         make(map[string]*e2ldEntry),
 	}
 }
 
@@ -63,13 +172,21 @@ func (b *Builder) NumDomains() int { return len(b.domains) }
 // NumObservations reports the raw (machine, domain) observation count,
 // before Build/Snapshot-time deduplication. It can only shrink when a
 // Build or Snapshot compacts duplicates away.
-func (b *Builder) NumObservations() int { return len(b.edges) }
+func (b *Builder) NumObservations() int { return len(b.base) + len(b.pending) }
 
 // AddQuery records that machineID queried domain during the window.
 func (b *Builder) AddQuery(machineID, domain string) {
 	m := b.machine(machineID)
 	d := b.domain(domain)
-	b.edges = append(b.edges, edge{m: m, d: d})
+	b.pending = append(b.pending, edge{m: m, d: d})
+	if !b.domainQueried[d] {
+		b.domainQueried[d] = true
+		ent := b.e2lds[b.domainE2LD[d]]
+		if !ent.queried {
+			ent.queried = true
+			b.e2ldPending = append(b.e2ldPending, ent)
+		}
+	}
 }
 
 // AddResolution annotates domain with one address it resolved to during
@@ -77,12 +194,35 @@ func (b *Builder) AddQuery(machineID, domain string) {
 // counterpart of SetDomainIPs: one resolution event at a time.
 func (b *Builder) AddResolution(domain string, ip dnsutil.IPv4) {
 	d := b.domain(domain)
-	for _, have := range b.domainIPs[d] {
-		if have == ip {
+	ips := b.domainIPs[d]
+	if set, ok := b.ipSets[d]; ok {
+		if _, dup := set[ip]; dup {
 			return
 		}
+		set[ip] = struct{}{}
+	} else if len(ips) < ipSetThreshold {
+		for _, have := range ips {
+			if have == ip {
+				return
+			}
+		}
+	} else {
+		set = make(map[dnsutil.IPv4]struct{}, len(ips)+1)
+		for _, have := range ips {
+			set[have] = struct{}{}
+		}
+		b.ipSets[d] = set
+		if _, dup := set[ip]; dup {
+			return
+		}
+		set[ip] = struct{}{}
 	}
-	b.domainIPs[d] = append(b.domainIPs[d], ip)
+	// Snapshots hold the outer slice header by value, so appending here
+	// (even growing in place within capacity) never changes what a
+	// published snapshot sees.
+	b.domainIPs[d] = append(ips, ip)
+	b.ipLog = append(b.ipLog, d)
+	b.ipMut++
 }
 
 // SetDomainIPs annotates domain with the addresses it resolved to. Calling
@@ -93,111 +233,465 @@ func (b *Builder) SetDomainIPs(domain string, ips []dnsutil.IPv4) {
 	}
 }
 
+// MarkLabeled tells the Builder that g — one of its snapshots — has had
+// ApplyLabels run with the daemon's standing label sources. Subsequent
+// snapshots use the most recent labeled snapshot as the baseline for
+// incremental relabeling, so ApplyLabels touches only nodes that changed
+// since. Callers must serialize MarkLabeled with other Builder calls.
+func (b *Builder) MarkLabeled(g *Graph) {
+	if g == nil || !g.labelsApplied || g.day != b.day || g.name != b.name {
+		return
+	}
+	if b.lastLabeled == nil || g.snapFreshPos >= b.lastLabeled.snapFreshPos {
+		b.lastLabeled = g
+	}
+}
+
+func (b *Builder) lookupMachine(id string) (int32, bool) {
+	if m, ok := b.machinePub[id]; ok {
+		return m, true
+	}
+	m, ok := b.machineRecent[id]
+	return m, ok
+}
+
+func (b *Builder) lookupDomain(name string) (int32, bool) {
+	if d, ok := b.domainPub[name]; ok {
+		return d, true
+	}
+	d, ok := b.domainRecent[name]
+	return d, ok
+}
+
 func (b *Builder) machine(id string) int32 {
-	if m, ok := b.machineIndex[id]; ok {
+	if m, ok := b.lookupMachine(id); ok {
 		return m
 	}
 	m := int32(len(b.machineIDs))
-	b.machineIndex[id] = m
+	b.machineRecent[id] = m
 	b.machineIDs = append(b.machineIDs, id)
 	return m
 }
 
 func (b *Builder) domain(name string) int32 {
-	if d, ok := b.domainIndex[name]; ok {
+	if d, ok := b.lookupDomain(name); ok {
 		return d
 	}
 	d := int32(len(b.domains))
-	b.domainIndex[name] = d
+	b.domainRecent[name] = d
 	b.domains = append(b.domains, name)
-	b.domainE2LD = append(b.domainE2LD, b.suffixes.E2LD(name))
+	e2 := b.suffixes.E2LD(name)
+	b.domainE2LD = append(b.domainE2LD, e2)
 	b.domainIPs = append(b.domainIPs, nil)
+	b.domainQueried = append(b.domainQueried, false)
+	ent := b.e2lds[e2]
+	if ent == nil {
+		ent = &e2ldEntry{}
+		b.e2lds[e2] = ent
+	}
+	ent.domains = append(ent.domains, d)
 	return d
 }
 
 // Build assembles the bidirectional CSR adjacency. The Builder remains
-// usable afterwards; Build is simply Snapshot under its historical name.
-func (b *Builder) Build() *Graph { return b.Snapshot() }
+// usable afterwards; Build forces a full compaction so batch-built graphs
+// carry plain CSR arrays exactly like always.
+func (b *Builder) Build() *Graph { return b.snapshot(true) }
 
-// Snapshot deduplicates the recorded queries and assembles an immutable
-// Graph that shares no mutable state with the Builder: further AddQuery /
-// AddResolution calls never affect a previously returned snapshot, so the
-// daemon can keep ingesting while older snapshots are being scored.
-func (b *Builder) Snapshot() *Graph {
-	nm := len(b.machineIDs)
-	nd := len(b.domains)
+// Snapshot deduplicates the pending queries, merges them into the base
+// run, and assembles an immutable Graph that shares no mutable state with
+// the Builder: further AddQuery / AddResolution calls never affect a
+// previously returned snapshot, so the daemon can keep ingesting while
+// older snapshots are being scored. The snapshot also records which
+// domains are dirty since the previous snapshot; see Graph.DirtyDomains.
+func (b *Builder) Snapshot() *Graph { return b.snapshot(false) }
 
-	// Sort by (machine, domain) and deduplicate in place. Compacting the
-	// Builder's own edge list is safe — duplicates carry no information —
-	// and keeps repeated snapshots from re-sorting the same observations.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].m != b.edges[j].m {
-			return b.edges[i].m < b.edges[j].m
-		}
-		return b.edges[i].d < b.edges[j].d
-	})
-	dedup := b.edges[:0]
-	for i, e := range b.edges {
-		if i > 0 && e == b.edges[i-1] {
+func (b *Builder) snapshot(forceCompact bool) *Graph {
+	fresh := b.mergePending()
+	b.freshLog = append(b.freshLog, fresh...)
+	if forceCompact || b.csrMOff == nil || b.ovEdges+len(fresh) > len(b.base)/4+overlaySlackMin {
+		b.compact()
+	} else if len(fresh) > 0 {
+		b.applyOverlay(fresh)
+	}
+	b.pending = b.pending[:0]
+
+	g := b.freeze()
+	b.computeDirty(g)
+	b.computeLabelDelta(g)
+	b.finishSnapshot(g)
+	return g
+}
+
+// mergePending sorts and deduplicates the pending buffer, drops edges
+// already present in base, merges the survivors into base (kept sorted),
+// and returns the fresh edges. The returned slice aliases the pending
+// buffer and is only valid until the next append.
+func (b *Builder) mergePending() []edge {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	p := b.pending
+	slices.SortFunc(p, edgeCmp)
+	w := 0
+	for i, e := range p {
+		if i > 0 && e == p[i-1] {
 			continue
 		}
-		dedup = append(dedup, e)
+		p[w] = e
+		w++
 	}
-	b.edges = dedup
-
-	g := &Graph{
-		name:         b.name,
-		day:          b.day,
-		machineIDs:   append([]string(nil), b.machineIDs...),
-		domains:      append([]string(nil), b.domains...),
-		domainE2LD:   append([]string(nil), b.domainE2LD...),
-		domainIPs:    make([][]dnsutil.IPv4, nd),
-		domainIndex:  make(map[string]int32, nd),
-		machineIndex: make(map[string]int32, nm),
-		domainLabel:  make([]Label, nd),
-		machineLabel: make([]Label, nm),
-		cntMalware:   make([]int32, nm),
-		cntNonBenign: make([]int32, nm),
-	}
-	for d, ips := range b.domainIPs {
-		if len(ips) > 0 {
-			g.domainIPs[d] = append([]dnsutil.IPv4(nil), ips...)
+	p = p[:w]
+	fresh := p[:0]
+	for _, e := range p {
+		if !b.baseContains(e) {
+			fresh = append(fresh, e)
 		}
 	}
-	for name, i := range b.domainIndex {
-		g.domainIndex[name] = i
-	}
-	for id, i := range b.machineIndex {
-		g.machineIndex[id] = i
-	}
+	b.mergeIntoBase(fresh)
+	return fresh
+}
 
-	// Machine-side CSR comes straight from the sorted edge list.
-	g.mOff = make([]int32, nm+1)
-	g.mAdj = make([]int32, len(b.edges))
-	for _, e := range b.edges {
-		g.mOff[e.m+1]++
+func (b *Builder) baseContains(e edge) bool {
+	i := sort.Search(len(b.base), func(i int) bool { return !edgeLess(b.base[i], e) })
+	return i < len(b.base) && b.base[i] == e
+}
+
+// mergeIntoBase merges the sorted fresh run into the sorted base run with
+// a single backward pass, in place when capacity allows.
+func (b *Builder) mergeIntoBase(fresh []edge) {
+	if len(fresh) == 0 {
+		return
+	}
+	old := len(b.base)
+	need := old + len(fresh)
+	if cap(b.base) < need {
+		grown := make([]edge, old, need+need/4)
+		copy(grown, b.base)
+		b.base = grown
+	}
+	b.base = b.base[:need]
+	i, j, k := old-1, len(fresh)-1, need-1
+	for j >= 0 {
+		if i >= 0 && edgeLess(fresh[j], b.base[i]) {
+			b.base[k] = b.base[i]
+			i--
+		} else {
+			b.base[k] = fresh[j]
+			j--
+		}
+		k--
+	}
+}
+
+// applyOverlay folds fresh edges into the per-node overlay adjacency,
+// materializing a node's base CSR row on first touch.
+func (b *Builder) applyOverlay(fresh []edge) {
+	b.ensureOverlay()
+	for _, e := range fresh {
+		b.overlayAddM(e.m, e.d)
+		b.overlayAddD(e.d, e.m)
+	}
+	b.ovEdges += len(fresh)
+	b.ovMut++
+}
+
+func (b *Builder) ensureOverlay() {
+	if b.ovM == nil {
+		b.ovM = filledMinusOne(len(b.machineIDs))
+		b.ovD = filledMinusOne(len(b.domains))
+		return
+	}
+	for len(b.ovM) < len(b.machineIDs) {
+		b.ovM = append(b.ovM, -1)
+	}
+	for len(b.ovD) < len(b.domains) {
+		b.ovD = append(b.ovD, -1)
+	}
+}
+
+func filledMinusOne(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+func (b *Builder) overlayAddM(m, d int32) {
+	slot := b.ovM[m]
+	if slot < 0 {
+		var adj []int32
+		if int(m) < b.csrNM {
+			row := b.csrMAdj[b.csrMOff[m]:b.csrMOff[m+1]]
+			adj = append(make([]int32, 0, len(row)+4), row...)
+		}
+		slot = int32(len(b.ovMAdj))
+		b.ovMAdj = append(b.ovMAdj, adj)
+		b.ovM[m] = slot
+	}
+	b.ovMAdj[slot] = append(b.ovMAdj[slot], d)
+}
+
+func (b *Builder) overlayAddD(d, m int32) {
+	slot := b.ovD[d]
+	if slot < 0 {
+		var adj []int32
+		if int(d) < b.csrND {
+			row := b.csrDAdj[b.csrDOff[d]:b.csrDOff[d+1]]
+			adj = append(make([]int32, 0, len(row)+4), row...)
+		}
+		slot = int32(len(b.ovDAdj))
+		b.ovDAdj = append(b.ovDAdj, adj)
+		b.ovD[d] = slot
+	}
+	b.ovDAdj[slot] = append(b.ovDAdj[slot], m)
+}
+
+// compact rebuilds both CSR directions from the sorted base run and drops
+// the overlay. O(nodes + edges), amortized across many snapshots by the
+// overlay growth threshold.
+func (b *Builder) compact() {
+	nm, nd, ne := len(b.machineIDs), len(b.domains), len(b.base)
+	mOff := make([]int32, nm+1)
+	for _, e := range b.base {
+		mOff[e.m+1]++
 	}
 	for m := 0; m < nm; m++ {
-		g.mOff[m+1] += g.mOff[m]
+		mOff[m+1] += mOff[m]
 	}
-	for i, e := range b.edges {
-		g.mAdj[i] = e.d
+	mAdj := make([]int32, ne)
+	for i, e := range b.base {
+		mAdj[i] = e.d
 	}
 
-	// Domain-side CSR via counting sort on the same edges.
-	g.dOff = make([]int32, nd+1)
-	for _, e := range b.edges {
-		g.dOff[e.d+1]++
+	dOff := make([]int32, nd+1)
+	for _, e := range b.base {
+		dOff[e.d+1]++
 	}
 	for d := 0; d < nd; d++ {
-		g.dOff[d+1] += g.dOff[d]
+		dOff[d+1] += dOff[d]
 	}
-	g.dAdj = make([]int32, len(b.edges))
+	dAdj := make([]int32, ne)
 	cursor := make([]int32, nd)
-	copy(cursor, g.dOff[:nd])
-	for _, e := range b.edges {
-		g.dAdj[cursor[e.d]] = e.m
+	copy(cursor, dOff[:nd])
+	for _, e := range b.base {
+		dAdj[cursor[e.d]] = e.m
 		cursor[e.d]++
 	}
-	return g
+
+	b.csrMOff, b.csrMAdj, b.csrDOff, b.csrDAdj = mOff, mAdj, dOff, dAdj
+	b.csrNM, b.csrND = nm, nd
+	b.ovM, b.ovD, b.ovMAdj, b.ovDAdj = nil, nil, nil, nil
+	b.ovEdges = 0
+	b.ovMut++
+}
+
+// freeze assembles an immutable Graph over the current builder state.
+// Everything shared with the builder is append-only or copied: name slabs
+// become length-capped views, the base CSR is shared outright, and the
+// small per-snapshot headers (overlay slots, IP outer slice, recent
+// intern maps) are copied — or reused from the previous snapshot when
+// nothing changed.
+func (b *Builder) freeze() *Graph {
+	nm, nd := len(b.machineIDs), len(b.domains)
+	prev := b.lastSnap
+
+	if len(b.machineRecent) > len(b.machinePub)/4+indexPublishMin {
+		b.machinePub = mergeMaps(b.machinePub, b.machineRecent)
+		b.machineRecent = make(map[string]int32)
+		b.machinePubGen++
+	}
+	if len(b.domainRecent) > len(b.domainPub)/4+indexPublishMin {
+		b.domainPub = mergeMaps(b.domainPub, b.domainRecent)
+		b.domainRecent = make(map[string]int32)
+		b.domainPubGen++
+	}
+
+	var mExtra, dExtra map[string]int32
+	if len(b.machineRecent) > 0 {
+		if prev != nil && nm == b.frozenNM && b.machinePubGen == b.frozenMPubGen {
+			mExtra = prev.machineExtra
+		} else {
+			mExtra = mergeMaps(nil, b.machineRecent)
+		}
+	}
+	if len(b.domainRecent) > 0 {
+		if prev != nil && nd == b.frozenND && b.domainPubGen == b.frozenDPubGen {
+			dExtra = prev.domainExtra
+		} else {
+			dExtra = mergeMaps(nil, b.domainRecent)
+		}
+	}
+
+	var ips [][]dnsutil.IPv4
+	if prev != nil && nd == b.frozenND && b.ipMut == b.frozenIPMut {
+		ips = prev.domainIPs
+	} else {
+		ips = make([][]dnsutil.IPv4, nd)
+		copy(ips, b.domainIPs)
+	}
+
+	var ovM, ovD []int32
+	var ovMAdj, ovDAdj [][]int32
+	if b.ovM != nil {
+		if prev != nil && prev.ovM != nil && nm == b.frozenNM && nd == b.frozenND && b.ovMut == b.frozenOvMut {
+			ovM, ovD = prev.ovM, prev.ovD
+			ovMAdj, ovDAdj = prev.ovMAdj, prev.ovDAdj
+		} else {
+			ovM = frozenSlots(b.ovM, nm)
+			ovD = frozenSlots(b.ovD, nd)
+			ovMAdj = append([][]int32(nil), b.ovMAdj...)
+			ovDAdj = append([][]int32(nil), b.ovDAdj...)
+		}
+	}
+
+	return &Graph{
+		name:         b.name,
+		day:          b.day,
+		machineIDs:   b.machineIDs[:nm:nm],
+		domains:      b.domains[:nd:nd],
+		domainE2LD:   b.domainE2LD[:nd:nd],
+		domainIPs:    ips,
+		mOff:         b.csrMOff,
+		mAdj:         b.csrMAdj,
+		dOff:         b.csrDOff,
+		dAdj:         b.csrDAdj,
+		csrNM:        b.csrNM,
+		csrND:        b.csrND,
+		ovM:          ovM,
+		ovD:          ovD,
+		ovMAdj:       ovMAdj,
+		ovDAdj:       ovDAdj,
+		numEdges:     len(b.base),
+		machineIndex: b.machinePub,
+		domainIndex:  b.domainPub,
+		machineExtra: mExtra,
+		domainExtra:  dExtra,
+		snapFreshPos: b.freshBase + len(b.freshLog),
+	}
+}
+
+func mergeMaps(pub, recent map[string]int32) map[string]int32 {
+	out := make(map[string]int32, len(pub)+len(recent))
+	for k, v := range pub {
+		out[k] = v
+	}
+	for k, v := range recent {
+		out[k] = v
+	}
+	return out
+}
+
+func frozenSlots(src []int32, n int) []int32 {
+	out := make([]int32, n)
+	filled := copy(out, src)
+	for i := filled; i < n; i++ {
+		out[i] = -1
+	}
+	return out
+}
+
+// computeDirty records on g the set of domains whose adjacency, IP
+// annotations, activity, or label-relevant neighborhood changed since the
+// previous snapshot: domains with fresh edges or first-time addresses,
+// newly interned domains, e2LD siblings of domains first queried this
+// window (their e2LD activity features moved), and every domain of a
+// machine with fresh edges (the machine's label and counts feed those
+// domains' features). The first snapshot of a window has no baseline and
+// is marked inexact: every domain must be treated as dirty.
+func (b *Builder) computeDirty(g *Graph) {
+	if b.lastSnap == nil {
+		return
+	}
+	g.deltaExact = true
+	set := make(map[int32]struct{})
+	var machines map[int32]struct{}
+	for _, e := range b.freshLog[b.lastSnapFresh-b.freshBase:] {
+		set[e.d] = struct{}{}
+		if machines == nil {
+			machines = make(map[int32]struct{})
+		}
+		machines[e.m] = struct{}{}
+	}
+	for _, d := range b.ipLog[b.lastSnapIP-b.ipLogBase:] {
+		set[d] = struct{}{}
+	}
+	for d := b.lastSnapND; d < len(b.domains); d++ {
+		set[int32(d)] = struct{}{}
+	}
+	for _, ent := range b.e2ldPending {
+		for _, d := range ent.domains {
+			set[d] = struct{}{}
+		}
+	}
+	for m := range machines {
+		for _, d := range g.DomainsOf(m) {
+			set[d] = struct{}{}
+		}
+	}
+	if len(set) == 0 {
+		return
+	}
+	dirty := make([]int32, 0, len(set))
+	for d := range set {
+		dirty = append(dirty, d)
+	}
+	slices.Sort(dirty)
+	g.dirtyDomains = dirty
+}
+
+// computeLabelDelta records the machines ApplyLabels must recompute when
+// relabeling incrementally against the last labeled snapshot: machines
+// with fresh edges since that snapshot, plus machines interned since.
+func (b *Builder) computeLabelDelta(g *Graph) {
+	base := b.lastLabeled
+	if base == nil {
+		return
+	}
+	g.labelBase = base
+	set := make(map[int32]struct{})
+	for _, e := range b.freshLog[base.snapFreshPos-b.freshBase:] {
+		set[e.m] = struct{}{}
+	}
+	for m := base.NumMachines(); m < len(b.machineIDs); m++ {
+		set[int32(m)] = struct{}{}
+	}
+	dirty := make([]int32, 0, len(set))
+	for m := range set {
+		dirty = append(dirty, m)
+	}
+	slices.Sort(dirty)
+	g.labelDirtyMachines = dirty
+}
+
+func (b *Builder) finishSnapshot(g *Graph) {
+	nm, nd := len(b.machineIDs), len(b.domains)
+	b.lastSnap = g
+	b.lastSnapFresh = b.freshBase + len(b.freshLog)
+	b.lastSnapIP = b.ipLogBase + len(b.ipLog)
+	b.lastSnapND = nd
+	b.e2ldPending = b.e2ldPending[:0]
+	b.frozenNM, b.frozenND = nm, nd
+	b.frozenOvMut, b.frozenIPMut = b.ovMut, b.ipMut
+	b.frozenMPubGen, b.frozenDPubGen = b.machinePubGen, b.domainPubGen
+	b.trimLogs()
+}
+
+// trimLogs drops log prefixes no outstanding baseline can reference.
+func (b *Builder) trimLogs() {
+	minFresh := b.lastSnapFresh
+	if b.lastLabeled != nil && b.lastLabeled.snapFreshPos < minFresh {
+		minFresh = b.lastLabeled.snapFreshPos
+	}
+	if cut := minFresh - b.freshBase; cut >= logTrimMin && cut > len(b.freshLog)/2 {
+		rest := copy(b.freshLog, b.freshLog[cut:])
+		b.freshLog = b.freshLog[:rest]
+		b.freshBase += cut
+	}
+	if cut := b.lastSnapIP - b.ipLogBase; cut >= logTrimMin && cut > len(b.ipLog)/2 {
+		rest := copy(b.ipLog, b.ipLog[cut:])
+		b.ipLog = b.ipLog[:rest]
+		b.ipLogBase += cut
+	}
 }

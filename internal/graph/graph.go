@@ -9,6 +9,9 @@
 // The adjacency is stored in compressed sparse row (CSR) form in both
 // directions, because feature measurement iterates machines-of-domain and
 // labeling iterates domains-of-machine over graphs with millions of edges.
+// Incremental snapshots share the base CSR with their Builder and carry a
+// per-node overlay for nodes whose edges changed since the last
+// compaction; derived graphs (Prune, FilterProbers) are always plain CSR.
 package graph
 
 import (
@@ -44,8 +47,19 @@ func (l Label) String() string {
 	}
 }
 
+// Delta describes which domains changed between two snapshot versions.
+// When Exact is false the consumer must assume every domain changed
+// (first snapshot of a window, an epoch rotation, or delta history that
+// has been trimmed away).
+type Delta struct {
+	Exact   bool
+	Domains []string
+}
+
 // Graph is an immutable bipartite behavior graph for one observation day.
-// Build one with a Builder, then call ApplyLabels and Prune.
+// Build one with a Builder, then call ApplyLabels and Prune. A returned
+// snapshot is immutable forever: the Builder only appends past the
+// prefixes a snapshot can see.
 type Graph struct {
 	name string
 	day  int
@@ -55,12 +69,26 @@ type Graph struct {
 	domainE2LD []string
 	domainIPs  [][]dnsutil.IPv4
 
-	// CSR adjacency, machine -> domains and domain -> machines.
+	// Base CSR adjacency, machine -> domains and domain -> machines. For
+	// incremental snapshots it covers the first csrNM machines / csrND
+	// domains as of the Builder's last compaction; nodes touched since
+	// carry their full adjacency in the overlay below.
 	mOff []int32
 	mAdj []int32
 	dOff []int32
 	dAdj []int32
 
+	csrNM, csrND int
+	// Overlay: ovM[m] / ovD[d] is -1 (read the base CSR row; nodes at or
+	// past csrNM/csrND with -1 have no edges) or an index into
+	// ovMAdj/ovDAdj holding the node's full adjacency. nil for plain-CSR
+	// graphs (batch builds, pruned graphs).
+	ovM, ovD       []int32
+	ovMAdj, ovDAdj [][]int32
+	numEdges       int
+
+	// Labels are allocated lazily by ApplyLabels; unlabeled graphs report
+	// LabelUnknown and zero counts.
 	domainLabel  []Label
 	machineLabel []Label
 	// Per-machine label-derivation counts, maintained by ApplyLabels:
@@ -68,12 +96,28 @@ type Graph struct {
 	// how many are labeled anything other than benign. Feature measurement
 	// uses them to re-derive machine labels with one domain's label hidden
 	// in O(1) (paper Figure 5).
-	cntMalware    []int32
-	cntNonBenign  []int32
-	domainIndex   map[string]int32
-	machineIndex  map[string]int32
+	cntMalware   []int32
+	cntNonBenign []int32
+
+	// machineIndex/domainIndex are the Builder's published (frozen) intern
+	// maps, shared across snapshots; machineExtra/domainExtra cover nodes
+	// interned after the last publish.
+	domainIndex  map[string]int32
+	machineIndex map[string]int32
+	domainExtra  map[string]int32
+	machineExtra map[string]int32
+
 	labeledAsOf   int
 	labelsApplied bool
+	labelSrc      LabelSources
+	stats         LabelStats
+
+	// Delta metadata stamped by Builder.snapshot.
+	deltaExact         bool
+	dirtyDomains       []int32
+	labelBase          *Graph
+	labelDirtyMachines []int32
+	snapFreshPos       int
 }
 
 // Name returns the network name the graph was observed in.
@@ -89,7 +133,12 @@ func (g *Graph) NumMachines() int { return len(g.machineIDs) }
 func (g *Graph) NumDomains() int { return len(g.domains) }
 
 // NumEdges reports the edge count.
-func (g *Graph) NumEdges() int { return len(g.mAdj) }
+func (g *Graph) NumEdges() int {
+	if g.numEdges == 0 {
+		return len(g.mAdj)
+	}
+	return g.numEdges
+}
 
 // MachineID returns the identifier of machine node m.
 func (g *Graph) MachineID(m int32) string { return g.machineIDs[m] }
@@ -106,46 +155,113 @@ func (g *Graph) DomainIPs(d int32) []dnsutil.IPv4 { return g.domainIPs[d] }
 
 // DomainIndex returns the node index for a domain name.
 func (g *Graph) DomainIndex(domain string) (int32, bool) {
-	i, ok := g.domainIndex[domain]
+	if i, ok := g.domainIndex[domain]; ok {
+		return i, true
+	}
+	i, ok := g.domainExtra[domain]
 	return i, ok
 }
 
 // MachineIndex returns the node index for a machine identifier.
 func (g *Graph) MachineIndex(id string) (int32, bool) {
-	i, ok := g.machineIndex[id]
+	if i, ok := g.machineIndex[id]; ok {
+		return i, true
+	}
+	i, ok := g.machineExtra[id]
 	return i, ok
 }
 
 // DomainsOf returns the domain nodes queried by machine m. The returned
 // slice aliases internal storage and must not be modified.
-func (g *Graph) DomainsOf(m int32) []int32 { return g.mAdj[g.mOff[m]:g.mOff[m+1]] }
+func (g *Graph) DomainsOf(m int32) []int32 {
+	if g.ovM != nil {
+		if slot := g.ovM[m]; slot >= 0 {
+			return g.ovMAdj[slot]
+		}
+		if int(m) >= g.csrNM {
+			return nil
+		}
+	}
+	return g.mAdj[g.mOff[m]:g.mOff[m+1]]
+}
 
 // MachinesOf returns the machine nodes that queried domain d. The returned
 // slice aliases internal storage and must not be modified.
-func (g *Graph) MachinesOf(d int32) []int32 { return g.dAdj[g.dOff[d]:g.dOff[d+1]] }
+func (g *Graph) MachinesOf(d int32) []int32 {
+	if g.ovD != nil {
+		if slot := g.ovD[d]; slot >= 0 {
+			return g.ovDAdj[slot]
+		}
+		if int(d) >= g.csrND {
+			return nil
+		}
+	}
+	return g.dAdj[g.dOff[d]:g.dOff[d+1]]
+}
 
 // MachineDegree returns how many distinct domains machine m queried.
-func (g *Graph) MachineDegree(m int32) int { return int(g.mOff[m+1] - g.mOff[m]) }
+func (g *Graph) MachineDegree(m int32) int { return len(g.DomainsOf(m)) }
 
 // DomainDegree returns how many distinct machines queried domain d.
-func (g *Graph) DomainDegree(d int32) int { return int(g.dOff[d+1] - g.dOff[d]) }
+func (g *Graph) DomainDegree(d int32) int { return len(g.MachinesOf(d)) }
 
 // DomainLabel returns the label of domain node d.
-func (g *Graph) DomainLabel(d int32) Label { return g.domainLabel[d] }
+func (g *Graph) DomainLabel(d int32) Label {
+	if g.domainLabel == nil {
+		return LabelUnknown
+	}
+	return g.domainLabel[d]
+}
 
 // MachineLabel returns the label of machine node m.
-func (g *Graph) MachineLabel(m int32) Label { return g.machineLabel[m] }
+func (g *Graph) MachineLabel(m int32) Label {
+	if g.machineLabel == nil {
+		return LabelUnknown
+	}
+	return g.machineLabel[m]
+}
 
 // MachineMalwareCount reports how many malware-labeled domains machine m
 // queries.
-func (g *Graph) MachineMalwareCount(m int32) int { return int(g.cntMalware[m]) }
+func (g *Graph) MachineMalwareCount(m int32) int {
+	if g.cntMalware == nil {
+		return 0
+	}
+	return int(g.cntMalware[m])
+}
 
 // MachineNonBenignCount reports how many of machine m's queried domains
 // are labeled anything other than benign.
-func (g *Graph) MachineNonBenignCount(m int32) int { return int(g.cntNonBenign[m]) }
+func (g *Graph) MachineNonBenignCount(m int32) int {
+	if g.cntNonBenign == nil {
+		return 0
+	}
+	return int(g.cntNonBenign[m])
+}
 
 // LabeledAsOf returns the ground-truth cutoff day passed to ApplyLabels.
 func (g *Graph) LabeledAsOf() int { return g.labeledAsOf }
 
 // Labeled reports whether ApplyLabels has run.
 func (g *Graph) Labeled() bool { return g.labelsApplied }
+
+// DirtyDomains returns the domain nodes whose classification-relevant
+// state (adjacency, labels, IP annotations, activity, or the labels of a
+// querying machine) changed since the previous snapshot of the same
+// Builder, and whether that set is exact. When exact is false — the first
+// snapshot of a window, including the one after an epoch rotation — every
+// domain must be treated as dirty. The returned slice is sorted and must
+// not be modified.
+func (g *Graph) DirtyDomains() ([]int32, bool) { return g.dirtyDomains, g.deltaExact }
+
+// DirtyDomainNames is DirtyDomains resolved to domain names.
+func (g *Graph) DirtyDomainNames() ([]string, bool) {
+	if !g.deltaExact {
+		return nil, false
+	}
+	names := make([]string, len(g.dirtyDomains))
+	for i, d := range g.dirtyDomains {
+		names[i] = g.domains[d]
+	}
+	return names, true
+}

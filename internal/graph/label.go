@@ -39,26 +39,70 @@ type LabelStats struct {
 // one malware-labeled domain, benign when every queried domain is
 // benign-labeled, unknown otherwise. It may be called again to relabel
 // (e.g. with a different Hidden set).
+//
+// On a streaming snapshot whose Builder was told (via MarkLabeled) that
+// an earlier snapshot is labeled with the same sources, labels are
+// relabeled incrementally: prior label state is copied and only domains
+// interned since and machines with fresh edges are recomputed.
 func (g *Graph) ApplyLabels(src LabelSources) LabelStats {
+	base := g.labelBase
+	g.labelBase = nil
+	if base != nil && g.canRelabelIncrementally(base, src) {
+		g.relabelDelta(base, src)
+	} else {
+		g.relabelFull(src)
+	}
+	g.labeledAsOf = src.AsOf
+	g.labelsApplied = true
+	g.labelSrc = src
+	return g.stats
+}
+
+// canRelabelIncrementally reports whether base's labels are reusable as a
+// starting point: same source objects and cutoff, no hidden sets (the
+// hidden set is experiment machinery, not a daemon path), same day.
+func (g *Graph) canRelabelIncrementally(base *Graph, src LabelSources) bool {
+	return base.labelsApplied &&
+		base.day == g.day &&
+		src.Hidden == nil && base.labelSrc.Hidden == nil &&
+		src.Blacklist == base.labelSrc.Blacklist &&
+		src.Whitelist == base.labelSrc.Whitelist &&
+		src.AsOf == base.labelSrc.AsOf
+}
+
+func (g *Graph) labelFor(d int, src LabelSources, stats *LabelStats) Label {
+	label := LabelUnknown
+	if _, hidden := src.Hidden[g.domains[d]]; hidden {
+		stats.HiddenDomains++
+	} else if src.Blacklist != nil && src.Blacklist.Contains(g.domains[d], src.AsOf) {
+		label = LabelMalware
+	} else if src.Whitelist != nil && src.Whitelist.ContainsE2LD(g.domainE2LD[d]) {
+		label = LabelBenign
+	}
+	switch label {
+	case LabelMalware:
+		stats.MalwareDomains++
+	case LabelBenign:
+		stats.BenignDomains++
+	default:
+		stats.UnknownDomains++
+	}
+	return label
+}
+
+func (g *Graph) relabelFull(src LabelSources) {
+	nd, nm := len(g.domains), len(g.machineIDs)
+	if len(g.domainLabel) != nd {
+		g.domainLabel = make([]Label, nd)
+	}
+	if len(g.machineLabel) != nm {
+		g.machineLabel = make([]Label, nm)
+		g.cntMalware = make([]int32, nm)
+		g.cntNonBenign = make([]int32, nm)
+	}
 	var stats LabelStats
 	for d := range g.domains {
-		label := LabelUnknown
-		if _, hidden := src.Hidden[g.domains[d]]; hidden {
-			stats.HiddenDomains++
-		} else if src.Blacklist != nil && src.Blacklist.Contains(g.domains[d], src.AsOf) {
-			label = LabelMalware
-		} else if src.Whitelist != nil && src.Whitelist.ContainsE2LD(g.domainE2LD[d]) {
-			label = LabelBenign
-		}
-		g.domainLabel[d] = label
-		switch label {
-		case LabelMalware:
-			stats.MalwareDomains++
-		case LabelBenign:
-			stats.BenignDomains++
-		default:
-			stats.UnknownDomains++
-		}
+		g.domainLabel[d] = g.labelFor(d, src, &stats)
 	}
 	g.recomputeMachineLabels()
 	for m := range g.machineIDs {
@@ -71,9 +115,78 @@ func (g *Graph) ApplyLabels(src LabelSources) LabelStats {
 			stats.UnknownMachine++
 		}
 	}
-	g.labeledAsOf = src.AsOf
-	g.labelsApplied = true
-	return stats
+	g.stats = stats
+}
+
+// relabelDelta copies base's label state and recomputes only the domains
+// interned since base and the machines the Builder recorded as dirty
+// (fresh edges or newly interned). LabelStats are carried forward and
+// adjusted for exactly the recomputed nodes.
+func (g *Graph) relabelDelta(base *Graph, src LabelSources) {
+	nd, nm := len(g.domains), len(g.machineIDs)
+	baseND, baseNM := len(base.domains), len(base.machineIDs)
+	stats := base.stats
+
+	dl := make([]Label, nd)
+	copy(dl, base.domainLabel)
+	ml := make([]Label, nm)
+	copy(ml, base.machineLabel)
+	cm := make([]int32, nm)
+	copy(cm, base.cntMalware)
+	cnb := make([]int32, nm)
+	copy(cnb, base.cntNonBenign)
+	g.domainLabel, g.machineLabel, g.cntMalware, g.cntNonBenign = dl, ml, cm, cnb
+
+	for d := baseND; d < nd; d++ {
+		dl[d] = g.labelFor(d, src, &stats)
+	}
+
+	for _, m := range g.labelDirtyMachines {
+		old := LabelUnknown
+		counted := int(m) < baseNM
+		if counted {
+			old = base.machineLabel[m]
+		}
+		var mal, nonBenign int32
+		adj := g.DomainsOf(m)
+		for _, d := range adj {
+			switch dl[d] {
+			case LabelMalware:
+				mal++
+				nonBenign++
+			case LabelUnknown:
+				nonBenign++
+			}
+		}
+		cm[m], cnb[m] = mal, nonBenign
+		label := LabelUnknown
+		switch {
+		case mal > 0:
+			label = LabelMalware
+		case nonBenign == 0 && len(adj) > 0:
+			label = LabelBenign
+		}
+		ml[m] = label
+		if counted {
+			switch old {
+			case LabelMalware:
+				stats.MalwareMachine--
+			case LabelBenign:
+				stats.BenignMachine--
+			default:
+				stats.UnknownMachine--
+			}
+		}
+		switch label {
+		case LabelMalware:
+			stats.MalwareMachine++
+		case LabelBenign:
+			stats.BenignMachine++
+		default:
+			stats.UnknownMachine++
+		}
+	}
+	g.stats = stats
 }
 
 // recomputeMachineLabels rebuilds the per-machine counts and labels from
@@ -134,7 +247,7 @@ func (g *Graph) MachineLabelHiding(m, d int32) Label {
 func (g *Graph) DomainsWithLabel(l Label) []int32 {
 	var out []int32
 	for d := range g.domains {
-		if g.domainLabel[d] == l {
+		if g.DomainLabel(int32(d)) == l {
 			out = append(out, int32(d))
 		}
 	}

@@ -46,8 +46,17 @@ func EncodeSnapshot(w io.Writer, g *Graph) error {
 		Day:      g.day,
 		Machines: g.machineIDs,
 		Domains:  g.domains,
-		EdgeOff:  g.mOff,
-		EdgeAdj:  g.mAdj,
+	}
+	// Adjacency is flattened through the accessor rather than the raw CSR
+	// arrays: incremental snapshots keep part of their adjacency in the
+	// overlay, which the base CSR alone does not see.
+	nm := len(g.machineIDs)
+	wire.EdgeOff = make([]int32, nm+1)
+	wire.EdgeAdj = make([]int32, 0, g.NumEdges())
+	for m := 0; m < nm; m++ {
+		adj := g.DomainsOf(int32(m))
+		wire.EdgeOff[m+1] = wire.EdgeOff[m] + int32(len(adj))
+		wire.EdgeAdj = append(wire.EdgeAdj, adj...)
 	}
 	for d, ips := range g.domainIPs {
 		for _, ip := range ips {
@@ -97,14 +106,22 @@ func DecodeSnapshot(r io.Reader, suffixes *dnsutil.SuffixList) (*Builder, error)
 			if d < 0 || int(d) >= nd {
 				return nil, fmt.Errorf("graph: decode snapshot: edge to out-of-range domain %d", d)
 			}
-			b.edges = append(b.edges, edge{m: int32(m), d: d})
+			// Recorded edges go through the pending buffer: the first
+			// Snapshot sorts and deduplicates them into the base run, and
+			// the domain-queried flags keep e2LD activity propagation from
+			// re-reporting recovered domains as freshly queried.
+			b.pending = append(b.pending, edge{m: int32(m), d: d})
+			if !b.domainQueried[d] {
+				b.domainQueried[d] = true
+				b.e2lds[b.domainE2LD[d]].queried = true
+			}
 		}
 	}
 	for i, d := range wire.IPDomain {
 		if d < 0 || int(d) >= nd {
 			return nil, fmt.Errorf("graph: decode snapshot: address for out-of-range domain %d", d)
 		}
-		b.domainIPs[d] = append(b.domainIPs[d], wire.IPAddr[i])
+		b.AddResolution(wire.Domains[d], wire.IPAddr[i])
 	}
 	return b, nil
 }

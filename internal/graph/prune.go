@@ -290,6 +290,22 @@ func materialize(g *Graph, keepM, keepD []bool) *Graph {
 		}
 	}
 
+	out.numEdges = len(out.mAdj)
 	out.recomputeMachineLabels()
 	return out
+}
+
+// PruneSignature condenses the graph-global pruning thresholds that
+// classification outcomes depend on — R2's degree percentile thetaD and
+// R4's machine-count threshold thetaM — into one comparable value. A
+// score cache keyed by per-domain dirty sets must also be flushed when
+// these global thresholds move, because a threshold shift can change the
+// pruning fate of domains no local mutation touched.
+func PruneSignature(g *Graph, cfg PruneConfig) uint64 {
+	thetaD := degreePercentile(g, cfg.ProxyPercentile)
+	thetaM := int(math.Ceil(cfg.MaxE2LDMachineFraction * float64(g.NumMachines())))
+	if thetaM < 1 {
+		thetaM = 1
+	}
+	return uint64(uint32(thetaD))<<32 | uint64(uint32(thetaM))
 }

@@ -1,0 +1,200 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"segugio/internal/graph"
+)
+
+func TestSnapshotSinceDeltas(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	defer in.Shutdown()
+
+	if err := in.Consume(strings.NewReader("q\t1\tm1\ta.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first event", func() bool { return m.EventsIngested.Value() == 1 })
+
+	// The first snapshot of a builder has no baseline: any span reaching
+	// back before it is inexact.
+	_, v1, delta := in.SnapshotSince(0)
+	if delta.Exact {
+		t.Fatal("span across the first snapshot must be inexact")
+	}
+	// Asking at the current version is an exact empty delta.
+	if _, _, d := in.SnapshotSince(v1); !d.Exact || len(d.Domains) != 0 {
+		t.Fatalf("same-version delta = %+v, want exact empty", d)
+	}
+
+	// One new observation: the delta names exactly the touched domain.
+	if err := in.Consume(strings.NewReader("q\t1\tm2\tb.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second event", func() bool { return m.EventsIngested.Value() == 2 })
+	_, v2, delta := in.SnapshotSince(v1)
+	if !delta.Exact || len(delta.Domains) != 1 || delta.Domains[0] != "b.example.com" {
+		t.Fatalf("delta = %+v, want exactly [b.example.com]", delta)
+	}
+
+	// Spans accumulate across intermediate snapshots: ingest two batches
+	// with a snapshot between, then ask from v2 — both batches' domains
+	// must be reported.
+	if err := in.Consume(strings.NewReader("q\t1\tm1\tc.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "third event", func() bool { return m.EventsIngested.Value() == 3 })
+	in.Snapshot()
+	if err := in.Consume(strings.NewReader("r\t1\td.example.com\t10.0.0.1\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fourth event", func() bool { return m.EventsIngested.Value() == 4 })
+	_, _, delta = in.SnapshotSince(v2)
+	if !delta.Exact {
+		t.Fatalf("multi-step delta inexact: %+v", delta)
+	}
+	got := map[string]bool{}
+	for _, d := range delta.Domains {
+		got[d] = true
+	}
+	// m1 gained an edge, so every domain m1 queries is dirty too.
+	for _, want := range []string{"a.example.com", "c.example.com", "d.example.com"} {
+		if !got[want] {
+			t.Fatalf("delta %v missing %s", delta.Domains, want)
+		}
+	}
+	if got["b.example.com"] {
+		t.Fatalf("delta %v over-reports untouched b.example.com", delta.Domains)
+	}
+}
+
+func TestSnapshotSinceRotationIsInexact(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Metrics: m})
+	defer in.Shutdown()
+
+	if err := in.Consume(strings.NewReader("q\t1\tm1\ta.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "day-1 event", func() bool { return m.EventsIngested.Value() == 1 })
+	_, v1, _ := in.SnapshotSince(0)
+
+	// Crossing a day boundary rotates the epoch; per-domain deltas from
+	// the old day are meaningless and the span must degrade to inexact.
+	if err := in.Consume(strings.NewReader("q\t2\tm1\tb.example.com\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rotation", func() bool { return m.Rotations.Value() == 1 })
+	g, _, delta := in.SnapshotSince(v1)
+	if delta.Exact {
+		t.Fatalf("delta across rotation = %+v, want inexact", delta)
+	}
+	if g.Day() != 2 {
+		t.Fatalf("day = %d, want 2", g.Day())
+	}
+}
+
+// TestConcurrentIngestAndClassify is the -race check that streaming
+// appends never mutate a published snapshot: one goroutine ingests
+// continuously while another loops Snapshot + a classification-shaped
+// read pass (labels, adjacency walks), and a snapshot captured early
+// must look identical at the end.
+func TestConcurrentIngestAndClassify(t *testing.T) {
+	m, _ := newMetrics()
+	in := New(Config{
+		Network: "net", StartDay: 1, Workers: 4, QueueDepth: 1 << 14, Metrics: m,
+		PrepareSnapshot: func(g *graph.Graph) {
+			g.ApplyLabels(graph.LabelSources{AsOf: g.Day()})
+		},
+	})
+	defer in.Shutdown()
+
+	const total = 20000
+	lines := 0
+	var seed, rest strings.Builder
+	for i := 0; i < total; i++ {
+		out := &rest
+		if i < total/10 {
+			out = &seed
+		}
+		fmt.Fprintf(out, "q\t1\tm%03d\th%d.zone%d.example.com\n", i%80, i%500, i%25)
+		lines++
+		if i%7 == 0 {
+			fmt.Fprintf(out, "r\t1\th%d.zone%d.example.com\t10.%d.%d.%d\n", i%500, i%25, i%200, i%251, i%249)
+			lines++
+		}
+	}
+
+	// Seed enough state for a meaningful early snapshot.
+	if err := in.Consume(strings.NewReader(seed.String())); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "seed applied", func() bool { return m.EventsIngested.Value() > 100 })
+	early, earlyVer := in.Snapshot()
+	earlyMachines, earlyDomains, earlyEdges := early.NumMachines(), early.NumDomains(), early.NumEdges()
+	earlyDegrees := make([]int, earlyDomains)
+	for d := range earlyDegrees {
+		earlyDegrees[d] = early.DomainDegree(int32(d))
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := in.Consume(strings.NewReader(rest.String())); err != nil {
+			t.Error(err)
+		}
+		stop.Store(true)
+	}()
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			g, _ := in.Snapshot()
+			if !g.Labeled() {
+				t.Error("snapshot not labeled")
+				return
+			}
+			// Classification-shaped read load: walk both adjacency sides
+			// and the per-domain annotations of the newest snapshot.
+			sum := 0
+			for d := int32(0); int(d) < g.NumDomains(); d++ {
+				sum += len(g.MachinesOf(d)) + len(g.DomainIPs(d))
+				_ = g.DomainLabel(d)
+			}
+			for mm := int32(0); int(mm) < g.NumMachines(); mm++ {
+				sum += len(g.DomainsOf(mm))
+			}
+			_ = sum
+		}
+	}()
+	wg.Wait()
+	waitFor(t, "all events applied or dropped", func() bool {
+		return m.EventsIngested.Value()+m.EventsDropped.Value() == int64(lines)
+	})
+
+	// The early snapshot must be byte-for-byte what it was: later appends
+	// land in the builder, never in published graphs.
+	if early.NumMachines() != earlyMachines || early.NumDomains() != earlyDomains || early.NumEdges() != earlyEdges {
+		t.Fatalf("early snapshot mutated: (%d,%d,%d) != (%d,%d,%d)",
+			early.NumMachines(), early.NumDomains(), early.NumEdges(),
+			earlyMachines, earlyDomains, earlyEdges)
+	}
+	for d := range earlyDegrees {
+		if early.DomainDegree(int32(d)) != earlyDegrees[d] {
+			t.Fatalf("early snapshot domain %d degree changed: %d != %d",
+				d, early.DomainDegree(int32(d)), earlyDegrees[d])
+		}
+	}
+	final, finalVer := in.Snapshot()
+	if finalVer == earlyVer {
+		t.Fatal("version did not advance")
+	}
+	if final.NumEdges() < earlyEdges {
+		t.Fatalf("final snapshot lost edges: %d < %d", final.NumEdges(), earlyEdges)
+	}
+}

@@ -345,9 +345,13 @@ func (in *Ingester) checkpoint(dc *DurableConfig) error {
 
 func (in *Ingester) checkpointOnce(dc *DurableConfig) error {
 	// Builder snapshot, graph version, and WAL position move together
-	// under mu — this is the whole consistency argument.
+	// under mu — this is the whole consistency argument. The snapshot
+	// consumes the builder's dirty-delta baseline, so it must be recorded
+	// in the delta ring like any served snapshot, or the next
+	// SnapshotSince span would silently lose these changes.
 	in.mu.Lock()
 	g := in.builder.Snapshot()
+	in.recordSnapshotLocked(g)
 	version := in.version
 	pos := in.wal.End()
 	in.mu.Unlock()

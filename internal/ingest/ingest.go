@@ -66,6 +66,12 @@ type Metrics struct {
 	// to the write-ahead log (the daemon keeps serving; durability of
 	// those events is lost).
 	WALAppendFailures *metrics.Counter
+	// SnapshotSeconds observes how long producing one snapshot takes
+	// (incremental graph freeze plus label application).
+	SnapshotSeconds *metrics.Histogram
+	// DirtyDomains mirrors the dirty-domain count of the latest snapshot
+	// (the whole domain count when the delta was inexact).
+	DirtyDomains *metrics.Gauge
 }
 
 func inc(c *metrics.Counter) {
@@ -111,7 +117,7 @@ type Config struct {
 	// ground-truth labels here). It must not call back into the Ingester.
 	PrepareSnapshot func(*graph.Graph)
 	// OnRotate, when non-nil, is called with the finalized graph of each
-	// completed epoch. It runs outside the ingest lock but on a worker
+	// completed epoch; PrepareSnapshot (when set) has already run on it. It runs outside the ingest lock but on a worker
 	// goroutine: heavy work should be handed off. It must not call back
 	// into the Ingester. With a durable ingester delivery is
 	// at-most-once across crashes: a crash between the WAL logging of a
@@ -170,6 +176,82 @@ type Ingester struct {
 	snap        *graph.Graph
 	snapVersion uint64
 	snapDay     int
+
+	// Delta history (guarded by mu): one entry per snapshot taken from
+	// the live builder, so SnapshotSince can answer "which domains
+	// changed since version X" across several snapshots. lastSnapVer is
+	// the version the most recent snapshot was taken at.
+	ring        deltaRing
+	lastSnapVer uint64
+}
+
+// deltaEntry records the dirty domains between two consecutive snapshot
+// versions. inexact entries (first snapshot of an epoch) poison any span
+// crossing them: the consumer must treat every domain as dirty.
+type deltaEntry struct {
+	from, to uint64
+	inexact  bool
+	domains  []string
+}
+
+// deltaRing is a bounded FIFO of deltaEntries. Bounds are generous — a
+// span that outgrows them simply becomes inexact, which is always safe.
+type deltaRing struct {
+	entries []deltaEntry
+	names   int
+}
+
+const (
+	ringMaxEntries = 512
+	ringMaxNames   = 1 << 17
+)
+
+func (r *deltaRing) push(e deltaEntry) {
+	r.entries = append(r.entries, e)
+	r.names += len(e.domains)
+	if len(r.entries) > ringMaxEntries || r.names > ringMaxNames {
+		drop := 1
+		for drop < len(r.entries)-1 &&
+			(len(r.entries)-drop > ringMaxEntries || r.names > ringMaxNames) {
+			r.names -= len(r.entries[drop-1].domains)
+			drop++
+		}
+		r.names -= len(r.entries[drop-1].domains)
+		r.entries = append(r.entries[:0], r.entries[drop:]...)
+	}
+}
+
+// since accumulates the dirty domains between version v and the current
+// version cur by walking entries newest-first. It reports ok=false when
+// the span crosses an inexact entry or history no longer reaches v.
+func (r *deltaRing) since(v, cur uint64) ([]string, bool) {
+	if v == cur {
+		return nil, true
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		e := r.entries[i]
+		if e.to <= v {
+			break
+		}
+		if e.inexact {
+			return nil, false
+		}
+		for _, n := range e.domains {
+			if _, dup := seen[n]; !dup {
+				seen[n] = struct{}{}
+				out = append(out, n)
+			}
+		}
+		if e.from == v {
+			return out, true
+		}
+		if e.from < v {
+			return nil, false
+		}
+	}
+	return nil, false
 }
 
 // New builds an Ingester and starts its worker shards. Call Shutdown to
@@ -199,6 +281,7 @@ func New(cfg Config) *Ingester {
 		in.day = cfg.restoredBuilder.Day()
 		in.version = cfg.restoredVersion
 	}
+	in.lastSnapVer = in.version
 	if cfg.Metrics != nil {
 		in.m = *cfg.Metrics
 	}
@@ -353,6 +436,11 @@ func (in *Ingester) apply(batch []logio.Event) {
 		in.m.GraphObservations.SetInt(int64(observations))
 	}
 	for _, r := range rotations {
+		// Finalized epochs get the same preparation as served snapshots
+		// (label application), so rotation hooks can classify them.
+		if in.cfg.PrepareSnapshot != nil {
+			in.cfg.PrepareSnapshot(r.final)
+		}
 		if in.cfg.OnRotate != nil {
 			in.cfg.OnRotate(r.day, r.final)
 		}
@@ -379,6 +467,11 @@ func (in *Ingester) applyLocked(batch []logio.Event) (rotations []rotation, appl
 			in.builder = graph.NewBuilder(in.cfg.Network, e.Day, in.cfg.Suffixes)
 			in.day = e.Day
 			in.version++
+			// A rotation invalidates every delta baseline: poison the ring
+			// so SnapshotSince spans crossing the boundary come back
+			// inexact and consumers re-score everything.
+			in.ring.push(deltaEntry{from: in.version, to: in.version, inexact: true})
+			in.lastSnapVer = in.version
 			inc(in.m.Rotations)
 			if in.cfg.Activity != nil {
 				in.cfg.Activity.Trim(e.Day - in.cfg.ActivityKeepDays)
@@ -467,14 +560,59 @@ func (in *Ingester) Snapshot() (*graph.Graph, uint64) {
 		in.mu.Unlock()
 		return in.snap, v
 	}
+	start := time.Now()
 	g := in.builder.Snapshot()
+	in.recordSnapshotLocked(g)
 	in.mu.Unlock()
 
 	if in.cfg.PrepareSnapshot != nil {
 		in.cfg.PrepareSnapshot(g)
+		// Tell the builder this snapshot is labeled so the next one can
+		// relabel incrementally against it. The builder ignores the call
+		// if a rotation slipped in between.
+		in.mu.Lock()
+		in.builder.MarkLabeled(g)
+		in.mu.Unlock()
+	}
+	if in.m.SnapshotSeconds != nil {
+		in.m.SnapshotSeconds.Observe(time.Since(start).Seconds())
 	}
 	in.snap, in.snapVersion, in.snapDay = g, v, day
 	return g, v
+}
+
+// SnapshotSince is Snapshot plus the delta against an earlier version the
+// caller has already processed: the set of domains whose
+// classification-relevant state changed between since and the returned
+// version. When the delta is inexact (epoch rotated, history trimmed, or
+// since is unknown) the caller must treat every domain as dirty.
+func (in *Ingester) SnapshotSince(since uint64) (*graph.Graph, uint64, graph.Delta) {
+	g, v := in.Snapshot()
+	if since == v {
+		return g, v, graph.Delta{Exact: true}
+	}
+	in.mu.Lock()
+	names, ok := in.ring.since(since, v)
+	in.mu.Unlock()
+	return g, v, graph.Delta{Exact: ok, Domains: names}
+}
+
+// recordSnapshotLocked stamps the ring with the dirty delta of a
+// freshly taken builder snapshot. Callers must hold in.mu; every
+// builder.Snapshot call on the live builder must be recorded here (the
+// snapshot consumes the builder's dirty baseline, so skipping an entry
+// would silently under-report later deltas).
+func (in *Ingester) recordSnapshotLocked(g *graph.Graph) {
+	names, exact := g.DirtyDomainNames()
+	in.ring.push(deltaEntry{from: in.lastSnapVer, to: in.version, inexact: !exact, domains: names})
+	in.lastSnapVer = in.version
+	if in.m.DirtyDomains != nil {
+		if exact {
+			in.m.DirtyDomains.SetInt(int64(len(names)))
+		} else {
+			in.m.DirtyDomains.SetInt(int64(g.NumDomains()))
+		}
+	}
 }
 
 // Shutdown drains the ingest pipeline: new and in-flight Consume loops

@@ -1,0 +1,76 @@
+package ingest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/logio"
+)
+
+// benchBatches generates parsed event batches, so the benchmarks measure
+// graph application rather than wire parsing.
+func benchBatches(total, batch int) [][]logio.Event {
+	rng := rand.New(rand.NewSource(7))
+	out := make([][]logio.Event, 0, total/batch)
+	for len(out)*batch < total {
+		events := make([]logio.Event, batch)
+		for i := range events {
+			m := rng.Intn(4000)
+			d := rng.Intn(15000)
+			events[i] = logio.Event{
+				Kind:    logio.EventQuery,
+				Day:     1,
+				Machine: fmt.Sprintf("m%05d", m),
+				Domain:  fmt.Sprintf("h%d.zone%d.example.com", d, d%700),
+			}
+			if i%7 == 0 {
+				events[i] = logio.Event{
+					Kind:   logio.EventResolution,
+					Day:    1,
+					Domain: events[i].Domain,
+					IPs:    []dnsutil.IPv4{dnsutil.IPv4(rng.Uint32())},
+				}
+			}
+		}
+		out = append(out, events)
+	}
+	return out
+}
+
+// BenchmarkIngestApply measures raw event-application throughput: one op
+// applies one 256-event batch to the live builder (no snapshots).
+func BenchmarkIngestApply(b *testing.B) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "bench", StartDay: 1, Workers: 1, Metrics: m})
+	defer in.Shutdown()
+	batches := benchBatches(1<<20, 256)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.apply(batches[i%len(batches)])
+	}
+	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkIngestApplyWithSnapshots is the deployment mix: continuous
+// ingestion with a snapshot (merge + publish) every 16 batches, the
+// pattern the checkpointer and classify-all path impose on the builder.
+func BenchmarkIngestApplyWithSnapshots(b *testing.B) {
+	m, _ := newMetrics()
+	in := New(Config{Network: "bench", StartDay: 1, Workers: 1, Metrics: m})
+	defer in.Shutdown()
+	batches := benchBatches(1<<20, 256)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.apply(batches[i%len(batches)])
+		if i%16 == 15 {
+			in.Snapshot()
+		}
+	}
+	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "events/s")
+}

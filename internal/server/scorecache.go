@@ -1,0 +1,185 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"segugio/internal/core"
+	"segugio/internal/graph"
+)
+
+// scoreCache memoizes the classify-all result ("score every unknown
+// domain in the live graph") across graph versions. Between two
+// snapshots the ingester reports the exact set of dirty domains —
+// domains whose adjacency, labels, or resolved IPs changed — so a
+// classify-all at version v+k re-extracts features and re-scores only
+// the dirty domains and keeps every other score from the cache, keyed by
+// the graph version it was computed at.
+//
+// The cache flushes whole (full re-classification) whenever per-domain
+// deltas cannot prove the old scores still hold:
+//
+//   - the delta is inexact (first snapshot, ring overflow, epoch rotation);
+//   - the observation day changed (scores are per-day);
+//   - the detector was reloaded (different model or threshold regime);
+//   - the prune signature moved (graph-global thresholds thetaD/thetaM
+//     shifted, which can change the pruning fate of untouched domains).
+//
+// Feature extraction itself reads graph-global state beyond the dirty
+// set (e2LD popularity, machine degree distributions), so delta scoring
+// is a bounded approximation: a domain whose own evidence is unchanged
+// keeps its score even if far-away graph growth nudged shared
+// denominators. The prune-signature flush bounds the error to shifts
+// that do not move the global thresholds.
+type scoreCache struct {
+	mu       sync.Mutex
+	valid    bool
+	version  uint64
+	day      int
+	detStamp time.Time
+	pruneSig uint64
+	entries  map[string]scoreEntry
+}
+
+// scoreEntry is one cached classify-all row. version records the graph
+// version the score was computed at; missing marks a domain that was a
+// target but absent from the pruned graph (it cannot be detected).
+type scoreEntry struct {
+	score   float64
+	version uint64
+	missing bool
+}
+
+// classifyAllResult is the merged cache state after one classify-all
+// pass, plus the accounting the caller renders.
+type classifyAllResult struct {
+	graph    *graph.Graph
+	version  uint64
+	rows     []ClassifyDetection // sorted by score desc, then name
+	missing  []string
+	rescored int // domains whose features were re-extracted this pass
+}
+
+// classifyAll serves "score every unknown domain" through the cache.
+// It holds the cache lock for the whole pass, serializing concurrent
+// classify-all requests (the second request becomes a pure cache read).
+func (s *Server) classifyAll(det *core.Detector, loadedAt time.Time) (*classifyAllResult, error) {
+	c := &s.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	since := uint64(0)
+	if c.valid {
+		since = c.version
+	}
+	g, version, delta := s.cfg.Graphs.SnapshotSince(since)
+	if !g.Labeled() {
+		return nil, errNotLabeled
+	}
+
+	sig := uint64(0)
+	if pc, enabled := det.PruneConfig(); enabled {
+		sig = graph.PruneSignature(g, pc)
+	}
+
+	flush := !c.valid || !delta.Exact || c.day != g.Day() ||
+		!c.detStamp.Equal(loadedAt) || c.pruneSig != sig
+	rescored := 0
+	if flush {
+		dets, report, err := det.Classify(core.ClassifyInput{
+			Graph:    g,
+			Activity: s.cfg.Activity,
+			Abuse:    s.cfg.Abuse,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.entries = make(map[string]scoreEntry, len(dets))
+		for _, d := range dets {
+			c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
+		}
+		for _, name := range report.Missing {
+			c.entries[name] = scoreEntry{version: version, missing: true}
+		}
+		rescored = len(dets) + len(report.Missing)
+		s.cacheMisses.Add(int64(rescored))
+		c.valid, c.day, c.detStamp, c.pruneSig = true, g.Day(), loadedAt, sig
+	} else {
+		// Delta pass: the only domains whose classify-all row can differ
+		// from the cache are the dirty ones. A dirty domain that is no
+		// longer an unknown-labeled target (it got labeled, or vanished)
+		// drops out of the result; the rest are re-scored against the new
+		// snapshot. Untouched entries are served as cache hits.
+		var toScore []string
+		for _, name := range delta.Domains {
+			d, ok := g.DomainIndex(name)
+			if !ok || g.DomainLabel(d) != graph.LabelUnknown {
+				delete(c.entries, name)
+				continue
+			}
+			toScore = append(toScore, name)
+		}
+		if len(toScore) > 0 {
+			dets, report, err := det.Classify(core.ClassifyInput{
+				Graph:    g,
+				Activity: s.cfg.Activity,
+				Abuse:    s.cfg.Abuse,
+				Domains:  toScore,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dets {
+				c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
+			}
+			for _, name := range report.Missing {
+				c.entries[name] = scoreEntry{version: version, missing: true}
+			}
+		}
+		rescored = len(toScore)
+		s.cacheMisses.Add(int64(rescored))
+		s.cacheHits.Add(int64(len(c.entries) - rescored))
+	}
+	c.version = version
+
+	res := &classifyAllResult{graph: g, version: version, rescored: rescored}
+	threshold := det.Threshold()
+	res.rows = make([]ClassifyDetection, 0, len(c.entries))
+	for name, e := range c.entries {
+		if e.missing {
+			res.missing = append(res.missing, name)
+			continue
+		}
+		res.rows = append(res.rows, ClassifyDetection{
+			Domain:       name,
+			Score:        e.score,
+			Detected:     e.score >= threshold,
+			ScoreVersion: e.version,
+		})
+	}
+	sort.Slice(res.rows, func(i, j int) bool {
+		if res.rows[i].Score != res.rows[j].Score {
+			return res.rows[i].Score > res.rows[j].Score
+		}
+		return res.rows[i].Domain < res.rows[j].Domain
+	})
+	sort.Strings(res.missing)
+	return res, nil
+}
+
+// cachedScore looks up one domain's cached classify-all score, valid
+// only when the cache is current for the given graph version.
+func (s *Server) cachedScore(name string, version uint64) (scoreEntry, bool) {
+	c := &s.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid || c.version != version {
+		return scoreEntry{}, false
+	}
+	e, ok := c.entries[name]
+	if !ok || e.missing {
+		return scoreEntry{}, false
+	}
+	return e, true
+}

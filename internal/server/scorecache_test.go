@@ -1,0 +1,253 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/tracker"
+)
+
+// deltaSource is a GraphSource whose SnapshotSince answers like the real
+// ingester: exact empty delta at the current version, the declared dirty
+// set one step back, inexact otherwise.
+type deltaSource struct {
+	mu      sync.Mutex
+	g       *graph.Graph
+	version uint64
+	prev    uint64
+	dirty   []string
+	exact   bool
+}
+
+func (s *deltaSource) Snapshot() (*graph.Graph, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g, s.version
+}
+
+func (s *deltaSource) Day() int {
+	g, _ := s.Snapshot()
+	return g.Day()
+}
+
+func (s *deltaSource) SnapshotSince(since uint64) (*graph.Graph, uint64, graph.Delta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case since == s.version:
+		return s.g, s.version, graph.Delta{Exact: true}
+	case s.exact && since == s.prev:
+		return s.g, s.version, graph.Delta{Exact: true, Domains: s.dirty}
+	default:
+		return s.g, s.version, graph.Delta{}
+	}
+}
+
+// advance publishes a new snapshot whose delta against the previous
+// version is the given dirty set.
+func (s *deltaSource) advance(g *graph.Graph, dirty []string, exact bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prev = s.version
+	s.version++
+	s.g = g
+	s.dirty = dirty
+	s.exact = exact
+}
+
+// TestClassifyAllDeltaCache is the acceptance check for the delta-scored
+// classify path: a classify-all after k dirty domains performs exactly k
+// feature extractions, observed through the cache hit/miss counters.
+func TestClassifyAllDeltaCache(t *testing.T) {
+	b, src := testGraphParts(t, 42)
+	g1 := b.Snapshot()
+	g1.ApplyLabels(src)
+	gs := &deltaSource{g: g1, version: 7}
+	ts := newTestServer(t, func(cfg *Config) { cfg.Graphs = gs })
+
+	classify := func() ClassifyResponse {
+		t.Helper()
+		var resp ClassifyResponse
+		code, raw := postJSON(t, ts.URL+"/v1/classify", nil, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, raw)
+		}
+		return resp
+	}
+	counters := func() (hits, misses int64) {
+		return ts.srv.cacheHits.Value(), ts.srv.cacheMisses.Value()
+	}
+
+	// Cold cache: every one of the 4 unknown targets is a miss.
+	resp := classify()
+	if resp.Classified != 4 {
+		t.Fatalf("classified = %d, want 4", resp.Classified)
+	}
+	if hits, misses := counters(); hits != 0 || misses != 4 {
+		t.Fatalf("cold pass: hits/misses = %d/%d, want 0/4", hits, misses)
+	}
+	for _, d := range resp.Detections {
+		if d.ScoreVersion != 7 {
+			t.Fatalf("%s: scoreVersion = %d, want 7", d.Domain, d.ScoreVersion)
+		}
+	}
+
+	// Same version again: all 4 served from cache.
+	classify()
+	if hits, misses := counters(); hits != 4 || misses != 4 {
+		t.Fatalf("warm pass: hits/misses = %d/%d, want 4/4", hits, misses)
+	}
+
+	// One dirty domain: a new resolved IP on unk0 leaves every degree (and
+	// so the prune signature) unchanged, and the snapshot's own dirty set
+	// is exactly that domain. Exactly one re-extraction, three hits.
+	b.AddResolution("unk0.gray.org", dnsutil.IPv4(0x0cff0000))
+	g2 := b.Snapshot()
+	g2.ApplyLabels(src)
+	dirty, exact := g2.DirtyDomainNames()
+	if !exact || len(dirty) != 1 || dirty[0] != "unk0.gray.org" {
+		t.Fatalf("dirty = %v (exact=%v), want exactly [unk0.gray.org]", dirty, exact)
+	}
+	gs.advance(g2, dirty, true)
+
+	resp = classify()
+	if resp.Classified != 4 || resp.GraphVersion != 8 {
+		t.Fatalf("delta pass: classified/version = %d/%d, want 4/8", resp.Classified, resp.GraphVersion)
+	}
+	if hits, misses := counters(); hits != 7 || misses != 5 {
+		t.Fatalf("delta pass: hits/misses = %d/%d, want 7/5", hits, misses)
+	}
+	for _, d := range resp.Detections {
+		want := uint64(7)
+		if d.Domain == "unk0.gray.org" {
+			want = 8
+		}
+		if d.ScoreVersion != want {
+			t.Fatalf("%s: scoreVersion = %d, want %d", d.Domain, d.ScoreVersion, want)
+		}
+	}
+
+	// An inexact delta (rotation, ring overflow) flushes the whole cache.
+	gs.advance(g2, nil, false)
+	resp = classify()
+	if hits, misses := counters(); hits != 7 || misses != 9 {
+		t.Fatalf("inexact pass: hits/misses = %d/%d, want 7/9", hits, misses)
+	}
+	for _, d := range resp.Detections {
+		if d.ScoreVersion != 9 {
+			t.Fatalf("%s after flush: scoreVersion = %d, want 9", d.Domain, d.ScoreVersion)
+		}
+	}
+}
+
+// TestDomainLookupUsesCache checks GET /v1/domains/{name} serves the
+// cached classify-all score (with its version) instead of re-running the
+// pipeline when the cache is current.
+func TestDomainLookupUsesCache(t *testing.T) {
+	ts := newTestServer(t, nil)
+
+	// Prime the cache.
+	var cResp ClassifyResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/classify", nil, &cResp); code != http.StatusOK {
+		t.Fatalf("classify: status %d: %s", code, raw)
+	}
+
+	var resp DomainResponse
+	code, raw := getJSON(t, ts.URL+"/v1/domains/unk1.gray.org", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if resp.Score == nil || resp.ScoreVersion != cResp.GraphVersion {
+		t.Fatalf("score/scoreVersion = %v/%d, want cached score at version %d",
+			resp.Score, resp.ScoreVersion, cResp.GraphVersion)
+	}
+	for _, d := range cResp.Detections {
+		if d.Domain == "unk1.gray.org" && d.Score != *resp.Score {
+			t.Fatalf("lookup score %v != cached classify score %v", *resp.Score, d.Score)
+		}
+	}
+}
+
+// TestTrackerPassAndEndpoint runs the periodic deployment loop once and
+// reads it back through GET /v1/tracker.
+func TestTrackerPassAndEndpoint(t *testing.T) {
+	trk := tracker.New()
+	ts := newTestServer(t, func(cfg *Config) { cfg.Tracker = trk })
+
+	diff, err := ts.srv.RunTrackerPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Day != 42 {
+		t.Fatalf("diff day = %d, want 42", diff.Day)
+	}
+	if len(diff.New) != trk.Len() {
+		t.Fatalf("diff.New has %d domains, tracker holds %d", len(diff.New), trk.Len())
+	}
+
+	var resp TrackerResponse
+	code, raw := getJSON(t, ts.URL+"/v1/tracker", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if resp.Tracked != trk.Len() || len(resp.Entries) != trk.Len() {
+		t.Fatalf("tracked/entries = %d/%d, want %d", resp.Tracked, len(resp.Entries), trk.Len())
+	}
+	for _, e := range resp.Entries {
+		if e.FirstDetected != 42 || e.DaysDetected != 1 || e.Machines == 0 {
+			t.Fatalf("entry %+v: want firstDetected=42, daysDetected=1, machines>0", e)
+		}
+	}
+
+	// The pass went through the classify-all cache: a second pass on the
+	// same snapshot is pure cache hits and reports everything recurring.
+	diff2, err := ts.srv.RunTrackerPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff2.New) != 0 || len(diff2.Recurring) != len(diff.New) {
+		t.Fatalf("second pass: %d new, %d recurring, want 0/%d", len(diff2.New), len(diff2.Recurring), len(diff.New))
+	}
+
+	// minDays filter: everything has 1 detection day.
+	code, _ = getJSON(t, ts.URL+"/v1/tracker?minDays=2", &resp)
+	if code != http.StatusOK || len(resp.Entries) != 0 {
+		t.Fatalf("minDays=2: status %d, %d entries, want 200 and none", code, len(resp.Entries))
+	}
+}
+
+// TestTrackerWithoutTracker checks the endpoint degrades to 503.
+func TestTrackerWithoutTracker(t *testing.T) {
+	ts := newTestServer(t, nil)
+	code, _ := getJSON(t, ts.URL+"/v1/tracker", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", code)
+	}
+}
+
+// TestPprofMounted checks the profiling surface answers when enabled and
+// is absent by default.
+func TestPprofMounted(t *testing.T) {
+	ts := newTestServer(t, func(cfg *Config) { cfg.EnablePprof = true })
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: status %d, want 200", resp.StatusCode)
+	}
+
+	off := newTestServer(t, nil)
+	resp, err = http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof answered while disabled")
+	}
+}

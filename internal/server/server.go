@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"segugio/internal/graph"
 	"segugio/internal/metrics"
 	"segugio/internal/pdns"
+	"segugio/internal/tracker"
 )
 
 // GraphSource supplies immutable snapshots of the live behavior graph.
@@ -34,6 +37,12 @@ type GraphSource interface {
 	// Snapshot returns a labeled, immutable graph plus a version counter
 	// that moves whenever the underlying graph changes.
 	Snapshot() (*graph.Graph, uint64)
+	// SnapshotSince returns the current snapshot plus the delta of
+	// domains whose adjacency, labels, or resolved IPs changed since the
+	// given version. An inexact delta means the span could not be
+	// reconstructed (first snapshot, rotation, history evicted) and the
+	// caller must treat every domain as dirty.
+	SnapshotSince(since uint64) (*graph.Graph, uint64, graph.Delta)
 	// Day returns the current observation day.
 	Day() int
 }
@@ -116,6 +125,13 @@ type Config struct {
 	// Panics, when non-nil, counts panics recovered in HTTP handlers: the
 	// panicking request is answered 500 instead of killing the daemon.
 	Panics *metrics.Counter
+	// Tracker, when non-nil, accumulates detections across observation
+	// days; GET /v1/tracker reads it and RunTrackerPass feeds it.
+	Tracker *tracker.Tracker
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
+	// mux, so live snapshot and classification cost is profileable
+	// in production without a rebuild.
+	EnablePprof bool
 }
 
 // Server is the daemon's HTTP API. Create with New, then serve its
@@ -131,7 +147,15 @@ type Server struct {
 	domainLat   *metrics.Histogram
 	reloads     *metrics.Counter
 	reloadFails *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+
+	cache scoreCache
 }
+
+// errNotLabeled surfaces a classify-all attempt before the first
+// labeling pass; handlers translate it to 503.
+var errNotLabeled = errors.New("live graph is not labeled yet")
 
 // New builds the server and registers its metrics.
 func New(cfg Config) *Server {
@@ -145,7 +169,7 @@ func New(cfg Config) *Server {
 
 	r := cfg.Registry
 	s.reqTotal = map[string]*metrics.Counter{}
-	for _, h := range []string{"classify", "domains", "healthz", "metrics", "reload"} {
+	for _, h := range []string{"classify", "domains", "healthz", "metrics", "reload", "tracker"} {
 		s.reqTotal[h] = r.NewCounter("segugiod_http_requests_total",
 			"HTTP requests served, by handler.", metrics.Labels("handler", h))
 	}
@@ -159,6 +183,10 @@ func New(cfg Config) *Server {
 		"Successful detector reloads.", "")
 	s.reloadFails = r.NewCounter("segugiod_detector_reload_failures_total",
 		"Failed detector reloads (previous detector kept).", "")
+	s.cacheHits = r.NewCounter("segugiod_classify_cache_hits_total",
+		"Classify-all domain scores served from the delta cache without re-extraction.", "")
+	s.cacheMisses = r.NewCounter("segugiod_classify_cache_misses_total",
+		"Classify-all domain scores that required feature re-extraction.", "")
 	if cfg.Detector != nil {
 		r.NewGaugeFunc("segugiod_detector_age_seconds",
 			"Seconds since the serving detector was loaded.", "",
@@ -169,9 +197,19 @@ func New(cfg Config) *Server {
 
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("GET /v1/domains/{name}", s.handleDomain)
+	s.mux.HandleFunc("GET /v1/tracker", s.handleTracker)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// Explicit registration keeps the daemon off http.DefaultServeMux;
+		// pprof.Index serves the sub-profiles (heap, goroutine, ...) itself.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -230,11 +268,15 @@ type ClassifyRequest struct {
 	DetectedOnly bool `json:"detectedOnly"`
 }
 
-// ClassifyDetection is one scored domain.
+// ClassifyDetection is one scored domain. ScoreVersion is the graph
+// version the score was computed at: on the cached classify-all path it
+// can lag the response's GraphVersion for domains whose evidence did not
+// change between the two snapshots.
 type ClassifyDetection struct {
-	Domain   string  `json:"domain"`
-	Score    float64 `json:"score"`
-	Detected bool    `json:"detected"`
+	Domain       string  `json:"domain"`
+	Score        float64 `json:"score"`
+	Detected     bool    `json:"detected"`
+	ScoreVersion uint64  `json:"scoreVersion"`
 }
 
 // ClassifyResponse is the POST /v1/classify reply.
@@ -251,7 +293,7 @@ type ClassifyResponse struct {
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal["classify"].Inc()
-	det, _ := s.detector()
+	det, loadedAt := s.detector()
 	if det == nil {
 		s.writeError(w, http.StatusServiceUnavailable, "no detector loaded")
 		return
@@ -275,55 +317,76 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 
 	t0 := time.Now()
-	g, version := s.cfg.Graphs.Snapshot()
-	if !g.Labeled() {
-		s.writeError(w, http.StatusServiceUnavailable, "live graph is not labeled yet")
-		return
-	}
-	dets, report, err := det.Classify(core.ClassifyInput{
-		Graph:    g,
-		Activity: s.cfg.Activity,
-		Abuse:    s.cfg.Abuse,
-		Domains:  orNil(req.Domains),
-	})
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "classify: %v", err)
-		return
+	var resp ClassifyResponse
+	var rows []ClassifyDetection
+	if len(req.Domains) == 0 {
+		// Classify-all goes through the delta cache: only domains whose
+		// evidence changed since the cached pass are re-extracted.
+		res, err := s.classifyAll(det, loadedAt)
+		if errors.Is(err, errNotLabeled) {
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "classify: %v", err)
+			return
+		}
+		rows = res.rows
+		resp = ClassifyResponse{
+			Day:          res.graph.Day(),
+			GraphVersion: res.version,
+			Classified:   len(res.rows),
+			Missing:      res.missing,
+		}
+	} else {
+		// Explicit domain lists are ad-hoc queries; they bypass the cache.
+		g, version := s.cfg.Graphs.Snapshot()
+		if !g.Labeled() {
+			s.writeError(w, http.StatusServiceUnavailable, "%v", errNotLabeled)
+			return
+		}
+		dets, report, err := det.Classify(core.ClassifyInput{
+			Graph:    g,
+			Activity: s.cfg.Activity,
+			Abuse:    s.cfg.Abuse,
+			Domains:  req.Domains,
+		})
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "classify: %v", err)
+			return
+		}
+		rows = make([]ClassifyDetection, 0, len(dets))
+		for _, d := range dets {
+			rows = append(rows, ClassifyDetection{
+				Domain: d.Domain, Score: d.Score,
+				Detected: d.Score >= det.Threshold(), ScoreVersion: version,
+			})
+		}
+		resp = ClassifyResponse{
+			Day:          g.Day(),
+			GraphVersion: version,
+			Classified:   report.Classified,
+			Missing:      report.Missing,
+		}
 	}
 	took := time.Since(t0)
 	s.classifyLat.ObserveDuration(took)
+	resp.Threshold = det.Threshold()
+	resp.TookMS = float64(took.Microseconds()) / 1000
 
-	resp := ClassifyResponse{
-		Day:          g.Day(),
-		GraphVersion: version,
-		Threshold:    det.Threshold(),
-		Classified:   report.Classified,
-		Missing:      report.Missing,
-		TookMS:       float64(took.Microseconds()) / 1000,
-	}
-	for _, d := range dets {
-		detected := d.Score >= det.Threshold()
-		if detected {
+	for _, row := range rows {
+		if row.Detected {
 			resp.Detected++
 		}
-		if req.DetectedOnly && !detected {
+		if req.DetectedOnly && !row.Detected {
 			continue
 		}
 		if req.Top > 0 && len(resp.Detections) >= req.Top {
 			continue
 		}
-		resp.Detections = append(resp.Detections, ClassifyDetection{
-			Domain: d.Domain, Score: d.Score, Detected: detected,
-		})
+		resp.Detections = append(resp.Detections, row)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
-}
-
-func orNil(s []string) []string {
-	if len(s) == 0 {
-		return nil
-	}
-	return s
 }
 
 // DomainResponse is the GET /v1/domains/{name} reply: the analyst-facing
@@ -336,6 +399,10 @@ type DomainResponse struct {
 	E2LD         string   `json:"e2ld"`
 	Score        *float64 `json:"score,omitempty"`
 	Detected     *bool    `json:"detected,omitempty"`
+	// ScoreVersion is the graph version the score was computed at; it can
+	// lag GraphVersion when the score came from the classify-all cache and
+	// this domain's evidence has not changed since.
+	ScoreVersion uint64 `json:"scoreVersion,omitempty"`
 
 	QueryingMachines int     `json:"queryingMachines"`
 	InfectedFraction float64 `json:"infectedFraction"`
@@ -403,23 +470,110 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Score the domain when a detector is loaded and the domain is a
 	// classification target (unknown label). The score is measured on the
-	// pruned deployment graph, so a pruned-away domain has no score.
+	// pruned deployment graph, so a pruned-away domain has no score. A
+	// classify-all cache entry that is current for this snapshot answers
+	// without re-running the pipeline.
 	if det, _ := s.detector(); det != nil && g.DomainLabel(d) == graph.LabelUnknown {
-		dets, _, err := det.Classify(core.ClassifyInput{
-			Graph:    g,
-			Activity: s.cfg.Activity,
-			Abuse:    s.cfg.Abuse,
-			Domains:  []string{name},
-		})
-		if err == nil && len(dets) == 1 {
-			score := dets[0].Score
+		if e, ok := s.cachedScore(name, version); ok {
+			score := e.score
 			detected := score >= det.Threshold()
 			resp.Score = &score
 			resp.Detected = &detected
+			resp.ScoreVersion = e.version
+		} else {
+			dets, _, err := det.Classify(core.ClassifyInput{
+				Graph:    g,
+				Activity: s.cfg.Activity,
+				Abuse:    s.cfg.Abuse,
+				Domains:  []string{name},
+			})
+			if err == nil && len(dets) == 1 {
+				score := dets[0].Score
+				detected := score >= det.Threshold()
+				resp.Score = &score
+				resp.Detected = &detected
+				resp.ScoreVersion = version
+			}
 		}
 	}
 	s.domainLat.ObserveDuration(time.Since(t0))
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// TrackerEntry is one tracked domain in the GET /v1/tracker reply.
+type TrackerEntry struct {
+	Domain        string  `json:"domain"`
+	FirstDetected int     `json:"firstDetected"`
+	LastDetected  int     `json:"lastDetected"`
+	DaysDetected  int     `json:"daysDetected"`
+	PeakScore     float64 `json:"peakScore"`
+	Machines      int     `json:"machines"`
+}
+
+// TrackerResponse is the GET /v1/tracker reply.
+type TrackerResponse struct {
+	Tracked int            `json:"tracked"`
+	Entries []TrackerEntry `json:"entries"`
+}
+
+// handleTracker reads the cross-day detection tracker. ?minDays=N
+// restricts the listing to domains detected on at least N distinct days
+// (the persistent control infrastructure).
+func (s *Server) handleTracker(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal["tracker"].Inc()
+	if s.cfg.Tracker == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no tracker configured")
+		return
+	}
+	minDays := 0
+	if v := r.URL.Query().Get("minDays"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, "bad minDays %q", v)
+			return
+		}
+		minDays = n
+	}
+	resp := TrackerResponse{Tracked: s.cfg.Tracker.Len()}
+	for _, e := range s.cfg.Tracker.Entries() {
+		if e.DaysDetected < minDays {
+			continue
+		}
+		resp.Entries = append(resp.Entries, TrackerEntry{
+			Domain:        e.Domain,
+			FirstDetected: e.FirstDetected,
+			LastDetected:  e.LastDetected,
+			DaysDetected:  e.DaysDetected,
+			PeakScore:     e.PeakScore,
+			Machines:      len(e.Machines),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// RunTrackerPass runs a cached classify-all and folds the detections
+// into the tracker — the daemon's periodic deployment loop ("what is
+// new today, what recurs, what went dormant"). The live graph supplies
+// the querying machines behind each detection.
+func (s *Server) RunTrackerPass() (*tracker.DayDiff, error) {
+	if s.cfg.Tracker == nil {
+		return nil, errors.New("server: no tracker configured")
+	}
+	det, loadedAt := s.detector()
+	if det == nil {
+		return nil, errors.New("server: no detector loaded")
+	}
+	res, err := s.classifyAll(det, loadedAt)
+	if err != nil {
+		return nil, err
+	}
+	var dets []core.Detection
+	for _, row := range res.rows {
+		if row.Detected {
+			dets = append(dets, core.Detection{Domain: row.Domain, Score: row.Score})
+		}
+	}
+	return s.cfg.Tracker.Observe(res.graph.Day(), dets, res.graph), nil
 }
 
 // HealthResponse is the GET /healthz reply.

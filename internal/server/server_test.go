@@ -30,10 +30,29 @@ type staticSource struct {
 func (s *staticSource) Snapshot() (*graph.Graph, uint64) { return s.g, s.version }
 func (s *staticSource) Day() int                         { return s.g.Day() }
 
+// SnapshotSince reports an exact empty delta when asked about the current
+// version and an inexact one otherwise, like the real ingester.
+func (s *staticSource) SnapshotSince(since uint64) (*graph.Graph, uint64, graph.Delta) {
+	if since == s.version {
+		return s.g, s.version, graph.Delta{Exact: true}
+	}
+	return s.g, s.version, graph.Delta{}
+}
+
 // testGraph builds a small labeled graph: 10 blacklisted domains and 20
 // whitelisted ones with clearly separated machine populations, plus a few
 // unknown domains queried by the infected machines (the targets).
 func testGraph(t *testing.T, day int) *graph.Graph {
+	t.Helper()
+	b, src := testGraphParts(t, day)
+	g := b.Build()
+	g.ApplyLabels(src)
+	return g
+}
+
+// testGraphParts returns the populated builder behind testGraph plus the
+// label sources, for tests that keep streaming into it.
+func testGraphParts(t *testing.T, day int) (*graph.Builder, graph.LabelSources) {
 	t.Helper()
 	b := graph.NewBuilder("live", day, dnsutil.DefaultSuffixList())
 	bl := intel.NewBlacklist()
@@ -63,13 +82,11 @@ func testGraph(t *testing.T, day int) *graph.Graph {
 		}
 		b.AddResolution(name, dnsutil.IPv4(0x0c000000+uint32(i)))
 	}
-	g := b.Build()
-	g.ApplyLabels(graph.LabelSources{
+	return b, graph.LabelSources{
 		Blacklist: bl,
 		Whitelist: intel.NewWhitelist(whitelisted),
 		AsOf:      day,
-	})
-	return g
+	}
 }
 
 // testDetector trains a small logistic-regression detector on the test
@@ -470,6 +487,9 @@ type panickingSource struct{}
 
 func (panickingSource) Snapshot() (*graph.Graph, uint64) { panic("snapshot exploded") }
 func (panickingSource) Day() int                         { return 1 }
+func (panickingSource) SnapshotSince(uint64) (*graph.Graph, uint64, graph.Delta) {
+	panic("snapshot exploded")
+}
 
 func TestHandlerPanicRecovery(t *testing.T) {
 	reg := metrics.NewRegistry()
