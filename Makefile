@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-all clean
+.PHONY: build test race vet check bench bench-short bench-all obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,17 @@ bench:
 
 bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# bench-short compiles and runs every benchmark exactly once — a smoke
+# test that the benchmark suite still builds and executes (CI runs this).
+bench-short:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# obs-smoke boots a real segugiod, feeds it a canned event trace, and
+# curls the observability surface (/metrics, /debug/obs/traces,
+# /v1/audit, /healthz). Fails if any endpoint is missing or broken.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -2,15 +2,15 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"segugio/internal/logio"
+	"segugio/internal/obs"
 )
 
 // TestCrashHelperProcess is not a test: it is the daemon process the
@@ -82,9 +83,14 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		t.Skip("e2e test")
 	}
 	state := t.TempDir()
+	dataDir := t.TempDir()
+	bl, wl := writeIntel(t, dataDir)
+	model := trainModel(t, dataDir, bl, wl)
 
 	// Phase 1: the victim daemon runs in a separate process so it can be
-	// SIGKILLed — a real unclean death, not a polite shutdown.
+	// SIGKILLed — a real unclean death, not a polite shutdown. The model
+	// and the periodic tracker pass make it write detection audit records,
+	// which must survive the kill like the graph does.
 	args := []string{
 		"-listen", "127.0.0.1:0",
 		"-events", "tcp://127.0.0.1:0",
@@ -94,6 +100,9 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		"-queue", "16384",
 		"-wal-sync-every", "1",
 		"-checkpoint-interval", "300ms",
+		"-data", dataDir,
+		"-model", model,
+		"-classify-every", "200ms",
 	}
 	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashHelperProcess$", "-test.v")
 	cmd.Env = append(os.Environ(),
@@ -111,8 +120,8 @@ func TestDaemonCrashRecovery(t *testing.T) {
 	// The helper logs its bound addresses; scrape them off its stderr.
 	var logMu sync.Mutex
 	var helperLog strings.Builder
-	httpRe := regexp.MustCompile(`HTTP API on (127\.0\.0\.1:\d+)`)
-	eventsRe := regexp.MustCompile(`event listener on tcp://(127\.0\.0\.1:\d+)`)
+	httpRe := regexp.MustCompile(`msg="HTTP API listening".* addr=(127\.0\.0\.1:\d+)`)
+	eventsRe := regexp.MustCompile(`msg="event listener started".* addr=tcp://(127\.0\.0\.1:\d+)`)
 	addrCh := make(chan [2]string, 1)
 	go func() {
 		var httpAddr, eventsAddr string
@@ -164,6 +173,12 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		t.Fatalf("helper dropped %v events; the acknowledged-event invariant needs 0", v)
 	}
 
+	// Wait for the periodic tracker pass to flag and audit detections.
+	// The audit metric is read under the same lock Append fsyncs under,
+	// so any value it reports counts records already durable on disk.
+	pollMetric(t, base, "segugiod_audit_records_total", func(v float64) bool { return v >= 1 })
+	auditedBeforeKill, _ := metricValue(t, base, "segugiod_audit_records_total")
+
 	// Unclean death.
 	if err := cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
@@ -172,7 +187,11 @@ func TestDaemonCrashRecovery(t *testing.T) {
 
 	// Phase 2: restart on the same state directory, in-process this time
 	// so the recovered daemon's internals are inspectable.
-	logBuf := &bytes.Buffer{}
+	logBuf := &logBuffer{}
+	logger, err := obs.NewLogger(logBuf, obs.FormatText, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := newDaemon(options{
 		listen:       "127.0.0.1:0",
 		events:       "tcp://127.0.0.1:0",
@@ -185,7 +204,7 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		stateDir:     state,
 		ckptInterval: time.Hour, // only the shutdown checkpoint
 		walSyncEvery: 1,
-	}, log.New(logBuf, "", 0))
+	}, logger)
 	if err != nil {
 		t.Fatalf("restart on crashed state: %v", err)
 	}
@@ -217,6 +236,30 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		t.Fatalf("healthz after recovery: %s", body)
 	}
 
+	// No acknowledged audit record lost either: the restarted daemon
+	// reloads the audit trail from state/audit, and /v1/audit serves at
+	// least every record the victim acknowledged before the kill.
+	resp, err = http.Get(base2 + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var audit struct {
+		Total   int               `json:"total"`
+		Records []obs.AuditRecord `json:"records"`
+	}
+	if err := json.Unmarshal(body, &audit); err != nil {
+		t.Fatalf("audit after recovery: bad JSON %q: %v", body, err)
+	}
+	if audit.Total < int(auditedBeforeKill) {
+		t.Fatalf("audit records after recovery = %d, victim acknowledged %v before SIGKILL",
+			audit.Total, auditedBeforeKill)
+	}
+	if len(audit.Records) == 0 || audit.Records[0].Reason != obs.ReasonNewDetection {
+		t.Fatalf("recovered audit records = %s", body)
+	}
+
 	// The recovered daemon keeps ingesting durably: a fresh machine shows
 	// up in the graph (and in the WAL, though this test stops here).
 	streamEvents(t, d.eventsLn.Addr().String(), []logio.Event{
@@ -232,5 +275,18 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatalf("recovered daemon did not shut down; log:\n%s", logBuf.String())
+	}
+
+	// A graceful stop leaves the flight-recorder snapshot behind.
+	snap, err := os.ReadFile(filepath.Join(state, "traces.json"))
+	if err != nil {
+		t.Fatalf("no trace snapshot after graceful shutdown: %v", err)
+	}
+	var dump obs.Dump
+	if err := json.Unmarshal(snap, &dump); err != nil {
+		t.Fatalf("trace snapshot is not a Dump: %v", err)
+	}
+	if len(dump.Recent) == 0 {
+		t.Fatal("trace snapshot has no traces")
 	}
 }

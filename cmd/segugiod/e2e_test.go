@@ -7,13 +7,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,6 +23,7 @@ import (
 	"segugio/internal/intel"
 	"segugio/internal/logio"
 	"segugio/internal/ml"
+	"segugio/internal/obs"
 )
 
 const e2eDay = 42
@@ -155,7 +156,8 @@ func trainModel(t *testing.T, dir string, bl *intel.Blacklist, wl *intel.Whiteli
 	return path
 }
 
-// metricValue scrapes one un-labeled counter/gauge from /metrics.
+// metricValue scrapes one series from /metrics; name may carry a label
+// set (`foo{bar="x"}`) and must match the exposed series exactly.
 func metricValue(t *testing.T, base, name string) (float64, bool) {
 	t.Helper()
 	resp, err := http.Get(base + "/metrics")
@@ -178,6 +180,25 @@ func metricValue(t *testing.T, base, name string) (float64, bool) {
 	return 0, false
 }
 
+// logBuffer is a goroutine-safe log sink for in-process daemons: handler
+// and source goroutines keep logging while the test reads.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 func TestDaemonEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("e2e test")
@@ -186,7 +207,11 @@ func TestDaemonEndToEnd(t *testing.T) {
 	bl, wl := writeIntel(t, dir)
 	model := trainModel(t, dir, bl, wl)
 
-	logBuf := &bytes.Buffer{}
+	logBuf := &logBuffer{}
+	logger, err := obs.NewLogger(logBuf, obs.FormatJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := newDaemon(options{
 		listen:   "127.0.0.1:0",
 		events:   "tcp://127.0.0.1:0",
@@ -198,7 +223,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		queue:    8192,
 		window:   14,
 		keepDays: 30,
-	}, log.New(logBuf, "", 0))
+	}, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,6 +340,67 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("evidence = %s", body)
 	}
 
+	// Every pipeline stage the in-memory daemon exercises must have fed
+	// its latency histogram.
+	for _, stage := range []string{"parse", "graph_apply", "snapshot", "classify", "feature_extract"} {
+		series := fmt.Sprintf(`segugiod_stage_seconds_count{stage="%s"}`, stage)
+		if v, ok := metricValue(t, base, series); !ok || v == 0 {
+			t.Fatalf("stage histogram %s = %v (present=%v), want nonzero", series, v, ok)
+		}
+	}
+
+	// The flight recorder covers the whole pipeline: across the dumped
+	// traces there are parse, graph_apply, snapshot, and classify spans.
+	resp, err = http.Get(base + "/debug/obs/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var dump obs.Dump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("traces: bad JSON %q: %v", body, err)
+	}
+	spanNames := map[string]bool{}
+	for _, trc := range append(dump.Recent, dump.Slowest...) {
+		for _, s := range trc.Spans {
+			spanNames[s.Name] = true
+		}
+	}
+	for _, want := range []string{obs.StageParse, obs.StageGraphApply, obs.StageSnapshot, obs.StageClassify} {
+		if !spanNames[want] {
+			t.Fatalf("flight recorder lacks %s spans (have %v)", want, spanNames)
+		}
+	}
+
+	// The audit trail holds one record per detection the classify-all
+	// produced, with the full feature vector.
+	detected := 0
+	for _, det := range classify.Detections {
+		if det.Detected {
+			detected++
+		}
+	}
+	resp, err = http.Get(base + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var audit struct {
+		Total   int               `json:"total"`
+		Records []obs.AuditRecord `json:"records"`
+	}
+	if err := json.Unmarshal(body, &audit); err != nil {
+		t.Fatalf("audit: bad JSON %q: %v", body, err)
+	}
+	if audit.Total != detected {
+		t.Fatalf("audit total = %d, want %d detections: %s", audit.Total, detected, body)
+	}
+	if detected > 0 && len(audit.Records[0].Features) != 11 {
+		t.Fatalf("audit record lacks the 11-feature vector: %+v", audit.Records[0])
+	}
+
 	// Health and hot-reload.
 	resp, err = http.Get(base + "/healthz")
 	if err != nil {
@@ -348,6 +434,26 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if !strings.Contains(logBuf.String(), "shut down cleanly") {
 		t.Fatalf("missing clean-shutdown log line:\n%s", logBuf.String())
 	}
+
+	// -log-format=json: every line is a JSON object carrying a component,
+	// and the HTTP request records carry request ids.
+	sawRequestID := false
+	sc := bufio.NewScanner(strings.NewReader(logBuf.String()))
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("log line is not JSON: %v (%s)", err, sc.Text())
+		}
+		if comp, _ := obj["component"].(string); comp == "" {
+			t.Fatalf("log line lacks component: %s", sc.Text())
+		}
+		if rid, _ := obj["request_id"].(string); obj["msg"] == "request" && rid != "" {
+			sawRequestID = true
+		}
+	}
+	if !sawRequestID {
+		t.Fatalf("no request record with request_id in:\n%s", logBuf.String())
+	}
 }
 
 // TestDaemonStdinSource covers the "-" event source: events arrive on
@@ -363,12 +469,16 @@ func TestDaemonStdinSource(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	logger, err := obs.NewLogger(io.Discard, obs.FormatText, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := newDaemon(options{
 		listen:   "127.0.0.1:0",
 		events:   "-",
 		network:  "stdin",
 		startDay: e2eDay,
-	}, log.New(io.Discard, "", 0))
+	}, logger)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,19 +13,21 @@
 //	path             tail a file, following appended events
 //
 // The HTTP surface is internal/server: POST /v1/classify,
-// GET /v1/domains/{name}, POST /v1/reload, GET /healthz, GET /metrics.
-// SIGHUP reloads the detector in place; SIGINT/SIGTERM shut down
-// gracefully (drain ingest queues, stop the HTTP server).
+// GET /v1/domains/{name}, POST /v1/reload, GET /v1/audit, GET /healthz,
+// GET /metrics, GET /debug/obs/traces. SIGHUP reloads the detector in
+// place; SIGINT/SIGTERM shut down gracefully (drain ingest queues, seal
+// the audit trail, snapshot the flight recorder, stop the HTTP server).
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +45,7 @@ import (
 	"segugio/internal/intel"
 	"segugio/internal/logio"
 	"segugio/internal/metrics"
+	"segugio/internal/obs"
 	"segugio/internal/pdns"
 	"segugio/internal/server"
 	"segugio/internal/tracker"
@@ -83,6 +86,14 @@ type options struct {
 	// classify-all whose detections accumulate in the cross-day tracker.
 	classifyEvery time.Duration
 	pprof         bool
+
+	// Observability knobs: structured-log shape, flight-recorder sizing,
+	// and the slow-trace alert threshold.
+	logFormat string
+	logLevel  string
+	slowTrace time.Duration
+	traceRing int
+	auditRing int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -106,6 +117,11 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&opts.eventIdleTimeout, "event-idle-timeout", 5*time.Minute, "drop a tcp:// event connection idle this long (0 = never)")
 	fs.DurationVar(&opts.classifyEvery, "classify-every", 0, "run a periodic classify-all and feed detections to the /v1/tracker history (0 = disabled; needs -model)")
 	fs.BoolVar(&opts.pprof, "pprof", true, "serve net/http/pprof under /debug/pprof/ on the API listener")
+	fs.StringVar(&opts.logFormat, "log-format", obs.FormatText, `log output format: "text" or "json"`)
+	fs.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	fs.DurationVar(&opts.slowTrace, "slow-trace", time.Second, "log pipeline traces slower than this (0 = never)")
+	fs.IntVar(&opts.traceRing, "trace-ring", 32, "traces kept in each flight-recorder ring (most recent and slowest)")
+	fs.IntVar(&opts.auditRing, "audit-ring", 1024, "detection audit records kept in memory for /v1/audit")
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -120,7 +136,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, logw io.Writer) er
 	if err != nil {
 		return err
 	}
-	d, err := newDaemon(opts, log.New(logw, "segugiod: ", log.LstdFlags))
+	level, err := obs.ParseLevel(opts.logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(logw, opts.logFormat, level)
+	if err != nil {
+		return err
+	}
+	d, err := newDaemon(opts, logger)
 	if err != nil {
 		return err
 	}
@@ -131,10 +155,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, logw io.Writer) er
 // constructed with its listeners already bound so tests can read the
 // assigned ports before starting run.
 type daemon struct {
-	opts   options
-	logger *log.Logger
+	opts options
+
+	// logger is the root structured logger; log is its "daemon"
+	// component child used for the daemon's own lifecycle records.
+	logger *slog.Logger
+	log    *slog.Logger
 
 	reg    *metrics.Registry
+	tracer *obs.Tracer
+	audit  *obs.AuditLog
 	ing    *ingest.Ingester
 	srv    *server.Server
 	handle *server.DetectorHandle
@@ -153,8 +183,13 @@ type daemon struct {
 	conns  map[net.Conn]struct{}
 }
 
-func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
-	d := &daemon{opts: opts, logger: logger, conns: make(map[net.Conn]struct{})}
+func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
+	d := &daemon{
+		opts:   opts,
+		logger: logger,
+		log:    obs.Component(logger, "daemon"),
+		conns:  make(map[net.Conn]struct{}),
+	}
 
 	suffixes := dnsutil.DefaultSuffixList()
 	if opts.pslPath != "" {
@@ -187,6 +222,36 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 		"Panics recovered anywhere in the daemon (ingest workers, HTTP handlers, sources).", "")
 	d.restarts = d.reg.NewCounter("segugiod_source_restarts_total",
 		"Supervised event-source restarts after a failure.", "")
+
+	// One latency histogram per pipeline stage; the tracer feeds them
+	// through OnStage so internal/obs stays metrics-agnostic. Span names
+	// outside the stage set (http.* roots) are recorded in traces only.
+	stageHist := make(map[string]*metrics.Histogram, len(obs.Stages()))
+	for _, stage := range obs.Stages() {
+		stageHist[stage] = d.reg.NewHistogram("segugiod_stage_seconds",
+			"Pipeline stage latency in seconds, by stage.",
+			metrics.Labels("stage", stage), nil)
+	}
+	d.tracer = obs.NewTracer(obs.TracerConfig{
+		RingSize:      opts.traceRing,
+		SlowThreshold: opts.slowTrace,
+		Logger:        obs.Component(logger, "trace"),
+		OnStage: func(stage string, seconds float64) {
+			if h := stageHist[stage]; h != nil {
+				h.Observe(seconds)
+			}
+		},
+	})
+
+	auditCfg := obs.AuditConfig{RingSize: opts.auditRing}
+	if opts.stateDir != "" {
+		auditCfg.Dir = filepath.Join(opts.stateDir, "audit")
+	}
+	var err error
+	d.audit, err = obs.OpenAudit(auditCfg)
+	if err != nil {
+		return nil, fmt.Errorf("open audit trail: %w", err)
+	}
 	ingMetrics := &ingest.Metrics{
 		EventsIngested: d.reg.NewCounter("segugiod_ingest_events_total",
 			"Events applied to the live graph.", ""),
@@ -215,6 +280,7 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 			"Domains whose evidence changed between the last two snapshots.", ""),
 	}
 
+	ingLog := obs.Component(logger, "ingest")
 	ingCfg := ingest.Config{
 		Network:          opts.network,
 		StartDay:         opts.startDay,
@@ -227,10 +293,11 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 			g.ApplyLabels(graph.LabelSources{Blacklist: bl, Whitelist: wl, AsOf: g.Day()})
 		},
 		OnRotate: func(day int, final *graph.Graph) {
-			logger.Printf("epoch rotated: day %d finalized with %d machines, %d domains",
-				day, final.NumMachines(), final.NumDomains())
+			ingLog.Info("epoch rotated",
+				"day", day, "machines", final.NumMachines(), "domains", final.NumDomains())
 		},
 		Metrics: ingMetrics,
+		Tracer:  d.tracer,
 	}
 	if opts.stateDir == "" {
 		d.ing = ingest.New(ingCfg)
@@ -262,7 +329,6 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 				"Wall-clock second of the newest durable checkpoint.", ""),
 		}
 		var info *ingest.RecoveryInfo
-		var err error
 		d.ing, info, err = ingest.OpenDurable(ingCfg, ingest.DurableConfig{
 			Dir:             opts.stateDir,
 			CheckpointEvery: opts.ckptInterval,
@@ -272,7 +338,7 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 		if err != nil {
 			return nil, fmt.Errorf("open state %s: %w", opts.stateDir, err)
 		}
-		logger.Printf("state recovered from %s: %s", opts.stateDir, info)
+		ingLog.Info("state recovered", "dir", opts.stateDir, "summary", info.String())
 	}
 
 	if opts.model != "" {
@@ -294,9 +360,11 @@ func newDaemon(opts options, logger *log.Logger) (*daemon, error) {
 		Panics:      d.panics,
 		Tracker:     d.trk,
 		EnablePprof: opts.pprof,
+		Logger:      logger,
+		Tracer:      d.tracer,
+		Audit:       d.audit,
 	})
 
-	var err error
 	d.httpLn, err = net.Listen("tcp", opts.listen)
 	if err != nil {
 		d.ing.Shutdown()
@@ -389,20 +457,20 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 			httpErr <- err
 		}
 	}()
-	d.logger.Printf("HTTP API on %s", d.httpLn.Addr())
+	d.log.Info("HTTP API listening", "addr", d.httpLn.Addr().String())
 
 	var sources sync.WaitGroup
 	srcCtx, cancelSources := context.WithCancel(ctx)
 	defer cancelSources()
 	switch {
 	case d.eventsLn != nil:
-		d.logger.Printf("event listener on tcp://%s", d.eventsLn.Addr())
+		d.log.Info("event listener started", "addr", "tcp://"+d.eventsLn.Addr().String())
 		sources.Add(1)
 		go func() {
 			defer sources.Done()
 			err := ingest.Supervise(srcCtx, d.supervisorConfig("events-listener"), d.acceptEvents)
 			if err != nil {
-				d.logger.Printf("event listener: %v", err)
+				d.log.Error("event listener failed", "err", err)
 			}
 		}()
 	case d.opts.events == "-":
@@ -411,12 +479,12 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 			go func() {
 				defer sources.Done()
 				if err := d.ing.Consume(stdin); err != nil && !errors.Is(err, ingest.ErrShuttingDown) {
-					d.logger.Printf("stdin stream: %v", err)
+					d.log.Error("stdin stream failed", "err", err)
 				}
 			}()
 		}
 	default:
-		d.logger.Printf("tailing %s", d.opts.events)
+		d.log.Info("tailing events file", "path", d.opts.events)
 		sources.Add(1)
 		go func() {
 			defer sources.Done()
@@ -429,7 +497,7 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 			tailer := d.ing.NewTailer(d.opts.events, 0)
 			err := ingest.Supervise(srcCtx, d.supervisorConfig("tail"), tailer.Run)
 			if err != nil {
-				d.logger.Printf("tail %s: %v", d.opts.events, err)
+				d.log.Error("tail failed", "path", d.opts.events, "err", err)
 			}
 		}()
 	}
@@ -438,6 +506,7 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	// the detections into the cross-day tracker, and log the day diff.
 	// Failures (e.g. the graph not labeled yet at startup) only log.
 	if d.opts.classifyEvery > 0 && d.handle != nil {
+		trkLog := obs.Component(d.logger, "tracker")
 		sources.Add(1)
 		go func() {
 			defer sources.Done()
@@ -451,12 +520,13 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 				}
 				diff, err := d.srv.RunTrackerPass()
 				if err != nil {
-					d.logger.Printf("tracker pass: %v", err)
+					trkLog.Warn("tracker pass failed", "err", err)
 					continue
 				}
 				if len(diff.New) > 0 || len(diff.Dormant) > 0 {
-					d.logger.Printf("tracker day %d: %d new, %d recurring, %d dormant",
-						diff.Day, len(diff.New), len(diff.Recurring), len(diff.Dormant))
+					trkLog.Info("tracker day diff", "day", diff.Day,
+						"new", len(diff.New), "recurring", len(diff.Recurring),
+						"dormant", len(diff.Dormant))
 				}
 			}
 		}()
@@ -469,13 +539,13 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	go func() {
 		for range hup {
 			if d.handle == nil {
-				d.logger.Printf("SIGHUP ignored: no detector configured")
+				d.log.Warn("SIGHUP ignored: no detector configured")
 				continue
 			}
 			if err := d.srv.ReloadForSignal(); err != nil {
-				d.logger.Printf("SIGHUP reload failed: %v", err)
+				d.log.Error("SIGHUP reload failed", "err", err)
 			} else {
-				d.logger.Printf("SIGHUP: detector reloaded from %s", d.handle.Path())
+				d.log.Info("SIGHUP: detector reloaded", "path", d.handle.Path())
 			}
 		}
 	}()
@@ -501,8 +571,35 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && serveErr == nil {
 		serveErr = err
 	}
-	d.logger.Printf("shut down cleanly")
+
+	// Leave a post-mortem trail behind: flush and seal the audit log, and
+	// snapshot the flight recorder next to the rest of the durable state.
+	if d.opts.stateDir != "" {
+		if err := d.writeTraceSnapshot(); err != nil {
+			d.log.Warn("trace snapshot failed", "err", err)
+		}
+	}
+	if err := d.audit.Close(); err != nil {
+		d.log.Warn("audit close failed", "err", err)
+	}
+	d.log.Info("shut down cleanly")
 	return serveErr
+}
+
+// writeTraceSnapshot dumps the flight recorder to state/traces.json so a
+// graceful stop preserves the recent and slowest traces for post-mortem
+// inspection. The write is atomic (tmp + rename) like the checkpoints.
+func (d *daemon) writeTraceSnapshot() error {
+	data, err := json.MarshalIndent(d.tracer.Dump(), "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(d.opts.stateDir, "traces.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // supervisorConfig builds the restart policy shared by the daemon's
@@ -513,7 +610,7 @@ func (d *daemon) supervisorConfig(name string) ingest.SupervisorConfig {
 		Name:     name,
 		Restarts: d.restarts,
 		Panics:   d.panics,
-		Logf:     d.logger.Printf,
+		Logger:   obs.Component(d.logger, "source"),
 	}
 }
 
@@ -541,8 +638,8 @@ func (d *daemon) acceptEvents(ctx context.Context) error {
 			select {
 			case sem <- struct{}{}:
 			default:
-				d.logger.Printf("event stream %s refused: %d connections already open",
-					conn.RemoteAddr(), d.opts.maxEventConns)
+				d.log.Warn("event stream refused",
+					"remote", conn.RemoteAddr().String(), "open", d.opts.maxEventConns)
 				conn.Close()
 				continue
 			}
@@ -562,7 +659,8 @@ func (d *daemon) acceptEvents(ctx context.Context) error {
 			}
 			if err := d.ing.Consume(r); err != nil &&
 				!errors.Is(err, ingest.ErrShuttingDown) && ctx.Err() == nil {
-				d.logger.Printf("event stream %s: %v", conn.RemoteAddr(), err)
+				d.log.Warn("event stream failed",
+					"remote", conn.RemoteAddr().String(), "err", err)
 			}
 		}()
 	}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"segugio/internal/graph"
 	"segugio/internal/logio"
 	"segugio/internal/metrics"
+	"segugio/internal/obs"
 	"segugio/internal/wal"
 
 	"segugio/internal/activity"
@@ -126,6 +128,10 @@ type Config struct {
 	OnRotate func(day int, final *graph.Graph)
 	// Metrics hooks; may be nil.
 	Metrics *Metrics
+	// Tracer, when non-nil, receives pipeline spans: per-batch graph_apply
+	// traces with wal_append children, plus chunked parse traces and
+	// per-line parse stage observations. A nil Tracer costs nothing.
+	Tracer *obs.Tracer
 
 	// Durability wiring, set by OpenDurable: a restored builder to resume
 	// from, the graph version it was checkpointed at, and the open WAL
@@ -311,6 +317,55 @@ func New(cfg Config) *Ingester {
 	return in
 }
 
+// parseChunkLines is how many parsed lines one "parse" flight-recorder
+// trace accumulates before flushing. Per-line traces would flood the
+// recorder; per-line durations still feed the stage histogram
+// individually.
+const parseChunkLines = 256
+
+// parseMeter folds per-line parse timings into the tracer: every line
+// feeds the parse stage histogram, and each chunk of parseChunkLines
+// lines becomes one single-span trace in the flight recorder. A nil
+// *parseMeter (tracing disabled) no-ops.
+type parseMeter struct {
+	tr     *obs.Tracer
+	source string
+	start  time.Time
+	total  time.Duration
+	lines  int
+}
+
+func newParseMeter(tr *obs.Tracer, source string) *parseMeter {
+	if tr == nil {
+		return nil
+	}
+	return &parseMeter{tr: tr, source: source}
+}
+
+func (m *parseMeter) observe(d time.Duration) {
+	if m.lines == 0 {
+		m.start = time.Now().Add(-d)
+	}
+	m.tr.ObserveStage(obs.StageParse, d)
+	m.total += d
+	m.lines++
+	if m.lines >= parseChunkLines {
+		m.flush()
+	}
+}
+
+// flush ships the accumulated chunk as one completed trace.
+func (m *parseMeter) flush() {
+	if m == nil || m.lines == 0 {
+		return
+	}
+	m.tr.RecordRoot(obs.StageParse, m.start, m.total, map[string]string{
+		"lines":  strconv.Itoa(m.lines),
+		"source": m.source,
+	})
+	m.lines, m.total = 0, 0
+}
+
 // Consume parses one event stream and dispatches its records to the
 // shards, returning when the reader is exhausted, the input is malformed
 // (a line-numbered error), or Shutdown begins. It never blocks on a slow
@@ -319,7 +374,12 @@ func New(cfg Config) *Ingester {
 func (in *Ingester) Consume(r io.Reader) error {
 	in.consumers.Add(1)
 	defer in.consumers.Done()
-	err := logio.ReadEvents(r, func(e logio.Event) error {
+	meter := newParseMeter(in.cfg.Tracer, "stream")
+	var observe func(time.Duration)
+	if meter != nil {
+		observe = meter.observe
+	}
+	err := logio.ReadEventsObserved(r, func(e logio.Event) error {
 		select {
 		case <-in.closing:
 			return ErrShuttingDown
@@ -327,7 +387,8 @@ func (in *Ingester) Consume(r io.Reader) error {
 		}
 		in.dispatch(e)
 		return nil
-	})
+	}, observe)
+	meter.flush()
 	if err != nil && !errors.Is(err, ErrShuttingDown) {
 		inc(in.m.ParseErrors)
 	}
@@ -421,9 +482,17 @@ type rotation struct {
 const walFlushBytes = 256 << 10
 
 // apply folds a batch of events into the live epoch, rotating when a
-// later day appears.
+// later day appears. Each batch is one graph_apply trace; the WAL
+// flushes inside it appear as wal_append child spans.
 func (in *Ingester) apply(batch []logio.Event) {
-	rotations, applied, machines, domains, observations := in.applyLocked(batch)
+	_, span := in.cfg.Tracer.StartSpan(context.Background(), obs.StageGraphApply)
+	rotations, applied, machines, domains, observations := in.applyLocked(batch, span)
+	span.SetAttr("events", len(batch))
+	span.SetAttr("applied", applied)
+	if len(rotations) > 0 {
+		span.SetAttr("rotations", len(rotations))
+	}
+	span.End()
 
 	addN(in.m.EventsIngested, applied)
 	if in.m.GraphMachines != nil {
@@ -450,7 +519,7 @@ func (in *Ingester) apply(batch []logio.Event) {
 // applyLocked is apply's critical section. The unlock is deferred so a
 // panic inside a builder append or activity mark cannot leave the
 // ingest mutex held when the worker's recovery kicks in.
-func (in *Ingester) applyLocked(batch []logio.Event) (rotations []rotation, applied int64, machines, domains, observations int) {
+func (in *Ingester) applyLocked(batch []logio.Event, span *obs.Span) (rotations []rotation, applied int64, machines, domains, observations int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.walBuf.Reset()
@@ -499,17 +568,17 @@ func (in *Ingester) applyLocked(batch []logio.Event) (rotations []rotation, appl
 			// walFlushBytes + logio.MaxLineBytes fits in a record
 			// (asserted in tests), but cheap insurance against drift.
 			if in.walBuf.Len() > 0 && in.walBuf.Len()+in.walLine.Len() > wal.MaxRecordBytes {
-				in.flushWALLocked()
+				in.flushWALLocked(span)
 			}
 			in.walBuf.Write(in.walLine.Bytes())
 			if in.walBuf.Len() >= walFlushBytes {
-				in.flushWALLocked()
+				in.flushWALLocked(span)
 			}
 		}
 		applied++
 	}
 	if in.wal != nil {
-		in.flushWALLocked()
+		in.flushWALLocked(span)
 	}
 	if applied > 0 {
 		in.version++
@@ -520,14 +589,17 @@ func (in *Ingester) applyLocked(batch []logio.Event) (rotations []rotation, appl
 
 // flushWALLocked appends the buffered event lines as one WAL record.
 // Append failures are counted, not fatal: segugiod stays available at
-// reduced durability rather than dying on a full disk.
-func (in *Ingester) flushWALLocked() {
+// reduced durability rather than dying on a full disk. The append shows
+// up as a wal_append child of the batch's graph_apply span.
+func (in *Ingester) flushWALLocked(span *obs.Span) {
 	if in.walBuf.Len() == 0 {
 		return
 	}
+	start := time.Now()
 	if _, err := in.wal.Append(in.walBuf.Bytes()); err != nil {
 		inc(in.m.WALAppendFailures)
 	}
+	span.RecordChild(obs.StageWALAppend, time.Since(start))
 	in.walBuf.Reset()
 }
 
@@ -668,6 +740,7 @@ type Tailer struct {
 	in       *Ingester
 	path     string
 	interval time.Duration
+	meter    *parseMeter // nil when tracing is disabled
 
 	// offset is the resume point: every line before it was fully read
 	// (dispatched or deliberately skipped). fi identifies the file the
@@ -683,7 +756,7 @@ func (in *Ingester) NewTailer(path string, interval time.Duration) *Tailer {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
-	return &Tailer{in: in, path: path, interval: interval}
+	return &Tailer{in: in, path: path, interval: interval, meter: newParseMeter(in.cfg.Tracer, "tail")}
 }
 
 // errFileChanged signals that the tailed path was rotated (new inode) or
@@ -749,6 +822,7 @@ func (t *Tailer) consume(r *followReader) error {
 	in := t.in
 	in.consumers.Add(1)
 	defer in.consumers.Done()
+	defer t.meter.flush()
 	br := bufio.NewReaderSize(r, 64<<10)
 	var line []byte
 	discarding := false // inside an over-long line, dropping until '\n'
@@ -805,10 +879,17 @@ func (t *Tailer) processLine(raw []byte) {
 	if line == "" || strings.HasPrefix(line, "#") {
 		return
 	}
+	var t0 time.Time
+	if t.meter != nil {
+		t0 = time.Now()
+	}
 	e, err := logio.ParseEvent(line)
 	if err != nil {
 		inc(t.in.m.ParseErrors)
 		return
+	}
+	if t.meter != nil {
+		t.meter.observe(time.Since(t0))
 	}
 	t.in.dispatch(e)
 }

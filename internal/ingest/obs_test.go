@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"segugio/internal/obs"
+)
+
+// TestIngestStageObservations verifies that a traced ingester reports
+// parse and graph_apply stage durations and files graph_apply traces
+// into the flight recorder.
+func TestIngestStageObservations(t *testing.T) {
+	var mu sync.Mutex
+	stages := map[string]int{}
+	tr := obs.NewTracer(obs.TracerConfig{RingSize: 8, OnStage: func(s string, sec float64) {
+		if sec < 0 {
+			t.Errorf("negative duration for stage %s", s)
+		}
+		mu.Lock()
+		stages[s]++
+		mu.Unlock()
+	}})
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Tracer: tr})
+	if err := in.Consume(strings.NewReader(
+		"q\t1\tm1\ta.example.com\nq\t1\tm2\tb.example.com\nr\t1\ta.example.com\t10.0.0.1\n")); err != nil {
+		t.Fatal(err)
+	}
+	in.Shutdown()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if stages[obs.StageParse] != 3 {
+		t.Fatalf("parse observations = %d, want 3 (map: %v)", stages[obs.StageParse], stages)
+	}
+	if stages[obs.StageGraphApply] == 0 {
+		t.Fatalf("no graph_apply observations: %v", stages)
+	}
+
+	d := tr.Dump()
+	found := false
+	for _, trc := range d.Recent {
+		if trc.Root == obs.StageGraphApply {
+			found = true
+			if trc.Spans[len(trc.Spans)-1].Attrs["events"] == "" {
+				t.Fatalf("graph_apply span lacks events attr: %+v", trc.Spans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no graph_apply trace in flight recorder: %+v", d.Recent)
+	}
+}
+
+// TestParseMeterChunks verifies that the parse meter ships one trace per
+// parseChunkLines lines plus a final partial chunk at flush.
+func TestParseMeterChunks(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{RingSize: 16})
+	m := newParseMeter(tr, "test")
+	for i := 0; i < parseChunkLines+3; i++ {
+		m.observe(time.Microsecond)
+	}
+	m.flush()
+	var parses []obs.TraceRecord
+	for _, trc := range tr.Dump().Recent {
+		if trc.Root == obs.StageParse {
+			parses = append(parses, trc)
+		}
+	}
+	if len(parses) != 2 {
+		t.Fatalf("parse traces = %d, want 2 (full chunk + partial)", len(parses))
+	}
+	// Newest first: the partial flush is first.
+	if parses[0].Spans[0].Attrs["lines"] != "3" || parses[1].Spans[0].Attrs["lines"] != "256" {
+		t.Fatalf("chunk line counts = %v / %v",
+			parses[0].Spans[0].Attrs, parses[1].Spans[0].Attrs)
+	}
+	if parses[0].Spans[0].Attrs["source"] != "test" {
+		t.Fatalf("source attr = %v", parses[0].Spans[0].Attrs)
+	}
+
+	// A nil meter (tracing off) must be inert.
+	var nilMeter *parseMeter
+	nilMeter.flush()
+}

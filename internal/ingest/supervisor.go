@@ -3,6 +3,8 @@ package ingest
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand/v2"
 	"time"
 
@@ -38,8 +40,10 @@ type SupervisorConfig struct {
 	Restarts *metrics.Counter
 	// Panics counts recovered panics; may be nil.
 	Panics *metrics.Counter
-	// Logf receives one line per failure and restart; may be nil.
-	Logf func(format string, args ...any)
+	// Logger receives a structured record per restart (Warn, with
+	// source/err/backoff attrs) and one when the supervisor gives up
+	// (Error). Nil discards them.
+	Logger *slog.Logger
 
 	// now and randFloat are test seams; nil means the real clock/rand.
 	now       func() time.Time
@@ -66,9 +70,9 @@ func Supervise(ctx context.Context, cfg SupervisorConfig, fn func(context.Contex
 	if cfg.randFloat == nil {
 		cfg.randFloat = rand.Float64
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 
 	backoff := cfg.InitialBackoff
@@ -90,15 +94,18 @@ func Supervise(ctx context.Context, cfg SupervisorConfig, fn func(context.Contex
 		if cfg.MaxRestarts > 0 && failures > cfg.MaxRestarts {
 			// failures counts consecutive failed runs; the restarts
 			// between them number one fewer (== MaxRestarts here).
-			logf("source %s: giving up after %d consecutive failed runs (%d restarts): %v",
-				cfg.Name, failures, failures-1, err)
+			logger.Error("event source giving up",
+				"source", cfg.Name, "err", err,
+				"failed_runs", failures, "restarts", failures-1)
 			return fmt.Errorf("ingest: source %s failed %d consecutive runs (restart cap %d), last: %w",
 				cfg.Name, failures, cfg.MaxRestarts, err)
 		}
 		// Full jitter in [backoff/2, backoff): restarting fleets must not
 		// thunder back in lockstep.
 		delay := backoff/2 + time.Duration(cfg.randFloat()*float64(backoff/2))
-		logf("source %s: %v; restarting in %v", cfg.Name, err, delay.Round(time.Millisecond))
+		logger.Warn("event source restarting",
+			"source", cfg.Name, "err", err,
+			"backoff", delay.Round(time.Millisecond).String())
 		inc(cfg.Restarts)
 		select {
 		case <-ctx.Done():

@@ -1,8 +1,11 @@
 package ingest
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"log/slog"
+	"regexp"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -148,14 +151,11 @@ func TestSuperviseBackoffGrowsAndResets(t *testing.T) {
 		// Jitter pinned to the top of the range: delay == backoff.
 		randFloat: func() float64 { return 0.999999 },
 	}
-	// Intercept the delays by measuring wall time is flaky; instead pin
-	// jitter to ~backoff and derive the sequence from the log lines.
-	var delays []string
-	cfg.Logf = func(format string, args ...any) {
-		if strings.Contains(format, "restarting in") {
-			delays = append(delays, args[2].(time.Duration).String())
-		}
-	}
+	// Intercepting the delays by measuring wall time is flaky; instead pin
+	// jitter to ~backoff and derive the sequence from the structured
+	// restart records' backoff attr.
+	var logBuf bytes.Buffer
+	cfg.Logger = slog.New(slog.NewTextHandler(&logBuf, nil))
 	runs := 0
 	err := Supervise(context.Background(), cfg, func(context.Context) error {
 		runs++
@@ -171,6 +171,18 @@ func TestSuperviseBackoffGrowsAndResets(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("supervise: %v", err)
+	}
+	var delays []string
+	backoffRe := regexp.MustCompile(`backoff=(\S+)`)
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(line, "event source restarting") {
+			continue
+		}
+		m := backoffRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("restart record lacks backoff attr: %q", line)
+		}
+		delays = append(delays, m[1])
 	}
 	// Failures 1,2,3 back off 100ms,200ms,400ms (cap); run 4 "survived"
 	// ResetAfter, so its failure restarts the ladder at 100ms.

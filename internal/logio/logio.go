@@ -27,6 +27,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"segugio/internal/activity"
 	"segugio/internal/dnsutil"
@@ -294,10 +295,26 @@ type Event struct {
 //	q<TAB>day<TAB>machine<TAB>domain
 //	r<TAB>day<TAB>domain<TAB>ip[,ip...]
 func ReadEvents(r io.Reader, fn func(Event) error) error {
+	return ReadEventsObserved(r, fn, nil)
+}
+
+// ReadEventsObserved is ReadEvents plus a per-record parse-time
+// callback: observe (when non-nil) receives how long each successfully
+// parsed line took. This is the seam the ingest pipeline's "parse"
+// stage latency histogram and trace chunks hang off; a nil observe
+// skips the timing entirely, so the default path pays nothing.
+func ReadEventsObserved(r io.Reader, fn func(Event) error, observe func(time.Duration)) error {
 	return scanLines(r, func(lineNo int, line string) error {
+		var t0 time.Time
+		if observe != nil {
+			t0 = time.Now()
+		}
 		e, err := ParseEvent(line)
 		if err != nil {
 			return fmt.Errorf("logio: event line %d: %w", lineNo, err)
+		}
+		if observe != nil {
+			observe(time.Since(t0))
 		}
 		return fn(e)
 	})

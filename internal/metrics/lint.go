@@ -1,0 +1,327 @@
+package metrics
+
+// lint.go validates Prometheus text exposition (version 0.0.4) output.
+// It exists so the e2e tests can assert that everything /metrics emits
+// is consumable by a standard scraper: HELP/TYPE headers paired per
+// family, parseable sample values, well-formed label sets, and
+// monotonically non-decreasing histogram buckets that end in le="+Inf"
+// and agree with the _count series.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	lintNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	lintLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// lintFamily accumulates what the linter has seen for one metric family.
+type lintFamily struct {
+	help, typ string
+	samples   int
+}
+
+// lintSeries tracks one histogram bucket series (family + labels minus
+// le) across its bucket lines.
+type lintSeries struct {
+	lastLe  float64
+	lastCum float64
+	hasInf  bool
+	infCum  float64
+}
+
+// Lint reads one exposition document and returns every format violation
+// found, each prefixed with its 1-based line number. An empty slice
+// means the document is clean.
+func Lint(r io.Reader) []error {
+	var errs []error
+	fams := make(map[string]*lintFamily)
+	buckets := make(map[string]*lintSeries)
+	counts := make(map[string]float64) // histogram _count by series key
+
+	fam := func(name string) *lintFamily {
+		f := fams[name]
+		if f == nil {
+			f = &lintFamily{}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) {
+			errs = append(errs, fmt.Errorf("line %d: %s (%q)", lineNo, fmt.Sprintf(format, args...), line))
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				fail("malformed comment: want `# HELP name text` or `# TYPE name type`")
+				continue
+			}
+			if !lintNameRe.MatchString(name) {
+				fail("invalid metric name %q", name)
+				continue
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.help != "" {
+					fail("duplicate HELP for %s", name)
+				}
+				f.help = rest
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail("unknown TYPE %q for %s", rest, name)
+				}
+				if f.typ != "" {
+					fail("duplicate TYPE for %s", name)
+				}
+				if f.samples > 0 {
+					fail("TYPE for %s after its samples", name)
+				}
+				f.typ = rest
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			fail("malformed sample: want `name{labels} value`")
+			continue
+		}
+		if !lintNameRe.MatchString(name) {
+			fail("invalid metric name %q", name)
+			continue
+		}
+		labelMap, lerr := parseLabels(labels)
+		if lerr != nil {
+			fail("bad label set: %v", lerr)
+			continue
+		}
+		v, verr := parseValue(value)
+		if verr != nil {
+			fail("unparseable value %q", value)
+			continue
+		}
+
+		// Histogram child series roll up into the base family for the
+		// HELP/TYPE pairing check.
+		base := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, found := strings.CutSuffix(name, s); found && fams[trimmed] != nil && fams[trimmed].typ == "histogram" {
+				base, suffix = trimmed, s
+				break
+			}
+		}
+		f := fam(base)
+		f.samples++
+		if f.help == "" {
+			fail("sample for %s before its HELP header", base)
+		}
+		if f.typ == "" {
+			fail("sample for %s before its TYPE header", base)
+		}
+		if f.typ == "counter" && v < 0 {
+			fail("counter %s is negative", base)
+		}
+
+		key := base + "{" + labelsWithoutLe(labelMap) + "}"
+		switch suffix {
+		case "_bucket":
+			le, hasLe := labelMap["le"]
+			if !hasLe {
+				fail("bucket sample without le label")
+				continue
+			}
+			series := buckets[key]
+			if series == nil {
+				series = &lintSeries{lastLe: negInf()}
+				buckets[key] = series
+			}
+			bound, berr := parseValue(le)
+			if berr != nil {
+				fail("unparseable le bound %q", le)
+				continue
+			}
+			if bound <= series.lastLe {
+				fail("bucket bounds not strictly increasing (%v after %v)", bound, series.lastLe)
+			}
+			if v < series.lastCum {
+				fail("cumulative bucket count decreased (%v after %v)", v, series.lastCum)
+			}
+			series.lastLe, series.lastCum = bound, v
+			if le == "+Inf" {
+				series.hasInf, series.infCum = true, v
+			}
+		case "_count":
+			counts[key] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+
+	for name, f := range fams {
+		if f.samples == 0 {
+			errs = append(errs, fmt.Errorf("family %s has headers but no samples", name))
+		}
+	}
+	for key, series := range buckets {
+		if !series.hasInf {
+			errs = append(errs, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", key))
+			continue
+		}
+		count, ok := counts[key]
+		if !ok {
+			errs = append(errs, fmt.Errorf("histogram %s has buckets but no _count", key))
+		} else if series.infCum != count {
+			errs = append(errs, fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, series.infCum, count))
+		}
+	}
+	return errs
+}
+
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", "", false
+	}
+	rest = ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	if fields[1] == "TYPE" && len(fields) != 4 {
+		return "", "", "", false
+	}
+	return fields[1], fields[2], rest, true
+}
+
+func parseSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", "", false
+		}
+		name, labels, rest = rest[:i], rest[i+1:j], rest[j+1:]
+	} else {
+		i = strings.IndexByte(rest, ' ')
+		if i < 0 {
+			return "", "", "", false
+		}
+		name, rest = rest[:i], rest[i:]
+	}
+	value = strings.TrimSpace(rest)
+	if name == "" || value == "" || strings.ContainsAny(value, " \t") {
+		return "", "", "", false
+	}
+	return name, labels, value, true
+}
+
+// parseLabels splits `k="v",k2="v2"` respecting escaped quotes inside
+// values.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("missing = in %q", s)
+		}
+		key := s[:eq]
+		if !lintLabelRe.MatchString(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted value for %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				val.WriteByte(s[i])
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for %q", key)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+		if s != "" {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("junk after value for %q", key)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return posInf(), nil
+	case "-Inf":
+		return negInf(), nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func labelsWithoutLe(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	// Deterministic key order so every line of one series maps to the
+	// same key.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func posInf() float64 { return math.Inf(1) }
+func negInf() float64 { return math.Inf(-1) }

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lintErrs runs the linter over a document and returns the rendered
+// violations.
+func lintErrs(t *testing.T, doc string) []string {
+	t.Helper()
+	var out []string
+	for _, err := range Lint(strings.NewReader(doc)) {
+		out = append(out, err.Error())
+	}
+	return out
+}
+
+func TestLintAcceptsRegistryOutput(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_events_total", "Events.", "")
+	c.Add(3)
+	g := r.NewGauge("test_depth", "Depth.", "")
+	g.Set(2.5)
+	r.NewGaugeFunc("test_uptime_seconds", "Uptime.", "", func() float64 { return 1.25 })
+	for _, stage := range []string{"parse", "classify"} {
+		h := r.NewHistogram("test_stage_seconds", "Stage latency.", Labels("stage", stage), nil)
+		h.Observe(0.0002)
+		h.ObserveDuration(50 * time.Millisecond)
+		h.Observe(30) // +Inf overflow
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if errs := lintErrs(t, buf.String()); len(errs) != 0 {
+		t.Fatalf("linter rejects registry output: %v\n%s", errs, buf.String())
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of at least one violation
+	}{
+		{
+			"sample without headers",
+			"orphan_total 3\n",
+			"before its HELP",
+		},
+		{
+			"unparseable value",
+			"# HELP m M.\n# TYPE m gauge\nm banana\n",
+			"unparseable value",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP m M.\n# TYPE m gauge\n# TYPE m gauge\nm 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"unknown TYPE",
+			"# HELP m M.\n# TYPE m sparkline\nm 1\n",
+			"unknown TYPE",
+		},
+		{
+			"negative counter",
+			"# HELP m M.\n# TYPE m counter\nm -4\n",
+			"negative",
+		},
+		{
+			"non-monotone buckets",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="1"} 3` + "\n" +
+				`h_bucket{le="+Inf"} 5` + "\n" + "h_sum 1\nh_count 5\n",
+			"bucket count decreased",
+		},
+		{
+			"unsorted bucket bounds",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="1"} 2` + "\n" + `h_bucket{le="0.1"} 2` + "\n" +
+				`h_bucket{le="+Inf"} 2` + "\n" + "h_sum 1\nh_count 2\n",
+			"not strictly increasing",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 2` + "\n" + "h_sum 1\nh_count 2\n",
+			`no le="+Inf"`,
+		},
+		{
+			"+Inf disagrees with count",
+			"# HELP h H.\n# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 2` + "\n" + "h_sum 1\nh_count 3\n",
+			"!= count",
+		},
+		{
+			"bad label set",
+			"# HELP m M.\n# TYPE m gauge\nm{x=nope} 1\n",
+			"unquoted value",
+		},
+		{
+			"headers without samples",
+			"# HELP m M.\n# TYPE m gauge\n",
+			"no samples",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintErrs(t, tc.doc)
+			for _, e := range errs {
+				if strings.Contains(e, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want a violation containing %q, got %v", tc.want, errs)
+		})
+	}
+}
+
+func TestLintLabelParsing(t *testing.T) {
+	labels, err := parseLabels(`a="x",b="with \"quotes\" in",c="sp ace"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["a"] != "x" || labels["b"] != `with "quotes" in` || labels["c"] != "sp ace" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if _, err := parseLabels(`a="x",a="y"`); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	if _, err := parseLabels(`9bad="x"`); err == nil {
+		t.Fatal("invalid label name accepted")
+	}
+}

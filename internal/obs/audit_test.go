@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func rec(domain string, score float64) AuditRecord {
+	return AuditRecord{
+		Day: 42, Domain: domain, Score: score, Threshold: 0.5,
+		Reason: ReasonNewDetection, GraphVersion: 7, ScoreVersion: 7,
+		Features:      map[string]float64{"infected_machine_fraction": 1, "total_machines": 5},
+		Machines:      []string{"inf00", "inf01"},
+		MachinesTotal: 5,
+	}
+}
+
+func TestAuditMemoryOnly(t *testing.T) {
+	a, err := OpenAudit(AuditConfig{RingSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Append(rec(fmt.Sprintf("d%d.example.com", i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != 3 {
+		t.Fatalf("ring len = %d, want bound 3", a.Len())
+	}
+	recent := a.Recent(0)
+	if len(recent) != 3 || recent[0].Domain != "d4.example.com" || recent[2].Domain != "d2.example.com" {
+		t.Fatalf("recent = %+v", recent)
+	}
+	if got := a.Recent(1); len(got) != 1 || got[0].Domain != "d4.example.com" {
+		t.Fatalf("recent(1) = %+v", got)
+	}
+	if got := a.ForDomain("d3.example.com", 0); len(got) != 1 || got[0].Score != 3 {
+		t.Fatalf("ForDomain = %+v", got)
+	}
+	if got := a.ForDomain("nope.example.com", 0); len(got) != 0 {
+		t.Fatalf("ForDomain(nope) = %+v", got)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditPersistAndReload(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(AuditConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec("cc.evil.net", 0.93)
+	if err := a.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The persisted line is valid JSON with the full schema.
+	data, err := os.ReadFile(filepath.Join(dir, "audit.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk AuditRecord
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatalf("audit line not JSON: %v (%s)", err, data)
+	}
+	if onDisk.Domain != "cc.evil.net" || onDisk.Score != 0.93 ||
+		onDisk.Features["infected_machine_fraction"] != 1 || onDisk.Time.IsZero() {
+		t.Fatalf("on-disk record = %+v", onDisk)
+	}
+
+	// A reopened log answers for records written before the restart.
+	b, err := OpenAudit(AuditConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got := b.ForDomain("cc.evil.net", 0)
+	if len(got) != 1 || got[0].GraphVersion != 7 || got[0].MachinesTotal != 5 {
+		t.Fatalf("reloaded = %+v", got)
+	}
+	// And keeps appending to the same file.
+	if err := b.Append(rec("cc2.evil.net", 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Len(); n != 2 {
+		t.Fatalf("ring after reload+append = %d", n)
+	}
+}
+
+func TestAuditRotationBounded(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(AuditConfig{Dir: dir, MaxFileBytes: 512, MaxFiles: 3, RingSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := a.Append(rec(fmt.Sprintf("dom%02d.example.com", i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) > 3 {
+		t.Fatalf("rotation kept %d files, want <= 3: %v", len(names), names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "audit.jsonl.1" {
+			found = true
+		}
+		if strings.HasSuffix(n, ".3") {
+			t.Fatalf("rotation index beyond MaxFiles-1: %v", names)
+		}
+	}
+	if !found {
+		t.Fatalf("no rotated file present: %v", names)
+	}
+	// Every surviving line is intact JSON.
+	for _, n := range names {
+		f, err := os.Open(filepath.Join(dir, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var r AuditRecord
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				t.Fatalf("%s holds a bad line: %v", n, err)
+			}
+		}
+		f.Close()
+	}
+}
+
+func TestAuditReloadSkipsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(AuditConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(rec("good.example.com", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, unterminated JSON fragment.
+	f, err := os.OpenFile(filepath.Join(dir, "audit.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ts":"2026-01-01T00:00:00Z","domain":"torn.exa`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b, err := OpenAudit(AuditConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if n := b.Len(); n != 1 {
+		t.Fatalf("ring after torn tail = %d, want 1", n)
+	}
+	if got := b.Recent(0); got[0].Domain != "good.example.com" {
+		t.Fatalf("recent = %+v", got)
+	}
+}
+
+func TestAuditSyncEveryBatches(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenAudit(AuditConfig{Dir: dir, SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 3; i++ {
+		if err := a.Append(rec("batched.example.com", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.mu.Lock()
+	unsynced := a.unsynced
+	a.mu.Unlock()
+	if unsynced != 3 {
+		t.Fatalf("unsynced = %d, want 3 (batched)", unsynced)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	unsynced = a.unsynced
+	a.mu.Unlock()
+	if unsynced != 0 {
+		t.Fatalf("unsynced after Sync = %d", unsynced)
+	}
+	if a.Appended() != 3 {
+		t.Fatalf("Appended = %d", a.Appended())
+	}
+	// The record Time default is stamped at append.
+	if got := a.Recent(1); got[0].Time.IsZero() || time.Since(got[0].Time) > time.Minute {
+		t.Fatalf("append did not stamp time: %+v", got[0].Time)
+	}
+}

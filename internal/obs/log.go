@@ -1,0 +1,102 @@
+// Package obs is segugiod's observability layer: structured logging
+// helpers on top of log/slog, a lightweight span API feeding per-stage
+// latency histograms and a bounded in-memory flight recorder, and a
+// detection audit trail — a rotating JSONL log of why each domain was
+// flagged (score, threshold, graph version, full feature vector, and the
+// evidence machines behind it).
+//
+// The package is stdlib-only (plus the repo's own internal/metrics via
+// function hooks kept out of this package), so it can be threaded
+// through every layer of the daemon without dependency concerns. All
+// entry points are nil-safe: a nil *Tracer or a nil *slog.Logger turns
+// the corresponding instrumentation into a no-op, so hot paths pay
+// nothing when observability is disabled.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log format names accepted by NewLogger (the -log-format flag).
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level. Unknown
+// strings are an error so a typo fails startup instead of silently
+// logging at the wrong level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// NewLogger builds the daemon's root logger writing to w. format is
+// FormatText (the default, human-oriented key=value lines) or FormatJSON
+// (one JSON object per line, every field machine-greppable). Component
+// loggers are derived from it with Component.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", FormatText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+}
+
+// Component derives a component-scoped logger: every line it emits
+// carries component=<name>, the field the log-grepping conventions key
+// on. A nil base returns a discard logger, so callers can log
+// unconditionally.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		return slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return base.With("component", name)
+}
+
+// requestIDKey is the context key request IDs travel under.
+type requestIDKey struct{}
+
+// NewRequestID returns a fresh 16-hex-digit request ID. IDs come from
+// crypto/rand so concurrent daemons cannot collide; on the (effectively
+// impossible) failure of the system randomness source it degrades to a
+// fixed sentinel rather than failing the request.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stamps a request ID into the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom recovers the request ID stamped by WithRequestID, or ""
+// when the context carries none.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

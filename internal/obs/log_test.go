@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, FormatJSON, slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Component(l, "test").Info("hello", "k", "v")
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("json log line did not parse: %v\n%s", err, buf.String())
+	}
+	if obj["component"] != "test" || obj["msg"] != "hello" || obj["k"] != "v" {
+		t.Fatalf("json log line fields = %v", obj)
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, "", slog.LevelInfo) // default: text
+	if err != nil {
+		t.Fatal(err)
+	}
+	Component(l, "text").Info("hi there")
+	if !strings.Contains(buf.String(), `component=text`) || !strings.Contains(buf.String(), `msg="hi there"`) {
+		t.Fatalf("text log line = %q", buf.String())
+	}
+
+	if _, err := NewLogger(&buf, "yaml", slog.LevelInfo); err == nil {
+		t.Fatal("unknown format must fail")
+	}
+}
+
+func TestNewLoggerLevelFilters(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, FormatText, slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("level filter broken: %q", buf.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "": slog.LevelInfo, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("unknown level must fail")
+	}
+}
+
+func TestComponentNilBaseDiscards(t *testing.T) {
+	// Must not panic, and must accept logging calls.
+	Component(nil, "orphan").Info("into the void")
+}
+
+func TestRequestIDs(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !re.MatchString(id) {
+			t.Fatalf("request id %q is not 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("request id %q repeated", id)
+		}
+		seen[id] = true
+	}
+
+	ctx := WithRequestID(context.Background(), "abc123")
+	if got := RequestIDFrom(ctx); got != "abc123" {
+		t.Fatalf("RequestIDFrom = %q", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("empty context request id = %q", got)
+	}
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	ctx, span := tr.StartSpan(context.Background(), "noop")
+	span.SetAttr("k", 1)
+	span.RecordChild("child", time.Millisecond)
+	span.End()
+	tr.RecordRoot("manual", time.Now(), time.Millisecond, nil)
+	tr.ObserveStage("parse", time.Millisecond)
+	d := tr.Dump()
+	if len(d.Recent) != 0 || len(d.Slowest) != 0 {
+		t.Fatalf("nil tracer dump = %+v", d)
+	}
+	if ctx == nil {
+		t.Fatal("nil tracer must still return the context")
+	}
+}
+
+func TestSpanTreeAndDump(t *testing.T) {
+	var stages []string
+	tr := NewTracer(TracerConfig{RingSize: 8, OnStage: func(s string, sec float64) {
+		if sec < 0 {
+			t.Errorf("negative stage seconds for %s", s)
+		}
+		stages = append(stages, s)
+	}})
+
+	ctx, root := tr.StartSpan(context.Background(), "classify_pass")
+	root.SetAttr("domains", 4)
+	_, snap := tr.StartSpan(ctx, StageSnapshot)
+	snap.End()
+	ctx2, cls := tr.StartSpan(ctx, StageClassify)
+	cls.RecordChild(StageFeatureExtract, 2*time.Millisecond)
+	cls.End()
+	_ = ctx2
+	root.End()
+
+	d := tr.Dump()
+	if len(d.Recent) != 1 {
+		t.Fatalf("recent traces = %d, want 1", len(d.Recent))
+	}
+	trace := d.Recent[0]
+	if trace.Root != "classify_pass" || len(trace.Spans) != 4 {
+		t.Fatalf("trace = %+v", trace)
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range trace.Spans {
+		byName[s.Name] = s
+	}
+	rootRec := byName["classify_pass"]
+	if rootRec.Parent != -1 {
+		t.Fatalf("root parent = %d", rootRec.Parent)
+	}
+	if rootRec.Attrs["domains"] != "4" {
+		t.Fatalf("root attrs = %v", rootRec.Attrs)
+	}
+	if byName[StageSnapshot].Parent != rootRec.ID {
+		t.Fatalf("snapshot parent = %d, want root %d", byName[StageSnapshot].Parent, rootRec.ID)
+	}
+	if byName[StageFeatureExtract].Parent != byName[StageClassify].ID {
+		t.Fatal("feature_extract must be a child of classify")
+	}
+	if byName[StageFeatureExtract].DurMS < 1.9 {
+		t.Fatalf("RecordChild duration = %v ms", byName[StageFeatureExtract].DurMS)
+	}
+
+	want := map[string]bool{StageSnapshot: true, StageClassify: true, StageFeatureExtract: true, "classify_pass": true}
+	for _, s := range stages {
+		delete(want, s)
+	}
+	if len(want) != 0 {
+		t.Fatalf("stages not observed: %v (got %v)", want, stages)
+	}
+
+	// The dump must serialize cleanly (it backs an HTTP endpoint).
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("dump does not marshal: %v", err)
+	}
+}
+
+func TestRecentRingBoundAndOrder(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		tr.RecordRoot(fmt.Sprintf("t%d", i), time.Now(), time.Duration(i)*time.Millisecond, nil)
+	}
+	d := tr.Dump()
+	if len(d.Recent) != 4 {
+		t.Fatalf("recent = %d, want 4", len(d.Recent))
+	}
+	for i, want := range []string{"t9", "t8", "t7", "t6"} {
+		if d.Recent[i].Root != want {
+			t.Fatalf("recent[%d] = %s, want %s (newest first)", i, d.Recent[i].Root, want)
+		}
+	}
+}
+
+func TestSlowestRingKeepsSlowest(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 3})
+	for _, msDur := range []int{5, 1, 9, 3, 7, 2} {
+		tr.RecordRoot(fmt.Sprintf("d%d", msDur), time.Now(), time.Duration(msDur)*time.Millisecond, nil)
+	}
+	d := tr.Dump()
+	if len(d.Slowest) != 3 {
+		t.Fatalf("slowest = %d, want 3", len(d.Slowest))
+	}
+	for i, want := range []string{"d9", "d7", "d5"} {
+		if d.Slowest[i].Root != want {
+			t.Fatalf("slowest[%d] = %s, want %s", i, d.Slowest[i].Root, want)
+		}
+	}
+}
+
+func TestSlowTraceLogged(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := NewTracer(TracerConfig{RingSize: 2, SlowThreshold: time.Millisecond, Logger: logger})
+
+	tr.RecordRoot("fast", time.Now(), 10*time.Microsecond, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged: %s", buf.String())
+	}
+	tr.RecordRoot("slow", time.Now(), 5*time.Millisecond, nil)
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("slow-trace log not JSON: %v (%s)", err, buf.String())
+	}
+	if obj["msg"] != "slow trace" || obj["root"] != "slow" {
+		t.Fatalf("slow-trace log = %v", obj)
+	}
+}
+
+func TestLateChildDropsButStillObserves(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	tr := NewTracer(TracerConfig{RingSize: 2, OnStage: func(string, float64) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "late")
+	root.End() // completes the trace before the child finishes
+	child.End()
+
+	d := tr.Dump()
+	if len(d.Recent) != 1 || len(d.Recent[0].Spans) != 1 {
+		t.Fatalf("late child must not join the shipped trace: %+v", d.Recent)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 2 {
+		t.Fatalf("stage observer calls = %d, want 2 (root + late child)", count)
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 16, OnStage: func(string, float64) {}})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx, root := tr.StartSpan(context.Background(), "root")
+				_, c := tr.StartSpan(ctx, "child")
+				c.SetAttr("i", i)
+				c.End()
+				root.End()
+				tr.Dump()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d := tr.Dump(); len(d.Recent) != 16 {
+		t.Fatalf("recent = %d, want full ring", len(d.Recent))
+	}
+}

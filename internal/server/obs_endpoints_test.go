@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"segugio/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: handler goroutines log
+// into it while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestMetricsContentTypeExact(t *testing.T) {
+	ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if ct := resp.Header.Get("Content-Type"); ct != want {
+		t.Fatalf("content-type = %q, want %q", ct, want)
+	}
+}
+
+func TestRequestIDAndStructuredLogging(t *testing.T) {
+	logBuf := &syncBuffer{}
+	logger, err := obs.NewLogger(logBuf, obs.FormatJSON, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, func(cfg *Config) { cfg.Logger = logger })
+
+	resp, err := http.Post(ts.URL+"/v1/classify", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	reqID := resp.Header.Get("X-Request-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(reqID) {
+		t.Fatalf("X-Request-Id = %q, want 16 hex digits", reqID)
+	}
+
+	// The request record lands after the response is written; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	var line map[string]any
+	for {
+		line = nil
+		sc := bufio.NewScanner(strings.NewReader(logBuf.String()))
+		for sc.Scan() {
+			var obj map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+				t.Fatalf("log line is not JSON: %v (%s)", err, sc.Text())
+			}
+			if obj["request_id"] == reqID {
+				line = obj
+				break
+			}
+		}
+		if line != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if line == nil {
+		t.Fatalf("no request record with request_id=%s in:\n%s", reqID, logBuf.String())
+	}
+	if line["component"] != "http" || line["handler"] != "classify" ||
+		line["method"] != "POST" || line["status"] != float64(200) {
+		t.Fatalf("request record = %v", line)
+	}
+
+	// A client-supplied request ID is propagated, not replaced.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-chose-this")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); got != "client-chose-this" {
+		t.Fatalf("propagated request id = %q", got)
+	}
+}
+
+func TestTracesEndpointCoversClassifyPipeline(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{RingSize: 16})
+	ts := newTestServer(t, func(cfg *Config) { cfg.Tracer = tr })
+
+	if code, raw := postJSON(t, ts.URL+"/v1/classify", nil, nil); code != http.StatusOK {
+		t.Fatalf("classify: %d %s", code, raw)
+	}
+
+	var dump obs.Dump
+	code, raw := getJSON(t, ts.URL+"/debug/obs/traces", &dump)
+	if code != http.StatusOK {
+		t.Fatalf("traces: %d %s", code, raw)
+	}
+	var classifyTrace *obs.TraceRecord
+	for i := range dump.Recent {
+		if dump.Recent[i].Root == "http.classify" {
+			classifyTrace = &dump.Recent[i]
+			break
+		}
+	}
+	if classifyTrace == nil {
+		t.Fatalf("no http.classify trace in dump: %s", raw)
+	}
+	got := map[string]bool{}
+	for _, s := range classifyTrace.Spans {
+		got[s.Name] = true
+	}
+	for _, want := range []string{"http.classify", obs.StageSnapshot, obs.StageClassify, obs.StageFeatureExtract} {
+		if !got[want] {
+			t.Fatalf("classify trace lacks %s span: %v", want, got)
+		}
+	}
+
+	// The root span carries the request id and terminal status.
+	root := classifyTrace.Spans[len(classifyTrace.Spans)-1]
+	if root.Name != "http.classify" || root.Attrs["status"] != "200" || root.Attrs["request_id"] == "" {
+		t.Fatalf("root span = %+v", root)
+	}
+}
+
+func TestTracesEndpointWithoutTracer(t *testing.T) {
+	ts := newTestServer(t, nil)
+	var dump obs.Dump
+	code, raw := getJSON(t, ts.URL+"/debug/obs/traces", &dump)
+	if code != http.StatusOK {
+		t.Fatalf("traces without tracer: %d %s", code, raw)
+	}
+	if len(dump.Recent) != 0 || len(dump.Slowest) != 0 {
+		t.Fatalf("tracerless dump = %s", raw)
+	}
+}
+
+func TestAuditTrailRecordsNewDetections(t *testing.T) {
+	audit, err := obs.OpenAudit(obs.AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, func(cfg *Config) { cfg.Audit = audit })
+
+	var classify ClassifyResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/classify", nil, &classify); code != http.StatusOK {
+		t.Fatalf("classify: %d %s", code, raw)
+	}
+	if classify.Detected == 0 {
+		t.Fatal("test graph must produce detections")
+	}
+
+	var resp AuditResponse
+	code, raw := getJSON(t, ts.URL+"/v1/audit", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("audit: %d %s", code, raw)
+	}
+	if resp.Total != classify.Detected || len(resp.Records) != classify.Detected {
+		t.Fatalf("audit total/records = %d/%d, want %d", resp.Total, len(resp.Records), classify.Detected)
+	}
+
+	// Per-domain query returns the full evidence for one detection.
+	domain := resp.Records[0].Domain
+	var one AuditResponse
+	code, raw = getJSON(t, ts.URL+"/v1/audit?domain="+domain, &one)
+	if code != http.StatusOK {
+		t.Fatalf("audit?domain: %d %s", code, raw)
+	}
+	if len(one.Records) != 1 {
+		t.Fatalf("records for %s = %d, want 1", domain, len(one.Records))
+	}
+	rec := one.Records[0]
+	if rec.Domain != domain || rec.Reason != obs.ReasonNewDetection ||
+		rec.Score < rec.Threshold || rec.GraphVersion != 7 || rec.Day != 42 {
+		t.Fatalf("audit record = %+v", rec)
+	}
+	if len(rec.Features) != 11 {
+		t.Fatalf("audit record carries %d features, want the full 11-feature vector: %v",
+			len(rec.Features), rec.Features)
+	}
+	if _, ok := rec.Features["infected_machine_fraction"]; !ok {
+		t.Fatalf("feature vector lacks named features: %v", rec.Features)
+	}
+	if rec.MachinesTotal == 0 || len(rec.Machines) == 0 {
+		t.Fatalf("audit record lacks evidence machines: %+v", rec)
+	}
+
+	// A second pass over the same graph must not re-audit standing
+	// detections.
+	if code, _ := postJSON(t, ts.URL+"/v1/classify", nil, nil); code != http.StatusOK {
+		t.Fatal("second classify failed")
+	}
+	var after AuditResponse
+	getJSON(t, ts.URL+"/v1/audit", &after)
+	if after.Total != resp.Total {
+		t.Fatalf("second pass re-audited: %d -> %d records", resp.Total, after.Total)
+	}
+
+	// Unknown domains and bad limits are handled.
+	var empty AuditResponse
+	if code, _ := getJSON(t, ts.URL+"/v1/audit?domain=absent.example.com", &empty); code != http.StatusOK || len(empty.Records) != 0 {
+		t.Fatalf("absent domain: %d, %d records", code, len(empty.Records))
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/audit?limit=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad limit: %d, want 400", code)
+	}
+}
+
+func TestAuditEndpointWithoutTrail(t *testing.T) {
+	ts := newTestServer(t, nil)
+	if code, _ := getJSON(t, ts.URL+"/v1/audit", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("audit without trail must 503, got %d", code)
+	}
+}
+
+func TestHTTPRequestSecondsAndBuildInfo(t *testing.T) {
+	ts := newTestServer(t, nil)
+	postJSON(t, ts.URL+"/v1/classify", nil, nil)
+	getJSON(t, ts.URL+"/healthz", nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		`segugiod_http_request_seconds_count{handler="classify"} 1`,
+		`segugiod_http_request_seconds_count{handler="healthz"} 1`,
+		`segugiod_http_request_seconds_bucket{handler="classify",le="+Inf"} 1`,
+		`segugiod_build_info{version=`,
+		`goversion="go`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}

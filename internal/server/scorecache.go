@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
 
 	"segugio/internal/core"
+	"segugio/internal/features"
 	"segugio/internal/graph"
+	"segugio/internal/obs"
 )
 
 // scoreCache memoizes the classify-all result ("score every unknown
@@ -40,6 +43,13 @@ type scoreCache struct {
 	detStamp time.Time
 	pruneSig uint64
 	entries  map[string]scoreEntry
+	// detected is the detection state of the previous pass, persisted
+	// across cache flushes: the audit trail records a domain when it is
+	// detected now but was not in the last pass (or there was none). A
+	// flush invalidates scores, not the memory of what was already
+	// flagged — otherwise every detector reload would re-audit the whole
+	// standing detection set.
+	detected map[string]bool
 }
 
 // scoreEntry is one cached classify-all row. version records the graph
@@ -64,7 +74,7 @@ type classifyAllResult struct {
 // classifyAll serves "score every unknown domain" through the cache.
 // It holds the cache lock for the whole pass, serializing concurrent
 // classify-all requests (the second request becomes a pure cache read).
-func (s *Server) classifyAll(det *core.Detector, loadedAt time.Time) (*classifyAllResult, error) {
+func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt time.Time) (*classifyAllResult, error) {
 	c := &s.cache
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -73,7 +83,10 @@ func (s *Server) classifyAll(det *core.Detector, loadedAt time.Time) (*classifyA
 	if c.valid {
 		since = c.version
 	}
+	_, snapSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageSnapshot)
 	g, version, delta := s.cfg.Graphs.SnapshotSince(since)
+	snapSpan.SetAttr("exact", delta.Exact)
+	snapSpan.End()
 	if !g.Labeled() {
 		return nil, errNotLabeled
 	}
@@ -87,14 +100,20 @@ func (s *Server) classifyAll(det *core.Detector, loadedAt time.Time) (*classifyA
 		!c.detStamp.Equal(loadedAt) || c.pruneSig != sig
 	rescored := 0
 	if flush {
+		_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
+		clsSpan.SetAttr("mode", "full")
 		dets, report, err := det.Classify(core.ClassifyInput{
 			Graph:    g,
 			Activity: s.cfg.Activity,
 			Abuse:    s.cfg.Abuse,
 		})
 		if err != nil {
+			clsSpan.End()
 			return nil, err
 		}
+		clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
+		clsSpan.SetAttr("scored", len(dets))
+		clsSpan.End()
 		c.entries = make(map[string]scoreEntry, len(dets))
 		for _, d := range dets {
 			c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
@@ -121,6 +140,8 @@ func (s *Server) classifyAll(det *core.Detector, loadedAt time.Time) (*classifyA
 			toScore = append(toScore, name)
 		}
 		if len(toScore) > 0 {
+			_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
+			clsSpan.SetAttr("mode", "delta")
 			dets, report, err := det.Classify(core.ClassifyInput{
 				Graph:    g,
 				Activity: s.cfg.Activity,
@@ -128,8 +149,12 @@ func (s *Server) classifyAll(det *core.Detector, loadedAt time.Time) (*classifyA
 				Domains:  toScore,
 			})
 			if err != nil {
+				clsSpan.End()
 				return nil, err
 			}
+			clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
+			clsSpan.SetAttr("scored", len(toScore))
+			clsSpan.End()
 			for _, d := range dets {
 				c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
 			}
@@ -165,7 +190,79 @@ func (s *Server) classifyAll(det *core.Detector, loadedAt time.Time) (*classifyA
 		return res.rows[i].Domain < res.rows[j].Domain
 	})
 	sort.Strings(res.missing)
+
+	// Audit pass: record domains that crossed the detection threshold
+	// since the previous pass, then refresh the previous-pass state.
+	// The caller holds c.mu, so passes serialize and the state cannot
+	// race.
+	if s.cfg.Audit != nil {
+		s.auditNewDetections(c, res, threshold)
+	}
+	newState := make(map[string]bool, len(res.rows))
+	for _, row := range res.rows {
+		if row.Detected {
+			newState[row.Domain] = true
+		}
+	}
+	c.detected = newState
 	return res, nil
+}
+
+// auditMaxMachines caps the evidence machine IDs carried by one audit
+// record, mirroring maxMachinesInResponse.
+const auditMaxMachines = maxMachinesInResponse
+
+// auditNewDetections appends one audit record per newly detected domain:
+// detected in this pass, not detected in the previous one. The feature
+// vector is extracted from the labeled live snapshot the pass classified
+// against (the pre-prune graph, so pruned-away context is still visible
+// to the analyst); evidence machines are capped at auditMaxMachines.
+func (s *Server) auditNewDetections(c *scoreCache, res *classifyAllResult, threshold float64) {
+	var ex *features.Extractor
+	for _, row := range res.rows {
+		if !row.Detected || c.detected[row.Domain] {
+			continue
+		}
+		if ex == nil {
+			var err error
+			ex, err = features.NewExtractor(res.graph, s.cfg.Activity, s.cfg.Abuse, s.cfg.Window)
+			if err != nil {
+				s.auditLog.Warn("audit extractor failed", "err", err)
+				return
+			}
+		}
+		rec := obs.AuditRecord{
+			Day:          res.graph.Day(),
+			Domain:       row.Domain,
+			Score:        row.Score,
+			Threshold:    threshold,
+			Reason:       obs.ReasonNewDetection,
+			GraphVersion: res.version,
+			ScoreVersion: row.ScoreVersion,
+		}
+		if d, ok := res.graph.DomainIndex(row.Domain); ok {
+			v := ex.Vector(d)
+			rec.Features = make(map[string]float64, len(v))
+			for i, name := range features.Names() {
+				rec.Features[name] = v[i]
+			}
+			machines := res.graph.MachinesOf(d)
+			rec.MachinesTotal = len(machines)
+			for _, m := range machines {
+				if len(rec.Machines) == auditMaxMachines {
+					break
+				}
+				rec.Machines = append(rec.Machines, res.graph.MachineID(m))
+			}
+		}
+		if err := s.cfg.Audit.Append(rec); err != nil {
+			s.auditLog.Warn("audit append failed", "domain", row.Domain, "err", err)
+			continue
+		}
+		s.auditLog.Info("domain newly detected",
+			"domain", row.Domain, "score", row.Score, "threshold", threshold,
+			"day", rec.Day, "graph_version", res.version, "machines", rec.MachinesTotal)
+	}
 }
 
 // cachedScore looks up one domain's cached classify-all score, valid

@@ -4,19 +4,25 @@
 //
 //	POST /v1/classify      score a batch of domains (or all unknowns)
 //	GET  /v1/domains/{name} evidence for one domain
+//	GET  /v1/audit         detection audit trail (?domain=, ?limit=)
 //	POST /v1/reload        reload the detector from disk
 //	GET  /healthz          liveness + basic state
 //	GET  /metrics          Prometheus text exposition
+//	GET  /debug/obs/traces flight-recorder dump (recent + slowest traces)
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -27,6 +33,7 @@ import (
 	"segugio/internal/features"
 	"segugio/internal/graph"
 	"segugio/internal/metrics"
+	"segugio/internal/obs"
 	"segugio/internal/pdns"
 	"segugio/internal/tracker"
 )
@@ -132,6 +139,16 @@ type Config struct {
 	// mux, so live snapshot and classification cost is profileable
 	// in production without a rebuild.
 	EnablePprof bool
+	// Logger receives structured request and detection records; nil
+	// discards them.
+	Logger *slog.Logger
+	// Tracer records classify/tracker-pass spans and backs
+	// GET /debug/obs/traces; nil disables tracing (the endpoint then
+	// serves an empty dump).
+	Tracer *obs.Tracer
+	// Audit, when non-nil, receives one record per newly detected domain
+	// from classify-all and tracker passes, and backs GET /v1/audit.
+	Audit *obs.AuditLog
 }
 
 // Server is the daemon's HTTP API. Create with New, then serve its
@@ -141,7 +158,11 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	log      *slog.Logger // component=http
+	auditLog *slog.Logger // component=audit
+
 	reqTotal    map[string]*metrics.Counter
+	reqLat      map[string]*metrics.Histogram
 	reqErrors   *metrics.Counter
 	classifyLat *metrics.Histogram
 	domainLat   *metrics.Histogram
@@ -166,12 +187,17 @@ func New(cfg Config) *Server {
 		cfg.MaxClassifyDomains = 10000
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
+	s.log = obs.Component(cfg.Logger, "http")
+	s.auditLog = obs.Component(cfg.Logger, "audit")
 
 	r := cfg.Registry
 	s.reqTotal = map[string]*metrics.Counter{}
-	for _, h := range []string{"classify", "domains", "healthz", "metrics", "reload", "tracker"} {
+	s.reqLat = map[string]*metrics.Histogram{}
+	for _, h := range []string{"classify", "domains", "healthz", "metrics", "reload", "tracker", "traces", "audit"} {
 		s.reqTotal[h] = r.NewCounter("segugiod_http_requests_total",
 			"HTTP requests served, by handler.", metrics.Labels("handler", h))
+		s.reqLat[h] = r.NewHistogram("segugiod_http_request_seconds",
+			"HTTP request latency in seconds, by handler.", metrics.Labels("handler", h), nil)
 	}
 	s.reqErrors = r.NewCounter("segugiod_http_request_errors_total",
 		"HTTP requests answered with a 4xx/5xx status.", "")
@@ -194,13 +220,24 @@ func New(cfg Config) *Server {
 	}
 	r.NewGaugeFunc("segugiod_uptime_seconds", "Seconds since the server started.", "",
 		func() float64 { return time.Since(s.start).Seconds() })
+	buildInfo := r.NewGauge("segugiod_build_info",
+		"Build metadata carried in labels; the value is always 1.",
+		metrics.Labels("version", moduleVersion(), "goversion", runtime.Version()))
+	buildInfo.SetInt(1)
+	if cfg.Audit != nil {
+		r.NewGaugeFunc("segugiod_audit_records_total",
+			"Audit records appended by this process.", "",
+			func() float64 { return float64(cfg.Audit.Appended()) })
+	}
 
-	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	s.mux.HandleFunc("GET /v1/domains/{name}", s.handleDomain)
-	s.mux.HandleFunc("GET /v1/tracker", s.handleTracker)
-	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/classify", s.route("classify", s.handleClassify))
+	s.mux.HandleFunc("GET /v1/domains/{name}", s.route("domains", s.handleDomain))
+	s.mux.HandleFunc("GET /v1/tracker", s.route("tracker", s.handleTracker))
+	s.mux.HandleFunc("GET /v1/audit", s.route("audit", s.handleAudit))
+	s.mux.HandleFunc("POST /v1/reload", s.route("reload", s.handleReload))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/obs/traces", s.route("traces", s.handleTraces))
 	if cfg.EnablePprof {
 		// Explicit registration keeps the daemon off http.DefaultServeMux;
 		// pprof.Index serves the sub-profiles (heap, goroutine, ...) itself.
@@ -235,6 +272,72 @@ func (s *Server) Handler() http.Handler {
 		}()
 		s.mux.ServeHTTP(w, r)
 	})
+}
+
+// moduleVersion extracts a human-meaningful version from the build info:
+// the VCS revision when stamped, else the module version, else "unknown".
+func moduleVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" && kv.Value != "" {
+			return kv.Value
+		}
+	}
+	if info.Main.Version != "" {
+		return info.Main.Version
+	}
+	return "unknown"
+}
+
+// statusRecorder captures the response status for request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps one handler with the per-request observability envelope:
+// the request counter and latency histogram for this handler, a request
+// ID generated (or propagated from the client) and echoed in
+// X-Request-Id, an http.<handler> root span, and one structured log
+// record per request carrying the same request_id. High-frequency probe
+// endpoints (metrics, healthz) log at Debug so a scraper does not flood
+// the journal; everything else logs at Info.
+func (s *Server) route(name string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqTotal[name].Inc()
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx, span := s.cfg.Tracer.StartSpan(ctx, "http."+name)
+		span.SetAttr("request_id", reqID)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		fn(rec, r.WithContext(ctx))
+		took := time.Since(t0)
+		span.SetAttr("status", rec.status)
+		span.End()
+		s.reqLat[name].ObserveDuration(took)
+		level := slog.LevelInfo
+		if name == "metrics" || name == "healthz" {
+			level = slog.LevelDebug
+		}
+		s.log.Log(r.Context(), level, "request",
+			"request_id", reqID, "handler", name,
+			"method", r.Method, "path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(took.Microseconds())/1000)
+	}
 }
 
 // writeJSON renders v with the given status.
@@ -292,7 +395,6 @@ type ClassifyResponse struct {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal["classify"].Inc()
 	det, loadedAt := s.detector()
 	if det == nil {
 		s.writeError(w, http.StatusServiceUnavailable, "no detector loaded")
@@ -322,7 +424,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if len(req.Domains) == 0 {
 		// Classify-all goes through the delta cache: only domains whose
 		// evidence changed since the cached pass are re-extracted.
-		res, err := s.classifyAll(det, loadedAt)
+		res, err := s.classifyAll(r.Context(), det, loadedAt)
 		if errors.Is(err, errNotLabeled) {
 			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
@@ -340,11 +442,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		// Explicit domain lists are ad-hoc queries; they bypass the cache.
+		_, snapSpan := s.cfg.Tracer.StartSpan(r.Context(), obs.StageSnapshot)
 		g, version := s.cfg.Graphs.Snapshot()
+		snapSpan.End()
 		if !g.Labeled() {
 			s.writeError(w, http.StatusServiceUnavailable, "%v", errNotLabeled)
 			return
 		}
+		_, clsSpan := s.cfg.Tracer.StartSpan(r.Context(), obs.StageClassify)
 		dets, report, err := det.Classify(core.ClassifyInput{
 			Graph:    g,
 			Activity: s.cfg.Activity,
@@ -352,9 +457,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			Domains:  req.Domains,
 		})
 		if err != nil {
+			clsSpan.End()
 			s.writeError(w, http.StatusInternalServerError, "classify: %v", err)
 			return
 		}
+		clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
+		clsSpan.SetAttr("domains", len(req.Domains))
+		clsSpan.End()
 		rows = make([]ClassifyDetection, 0, len(dets))
 		for _, d := range dets {
 			rows = append(rows, ClassifyDetection{
@@ -422,7 +531,6 @@ type DomainResponse struct {
 const maxMachinesInResponse = 25
 
 func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal["domains"].Inc()
 	t0 := time.Now()
 	name, err := dnsutil.Normalize(r.PathValue("name"))
 	if err != nil {
@@ -520,7 +628,6 @@ type TrackerResponse struct {
 // restricts the listing to domains detected on at least N distinct days
 // (the persistent control infrastructure).
 func (s *Server) handleTracker(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal["tracker"].Inc()
 	if s.cfg.Tracker == nil {
 		s.writeError(w, http.StatusServiceUnavailable, "no tracker configured")
 		return
@@ -563,8 +670,11 @@ func (s *Server) RunTrackerPass() (*tracker.DayDiff, error) {
 	if det == nil {
 		return nil, errors.New("server: no detector loaded")
 	}
-	res, err := s.classifyAll(det, loadedAt)
+	ctx, span := s.cfg.Tracer.StartSpan(context.Background(), obs.StageTrackerPass)
+	defer span.End()
+	res, err := s.classifyAll(ctx, det, loadedAt)
 	if err != nil {
+		span.SetAttr("err", err)
 		return nil, err
 	}
 	var dets []core.Detection
@@ -573,6 +683,8 @@ func (s *Server) RunTrackerPass() (*tracker.DayDiff, error) {
 			dets = append(dets, core.Detection{Domain: row.Domain, Score: row.Score})
 		}
 	}
+	span.SetAttr("classified", len(res.rows))
+	span.SetAttr("detected", len(dets))
 	return s.cfg.Tracker.Observe(res.graph.Day(), dets, res.graph), nil
 }
 
@@ -587,7 +699,6 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal["healthz"].Inc()
 	det, loadedAt := s.detector()
 	resp := HealthResponse{
 		Status:        "ok",
@@ -603,9 +714,61 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal["metrics"].Inc()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.cfg.Registry.WritePrometheus(w)
+}
+
+// handleTraces dumps the flight recorder: the most recent and the
+// slowest completed traces, newest/slowest first. Without a tracer the
+// dump is empty but the endpoint still answers 200, so dashboards can
+// probe it unconditionally.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.cfg.Tracer.Dump())
+}
+
+// AuditResponse is the GET /v1/audit reply. Records come newest first.
+type AuditResponse struct {
+	// Total is how many records the in-memory query window holds (the
+	// persisted JSONL trail can reach further back).
+	Total   int               `json:"total"`
+	Records []obs.AuditRecord `json:"records"`
+}
+
+// defaultAuditLimit caps an unbounded GET /v1/audit.
+const defaultAuditLimit = 100
+
+// handleAudit queries the detection audit trail. ?domain=X restricts to
+// one domain; ?limit=N caps the reply (default 100, 0 keeps the
+// default; the in-memory window bounds it anyway).
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Audit == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no audit trail configured")
+		return
+	}
+	limit := defaultAuditLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	var recs []obs.AuditRecord
+	if domain := r.URL.Query().Get("domain"); domain != "" {
+		name, err := dnsutil.Normalize(domain)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad domain: %v", err)
+			return
+		}
+		recs = s.cfg.Audit.ForDomain(name, limit)
+	} else {
+		recs = s.cfg.Audit.Recent(limit)
+	}
+	if recs == nil {
+		recs = []obs.AuditRecord{}
+	}
+	s.writeJSON(w, http.StatusOK, AuditResponse{Total: s.cfg.Audit.Len(), Records: recs})
 }
 
 // ReloadResponse is the POST /v1/reload reply.
@@ -616,7 +779,6 @@ type ReloadResponse struct {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal["reload"].Inc()
 	if s.cfg.Detector == nil {
 		s.writeError(w, http.StatusServiceUnavailable, "no detector configured")
 		return
