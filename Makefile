@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-short bench-all obs-smoke clean
+.PHONY: build test race vet check bench bench-allocs bench-short bench-all obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,24 @@ race:
 # under the race detector.
 check: vet race
 
-# bench runs the snapshot/ingest performance suite with 5 samples per
-# benchmark and archives the aggregated results as BENCH_snapshot.json.
-# It is informational (no CI gate); diff the JSON across commits to spot
+# bench runs the performance suites with 5 samples per benchmark and
+# archives the aggregated results: the snapshot/ingest suite as
+# BENCH_snapshot.json and the classify pipeline suite (full vs delta
+# classify-all, batch scoring) as BENCH_classify.json. It is
+# informational (no CI gate); diff the JSON across commits to spot
 # regressions.
 bench:
 	$(GO) test -bench . -benchmem -count=5 -run '^$$' ./internal/graph ./internal/ingest \
 		| $(GO) run ./cmd/benchjson -o BENCH_snapshot.json
+	$(GO) test -bench 'BenchmarkClassifyAll|BenchmarkScore' -benchmem -count=5 -run '^$$' \
+		./internal/server ./internal/ml \
+		| $(GO) run ./cmd/benchjson -o BENCH_classify.json
+
+# bench-allocs is the CI allocation gate: fails when the steady-state
+# delta classify pass allocates more than its fixed budget (see
+# scripts/bench-allocs.sh), which would mean it regressed to O(graph).
+bench-allocs:
+	./scripts/bench-allocs.sh
 
 bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

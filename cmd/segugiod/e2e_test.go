@@ -318,6 +318,21 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	}
 
+	// A second classify on the same snapshot reuses the memoized prune
+	// pipeline: the prune cache hit counter must move.
+	resp, err = http.Post(base+"/v1/classify", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second classify: status %d", resp.StatusCode)
+	}
+	if v, ok := metricValue(t, base, "segugiod_classify_prune_cache_hits_total"); !ok || v < 1 {
+		t.Fatalf("prune cache hits = %v (present=%v), want >= 1", v, ok)
+	}
+
 	// Per-domain evidence from the live graph.
 	resp, err = http.Get(base + "/v1/domains/unk0.gray.org")
 	if err != nil {

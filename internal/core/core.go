@@ -224,8 +224,74 @@ type ClassifyReport struct {
 	ProbersRemoved []string
 	Timing         Timing
 	// PrunedGraph is the graph classification ran on, kept so callers can
-	// enumerate the machines behind each detection.
+	// enumerate the machines behind each detection. Delta passes served
+	// from a memoized session leave it nil: nothing is materialized.
 	PrunedGraph *graph.Graph
+	// PrunedCached reports whether the prober-filter + prune pipeline was
+	// served from a memoized session instead of rescanning the graph.
+	PrunedCached bool
+	// PruneSig is the resolved prune-threshold signature
+	// (graph.PrunePlan.Signature) of the plan this pass ran under; zero
+	// when pruning is disabled.
+	PruneSig uint64
+}
+
+// prepared is the memoizable per-snapshot preprocessing of a classify
+// pass: the combined prober-filter + prune plan, the materialized pruned
+// graph, and the feature extractor over it. It is immutable once built,
+// so concurrent passes may share one.
+type prepared struct {
+	src      *graph.Graph
+	activity *activity.Log
+	abuse    *pdns.AbuseIndex
+	// plan is nil when the detector has no prober filter and pruning
+	// disabled; pruned is then src itself.
+	plan           *graph.PrunePlan
+	pruned         *graph.Graph
+	stats          graph.PruneStats
+	probersRemoved []string
+	sig            uint64
+	ex             *features.Extractor
+	pruneTime      time.Duration
+}
+
+// prepare runs the O(graph) half of a classify pass once: one combined
+// prober-filter + prune scan, materialization, and extractor setup.
+func (d *Detector) prepare(g *graph.Graph, act *activity.Log, abuse *pdns.AbuseIndex) (*prepared, error) {
+	p := &prepared{src: g, activity: act, abuse: abuse}
+	if d.cfg.ProberFilter != nil || !d.cfg.DisablePruning {
+		t0 := time.Now()
+		plan, err := graph.NewPrunePlan(g, d.cfg.ProberFilter, d.cfg.Prune, d.cfg.DisablePruning)
+		if err != nil {
+			return nil, fmt.Errorf("core: prune: %w", err)
+		}
+		p.plan = plan
+		p.pruned = plan.Materialize()
+		p.stats = plan.Stats()
+		p.probersRemoved = plan.ProbersRemoved()
+		p.sig = plan.Signature()
+		p.pruneTime = time.Since(t0)
+	} else {
+		p.pruned = g
+	}
+	ex, err := features.NewExtractor(p.pruned, act, abuse, d.cfg.ActivityWindow)
+	if err != nil {
+		return nil, fmt.Errorf("core: extractor: %w", err)
+	}
+	p.ex = ex
+	return p, nil
+}
+
+// fillReport copies the prepared pass's prune outcome into the report.
+func (p *prepared) fillReport(report *ClassifyReport, cached bool) {
+	report.Prune = p.stats
+	report.ProbersRemoved = p.probersRemoved
+	report.PrunedGraph = p.pruned
+	report.PruneSig = p.sig
+	report.PrunedCached = cached
+	if !cached {
+		report.Timing.Prune = p.pruneTime
+	}
 }
 
 // Classify scores the unknown domains of a new observation window.
@@ -237,68 +303,64 @@ func (d *Detector) Classify(in ClassifyInput) ([]Detection, *ClassifyReport, err
 		return nil, nil, ErrUnlabeled
 	}
 	report := &ClassifyReport{}
-
-	g := in.Graph
-	if d.cfg.ProberFilter != nil {
-		filtered, removed, err := graph.FilterProbers(g, *d.cfg.ProberFilter)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: prober filter: %w", err)
-		}
-		g = filtered
-		report.ProbersRemoved = removed
-	}
-	if !d.cfg.DisablePruning {
-		t0 := time.Now()
-		pruned, stats, err := graph.Prune(g, d.cfg.Prune)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: prune: %w", err)
-		}
-		g = pruned
-		report.Prune = stats
-		report.Timing.Prune = time.Since(t0)
-	}
-	report.PrunedGraph = g
-
-	ex, err := features.NewExtractor(g, in.Activity, in.Abuse, d.cfg.ActivityWindow)
+	prep, err := d.prepare(in.Graph, in.Activity, in.Abuse)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: extractor: %w", err)
+		return nil, nil, err
 	}
+	prep.fillReport(report, false)
 	targets := in.Domains
 	if targets == nil {
-		targets = features.UnknownDomains(ex)
+		targets = features.UnknownDomains(prep.ex)
 	}
+	dets := d.scoreTargets(prep.ex, targets, report)
+	return dets, report, nil
+}
 
+// scoreTargets measures the targets' features and scores them in one
+// batch: present rows are compacted into a dense matrix (missing targets
+// recorded in report.Missing in input order), feature-column selection
+// happens once for the whole matrix, and scoring goes through
+// ml.ScoreAll — the forest's parallel batch path or a sharded fallback,
+// both bit-identical to a serial per-domain loop.
+func (d *Detector) scoreTargets(ex *features.Extractor, targets []string, report *ClassifyReport) []Detection {
 	t0 := time.Now()
 	X, ok := features.VectorsFor(ex, targets)
 	report.Timing.Extract = time.Since(t0)
 
 	t0 = time.Now()
-	dets := make([]Detection, 0, len(targets))
+	rows := make([][]float64, 0, len(targets))
+	names := make([]string, 0, len(targets))
 	for i, name := range targets {
 		if !ok[i] {
 			report.Missing = append(report.Missing, name)
 			continue
 		}
-		x := X[i]
-		if d.cfg.FeatureColumns != nil {
-			sel := make([]float64, len(d.cfg.FeatureColumns))
-			for j, c := range d.cfg.FeatureColumns {
-				sel[j] = x[c]
-			}
-			x = sel
-		}
-		dets = append(dets, Detection{Domain: name, Score: d.model.Score(x)})
+		rows = append(rows, X[i])
+		names = append(names, name)
+	}
+	if d.cfg.FeatureColumns != nil {
+		rows = ml.SelectColumns(rows, d.cfg.FeatureColumns)
+	}
+	scores := ml.ScoreAll(d.model, rows)
+	dets := make([]Detection, len(names))
+	for i, name := range names {
+		dets[i] = Detection{Domain: name, Score: scores[i]}
 	}
 	report.Timing.Score = time.Since(t0)
 	report.Classified = len(dets)
 
+	sortDetections(dets)
+	return dets
+}
+
+// sortDetections orders by descending score, then ascending domain.
+func sortDetections(dets []Detection) {
 	sort.Slice(dets, func(i, j int) bool {
 		if dets[i].Score != dets[j].Score {
 			return dets[i].Score > dets[j].Score
 		}
 		return dets[i].Domain < dets[j].Domain
 	})
-	return dets, report, nil
 }
 
 // Detected filters detections by the deployment threshold.

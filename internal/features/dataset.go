@@ -60,8 +60,11 @@ func TrainingSet(e *Extractor, exclude map[string]struct{}) *Dataset {
 		Y:       labels,
 		Domains: make([]string, len(nodes)),
 	}
+	backing := make([]float64, len(nodes)*NumFeatures)
 	parallelFor(len(nodes), func(i int) {
-		ds.X[i] = e.Vector(nodes[i])
+		row := backing[i*NumFeatures : (i+1)*NumFeatures : (i+1)*NumFeatures]
+		e.VectorInto(nodes[i], row)
+		ds.X[i] = row
 		ds.Domains[i] = g.DomainName(nodes[i])
 	})
 	return ds
@@ -69,27 +72,45 @@ func TrainingSet(e *Extractor, exclude map[string]struct{}) *Dataset {
 
 // VectorsFor measures feature vectors for the named domains. Domains
 // absent from the graph (e.g. pruned away) yield ok=false and a nil
-// vector at their position.
+// vector at their position. All present rows share one flat backing
+// array — one allocation per pass instead of one per domain — and each
+// row is capped at NumFeatures so appends cannot bleed into a neighbor.
 func VectorsFor(e *Extractor, domains []string) ([][]float64, []bool) {
-	g := e.Graph()
+	g := e.g
 	X := make([][]float64, len(domains))
 	ok := make([]bool, len(domains))
+	if len(domains) == 0 {
+		return X, ok
+	}
+	backing := make([]float64, len(domains)*NumFeatures)
 	parallelFor(len(domains), func(i int) {
 		d, found := g.DomainIndex(domains[i])
 		if !found {
 			return
 		}
-		X[i] = e.Vector(d)
+		row := backing[i*NumFeatures : (i+1)*NumFeatures : (i+1)*NumFeatures]
+		e.VectorInto(d, row)
+		X[i] = row
 		ok[i] = true
 	})
 	return X, ok
 }
 
 // UnknownDomains lists the unknown-labeled domains of the extractor's
-// graph — the classification targets at deployment time.
+// graph — the classification targets at deployment time. A counting
+// pass pre-sizes the result so million-domain graphs pay one allocation.
 func UnknownDomains(e *Extractor) []string {
 	g := e.Graph()
-	var out []string
+	n := 0
+	for d := int32(0); d < int32(g.NumDomains()); d++ {
+		if g.DomainLabel(d) == graph.LabelUnknown {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
 	for d := int32(0); d < int32(g.NumDomains()); d++ {
 		if g.DomainLabel(d) == graph.LabelUnknown {
 			out = append(out, g.DomainName(d))

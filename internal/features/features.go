@@ -19,8 +19,10 @@ package features
 
 import (
 	"errors"
+	"sync"
 
 	"segugio/internal/activity"
+	"segugio/internal/dnsutil"
 	"segugio/internal/graph"
 	"segugio/internal/pdns"
 )
@@ -108,10 +110,27 @@ func ColumnsExcluding(g Group) []int {
 	return out
 }
 
-// Extractor measures feature vectors for domains of one labeled graph.
-// It is safe for concurrent Vector calls.
+// GraphView is the read surface feature measurement needs from a
+// behavior graph: target resolution, per-domain annotations, the
+// machines querying a domain, and label-hiding machine labels.
+// *graph.Graph implements it directly; *graph.PrunedView implements it
+// for delta classification without materializing the pruned graph.
+type GraphView interface {
+	Labeled() bool
+	Day() int
+	DomainName(d int32) string
+	DomainE2LD(d int32) string
+	DomainIPs(d int32) []dnsutil.IPv4
+	DomainIndex(name string) (int32, bool)
+	MachinesOf(d int32) []int32
+	MachineLabelHiding(m, d int32) graph.Label
+}
+
+// Extractor measures feature vectors for domains of one labeled graph
+// (or graph view). It is safe for concurrent Vector calls.
 type Extractor struct {
-	g      *graph.Graph
+	g      GraphView
+	full   *graph.Graph // nil when the extractor wraps a partial view
 	log    *activity.Log
 	abuse  *pdns.AbuseIndex
 	window int
@@ -126,6 +145,18 @@ var ErrUnlabeledGraph = errors.New("features: graph is not labeled")
 // features are zero (useful for the "No IP" ablation and for deployments
 // without a passive-DNS feed).
 func NewExtractor(g *graph.Graph, log *activity.Log, abuse *pdns.AbuseIndex, window int) (*Extractor, error) {
+	e, err := NewExtractorView(g, log, abuse, window)
+	if err != nil {
+		return nil, err
+	}
+	e.full = g
+	return e, nil
+}
+
+// NewExtractorView builds an extractor over a partial graph view (such
+// as graph.PrunedView). TrainingSet and UnknownDomains require a full
+// graph and must not be used with a view extractor.
+func NewExtractorView(g GraphView, log *activity.Log, abuse *pdns.AbuseIndex, window int) (*Extractor, error) {
 	if !g.Labeled() {
 		return nil, ErrUnlabeledGraph
 	}
@@ -135,13 +166,46 @@ func NewExtractor(g *graph.Graph, log *activity.Log, abuse *pdns.AbuseIndex, win
 	return &Extractor{g: g, log: log, abuse: abuse, window: window}, nil
 }
 
-// Graph returns the underlying graph.
-func (e *Extractor) Graph() *graph.Graph { return e.g }
+// Graph returns the underlying full graph, or nil for a view extractor.
+func (e *Extractor) Graph() *graph.Graph { return e.full }
 
 // Vector measures the 11 features of domain node d with d's own label and
 // history hidden.
 func (e *Extractor) Vector(d int32) []float64 {
 	v := make([]float64, NumFeatures)
+	e.VectorInto(d, v)
+	return v
+}
+
+// vecPool recycles scratch vectors for transient measurements (single
+// lookups, audit records) so hot paths don't allocate per call.
+var vecPool = sync.Pool{
+	New: func() any {
+		s := make([]float64, NumFeatures)
+		return &s
+	},
+}
+
+// BorrowVector returns a scratch feature vector from a shared pool.
+// Callers must copy out anything they keep and hand the slice back with
+// ReturnVector.
+func BorrowVector() []float64 { return *vecPool.Get().(*[]float64) }
+
+// ReturnVector recycles a slice obtained from BorrowVector.
+func ReturnVector(v []float64) {
+	if cap(v) >= NumFeatures {
+		v = v[:NumFeatures]
+		vecPool.Put(&v)
+	}
+}
+
+// VectorInto measures domain node d's features into v, which must have
+// length NumFeatures. It overwrites every element, so rows of a shared
+// backing array and pooled scratch buffers need no prior clearing.
+func (e *Extractor) VectorInto(d int32, v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
 	g := e.g
 	name := g.DomainName(d)
 
@@ -200,5 +264,4 @@ func (e *Extractor) Vector(d int32) []float64 {
 			v[FUnknownPrefixes] = float64(unkPrefixes)
 		}
 	}
-	return v
 }

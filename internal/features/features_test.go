@@ -293,6 +293,83 @@ func TestVectorsFor(t *testing.T) {
 	}
 }
 
+// TestVectorsForMatchesVector checks the flat-backed parallel batch path
+// is byte-identical to the per-domain Vector path, including missing
+// domains and the empty input.
+func TestVectorsForMatchesVector(t *testing.T) {
+	f := newFixture(t)
+	e := f.extractor(t)
+	domains := []string{
+		"candidate.net", "missing.com", "www.good.com",
+		"c2.known.com", "www.nice.org", "also-missing.example",
+	}
+	X, ok := VectorsFor(e, domains)
+	if len(X) != len(domains) || len(ok) != len(domains) {
+		t.Fatalf("shape = %d/%d, want %d", len(X), len(ok), len(domains))
+	}
+	for i, name := range domains {
+		d, found := f.g.DomainIndex(name)
+		if ok[i] != found {
+			t.Fatalf("%s: ok = %v, want %v", name, ok[i], found)
+		}
+		if !found {
+			if X[i] != nil {
+				t.Fatalf("%s: missing domain has non-nil vector", name)
+			}
+			continue
+		}
+		want := e.Vector(d)
+		if len(X[i]) != NumFeatures {
+			t.Fatalf("%s: row length %d, want %d", name, len(X[i]), NumFeatures)
+		}
+		for j := range want {
+			if X[i][j] != want[j] {
+				t.Fatalf("%s feature %d: batch %v != serial %v", name, j, X[i][j], want[j])
+			}
+		}
+	}
+
+	// Rows must not alias each other past their cap.
+	if len(X[0]) != cap(X[0]) {
+		t.Fatalf("row cap %d leaks past its length %d", cap(X[0]), len(X[0]))
+	}
+
+	// Empty input: non-nil zero-length results, no allocation of backing.
+	X0, ok0 := VectorsFor(e, nil)
+	if X0 == nil || ok0 == nil || len(X0) != 0 || len(ok0) != 0 {
+		t.Fatalf("empty input: X=%v ok=%v, want empty non-nil slices", X0, ok0)
+	}
+}
+
+// TestVectorPool checks the Borrow/Return scratch cycle produces vectors
+// identical to freshly allocated ones even after recycling.
+func TestVectorPool(t *testing.T) {
+	f := newFixture(t)
+	e := f.extractor(t)
+	d, _ := f.g.DomainIndex("candidate.net")
+	want := e.Vector(d)
+
+	v := BorrowVector()
+	if len(v) != NumFeatures {
+		t.Fatalf("borrowed length %d, want %d", len(v), NumFeatures)
+	}
+	for i := range v {
+		v[i] = -1 // poison: VectorInto must overwrite every slot
+	}
+	e.VectorInto(d, v)
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("feature %d: pooled %v != fresh %v", i, v[i], want[i])
+		}
+	}
+	ReturnVector(v)
+	v2 := BorrowVector()
+	defer ReturnVector(v2)
+	if len(v2) != NumFeatures {
+		t.Fatalf("recycled length %d, want %d", len(v2), NumFeatures)
+	}
+}
+
 func TestUnknownDomains(t *testing.T) {
 	f := newFixture(t)
 	e := f.extractor(t)

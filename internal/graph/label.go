@@ -190,30 +190,33 @@ func (g *Graph) relabelDelta(base *Graph, src LabelSources) {
 }
 
 // recomputeMachineLabels rebuilds the per-machine counts and labels from
-// the current domain labels.
+// the current domain labels. Machines are independent, so the scan is
+// sharded across workers.
 func (g *Graph) recomputeMachineLabels() {
-	for m := range g.machineIDs {
-		var mal, nonBenign int32
-		for _, d := range g.DomainsOf(int32(m)) {
-			switch g.domainLabel[d] {
-			case LabelMalware:
-				mal++
-				nonBenign++
-			case LabelUnknown:
-				nonBenign++
+	parallelFor(len(g.machineIDs), func(lo, hi int) {
+		for m := lo; m < hi; m++ {
+			var mal, nonBenign int32
+			for _, d := range g.DomainsOf(int32(m)) {
+				switch g.domainLabel[d] {
+				case LabelMalware:
+					mal++
+					nonBenign++
+				case LabelUnknown:
+					nonBenign++
+				}
+			}
+			g.cntMalware[m] = mal
+			g.cntNonBenign[m] = nonBenign
+			switch {
+			case mal > 0:
+				g.machineLabel[m] = LabelMalware
+			case nonBenign == 0 && g.MachineDegree(int32(m)) > 0:
+				g.machineLabel[m] = LabelBenign
+			default:
+				g.machineLabel[m] = LabelUnknown
 			}
 		}
-		g.cntMalware[m] = mal
-		g.cntNonBenign[m] = nonBenign
-		switch {
-		case mal > 0:
-			g.machineLabel[m] = LabelMalware
-		case nonBenign == 0 && g.MachineDegree(int32(m)) > 0:
-			g.machineLabel[m] = LabelBenign
-		default:
-			g.machineLabel[m] = LabelUnknown
-		}
-	}
+	})
 }
 
 // MachineLabelHiding returns machine m's label as derived when domain d's
@@ -244,8 +247,19 @@ func (g *Graph) MachineLabelHiding(m, d int32) Label {
 }
 
 // DomainsWithLabel returns the indexes of domains carrying the label.
+// A counting pass pre-sizes the result so million-domain graphs pay one
+// allocation instead of log-many reallocations.
 func (g *Graph) DomainsWithLabel(l Label) []int32 {
-	var out []int32
+	n := 0
+	for d := range g.domains {
+		if g.DomainLabel(int32(d)) == l {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, n)
 	for d := range g.domains {
 		if g.DomainLabel(int32(d)) == l {
 			out = append(out, int32(d))

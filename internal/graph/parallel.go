@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minShard keeps tiny inputs on one goroutine: below this size the
+// spawn/join overhead dwarfs the scan itself.
+const minShard = 2048
+
+// maxWorkers returns how many workers a scan over n items should use.
+func maxWorkers(n int) int {
+	workers := runtime.GOMAXPROCS(0)
+	if w := (n + minShard - 1) / minShard; w < workers {
+		workers = w
+	}
+	return workers
+}
+
+// parallelFor runs fn(lo, hi) over disjoint contiguous shards of [0, n)
+// across up to GOMAXPROCS workers, so workers touch disjoint cache lines
+// of the output arrays they fill. With one worker (or small n) the loop
+// runs inline, keeping small graphs allocation-free.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := maxWorkers(n)
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// shardCount mirrors parallelShards' shard arithmetic so callers can
+// pre-size per-shard result slices.
+func shardCount(n int) int {
+	workers := maxWorkers(n)
+	if workers <= 1 {
+		if n == 0 {
+			return 0
+		}
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	return (n + chunk - 1) / chunk
+}
+
+// parallelShards is parallelFor with the shard index exposed, for scans
+// that accumulate per-shard partial results.
+func parallelShards(n int, fn func(shard, lo, hi int)) {
+	workers := maxWorkers(n)
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	shard := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+}
+
+// shardedInt32s runs fn over shards, each appending to its own output
+// slice, and returns the per-shard slices in shard order so the caller
+// can concatenate deterministically.
+func shardedInt32s(n int, fn func(lo, hi int, out *[]int32)) [][]int32 {
+	out := make([][]int32, shardCount(n))
+	parallelShards(n, func(shard, lo, hi int) {
+		fn(lo, hi, &out[shard])
+	})
+	return out
+}

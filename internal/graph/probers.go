@@ -32,26 +32,42 @@ func DefaultProberConfig() ProberConfig {
 	return ProberConfig{MinMalwareDomains: 30, MinMalwareFraction: 0.25}
 }
 
-// FindProbers returns the machine nodes matching the heuristic. The graph
-// must be labeled (the heuristic reads known-malware query counts).
-func FindProbers(g *Graph, cfg ProberConfig) ([]int32, error) {
-	if !g.labelsApplied {
-		return nil, ErrNotLabeled
-	}
+func normalizeProberConfig(cfg ProberConfig) ProberConfig {
 	if cfg.MinMalwareDomains <= 0 {
 		cfg.MinMalwareDomains = 30
 	}
 	if cfg.MinMalwareFraction <= 0 {
 		cfg.MinMalwareFraction = 0.25
 	}
-	var out []int32
-	for m := int32(0); m < int32(g.NumMachines()); m++ {
-		mal := g.MachineMalwareCount(m)
-		deg := g.MachineDegree(m)
-		if mal >= cfg.MinMalwareDomains && deg > 0 &&
-			float64(mal)/float64(deg) >= cfg.MinMalwareFraction {
-			out = append(out, m)
+	return cfg
+}
+
+func machineIsProber(g *Graph, m int32, cfg ProberConfig) bool {
+	mal := g.MachineMalwareCount(m)
+	deg := g.MachineDegree(m)
+	return mal >= cfg.MinMalwareDomains && deg > 0 &&
+		float64(mal)/float64(deg) >= cfg.MinMalwareFraction
+}
+
+// FindProbers returns the machine nodes matching the heuristic, in node
+// order. The graph must be labeled (the heuristic reads known-malware
+// query counts). The scan is sharded across GOMAXPROCS workers.
+func FindProbers(g *Graph, cfg ProberConfig) ([]int32, error) {
+	if !g.labelsApplied {
+		return nil, ErrNotLabeled
+	}
+	fullScans.Add(1)
+	cfg = normalizeProberConfig(cfg)
+	shards := shardedInt32s(g.NumMachines(), func(lo, hi int, out *[]int32) {
+		for m := lo; m < hi; m++ {
+			if machineIsProber(g, int32(m), cfg) {
+				*out = append(*out, int32(m))
+			}
 		}
+	})
+	var out []int32
+	for _, s := range shards {
+		out = append(out, s...)
 	}
 	return out, nil
 }

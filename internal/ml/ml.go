@@ -12,6 +12,8 @@ package ml
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 )
 
 // Model is a binary classifier producing a continuous malware score.
@@ -61,13 +63,58 @@ func validate(X [][]float64, y []int) (int, error) {
 	return nf, nil
 }
 
+// BatchScorer is implemented by models that score a whole feature matrix
+// at once — the random forest's ScoreBatch shards rows across workers.
+type BatchScorer interface {
+	ScoreBatch(X [][]float64) []float64
+}
+
+// ScoreAll scores every row of X. Models implementing BatchScorer use
+// their own batch path; per-sample models fall back to a sharded
+// parallel loop. Both paths invoke the model's Score on each row, so the
+// result is bit-identical to a serial loop in either case.
+func ScoreAll(m Model, X [][]float64) []float64 {
+	if bs, ok := m.(BatchScorer); ok {
+		return bs.ScoreBatch(X)
+	}
+	out := make([]float64, len(X))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(X) {
+		workers = len(X)
+	}
+	if workers <= 1 {
+		for i, row := range X {
+			out[i] = m.Score(row)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(X) + workers - 1) / workers
+	for lo := 0; lo < len(X); lo += chunk {
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.Score(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
 // SelectColumns returns a copy of X restricted to the given feature
 // columns, used by the feature-group ablation experiments (paper
-// Section IV-B).
+// Section IV-B). Rows share one flat backing array, capped per row.
 func SelectColumns(X [][]float64, cols []int) [][]float64 {
 	out := make([][]float64, len(X))
+	backing := make([]float64, len(X)*len(cols))
 	for i, row := range X {
-		sel := make([]float64, len(cols))
+		sel := backing[i*len(cols) : (i+1)*len(cols) : (i+1)*len(cols)]
 		for j, c := range cols {
 			sel[j] = row[c]
 		}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+	"segugio/internal/metrics"
+	"segugio/internal/ml"
+)
+
+// The classify benchmarks measure the two classify-all regimes over a
+// ~100k-unknown-domain graph: a cold full pass (prune pipeline + every
+// unknown extracted) and a 10-dirty delta pass through the memoized
+// session. The fixture is built once and shared; the delta benchmark
+// keeps streaming into its builder, which is the daemon's real shape.
+const (
+	benchUnknown  = 100_000
+	benchMalware  = 400
+	benchBenign   = 800
+	benchInfected = 400
+	benchClean    = 3600
+	benchDirty    = 10
+)
+
+type classifyBenchEnv struct {
+	bld  *graph.Builder
+	src  graph.LabelSources
+	gs   *deltaSource
+	srv  *Server
+	det  *core.Detector
+	step uint32
+}
+
+var classifyBench struct {
+	once sync.Once
+	env  *classifyBenchEnv
+	err  error
+}
+
+func benchUnkName(i int) string {
+	return fmt.Sprintf("u%d.z%d.org", i, i/2)
+}
+
+func classifyBenchSetup() {
+	bld := graph.NewBuilder("bench", 42, dnsutil.DefaultSuffixList())
+	bl := intel.NewBlacklist()
+	for i := 0; i < benchMalware; i++ {
+		name := fmt.Sprintf("c2.evil%d.net", i)
+		bl.Add(intel.BlacklistEntry{Domain: name, Family: "fam", FirstListed: 0})
+		for m := 0; m < 6; m++ {
+			bld.AddQuery(fmt.Sprintf("inf%03d", (i+m)%benchInfected), name)
+		}
+		bld.AddResolution(name, dnsutil.IPv4(0x0a000000+uint32(i)))
+	}
+	var whitelisted []string
+	for i := 0; i < benchBenign; i++ {
+		e2ld := fmt.Sprintf("good%d.com", i)
+		whitelisted = append(whitelisted, e2ld)
+		name := "www." + e2ld
+		for m := 0; m < 8; m++ {
+			bld.AddQuery(fmt.Sprintf("clean%04d", (i+m)%benchClean), name)
+		}
+	}
+	// Unknown targets: one infected machine plus two clean ones each, on
+	// two-domain e2LDs, so R3/R4 keep them.
+	for i := 0; i < benchUnknown; i++ {
+		name := benchUnkName(i)
+		bld.AddQuery(fmt.Sprintf("inf%03d", i%benchInfected), name)
+		bld.AddQuery(fmt.Sprintf("clean%04d", i%benchClean), name)
+		bld.AddQuery(fmt.Sprintf("clean%04d", (i*7+1)%benchClean), name)
+	}
+	// Two proxy-degree machines own the top of the degree distribution,
+	// so R2's percentile threshold lands on them and not on the infected
+	// population (whose degrees tie closely).
+	for i := 0; i < 5000; i++ {
+		bld.AddQuery("heavy0", benchUnkName(i))
+		bld.AddQuery("heavy1", benchUnkName(benchUnknown-1-i))
+	}
+	src := graph.LabelSources{Blacklist: bl, Whitelist: intel.NewWhitelist(whitelisted), AsOf: 42}
+
+	g := bld.Snapshot()
+	g.ApplyLabels(src)
+	bld.MarkLabeled(g)
+
+	cfg := core.DefaultConfig()
+	cfg.NewModel = func(benign, malware int) ml.Model {
+		return ml.NewLogisticRegression(ml.LogisticRegressionConfig{Seed: 7})
+	}
+	det, _, err := core.Train(cfg, core.TrainInput{Graph: g})
+	if err != nil {
+		classifyBench.err = fmt.Errorf("train: %w", err)
+		return
+	}
+
+	gs := &deltaSource{g: g, version: 1}
+	srv := New(Config{
+		Graphs:   gs,
+		Registry: metrics.NewRegistry(),
+	})
+	classifyBench.env = &classifyBenchEnv{bld: bld, src: src, gs: gs, srv: srv, det: det}
+}
+
+func classifyBenchEnvFor(b *testing.B) *classifyBenchEnv {
+	b.Helper()
+	classifyBench.once.Do(classifyBenchSetup)
+	if classifyBench.err != nil {
+		b.Fatal(classifyBench.err)
+	}
+	return classifyBench.env
+}
+
+// advanceDirty streams benchDirty domain touches into the builder and
+// publishes the next snapshot with its exact dirty set.
+func (env *classifyBenchEnv) advanceDirty(b *testing.B) {
+	b.Helper()
+	env.step++
+	for j := 0; j < benchDirty; j++ {
+		i := int(env.step)*benchDirty + j
+		env.bld.AddResolution(benchUnkName(i%benchUnknown), dnsutil.IPv4(0x30000000+uint32(i)))
+	}
+	g := env.bld.Snapshot()
+	g.ApplyLabels(env.src)
+	env.bld.MarkLabeled(g)
+	dirty, exact := g.DirtyDomainNames()
+	if !exact || len(dirty) != benchDirty {
+		b.Fatalf("dirty = %d domains (exact=%v), want %d", len(dirty), exact, benchDirty)
+	}
+	env.gs.advance(g, dirty, true)
+}
+
+// BenchmarkClassifyAllFull is the cold pass: the session memo is dropped
+// every iteration, so each pass pays the full prune pipeline plus the
+// extraction and scoring of every unknown domain.
+func BenchmarkClassifyAllFull(b *testing.B) {
+	env := classifyBenchEnvFor(b)
+	ctx := context.Background()
+	var loadedAt = env.srv.start
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env.gs.advance(env.gs.g, nil, false) // inexact: force a flush
+		env.srv.cache.session = nil          // drop the memo: cold prune
+		b.StartTimer()
+		res, err := env.srv.classifyAll(ctx, env.det, loadedAt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkClassifyAllDelta is the steady-state pass: benchDirty domains
+// change per snapshot and everything else is served from the score cache
+// through the memoized prune plan. The ns/op ratio against
+// BenchmarkClassifyAllFull is the headline O(dirty)-vs-O(graph) number.
+func BenchmarkClassifyAllDelta(b *testing.B) {
+	env := classifyBenchEnvFor(b)
+	ctx := context.Background()
+	var loadedAt = env.srv.start
+	// Prime: one full pass so the session and score cache are warm.
+	env.gs.advance(env.gs.g, nil, false)
+	if _, err := env.srv.classifyAll(ctx, env.det, loadedAt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env.advanceDirty(b)
+		b.StartTimer()
+		res, err := env.srv.classifyAll(ctx, env.det, loadedAt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.rescored == 0 || res.rescored > benchDirty {
+			b.Fatalf("rescored = %d, want 1..%d", res.rescored, benchDirty)
+		}
+	}
+}

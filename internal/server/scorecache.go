@@ -20,21 +20,27 @@ import (
 // the dirty domains and keeps every other score from the cache, keyed by
 // the graph version it was computed at.
 //
+// The expensive per-snapshot preprocessing (prober filter, prune,
+// extractor setup) is memoized separately in a core.ClassifySession:
+// delta passes route through ClassifyDelta, which reuses the frozen
+// prune plan and never rescans the full graph.
+//
 // The cache flushes whole (full re-classification) whenever per-domain
 // deltas cannot prove the old scores still hold:
 //
 //   - the delta is inexact (first snapshot, ring overflow, epoch rotation);
 //   - the observation day changed (scores are per-day);
 //   - the detector was reloaded (different model or threshold regime);
-//   - the prune signature moved (graph-global thresholds thetaD/thetaM
+//   - the session had to recompute its prune plan and the resulting
+//     prune signature moved (graph-global thresholds thetaD/thetaM
 //     shifted, which can change the pruning fate of untouched domains).
 //
 // Feature extraction itself reads graph-global state beyond the dirty
 // set (e2LD popularity, machine degree distributions), so delta scoring
 // is a bounded approximation: a domain whose own evidence is unchanged
 // keeps its score even if far-away graph growth nudged shared
-// denominators. The prune-signature flush bounds the error to shifts
-// that do not move the global thresholds.
+// denominators. The session's drift bounds and the signature flush keep
+// the error to shifts that do not move the global thresholds.
 type scoreCache struct {
 	mu       sync.Mutex
 	valid    bool
@@ -43,6 +49,18 @@ type scoreCache struct {
 	detStamp time.Time
 	pruneSig uint64
 	entries  map[string]scoreEntry
+	// session memoizes the prune pipeline across passes; sessionDet is
+	// the detector it belongs to (a reload swaps the detector pointer,
+	// which must start a new session).
+	session    *core.ClassifySession
+	sessionDet *core.Detector
+	// sortedRows/sortedMissing mirror entries in render order (score
+	// desc, then name; missing sorted ascending). They are rebuilt on a
+	// full pass, patched by sorted merge on a delta pass, and served
+	// as-is — callers must treat them as immutable — on pure cache
+	// reads, so an idle classify-all does no O(n log n) re-sort.
+	sortedRows    []ClassifyDetection
+	sortedMissing []string
 	// detected is the detection state of the previous pass, persisted
 	// across cache flushes: the audit trail records a domain when it is
 	// detected now but was not in the last pass (or there was none). A
@@ -62,13 +80,61 @@ type scoreEntry struct {
 }
 
 // classifyAllResult is the merged cache state after one classify-all
-// pass, plus the accounting the caller renders.
+// pass, plus the accounting the caller renders. rows and missing alias
+// the cache's sorted state and must be treated as immutable.
 type classifyAllResult struct {
 	graph    *graph.Graph
 	version  uint64
 	rows     []ClassifyDetection // sorted by score desc, then name
 	missing  []string
 	rescored int // domains whose features were re-extracted this pass
+}
+
+// rowLess is the render order of classify-all rows: score descending,
+// then domain ascending. It matches core's detection sort, so merged
+// delta rows interleave exactly as a full re-sort would place them.
+func rowLess(a, b ClassifyDetection) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Domain < b.Domain
+}
+
+// mergeRows merges the previous sorted rows (minus the changed domains)
+// with the freshly scored rows (already sorted by the same order) into a
+// new slice, copy-on-write: the old slice may still back an in-flight
+// response.
+func mergeRows(old []ClassifyDetection, changed map[string]bool, add []ClassifyDetection) []ClassifyDetection {
+	out := make([]ClassifyDetection, 0, len(old)+len(add))
+	j := 0
+	for _, row := range old {
+		if changed[row.Domain] {
+			continue
+		}
+		for j < len(add) && rowLess(add[j], row) {
+			out = append(out, add[j])
+			j++
+		}
+		out = append(out, row)
+	}
+	return append(out, add[j:]...)
+}
+
+// mergeMissing is mergeRows for the sorted missing-name list.
+func mergeMissing(old []string, changed map[string]bool, add []string) []string {
+	out := make([]string, 0, len(old)+len(add))
+	j := 0
+	for _, name := range old {
+		if changed[name] {
+			continue
+		}
+		for j < len(add) && add[j] < name {
+			out = append(out, add[j])
+			j++
+		}
+		out = append(out, name)
+	}
+	return append(out, add[j:]...)
 }
 
 // classifyAll serves "score every unknown domain" through the cache.
@@ -91,47 +157,29 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 		return nil, errNotLabeled
 	}
 
-	sig := uint64(0)
-	if pc, enabled := det.PruneConfig(); enabled {
-		sig = graph.PruneSignature(g, pc)
+	if c.session == nil || c.sessionDet != det {
+		c.session = det.NewSession()
+		c.sessionDet = det
 	}
+	threshold := det.Threshold()
+	in := core.ClassifyInput{Graph: g, Activity: s.cfg.Activity, Abuse: s.cfg.Abuse}
 
-	flush := !c.valid || !delta.Exact || c.day != g.Day() ||
-		!c.detStamp.Equal(loadedAt) || c.pruneSig != sig
+	flush := !c.valid || !delta.Exact || c.day != g.Day() || !c.detStamp.Equal(loadedAt)
 	rescored := 0
-	if flush {
-		_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
-		clsSpan.SetAttr("mode", "full")
-		dets, report, err := det.Classify(core.ClassifyInput{
-			Graph:    g,
-			Activity: s.cfg.Activity,
-			Abuse:    s.cfg.Abuse,
-		})
-		if err != nil {
-			clsSpan.End()
-			return nil, err
-		}
-		clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
-		clsSpan.SetAttr("scored", len(dets))
-		clsSpan.End()
-		c.entries = make(map[string]scoreEntry, len(dets))
-		for _, d := range dets {
-			c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
-		}
-		for _, name := range report.Missing {
-			c.entries[name] = scoreEntry{version: version, missing: true}
-		}
-		rescored = len(dets) + len(report.Missing)
-		s.cacheMisses.Add(int64(rescored))
-		c.valid, c.day, c.detStamp, c.pruneSig = true, g.Day(), loadedAt, sig
-	} else {
+	if !flush {
 		// Delta pass: the only domains whose classify-all row can differ
 		// from the cache are the dirty ones. A dirty domain that is no
 		// longer an unknown-labeled target (it got labeled, or vanished)
 		// drops out of the result; the rest are re-scored against the new
-		// snapshot. Untouched entries are served as cache hits.
+		// snapshot through the session's frozen prune plan. Untouched
+		// entries are served as cache hits.
+		changed := make(map[string]bool, len(delta.Domains))
 		var toScore []string
 		for _, name := range delta.Domains {
+			if changed[name] {
+				continue
+			}
+			changed[name] = true
 			d, ok := g.DomainIndex(name)
 			if !ok || g.DomainLabel(d) != graph.LabelUnknown {
 				delete(c.entries, name)
@@ -139,57 +187,117 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 			}
 			toScore = append(toScore, name)
 		}
-		if len(toScore) > 0 {
+		if len(toScore) == 0 {
+			// Pure cache read: nothing to re-score, rows served as-is
+			// (minus any dropped targets).
+			if len(changed) > 0 {
+				c.sortedRows = mergeRows(c.sortedRows, changed, nil)
+				c.sortedMissing = mergeMissing(c.sortedMissing, changed, nil)
+			}
+			s.pruneHits.Inc()
+			s.cacheHits.Add(int64(len(c.entries)))
+		} else {
 			_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
 			clsSpan.SetAttr("mode", "delta")
-			dets, report, err := det.Classify(core.ClassifyInput{
-				Graph:    g,
-				Activity: s.cfg.Activity,
-				Abuse:    s.cfg.Abuse,
-				Domains:  toScore,
-			})
+			in.Domains = toScore
+			dets, report, err := c.session.ClassifyDelta(in)
 			if err != nil {
 				clsSpan.End()
 				return nil, err
 			}
-			clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
-			clsSpan.SetAttr("scored", len(toScore))
-			clsSpan.End()
-			for _, d := range dets {
-				c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
-			}
-			for _, name := range report.Missing {
-				c.entries[name] = scoreEntry{version: version, missing: true}
+			if !report.PrunedCached && report.PruneSig != c.pruneSig {
+				// The session had to recompute its plan and the global
+				// prune thresholds moved: the pruning fate of untouched
+				// domains may have changed, so the per-domain delta
+				// cannot prove the cache. Escalate to a full pass (the
+				// session now holds a fresh plan, so it costs one
+				// extraction sweep, not a second graph scan).
+				clsSpan.SetAttr("prune", "shifted")
+				clsSpan.End()
+				flush = true
+			} else {
+				clsSpan.SetAttr("prune", pruneAttr(report.PrunedCached))
+				clsSpan.SetAttr("pruned_cached", report.PrunedCached)
+				clsSpan.SetAttr("targets", len(toScore))
+				clsSpan.SetAttr("scored", len(dets))
+				clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
+				clsSpan.End()
+				s.countPrune(report.PrunedCached)
+
+				newRows := make([]ClassifyDetection, 0, len(dets))
+				for _, d := range dets {
+					c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
+					newRows = append(newRows, ClassifyDetection{
+						Domain:       d.Domain,
+						Score:        d.Score,
+						Detected:     d.Score >= threshold,
+						ScoreVersion: version,
+					})
+				}
+				newMissing := make([]string, 0, len(report.Missing))
+				for _, name := range report.Missing {
+					c.entries[name] = scoreEntry{version: version, missing: true}
+					newMissing = append(newMissing, name)
+				}
+				sort.Strings(newMissing)
+				c.sortedRows = mergeRows(c.sortedRows, changed, newRows)
+				c.sortedMissing = mergeMissing(c.sortedMissing, changed, newMissing)
+
+				rescored = len(toScore)
+				s.cacheMisses.Add(int64(rescored))
+				s.cacheHits.Add(int64(len(c.entries) - rescored))
 			}
 		}
-		rescored = len(toScore)
+	}
+	if flush {
+		_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
+		clsSpan.SetAttr("mode", "full")
+		in.Domains = nil
+		dets, report, err := c.session.Classify(in)
+		if err != nil {
+			clsSpan.End()
+			return nil, err
+		}
+		clsSpan.SetAttr("prune", pruneAttr(report.PrunedCached))
+		clsSpan.SetAttr("pruned_cached", report.PrunedCached)
+		clsSpan.SetAttr("targets", len(dets)+len(report.Missing))
+		clsSpan.SetAttr("scored", len(dets))
+		clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
+		clsSpan.End()
+		s.countPrune(report.PrunedCached)
+
+		c.entries = make(map[string]scoreEntry, len(dets))
+		rows := make([]ClassifyDetection, 0, len(dets))
+		for _, d := range dets {
+			c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
+			rows = append(rows, ClassifyDetection{
+				Domain:       d.Domain,
+				Score:        d.Score,
+				Detected:     d.Score >= threshold,
+				ScoreVersion: version,
+			})
+		}
+		missing := make([]string, 0, len(report.Missing))
+		for _, name := range report.Missing {
+			c.entries[name] = scoreEntry{version: version, missing: true}
+			missing = append(missing, name)
+		}
+		sort.Strings(missing)
+		c.sortedRows, c.sortedMissing = rows, missing
+
+		rescored = len(dets) + len(report.Missing)
 		s.cacheMisses.Add(int64(rescored))
-		s.cacheHits.Add(int64(len(c.entries) - rescored))
+		c.valid, c.day, c.detStamp, c.pruneSig = true, g.Day(), loadedAt, report.PruneSig
 	}
 	c.version = version
 
-	res := &classifyAllResult{graph: g, version: version, rescored: rescored}
-	threshold := det.Threshold()
-	res.rows = make([]ClassifyDetection, 0, len(c.entries))
-	for name, e := range c.entries {
-		if e.missing {
-			res.missing = append(res.missing, name)
-			continue
-		}
-		res.rows = append(res.rows, ClassifyDetection{
-			Domain:       name,
-			Score:        e.score,
-			Detected:     e.score >= threshold,
-			ScoreVersion: e.version,
-		})
+	res := &classifyAllResult{
+		graph:    g,
+		version:  version,
+		rows:     c.sortedRows,
+		missing:  c.sortedMissing,
+		rescored: rescored,
 	}
-	sort.Slice(res.rows, func(i, j int) bool {
-		if res.rows[i].Score != res.rows[j].Score {
-			return res.rows[i].Score > res.rows[j].Score
-		}
-		return res.rows[i].Domain < res.rows[j].Domain
-	})
-	sort.Strings(res.missing)
 
 	// Audit pass: record domains that crossed the detection threshold
 	// since the previous pass, then refresh the previous-pass state.
@@ -206,6 +314,23 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 	}
 	c.detected = newState
 	return res, nil
+}
+
+// pruneAttr renders the prune span attribute.
+func pruneAttr(cached bool) string {
+	if cached {
+		return "cached"
+	}
+	return "computed"
+}
+
+// countPrune feeds the prune-pipeline memoization counters.
+func (s *Server) countPrune(cached bool) {
+	if cached {
+		s.pruneHits.Inc()
+	} else {
+		s.pruneMisses.Inc()
+	}
 }
 
 // auditMaxMachines caps the evidence machine IDs carried by one audit
@@ -241,11 +366,13 @@ func (s *Server) auditNewDetections(c *scoreCache, res *classifyAllResult, thres
 			ScoreVersion: row.ScoreVersion,
 		}
 		if d, ok := res.graph.DomainIndex(row.Domain); ok {
-			v := ex.Vector(d)
+			v := features.BorrowVector()
+			ex.VectorInto(d, v)
 			rec.Features = make(map[string]float64, len(v))
 			for i, name := range features.Names() {
 				rec.Features[name] = v[i]
 			}
+			features.ReturnVector(v)
 			machines := res.graph.MachinesOf(d)
 			rec.MachinesTotal = len(machines)
 			for _, m := range machines {

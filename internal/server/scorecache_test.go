@@ -1,12 +1,18 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	"segugio/internal/core"
 	"segugio/internal/dnsutil"
 	"segugio/internal/graph"
+	"segugio/internal/intel"
+	"segugio/internal/ml"
 	"segugio/internal/tracker"
 )
 
@@ -140,6 +146,133 @@ func TestClassifyAllDeltaCache(t *testing.T) {
 		if d.ScoreVersion != 9 {
 			t.Fatalf("%s after flush: scoreVersion = %d, want 9", d.Domain, d.ScoreVersion)
 		}
+	}
+}
+
+// pruneGraphParts is testGraphParts with every blacklisted domain on its
+// own e2LD, so the detector can run with the full R1-R4 prune pipeline
+// (on the shared-e2LD fixture, R4 would drop the whole malware class).
+func pruneGraphParts(day int) (*graph.Builder, graph.LabelSources) {
+	b := graph.NewBuilder("live", day, dnsutil.DefaultSuffixList())
+	bl := intel.NewBlacklist()
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("c2.evil%d.net", i)
+		bl.Add(intel.BlacklistEntry{Domain: name, Family: "fam", FirstListed: 0})
+		for m := 0; m < 6; m++ {
+			b.AddQuery(fmt.Sprintf("inf%02d", (i+m)%12), name)
+		}
+		b.AddResolution(name, dnsutil.IPv4(0x0a000000+uint32(i)))
+	}
+	var whitelisted []string
+	for i := 0; i < 20; i++ {
+		e2ld := fmt.Sprintf("good%d.com", i)
+		whitelisted = append(whitelisted, e2ld)
+		name := "www." + e2ld
+		for m := 0; m < 8; m++ {
+			b.AddQuery(fmt.Sprintf("clean%02d", (i+m)%25), name)
+		}
+		b.AddResolution(name, dnsutil.IPv4(0x0b000000+uint32(i)))
+	}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("unk.gray%d.org", i)
+		for m := 0; m < 5; m++ {
+			b.AddQuery(fmt.Sprintf("inf%02d", (i+m)%12), name)
+		}
+		b.AddResolution(name, dnsutil.IPv4(0x0c000000+uint32(i)))
+	}
+	return b, graph.LabelSources{
+		Blacklist: bl,
+		Whitelist: intel.NewWhitelist(whitelisted),
+		AsOf:      day,
+	}
+}
+
+// TestClassifyAllPruneMemo is the server-side acceptance check for the
+// memoized prune pipeline: with pruning enabled, delta classify-all
+// passes after the first perform zero full-graph prune/prober/signature
+// scans, and the prune cache counters expose the reuse.
+func TestClassifyAllPruneMemo(t *testing.T) {
+	b, src := pruneGraphParts(42)
+	g1 := b.Snapshot()
+	g1.ApplyLabels(src)
+
+	cfg := core.DefaultConfig()
+	cfg.NewModel = func(benign, malware int) ml.Model {
+		return ml.NewLogisticRegression(ml.LogisticRegressionConfig{Seed: 7})
+	}
+	det, _, err := core.Train(cfg, core.TrainInput{Graph: g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "detector.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveDetector(f, det); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	handle, err := OpenDetector(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gs := &deltaSource{g: g1, version: 1}
+	ts := newTestServer(t, func(cfg *Config) {
+		cfg.Graphs = gs
+		cfg.Detector = handle
+	})
+
+	classify := func() ClassifyResponse {
+		t.Helper()
+		var resp ClassifyResponse
+		code, raw := postJSON(t, ts.URL+"/v1/classify", nil, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, raw)
+		}
+		return resp
+	}
+
+	// Cold pass: the session computes the prune pipeline (a miss).
+	resp := classify()
+	if got := len(resp.Detections); got == 0 {
+		t.Fatal("pruned classify-all produced no detections")
+	}
+	if hits, misses := ts.srv.pruneHits.Value(), ts.srv.pruneMisses.Value(); hits != 0 || misses != 1 {
+		t.Fatalf("cold pass: prune hits/misses = %d/%d, want 0/1", hits, misses)
+	}
+
+	// Delta passes: touch one unknown target per pass (a new resolved IP
+	// keeps every degree unchanged, so the frozen plan stays fresh). No
+	// full-graph scan of any kind may happen after the first pass.
+	for pass := 0; pass < 3; pass++ {
+		b.AddResolution("unk.gray0.org", dnsutil.IPv4(0x0cff0000+uint32(pass)))
+		g2 := b.Snapshot()
+		g2.ApplyLabels(src)
+		dirty, exact := g2.DirtyDomainNames()
+		if !exact || len(dirty) != 1 || dirty[0] != "unk.gray0.org" {
+			t.Fatalf("pass %d: dirty = %v (exact=%v)", pass, dirty, exact)
+		}
+		gs.advance(g2, dirty, true)
+
+		scans := graph.FullGraphScans()
+		got := classify()
+		if after := graph.FullGraphScans(); after != scans {
+			t.Fatalf("pass %d: delta classify-all ran %d full-graph scans, want 0", pass, after-scans)
+		}
+		if len(got.Detections) != len(resp.Detections) {
+			t.Fatalf("pass %d: detections %d, want %d", pass, len(got.Detections), len(resp.Detections))
+		}
+	}
+	if hits := ts.srv.pruneHits.Value(); hits < 3 {
+		t.Fatalf("prune cache hits = %d, want >= 3", hits)
+	}
+	if misses := ts.srv.pruneMisses.Value(); misses != 1 {
+		t.Fatalf("prune cache misses = %d, want 1", misses)
 	}
 }
 

@@ -170,6 +170,8 @@ type Server struct {
 	reloadFails *metrics.Counter
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
+	pruneHits   *metrics.Counter
+	pruneMisses *metrics.Counter
 
 	cache scoreCache
 }
@@ -213,6 +215,10 @@ func New(cfg Config) *Server {
 		"Classify-all domain scores served from the delta cache without re-extraction.", "")
 	s.cacheMisses = r.NewCounter("segugiod_classify_cache_misses_total",
 		"Classify-all domain scores that required feature re-extraction.", "")
+	s.pruneHits = r.NewCounter("segugiod_classify_prune_cache_hits_total",
+		"Classify-all passes that reused the memoized prune pipeline (prober filter, prune plan, extractor).", "")
+	s.pruneMisses = r.NewCounter("segugiod_classify_prune_cache_misses_total",
+		"Classify-all passes that had to recompute the prune pipeline with a full graph scan.", "")
 	if cfg.Detector != nil {
 		r.NewGaugeFunc("segugiod_detector_age_seconds",
 			"Seconds since the serving detector was loaded.", "",
@@ -552,7 +558,9 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "extractor: %v", err)
 		return
 	}
-	v := ex.Vector(d)
+	v := features.BorrowVector()
+	defer features.ReturnVector(v)
+	ex.VectorInto(d, v)
 	resp := DomainResponse{
 		Domain:                name,
 		Day:                   g.Day(),

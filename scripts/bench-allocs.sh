@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench-allocs.sh — allocation budget gate for the delta classify path.
+#
+# The whole point of the memoized classify session is that a steady-state
+# delta pass is O(dirty), not O(graph): a fixed, small number of
+# allocations per pass regardless of graph size. This script runs
+# BenchmarkClassifyAllDelta (100k-domain fixture, 10 dirty domains per
+# pass) and fails if allocs/op exceeds the budget below, so an accidental
+# re-introduction of a full-graph rebuild shows up in CI as a hard error
+# rather than a silent slowdown.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Measured steady state is ~320 allocs/op; the budget leaves headroom for
+# benign churn while still catching any O(graph) regression (a full pass
+# is >50k allocs/op on the same fixture).
+BUDGET=${BENCH_ALLOC_BUDGET:-1000}
+
+out=$(go test -run '^$' -bench 'BenchmarkClassifyAllDelta' -benchmem -benchtime 10x ./internal/server)
+echo "$out"
+
+allocs=$(echo "$out" | awk '/BenchmarkClassifyAllDelta/ {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$allocs" ]; then
+    echo "bench-allocs: could not parse allocs/op from benchmark output" >&2
+    exit 1
+fi
+
+if [ "$allocs" -gt "$BUDGET" ]; then
+    echo "bench-allocs: BenchmarkClassifyAllDelta allocated $allocs allocs/op, budget is $BUDGET" >&2
+    exit 1
+fi
+echo "bench-allocs: $allocs allocs/op within budget $BUDGET"
