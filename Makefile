@@ -20,16 +20,19 @@ check: vet race
 
 # bench runs the performance suites with 5 samples per benchmark and
 # archives the aggregated results: the snapshot/ingest suite as
-# BENCH_snapshot.json and the classify pipeline suite (full vs delta
-# classify-all, batch scoring) as BENCH_classify.json. It is
-# informational (no CI gate); diff the JSON across commits to spot
-# regressions.
+# BENCH_snapshot.json, the classify pipeline suite (full vs delta
+# classify-all, batch scoring) as BENCH_classify.json, and the belief
+# propagation suite (cold full pass vs residual incremental pass) as
+# BENCH_lbp.json. It is informational (no CI gate); diff the JSON
+# across commits to spot regressions.
 bench:
 	$(GO) test -bench . -benchmem -count=5 -run '^$$' ./internal/graph ./internal/ingest \
 		| $(GO) run ./cmd/benchjson -o BENCH_snapshot.json
 	$(GO) test -bench 'BenchmarkClassifyAll|BenchmarkScore' -benchmem -count=5 -run '^$$' \
 		./internal/server ./internal/ml \
 		| $(GO) run ./cmd/benchjson -o BENCH_classify.json
+	$(GO) test -bench 'BenchmarkLBP' -benchmem -count=5 -run '^$$' ./internal/belief \
+		| $(GO) run ./cmd/benchjson -o BENCH_lbp.json
 
 # bench-allocs is the CI allocation gate: fails when the steady-state
 # delta classify pass allocates more than its fixed budget (see

@@ -33,12 +33,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"segugio/internal/activity"
+	"segugio/internal/belief"
+	"segugio/internal/detector"
 	"segugio/internal/dnsutil"
 	"segugio/internal/graph"
 	"segugio/internal/ingest"
@@ -94,6 +97,17 @@ type options struct {
 	slowTrace time.Duration
 	traceRing int
 	auditRing int
+
+	// Detector-plugin knobs: which plugins the classify pass drives, the
+	// LBP engine's tuning, and an optional JSON file layered over the
+	// flags and re-read on every reload (POST /v1/reload or SIGHUP).
+	detectors      string
+	detectorConfig string
+	lbpEpsilon     float64
+	lbpDamping     float64
+	lbpMaxIter     int
+	lbpTolerance   float64
+	lbpThreshold   float64
 }
 
 func parseFlags(args []string) (options, error) {
@@ -122,13 +136,68 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&opts.slowTrace, "slow-trace", time.Second, "log pipeline traces slower than this (0 = never)")
 	fs.IntVar(&opts.traceRing, "trace-ring", 32, "traces kept in each flight-recorder ring (most recent and slowest)")
 	fs.IntVar(&opts.auditRing, "audit-ring", 1024, "detection audit records kept in memory for /v1/audit")
+	fs.StringVar(&opts.detectors, "detectors", "forest",
+		`comma-separated detector plugins driven by the classify pass (e.g. "forest,lbp")`)
+	fs.StringVar(&opts.detectorConfig, "detector-config", "",
+		"JSON detector tuning file layered over the -lbp-* flags, re-read on every reload")
+	fs.Float64Var(&opts.lbpEpsilon, "lbp-epsilon", 0, "LBP homophily strength epsilon (0 = default)")
+	fs.Float64Var(&opts.lbpDamping, "lbp-damping", 0, "LBP message damping factor in [0,1)")
+	fs.IntVar(&opts.lbpMaxIter, "lbp-max-iter", 0, "LBP iteration budget per pass (0 = default)")
+	fs.Float64Var(&opts.lbpTolerance, "lbp-tolerance", 0, "LBP convergence tolerance (0 = default)")
+	fs.Float64Var(&opts.lbpThreshold, "lbp-threshold", 0, "LBP detection threshold (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
 	if fs.NArg() != 0 {
 		return opts, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if _, err := opts.detectorNames(); err != nil {
+		return opts, err
+	}
 	return opts, nil
+}
+
+// detectorNames splits and validates -detectors against the plugin
+// registry. The forest is always enabled: it is the primary detector
+// the score cache and the top-level verdicts are built on.
+func (opts *options) detectorNames() ([]string, error) {
+	names := []string{"forest"}
+	for _, name := range strings.Split(opts.detectors, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || name == "forest" {
+			continue
+		}
+		if !slices.Contains(detector.Names(), name) {
+			return nil, fmt.Errorf("-detectors: unknown plugin %q (have %v)", name, detector.Names())
+		}
+		if !slices.Contains(names, name) {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}
+
+// detectorTuning resolves the effective plugin tuning: the -lbp-* flags
+// first, then the -detector-config file layered on top.
+func (opts *options) detectorTuning() (detector.Tuning, error) {
+	tuning := detector.Tuning{
+		LBP: belief.Config{
+			Epsilon:       opts.lbpEpsilon,
+			Damping:       opts.lbpDamping,
+			MaxIterations: opts.lbpMaxIter,
+			Tolerance:     opts.lbpTolerance,
+		},
+		LBPThreshold: opts.lbpThreshold,
+	}
+	if opts.detectorConfig == "" {
+		return tuning, nil
+	}
+	f, err := os.Open(opts.detectorConfig)
+	if err != nil {
+		return tuning, err
+	}
+	defer f.Close()
+	return detector.LoadTuning(f, tuning)
 }
 
 func run(ctx context.Context, args []string, stdin io.Reader, logw io.Writer) error {
@@ -349,6 +418,16 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 			return nil, err
 		}
 	}
+	detNames, err := opts.detectorNames()
+	if err != nil {
+		d.ing.Shutdown()
+		return nil, err
+	}
+	tuning, err := opts.detectorTuning()
+	if err != nil {
+		d.ing.Shutdown()
+		return nil, fmt.Errorf("detector tuning: %w", err)
+	}
 	d.trk = tracker.New()
 	d.srv = server.New(server.Config{
 		Graphs:      d.ing,
@@ -363,6 +442,9 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 		Logger:      logger,
 		Tracer:      d.tracer,
 		Audit:       d.audit,
+		Detectors:   detNames,
+		Tuning:      tuning,
+		TuningPath:  opts.detectorConfig,
 	})
 
 	d.httpLn, err = net.Listen("tcp", opts.listen)

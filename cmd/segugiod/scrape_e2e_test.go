@@ -52,6 +52,7 @@ func TestMetricsScrapeLints(t *testing.T) {
 		stateDir:     t.TempDir(),
 		ckptInterval: 50 * time.Millisecond,
 		walSyncEvery: 1,
+		detectors:    "forest,lbp",
 	}, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -121,6 +122,12 @@ func TestMetricsScrapeLints(t *testing.T) {
 		"segugiod_build_info",
 		"segugiod_uptime_seconds",
 		"segugiod_audit_records_total",
+		"segugiod_lbp_iterations",
+		"segugiod_lbp_residual_queue",
+		`segugiod_lbp_passes_total{mode="full"}`,
+		`segugiod_detector_pass_seconds_bucket{detector="forest"`,
+		`segugiod_detector_pass_seconds_bucket{detector="lbp"`,
+		`segugiod_detector_pass_errors_total{detector="lbp"}`,
 	} {
 		if !bytes.Contains(raw, []byte(want)) {
 			t.Fatalf("scrape lacks %s:\n%s", want, raw)

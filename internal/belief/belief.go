@@ -61,15 +61,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Result holds the posterior marginals.
+// Result holds the posterior marginals plus pass accounting.
 type Result struct {
 	// DomainBelief[d] is the malware marginal of domain node d.
 	DomainBelief []float64
 	// MachineBelief[m] is the malware marginal of machine node m.
 	MachineBelief []float64
-	// Iterations actually run, and whether the tolerance was reached.
+	// Iterations actually run (full passes only), and whether the
+	// tolerance was reached within budget.
 	Iterations int
 	Converged  bool
+	// Mode is how the pass ran: ModeFull, ModeResidual, or ModeCached.
+	Mode string
+	// Residual-pass accounting: nodes seeded from the delta, node
+	// updates performed, and the residual queue's high-water mark.
+	Seeds     int
+	Updates   int
+	PeakQueue int
 }
 
 // ErrUnlabeledGraph is returned when the graph has no labels: without
@@ -78,159 +86,18 @@ var ErrUnlabeledGraph = errors.New("belief: graph is not labeled")
 
 const msgFloor = 1e-9
 
-// Propagate runs sum-product loopy BP and returns the marginals.
+// Propagate runs sum-product loopy BP from scratch and returns the
+// marginals. It is the batch entry point; Engine layers persistent
+// message state and residual delta passes on top of the same update
+// rules (see incremental.go).
 func Propagate(g *graph.Graph, cfg Config) (*Result, error) {
 	if !g.Labeled() {
 		return nil, ErrUnlabeledGraph
 	}
 	cfg = cfg.withDefaults()
-	nm, nd, ne := g.NumMachines(), g.NumDomains(), g.NumEdges()
-
-	// Node priors: probability of the malware state.
-	machinePrior := make([]float64, nm)
-	for m := 0; m < nm; m++ {
-		machinePrior[m] = prior(g.MachineLabel(int32(m)), cfg.PriorMalware)
-	}
-	domainPrior := make([]float64, nd)
-	for d := 0; d < nd; d++ {
-		domainPrior[d] = prior(g.DomainLabel(int32(d)), cfg.PriorMalware)
-	}
-
-	// Cross-indexes between the two CSR edge orders. Machine-side edge p
-	// corresponds to domain-side edge toDomainSide[p], and vice versa.
-	// The domain-side adjacency was filled by scanning machines in
-	// ascending order, so replaying that scan reproduces the positions.
-	toDomainSide := make([]int32, ne)
-	toMachineSide := make([]int32, ne)
-	{
-		cursor := make([]int32, nd)
-		off := int32(0)
-		for d := 0; d < nd; d++ {
-			cursor[d] = off
-			off += int32(g.DomainDegree(int32(d)))
-		}
-		p := 0
-		for m := 0; m < nm; m++ {
-			for _, d := range g.DomainsOf(int32(m)) {
-				q := cursor[d]
-				cursor[d]++
-				toDomainSide[p] = q
-				toMachineSide[q] = int32(p)
-				p++
-			}
-		}
-	}
-
-	// Messages store the malware-state component of a normalized pair.
-	// m2d is indexed by domain-side position, d2m by machine-side
-	// position, so each update pass reads contiguous slices.
-	m2d := constSlice(ne, 0.5)
-	d2m := constSlice(ne, 0.5)
-	newMsg := make([]float64, ne)
-
-	domBelief := make([]float64, nd)
-	macBelief := make([]float64, nm)
-	prevDom := make([]float64, nd)
-
-	psiSame := 0.5 + cfg.Epsilon
-	psiDiff := 0.5 - cfg.Epsilon
-
-	iter := 0
-	converged := false
-	for ; iter < cfg.MaxIterations; iter++ {
-		// Machines -> domains.
-		p := 0
-		for m := 0; m < nm; m++ {
-			edges := g.DomainsOf(int32(m))
-			s0, s1 := 0.0, 0.0
-			for i := range edges {
-				s0 += math.Log(1 - d2m[p+i])
-				s1 += math.Log(d2m[p+i])
-			}
-			phi1 := machinePrior[m]
-			for i := range edges {
-				mu0 := (1 - phi1) * math.Exp(s0-math.Log(1-d2m[p+i]))
-				mu1 := phi1 * math.Exp(s1-math.Log(d2m[p+i]))
-				// Apply the edge potential and normalize.
-				out0 := mu0*psiSame + mu1*psiDiff
-				out1 := mu0*psiDiff + mu1*psiSame
-				v := clamp(out1 / (out0 + out1))
-				q := toDomainSide[p+i]
-				newMsg[q] = cfg.Damping*m2d[q] + (1-cfg.Damping)*v
-			}
-			p += len(edges)
-		}
-		m2d, newMsg = newMsg, m2d
-
-		// Domains -> machines.
-		q := 0
-		for d := 0; d < nd; d++ {
-			edges := g.MachinesOf(int32(d))
-			s0, s1 := 0.0, 0.0
-			for i := range edges {
-				s0 += math.Log(1 - m2d[q+i])
-				s1 += math.Log(m2d[q+i])
-			}
-			phi1 := domainPrior[d]
-			for i := range edges {
-				mu0 := (1 - phi1) * math.Exp(s0-math.Log(1-m2d[q+i]))
-				mu1 := phi1 * math.Exp(s1-math.Log(m2d[q+i]))
-				out0 := mu0*psiSame + mu1*psiDiff
-				out1 := mu0*psiDiff + mu1*psiSame
-				v := clamp(out1 / (out0 + out1))
-				pp := toMachineSide[q+i]
-				newMsg[pp] = cfg.Damping*d2m[pp] + (1-cfg.Damping)*v
-			}
-			q += len(edges)
-		}
-		d2m, newMsg = newMsg, d2m
-
-		// Beliefs and convergence check.
-		copy(prevDom, domBelief)
-		qq := 0
-		for d := 0; d < nd; d++ {
-			edges := g.MachinesOf(int32(d))
-			s0 := math.Log(1 - domainPrior[d])
-			s1 := math.Log(domainPrior[d])
-			for i := range edges {
-				s0 += math.Log(1 - m2d[qq+i])
-				s1 += math.Log(m2d[qq+i])
-			}
-			domBelief[d] = clamp(1 / (1 + math.Exp(s0-s1)))
-			qq += len(edges)
-		}
-		maxDelta := 0.0
-		for d := 0; d < nd; d++ {
-			if delta := math.Abs(domBelief[d] - prevDom[d]); delta > maxDelta {
-				maxDelta = delta
-			}
-		}
-		if iter > 0 && maxDelta < cfg.Tolerance {
-			converged = true
-			iter++
-			break
-		}
-	}
-
-	pp := 0
-	for m := 0; m < nm; m++ {
-		edges := g.DomainsOf(int32(m))
-		s0 := math.Log(1 - machinePrior[m])
-		s1 := math.Log(machinePrior[m])
-		for i := range edges {
-			s0 += math.Log(1 - d2m[pp+i])
-			s1 += math.Log(d2m[pp+i])
-		}
-		macBelief[m] = clamp(1 / (1 + math.Exp(s0-s1)))
-		pp += len(edges)
-	}
-
-	return &Result{
-		DomainBelief:  domBelief,
-		MachineBelief: macBelief,
-		Iterations:    iter,
-		Converged:     converged,
-	}, nil
+	st := newEngineState(g, 0, cfg)
+	iters, conv := st.runFull(cfg)
+	return st.result(ModeFull, iters, conv, passStats{}), nil
 }
 
 func prior(l graph.Label, priorMalware float64) float64 {

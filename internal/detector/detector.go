@@ -1,0 +1,136 @@
+// Package detector defines the plugin interface the classify pass
+// drives. Every detection model — the paper's random-forest feature
+// classifier, the incremental belief-propagation baseline, and any
+// future scenario-specific model (tunneling, DGA) — implements
+// Detector and registers a factory under a stable name; the daemon
+// enables a set of them with -detectors=forest,lbp and the server runs
+// each enabled plugin once per classify pass, fusing their verdicts.
+package detector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"segugio/internal/activity"
+	"segugio/internal/core"
+	"segugio/internal/graph"
+	"segugio/internal/pdns"
+)
+
+// Pass is one classify pass's input: the labeled live snapshot plus the
+// delta since the caller's previous pass, exactly as returned by
+// SnapshotSince(Since).
+type Pass struct {
+	Graph   *graph.Graph
+	Version uint64
+	// Since is the version of the previous pass this delta is relative
+	// to (0 for the first pass).
+	Since uint64
+	Delta graph.Delta
+
+	Activity *activity.Log
+	Abuse    *pdns.AbuseIndex
+}
+
+// Score is one scored domain.
+type Score struct {
+	Domain string
+	Score  float64
+}
+
+// Stats describes how a detector executed its pass.
+type Stats struct {
+	// Mode is detector-specific: the forest reports "full" or "delta",
+	// the LBP engine "full", "residual", or "cached".
+	Mode string
+	// Iterations/Updates/PeakQueue carry propagation accounting for
+	// graph-inference detectors; zero elsewhere.
+	Iterations int
+	Updates    int
+	PeakQueue  int
+}
+
+// Result is one detector's output for a pass.
+type Result struct {
+	// Scores holds the scored targets, in the detector's native order.
+	Scores []Score
+	// Missing lists requested targets the detector could not score.
+	Missing []string
+	// Escalated reports that the pass abandoned its incremental state
+	// and recomputed from scratch for a reason the caller must observe
+	// (e.g. the forest's prune signature shifted, invalidating cached
+	// scores of untouched domains).
+	Escalated bool
+	Stats     Stats
+
+	// Report carries the forest's full classify report when the
+	// detector wraps core (nil for other plugins).
+	Report *core.ClassifyReport
+}
+
+// Detector is one pluggable detection model. Prepare observes a pass
+// (propagating incremental state forward); Score answers for targets
+// against the prepared pass — nil targets means every unknown domain.
+// Implementations are safe for sequential use by one driver; drivers
+// serialize Prepare/Score per detector.
+type Detector interface {
+	Name() string
+	// Threshold is the score at or above which a domain counts as
+	// detected by this plugin.
+	Threshold() float64
+	Prepare(p Pass) error
+	Score(targets []string) (*Result, error)
+	Close() error
+}
+
+// Config parameterizes plugin construction.
+type Config struct {
+	// Core is the trained forest pipeline (required by "forest").
+	Core *core.Detector
+	// Tuning holds the hot-reloadable per-plugin knobs.
+	Tuning Tuning
+}
+
+// Factory builds one plugin instance.
+type Factory func(cfg Config) (Detector, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs a plugin factory under name. Registering a
+// duplicate name panics: plugin names are part of the daemon's flag and
+// metrics surface.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("detector: duplicate plugin %q", name))
+	}
+	registry[name] = f
+}
+
+// Names lists the registered plugin names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named plugin.
+func New(name string, cfg Config) (Detector, error) {
+	regMu.RLock()
+	f := registry[name]
+	regMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("detector: unknown plugin %q (have %v)", name, Names())
+	}
+	return f(cfg)
+}

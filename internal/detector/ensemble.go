@@ -1,0 +1,25 @@
+package detector
+
+// FusedName keys the ensemble verdict in per-detector maps.
+const FusedName = "fused"
+
+// Verdict is one detector's opinion of one domain.
+type Verdict struct {
+	Score    float64
+	Detected bool
+}
+
+// Fuse combines per-detector verdicts for one domain into the ensemble
+// verdict: the fused score is the maximum plugin score and the domain
+// counts as detected if any plugin detected it. The map must not
+// already contain FusedName.
+func Fuse(verdicts map[string]Verdict) Verdict {
+	var f Verdict
+	for _, v := range verdicts {
+		if v.Score > f.Score {
+			f.Score = v.Score
+		}
+		f.Detected = f.Detected || v.Detected
+	}
+	return f
+}

@@ -1,0 +1,96 @@
+package detector
+
+import (
+	"errors"
+
+	"segugio/internal/core"
+)
+
+func init() {
+	Register("forest", newForest)
+}
+
+// forest ports the paper's feature classifier behind the plugin
+// interface without behavior change: it drives a core.ClassifySession
+// exactly as the server's score cache used to — nil targets run a full
+// memoized Classify, named targets a ClassifyDelta against the frozen
+// prune plan — and surfaces the session's escalation signal (a pruned
+// recompute whose prune signature moved) through Result.Escalated.
+type forest struct {
+	det     *core.Detector
+	session *core.ClassifySession
+
+	pass    Pass
+	havePass bool
+
+	// lastSig is the prune signature of the last full preparation;
+	// a recompute that lands on a different signature means domains no
+	// delta touched may have changed pruning fate.
+	lastSig uint64
+	haveSig bool
+}
+
+func newForest(cfg Config) (Detector, error) {
+	if cfg.Core == nil {
+		return nil, errors.New("detector: forest requires a trained core detector")
+	}
+	return &forest{det: cfg.Core, session: cfg.Core.NewSession()}, nil
+}
+
+func (f *forest) Name() string       { return "forest" }
+func (f *forest) Threshold() float64 { return f.det.Threshold() }
+func (f *forest) Close() error       { return nil }
+
+func (f *forest) Prepare(p Pass) error {
+	if p.Graph == nil || !p.Graph.Labeled() {
+		return core.ErrUnlabeled
+	}
+	f.pass = p
+	f.havePass = true
+	return nil
+}
+
+func (f *forest) Score(targets []string) (*Result, error) {
+	if !f.havePass {
+		return nil, errors.New("detector: forest: Score before Prepare")
+	}
+	in := core.ClassifyInput{
+		Graph:    f.pass.Graph,
+		Activity: f.pass.Activity,
+		Abuse:    f.pass.Abuse,
+		Domains:  targets,
+	}
+	var (
+		dets   []core.Detection
+		report *core.ClassifyReport
+		err    error
+		mode   string
+	)
+	if targets == nil {
+		dets, report, err = f.session.Classify(in)
+		mode = "full"
+	} else {
+		dets, report, err = f.session.ClassifyDelta(in)
+		mode = "delta"
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scores:  make([]Score, len(dets)),
+		Missing: report.Missing,
+		Stats:   Stats{Mode: mode},
+		Report:  report,
+	}
+	for i, d := range dets {
+		res.Scores[i] = Score{Domain: d.Domain, Score: d.Score}
+	}
+	// A pass that rebuilt its preparation on a shifted prune signature
+	// invalidates every cached score, not just the targets.
+	if !report.PrunedCached {
+		res.Escalated = f.haveSig && report.PruneSig != f.lastSig
+		f.lastSig = report.PruneSig
+		f.haveSig = true
+	}
+	return res, nil
+}

@@ -29,6 +29,17 @@ type AuditRecord struct {
 	Features      map[string]float64 `json:"features"`
 	Machines      []string           `json:"machines,omitempty"`
 	MachinesTotal int                `json:"machinesTotal"`
+	// Detectors carries the verdict of every enabled detector plugin for
+	// this domain (keyed by plugin name, plus "fused" for the ensemble),
+	// when the daemon runs more than the primary forest.
+	Detectors map[string]DetectorVerdict `json:"detectors,omitempty"`
+}
+
+// DetectorVerdict is one detector plugin's opinion recorded in an audit
+// entry.
+type DetectorVerdict struct {
+	Score    float64 `json:"score"`
+	Detected bool    `json:"detected"`
 }
 
 // Audit reasons.
@@ -233,6 +244,27 @@ func (a *AuditLog) Recent(limit int) []AuditRecord {
 // ForDomain returns up to limit records for one domain, newest first.
 func (a *AuditLog) ForDomain(domain string, limit int) []AuditRecord {
 	return a.filter(limit, func(r AuditRecord) bool { return r.Domain == domain })
+}
+
+// Query returns up to limit records, newest first, applying the
+// non-empty filters: domain matches Domain exactly; detector keeps
+// records where that plugin's verdict was a detection. Records written
+// before the multi-detector era carry no per-detector map; they count as
+// forest detections (the forest was the only detector then).
+func (a *AuditLog) Query(limit int, domain, detector string) []AuditRecord {
+	return a.filter(limit, func(r AuditRecord) bool {
+		if domain != "" && r.Domain != domain {
+			return false
+		}
+		if detector != "" {
+			v, ok := r.Detectors[detector]
+			if !ok {
+				return detector == "forest" && len(r.Detectors) == 0
+			}
+			return v.Detected
+		}
+		return true
+	})
 }
 
 func (a *AuditLog) filter(limit int, keep func(AuditRecord) bool) []AuditRecord {

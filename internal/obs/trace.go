@@ -20,6 +20,7 @@ const (
 	StageSnapshot       = "snapshot"
 	StageFeatureExtract = "feature_extract"
 	StageClassify       = "classify"
+	StageLBPPropagate   = "lbp_propagate"
 	StageTrackerPass    = "tracker_pass"
 )
 
@@ -27,7 +28,7 @@ const (
 func Stages() []string {
 	return []string{
 		StageParse, StageWALAppend, StageGraphApply, StageSnapshot,
-		StageFeatureExtract, StageClassify, StageTrackerPass,
+		StageFeatureExtract, StageClassify, StageLBPPropagate, StageTrackerPass,
 	}
 }
 

@@ -146,7 +146,7 @@ func BenchmarkClassifyAllFull(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		env.gs.advance(env.gs.g, nil, false) // inexact: force a flush
-		env.srv.cache.session = nil          // drop the memo: cold prune
+		env.srv.cache.forest = nil           // drop the memo: cold prune
 		b.StartTimer()
 		res, err := env.srv.classifyAll(ctx, env.det, loadedAt)
 		if err != nil {

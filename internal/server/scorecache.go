@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"segugio/internal/core"
+	"segugio/internal/detector"
 	"segugio/internal/features"
 	"segugio/internal/graph"
 	"segugio/internal/obs"
@@ -47,13 +48,13 @@ type scoreCache struct {
 	version  uint64
 	day      int
 	detStamp time.Time
-	pruneSig uint64
 	entries  map[string]scoreEntry
-	// session memoizes the prune pipeline across passes; sessionDet is
-	// the detector it belongs to (a reload swaps the detector pointer,
-	// which must start a new session).
-	session    *core.ClassifySession
-	sessionDet *core.Detector
+	// forest is the primary detector plugin wrapping a classify session
+	// (which memoizes the prune pipeline across passes); forestCore is
+	// the core detector it wraps (a reload swaps the detector pointer,
+	// which must start a fresh plugin and session).
+	forest     detector.Detector
+	forestCore *core.Detector
 	// sortedRows/sortedMissing mirror entries in render order (score
 	// desc, then name; missing sorted ascending). They are rebuilt on a
 	// full pass, patched by sorted merge on a delta pass, and served
@@ -157,12 +158,21 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 		return nil, errNotLabeled
 	}
 
-	if c.session == nil || c.sessionDet != det {
-		c.session = det.NewSession()
-		c.sessionDet = det
+	if c.forest == nil || c.forestCore != det {
+		forest, err := detector.New("forest", detector.Config{Core: det})
+		if err != nil {
+			return nil, err
+		}
+		c.forest, c.forestCore = forest, det
 	}
 	threshold := det.Threshold()
-	in := core.ClassifyInput{Graph: g, Activity: s.cfg.Activity, Abuse: s.cfg.Abuse}
+	pass := detector.Pass{
+		Graph: g, Version: version, Since: since, Delta: delta,
+		Activity: s.cfg.Activity, Abuse: s.cfg.Abuse,
+	}
+	if err := c.forest.Prepare(pass); err != nil {
+		return nil, err
+	}
 
 	flush := !c.valid || !delta.Exact || c.day != g.Day() || !c.detStamp.Equal(loadedAt)
 	rescored := 0
@@ -199,13 +209,17 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 		} else {
 			_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
 			clsSpan.SetAttr("mode", "delta")
-			in.Domains = toScore
-			dets, report, err := c.session.ClassifyDelta(in)
+			t0 := time.Now()
+			fres, err := c.forest.Score(toScore)
+			if h := s.detPassLat["forest"]; h != nil {
+				h.ObserveDuration(time.Since(t0))
+			}
 			if err != nil {
 				clsSpan.End()
 				return nil, err
 			}
-			if !report.PrunedCached && report.PruneSig != c.pruneSig {
+			report := fres.Report
+			if fres.Escalated {
 				// The session had to recompute its plan and the global
 				// prune thresholds moved: the pruning fate of untouched
 				// domains may have changed, so the per-domain delta
@@ -219,13 +233,13 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 				clsSpan.SetAttr("prune", pruneAttr(report.PrunedCached))
 				clsSpan.SetAttr("pruned_cached", report.PrunedCached)
 				clsSpan.SetAttr("targets", len(toScore))
-				clsSpan.SetAttr("scored", len(dets))
+				clsSpan.SetAttr("scored", len(fres.Scores))
 				clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
 				clsSpan.End()
 				s.countPrune(report.PrunedCached)
 
-				newRows := make([]ClassifyDetection, 0, len(dets))
-				for _, d := range dets {
+				newRows := make([]ClassifyDetection, 0, len(fres.Scores))
+				for _, d := range fres.Scores {
 					c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
 					newRows = append(newRows, ClassifyDetection{
 						Domain:       d.Domain,
@@ -234,8 +248,8 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 						ScoreVersion: version,
 					})
 				}
-				newMissing := make([]string, 0, len(report.Missing))
-				for _, name := range report.Missing {
+				newMissing := make([]string, 0, len(fres.Missing))
+				for _, name := range fres.Missing {
 					c.entries[name] = scoreEntry{version: version, missing: true}
 					newMissing = append(newMissing, name)
 				}
@@ -252,23 +266,27 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 	if flush {
 		_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
 		clsSpan.SetAttr("mode", "full")
-		in.Domains = nil
-		dets, report, err := c.session.Classify(in)
+		t0 := time.Now()
+		fres, err := c.forest.Score(nil)
+		if h := s.detPassLat["forest"]; h != nil {
+			h.ObserveDuration(time.Since(t0))
+		}
 		if err != nil {
 			clsSpan.End()
 			return nil, err
 		}
+		report := fres.Report
 		clsSpan.SetAttr("prune", pruneAttr(report.PrunedCached))
 		clsSpan.SetAttr("pruned_cached", report.PrunedCached)
-		clsSpan.SetAttr("targets", len(dets)+len(report.Missing))
-		clsSpan.SetAttr("scored", len(dets))
+		clsSpan.SetAttr("targets", len(fres.Scores)+len(fres.Missing))
+		clsSpan.SetAttr("scored", len(fres.Scores))
 		clsSpan.RecordChild(obs.StageFeatureExtract, report.Timing.Extract)
 		clsSpan.End()
 		s.countPrune(report.PrunedCached)
 
-		c.entries = make(map[string]scoreEntry, len(dets))
-		rows := make([]ClassifyDetection, 0, len(dets))
-		for _, d := range dets {
+		c.entries = make(map[string]scoreEntry, len(fres.Scores))
+		rows := make([]ClassifyDetection, 0, len(fres.Scores))
+		for _, d := range fres.Scores {
 			c.entries[d.Domain] = scoreEntry{score: d.Score, version: version}
 			rows = append(rows, ClassifyDetection{
 				Domain:       d.Domain,
@@ -277,19 +295,24 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 				ScoreVersion: version,
 			})
 		}
-		missing := make([]string, 0, len(report.Missing))
-		for _, name := range report.Missing {
+		missing := make([]string, 0, len(fres.Missing))
+		for _, name := range fres.Missing {
 			c.entries[name] = scoreEntry{version: version, missing: true}
 			missing = append(missing, name)
 		}
 		sort.Strings(missing)
 		c.sortedRows, c.sortedMissing = rows, missing
 
-		rescored = len(dets) + len(report.Missing)
+		rescored = len(fres.Scores) + len(fres.Missing)
 		s.cacheMisses.Add(int64(rescored))
-		c.valid, c.day, c.detStamp, c.pruneSig = true, g.Day(), loadedAt, report.PruneSig
+		c.valid, c.day, c.detStamp = true, g.Day(), loadedAt
 	}
 	c.version = version
+
+	// Auxiliary detectors observe the same pass (same snapshot, same
+	// delta): their engines carry incremental state forward and
+	// self-escalate on any version gap. Failures never break the primary.
+	s.runAuxDetectors(ctx, g, version, since, delta)
 
 	res := &classifyAllResult{
 		graph:    g,
@@ -344,6 +367,7 @@ const auditMaxMachines = maxMachinesInResponse
 // to the analyst); evidence machines are capped at auditMaxMachines.
 func (s *Server) auditNewDetections(c *scoreCache, res *classifyAllResult, threshold float64) {
 	var ex *features.Extractor
+	aux := s.auxVerdicts(res.version)
 	for _, row := range res.rows {
 		if !row.Detected || c.detected[row.Domain] {
 			continue
@@ -364,6 +388,9 @@ func (s *Server) auditNewDetections(c *scoreCache, res *classifyAllResult, thres
 			Reason:       obs.ReasonNewDetection,
 			GraphVersion: res.version,
 			ScoreVersion: row.ScoreVersion,
+		}
+		if aux != nil {
+			rec.Detectors = aux.detectorVerdicts(row.Domain, row.Score, threshold)
 		}
 		if d, ok := res.graph.DomainIndex(row.Domain); ok {
 			v := features.BorrowVector()

@@ -23,12 +23,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
 
 	"segugio/internal/activity"
 	"segugio/internal/core"
+	"segugio/internal/detector"
 	"segugio/internal/dnsutil"
 	"segugio/internal/features"
 	"segugio/internal/graph"
@@ -149,6 +151,19 @@ type Config struct {
 	// Audit, when non-nil, receives one record per newly detected domain
 	// from classify-all and tracker passes, and backs GET /v1/audit.
 	Audit *obs.AuditLog
+	// Detectors names the enabled detector plugins (default just
+	// "forest"). The forest is the primary: it drives the score cache and
+	// the top-level detected verdict. Every other name (e.g. "lbp") runs
+	// beside it each classify-all pass; its scores ride along in
+	// responses under "detectors" and in dual-verdict audit records.
+	Detectors []string
+	// Tuning parameterizes the auxiliary detector plugins.
+	Tuning detector.Tuning
+	// TuningPath, when non-empty, is a JSON tuning file (see
+	// detector.LoadTuning) re-read on every reload (POST /v1/reload or
+	// SIGHUP), layered over Tuning; auxiliary plugins are rebuilt with
+	// the new knobs.
+	TuningPath string
 }
 
 // Server is the daemon's HTTP API. Create with New, then serve its
@@ -173,7 +188,14 @@ type Server struct {
 	pruneHits   *metrics.Counter
 	pruneMisses *metrics.Counter
 
+	detPassLat       map[string]*metrics.Histogram
+	detPassErrs      map[string]*metrics.Counter
+	lbpIterations    *metrics.Gauge
+	lbpResidualQueue *metrics.Gauge
+	lbpPasses        map[string]*metrics.Counter
+
 	cache scoreCache
+	aux   auxState
 }
 
 // errNotLabeled surfaces a classify-all attempt before the first
@@ -187,6 +209,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxClassifyDomains <= 0 {
 		cfg.MaxClassifyDomains = 10000
+	}
+	if len(cfg.Detectors) == 0 {
+		cfg.Detectors = []string{"forest"}
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), start: time.Now()}
 	s.log = obs.Component(cfg.Logger, "http")
@@ -219,6 +244,34 @@ func New(cfg Config) *Server {
 		"Classify-all passes that reused the memoized prune pipeline (prober filter, prune plan, extractor).", "")
 	s.pruneMisses = r.NewCounter("segugiod_classify_prune_cache_misses_total",
 		"Classify-all passes that had to recompute the prune pipeline with a full graph scan.", "")
+	s.detPassLat = map[string]*metrics.Histogram{}
+	s.detPassErrs = map[string]*metrics.Counter{}
+	for _, name := range cfg.Detectors {
+		s.detPassLat[name] = r.NewHistogram("segugiod_detector_pass_seconds",
+			"Latency of one detector plugin's classify pass, by detector.",
+			metrics.Labels("detector", name), nil)
+		s.detPassErrs[name] = r.NewCounter("segugiod_detector_pass_errors_total",
+			"Detector plugin passes that failed (previous scores kept).",
+			metrics.Labels("detector", name))
+	}
+	if slices.Contains(cfg.Detectors, "lbp") {
+		s.lbpIterations = r.NewGauge("segugiod_lbp_iterations",
+			"Belief-propagation iterations (full pass) or node updates (residual pass) of the last LBP pass.", "")
+		s.lbpResidualQueue = r.NewGauge("segugiod_lbp_residual_queue",
+			"Peak residual priority-queue depth of the last LBP pass.", "")
+		s.lbpPasses = map[string]*metrics.Counter{}
+		for _, mode := range []string{"full", "residual", "cached"} {
+			s.lbpPasses[mode] = r.NewCounter("segugiod_lbp_passes_total",
+				"LBP passes by propagation mode.", metrics.Labels("mode", mode))
+		}
+	}
+	plugins, err := buildAux(cfg.Detectors, cfg.Tuning)
+	if err != nil {
+		// Plugin names are validated against detector.Names() by the
+		// daemon's flag parsing; an unknown name here is a programmer error.
+		panic(err)
+	}
+	s.aux.plugins = plugins
 	if cfg.Detector != nil {
 		r.NewGaugeFunc("segugiod_detector_age_seconds",
 			"Seconds since the serving detector was loaded.", "",
@@ -386,6 +439,11 @@ type ClassifyDetection struct {
 	Score        float64 `json:"score"`
 	Detected     bool    `json:"detected"`
 	ScoreVersion uint64  `json:"scoreVersion"`
+	// Detectors carries per-plugin scores (keyed by plugin name plus
+	// "fused" for the ensemble) when auxiliary detectors are enabled and
+	// have scored this snapshot. Score/Detected above stay the primary
+	// forest verdict.
+	Detectors map[string]float64 `json:"detectors,omitempty"`
 }
 
 // ClassifyResponse is the POST /v1/classify reply.
@@ -489,6 +547,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	resp.Threshold = det.Threshold()
 	resp.TookMS = float64(took.Microseconds()) / 1000
 
+	auxSrc := s.auxVerdicts(resp.GraphVersion)
 	for _, row := range rows {
 		if row.Detected {
 			resp.Detected++
@@ -498,6 +557,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.Top > 0 && len(resp.Detections) >= req.Top {
 			continue
+		}
+		if auxSrc != nil {
+			// row is a copy; the cache's sorted rows stay untouched.
+			row.Detectors = auxSrc.detectorScores(row.Domain, row.Score, resp.Threshold)
 		}
 		resp.Detections = append(resp.Detections, row)
 	}
@@ -518,6 +581,9 @@ type DomainResponse struct {
 	// lag GraphVersion when the score came from the classify-all cache and
 	// this domain's evidence has not changed since.
 	ScoreVersion uint64 `json:"scoreVersion,omitempty"`
+	// Detectors carries per-plugin scores (plus "fused") when auxiliary
+	// detectors are enabled and current for this snapshot.
+	Detectors map[string]float64 `json:"detectors,omitempty"`
 
 	QueryingMachines int     `json:"queryingMachines"`
 	InfectedFraction float64 `json:"infectedFraction"`
@@ -596,6 +662,9 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 			resp.Score = &score
 			resp.Detected = &detected
 			resp.ScoreVersion = e.version
+			if aux := s.auxVerdicts(version); aux != nil {
+				resp.Detectors = aux.detectorScores(name, score, det.Threshold())
+			}
 		} else {
 			dets, _, err := det.Classify(core.ClassifyInput{
 				Graph:    g,
@@ -746,8 +815,9 @@ type AuditResponse struct {
 const defaultAuditLimit = 100
 
 // handleAudit queries the detection audit trail. ?domain=X restricts to
-// one domain; ?limit=N caps the reply (default 100, 0 keeps the
-// default; the in-memory window bounds it anyway).
+// one domain; ?detector=NAME to records where that plugin detected the
+// domain; ?limit=N caps the reply (default 100, 0 keeps the default;
+// the in-memory window bounds it anyway).
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Audit == nil {
 		s.writeError(w, http.StatusServiceUnavailable, "no audit trail configured")
@@ -762,17 +832,21 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	var recs []obs.AuditRecord
-	if domain := r.URL.Query().Get("domain"); domain != "" {
+	domain := r.URL.Query().Get("domain")
+	if domain != "" {
 		name, err := dnsutil.Normalize(domain)
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, "bad domain: %v", err)
 			return
 		}
-		recs = s.cfg.Audit.ForDomain(name, limit)
-	} else {
-		recs = s.cfg.Audit.Recent(limit)
+		domain = name
 	}
+	detName := r.URL.Query().Get("detector")
+	if detName != "" && detName != detector.FusedName && !slices.Contains(s.cfg.Detectors, detName) {
+		s.writeError(w, http.StatusBadRequest, "unknown detector %q (enabled: %v)", detName, s.cfg.Detectors)
+		return
+	}
+	recs := s.cfg.Audit.Query(limit, domain, detName)
 	if recs == nil {
 		recs = []obs.AuditRecord{}
 	}
@@ -796,6 +870,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	if err := s.reloadTuning(); err != nil {
+		s.reloadFails.Inc()
+		s.writeError(w, http.StatusUnprocessableEntity, "detector tuning: %v", err)
+		return
+	}
 	s.reloads.Inc()
 	det, _ := s.cfg.Detector.Get()
 	s.writeJSON(w, http.StatusOK, ReloadResponse{
@@ -812,6 +891,10 @@ func (s *Server) ReloadForSignal() error {
 		return errors.New("server: no detector configured")
 	}
 	if err := s.cfg.Detector.Reload(); err != nil {
+		s.reloadFails.Inc()
+		return err
+	}
+	if err := s.reloadTuning(); err != nil {
 		s.reloadFails.Inc()
 		return err
 	}
