@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-allocs bench-short bench-all obs-smoke clean
+.PHONY: build test race vet check bench bench-allocs bench-short bench-all obs-smoke chaos clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ bench-all:
 # test that the benchmark suite still builds and executes (CI runs this).
 bench-short:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# chaos runs the fault-injection e2e suite under the race detector: a
+# full daemon driven healthy -> degraded -> overloaded -> recovered via
+# injected pass stalls, fsync faults, and an event flood, plus a
+# SIGKILL at peak overload — asserting stale-marked serves, exact shed
+# accounting, and no acknowledged event lost.
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestDaemonChaos' ./cmd/segugiod/
 
 # obs-smoke boots a real segugiod, feeds it a canned event trace, and
 # curls the observability surface (/metrics, /debug/obs/traces,

@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"slices"
 	"strings"
 	"sync"
@@ -44,6 +45,7 @@ import (
 	"segugio/internal/detector"
 	"segugio/internal/dnsutil"
 	"segugio/internal/graph"
+	"segugio/internal/health"
 	"segugio/internal/ingest"
 	"segugio/internal/intel"
 	"segugio/internal/logio"
@@ -90,6 +92,19 @@ type options struct {
 	classifyEvery time.Duration
 	pprof         bool
 
+	// Overload-resilience knobs: the classify-pass deadline, the ingest
+	// shed policy, the per-endpoint admission cap, and the heap
+	// watermark that trips the overloaded state. Zero disables each.
+	passDeadline   time.Duration
+	shedPolicy     string
+	maxInflight    int
+	memWatermarkMB int
+
+	// Test seams (not flags): passHook stalls classify passes and
+	// walHooks injects WAL faults — the chaos harness wires them.
+	passHook func(context.Context)
+	walHooks *wal.Hooks
+
 	// Observability knobs: structured-log shape, flight-recorder sizing,
 	// and the slow-trace alert threshold.
 	logFormat string
@@ -130,6 +145,10 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&opts.maxEventConns, "max-event-conns", 64, "concurrent tcp:// event connections accepted (0 = unlimited)")
 	fs.DurationVar(&opts.eventIdleTimeout, "event-idle-timeout", 5*time.Minute, "drop a tcp:// event connection idle this long (0 = never)")
 	fs.DurationVar(&opts.classifyEvery, "classify-every", 0, "run a periodic classify-all and feed detections to the /v1/tracker history (0 = disabled; needs -model)")
+	fs.DurationVar(&opts.passDeadline, "pass-deadline", 0, "cancel a classify/tracker pass running longer than this and serve last-good cached scores stale-marked (0 = unbounded)")
+	fs.StringVar(&opts.shedPolicy, "shed-policy", "drop", `full ingest shard policy: "drop" (legacy drop-newest), "block" (backpressure), "drop-oldest" or "sample" (shed only while overloaded)`)
+	fs.IntVar(&opts.maxInflight, "max-inflight", 0, "per-endpoint concurrent request cap; excess requests get 429/503 with Retry-After (0 = unlimited)")
+	fs.IntVar(&opts.memWatermarkMB, "mem-watermark-mb", 0, "heap-in-use megabytes above which the daemon reports overloaded (0 = disabled)")
 	fs.BoolVar(&opts.pprof, "pprof", true, "serve net/http/pprof under /debug/pprof/ on the API listener")
 	fs.StringVar(&opts.logFormat, "log-format", obs.FormatText, `log output format: "text" or "json"`)
 	fs.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -150,6 +169,9 @@ func parseFlags(args []string) (options, error) {
 	}
 	if fs.NArg() != 0 {
 		return opts, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if !ingest.ValidShedPolicy(opts.shedPolicy) {
+		return opts, fmt.Errorf("-shed-policy: unknown policy %q (have drop, block, drop-oldest, sample)", opts.shedPolicy)
 	}
 	if _, err := opts.detectorNames(); err != nil {
 		return opts, err
@@ -234,6 +256,7 @@ type daemon struct {
 	reg    *metrics.Registry
 	tracer *obs.Tracer
 	audit  *obs.AuditLog
+	health *health.Tracker
 	ing    *ingest.Ingester
 	srv    *server.Server
 	handle *server.DetectorHandle
@@ -321,6 +344,37 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open audit trail: %w", err)
 	}
+
+	// The health state machine aggregates overload signals from every
+	// stage (ingest queues, WAL latency, classify-pass overruns, the heap
+	// watermark). Transitions are logged and land in the audit trail so a
+	// post-mortem can line up detections with degradation windows.
+	healthLog := obs.Component(logger, "health")
+	d.health = health.New(health.Config{
+		OnTransition: func(tr health.Transition) {
+			level := slog.LevelWarn
+			if tr.To == health.Healthy.String() {
+				level = slog.LevelInfo
+			}
+			healthLog.Log(context.Background(), level, "health state changed",
+				"from", tr.From, "to", tr.To,
+				"signal", tr.Signal, "reason", tr.Reason)
+			if err := d.audit.Append(obs.AuditRecord{
+				Time:   tr.Time,
+				Reason: obs.ReasonHealthTransition,
+				Note: fmt.Sprintf("%s -> %s (signal %s: %s)",
+					tr.From, tr.To, tr.Signal, tr.Reason),
+			}); err != nil {
+				healthLog.Warn("health transition audit failed", "err", err)
+			}
+		},
+	})
+	// Gauge reads the live state on every scrape, so decayed (TTL-expired)
+	// signals show up without anyone polling State() in between.
+	d.reg.NewGaugeFunc("segugiod_health_state",
+		"Daemon health state machine: 0 healthy, 1 degraded, 2 overloaded.", "",
+		func() float64 { return float64(d.health.State()) })
+
 	ingMetrics := &ingest.Metrics{
 		EventsIngested: d.reg.NewCounter("segugiod_ingest_events_total",
 			"Events applied to the live graph.", ""),
@@ -347,6 +401,14 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 			"Latency of taking one live-graph snapshot (incremental merge + labeling).", "", nil),
 		DirtyDomains: d.reg.NewGauge("segugiod_dirty_domains",
 			"Domains whose evidence changed between the last two snapshots.", ""),
+		EventsShed: map[string]*metrics.Counter{},
+	}
+	// Pre-register every shed reason so the series scrape as zeros from
+	// the first exposition, whatever policy is active.
+	for _, reason := range []string{ingest.ShedDropOldest, ingest.ShedSample} {
+		ingMetrics.EventsShed[reason] = d.reg.NewCounter("segugiod_ingest_shed_total",
+			"Unacknowledged events shed by the overload policy, by reason.",
+			metrics.Labels("reason", reason))
 	}
 
 	ingLog := obs.Component(logger, "ingest")
@@ -365,8 +427,10 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 			ingLog.Info("epoch rotated",
 				"day", day, "machines", final.NumMachines(), "domains", final.NumDomains())
 		},
-		Metrics: ingMetrics,
-		Tracer:  d.tracer,
+		Metrics:    ingMetrics,
+		Tracer:     d.tracer,
+		Health:     d.health,
+		ShedPolicy: opts.shedPolicy,
 	}
 	if opts.stateDir == "" {
 		d.ing = ingest.New(ingCfg)
@@ -403,6 +467,7 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 			CheckpointEvery: opts.ckptInterval,
 			SyncEvery:       opts.walSyncEvery,
 			Metrics:         durMetrics,
+			WALHooks:        opts.walHooks,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("open state %s: %w", opts.stateDir, err)
@@ -430,21 +495,25 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 	}
 	d.trk = tracker.New()
 	d.srv = server.New(server.Config{
-		Graphs:      d.ing,
-		Detector:    d.handle,
-		Activity:    act,
-		Abuse:       abuse,
-		Window:      opts.window,
-		Registry:    d.reg,
-		Panics:      d.panics,
-		Tracker:     d.trk,
-		EnablePprof: opts.pprof,
-		Logger:      logger,
-		Tracer:      d.tracer,
-		Audit:       d.audit,
-		Detectors:   detNames,
-		Tuning:      tuning,
-		TuningPath:  opts.detectorConfig,
+		Graphs:       d.ing,
+		Detector:     d.handle,
+		Activity:     act,
+		Abuse:        abuse,
+		Window:       opts.window,
+		Registry:     d.reg,
+		Panics:       d.panics,
+		Tracker:      d.trk,
+		EnablePprof:  opts.pprof,
+		Logger:       logger,
+		Tracer:       d.tracer,
+		Audit:        d.audit,
+		Detectors:    detNames,
+		Tuning:       tuning,
+		TuningPath:   opts.detectorConfig,
+		PassDeadline: opts.passDeadline,
+		MaxInflight:  opts.maxInflight,
+		Health:       d.health,
+		PassHook:     opts.passHook,
 	})
 
 	d.httpLn, err = net.Listen("tcp", opts.listen)
@@ -600,7 +669,7 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 					return
 				case <-tick.C:
 				}
-				diff, err := d.srv.RunTrackerPass()
+				diff, err := d.srv.RunTrackerPass(srcCtx)
 				if err != nil {
 					trkLog.Warn("tracker pass failed", "err", err)
 					continue
@@ -609,6 +678,34 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 					trkLog.Info("tracker day diff", "day", diff.Day,
 						"new", len(diff.New), "recurring", len(diff.Recurring),
 						"dormant", len(diff.Dormant))
+				}
+			}
+		}()
+	}
+
+	// Heap watermark sampler: crossing -mem-watermark-mb asserts the
+	// memory signal as overloaded with a short decay, so the state falls
+	// back on its own once the heap shrinks below the line.
+	if d.opts.memWatermarkMB > 0 {
+		watermark := uint64(d.opts.memWatermarkMB) << 20
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-srcCtx.Done():
+					return
+				case <-tick.C:
+				}
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse >= watermark {
+					d.health.SetFor("memory", health.Overloaded,
+						fmt.Sprintf("heap in use %d MiB >= watermark %d MiB",
+							ms.HeapInuse>>20, d.opts.memWatermarkMB),
+						3*time.Second)
 				}
 			}
 		}()
@@ -737,7 +834,7 @@ func (d *daemon) acceptEvents(ctx context.Context) error {
 			}
 			r := io.Reader(conn)
 			if d.opts.eventIdleTimeout > 0 {
-				r = &deadlineReader{conn: conn, timeout: d.opts.eventIdleTimeout}
+				r = &deadlineReader{conn: conn, timeout: d.opts.eventIdleTimeout, health: d.health}
 			}
 			if err := d.ing.Consume(r); err != nil &&
 				!errors.Is(err, ingest.ErrShuttingDown) && ctx.Err() == nil {
@@ -748,14 +845,26 @@ func (d *daemon) acceptEvents(ctx context.Context) error {
 	}
 }
 
+// overloadReadDelay throttles each event-stream read while the daemon is
+// overloaded: the read loop slows, the kernel receive buffer fills, and
+// TCP flow control pushes back on the sender — backpressure propagated
+// all the way to the source instead of an unbounded in-daemon backlog.
+const overloadReadDelay = 5 * time.Millisecond
+
 // deadlineReader arms a fresh read deadline before every read, turning a
 // silent idle peer into a timeout error that releases the connection.
+// Under overload it additionally delays each read (see
+// overloadReadDelay).
 type deadlineReader struct {
 	conn    net.Conn
 	timeout time.Duration
+	health  *health.Tracker
 }
 
 func (r *deadlineReader) Read(p []byte) (int, error) {
+	if r.health != nil && r.health.Overloaded() {
+		time.Sleep(overloadReadDelay)
+	}
 	r.conn.SetReadDeadline(time.Now().Add(r.timeout))
 	return r.conn.Read(p)
 }

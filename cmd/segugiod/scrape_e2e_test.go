@@ -128,6 +128,12 @@ func TestMetricsScrapeLints(t *testing.T) {
 		`segugiod_detector_pass_seconds_bucket{detector="forest"`,
 		`segugiod_detector_pass_seconds_bucket{detector="lbp"`,
 		`segugiod_detector_pass_errors_total{detector="lbp"}`,
+		"segugiod_health_state",
+		`segugiod_ingest_shed_total{reason="drop-oldest"}`,
+		`segugiod_ingest_shed_total{reason="sample"}`,
+		"segugiod_pass_deadline_exceeded_total",
+		`segugiod_http_rejected_total{code="429"}`,
+		`segugiod_http_rejected_total{code="503"}`,
 	} {
 		if !bytes.Contains(raw, []byte(want)) {
 			t.Fatalf("scrape lacks %s:\n%s", want, raw)

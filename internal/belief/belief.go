@@ -14,6 +14,7 @@
 package belief
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -96,7 +97,10 @@ func Propagate(g *graph.Graph, cfg Config) (*Result, error) {
 	}
 	cfg = cfg.withDefaults()
 	st := newEngineState(g, 0, cfg)
-	iters, conv := st.runFull(cfg)
+	iters, conv, err := st.runFull(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
 	return st.result(ModeFull, iters, conv, passStats{}), nil
 }
 

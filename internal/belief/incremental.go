@@ -1,6 +1,7 @@
 package belief
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sync"
@@ -100,6 +101,16 @@ func (e *Engine) Reset() {
 // returned Result owns its belief slices; the engine's internal state
 // is never aliased.
 func (e *Engine) Run(g *graph.Graph, version, since uint64, delta graph.Delta) (*Result, error) {
+	return e.RunContext(context.Background(), g, version, since, delta)
+}
+
+// RunContext is Run bounded by ctx: the full sweep checks it once per
+// iteration, the residual drain every residCheckEvery updates. A
+// cancelled pass returns the context's error and discards its partial
+// message state — the engine keeps the previous snapshot's fixed point
+// (or no state at all), never a half-propagated one, so the next pass
+// re-advances or escalates cleanly.
+func (e *Engine) RunContext(ctx context.Context, g *graph.Graph, version, since uint64, delta graph.Delta) (*Result, error) {
 	if g == nil || !g.Labeled() {
 		return nil, ErrUnlabeledGraph
 	}
@@ -109,10 +120,16 @@ func (e *Engine) Run(g *graph.Graph, version, since uint64, delta graph.Delta) (
 	if e.st != nil && e.st.version == version && e.st.day == g.Day() {
 		return e.st.result(ModeCached, 0, true, passStats{}), nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if e.st == nil || !delta.Exact || since != e.st.version ||
 		g.Day() != e.st.day || e.st.unconverged {
 		ns := newEngineState(g, version, e.cfg)
-		iters, conv := ns.runFull(e.cfg)
+		iters, conv, err := ns.runFull(ctx, e.cfg)
+		if err != nil {
+			return nil, err
+		}
 		e.st = ns
 		return ns.result(ModeFull, iters, conv, passStats{}), nil
 	}
@@ -149,11 +166,21 @@ func (e *Engine) Run(g *graph.Graph, version, since uint64, delta graph.Delta) (
 	if !ok {
 		// The delta did not cover every structural change; rebuild.
 		ns = newEngineState(g, version, e.cfg)
-		iters, conv := ns.runFull(e.cfg)
+		iters, conv, err := ns.runFull(ctx, e.cfg)
+		if err != nil {
+			return nil, err
+		}
 		e.spare, e.st = e.st, ns
 		return ns.result(ModeFull, iters, conv, passStats{}), nil
 	}
-	stats, conv := ns.runResidual(e.cfg, &e.scr, dirty, seeds)
+	stats, conv, err := ns.runResidual(ctx, e.cfg, &e.scr, dirty, seeds)
+	if err != nil {
+		// Discard the half-propagated state: e.st (the previous fixed
+		// point) stays current, and ns donates its array capacity to the
+		// next advance.
+		e.spare = ns
+		return nil, err
+	}
 	e.spare, e.st = e.st, ns
 	return ns.result(ModeResidual, 0, conv, stats), nil
 }
@@ -560,16 +587,24 @@ func (st *engineState) result(mode string, iters int, conv bool, ps passStats) *
 // runFull is the synchronous batch schedule: alternate full
 // machines->domains and domains->machines sweeps until the largest
 // domain-belief move drops below Tolerance or MaxIterations is reached.
-// This is the propagation core Propagate wraps.
-func (st *engineState) runFull(cfg Config) (int, bool) {
+// This is the propagation core Propagate wraps. ctx is checked once per
+// iteration; a cancelled pass returns the context error and the caller
+// must discard the state (its messages are mid-sweep).
+func (st *engineState) runFull(ctx context.Context, cfg Config) (int, bool, error) {
 	psiSame := 0.5 + cfg.Epsilon
 	psiDiff := 0.5 - cfg.Epsilon
 	newMsg := make([]float64, st.ne)
 	prevDom := make([]float64, st.nd)
+	check := ctx.Done() != nil
 
 	iter := 0
 	converged := false
 	for ; iter < cfg.MaxIterations; iter++ {
+		if check {
+			if err := ctx.Err(); err != nil {
+				return iter, false, err
+			}
+		}
 		// Machines -> domains.
 		for m := 0; m < st.nm; m++ {
 			p0, p1 := st.mOff[m], st.mOff[m+1]
@@ -634,7 +669,7 @@ func (st *engineState) runFull(cfg Config) (int, bool) {
 	for m := 0; m < st.nm; m++ {
 		st.macBelief[m] = st.machineBelief1(int32(m))
 	}
-	return iter, converged
+	return iter, converged, nil
 }
 
 // residEntry is one scheduled node in the residual queue. Nodes are
@@ -688,6 +723,10 @@ func (q *residQueue) pop() residEntry {
 	return top
 }
 
+// residCheckEvery is how many residual node updates run between
+// context checks in a cancellable pass.
+const residCheckEvery = 1024
+
 // runResidual re-propagates from the dirty frontier. Each scheduled
 // node recomputes its outgoing messages from its current incoming ones
 // (asynchronous updates); receivers whose strongest incoming change
@@ -696,7 +735,11 @@ func (q *residQueue) pop() residEntry {
 // MaxIterations x (nm+nd) node updates (budget exhausted — the next Run
 // escalates to a full pass). Beliefs are recomputed for touched nodes
 // only.
-func (st *engineState) runResidual(cfg Config, scr *engineScratch, dirty, seeds []int32) (passStats, bool) {
+//
+// ctx is checked every residCheckEvery updates; on cancellation the
+// drain stops, the scratch's dirty-clean invariant is restored, and
+// the context error is returned — the caller must discard the state.
+func (st *engineState) runResidual(ctx context.Context, cfg Config, scr *engineScratch, dirty, seeds []int32) (passStats, bool, error) {
 	nd32 := int32(st.nd)
 	scr.size(0, st.nd+st.nm)
 	resid := scr.resid
@@ -743,7 +786,15 @@ func (st *engineState) runResidual(cfg Config, scr *engineScratch, dirty, seeds 
 
 	psiSame := 0.5 + cfg.Epsilon
 	psiDiff := 0.5 - cfg.Epsilon
+	check := ctx.Done() != nil
+	var cancelled error
 	for len(q) > 0 && ps.updates < budget {
+		if check && ps.updates%residCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				cancelled = err
+				break
+			}
+		}
 		e := q.pop()
 		// Stale entry: the node was re-queued with a larger residual, or
 		// already processed since this entry was pushed.
@@ -801,19 +852,24 @@ func (st *engineState) runResidual(cfg Config, scr *engineScratch, dirty, seeds 
 		}
 	}
 
-	converged := true
-	for _, e := range q {
-		if resid[e.id] == e.res && e.res >= cfg.Tolerance {
-			converged = false
-			break
+	converged := cancelled == nil
+	if converged {
+		for _, e := range q {
+			if resid[e.id] == e.res && e.res >= cfg.Tolerance {
+				converged = false
+				break
+			}
 		}
-	}
-	if !converged {
-		st.unconverged = true
+		if !converged {
+			st.unconverged = true
+		}
 	}
 
 	// Refresh beliefs on the touched set, then restore the scratch's
-	// dirty-clean invariant (clear only what this pass wrote).
+	// dirty-clean invariant (clear only what this pass wrote). On
+	// cancellation the belief refresh is wasted (the caller discards the
+	// state) but the scratch cleanup is mandatory: the next pass reuses
+	// it.
 	for _, id := range touchedList {
 		if id < nd32 {
 			st.domBelief[id] = st.domainBelief1(id)
@@ -825,7 +881,7 @@ func (st *engineState) runResidual(cfg Config, scr *engineScratch, dirty, seeds 
 	}
 	scr.touchedList = touchedList[:0]
 	scr.q = q[:0]
-	return ps, converged
+	return ps, converged, cancelled
 }
 
 // domainBelief1 computes one domain's marginal from its current

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -203,6 +204,11 @@ type Detection struct {
 
 // ClassifyInput bundles one labeled observation window for deployment.
 type ClassifyInput struct {
+	// Ctx, when non-nil and cancellable, bounds the pass: classification
+	// checks it at stage boundaries and between scoring chunks, so a
+	// deadline or cancellation aborts mid-sweep with the context's error
+	// and no detections. Nil behaves like context.Background().
+	Ctx context.Context
 	// Graph is the labeled, unpruned behavior graph of the window.
 	Graph    *graph.Graph
 	Activity *activity.Log
@@ -210,6 +216,14 @@ type ClassifyInput struct {
 	// Domains optionally restricts classification to these names; nil
 	// classifies every unknown-labeled domain in the (pruned) graph.
 	Domains []string
+}
+
+// ctx returns the pass context, never nil.
+func (in ClassifyInput) ctx() context.Context {
+	if in.Ctx != nil {
+		return in.Ctx
+	}
+	return context.Background()
 }
 
 // ClassifyReport summarizes a deployment run.
@@ -302,19 +316,34 @@ func (d *Detector) Classify(in ClassifyInput) ([]Detection, *ClassifyReport, err
 	if in.Graph == nil || !in.Graph.Labeled() {
 		return nil, nil, ErrUnlabeled
 	}
+	ctx := in.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	report := &ClassifyReport{}
 	prep, err := d.prepare(in.Graph, in.Activity, in.Abuse)
 	if err != nil {
 		return nil, nil, err
 	}
 	prep.fillReport(report, false)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	targets := in.Domains
 	if targets == nil {
 		targets = features.UnknownDomains(prep.ex)
 	}
-	dets := d.scoreTargets(prep.ex, targets, report)
+	dets, err := d.scoreTargets(ctx, prep.ex, targets, report)
+	if err != nil {
+		return nil, nil, err
+	}
 	return dets, report, nil
 }
+
+// scoreChunk bounds how many targets a cancellable pass extracts and
+// scores between context checks — the granularity at which a deadline
+// can abort a sweep mid-way.
+const scoreChunk = 4096
 
 // scoreTargets measures the targets' features and scores them in one
 // batch: present rows are compacted into a dense matrix (missing targets
@@ -322,10 +351,45 @@ func (d *Detector) Classify(in ClassifyInput) ([]Detection, *ClassifyReport, err
 // happens once for the whole matrix, and scoring goes through
 // ml.ScoreAll — the forest's parallel batch path or a sharded fallback,
 // both bit-identical to a serial per-domain loop.
-func (d *Detector) scoreTargets(ex *features.Extractor, targets []string, report *ClassifyReport) []Detection {
+//
+// A cancellable ctx switches the sweep to scoreChunk-sized pieces with
+// a context check between each, so a pass over a large graph can be
+// abandoned mid-sweep; an uncancellable ctx keeps the single-batch
+// fast path with zero overhead. Both orders are bit-identical.
+func (d *Detector) scoreTargets(ctx context.Context, ex *features.Extractor, targets []string, report *ClassifyReport) ([]Detection, error) {
+	var dets []Detection
+	if ctx.Done() == nil {
+		dets = d.scoreSweep(ex, targets, report)
+	} else {
+		dets = make([]Detection, 0, len(targets))
+		for start := 0; start < len(targets) || start == 0; start += scoreChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			end := start + scoreChunk
+			if end > len(targets) {
+				end = len(targets)
+			}
+			dets = append(dets, d.scoreSweep(ex, targets[start:end], report)...)
+			if end == len(targets) {
+				break
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	report.Classified = len(dets)
+	sortDetections(dets)
+	return dets, nil
+}
+
+// scoreSweep extracts and scores one contiguous run of targets,
+// accumulating timings and missing names into the report.
+func (d *Detector) scoreSweep(ex *features.Extractor, targets []string, report *ClassifyReport) []Detection {
 	t0 := time.Now()
 	X, ok := features.VectorsFor(ex, targets)
-	report.Timing.Extract = time.Since(t0)
+	report.Timing.Extract += time.Since(t0)
 
 	t0 = time.Now()
 	rows := make([][]float64, 0, len(targets))
@@ -346,10 +410,7 @@ func (d *Detector) scoreTargets(ex *features.Extractor, targets []string, report
 	for i, name := range names {
 		dets[i] = Detection{Domain: name, Score: scores[i]}
 	}
-	report.Timing.Score = time.Since(t0)
-	report.Classified = len(dets)
-
-	sortDetections(dets)
+	report.Timing.Score += time.Since(t0)
 	return dets
 }
 

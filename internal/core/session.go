@@ -60,6 +60,10 @@ func (s *ClassifySession) Classify(in ClassifyInput) ([]Detection, *ClassifyRepo
 	if in.Graph == nil || !in.Graph.Labeled() {
 		return nil, nil, ErrUnlabeled
 	}
+	ctx := in.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	report := &ClassifyReport{}
 	prep := s.snapshot()
 	cached := prep != nil && prep.src == in.Graph &&
@@ -73,11 +77,17 @@ func (s *ClassifySession) Classify(in ClassifyInput) ([]Detection, *ClassifyRepo
 		s.publish(prep)
 	}
 	prep.fillReport(report, cached)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	targets := in.Domains
 	if targets == nil {
 		targets = features.UnknownDomains(prep.ex)
 	}
-	dets := s.det.scoreTargets(prep.ex, targets, report)
+	dets, err := s.det.scoreTargets(ctx, prep.ex, targets, report)
+	if err != nil {
+		return nil, nil, err
+	}
 	return dets, report, nil
 }
 
@@ -97,6 +107,10 @@ func (s *ClassifySession) ClassifyDelta(in ClassifyInput) ([]Detection, *Classif
 	if in.Graph == nil || !in.Graph.Labeled() {
 		return nil, nil, ErrUnlabeled
 	}
+	ctx := in.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	report := &ClassifyReport{}
 	prep := s.snapshot()
 	if !s.deltaValid(prep, in) {
@@ -107,7 +121,10 @@ func (s *ClassifySession) ClassifyDelta(in ClassifyInput) ([]Detection, *Classif
 		}
 		s.publish(prep)
 		prep.fillReport(report, false)
-		dets := s.det.scoreTargets(prep.ex, in.Domains, report)
+		dets, err := s.det.scoreTargets(ctx, prep.ex, in.Domains, report)
+		if err != nil {
+			return nil, nil, err
+		}
 		return dets, report, nil
 	}
 
@@ -134,7 +151,10 @@ func (s *ClassifySession) ClassifyDelta(in ClassifyInput) ([]Detection, *Classif
 		}
 		report.PrunedGraph = nil
 	}
-	dets := s.det.scoreTargets(ex, in.Domains, report)
+	dets, err := s.det.scoreTargets(ctx, ex, in.Domains, report)
+	if err != nil {
+		return nil, nil, err
+	}
 	return dets, report, nil
 }
 

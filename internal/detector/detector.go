@@ -8,6 +8,7 @@
 package detector
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -74,13 +75,19 @@ type Result struct {
 // against the prepared pass — nil targets means every unknown domain.
 // Implementations are safe for sequential use by one driver; drivers
 // serialize Prepare/Score per detector.
+//
+// Both pass-driving methods take the pass context and must return its
+// error promptly once it is cancelled (the daemon bounds passes with
+// -pass-deadline). A cancelled pass must leave the detector in a state
+// from which the next Prepare can proceed — partial incremental state
+// is discarded or re-escalated, never served as a fixed point.
 type Detector interface {
 	Name() string
 	// Threshold is the score at or above which a domain counts as
 	// detected by this plugin.
 	Threshold() float64
-	Prepare(p Pass) error
-	Score(targets []string) (*Result, error)
+	Prepare(ctx context.Context, p Pass) error
+	Score(ctx context.Context, targets []string) (*Result, error)
 	Close() error
 }
 

@@ -1,6 +1,7 @@
 package detector_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -119,13 +120,13 @@ func TestForestPluginMatchesCoreClassify(t *testing.T) {
 	if p.Threshold() != det.Threshold() {
 		t.Fatalf("Threshold = %v, want %v", p.Threshold(), det.Threshold())
 	}
-	if _, err := p.Score(nil); err == nil {
+	if _, err := p.Score(context.Background(), nil); err == nil {
 		t.Fatal("Score before Prepare must error")
 	}
-	if err := p.Prepare(detector.Pass{Graph: g, Version: 1, Delta: delta}); err != nil {
+	if err := p.Prepare(context.Background(), detector.Pass{Graph: g, Version: 1, Delta: delta}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Score(nil)
+	res, err := p.Score(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestForestPluginMatchesCoreClassify(t *testing.T) {
 	for _, sc := range res.Scores {
 		targets = append(targets, sc.Domain)
 	}
-	dres, err := p.Score(targets)
+	dres, err := p.Score(context.Background(), targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,10 +189,10 @@ func TestLBPPluginScoresAndModes(t *testing.T) {
 	if p.Threshold() != detector.DefaultLBPThreshold {
 		t.Fatalf("Threshold = %v, want %v", p.Threshold(), detector.DefaultLBPThreshold)
 	}
-	if err := p.Prepare(detector.Pass{Graph: g1, Version: 1, Since: 0, Delta: delta1}); err != nil {
+	if err := p.Prepare(context.Background(), detector.Pass{Graph: g1, Version: 1, Since: 0, Delta: delta1}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Score(nil)
+	res, err := p.Score(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,10 +223,10 @@ func TestLBPPluginScoresAndModes(t *testing.T) {
 	// must answer, with unseen names reported missing.
 	b.AddQuery("inf03", "unk.gray0.org")
 	g2, delta2 := labeledSnapshot(b, src)
-	if err := p.Prepare(detector.Pass{Graph: g2, Version: 2, Since: 1, Delta: delta2}); err != nil {
+	if err := p.Prepare(context.Background(), detector.Pass{Graph: g2, Version: 2, Since: 1, Delta: delta2}); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := p.Score([]string{"unk.gray0.org", "never.seen.example"})
+	res2, err := p.Score(context.Background(), []string{"unk.gray0.org", "never.seen.example"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,10 +297,10 @@ func TestLBPPassGraphImmutability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Prepare(detector.Pass{Graph: g1, Version: 1, Delta: delta1}); err != nil {
+	if err := p.Prepare(context.Background(), detector.Pass{Graph: g1, Version: 1, Delta: delta1}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Score(nil)
+	res, err := p.Score(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,10 +315,10 @@ func TestLBPPassGraphImmutability(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := fresh.Prepare(detector.Pass{Graph: g1, Version: 1, Delta: delta1}); err != nil {
+			if err := fresh.Prepare(context.Background(), detector.Pass{Graph: g1, Version: 1, Delta: delta1}); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := fresh.Score(nil); err != nil {
+			if _, err := fresh.Score(context.Background(), nil); err != nil {
 				t.Fatal(err)
 			}
 		}

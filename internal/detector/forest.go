@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"errors"
 
 	"segugio/internal/core"
@@ -20,7 +21,7 @@ type forest struct {
 	det     *core.Detector
 	session *core.ClassifySession
 
-	pass    Pass
+	pass     Pass
 	havePass bool
 
 	// lastSig is the prune signature of the last full preparation;
@@ -41,7 +42,10 @@ func (f *forest) Name() string       { return "forest" }
 func (f *forest) Threshold() float64 { return f.det.Threshold() }
 func (f *forest) Close() error       { return nil }
 
-func (f *forest) Prepare(p Pass) error {
+func (f *forest) Prepare(ctx context.Context, p Pass) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if p.Graph == nil || !p.Graph.Labeled() {
 		return core.ErrUnlabeled
 	}
@@ -50,11 +54,12 @@ func (f *forest) Prepare(p Pass) error {
 	return nil
 }
 
-func (f *forest) Score(targets []string) (*Result, error) {
+func (f *forest) Score(ctx context.Context, targets []string) (*Result, error) {
 	if !f.havePass {
 		return nil, errors.New("detector: forest: Score before Prepare")
 	}
 	in := core.ClassifyInput{
+		Ctx:      ctx,
 		Graph:    f.pass.Graph,
 		Activity: f.pass.Activity,
 		Abuse:    f.pass.Abuse,

@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"errors"
 
 	"segugio/internal/belief"
@@ -35,11 +36,11 @@ func (l *lbp) Name() string       { return "lbp" }
 func (l *lbp) Threshold() float64 { return l.threshold }
 func (l *lbp) Close() error       { return nil }
 
-func (l *lbp) Prepare(p Pass) error {
+func (l *lbp) Prepare(ctx context.Context, p Pass) error {
 	if p.Graph == nil || !p.Graph.Labeled() {
 		return belief.ErrUnlabeledGraph
 	}
-	res, err := l.eng.Run(p.Graph, p.Version, p.Since, p.Delta)
+	res, err := l.eng.RunContext(ctx, p.Graph, p.Version, p.Since, p.Delta)
 	if err != nil {
 		return err
 	}
@@ -47,7 +48,7 @@ func (l *lbp) Prepare(p Pass) error {
 	return nil
 }
 
-func (l *lbp) Score(targets []string) (*Result, error) {
+func (l *lbp) Score(ctx context.Context, targets []string) (*Result, error) {
 	if l.last == nil {
 		return nil, errors.New("detector: lbp: Score before Prepare")
 	}

@@ -8,9 +8,11 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +20,9 @@ import (
 // ErrInjected is the default error injected by the readers here, so
 // tests can assert the failure they provoked is the failure they saw.
 var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrNoSpace simulates ENOSPC from a full disk.
+var ErrNoSpace = errors.New("faultinject: no space left on device")
 
 // FlakyReader reads from R until FailAfter bytes have been delivered,
 // then returns Err (ErrInjected when nil) on every subsequent call. A
@@ -80,6 +85,153 @@ type SlowReader struct {
 // Read implements io.Reader.
 func (r *SlowReader) Read(p []byte) (int, error) {
 	time.Sleep(r.Delay)
+	return r.R.Read(p)
+}
+
+// Disk injects disk faults into a write path that exposes
+// before-write/before-sync seams (wal.Options.Hooks wires to it).
+// All toggles are atomic and may be flipped while the daemon runs —
+// that is the whole point: chaos tests turn faults on mid-flight and
+// off again to watch the recovery. The zero value injects nothing.
+type Disk struct {
+	writeErr  atomic.Value // error: every write fails (ENOSPC)
+	syncErr   atomic.Value // error: every fsync fails
+	syncDelay atomic.Int64 // nanoseconds each fsync sleeps (slow disk)
+	writes    atomic.Int64
+	syncs     atomic.Int64
+}
+
+// errBox wraps an error so atomic.Value can store differing concrete
+// types (including a nil reset).
+type errBox struct{ err error }
+
+// FailWrites makes every subsequent write fail with err (ErrNoSpace
+// when nil).
+func (d *Disk) FailWrites(err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	d.writeErr.Store(errBox{err})
+}
+
+// WritesOK clears the write fault.
+func (d *Disk) WritesOK() { d.writeErr.Store(errBox{}) }
+
+// FailSyncs makes every subsequent fsync fail with err (ErrInjected
+// when nil).
+func (d *Disk) FailSyncs(err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	d.syncErr.Store(errBox{err})
+}
+
+// SyncsOK clears the fsync fault.
+func (d *Disk) SyncsOK() { d.syncErr.Store(errBox{}) }
+
+// SlowSyncs makes every subsequent fsync sleep d first — the slow-disk
+// fault. Zero restores full speed.
+func (d *Disk) SlowSyncs(delay time.Duration) { d.syncDelay.Store(int64(delay)) }
+
+// Writes and Syncs report how many operations passed through the seams.
+func (d *Disk) Writes() int64 { return d.writes.Load() }
+
+// Syncs reports how many fsyncs passed through the BeforeSync seam.
+func (d *Disk) Syncs() int64 { return d.syncs.Load() }
+
+// BeforeWrite is the write seam (matches wal.Hooks.BeforeWrite).
+func (d *Disk) BeforeWrite(size int) error {
+	d.writes.Add(1)
+	if b, ok := d.writeErr.Load().(errBox); ok && b.err != nil {
+		return b.err
+	}
+	return nil
+}
+
+// BeforeSync is the fsync seam (matches wal.Hooks.BeforeSync).
+func (d *Disk) BeforeSync() error {
+	d.syncs.Add(1)
+	if delay := d.syncDelay.Load(); delay > 0 {
+		time.Sleep(time.Duration(delay))
+	}
+	if b, ok := d.syncErr.Load().(errBox); ok && b.err != nil {
+		return b.err
+	}
+	return nil
+}
+
+// Gate is a reusable stall point: while armed, Wait blocks until the
+// gate is released or the caller's context is done. Chaos tests arm it
+// to wedge a pipeline stage (a classify pass, a reader) and release it
+// to watch the stage recover. The zero value is open (Wait returns
+// immediately).
+type Gate struct {
+	mu      sync.Mutex
+	blocked chan struct{} // non-nil while armed; closed on Release
+	waiting atomic.Int64
+}
+
+// Arm closes the gate: subsequent Wait calls block.
+func (g *Gate) Arm() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.blocked == nil {
+		g.blocked = make(chan struct{})
+	}
+}
+
+// Release opens the gate, unblocking every waiter.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.blocked != nil {
+		close(g.blocked)
+		g.blocked = nil
+	}
+}
+
+// Waiting reports how many goroutines are currently blocked in Wait —
+// tests poll it to know the stall has actually taken hold.
+func (g *Gate) Waiting() int64 { return g.waiting.Load() }
+
+// Wait blocks while the gate is armed; it returns nil when released
+// and ctx.Err() when the context wins. An open gate returns nil
+// immediately.
+func (g *Gate) Wait(ctx context.Context) error {
+	g.mu.Lock()
+	ch := g.blocked
+	g.mu.Unlock()
+	if ch == nil {
+		return nil
+	}
+	g.waiting.Add(1)
+	defer g.waiting.Add(-1)
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StuckReader reads from R until Gate is armed, then blocks inside
+// Read until the gate is released — the stuck-peer fault for stream
+// consumers. A nil Ctx blocks indefinitely (until Release).
+type StuckReader struct {
+	R    io.Reader
+	Gate *Gate
+	Ctx  context.Context
+}
+
+// Read implements io.Reader.
+func (r *StuckReader) Read(p []byte) (int, error) {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := r.Gate.Wait(ctx); err != nil {
+		return 0, err
+	}
 	return r.R.Read(p)
 }
 

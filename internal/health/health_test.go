@@ -1,0 +1,142 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAggregateIsWorstSignal(t *testing.T) {
+	tr := New(Config{})
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("initial state = %v, want healthy", got)
+	}
+	tr.Set("wal_fsync", Degraded, "slow fsync")
+	if got := tr.State(); got != Degraded {
+		t.Fatalf("state = %v, want degraded", got)
+	}
+	tr.Set("ingest_queue", Overloaded, "queue full")
+	if got := tr.State(); got != Overloaded {
+		t.Fatalf("state = %v, want overloaded", got)
+	}
+	tr.Clear("ingest_queue")
+	if got := tr.State(); got != Degraded {
+		t.Fatalf("state after clear = %v, want degraded", got)
+	}
+	tr.Clear("wal_fsync")
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("state after all clear = %v, want healthy", got)
+	}
+}
+
+func TestTTLSignalDecays(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	tr := New(Config{Now: clock})
+	tr.SetFor("ingest_queue", Overloaded, "queue full", 2*time.Second)
+	if got := tr.State(); got != Overloaded {
+		t.Fatalf("state = %v, want overloaded", got)
+	}
+	mu.Lock()
+	now = now.Add(3 * time.Second)
+	mu.Unlock()
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("state after ttl = %v, want healthy", got)
+	}
+	hist := tr.History()
+	if len(hist) != 2 {
+		t.Fatalf("history = %d transitions, want 2: %+v", len(hist), hist)
+	}
+	if hist[1].Reason != "signal expired" || hist[1].Signal != "ingest_queue" {
+		t.Fatalf("expiry transition = %+v", hist[1])
+	}
+}
+
+func TestReassertExtendsTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	tr := New(Config{Now: clock})
+	tr.SetFor("mem", Degraded, "above soft watermark", 2*time.Second)
+	mu.Lock()
+	now = now.Add(time.Second)
+	mu.Unlock()
+	tr.SetFor("mem", Degraded, "above soft watermark", 2*time.Second)
+	mu.Lock()
+	now = now.Add(1500 * time.Millisecond)
+	mu.Unlock()
+	if got := tr.State(); got != Degraded {
+		t.Fatalf("state = %v, want degraded (ttl re-extended)", got)
+	}
+}
+
+func TestTransitionsRecordedAndNotified(t *testing.T) {
+	var notified []Transition
+	tr := New(Config{OnTransition: func(x Transition) { notified = append(notified, x) }})
+	tr.Set("a", Degraded, "r1")
+	tr.Set("a", Degraded, "r1 again") // no state change: no transition
+	tr.Set("b", Overloaded, "r2")
+	tr.Clear("b")
+	tr.Clear("a")
+	want := [][2]string{
+		{"healthy", "degraded"},
+		{"degraded", "overloaded"},
+		{"overloaded", "degraded"},
+		{"degraded", "healthy"},
+	}
+	hist := tr.History()
+	if len(hist) != len(want) || len(notified) != len(want) {
+		t.Fatalf("got %d history / %d notified transitions, want %d", len(hist), len(notified), len(want))
+	}
+	for i, w := range want {
+		if hist[i].From != w[0] || hist[i].To != w[1] {
+			t.Fatalf("transition %d = %s→%s, want %s→%s", i, hist[i].From, hist[i].To, w[0], w[1])
+		}
+	}
+}
+
+func TestSetHealthyClears(t *testing.T) {
+	tr := New(Config{})
+	tr.Set("x", Overloaded, "pressure")
+	tr.Set("x", Healthy, "recovered")
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("state = %v, want healthy", got)
+	}
+	if sigs := tr.Signals(); len(sigs) != 0 {
+		t.Fatalf("signals = %+v, want none", sigs)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	tr := New(Config{HistorySize: 4})
+	for i := 0; i < 10; i++ {
+		tr.Set("x", Degraded, "up")
+		tr.Clear("x")
+	}
+	if got := len(tr.History()); got != 4 {
+		t.Fatalf("history len = %d, want 4", got)
+	}
+}
+
+func TestConcurrentSignals(t *testing.T) {
+	tr := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := []string{"a", "b", "c", "d"}[i%4]
+			for j := 0; j < 200; j++ {
+				tr.SetFor(name, Degraded, "x", time.Millisecond)
+				tr.State()
+				tr.Signals()
+				tr.Clear(name)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.State(); got != Healthy {
+		t.Fatalf("final state = %v, want healthy", got)
+	}
+}

@@ -103,6 +103,10 @@ type DurableConfig struct {
 	SegmentBytes int64
 	// Metrics hooks; may be nil.
 	Metrics *DurableMetrics
+	// WALHooks are passed through to wal.Options.Hooks — the fault
+	// injection seam the chaos harness uses to simulate ENOSPC and slow
+	// fsyncs. Production configs leave it nil.
+	WALHooks *wal.Hooks
 
 	m       DurableMetrics // resolved copy
 	lastPos wal.Pos        // position of the previous checkpoint generation
@@ -175,6 +179,7 @@ func OpenDurable(cfg Config, dc DurableConfig) (*Ingester, *RecoveryInfo, error)
 		SegmentBytes: dc.SegmentBytes,
 		SyncEvery:    dc.SyncEvery,
 		Metrics:      &dc.m.WAL,
+		Hooks:        dc.WALHooks,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("ingest: open wal: %w", err)

@@ -1,0 +1,88 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+
+	"segugio/internal/faultinject"
+	"segugio/internal/health"
+	"segugio/internal/wal"
+)
+
+// TestDurableWALFaultRaisesHealthAndRecovers injects fsync failures into
+// a durable ingester's WAL: applied batches must keep flowing (reduced
+// durability, never a wedged pipeline), every failure must be counted,
+// and the "wal" health signal must go Degraded. Once the fault clears
+// and the signal's TTL allows, a fresh OpenDurable on the same directory
+// must replay cleanly.
+func TestDurableWALFaultRaisesHealthAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	disk := &faultinject.Disk{}
+	h := health.New(health.Config{})
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	cfg.Health = h
+	dc.WALHooks = &wal.Hooks{BeforeWrite: disk.BeforeWrite, BeforeSync: disk.BeforeSync}
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healthy := genDurableEvents(5, 200)
+	feed(t, in, m, healthy)
+	if m.WALAppendFailures.Value() != 0 {
+		t.Fatalf("healthy phase append failures = %d", m.WALAppendFailures.Value())
+	}
+	if st := h.State(); st != health.Healthy {
+		t.Fatalf("healthy phase state = %v", st)
+	}
+
+	disk.FailSyncs(errors.New("injected fsync failure"))
+	faulted := genDurableEvents(5, 200)
+	// The graph must still absorb every event — WAL trouble degrades
+	// durability, it never stalls ingestion.
+	feed(t, in, m, faulted)
+	if m.WALAppendFailures.Value() == 0 {
+		t.Fatal("no WAL append failures counted under injected fsync faults")
+	}
+	if st := h.State(); st != health.Degraded {
+		t.Fatalf("state under WAL faults = %v, want Degraded", st)
+	}
+	var walSignal bool
+	for _, s := range h.Signals() {
+		if s.Name == healthSignalWAL {
+			walSignal = true
+		}
+	}
+	if !walSignal {
+		t.Fatalf("no %q signal asserted; signals = %+v", healthSignalWAL, h.Signals())
+	}
+
+	// Fault clears: appends work again and recovery replays every record
+	// that actually made it to the log.
+	disk.SyncsOK()
+	after := genDurableEvents(5, 100)
+	feed(t, in, m, after)
+	failures := m.WALAppendFailures.Value()
+	feed(t, in, m, genDurableEvents(5, 50))
+	if m.WALAppendFailures.Value() != failures {
+		t.Fatalf("append failures kept climbing after fault cleared: %d -> %d",
+			failures, m.WALAppendFailures.Value())
+	}
+	// Unclean death; a fresh ingester on the same directory must come up
+	// without error, replaying only the durable records.
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatalf("recovery after WAL fault window: %v", err)
+	}
+	defer in2.Shutdown()
+	if info.ReplayedEvents == 0 {
+		t.Fatal("recovery replayed nothing — even pre-fault records lost")
+	}
+	g, _ := in2.Snapshot()
+	if g.NumMachines() == 0 || g.Day() != 5 {
+		t.Fatalf("recovered graph machines=%d day=%d", g.NumMachines(), g.Day())
+	}
+}

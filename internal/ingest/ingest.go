@@ -20,15 +20,18 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"segugio/internal/dnsutil"
 	"segugio/internal/graph"
+	"segugio/internal/health"
 	"segugio/internal/logio"
 	"segugio/internal/metrics"
 	"segugio/internal/obs"
@@ -74,6 +77,11 @@ type Metrics struct {
 	// DirtyDomains mirrors the dirty-domain count of the latest snapshot
 	// (the whole domain count when the delta was inexact).
 	DirtyDomains *metrics.Gauge
+	// EventsShed counts unacknowledged events shed by the overload
+	// policy, keyed by reason ("drop-oldest", "sample"). Shedding only
+	// happens in the overloaded health state under an explicit policy;
+	// a missing reason key is simply not recorded.
+	EventsShed map[string]*metrics.Counter
 }
 
 func inc(c *metrics.Counter) {
@@ -132,6 +140,22 @@ type Config struct {
 	// traces with wal_append children, plus chunked parse traces and
 	// per-line parse stage observations. A nil Tracer costs nothing.
 	Tracer *obs.Tracer
+	// Health, when non-nil, receives the ingester's overload signals:
+	// shard-queue saturation (overloaded, short TTL so it decays when
+	// pressure drains) and WAL append failures or latency stalls
+	// (degraded). It also gates shedding — see ShedPolicy.
+	Health *health.Tracker
+	// ShedPolicy decides what happens to an event whose shard queue is
+	// full. The default (ShedDrop) is the legacy tap behavior: drop the
+	// newest event and count it, never blocking the source. Every other
+	// policy blocks the source (TCP backpressure) while the daemon is
+	// healthy or degraded; only the overloaded health state sheds
+	// unacknowledged events, and only as the policy says:
+	//
+	//	ShedBlock      never shed — block until the shard drains
+	//	ShedDropOldest evict the oldest queued event to admit the newest
+	//	ShedSample     admit 1 in shedSampleKeep events, shed the rest
+	ShedPolicy string
 
 	// Durability wiring, set by OpenDurable: a restored builder to resume
 	// from, the graph version it was checkpointed at, and the open WAL
@@ -140,6 +164,46 @@ type Config struct {
 	restoredVersion uint64
 	wal             *wal.Log
 	durable         *DurableConfig
+}
+
+// Shed policies (Config.ShedPolicy).
+const (
+	ShedDrop       = "drop"        // legacy: drop the newest event whenever a shard is full
+	ShedBlock      = "block"       // never shed: block the source until the shard drains
+	ShedDropOldest = "drop-oldest" // overloaded only: evict the oldest queued event
+	ShedSample     = "sample"      // overloaded only: keep 1 in shedSampleKeep events
+)
+
+// shedSampleKeep is ShedSample's admission rate: 1 in this many events
+// bound for a full shard is admitted (blocking if needed); the rest are
+// shed. A uniform thinning keeps the live graph a representative sample
+// of the stream instead of a prefix of it.
+const shedSampleKeep = 8
+
+// Health signal names and decay windows asserted by the ingester.
+const (
+	healthSignalQueue = "ingest_queue"
+	healthSignalWAL   = "wal"
+	// queuePressureTTL is how long one full-shard observation keeps the
+	// ingest_queue signal asserted: sustained pressure re-arms it every
+	// dispatch, a transient burst decays back to healthy on its own.
+	queuePressureTTL = 2 * time.Second
+	// walFaultTTL covers WAL append failures and latency stalls; longer
+	// than the queue TTL because disk trouble rarely clears in a burst.
+	walFaultTTL = 5 * time.Second
+	// slowWALAppend is the append+fsync latency past which the WAL is
+	// considered stalling (slow disk, saturated fsync queue).
+	slowWALAppend = 250 * time.Millisecond
+)
+
+// ValidShedPolicy reports whether p names a shed policy ("" selects
+// ShedDrop).
+func ValidShedPolicy(p string) bool {
+	switch p {
+	case "", ShedDrop, ShedBlock, ShedDropOldest, ShedSample:
+		return true
+	}
+	return false
 }
 
 // ErrShuttingDown aborts Consume loops once Shutdown has begun.
@@ -157,6 +221,10 @@ type Ingester struct {
 	consumers sync.WaitGroup
 	closing   chan struct{}
 	closeOnce sync.Once
+
+	// sampleSeq sequences full-shard events under ShedSample so exactly
+	// 1 in shedSampleKeep is admitted.
+	sampleSeq atomic.Uint64
 
 	// mu guards the live builder, the epoch day, the activity log, and
 	// the WAL append stream (appends happen inside apply's critical
@@ -395,8 +463,8 @@ func (in *Ingester) Consume(r io.Reader) error {
 	return err
 }
 
-// dispatch routes one event to its shard, dropping it if the shard's
-// queue is full.
+// dispatch routes one event to its shard. The fast path is a non-blocking
+// send; a full shard falls through to the shed policy.
 func (in *Ingester) dispatch(e logio.Event) {
 	key := e.Machine
 	if e.Kind == logio.EventResolution {
@@ -406,7 +474,79 @@ func (in *Ingester) dispatch(e logio.Event) {
 	select {
 	case shard <- e:
 	default:
+		in.dispatchSlow(shard, e)
+	}
+}
+
+// dispatchSlow handles an event whose shard queue is full. Every full
+// shard asserts the ingest_queue overload signal (self-arming: sustained
+// pressure keeps re-asserting it, a burst decays after queuePressureTTL),
+// then the shed policy decides the event's fate. Shedding unacknowledged
+// events is reserved for the overloaded state under an explicit policy;
+// otherwise the source blocks, which is the backpressure a TCP sender
+// feels as a stalled read loop.
+func (in *Ingester) dispatchSlow(shard chan logio.Event, e logio.Event) {
+	overloaded := false
+	if h := in.cfg.Health; h != nil {
+		h.SetFor(healthSignalQueue, health.Overloaded, "shard queue full", queuePressureTTL)
+		overloaded = h.State() == health.Overloaded
+	}
+	switch in.cfg.ShedPolicy {
+	case ShedBlock:
+		in.blockOnShard(shard, e)
+	case ShedDropOldest:
+		if !overloaded {
+			in.blockOnShard(shard, e)
+			return
+		}
+		// Evict the oldest queued event to admit the newest: under
+		// overload the most recent observation is the one that keeps the
+		// live graph current.
+		select {
+		case <-shard:
+			in.shed(ShedDropOldest)
+		default:
+			// A worker drained the shard first; nothing to evict.
+		}
+		select {
+		case shard <- e:
+		default:
+			// The freed slot was stolen by a racing dispatch; shed the
+			// new event rather than risk blocking in the overloaded state.
+			in.shed(ShedDropOldest)
+		}
+	case ShedSample:
+		if !overloaded {
+			in.blockOnShard(shard, e)
+			return
+		}
+		if in.sampleSeq.Add(1)%shedSampleKeep == 0 {
+			in.blockOnShard(shard, e)
+		} else {
+			in.shed(ShedSample)
+		}
+	default:
+		// Legacy tap behavior: the newest event is dropped and counted,
+		// the source never blocks.
 		inc(in.m.EventsDropped)
+	}
+}
+
+// blockOnShard parks the caller until the shard has room — the
+// backpressure path. Shutdown unblocks it; the event is then counted as
+// dropped rather than wedging the Consume loop forever.
+func (in *Ingester) blockOnShard(shard chan logio.Event, e logio.Event) {
+	select {
+	case shard <- e:
+	case <-in.closing:
+		inc(in.m.EventsDropped)
+	}
+}
+
+// shed counts one event shed by the overload policy.
+func (in *Ingester) shed(reason string) {
+	if in.m.EventsShed != nil {
+		inc(in.m.EventsShed[reason])
 	}
 }
 
@@ -596,10 +736,19 @@ func (in *Ingester) flushWALLocked(span *obs.Span) {
 		return
 	}
 	start := time.Now()
-	if _, err := in.wal.Append(in.walBuf.Bytes()); err != nil {
+	_, err := in.wal.Append(in.walBuf.Bytes())
+	took := time.Since(start)
+	if err != nil {
 		inc(in.m.WALAppendFailures)
+		if h := in.cfg.Health; h != nil {
+			h.SetFor(healthSignalWAL, health.Degraded,
+				fmt.Sprintf("wal append failed: %v", err), walFaultTTL)
+		}
+	} else if h := in.cfg.Health; h != nil && took >= slowWALAppend {
+		h.SetFor(healthSignalWAL, health.Degraded,
+			fmt.Sprintf("wal append took %s", took.Round(time.Millisecond)), walFaultTTL)
 	}
-	span.RecordChild(obs.StageWALAppend, time.Since(start))
+	span.RecordChild(obs.StageWALAppend, took)
 	in.walBuf.Reset()
 }
 

@@ -33,6 +33,9 @@ type AuditRecord struct {
 	// this domain (keyed by plugin name, plus "fused" for the ensemble),
 	// when the daemon runs more than the primary forest.
 	Detectors map[string]DetectorVerdict `json:"detectors,omitempty"`
+	// Note carries free-form context for non-detection records (e.g. the
+	// from/to states and triggering signal of a health transition).
+	Note string `json:"note,omitempty"`
 }
 
 // DetectorVerdict is one detector plugin's opinion recorded in an audit
@@ -48,6 +51,10 @@ const (
 	// detection threshold in a classify/tracker pass (it was not detected
 	// in the previous pass — or there was no previous pass).
 	ReasonNewDetection = "new_detection"
+	// ReasonHealthTransition records the daemon's health state machine
+	// moving (healthy/degraded/overloaded); Note carries the from/to
+	// states and the signal that caused the move.
+	ReasonHealthTransition = "health_transition"
 )
 
 // AuditConfig parameterizes an AuditLog.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"segugio/internal/core"
 	"segugio/internal/dnsutil"
@@ -154,6 +155,37 @@ func BenchmarkClassifyAllFull(b *testing.B) {
 		}
 		if len(res.rows) == 0 {
 			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkClassifyAllDeadline is BenchmarkClassifyAllFull through the
+// cancellable pass path: a generous -pass-deadline arms the pass context,
+// so every scoring sweep runs with periodic cancellation checks instead
+// of the deadline-free fast path. The ns/op delta against
+// BenchmarkClassifyAllFull is the price of deadline-bounded passes.
+func BenchmarkClassifyAllDeadline(b *testing.B) {
+	env := classifyBenchEnvFor(b)
+	ctx := context.Background()
+	srv := New(Config{
+		Graphs:       env.gs,
+		Registry:     metrics.NewRegistry(),
+		PassDeadline: time.Minute, // armed, never expiring
+	})
+	loadedAt := srv.start
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env.gs.advance(env.gs.g, nil, false) // inexact: force a flush
+		srv.cache.forest = nil               // drop the memo: cold prune
+		b.StartTimer()
+		res, err := srv.classifyAll(ctx, env.det, loadedAt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.rows) == 0 || res.stale {
+			b.Fatalf("rows=%d stale=%v", len(res.rows), res.stale)
 		}
 	}
 }

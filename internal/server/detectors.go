@@ -81,10 +81,10 @@ func (s *Server) runAuxDetectors(ctx context.Context, g *graph.Graph, version, s
 		_, span := s.cfg.Tracer.StartSpan(ctx, stage)
 		t0 := time.Now()
 		res, err := func() (*detector.Result, error) {
-			if err := p.Prepare(pass); err != nil {
+			if err := p.Prepare(ctx, pass); err != nil {
 				return nil, err
 			}
-			return p.Score(nil)
+			return p.Score(ctx, nil)
 		}()
 		took := time.Since(t0)
 		if h := s.detPassLat[name]; h != nil {
@@ -205,6 +205,12 @@ func (s *Server) reloadTuning() error {
 	if err != nil {
 		return err
 	}
+	// The score-cache mutex serializes the swap against an in-flight
+	// classify pass: runAuxDetectors clones the plugin slice and drives
+	// the clones outside aux.mu, so swapping (and especially Closing the
+	// old plugins) mid-pass would race with a plugin's Prepare/Score.
+	// Lock order is cache.mu then aux.mu, same as classifyAll's.
+	s.cache.mu.Lock()
 	s.aux.mu.Lock()
 	old := s.aux.plugins
 	s.aux.plugins = plugins
@@ -212,5 +218,6 @@ func (s *Server) reloadTuning() error {
 	for _, p := range old {
 		p.Close()
 	}
+	s.cache.mu.Unlock()
 	return nil
 }

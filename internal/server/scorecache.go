@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"segugio/internal/detector"
 	"segugio/internal/features"
 	"segugio/internal/graph"
+	"segugio/internal/health"
 	"segugio/internal/obs"
 )
 
@@ -62,6 +64,13 @@ type scoreCache struct {
 	// reads, so an idle classify-all does no O(n log n) re-sort.
 	sortedRows    []ClassifyDetection
 	sortedMissing []string
+	// graph is the snapshot the cached rows were scored against — the
+	// last-good pass. A deadline-aborted pass serves it stale-marked.
+	graph *graph.Graph
+	// overruns counts consecutive deadline-aborted passes; the watchdog
+	// escalates the classify_pass health signal to degraded at
+	// passOverrunEscalate and any completed pass resets it.
+	overruns int
 	// detected is the detection state of the previous pass, persisted
 	// across cache flushes: the audit trail records a domain when it is
 	// detected now but was not in the last pass (or there was none). A
@@ -89,6 +98,10 @@ type classifyAllResult struct {
 	rows     []ClassifyDetection // sorted by score desc, then name
 	missing  []string
 	rescored int // domains whose features were re-extracted this pass
+	// stale marks a result served from the last completed pass because
+	// the current one blew its deadline: graph, version, and rows all
+	// describe that earlier pass.
+	stale bool
 }
 
 // rowLess is the render order of classify-all rows: score descending,
@@ -146,6 +159,21 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	// The pass context bounds everything below, including the auxiliary
+	// detectors: a pass that blows the deadline is cancelled mid-sweep
+	// and the caller is served the last-good cached result, stale-marked
+	// (see passAborted). The deadline also bounds how long c.mu is held,
+	// so a stuck pass cannot wedge the API.
+	passCtx := ctx
+	if s.cfg.PassDeadline > 0 {
+		var cancel context.CancelFunc
+		passCtx, cancel = context.WithTimeout(ctx, s.cfg.PassDeadline)
+		defer cancel()
+	}
+	if s.cfg.PassHook != nil {
+		s.cfg.PassHook(passCtx)
+	}
+
 	since := uint64(0)
 	if c.valid {
 		since = c.version
@@ -170,8 +198,8 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 		Graph: g, Version: version, Since: since, Delta: delta,
 		Activity: s.cfg.Activity, Abuse: s.cfg.Abuse,
 	}
-	if err := c.forest.Prepare(pass); err != nil {
-		return nil, err
+	if err := c.forest.Prepare(passCtx, pass); err != nil {
+		return s.passAborted(c, ctx, passCtx, err)
 	}
 
 	flush := !c.valid || !delta.Exact || c.day != g.Day() || !c.detStamp.Equal(loadedAt)
@@ -210,13 +238,13 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 			_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
 			clsSpan.SetAttr("mode", "delta")
 			t0 := time.Now()
-			fres, err := c.forest.Score(toScore)
+			fres, err := c.forest.Score(passCtx, toScore)
 			if h := s.detPassLat["forest"]; h != nil {
 				h.ObserveDuration(time.Since(t0))
 			}
 			if err != nil {
 				clsSpan.End()
-				return nil, err
+				return s.passAborted(c, ctx, passCtx, err)
 			}
 			report := fres.Report
 			if fres.Escalated {
@@ -267,13 +295,13 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 		_, clsSpan := s.cfg.Tracer.StartSpan(ctx, obs.StageClassify)
 		clsSpan.SetAttr("mode", "full")
 		t0 := time.Now()
-		fres, err := c.forest.Score(nil)
+		fres, err := c.forest.Score(passCtx, nil)
 		if h := s.detPassLat["forest"]; h != nil {
 			h.ObserveDuration(time.Since(t0))
 		}
 		if err != nil {
 			clsSpan.End()
-			return nil, err
+			return s.passAborted(c, ctx, passCtx, err)
 		}
 		report := fres.Report
 		clsSpan.SetAttr("prune", pruneAttr(report.PrunedCached))
@@ -308,11 +336,18 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 		c.valid, c.day, c.detStamp = true, g.Day(), loadedAt
 	}
 	c.version = version
+	c.graph = g
+	if c.overruns > 0 {
+		c.overruns = 0
+		if s.cfg.Health != nil {
+			s.cfg.Health.Clear("classify_pass")
+		}
+	}
 
 	// Auxiliary detectors observe the same pass (same snapshot, same
 	// delta): their engines carry incremental state forward and
 	// self-escalate on any version gap. Failures never break the primary.
-	s.runAuxDetectors(ctx, g, version, since, delta)
+	s.runAuxDetectors(passCtx, g, version, since, delta)
 
 	res := &classifyAllResult{
 		graph:    g,
@@ -337,6 +372,44 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 	}
 	c.detected = newState
 	return res, nil
+}
+
+// passAborted handles a failed classify-all pass. A deadline overrun —
+// the pass context expired while the caller's own context is still live
+// — is the graceful-degradation path: count it, escalate the watchdog
+// after passOverrunEscalate consecutive overruns, and serve the
+// last-good cached rows stale-marked when a completed pass exists. Any
+// other failure (plain pass error, caller disconnected, daemon shutting
+// down) propagates as-is. Partial results of the aborted pass are never
+// installed: the caller returns before the cache is updated, and the
+// core session/LBP engine discard their own partial state on
+// cancellation. Caller holds c.mu.
+func (s *Server) passAborted(c *scoreCache, reqCtx, passCtx context.Context, err error) (*classifyAllResult, error) {
+	if passCtx.Err() == nil || reqCtx.Err() != nil {
+		return nil, err
+	}
+	s.passDeadlineExceeded.Inc()
+	c.overruns++
+	s.log.Warn("classify pass exceeded deadline",
+		"deadline", s.cfg.PassDeadline.String(),
+		"consecutive_overruns", c.overruns,
+		"last_good", c.valid,
+		"err", err)
+	if c.overruns >= passOverrunEscalate && s.cfg.Health != nil {
+		s.cfg.Health.Set("classify_pass", health.Degraded,
+			fmt.Sprintf("%d consecutive classify passes exceeded the %s deadline",
+				c.overruns, s.cfg.PassDeadline))
+	}
+	if !c.valid {
+		return nil, err
+	}
+	return &classifyAllResult{
+		graph:   c.graph,
+		version: c.version,
+		rows:    c.sortedRows,
+		missing: c.sortedMissing,
+		stale:   true,
+	}, nil
 }
 
 // pruneAttr renders the prune span attribute.

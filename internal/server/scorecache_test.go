@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"os"
@@ -310,7 +311,7 @@ func TestTrackerPassAndEndpoint(t *testing.T) {
 	trk := tracker.New()
 	ts := newTestServer(t, func(cfg *Config) { cfg.Tracker = trk })
 
-	diff, err := ts.srv.RunTrackerPass()
+	diff, err := ts.srv.RunTrackerPass(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestTrackerPassAndEndpoint(t *testing.T) {
 
 	// The pass went through the classify-all cache: a second pass on the
 	// same snapshot is pure cache hits and reports everything recurring.
-	diff2, err := ts.srv.RunTrackerPass()
+	diff2, err := ts.srv.RunTrackerPass(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

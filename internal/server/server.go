@@ -34,6 +34,7 @@ import (
 	"segugio/internal/dnsutil"
 	"segugio/internal/features"
 	"segugio/internal/graph"
+	"segugio/internal/health"
 	"segugio/internal/metrics"
 	"segugio/internal/obs"
 	"segugio/internal/pdns"
@@ -164,6 +165,24 @@ type Config struct {
 	// SIGHUP), layered over Tuning; auxiliary plugins are rebuilt with
 	// the new knobs.
 	TuningPath string
+	// PassDeadline bounds one classify/tracker pass. A pass that blows
+	// the deadline is cancelled mid-sweep; classify-all then serves the
+	// last-good cached scores stale-marked, and repeated overruns
+	// escalate the Health tracker to degraded. Zero disables the bound.
+	PassDeadline time.Duration
+	// MaxInflight caps concurrently executing requests per endpoint;
+	// excess requests are rejected immediately with 429 (503 when
+	// overloaded) and a Retry-After header. Probe endpoints (healthz,
+	// readyz, metrics) are exempt. Zero disables admission control.
+	MaxInflight int
+	// Health, when non-nil, is the daemon's overload state machine: the
+	// server feeds it pass-overrun signals and exposes it on /healthz,
+	// /readyz, and in admission-control status codes.
+	Health *health.Tracker
+	// PassHook, when non-nil, runs at the start of every classify-all
+	// pass with the pass context — the chaos harness's stall seam.
+	// Production configs leave it nil.
+	PassHook func(ctx context.Context)
 }
 
 // Server is the daemon's HTTP API. Create with New, then serve its
@@ -194,9 +213,21 @@ type Server struct {
 	lbpResidualQueue *metrics.Gauge
 	lbpPasses        map[string]*metrics.Counter
 
+	passDeadlineExceeded *metrics.Counter
+	httpRejected         map[string]*metrics.Counter
+	// inflight holds the per-endpoint admission semaphores (nil when
+	// MaxInflight is 0).
+	inflight map[string]chan struct{}
+
 	cache scoreCache
 	aux   auxState
 }
+
+// passOverrunEscalate is how many consecutive deadline overruns the
+// pass watchdog tolerates before raising the classify_pass health
+// signal to degraded. One slow pass is noise; a streak is a stuck or
+// overloaded pipeline.
+const passOverrunEscalate = 3
 
 // errNotLabeled surfaces a classify-all attempt before the first
 // labeling pass; handlers translate it to 503.
@@ -220,7 +251,7 @@ func New(cfg Config) *Server {
 	r := cfg.Registry
 	s.reqTotal = map[string]*metrics.Counter{}
 	s.reqLat = map[string]*metrics.Histogram{}
-	for _, h := range []string{"classify", "domains", "healthz", "metrics", "reload", "tracker", "traces", "audit"} {
+	for _, h := range []string{"classify", "domains", "healthz", "readyz", "metrics", "reload", "tracker", "traces", "audit"} {
 		s.reqTotal[h] = r.NewCounter("segugiod_http_requests_total",
 			"HTTP requests served, by handler.", metrics.Labels("handler", h))
 		s.reqLat[h] = r.NewHistogram("segugiod_http_request_seconds",
@@ -288,6 +319,22 @@ func New(cfg Config) *Server {
 			"Audit records appended by this process.", "",
 			func() float64 { return float64(cfg.Audit.Appended()) })
 	}
+	s.passDeadlineExceeded = r.NewCounter("segugiod_pass_deadline_exceeded_total",
+		"Classify/tracker passes cancelled for exceeding the pass deadline (last-good cached scores served stale).", "")
+	s.httpRejected = map[string]*metrics.Counter{}
+	for _, code := range []string{"429", "503"} {
+		s.httpRejected[code] = r.NewCounter("segugiod_http_rejected_total",
+			"Requests rejected by admission control before reaching a handler, by status code.",
+			metrics.Labels("code", code))
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = map[string]chan struct{}{}
+		// Probe endpoints (healthz, readyz, metrics) are deliberately
+		// absent: they must answer even when the daemon is drowning.
+		for _, h := range []string{"classify", "domains", "reload", "tracker", "traces", "audit"} {
+			s.inflight[h] = make(chan struct{}, cfg.MaxInflight)
+		}
+	}
 
 	s.mux.HandleFunc("POST /v1/classify", s.route("classify", s.handleClassify))
 	s.mux.HandleFunc("GET /v1/domains/{name}", s.route("domains", s.handleDomain))
@@ -295,6 +342,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/audit", s.route("audit", s.handleAudit))
 	s.mux.HandleFunc("POST /v1/reload", s.route("reload", s.handleReload))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.route("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/obs/traces", s.route("traces", s.handleTraces))
 	if cfg.EnablePprof {
@@ -370,8 +418,28 @@ func (w *statusRecorder) WriteHeader(code int) {
 // endpoints (metrics, healthz) log at Debug so a scraper does not flood
 // the journal; everything else logs at Info.
 func (s *Server) route(name string, fn http.HandlerFunc) http.HandlerFunc {
+	sem := s.inflight[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reqTotal[name].Inc()
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			default:
+				// Shed instead of queueing: a client retry after backoff
+				// beats a request parked behind a saturated handler. 429
+				// is transient pressure; 503 says the whole daemon is
+				// overloaded and the retry should back off harder.
+				code, retry := http.StatusTooManyRequests, "1"
+				if s.healthState() == health.Overloaded {
+					code, retry = http.StatusServiceUnavailable, "5"
+				}
+				s.httpRejected[strconv.Itoa(code)].Inc()
+				w.Header().Set("Retry-After", retry)
+				s.writeError(w, code, "too many in-flight %s requests", name)
+				return
+			}
+		}
 		reqID := r.Header.Get("X-Request-Id")
 		if reqID == "" {
 			reqID = obs.NewRequestID()
@@ -456,6 +524,10 @@ type ClassifyResponse struct {
 	Missing      []string            `json:"missing,omitempty"`
 	Detections   []ClassifyDetection `json:"detections"`
 	TookMS       float64             `json:"tookMs"`
+	// Stale marks a classify-all reply served from the last completed
+	// pass because the current pass blew its deadline: scores, day, and
+	// graphVersion all describe that earlier pass. Absent when fresh.
+	Stale bool `json:"stale,omitempty"`
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -494,7 +566,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, "classify: %v", err)
+			status := http.StatusInternalServerError
+			if errors.Is(err, context.DeadlineExceeded) {
+				// Pass overran its deadline and no last-good pass exists
+				// to serve stale; ask the client to come back.
+				status = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "1")
+			}
+			s.writeError(w, status, "classify: %v", err)
 			return
 		}
 		rows = res.rows
@@ -503,6 +582,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			GraphVersion: res.version,
 			Classified:   len(res.rows),
 			Missing:      res.missing,
+			Stale:        res.stale,
 		}
 	} else {
 		// Explicit domain lists are ad-hoc queries; they bypass the cache.
@@ -515,6 +595,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		_, clsSpan := s.cfg.Tracer.StartSpan(r.Context(), obs.StageClassify)
 		dets, report, err := det.Classify(core.ClassifyInput{
+			Ctx:      r.Context(),
 			Graph:    g,
 			Activity: s.cfg.Activity,
 			Abuse:    s.cfg.Abuse,
@@ -738,8 +819,12 @@ func (s *Server) handleTracker(w http.ResponseWriter, r *http.Request) {
 // RunTrackerPass runs a cached classify-all and folds the detections
 // into the tracker — the daemon's periodic deployment loop ("what is
 // new today, what recurs, what went dormant"). The live graph supplies
-// the querying machines behind each detection.
-func (s *Server) RunTrackerPass() (*tracker.DayDiff, error) {
+// the querying machines behind each detection. The context bounds the
+// pass: daemon shutdown cancels an in-flight pass rather than waiting
+// it out. A stale result (pass overran its deadline) is not folded into
+// the tracker — the last-good detections already were, on the pass that
+// produced them.
+func (s *Server) RunTrackerPass(ctx context.Context) (*tracker.DayDiff, error) {
 	if s.cfg.Tracker == nil {
 		return nil, errors.New("server: no tracker configured")
 	}
@@ -747,12 +832,16 @@ func (s *Server) RunTrackerPass() (*tracker.DayDiff, error) {
 	if det == nil {
 		return nil, errors.New("server: no detector loaded")
 	}
-	ctx, span := s.cfg.Tracer.StartSpan(context.Background(), obs.StageTrackerPass)
+	ctx, span := s.cfg.Tracer.StartSpan(ctx, obs.StageTrackerPass)
 	defer span.End()
 	res, err := s.classifyAll(ctx, det, loadedAt)
 	if err != nil {
 		span.SetAttr("err", err)
 		return nil, err
+	}
+	if res.stale {
+		span.SetAttr("stale", true)
+		return &tracker.DayDiff{Day: res.graph.Day()}, nil
 	}
 	var dets []core.Detection
 	for _, row := range res.rows {
@@ -765,14 +854,20 @@ func (s *Server) RunTrackerPass() (*tracker.DayDiff, error) {
 	return s.cfg.Tracker.Observe(res.graph.Day(), dets, res.graph), nil
 }
 
-// HealthResponse is the GET /healthz reply.
+// HealthResponse is the GET /healthz reply. Status is liveness and stays
+// "ok" as long as the process answers; Health carries the overload state
+// machine (healthy/degraded/overloaded) when one is configured, with the
+// contributing signals and recent transitions for post-mortems.
 type HealthResponse struct {
-	Status         string  `json:"status"`
-	Day            int     `json:"day"`
-	GraphVersion   uint64  `json:"graphVersion"`
-	UptimeSeconds  float64 `json:"uptimeSeconds"`
-	DetectorLoaded bool    `json:"detectorLoaded"`
-	DetectorAgeSec float64 `json:"detectorAgeSeconds,omitempty"`
+	Status         string              `json:"status"`
+	Day            int                 `json:"day"`
+	GraphVersion   uint64              `json:"graphVersion"`
+	UptimeSeconds  float64             `json:"uptimeSeconds"`
+	DetectorLoaded bool                `json:"detectorLoaded"`
+	DetectorAgeSec float64             `json:"detectorAgeSeconds,omitempty"`
+	Health         string              `json:"health,omitempty"`
+	Signals        []health.Signal     `json:"signals,omitempty"`
+	Transitions    []health.Transition `json:"transitions,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -787,7 +882,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.DetectorLoaded = true
 		resp.DetectorAgeSec = time.Since(loadedAt).Seconds()
 	}
+	if h := s.cfg.Health; h != nil {
+		resp.Health = h.State().String()
+		resp.Signals = h.Signals()
+		resp.Transitions = h.History()
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ReadyResponse is the GET /readyz reply.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Health string `json:"health"`
+}
+
+// handleReadyz is the load-balancer readiness probe: 200 while the
+// daemon can take traffic (healthy or degraded — degraded still serves,
+// from the last-good cache if need be), 503 once overloaded so upstream
+// stops routing new work here until pressure drains.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.healthState()
+	resp := ReadyResponse{Ready: st != health.Overloaded, Health: st.String()}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+	}
+	s.writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -908,4 +1029,13 @@ func (s *Server) detector() (*core.Detector, time.Time) {
 		return nil, time.Time{}
 	}
 	return s.cfg.Detector.Get()
+}
+
+// healthState reads the daemon's aggregate health; without a tracker the
+// server is considered healthy.
+func (s *Server) healthState() health.State {
+	if s.cfg.Health == nil {
+		return health.Healthy
+	}
+	return s.cfg.Health.State()
 }

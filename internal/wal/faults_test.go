@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"segugio/internal/faultinject"
+)
+
+// diskHooks wires a faultinject.Disk into the WAL's injection seam.
+func diskHooks(d *faultinject.Disk) *Hooks {
+	return &Hooks{BeforeWrite: d.BeforeWrite, BeforeSync: d.BeforeSync}
+}
+
+// TestAppendENOSPCStallsAcks simulates a full disk: every Append during
+// the fault must return the error (the caller's ack stalls — it is never
+// told the record is durable), nothing half-written may surface on
+// replay, and appends resume cleanly once space comes back.
+func TestAppendENOSPCStallsAcks(t *testing.T) {
+	disk := &faultinject.Disk{}
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncEvery: 1, Hooks: diskHooks(disk)})
+	if _, err := l.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	disk.FailWrites(faultinject.ErrNoSpace)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("lost")); !errors.Is(err, faultinject.ErrNoSpace) {
+			t.Fatalf("append on full disk = %v, want ErrNoSpace", err)
+		}
+	}
+	disk.WritesOK()
+
+	if _, err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"before", "after"}
+	got := collect(t, l, Pos{})
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery after the incident: reopen sees exactly the acked records.
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := collect(t, l2, Pos{}); len(got) != 2 {
+		t.Fatalf("after reopen: %d records, want 2", len(got))
+	}
+}
+
+// TestSyncFailureNeverLies drives the fsync path into failure: an Append
+// whose sync fails must report the error (never a lying ack), and once
+// the fault clears an explicit Sync makes the already-written batch
+// durable and replayable.
+func TestSyncFailureNeverLies(t *testing.T) {
+	disk := &faultinject.Disk{}
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncEvery: 1, Hooks: diskHooks(disk)})
+
+	syncErr := errors.New("injected fsync failure")
+	disk.FailSyncs(syncErr)
+	if _, err := l.Append([]byte("r1")); !errors.Is(err, syncErr) {
+		t.Fatalf("append with failing fsync = %v, want the injected error (a success here is a lying ack)", err)
+	}
+
+	// The record bytes reached the file; only durability was withheld.
+	// Clearing the fault and syncing recovers the batch.
+	disk.SyncsOK()
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l, Pos{}); len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("replay after recovery = %v, want [r1]", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if got := collect(t, l2, Pos{}); len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("replay after reopen = %v, want [r1]", got)
+	}
+}
+
+// TestSlowFsyncInflatesAppendLatency verifies the slow-disk injector
+// actually bites on the sync path — the seam the chaos harness uses to
+// drive the daemon's WAL-latency health signal.
+func TestSlowFsyncInflatesAppendLatency(t *testing.T) {
+	disk := &faultinject.Disk{}
+	const delay = 30 * time.Millisecond
+	l := mustOpen(t, t.TempDir(), Options{SyncEvery: 1, Hooks: diskHooks(disk)})
+	defer l.Close()
+
+	disk.SlowSyncs(delay)
+	start := time.Now()
+	if _, err := l.Append([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("append with slow fsync took %v, want >= %v", took, delay)
+	}
+	if disk.Syncs() == 0 {
+		t.Fatal("sync hook never fired")
+	}
+	disk.SlowSyncs(0)
+	if got := collect(t, l, Pos{}); len(got) != 1 {
+		t.Fatalf("replay = %v, want one record", got)
+	}
+}

@@ -99,6 +99,22 @@ func addN(c *metrics.Counter, n int64) {
 	}
 }
 
+// Hooks are interposition points on the log's write path, used by the
+// chaos harness to inject disk faults (ENOSPC writes, slow or failing
+// fsyncs). Production opens leave them nil; the log's error semantics
+// are identical either way — a failed write fails the Append, a failed
+// sync leaves the unsynced batch pending so acknowledgements stall
+// rather than lie.
+type Hooks struct {
+	// BeforeWrite runs before a record's bytes hit the file; a non-nil
+	// error fails the Append with nothing written (the ENOSPC seam).
+	BeforeWrite func(size int) error
+	// BeforeSync runs before each fsync; it may sleep (slow-disk seam)
+	// or return an error, which fails the sync and keeps the batch
+	// unsynced.
+	BeforeSync func() error
+}
+
 // Options parameterizes Open.
 type Options struct {
 	// SegmentBytes rotates to a fresh segment once the active one reaches
@@ -110,6 +126,8 @@ type Options struct {
 	SyncEvery int
 	// Metrics hooks; may be nil.
 	Metrics *Metrics
+	// Hooks are fault-injection seams; may be nil.
+	Hooks *Hooks
 }
 
 // Log is an open write-ahead log. All methods are safe for concurrent
@@ -259,6 +277,11 @@ func (l *Log) Append(payload []byte) (Pos, error) {
 		l.setSegmentsGauge()
 	}
 	pos := Pos{Segment: l.segments[len(l.segments)-1], Offset: l.size}
+	if l.opts.Hooks != nil && l.opts.Hooks.BeforeWrite != nil {
+		if err := l.opts.Hooks.BeforeWrite(headerSize + len(payload)); err != nil {
+			return Pos{}, err
+		}
+	}
 	binary.LittleEndian.PutUint32(l.scratch[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(l.scratch[4:8], crc32.Checksum(payload, castagnoli))
 	if _, err := l.f.Write(l.scratch[:]); err != nil {
@@ -303,6 +326,11 @@ func (l *Log) Sync() error {
 func (l *Log) syncLocked() error {
 	if l.unsynced == 0 {
 		return nil
+	}
+	if l.opts.Hooks != nil && l.opts.Hooks.BeforeSync != nil {
+		if err := l.opts.Hooks.BeforeSync(); err != nil {
+			return err
+		}
 	}
 	if err := l.f.Sync(); err != nil {
 		return err
