@@ -19,15 +19,21 @@ race:
 check: vet race
 
 # bench runs the performance suites with 5 samples per benchmark and
-# archives the aggregated results: the snapshot/ingest suite as
-# BENCH_snapshot.json, the classify pipeline suite (full vs delta
-# classify-all, batch scoring) as BENCH_classify.json, and the belief
-# propagation suite (cold full pass vs residual incremental pass) as
-# BENCH_lbp.json. It is informational (no CI gate); diff the JSON
-# across commits to spot regressions.
+# archives the aggregated results: the snapshot/apply suite as
+# BENCH_snapshot.json, the wire-format ingest suite (segb1 binary
+# encode/decode vs text parse/write, plus end-to-end frontend
+# throughput) as BENCH_ingest.json, the classify pipeline suite (full
+# vs delta classify-all, batch scoring) as BENCH_classify.json, and the
+# belief propagation suite (cold full pass vs residual incremental
+# pass) as BENCH_lbp.json. It is informational (no CI gate); diff the
+# JSON across commits to spot regressions. events/s rates land in each
+# benchmark's "extra" map.
 bench:
-	$(GO) test -bench . -benchmem -count=5 -run '^$$' ./internal/graph ./internal/ingest \
+	$(GO) test -bench . -benchmem -count=5 -run '^$$' ./internal/graph \
 		| $(GO) run ./cmd/benchjson -o BENCH_snapshot.json
+	$(GO) test -bench 'BenchmarkParseEventText|BenchmarkDecodeEventsBinary|BenchmarkEncodeEventsBinary|BenchmarkWriteEventText|BenchmarkIngest' \
+		-benchmem -count=5 -run '^$$' ./internal/logio ./internal/ingest \
+		| $(GO) run ./cmd/benchjson -o BENCH_ingest.json
 	$(GO) test -bench 'BenchmarkClassifyAll|BenchmarkScore' -benchmem -count=5 -run '^$$' \
 		./internal/server ./internal/ml \
 		| $(GO) run ./cmd/benchjson -o BENCH_classify.json

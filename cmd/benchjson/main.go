@@ -6,6 +6,8 @@
 // Repeated samples of the same benchmark (from -count=N) are aggregated:
 // the report carries the per-benchmark minimum (the conventional
 // steady-state estimate), mean, and sample count for ns/op and B/op.
+// Custom units emitted via b.ReportMetric (events/s, MB/s, ...) are
+// captured into an "extra" map holding the mean across samples.
 package main
 
 import (
@@ -26,6 +28,7 @@ type sample struct {
 	bytesPerOp  float64
 	allocsPerOp float64
 	hasMem      bool
+	extra       map[string]float64
 }
 
 // Result is one aggregated benchmark in the JSON report.
@@ -37,6 +40,9 @@ type Result struct {
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	BPerOpMean  float64 `json:"b_per_op_mean,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom units (b.ReportMetric output such as
+	// "events/s"), averaged across samples.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -132,6 +138,12 @@ func parse(r io.Reader, echo io.Writer) (*Report, error) {
 					res.AllocsPerOp = s.allocsPerOp
 				}
 			}
+			for unit, v := range s.extra {
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[unit] += v / float64(len(ss))
+			}
 		}
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
@@ -139,7 +151,8 @@ func parse(r io.Reader, echo io.Writer) (*Report, error) {
 }
 
 // parseLine decodes one `BenchmarkName-8  123  456 ns/op  789 B/op ...`
-// result line. Unit tokens it does not know are skipped.
+// result line. Unit tokens beyond the standard three are collected into
+// the sample's extra map (custom b.ReportMetric units, MB/s, ...).
 func parseLine(line string) (string, sample, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
@@ -168,6 +181,11 @@ func parseLine(line string) (string, sample, bool) {
 		case "allocs/op":
 			s.allocsPerOp = v
 			s.hasMem = true
+		default:
+			if s.extra == nil {
+				s.extra = make(map[string]float64)
+			}
+			s.extra[fields[i+1]] = v
 		}
 	}
 	if !seenNs {

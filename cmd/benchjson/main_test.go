@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCapturesExtraUnits(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+cpu: test
+BenchmarkIngestBinaryThroughput-1   20   54000000 ns/op   120.5 MB/s   3600000 events/s   1024 B/op   12 allocs/op
+BenchmarkIngestBinaryThroughput-1   20   56000000 ns/op   118.5 MB/s   3400000 events/s   1024 B/op   12 allocs/op
+BenchmarkParseEventText-1          100   10000000 ns/op   512 B/op   3 allocs/op
+PASS
+`
+	report, err := parse(strings.NewReader(out), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	bin := report.Benchmarks[0]
+	if bin.Name != "BenchmarkIngestBinaryThroughput" || bin.Samples != 2 {
+		t.Fatalf("first benchmark = %+v", bin)
+	}
+	if got := bin.Extra["events/s"]; got != 3500000 {
+		t.Fatalf("events/s mean = %v, want 3500000", got)
+	}
+	if got := bin.Extra["MB/s"]; got != 119.5 {
+		t.Fatalf("MB/s mean = %v, want 119.5", got)
+	}
+	if bin.NsPerOp != 54000000 || bin.AllocsPerOp != 12 {
+		t.Fatalf("standard units mis-parsed: %+v", bin)
+	}
+	text := report.Benchmarks[1]
+	if text.Extra != nil {
+		t.Fatalf("text benchmark has unexpected extra units: %v", text.Extra)
+	}
+}

@@ -94,12 +94,17 @@ func cmdGenerate(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 42, "generator seed")
 	days := fs.String("days", "170,183", "comma-separated observation days to emit query logs for")
 	machines := fs.Int("machines", 2000, "ordinary machine count")
+	eventsOut := fs.String("events-out", "", "also write a replayable live event stream (for segugiod -events) to this file")
+	eventsFormat := fs.String("events-format", "text", `live event stream format: "text" lines or "binary" (segb1 framing with interned symbols)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	dayList, err := parseDays(*days)
 	if err != nil {
 		return err
+	}
+	if *eventsFormat != "text" && *eventsFormat != "binary" {
+		return fmt.Errorf("-events-format: want \"text\" or \"binary\", got %q", *eventsFormat)
 	}
 
 	cfg := trace.DefaultConfig("DEMO", *seed)
@@ -166,6 +171,43 @@ func cmdGenerate(ctx context.Context, args []string) error {
 		return err
 	}
 
+	// Optional interleaved live event stream, replayable through
+	// `segugiod -events` (text or segb1 binary, same events either way).
+	var emitEvent func(e logio.Event) error
+	closeEvents := func() error { return nil }
+	eventCount := 0
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 256<<10)
+		if *eventsFormat == "binary" {
+			enc := logio.NewEventEncoder(bw)
+			emitEvent = enc.Encode
+			closeEvents = func() error {
+				if err := enc.Flush(); err != nil {
+					f.Close()
+					return err
+				}
+				if err := bw.Flush(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+		} else {
+			emitEvent = func(e logio.Event) error { return logio.WriteEvent(bw, e) }
+			closeEvents = func() error {
+				if err := bw.Flush(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+		}
+	}
+
 	// Per-day query logs and resolutions.
 	for _, day := range dayList {
 		if err := ctx.Err(); err != nil {
@@ -197,7 +239,33 @@ func cmdGenerate(ctx context.Context, args []string) error {
 		}); err != nil {
 			return err
 		}
+		if emitEvent != nil {
+			// Interleave the day's traffic as segugiod would see it live: a
+			// domain's resolution event rides with its first query.
+			seen := map[int32]struct{}{}
+			for _, e := range tr.Edges {
+				if _, dup := seen[e.Domain]; !dup {
+					seen[e.Domain] = struct{}{}
+					if err := emitEvent(logio.Event{Kind: logio.EventResolution, Day: day,
+						Domain: cat.Name(e.Domain), IPs: cat.ResolveOn(day, e.Domain)}); err != nil {
+						return err
+					}
+					eventCount++
+				}
+				if err := emitEvent(logio.Event{Kind: logio.EventQuery, Day: day,
+					Machine: tr.MachineIDs[e.Machine], Domain: cat.Name(e.Domain)}); err != nil {
+					return err
+				}
+				eventCount++
+			}
+		}
 		fmt.Printf("day %d: %d queries written\n", day, len(tr.Edges))
+	}
+	if err := closeEvents(); err != nil {
+		return err
+	}
+	if *eventsOut != "" {
+		fmt.Printf("event stream in %s (%s, %d events)\n", *eventsOut, *eventsFormat, eventCount)
 	}
 	fmt.Printf("dataset in %s (blacklist %d domains, whitelist %d e2LDs, pdns %d records)\n",
 		*out, bl.Len(), wl.Len(), db.Len())

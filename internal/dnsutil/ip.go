@@ -44,7 +44,20 @@ func MakeIPv4(a, b, c, d byte) IPv4 {
 
 // String renders the address in dotted-quad form.
 func (ip IPv4) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+	return string(ip.Append(nil))
+}
+
+// Append appends the dotted-quad rendering to b without allocating —
+// the hot-path form the logio writers use to build whole lines in one
+// reusable buffer.
+func (ip IPv4) Append(b []byte) []byte {
+	b = strconv.AppendUint(b, uint64(byte(ip>>24)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>16)), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(byte(ip>>8)), 10)
+	b = append(b, '.')
+	return strconv.AppendUint(b, uint64(byte(ip)), 10)
 }
 
 // Prefix24 is a /24 network prefix: an IPv4 address with the low octet

@@ -1,0 +1,262 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/logio"
+	"segugio/internal/wal"
+)
+
+// binStream renders events as a segb1 binary stream.
+func binStream(t *testing.T, events []logio.Event) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	enc := logio.NewEventEncoder(&b)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func binTestEvents(n int) []logio.Event {
+	var events []logio.Event
+	for i := 0; i < n; i++ {
+		machine := fmt.Sprintf("m%03d", i%70)
+		domain := fmt.Sprintf("h%d.zone%d.com", i%40, i%15)
+		events = append(events, logio.Event{Kind: logio.EventQuery, Day: 3, Machine: machine, Domain: domain})
+		if i%5 == 0 {
+			ip := dnsutil.MakeIPv4(10, 0, byte(i%7), byte(i%90))
+			events = append(events, logio.Event{Kind: logio.EventResolution, Day: 3, Domain: domain, IPs: []dnsutil.IPv4{ip}})
+		}
+	}
+	return events
+}
+
+// TestConsumeBinaryMatchesText feeds the same fixture through the text
+// and the auto-detected binary path; the resulting graphs must be
+// identical.
+func TestConsumeBinaryMatchesText(t *testing.T) {
+	events := binTestEvents(3000)
+
+	mt, _ := newMetrics()
+	it := New(Config{Network: "net", StartDay: 3, Workers: 4, Metrics: mt})
+	if err := it.Consume(strings.NewReader(stream(t, events))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "text events applied", func() bool {
+		return mt.EventsIngested.Value() == int64(len(events))
+	})
+	want, _ := it.Snapshot()
+	it.Shutdown()
+
+	mb, _ := newMetrics()
+	ib := New(Config{Network: "net", StartDay: 3, Workers: 4, Metrics: mb})
+	if err := ib.Consume(bytes.NewReader(binStream(t, events))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "binary events applied", func() bool {
+		return mb.EventsIngested.Value() == int64(len(events))
+	})
+	got, _ := ib.Snapshot()
+	ib.Shutdown()
+
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("binary graph shape %v, want %v (text)", graphShape(got), graphShape(want))
+	}
+	for d := int32(0); int(d) < want.NumDomains(); d++ {
+		name := want.DomainName(d)
+		gd, ok := got.DomainIndex(name)
+		if !ok {
+			t.Fatalf("domain %q missing from binary-ingested graph", name)
+		}
+		if got.DomainDegree(gd) != want.DomainDegree(d) || len(got.DomainIPs(gd)) != len(want.DomainIPs(d)) {
+			t.Fatalf("domain %q differs between text and binary ingest", name)
+		}
+	}
+	if mb.ParseErrors.Value() != 0 || mb.EventsDropped.Value() != 0 {
+		t.Fatalf("binary ingest: parse errors %d, dropped %d", mb.ParseErrors.Value(), mb.EventsDropped.Value())
+	}
+}
+
+// TestConsumeBinaryMalformedFrame corrupts one mid-stream frame: its
+// loss must be counted as a parse error while later frames keep
+// flowing — a bad frame never wedges the source.
+func TestConsumeBinaryMalformedFrame(t *testing.T) {
+	// Two frames, second self-contained (fresh strings only), as in the
+	// logio-level test.
+	var b bytes.Buffer
+	enc := logio.NewEventEncoder(&b)
+	if err := enc.Encode(logio.Event{Kind: logio.EventQuery, Day: 3, Machine: "mA", Domain: "a.example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	frame1End := b.Len()
+	if err := enc.Encode(logio.Event{Kind: logio.EventQuery, Day: 3, Machine: "mB", Domain: "b.example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wire := b.Bytes()
+	wire[frame1End-1] ^= 0xff // corrupt frame one's CRC trailer
+
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 3, Workers: 1, Metrics: m})
+	defer in.Shutdown()
+	if err := in.Consume(bytes.NewReader(wire)); err != nil {
+		t.Fatalf("a skippable frame must not abort Consume: %v", err)
+	}
+	waitFor(t, "surviving event applied", func() bool {
+		return m.EventsIngested.Value() == 1
+	})
+	if m.ParseErrors.Value() != 1 {
+		t.Fatalf("parse errors = %d, want 1", m.ParseErrors.Value())
+	}
+	g, _ := in.Snapshot()
+	if _, ok := g.DomainIndex("b.example.com"); !ok {
+		t.Fatal("frame after the corrupt one was not ingested")
+	}
+}
+
+// TestConsumeBinaryTruncatedStream: a torn tail (dead writer) ends the
+// source cleanly with the complete frames applied.
+func TestConsumeBinaryTruncatedStream(t *testing.T) {
+	events := binTestEvents(10000) // several frames, so a torn tail leaves complete ones
+	wire := binStream(t, events)
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 3, Workers: 2, Metrics: m})
+	defer in.Shutdown()
+	if err := in.Consume(bytes.NewReader(wire[:len(wire)-7])); err != nil {
+		t.Fatalf("torn tail must end the source cleanly: %v", err)
+	}
+	waitFor(t, "events applied", func() bool { return m.EventsIngested.Value() > 0 })
+	if m.ParseErrors.Value() != 1 {
+		t.Fatalf("parse errors = %d, want 1 for the torn tail", m.ParseErrors.Value())
+	}
+	if got := m.EventsIngested.Value(); got >= int64(len(events)) {
+		t.Fatalf("ingested %d events from a truncated stream of %d", got, len(events))
+	}
+}
+
+// TestDurableBinaryWAL runs the WAL-only crash recovery path with
+// binary WAL records: events fed through the binary stream, appended to
+// the WAL as self-contained segb1 payloads, and replayed after an
+// unclean death.
+func TestDurableBinaryWAL(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	cfg.BinaryWAL = true
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genDurableEvents(5, 1200)
+	for i := 0; i < 40; i++ { // some resolutions so both opcodes hit the WAL
+		evs = append(evs, logio.Event{Kind: logio.EventResolution, Day: 5,
+			Domain: fmt.Sprintf("h%d.zone%d.net", i%29, i%11),
+			IPs:    []dnsutil.IPv4{dnsutil.MakeIPv4(10, 9, byte(i), 1)}})
+	}
+	before := m.EventsIngested.Value()
+	if err := in.Consume(bytes.NewReader(binStream(t, evs))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "events applied", func() bool {
+		return m.EventsIngested.Value() == before+int64(len(evs))
+	})
+	want, _ := in.Snapshot()
+	// Unclean death: no Shutdown, no checkpoint.
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	cfg2.BinaryWAL = true
+	in2, info2, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if info2.ReplayedEvents != len(evs) {
+		t.Fatalf("replayed %d events, want %d (replay errors %d)", info2.ReplayedEvents, len(evs), info2.ReplayErrors)
+	}
+	if info2.ReplayErrors != 0 {
+		t.Fatalf("replay errors = %d", info2.ReplayErrors)
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v", graphShape(got), graphShape(want))
+	}
+}
+
+// TestDurableMixedFormatWAL: a WAL written partly with text records and
+// partly with binary records (a restart that flipped the flag) must
+// replay fully — the format is sniffed per record.
+func TestDurableMixedFormatWAL(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	textEvs := genDurableEvents(5, 300)
+	feed(t, in, m, textEvs)
+	in.Shutdown()
+
+	// Shutdown wrote a checkpoint, so reopen with BinaryWAL and append
+	// events on top: the dirty WAL tail now holds binary records while
+	// the checkpointed prefix came from text ones.
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	cfg2.BinaryWAL = true
+	in2, _, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binEvs := genDurableEvents(5, 400)[100:] // overlapping machines, new volume
+	before := m2.EventsIngested.Value()
+	if err := in2.Consume(bytes.NewReader(binStream(t, binEvs))); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "binary tail applied", func() bool {
+		return m2.EventsIngested.Value() == before+int64(len(binEvs))
+	})
+	want, _ := in2.Snapshot()
+	// Unclean death.
+
+	m3, _ := newMetrics()
+	cfg3, dc3 := durableCfg(dir, m3, newDurableMetrics())
+	in3, info3, err := OpenDurable(cfg3, dc3) // replayer does not need the flag
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in3.Shutdown()
+	if info3.ReplayedEvents != len(binEvs) {
+		t.Fatalf("replayed %d events from the binary tail, want %d (errors %d)",
+			info3.ReplayedEvents, len(binEvs), info3.ReplayErrors)
+	}
+	got, _ := in3.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("recovered shape %v, want %v", graphShape(got), graphShape(want))
+	}
+}
+
+// TestBinaryWALRecordFitsCap: the WAL flush threshold plus one maximal
+// binary frame must stay under the WAL's record-size cap, or a flush
+// could build an unappendable record.
+func TestBinaryWALRecordFitsCap(t *testing.T) {
+	if walFlushBytes+logio.MaxFrameBytes >= wal.MaxRecordBytes {
+		t.Fatalf("walFlushBytes(%d) + MaxFrameBytes(%d) >= wal.MaxRecordBytes(%d)",
+			walFlushBytes, logio.MaxFrameBytes, wal.MaxRecordBytes)
+	}
+}

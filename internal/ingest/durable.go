@@ -276,7 +276,7 @@ func readCheckpoint(path string, cfg Config) (*graph.Builder, uint64, wal.Pos, e
 func replayWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, version uint64, cfg Config, dc *DurableConfig, info *RecoveryInfo) (*graph.Builder, uint64) {
 	day := b.Day()
 	replayErr := l.Replay(pos, func(_ wal.Pos, payload []byte) error {
-		perr := logio.ReadEvents(bytes.NewReader(payload), func(e logio.Event) error {
+		apply := func(e logio.Event) error {
 			if e.Day < day {
 				return nil
 			}
@@ -299,7 +299,19 @@ func replayWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, version uint64, cfg Co
 			info.ReplayedEvents++
 			inc(dc.m.ReplayedEvents)
 			return nil
-		})
+		}
+		// Records sniff their own format: binary WAL records are
+		// self-contained segb1 streams (the record encoder's symbol
+		// table resets per record), text records are event lines.
+		var perr error
+		if bytes.HasPrefix(payload, []byte(logio.BinaryMagic)) {
+			perr = logio.ReadEventsBinary(bytes.NewReader(payload), apply, func(error) {
+				info.ReplayErrors++
+				inc(dc.m.ReplayErrors)
+			})
+		} else {
+			perr = logio.ReadEvents(bytes.NewReader(payload), apply)
+		}
 		if perr != nil {
 			info.ReplayErrors++
 			inc(dc.m.ReplayErrors)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -113,9 +114,18 @@ type Config struct {
 	// machine-ID hash (queries) or domain hash (resolutions), so one
 	// machine's events stay ordered relative to each other.
 	Workers int
-	// QueueDepth bounds each shard's channel (default 4096). A full shard
-	// drops events instead of blocking the accept loop.
+	// QueueDepth bounds each (source, shard) ring (default 4096, rounded
+	// up to a power of two). A full ring drops events instead of
+	// blocking the accept loop (see ShedPolicy for the alternatives).
 	QueueDepth int
+	// BinaryWAL, when true, encodes WAL records with the segb1 binary
+	// event framing instead of text lines (each record is
+	// self-contained: the encoder's symbol table resets per record, so
+	// replay can decode any record in isolation). Replay auto-detects
+	// the format per record, so flipping this across restarts is safe;
+	// the default keeps the text format byte-identical to prior
+	// releases.
+	BinaryWAL bool
 	// Activity, when non-nil, receives per-day domain/e2LD activity marks
 	// for every applied query, keeping F2 features live.
 	Activity *activity.Log
@@ -215,8 +225,17 @@ type Ingester struct {
 	cfg Config
 	m   Metrics
 
-	shards  []chan logio.Event
-	workers sync.WaitGroup
+	// Each shard owns a set of SPSC rings — one per live source — that
+	// its worker sweeps. shardRings[s] is swapped copy-on-write under
+	// ringMu when sources attach or retire, so workers read it with one
+	// atomic load and no lock on the hot path. wake[s] is a one-slot
+	// doorbell: producers ring it on an empty→nonempty transition, the
+	// only publish a blocked worker can miss.
+	shardRings  []atomic.Pointer[[]*eventRing]
+	wake        []chan struct{}
+	stopWorkers chan struct{}
+	ringMu      sync.Mutex
+	workers     sync.WaitGroup
 
 	consumers sync.WaitGroup
 	closing   chan struct{}
@@ -235,7 +254,8 @@ type Ingester struct {
 	day     int
 	version uint64
 	walBuf  bytes.Buffer
-	walLine bytes.Buffer // scratch for one encoded event line
+	walLine bytes.Buffer         // scratch for one encoded event line (text WAL)
+	walEnc  *logio.EventEncoder // binary WAL record encoder (BinaryWAL only)
 
 	// Durability plumbing (nil/zero without OpenDurable).
 	wal     *wal.Log
@@ -376,13 +396,78 @@ func New(cfg Config) *Ingester {
 		in.durWG.Add(1)
 		go in.durabilityLoop(cfg.durable)
 	}
-	in.shards = make([]chan logio.Event, cfg.Workers)
-	for s := range in.shards {
-		in.shards[s] = make(chan logio.Event, cfg.QueueDepth)
+	in.stopWorkers = make(chan struct{})
+	in.shardRings = make([]atomic.Pointer[[]*eventRing], cfg.Workers)
+	in.wake = make([]chan struct{}, cfg.Workers)
+	for s := 0; s < cfg.Workers; s++ {
+		empty := []*eventRing{}
+		in.shardRings[s].Store(&empty)
+		in.wake[s] = make(chan struct{}, 1)
 		in.workers.Add(1)
-		go in.worker(in.shards[s])
+		go in.worker(s)
 	}
 	return in
+}
+
+// notify rings shard s's doorbell without ever blocking; a token
+// already waiting is enough.
+func (in *Ingester) notify(shard int) {
+	select {
+	case in.wake[shard] <- struct{}{}:
+	default:
+	}
+}
+
+// eventSource is one producer's attachment to the shards: an SPSC ring
+// per shard, plus per-shard pending buffers the binary path uses to
+// publish whole frames in one batch. Each Consume loop and each Tailer
+// owns exactly one, which is what keeps the rings single-producer.
+type eventSource struct {
+	in    *Ingester
+	rings []*eventRing
+	pend  [][]logio.Event
+}
+
+// newSource attaches a fresh source to every shard.
+func (in *Ingester) newSource() *eventSource {
+	s := &eventSource{
+		in:    in,
+		rings: make([]*eventRing, in.cfg.Workers),
+		pend:  make([][]logio.Event, in.cfg.Workers),
+	}
+	in.ringMu.Lock()
+	for i := range s.rings {
+		s.rings[i] = newEventRing(in.cfg.QueueDepth)
+		cur := *in.shardRings[i].Load()
+		next := make([]*eventRing, 0, len(cur)+1)
+		next = append(append(next, cur...), s.rings[i])
+		in.shardRings[i].Store(&next)
+	}
+	in.ringMu.Unlock()
+	return s
+}
+
+// close marks every ring closed (the producer is done) and wakes the
+// workers so drained rings retire promptly.
+func (s *eventSource) close() {
+	for i, r := range s.rings {
+		r.close()
+		s.in.notify(i)
+	}
+}
+
+// retireRings drops closed, drained rings from shard s's set.
+func (in *Ingester) retireRings(shard int) {
+	in.ringMu.Lock()
+	cur := *in.shardRings[shard].Load()
+	next := make([]*eventRing, 0, len(cur))
+	for _, r := range cur {
+		if !(r.isClosed() && r.empty()) {
+			next = append(next, r)
+		}
+	}
+	in.shardRings[shard].Store(&next)
+	in.ringMu.Unlock()
 }
 
 // parseChunkLines is how many parsed lines one "parse" flight-recorder
@@ -410,13 +495,20 @@ func newParseMeter(tr *obs.Tracer, source string) *parseMeter {
 	return &parseMeter{tr: tr, source: source}
 }
 
-func (m *parseMeter) observe(d time.Duration) {
-	if m.lines == 0 {
-		m.start = time.Now().Add(-d)
+// observe books lines parsed lines at a representative per-line
+// duration d — the sampled form logio.ReadEventsObserved and the frame
+// decoder deliver (one timing stands in for the group it covers).
+func (m *parseMeter) observe(d time.Duration, lines int) {
+	if lines <= 0 {
+		return
 	}
-	m.tr.ObserveStage(obs.StageParse, d)
-	m.total += d
-	m.lines++
+	est := d * time.Duration(lines)
+	if m.lines == 0 {
+		m.start = time.Now().Add(-est)
+	}
+	m.tr.ObserveStageN(obs.StageParse, d, lines)
+	m.total += est
+	m.lines += lines
 	if m.lines >= parseChunkLines {
 		m.flush()
 	}
@@ -438,12 +530,35 @@ func (m *parseMeter) flush() {
 // shards, returning when the reader is exhausted, the input is malformed
 // (a line-numbered error), or Shutdown begins. It never blocks on a slow
 // shard. Multiple Consume calls may run concurrently (one per TCP
-// connection).
+// connection); each gets its own set of shard rings.
+//
+// The stream format is auto-detected: input starting with the segb1
+// magic decodes as binary frames (malformed frames are counted as
+// parse errors and skipped), anything else parses as text lines.
 func (in *Ingester) Consume(r io.Reader) error {
 	in.consumers.Add(1)
 	defer in.consumers.Done()
+	select {
+	case <-in.closing:
+		return ErrShuttingDown
+	default:
+	}
+	src := in.newSource()
+	defer src.close()
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64<<10)
+	}
+	if sniff, _ := br.Peek(len(logio.BinaryMagic)); string(sniff) == logio.BinaryMagic {
+		return in.consumeBinary(br, src)
+	}
+	return in.consumeText(br, src)
+}
+
+// consumeText runs the text line protocol for one source.
+func (in *Ingester) consumeText(r io.Reader, src *eventSource) error {
 	meter := newParseMeter(in.cfg.Tracer, "stream")
-	var observe func(time.Duration)
+	var observe func(time.Duration, int)
 	if meter != nil {
 		observe = meter.observe
 	}
@@ -453,7 +568,7 @@ func (in *Ingester) Consume(r io.Reader) error {
 			return ErrShuttingDown
 		default:
 		}
-		in.dispatch(e)
+		src.dispatch(e)
 		return nil
 	}, observe)
 	meter.flush()
@@ -463,29 +578,115 @@ func (in *Ingester) Consume(r io.Reader) error {
 	return err
 }
 
-// dispatch routes one event to its shard. The fast path is a non-blocking
-// send; a full shard falls through to the shed policy.
-func (in *Ingester) dispatch(e logio.Event) {
+// consumeBinary runs the segb1 frame protocol for one source. Records
+// are staged into per-shard pending buffers and batch-published at
+// frame boundaries, so the ring's atomics are paid per batch instead of
+// per event. Frame-granular decode failures count as parse errors and
+// the stream continues; only a desynced or failing stream aborts.
+func (in *Ingester) consumeBinary(r io.Reader, src *eventSource) error {
+	meter := newParseMeter(in.cfg.Tracer, "binary")
+	dec := logio.NewEventDecoder(r)
+	defer dec.Release()
+	dec.OnFrameError = func(error) { inc(in.m.ParseErrors) }
+	dec.AfterFrame = func(records int, took time.Duration) {
+		src.flushAll()
+		if meter != nil && records > 0 {
+			meter.observe(took/time.Duration(records), records)
+		}
+	}
+	err := dec.Run(func(e *logio.Event) error {
+		select {
+		case <-in.closing:
+			return ErrShuttingDown
+		default:
+		}
+		src.dispatchBatched(*e)
+		return nil
+	})
+	// Flush whatever the aborted frame staged, so every decoded event is
+	// accounted for (published, shed, or dropped) exactly once.
+	src.flushAll()
+	meter.flush()
+	if err != nil && !errors.Is(err, ErrShuttingDown) {
+		inc(in.m.ParseErrors)
+	}
+	return err
+}
+
+// shardOf routes an event by machine hash (queries) or domain hash
+// (resolutions), so one machine's events stay ordered.
+func (s *eventSource) shardOf(e logio.Event) int {
+	if len(s.rings) == 1 {
+		return 0 // single-shard deployments skip the hash entirely
+	}
 	key := e.Machine
 	if e.Kind == logio.EventResolution {
 		key = e.Domain
 	}
-	shard := in.shards[fnv32(key)%uint32(len(in.shards))]
-	select {
-	case shard <- e:
-	default:
-		in.dispatchSlow(shard, e)
+	return int(fnv32(key) % uint32(len(s.rings)))
+}
+
+// dispatch routes one event to its shard ring. The fast path is a
+// lock-free publish; a full ring falls through to the shed policy.
+func (s *eventSource) dispatch(e logio.Event) {
+	shard := s.shardOf(e)
+	if ok, wasEmpty := s.rings[shard].publish1(e); ok {
+		if wasEmpty {
+			s.in.notify(shard)
+		}
+		return
+	}
+	s.dispatchSlow(shard, e)
+}
+
+// dispatchBatchSize caps a per-shard pending buffer between frame
+// flushes so a shard-skewed frame still publishes incrementally.
+const dispatchBatchSize = 256
+
+// dispatchBatched stages one event for batch publication; the batch
+// flushes when full or at the next frame boundary.
+func (s *eventSource) dispatchBatched(e logio.Event) {
+	shard := s.shardOf(e)
+	s.pend[shard] = append(s.pend[shard], e)
+	if len(s.pend[shard]) >= dispatchBatchSize {
+		s.flushShard(shard)
 	}
 }
 
-// dispatchSlow handles an event whose shard queue is full. Every full
-// shard asserts the ingest_queue overload signal (self-arming: sustained
+// flushAll publishes every pending per-shard batch.
+func (s *eventSource) flushAll() {
+	for shard := range s.pend {
+		if len(s.pend[shard]) > 0 {
+			s.flushShard(shard)
+		}
+	}
+}
+
+// flushShard batch-publishes shard's pending events; whatever does not
+// fit goes through the shed policy one event at a time.
+func (s *eventSource) flushShard(shard int) {
+	pend := s.pend[shard]
+	n, wasEmpty := s.rings[shard].publish(pend)
+	if wasEmpty {
+		s.in.notify(shard)
+	}
+	for _, e := range pend[n:] {
+		s.dispatchSlow(shard, e)
+	}
+	// Release references before reuse so shed events do not linger.
+	clear(pend)
+	s.pend[shard] = pend[:0]
+}
+
+// dispatchSlow handles an event whose shard ring is full. Every full
+// ring asserts the ingest_queue overload signal (self-arming: sustained
 // pressure keeps re-asserting it, a burst decays after queuePressureTTL),
 // then the shed policy decides the event's fate. Shedding unacknowledged
 // events is reserved for the overloaded state under an explicit policy;
 // otherwise the source blocks, which is the backpressure a TCP sender
 // feels as a stalled read loop.
-func (in *Ingester) dispatchSlow(shard chan logio.Event, e logio.Event) {
+func (s *eventSource) dispatchSlow(shard int, e logio.Event) {
+	in := s.in
 	overloaded := false
 	if h := in.cfg.Health; h != nil {
 		h.SetFor(healthSignalQueue, health.Overloaded, "shard queue full", queuePressureTTL)
@@ -493,37 +694,29 @@ func (in *Ingester) dispatchSlow(shard chan logio.Event, e logio.Event) {
 	}
 	switch in.cfg.ShedPolicy {
 	case ShedBlock:
-		in.blockOnShard(shard, e)
+		s.blockPublish(shard, e)
 	case ShedDropOldest:
 		if !overloaded {
-			in.blockOnShard(shard, e)
+			s.blockPublish(shard, e)
 			return
 		}
-		// Evict the oldest queued event to admit the newest: under
+		// Ask the worker to evict the oldest queued event (the producer
+		// cannot pop an SPSC ring), then wait for the slot: under
 		// overload the most recent observation is the one that keeps the
-		// live graph current.
-		select {
-		case <-shard:
-			in.shed(ShedDropOldest)
-		default:
-			// A worker drained the shard first; nothing to evict.
-		}
-		select {
-		case shard <- e:
-		default:
-			// The freed slot was stolen by a racing dispatch; shed the
-			// new event rather than risk blocking in the overloaded state.
-			in.shed(ShedDropOldest)
-		}
+		// live graph current. The worker clears the request unserved if
+		// the ring drained on its own first.
+		s.rings[shard].evict.Add(1)
+		in.notify(shard)
+		s.blockPublish(shard, e)
 	case ShedSample:
 		if !overloaded {
-			in.blockOnShard(shard, e)
+			s.blockPublish(shard, e)
 			return
 		}
 		if in.sampleSeq.Add(1)%shedSampleKeep == 0 {
-			in.blockOnShard(shard, e)
+			s.blockPublish(shard, e)
 		} else {
-			in.shed(ShedSample)
+			in.shedN(ShedSample, 1)
 		}
 	default:
 		// Legacy tap behavior: the newest event is dropped and counted,
@@ -532,21 +725,36 @@ func (in *Ingester) dispatchSlow(shard chan logio.Event, e logio.Event) {
 	}
 }
 
-// blockOnShard parks the caller until the shard has room — the
+// blockPublish parks the caller until the ring has room — the
 // backpressure path. Shutdown unblocks it; the event is then counted as
 // dropped rather than wedging the Consume loop forever.
-func (in *Ingester) blockOnShard(shard chan logio.Event, e logio.Event) {
-	select {
-	case shard <- e:
-	case <-in.closing:
-		inc(in.m.EventsDropped)
+func (s *eventSource) blockPublish(shard int, e logio.Event) {
+	r := s.rings[shard]
+	for spin := 0; ; spin++ {
+		if ok, wasEmpty := r.publish1(e); ok {
+			if wasEmpty {
+				s.in.notify(shard)
+			}
+			return
+		}
+		select {
+		case <-s.in.closing:
+			inc(s.in.m.EventsDropped)
+			return
+		default:
+		}
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
 }
 
-// shed counts one event shed by the overload policy.
-func (in *Ingester) shed(reason string) {
+// shedN counts n events shed by the overload policy.
+func (in *Ingester) shedN(reason string, n int64) {
 	if in.m.EventsShed != nil {
-		inc(in.m.EventsShed[reason])
+		addN(in.m.EventsShed[reason], n)
 	}
 }
 
@@ -564,47 +772,81 @@ func fnv32(s string) uint32 {
 // acquisition, amortizing contention on the shared builder.
 const batchSize = 512
 
-// worker drains one shard until its channel closes. A panic anywhere in
-// the drain path (apply, a rotation hook, a metrics callback) is
-// recovered and counted, and the worker resumes draining: one poisonous
-// batch must not take the whole shard — let alone the daemon — down.
-func (in *Ingester) worker(ch chan logio.Event) {
+// worker drains one shard until shutdown. A panic anywhere in the
+// drain path (apply, a rotation hook, a metrics callback) is recovered
+// and counted, and the worker resumes draining: one poisonous batch
+// must not take the whole shard — let alone the daemon — down.
+func (in *Ingester) worker(shard int) {
 	defer in.workers.Done()
-	for !in.drainShard(ch) {
+	buf := make([]logio.Event, batchSize)
+	for !in.drainShard(shard, buf) {
 	}
 }
 
-// drainShard applies queued events in batches, returning true once the
-// channel has closed. It returns false when a recovered panic aborted
+// drainShard sweeps the shard's rings, blocking on the doorbell when
+// everything is empty, and returns true once shutdown has begun and the
+// rings are drained. It returns false when a recovered panic aborted
 // the loop; the caller restarts it.
-func (in *Ingester) drainShard(ch chan logio.Event) (done bool) {
+func (in *Ingester) drainShard(shard int, buf []logio.Event) (done bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			inc(in.m.Panics)
 		}
 	}()
-	batch := make([]logio.Event, 0, batchSize)
 	for {
-		e, ok := <-ch
-		if !ok {
-			return true
+		if in.sweepShard(shard, buf) > 0 {
+			continue
 		}
-		batch = append(batch[:0], e)
-	refill:
-		for len(batch) < batchSize {
-			select {
-			case e, ok := <-ch:
-				if !ok {
-					in.apply(batch)
-					return true
-				}
-				batch = append(batch, e)
-			default:
-				break refill
+		select {
+		case <-in.wake[shard]:
+		case <-in.stopWorkers:
+			// Producers are gone (Shutdown waits for them before closing
+			// stopWorkers): once a sweep comes up empty, so is the shard.
+			if in.sweepShard(shard, buf) == 0 {
+				return true
 			}
 		}
-		in.apply(batch)
 	}
+}
+
+// sweepShard makes one pass over the shard's rings: serving drop-oldest
+// eviction requests, applying queued events in batches, and retiring
+// rings whose producer closed and whose queue drained. Returns how many
+// events it handled (applied or shed) — zero means the shard was idle.
+func (in *Ingester) sweepShard(shard int, buf []logio.Event) (handled int) {
+	rings := *in.shardRings[shard].Load()
+	retire := false
+	for _, r := range rings {
+		// Serve the producer's eviction request only while the ring is
+		// actually full; a request that drained on its own is stale.
+		if ev := r.evict.Load(); ev > 0 {
+			if r.full() {
+				n := r.shedOldest(ev)
+				if n > 0 {
+					in.shedN(ShedDropOldest, int64(n))
+					r.evict.Add(^uint64(n - 1)) // subtract n
+					handled += n
+				}
+			} else {
+				r.evict.Store(0)
+			}
+		}
+		for {
+			n := r.consume(buf)
+			if n == 0 {
+				break
+			}
+			in.apply(buf[:n])
+			handled += n
+		}
+		if r.isClosed() && r.empty() {
+			retire = true
+		}
+	}
+	if retire {
+		in.retireRings(shard)
+	}
+	return handled
 }
 
 // rotation is one finalized epoch handed to the OnRotate hook.
@@ -699,21 +941,7 @@ func (in *Ingester) applyLocked(batch []logio.Event, span *obs.Span) (rotations 
 			}
 		}
 		if in.wal != nil {
-			in.walLine.Reset()
-			logio.WriteEvent(&in.walLine, e)
-			// Flush first if this line would push the buffered record
-			// past the WAL's cap: wal.Append rejects oversized records
-			// wholesale, which would silently void durability for every
-			// event already in the buffer. Unreachable while
-			// walFlushBytes + logio.MaxLineBytes fits in a record
-			// (asserted in tests), but cheap insurance against drift.
-			if in.walBuf.Len() > 0 && in.walBuf.Len()+in.walLine.Len() > wal.MaxRecordBytes {
-				in.flushWALLocked(span)
-			}
-			in.walBuf.Write(in.walLine.Bytes())
-			if in.walBuf.Len() >= walFlushBytes {
-				in.flushWALLocked(span)
-			}
+			in.appendWALLocked(e, span)
 		}
 		applied++
 	}
@@ -727,11 +955,59 @@ func (in *Ingester) applyLocked(batch []logio.Event, span *obs.Span) (rotations 
 	return rotations, applied, machines, domains, observations
 }
 
+// appendWALLocked stages one event into the WAL record being built, in
+// the configured format, cutting a record whenever the buffer crosses
+// walFlushBytes.
+func (in *Ingester) appendWALLocked(e logio.Event, span *obs.Span) {
+	if in.cfg.BinaryWAL {
+		if in.walEnc == nil {
+			in.walEnc = logio.NewEventEncoder(&in.walBuf)
+		}
+		if in.walBuf.Len() == 0 && in.walEnc.Buffered() == 0 {
+			// Record start: fresh symbol table, so every WAL record is a
+			// self-contained segb1 stream replay can decode in isolation.
+			in.walEnc.Reset(&in.walBuf)
+		}
+		if err := in.walEnc.Encode(e); err != nil {
+			// An event too large for one frame cannot be made durable;
+			// count it like any other failed append and keep serving.
+			inc(in.m.WALAppendFailures)
+			return
+		}
+		// Worst case here is walFlushBytes plus one maximum-size frame,
+		// comfortably under wal.MaxRecordBytes (asserted in tests).
+		if in.walBuf.Len()+in.walEnc.Buffered() >= walFlushBytes {
+			in.flushWALLocked(span)
+		}
+		return
+	}
+	in.walLine.Reset()
+	logio.WriteEvent(&in.walLine, e)
+	// Flush first if this line would push the buffered record
+	// past the WAL's cap: wal.Append rejects oversized records
+	// wholesale, which would silently void durability for every
+	// event already in the buffer. Unreachable while
+	// walFlushBytes + logio.MaxLineBytes fits in a record
+	// (asserted in tests), but cheap insurance against drift.
+	if in.walBuf.Len() > 0 && in.walBuf.Len()+in.walLine.Len() > wal.MaxRecordBytes {
+		in.flushWALLocked(span)
+	}
+	in.walBuf.Write(in.walLine.Bytes())
+	if in.walBuf.Len() >= walFlushBytes {
+		in.flushWALLocked(span)
+	}
+}
+
 // flushWALLocked appends the buffered event lines as one WAL record.
 // Append failures are counted, not fatal: segugiod stays available at
 // reduced durability rather than dying on a full disk. The append shows
 // up as a wal_append child of the batch's graph_apply span.
 func (in *Ingester) flushWALLocked(span *obs.Span) {
+	if in.walEnc != nil && in.walEnc.Buffered() > 0 {
+		// Complete the in-progress binary frame; writing into a
+		// bytes.Buffer cannot fail.
+		in.walEnc.Flush()
+	}
 	if in.walBuf.Len() == 0 {
 		return
 	}
@@ -844,8 +1120,18 @@ func (in *Ingester) Shutdown() {
 	in.closeOnce.Do(func() {
 		close(in.closing)
 		in.consumers.Wait()
-		for _, ch := range in.shards {
-			close(ch)
+		// Producers are done; close every ring so workers drain what is
+		// queued, then tell them to exit once their sweeps come up empty.
+		in.ringMu.Lock()
+		for s := range in.shardRings {
+			for _, r := range *in.shardRings[s].Load() {
+				r.close()
+			}
+		}
+		in.ringMu.Unlock()
+		close(in.stopWorkers)
+		for s := range in.wake {
+			in.notify(s)
 		}
 	})
 	in.workers.Wait()
@@ -887,9 +1173,20 @@ func (in *Ingester) TailFile(ctx context.Context, path string, interval time.Dur
 // restart/re-ingest loop. A Tailer is not safe for concurrent Run calls.
 type Tailer struct {
 	in       *Ingester
+	src      *eventSource
 	path     string
 	interval time.Duration
 	meter    *parseMeter // nil when tracing is disabled
+	// parse maps one trimmed line to an event; ok=false with a nil
+	// error skips the line silently. Nil wraps logio.ParseEvent — the
+	// seam the trace_dns adapter plugs its JSONL mapping into.
+	parse func(line string) (e logio.Event, ok bool, err error)
+
+	// Parse-metering sampler state: 1 line in logio.ParseSampleEvery is
+	// timed and stands in for the pending lines it covers.
+	lastD   time.Duration
+	haveD   bool
+	pending int
 
 	// offset is the resume point: every line before it was fully read
 	// (dispatched or deliberately skipped). fi identifies the file the
@@ -900,12 +1197,14 @@ type Tailer struct {
 
 // NewTailer builds a Tailer for path polling at interval (default
 // 500ms). Pass its Run to Supervise to get a tail source that survives
-// transient I/O failures without replaying consumed data.
+// transient I/O failures without replaying consumed data. The tailer
+// holds its shard rings for the ingester's lifetime (they retire at
+// Shutdown), so build one per tailed path, not one per attempt.
 func (in *Ingester) NewTailer(path string, interval time.Duration) *Tailer {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
-	return &Tailer{in: in, path: path, interval: interval, meter: newParseMeter(in.cfg.Tracer, "tail")}
+	return &Tailer{in: in, src: in.newSource(), path: path, interval: interval, meter: newParseMeter(in.cfg.Tracer, "tail")}
 }
 
 // errFileChanged signals that the tailed path was rotated (new inode) or
@@ -971,7 +1270,7 @@ func (t *Tailer) consume(r *followReader) error {
 	in := t.in
 	in.consumers.Add(1)
 	defer in.consumers.Done()
-	defer t.meter.flush()
+	defer t.flushMeter()
 	br := bufio.NewReaderSize(r, 64<<10)
 	var line []byte
 	discarding := false // inside an over-long line, dropping until '\n'
@@ -1022,25 +1321,59 @@ func (t *Tailer) consume(r *followReader) error {
 }
 
 // processLine parses one event line and dispatches it; blank lines and
-// comments are ignored, malformed lines counted and dropped.
+// comments are ignored, malformed lines counted and dropped. Parse
+// metering is sampled: 1 line in logio.ParseSampleEvery is timed (the
+// first always), and the measurement is booked for the whole group.
 func (t *Tailer) processLine(raw []byte) {
 	line := strings.TrimSpace(string(raw))
 	if line == "" || strings.HasPrefix(line, "#") {
 		return
 	}
+	sample := t.meter != nil && (!t.haveD || t.pending+1 >= logio.ParseSampleEvery)
 	var t0 time.Time
-	if t.meter != nil {
+	if sample {
 		t0 = time.Now()
 	}
-	e, err := logio.ParseEvent(line)
+	var (
+		e   logio.Event
+		ok  bool
+		err error
+	)
+	if t.parse != nil {
+		e, ok, err = t.parse(line)
+	} else {
+		e, err = logio.ParseEvent(line)
+		ok = err == nil
+	}
+	if sample {
+		t.lastD = time.Since(t0)
+		t.haveD = true
+	}
 	if err != nil {
 		inc(t.in.m.ParseErrors)
 		return
 	}
-	if t.meter != nil {
-		t.meter.observe(time.Since(t0))
+	if !ok {
+		return
 	}
-	t.in.dispatch(e)
+	if t.meter != nil {
+		t.pending++
+		if sample {
+			t.meter.observe(t.lastD, t.pending)
+			t.pending = 0
+		}
+	}
+	t.src.dispatch(e)
+}
+
+// flushMeter books lines parsed since the last sample, then ships the
+// meter's open chunk.
+func (t *Tailer) flushMeter() {
+	if t.pending > 0 && t.haveD {
+		t.meter.observe(t.lastD, t.pending)
+		t.pending = 0
+	}
+	t.meter.flush()
 }
 
 // followReader blocks at EOF, polling for appended bytes until its

@@ -60,7 +60,7 @@ func TestParseMeterChunks(t *testing.T) {
 	tr := obs.NewTracer(obs.TracerConfig{RingSize: 16})
 	m := newParseMeter(tr, "test")
 	for i := 0; i < parseChunkLines+3; i++ {
-		m.observe(time.Microsecond)
+		m.observe(time.Microsecond, 1)
 	}
 	m.flush()
 	var parses []obs.TraceRecord

@@ -1,0 +1,118 @@
+package logio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"segugio/internal/dnsutil"
+)
+
+// benchFixture builds one reusable event set plus its text and binary
+// renderings. The shape mirrors the ingest benchmarks: many machines, a
+// domain pool with heavy repetition, ~1-in-7 resolutions.
+func benchFixture(n int) (evs []Event, text, bin []byte) {
+	evs = make([]Event, 0, n)
+	machines := make([]string, 4000)
+	for i := range machines {
+		machines[i] = "10.1." + string(rune('a'+i%26)) + dnsutil.MakeIPv4(0, 0, byte(i>>8), byte(i)).String()
+	}
+	domains := make([]string, 15000)
+	for i := range domains {
+		domains[i] = "host" + dnsutil.MakeIPv4(0, 0, byte(i>>8), byte(i)).String() + ".example.com"
+	}
+	for i := 0; i < n; i++ {
+		if i%7 == 6 {
+			evs = append(evs, Event{Kind: EventResolution, Day: 1, Domain: domains[i%len(domains)],
+				IPs: []dnsutil.IPv4{dnsutil.MakeIPv4(93, 184, byte(i>>8), byte(i))}})
+		} else {
+			evs = append(evs, Event{Kind: EventQuery, Day: 1,
+				Machine: machines[i%len(machines)], Domain: domains[(i*31)%len(domains)]})
+		}
+	}
+	var tb bytes.Buffer
+	for _, e := range evs {
+		WriteEvent(&tb, e)
+	}
+	var bb bytes.Buffer
+	enc := NewEventEncoder(&bb)
+	for _, e := range evs {
+		enc.Encode(e)
+	}
+	enc.Flush()
+	return evs, tb.Bytes(), bb.Bytes()
+}
+
+// benchEvents is sized so symbol defines amortize (~2% of records
+// define, the rest are integer refs) — matching a long-lived source
+// connection, which is what the steady-state numbers gate on. Real ISP
+// traffic repeats far more heavily still: popular domains are queried
+// by millions of machines.
+const benchEvents = 1000000
+
+func BenchmarkParseEventText(b *testing.B) {
+	n := benchEvents
+	_, text, _ := benchFixture(n)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ReadEvents(bytes.NewReader(text), func(Event) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkDecodeEventsBinary(b *testing.B) {
+	n := benchEvents
+	_, _, bin := benchFixture(n)
+	b.SetBytes(int64(len(bin)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewEventDecoder(bytes.NewReader(bin))
+		if err := d.Run(func(*Event) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		d.Release()
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkEncodeEventsBinary(b *testing.B) {
+	n := benchEvents
+	evs, _, bin := benchFixture(n)
+	b.SetBytes(int64(len(bin)))
+	b.ReportAllocs()
+	enc := NewEventEncoder(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset(io.Discard)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkWriteEventText(b *testing.B) {
+	n := benchEvents
+	evs, text, _ := benchFixture(n)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range evs {
+			if err := WriteEvent(io.Discard, e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

@@ -27,6 +27,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"segugio/internal/activity"
@@ -34,6 +35,35 @@ import (
 	"segugio/internal/intel"
 	"segugio/internal/pdns"
 )
+
+// lineBufPool recycles line-assembly buffers for the writers: each line
+// is built with appends into one pooled buffer and written in a single
+// w.Write call, so the writers allocate nothing in steady state.
+var lineBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// writeLine assembles one line via build (which appends the line body,
+// without the trailing newline, to the buffer it is handed) and writes
+// it with the newline in one call.
+func writeLine(w io.Writer, build func(b []byte) []byte) error {
+	bp := lineBufPool.Get().(*[]byte)
+	b := build((*bp)[:0])
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	*bp = b[:0]
+	lineBufPool.Put(bp)
+	return err
+}
+
+// appendIPList appends a comma-separated dotted-quad list to b.
+func appendIPList(b []byte, ips []dnsutil.IPv4) []byte {
+	for i, ip := range ips {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = ip.Append(b)
+	}
+	return b
+}
 
 // MaxLineBytes bounds a single input line; DNS names cap at 253 bytes but
 // resolution lines carry many addresses. Exported so consumers that frame
@@ -82,8 +112,11 @@ func ReadQueryLog(r io.Reader, fn func(machine, domain string)) error {
 
 // WriteQuery writes one query-log line.
 func WriteQuery(w io.Writer, machine, domain string) error {
-	_, err := fmt.Fprintf(w, "%s\t%s\n", machine, domain)
-	return err
+	return writeLine(w, func(b []byte) []byte {
+		b = append(b, machine...)
+		b = append(b, '\t')
+		return append(b, domain...)
+	})
 }
 
 // ReadResolutions streams (domain, ips) records into fn.
@@ -122,12 +155,11 @@ func parseIPList(s string) ([]dnsutil.IPv4, error) {
 
 // WriteResolution writes one resolutions line.
 func WriteResolution(w io.Writer, domain string, ips []dnsutil.IPv4) error {
-	parts := make([]string, len(ips))
-	for i, ip := range ips {
-		parts[i] = ip.String()
-	}
-	_, err := fmt.Fprintf(w, "%s\t%s\n", domain, strings.Join(parts, ","))
-	return err
+	return writeLine(w, func(b []byte) []byte {
+		b = append(b, domain...)
+		b = append(b, '\t')
+		return appendIPList(b, ips)
+	})
 }
 
 // ReadBlacklist parses a blacklist file. The family and first-listed-day
@@ -164,7 +196,14 @@ func ReadBlacklist(r io.Reader) (*intel.Blacklist, error) {
 func WriteBlacklist(w io.Writer, bl *intel.Blacklist) error {
 	for _, d := range bl.Domains() {
 		e, _ := bl.Entry(d)
-		if _, err := fmt.Fprintf(w, "%s\t%s\t%d\n", e.Domain, e.Family, e.FirstListed); err != nil {
+		err := writeLine(w, func(b []byte) []byte {
+			b = append(b, e.Domain...)
+			b = append(b, '\t')
+			b = append(b, e.Family...)
+			b = append(b, '\t')
+			return strconv.AppendInt(b, int64(e.FirstListed), 10)
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -230,8 +269,11 @@ func ReadActivity(r io.Reader, log *activity.Log, suffixes *dnsutil.SuffixList) 
 
 // WriteActivityMark writes one activity line.
 func WriteActivityMark(w io.Writer, day int, domain string) error {
-	_, err := fmt.Fprintf(w, "%d\t%s\n", day, domain)
-	return err
+	return writeLine(w, func(b []byte) []byte {
+		b = strconv.AppendInt(b, int64(day), 10)
+		b = append(b, '\t')
+		return append(b, domain...)
+	})
 }
 
 // ReadPDNS streams passive-DNS records into a database.
@@ -260,8 +302,13 @@ func ReadPDNS(r io.Reader, db *pdns.DB) error {
 
 // WritePDNSRecord writes one passive-DNS line.
 func WritePDNSRecord(w io.Writer, day int, domain string, ip dnsutil.IPv4) error {
-	_, err := fmt.Fprintf(w, "%d\t%s\t%s\n", day, domain, ip)
-	return err
+	return writeLine(w, func(b []byte) []byte {
+		b = strconv.AppendInt(b, int64(day), 10)
+		b = append(b, '\t')
+		b = append(b, domain...)
+		b = append(b, '\t')
+		return ip.Append(b)
+	})
 }
 
 // EventKind distinguishes the two record kinds of the live event stream.
@@ -298,26 +345,64 @@ func ReadEvents(r io.Reader, fn func(Event) error) error {
 	return ReadEventsObserved(r, fn, nil)
 }
 
-// ReadEventsObserved is ReadEvents plus a per-record parse-time
-// callback: observe (when non-nil) receives how long each successfully
-// parsed line took. This is the seam the ingest pipeline's "parse"
-// stage latency histogram and trace chunks hang off; a nil observe
-// skips the timing entirely, so the default path pays nothing.
-func ReadEventsObserved(r io.Reader, fn func(Event) error, observe func(time.Duration)) error {
-	return scanLines(r, func(lineNo int, line string) error {
+// ParseSampleEvery is the parse-metering sampling interval: with a
+// non-nil observe callback, ReadEventsObserved times 1 line in every
+// ParseSampleEvery and books the measurement for the whole group it
+// covers, so the observability seam costs two time.Now() calls per
+// group instead of per line.
+const ParseSampleEvery = 32
+
+// ReadEventsObserved is ReadEvents plus a sampled parse-time callback:
+// observe (when non-nil) receives a representative per-line parse
+// duration d together with the number of successfully parsed lines it
+// stands for. The first line is always timed (seeding the estimate),
+// then 1 in every ParseSampleEvery; at EOF the remaining untimed lines
+// are flushed with the last measurement, so the line counts delivered
+// through observe are exact. A nil observe skips the timing entirely,
+// so the default path pays nothing.
+func ReadEventsObserved(r io.Reader, fn func(Event) error, observe func(d time.Duration, lines int)) error {
+	if observe == nil {
+		return scanLines(r, func(lineNo int, line string) error {
+			e, err := ParseEvent(line)
+			if err != nil {
+				return fmt.Errorf("logio: event line %d: %w", lineNo, err)
+			}
+			return fn(e)
+		})
+	}
+	var (
+		lastD   time.Duration
+		haveD   bool
+		pending int
+	)
+	err := scanLines(r, func(lineNo int, line string) error {
+		pending++
+		sample := !haveD || pending >= ParseSampleEvery
 		var t0 time.Time
-		if observe != nil {
+		if sample {
 			t0 = time.Now()
 		}
-		e, err := ParseEvent(line)
-		if err != nil {
-			return fmt.Errorf("logio: event line %d: %w", lineNo, err)
+		e, perr := ParseEvent(line)
+		if sample {
+			lastD = time.Since(t0)
+			haveD = true
 		}
-		if observe != nil {
-			observe(time.Since(t0))
+		if perr != nil {
+			// The malformed line aborts the stream and is not booked as
+			// a parsed line; earlier untimed lines flush below.
+			pending--
+			return fmt.Errorf("logio: event line %d: %w", lineNo, perr)
+		}
+		if sample {
+			observe(lastD, pending)
+			pending = 0
 		}
 		return fn(e)
 	})
+	if pending > 0 && haveD {
+		observe(lastD, pending)
+	}
+	return err
 }
 
 // ParseEvent parses one event-stream line (already stripped of its
@@ -371,15 +456,23 @@ func ParseEvent(line string) (Event, error) {
 func WriteEvent(w io.Writer, e Event) error {
 	switch e.Kind {
 	case EventQuery:
-		_, err := fmt.Fprintf(w, "q\t%d\t%s\t%s\n", e.Day, e.Machine, e.Domain)
-		return err
+		return writeLine(w, func(b []byte) []byte {
+			b = append(b, 'q', '\t')
+			b = strconv.AppendInt(b, int64(e.Day), 10)
+			b = append(b, '\t')
+			b = append(b, e.Machine...)
+			b = append(b, '\t')
+			return append(b, e.Domain...)
+		})
 	case EventResolution:
-		parts := make([]string, len(e.IPs))
-		for i, ip := range e.IPs {
-			parts[i] = ip.String()
-		}
-		_, err := fmt.Fprintf(w, "r\t%d\t%s\t%s\n", e.Day, e.Domain, strings.Join(parts, ","))
-		return err
+		return writeLine(w, func(b []byte) []byte {
+			b = append(b, 'r', '\t')
+			b = strconv.AppendInt(b, int64(e.Day), 10)
+			b = append(b, '\t')
+			b = append(b, e.Domain...)
+			b = append(b, '\t')
+			return appendIPList(b, e.IPs)
+		})
 	default:
 		return fmt.Errorf("logio: unknown event kind %d", e.Kind)
 	}

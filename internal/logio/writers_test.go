@@ -1,0 +1,139 @@
+package logio
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"segugio/internal/dnsutil"
+	"segugio/internal/intel"
+)
+
+// TestWritersGoldenFormat pins the text wire format byte-for-byte: the
+// buffered writers must emit exactly what the old fmt.Fprintf code did.
+func TestWritersGoldenFormat(t *testing.T) {
+	ips := []dnsutil.IPv4{dnsutil.MakeIPv4(10, 0, 0, 1), dnsutil.MakeIPv4(192, 168, 200, 254)}
+	var got bytes.Buffer
+	if err := WriteQuery(&got, "m1", "a.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResolution(&got, "a.example.com", ips); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteActivityMark(&got, 17, "a.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePDNSRecord(&got, -3, "b.example.com", ips[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEvent(&got, Event{Kind: EventQuery, Day: 17, Machine: "m1", Domain: "a.example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEvent(&got, Event{Kind: EventResolution, Day: 17, Domain: "a.example.com", IPs: ips}); err != nil {
+		t.Fatal(err)
+	}
+	bl := intel.NewBlacklist()
+	bl.Add(intel.BlacklistEntry{Domain: "bad.example.com", Family: "zeus", FirstListed: 4})
+	if err := WriteBlacklist(&got, bl); err != nil {
+		t.Fatal(err)
+	}
+	want := "m1\ta.example.com\n" +
+		"a.example.com\t10.0.0.1,192.168.200.254\n" +
+		"17\ta.example.com\n" +
+		"-3\tb.example.com\t192.168.200.254\n" +
+		"q\t17\tm1\ta.example.com\n" +
+		"r\t17\ta.example.com\t10.0.0.1,192.168.200.254\n" +
+		"bad.example.com\tzeus\t4\n"
+	if got.String() != want {
+		t.Fatalf("writer output changed:\ngot:  %q\nwant: %q", got.String(), want)
+	}
+}
+
+// TestReadEventsLongLine: a valid event line far larger than the
+// scanner's 64KiB initial buffer (but under MaxLineBytes) must parse,
+// not fail with bufio.ErrTooLong. Regression test for the scanner
+// buffer sizing in scanLines.
+func TestReadEventsLongLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("q\t1\tm1\ta.example.com\n")
+	b.WriteString("r\t1\tbig.example.com\t")
+	// ~900KB of IPs: 75000 * ~12 bytes each.
+	for i := 0; i < 75000; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "10.%d.%d.%d", i>>16&0xff, i>>8&0xff, i&0xff)
+	}
+	b.WriteString("\nq\t1\tm2\tb.example.com\n")
+	if len(b.String()) < 800*1024 {
+		t.Fatalf("fixture only %d bytes; not exercising the buffer growth path", b.Len())
+	}
+	var events []Event
+	if err := ReadEvents(strings.NewReader(b.String()), func(e Event) error {
+		events = append(events, Event{Kind: e.Kind, Day: e.Day, Machine: e.Machine, Domain: e.Domain, IPs: append([]dnsutil.IPv4(nil), e.IPs...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("long valid line must parse: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if len(events[1].IPs) != 75000 {
+		t.Fatalf("long resolution carried %d ips, want 75000", len(events[1].IPs))
+	}
+	if events[2].Machine != "m2" {
+		t.Fatalf("event after the long line = %+v", events[2])
+	}
+}
+
+// TestReadEventsObservedSampling: the sampled meter must still account
+// for every line exactly once (the observability tests depend on exact
+// line counts), while calling the clock only ~1/ParseSampleEvery times.
+func TestReadEventsObservedSampling(t *testing.T) {
+	for _, n := range []int{1, 2, ParseSampleEvery - 1, ParseSampleEvery, ParseSampleEvery + 1, 3*ParseSampleEvery + 5} {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "q\t1\tm%d\ta.example.com\n", i)
+		}
+		var totalLines, calls, parsed int
+		err := ReadEventsObserved(strings.NewReader(b.String()), func(Event) error {
+			parsed++
+			return nil
+		}, func(d time.Duration, lines int) {
+			if d < 0 || lines <= 0 {
+				t.Fatalf("observe(%v, %d)", d, lines)
+			}
+			totalLines += lines
+			calls++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed != n || totalLines != n {
+			t.Fatalf("n=%d: parsed=%d, observed lines=%d — every line must be booked exactly once", n, parsed, totalLines)
+		}
+		wantMax := n/ParseSampleEvery + 2
+		if calls > wantMax {
+			t.Fatalf("n=%d: %d observe calls, want <= %d (sampling broken)", n, calls, wantMax)
+		}
+	}
+
+	// A parse error must not book the failing line.
+	var totalLines int
+	err := ReadEventsObserved(strings.NewReader("q\t1\tm1\ta.example.com\nBROKEN\n"), func(Event) error { return nil },
+		func(d time.Duration, lines int) { totalLines += lines })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+	if totalLines > 1 {
+		t.Fatalf("booked %d lines past a line-2 parse error", totalLines)
+	}
+
+	// Nil observe must behave exactly like ReadEvents.
+	seen := 0
+	if err := ReadEventsObserved(strings.NewReader("q\t1\tm1\ta.example.com\n"), func(Event) error { seen++; return nil }, nil); err != nil || seen != 1 {
+		t.Fatalf("nil observe: seen=%d err=%v", seen, err)
+	}
+}

@@ -100,6 +100,29 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration sample in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveN records n identical samples of v in one pass — the scaling
+// seam for sampled instrumentation (the ingest parse meter times 1-in-N
+// lines and books the sample N times so counts stay in line units).
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(n)
+	} else {
+		h.inf.Add(n)
+	}
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

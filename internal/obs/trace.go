@@ -66,6 +66,12 @@ type TracerConfig struct {
 	// duration in seconds — the hook the daemon feeds its
 	// segugiod_stage_seconds histograms from.
 	OnStage func(stage string, seconds float64)
+	// OnStageN, when non-nil, receives batched stage observations: n
+	// samples of seconds each, booked in one call. Sampled
+	// instrumentation (the ingest parse meter times 1-in-N lines) uses
+	// this so a single timing can stand in for the lines it covers.
+	// When nil, ObserveStageN falls back to calling OnStage n times.
+	OnStageN func(stage string, seconds float64, n int)
 	// Logger receives slow-trace warnings; nil discards them.
 	Logger *slog.Logger
 }
@@ -257,6 +263,28 @@ func (t *Tracer) observeStage(stage string, d time.Duration) {
 		return
 	}
 	t.cfg.OnStage(stage, d.Seconds())
+}
+
+// ObserveStageN feeds the per-stage observer with n samples of d each —
+// the scaled form sampled hot paths use (one measured line standing in
+// for the n lines it covers). Prefers OnStageN; falls back to repeated
+// OnStage calls so observers that only wired the per-sample hook still
+// see exact sample counts.
+func (t *Tracer) ObserveStageN(stage string, d time.Duration, n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	if t.cfg.OnStageN != nil {
+		t.cfg.OnStageN(stage, d.Seconds(), n)
+		return
+	}
+	if t.cfg.OnStage == nil {
+		return
+	}
+	sec := d.Seconds()
+	for i := 0; i < n; i++ {
+		t.cfg.OnStage(stage, sec)
+	}
 }
 
 // record files one completed trace into the flight recorder.

@@ -7,7 +7,9 @@
 # BenchmarkClassifyAllDelta (100k-domain fixture, 10 dirty domains per
 # pass) and fails if allocs/op exceeds the budget below, so an accidental
 # re-introduction of a full-graph rebuild shows up in CI as a hard error
-# rather than a silent slowdown.
+# rather than a silent slowdown. It also gates the segb1 wire format:
+# decode allocation budget, binary-vs-text parse speedup, and the ingest
+# frontend events/s floor (see the wire-format section below).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,3 +46,70 @@ gate() {
 
 gate BenchmarkClassifyAllDelta ./internal/server "$BUDGET"
 gate BenchmarkLBPResidual ./internal/belief "$LBP_BUDGET"
+
+# --- Wire-format gates ------------------------------------------------
+#
+# The segb1 binary framing exists to make the ingest frontend cheap:
+# interned symbols amortise string allocation across a connection, and
+# decode hands out pooled events without per-event copies. Three gates
+# hold that contract:
+#
+#  1. Decode allocation budget. BenchmarkDecodeEventsBinary streams 1M
+#     events through a fresh decoder; steady state is ~19k allocs/op,
+#     all in symbol defines (~0.02 allocs/event). A regression to
+#     per-event allocation would be >=1M allocs/op, so the budget has
+#     wide headroom while still being a hard wall.
+#  2. Parse-layer speedup. Binary decode must stay >=5x faster than
+#     text parse in events/s. The ratio is gated at the parse layer
+#     deliberately: end-to-end daemon throughput is bound by the
+#     format-independent graph-apply backend (BenchmarkIngestApply),
+#     which on small CI machines interleaves into the same cores and
+#     compresses any wire-format ratio measured through it.
+#  3. Frontend throughput floor. BenchmarkIngestBinaryThroughput runs
+#     segb1 frames through auto-detection, decode, sharding, and ring
+#     publish on a fresh ingester; it must sustain >=1M events/s.
+DECODE_ALLOC_BUDGET=${BENCH_DECODE_ALLOC_BUDGET:-100000}
+DECODE_SPEEDUP_FLOOR=${BENCH_DECODE_SPEEDUP_FLOOR:-5}
+INGEST_EVENTS_FLOOR=${BENCH_INGEST_EVENTS_FLOOR:-1000000}
+
+# metric OUTPUT BENCH UNIT -> the value preceding UNIT on BENCH's line.
+metric() {
+    echo "$1" | awk -v b="$2" -v u="$3" \
+        '$0 ~ b {for (i = 2; i <= NF; i++) if ($i == u) print $(i-1)}' | head -n1
+}
+
+wire_out=$(go test -run '^$' -bench 'BenchmarkParseEventText|BenchmarkDecodeEventsBinary' \
+    -benchmem -benchtime 10x ./internal/logio)
+echo "$wire_out"
+decode_allocs=$(metric "$wire_out" BenchmarkDecodeEventsBinary allocs/op)
+decode_rate=$(metric "$wire_out" BenchmarkDecodeEventsBinary events/s)
+text_rate=$(metric "$wire_out" BenchmarkParseEventText events/s)
+if [ -z "$decode_allocs" ] || [ -z "$decode_rate" ] || [ -z "$text_rate" ]; then
+    echo "bench-allocs: could not parse wire-format benchmark output" >&2
+    exit 1
+fi
+if [ "$decode_allocs" -gt "$DECODE_ALLOC_BUDGET" ]; then
+    echo "bench-allocs: BenchmarkDecodeEventsBinary allocated $decode_allocs allocs/op, budget is $DECODE_ALLOC_BUDGET" >&2
+    exit 1
+fi
+echo "bench-allocs: BenchmarkDecodeEventsBinary: $decode_allocs allocs/op within budget $DECODE_ALLOC_BUDGET"
+if ! awk -v r="$decode_rate" -v t="$text_rate" -v f="$DECODE_SPEEDUP_FLOOR" \
+    'BEGIN { exit !(r >= f * t) }'; then
+    echo "bench-allocs: binary decode is only $(awk -v r="$decode_rate" -v t="$text_rate" 'BEGIN { printf "%.2f", r/t }')x text parse ($decode_rate vs $text_rate events/s), floor is ${DECODE_SPEEDUP_FLOOR}x" >&2
+    exit 1
+fi
+echo "bench-allocs: binary decode $(awk -v r="$decode_rate" -v t="$text_rate" 'BEGIN { printf "%.1f", r/t }')x text parse (floor ${DECODE_SPEEDUP_FLOOR}x)"
+
+thr_out=$(go test -run '^$' -bench 'BenchmarkIngestBinaryThroughput$' \
+    -benchmem -benchtime 10x ./internal/ingest)
+echo "$thr_out"
+ingest_rate=$(metric "$thr_out" BenchmarkIngestBinaryThroughput events/s)
+if [ -z "$ingest_rate" ]; then
+    echo "bench-allocs: could not parse events/s from BenchmarkIngestBinaryThroughput output" >&2
+    exit 1
+fi
+if ! awk -v r="$ingest_rate" -v f="$INGEST_EVENTS_FLOOR" 'BEGIN { exit !(r >= f) }'; then
+    echo "bench-allocs: binary ingest frontend sustained $ingest_rate events/s, floor is $INGEST_EVENTS_FLOOR" >&2
+    exit 1
+fi
+echo "bench-allocs: binary ingest frontend $ingest_rate events/s (floor $INGEST_EVENTS_FLOOR)"
