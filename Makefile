@@ -39,6 +39,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -o BENCH_classify.json
 	$(GO) test -bench 'BenchmarkLBP' -benchmem -count=5 -run '^$$' ./internal/belief \
 		| $(GO) run ./cmd/benchjson -o BENCH_lbp.json
+	$(GO) test -bench . -benchmem -count=5 -run '^$$' ./internal/tsdb \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json
 
 # bench-allocs is the CI allocation gate: fails when the steady-state
 # delta classify pass allocates more than its fixed budget (see

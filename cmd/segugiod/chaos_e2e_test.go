@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -476,5 +477,167 @@ func TestDaemonChaosKillUnderOverload(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("recovered daemon did not shut down")
+	}
+}
+
+// TestDaemonChaosFreshnessSLOBurn drives the watermark -> tsdb -> SLO
+// pipeline through a full incident: graph apply is wedged while the
+// event stream advances a day, the freshness objective's fast and slow
+// windows both burn past threshold, the planted health signal flips
+// /readyz to 503 and lands in the audit trail, and releasing the stall
+// resolves the objective and recovers the daemon.
+func TestDaemonChaosFreshnessSLOBurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test")
+	}
+	sloPath := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(sloPath, []byte(`{
+		"interval": "50ms",
+		"objectives": [{
+			"name": "graph_freshness",
+			"type": "freshness",
+			"metric": "segugiod_watermark_lag_seconds",
+			"labels": "{stage=\"graph_apply\",source=\"stream\"}",
+			"target": 0.25,
+			"budget": 0.05,
+			"fastWindow": "500ms",
+			"slowWindow": "1s",
+			"severity": "overloaded"
+		}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	applyGate := &faultinject.Gate{}
+	defer applyGate.Release() // never leave shutdown wedged
+	logBuf := &logBuffer{}
+	logger, err := obs.NewLogger(logBuf, obs.FormatText, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDaemon(options{
+		listen:        "127.0.0.1:0",
+		events:        "tcp://127.0.0.1:0",
+		network:       "chaos",
+		startDay:      e2eDay,
+		workers:       2,
+		queue:         1024,
+		window:        14,
+		keepDays:      30,
+		statsInterval: 25 * time.Millisecond,
+		sloConfig:     sloPath,
+		applyHook:     func() { applyGate.Wait(context.Background()) },
+	}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx, nil) }()
+	base := "http://" + d.httpLn.Addr().String()
+	eventsAddr := d.eventsLn.Addr().String()
+
+	// ---- Phase 1: healthy baseline on day 42. ----
+	baseline := floodEvents(200, false)
+	streamEvents(t, eventsAddr, baseline)
+	pollMetric(t, base, "segugiod_ingest_events_total", func(v float64) bool { return v == 200 })
+	pollHealth(t, base, "healthy")
+	if v, ok := metricValue(t, base, `segugiod_slo_firing{objective="graph_freshness"}`); !ok || v != 0 {
+		t.Fatalf("baseline slo_firing = %v (present=%v), want 0", v, ok)
+	}
+
+	// ---- Phase 2: wedge graph apply, advance the event-day frontier. ----
+	applyGate.Arm()
+	next := make([]logio.Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		next = append(next, logio.Event{
+			Kind: logio.EventQuery, Day: e2eDay + 1,
+			Machine: fmt.Sprintf("s%03d", i), Domain: "late.flood.net",
+		})
+	}
+	streamEvents(t, eventsAddr, next)
+
+	// The stalled stage's lag exceeds the 0.25s target, both burn windows
+	// fill with bad samples, and the objective fires at severity
+	// overloaded: readyz flips, the gauge reports the firing objective.
+	pollHealth(t, base, "overloaded")
+	h := getHealth(t, base)
+	foundSignal := false
+	for _, sig := range h.Signals {
+		if sig.Name == "slo_graph_freshness" && sig.State == "overloaded" {
+			foundSignal = true
+		}
+	}
+	if !foundSignal {
+		t.Fatalf("no slo_graph_freshness signal while burning: %+v", h.Signals)
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("burning readyz: %d, want 503", resp.StatusCode)
+	}
+	pollMetric(t, base, `segugiod_slo_firing{objective="graph_freshness"}`,
+		func(v float64) bool { return v == 1 })
+	if v, ok := metricValue(t, base, `segugiod_slo_burn_rate{objective="graph_freshness",window="fast"}`); !ok || v < 1 {
+		t.Fatalf("fast burn = %v (present=%v), want >= 1", v, ok)
+	}
+
+	// ---- Phase 3: release, drain, resolve, recover. ----
+	applyGate.Release()
+	pollMetric(t, base, "segugiod_ingest_events_total", func(v float64) bool { return v == 264 })
+	pollHealth(t, base, "healthy")
+	pollMetric(t, base, `segugiod_slo_firing{objective="graph_freshness"}`,
+		func(v float64) bool { return v == 0 })
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered readyz: %d", resp.StatusCode)
+	}
+
+	// ---- Both edges of the incident are audited. ----
+	resp, err = http.Get(base + "/v1/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var audit struct {
+		Records []obs.AuditRecord `json:"records"`
+	}
+	if err := json.Unmarshal(body, &audit); err != nil {
+		t.Fatalf("audit: bad JSON %q: %v", body, err)
+	}
+	var fired, resolved bool
+	for _, rec := range audit.Records {
+		if rec.Reason != obs.ReasonSLOBreach {
+			continue
+		}
+		if strings.Contains(rec.Note, "graph_freshness firing") {
+			fired = true
+		}
+		if strings.Contains(rec.Note, "graph_freshness resolved") {
+			resolved = true
+		}
+	}
+	if !fired || !resolved {
+		t.Fatalf("audit trail lacks the SLO incident (fired=%v resolved=%v):\n%s",
+			fired, resolved, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down; log:\n%s", logBuf.String())
 	}
 }

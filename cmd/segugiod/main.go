@@ -50,6 +50,7 @@ import (
 
 	"segugio/internal/activity"
 	"segugio/internal/belief"
+	"segugio/internal/core"
 	"segugio/internal/detector"
 	"segugio/internal/dnsutil"
 	"segugio/internal/graph"
@@ -61,7 +62,9 @@ import (
 	"segugio/internal/obs"
 	"segugio/internal/pdns"
 	"segugio/internal/server"
+	"segugio/internal/slo"
 	"segugio/internal/tracker"
+	"segugio/internal/tsdb"
 	"segugio/internal/wal"
 )
 
@@ -109,10 +112,12 @@ type options struct {
 	maxInflight    int
 	memWatermarkMB int
 
-	// Test seams (not flags): passHook stalls classify passes and
-	// walHooks injects WAL faults — the chaos harness wires them.
-	passHook func(context.Context)
-	walHooks *wal.Hooks
+	// Test seams (not flags): passHook stalls classify passes, applyHook
+	// stalls graph apply batches, and walHooks injects WAL faults — the
+	// chaos harness wires them.
+	passHook  func(context.Context)
+	applyHook func()
+	walHooks  *wal.Hooks
 
 	// Observability knobs: structured-log shape, flight-recorder sizing,
 	// and the slow-trace alert threshold.
@@ -121,6 +126,13 @@ type options struct {
 	slowTrace time.Duration
 	traceRing int
 	auditRing int
+
+	// Freshness-telemetry knobs: the embedded stats store's scrape
+	// cadence and retention, and an optional SLO objectives file whose
+	// burn-rate evaluator feeds the health state machine.
+	statsInterval  time.Duration
+	statsRetention time.Duration
+	sloConfig      string
 
 	// Detector-plugin knobs: which plugins the classify pass drives, the
 	// LBP engine's tuning, and an optional JSON file layered over the
@@ -165,6 +177,9 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&opts.slowTrace, "slow-trace", time.Second, "log pipeline traces slower than this (0 = never)")
 	fs.IntVar(&opts.traceRing, "trace-ring", 32, "traces kept in each flight-recorder ring (most recent and slowest)")
 	fs.IntVar(&opts.auditRing, "audit-ring", 1024, "detection audit records kept in memory for /v1/audit")
+	fs.DurationVar(&opts.statsInterval, "stats-interval", 5*time.Second, "self-scrape cadence of the embedded time-series store behind /v1/stats/query")
+	fs.DurationVar(&opts.statsRetention, "stats-retention", time.Hour, "how far back the embedded time-series store holds samples")
+	fs.StringVar(&opts.sloConfig, "slo-config", "", "JSON SLO objectives file; burn-rate breaches feed the health state machine (empty: disabled)")
 	fs.StringVar(&opts.detectors, "detectors", "forest",
 		`comma-separated detector plugins driven by the classify pass (e.g. "forest,lbp")`)
 	fs.StringVar(&opts.detectorConfig, "detector-config", "",
@@ -263,14 +278,17 @@ type daemon struct {
 	logger *slog.Logger
 	log    *slog.Logger
 
-	reg    *metrics.Registry
-	tracer *obs.Tracer
-	audit  *obs.AuditLog
-	health *health.Tracker
-	ing    *ingest.Ingester
-	srv    *server.Server
-	handle *server.DetectorHandle
-	trk    *tracker.Tracker
+	reg     *metrics.Registry
+	tracer  *obs.Tracer
+	audit   *obs.AuditLog
+	health  *health.Tracker
+	wm      *obs.Watermarks
+	stats   *tsdb.Store
+	sloEval *slo.Evaluator
+	ing     *ingest.Ingester
+	srv     *server.Server
+	handle  *server.DetectorHandle
+	trk     *tracker.Tracker
 
 	httpLn   net.Listener
 	eventsLn net.Listener // non-nil only for tcp:// sources
@@ -393,6 +411,41 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 		"Daemon health state machine: 0 healthy, 1 degraded, 2 overloaded.", "",
 		func() float64 { return float64(d.health.State()) })
 
+	// Event-time watermarks: every source advances a day frontier at
+	// dispatch and each downstream stage acks the days it completes; the
+	// gauges render how long each stage has been behind its frontier.
+	d.wm = obs.NewWatermarks()
+	d.wm.Register(obs.WatermarkScoreCache, obs.WatermarkSourceAll)
+	d.reg.NewGaugeVecFunc("segugiod_watermark_lag_seconds",
+		"Seconds each pipeline stage has been behind its source's event-day frontier (0: caught up), by stage and source.",
+		func() []metrics.LabeledValue {
+			marks := d.wm.Marks()
+			out := make([]metrics.LabeledValue, 0, len(marks))
+			for _, m := range marks {
+				out = append(out, metrics.LabeledValue{
+					Labels: metrics.Labels("stage", m.Stage, "source", m.Source),
+					Value:  m.LagSeconds,
+				})
+			}
+			return out
+		})
+	d.reg.NewGaugeVecFunc("segugiod_watermark_day",
+		"Last event day acknowledged per pipeline stage (ingest rows carry the source frontier), by stage and source.",
+		func() []metrics.LabeledValue {
+			marks := d.wm.Marks()
+			out := make([]metrics.LabeledValue, 0, len(marks))
+			for _, m := range marks {
+				if !m.HasDay {
+					continue
+				}
+				out = append(out, metrics.LabeledValue{
+					Labels: metrics.Labels("stage", m.Stage, "source", m.Source),
+					Value:  float64(m.Day),
+				})
+			}
+			return out
+		})
+
 	ingMetrics := &ingest.Metrics{
 		EventsIngested: d.reg.NewCounter("segugiod_ingest_events_total",
 			"Events applied to the live graph.", ""),
@@ -450,6 +503,8 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 		Health:     d.health,
 		ShedPolicy: opts.shedPolicy,
 		BinaryWAL:  opts.walBinary,
+		Watermarks: d.wm,
+		ApplyHook:  opts.applyHook,
 	}
 	if opts.stateDir == "" {
 		d.ing = ingest.New(ingCfg)
@@ -512,6 +567,54 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 		d.ing.Shutdown()
 		return nil, fmt.Errorf("detector tuning: %w", err)
 	}
+	// The embedded stats store self-scrapes the registry (run drives the
+	// cadence); it must exist before the SLO evaluator that queries it.
+	d.stats = tsdb.New(tsdb.Config{
+		Registry:  d.reg,
+		Interval:  opts.statsInterval,
+		Retention: opts.statsRetention,
+	})
+	if opts.sloConfig != "" {
+		sloCfg, err := slo.Load(opts.sloConfig)
+		if err != nil {
+			d.ing.Shutdown()
+			return nil, fmt.Errorf("slo config %s: %w", opts.sloConfig, err)
+		}
+		d.sloEval = slo.NewEvaluator(sloCfg, slo.EvaluatorConfig{
+			Store:  d.stats,
+			Health: d.health,
+			Audit:  d.audit,
+			Day:    d.ing.Day,
+			Logger: obs.Component(logger, "slo"),
+		})
+		d.reg.NewGaugeVecFunc("segugiod_slo_burn_rate",
+			"Error-budget burn rate per SLO objective and window (>= the threshold in both windows fires the objective).",
+			func() []metrics.LabeledValue {
+				burns := d.sloEval.Burns()
+				out := make([]metrics.LabeledValue, 0, len(burns))
+				for _, b := range burns {
+					out = append(out, metrics.LabeledValue{
+						Labels: metrics.Labels("objective", b.Objective, "window", b.Window),
+						Value:  b.Value,
+					})
+				}
+				return out
+			})
+		d.reg.NewGaugeVecFunc("segugiod_slo_firing",
+			"Whether each SLO objective is currently firing (1) or within budget (0).",
+			func() []metrics.LabeledValue {
+				firing := d.sloEval.Firing()
+				out := make([]metrics.LabeledValue, 0, len(firing))
+				for _, f := range firing {
+					out = append(out, metrics.LabeledValue{
+						Labels: metrics.Labels("objective", f.Objective),
+						Value:  f.Value,
+					})
+				}
+				return out
+			})
+	}
+
 	d.trk = tracker.New()
 	d.srv = server.New(server.Config{
 		Graphs:       d.ing,
@@ -533,6 +636,8 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 		MaxInflight:  opts.maxInflight,
 		Health:       d.health,
 		PassHook:     opts.passHook,
+		Stats:        d.stats,
+		Watermarks:   d.wm,
 	})
 
 	d.httpLn, err = net.Listen("tcp", opts.listen)
@@ -754,6 +859,47 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 		}()
 	}
 
+	// Embedded stats store: self-scrape the registry on the configured
+	// cadence so /v1/stats/query can answer windowed rate/quantile
+	// queries over the daemon's own metrics.
+	if d.stats != nil && d.opts.statsInterval > 0 {
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			tick := time.NewTicker(d.opts.statsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-srcCtx.Done():
+					return
+				case <-tick.C:
+				}
+				d.stats.Scrape()
+			}
+		}()
+	}
+
+	// SLO burn-rate evaluator: each pass re-derives every objective's
+	// fast/slow-window burn from the stats store and feeds TTL'd signals
+	// into the health state machine (the TTL outlives one interval, so a
+	// dead evaluator auto-recovers to healthy).
+	if d.sloEval != nil {
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			tick := time.NewTicker(d.sloEval.Interval())
+			defer tick.Stop()
+			for {
+				select {
+				case <-srcCtx.Done():
+					return
+				case <-tick.C:
+				}
+				d.sloEval.EvalOnce()
+			}
+		}()
+	}
+
 	// SIGHUP: hot-reload the detector without restarting.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
@@ -795,10 +941,14 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	}
 
 	// Leave a post-mortem trail behind: flush and seal the audit log, and
-	// snapshot the flight recorder next to the rest of the durable state.
+	// snapshot the flight recorder and the stats store next to the rest
+	// of the durable state.
 	if d.opts.stateDir != "" {
 		if err := d.writeTraceSnapshot(); err != nil {
 			d.log.Warn("trace snapshot failed", "err", err)
+		}
+		if err := d.writeStatsSnapshot(); err != nil {
+			d.log.Warn("stats snapshot failed", "err", err)
 		}
 	}
 	if err := d.audit.Close(); err != nil {
@@ -810,18 +960,29 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 
 // writeTraceSnapshot dumps the flight recorder to state/traces.json so a
 // graceful stop preserves the recent and slowest traces for post-mortem
-// inspection. The write is atomic (tmp + rename) like the checkpoints.
+// inspection. core.WriteAtomic gives the same torn-write guarantees as
+// the checkpoints: fsynced temp file renamed into place.
 func (d *daemon) writeTraceSnapshot() error {
-	data, err := json.MarshalIndent(d.tracer.Dump(), "", "  ")
-	if err != nil {
-		return err
+	return writeJSONSnapshot(filepath.Join(d.opts.stateDir, "traces.json"), d.tracer.Dump())
+}
+
+// writeStatsSnapshot dumps the embedded time-series store to
+// state/stats.json, so the freshness and latency history leading up to a
+// stop survives for post-mortem queries.
+func (d *daemon) writeStatsSnapshot() error {
+	if d.stats == nil {
+		return nil
 	}
-	path := filepath.Join(d.opts.stateDir, "traces.json")
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return writeJSONSnapshot(filepath.Join(d.opts.stateDir, "stats.json"), d.stats.Dump())
+}
+
+// writeJSONSnapshot atomically writes v as indented JSON.
+func writeJSONSnapshot(path string, v any) error {
+	return core.WriteAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
 }
 
 // supervisorConfig builds the restart policy shared by the daemon's

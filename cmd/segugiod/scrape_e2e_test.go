@@ -5,6 +5,8 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -27,6 +29,16 @@ func TestMetricsScrapeLints(t *testing.T) {
 	dir := t.TempDir()
 	bl, wl := writeIntel(t, dir)
 	model := trainModel(t, dir, bl, wl)
+	sloPath := filepath.Join(dir, "slo.json")
+	if err := os.WriteFile(sloPath, []byte(`{"objectives": [{
+		"name": "graph_freshness",
+		"type": "freshness",
+		"metric": "segugiod_watermark_lag_seconds",
+		"labels": "{stage=\"graph_apply\",source=\"stream\"}",
+		"target": 3600
+	}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	var stream bytes.Buffer
 	for _, e := range genEvents() {
@@ -51,8 +63,10 @@ func TestMetricsScrapeLints(t *testing.T) {
 		keepDays:     30,
 		stateDir:     t.TempDir(),
 		ckptInterval: 50 * time.Millisecond,
-		walSyncEvery: 1,
-		detectors:    "forest,lbp",
+		walSyncEvery:  1,
+		detectors:     "forest,lbp",
+		statsInterval: 50 * time.Millisecond,
+		sloConfig:     sloPath,
 	}, logger)
 	if err != nil {
 		t.Fatal(err)
@@ -134,6 +148,12 @@ func TestMetricsScrapeLints(t *testing.T) {
 		"segugiod_pass_deadline_exceeded_total",
 		`segugiod_http_rejected_total{code="429"}`,
 		`segugiod_http_rejected_total{code="503"}`,
+		`segugiod_watermark_lag_seconds{stage="graph_apply",source="stream"}`,
+		`segugiod_watermark_lag_seconds{stage="score_cache",source="all"}`,
+		`segugiod_watermark_day{stage="graph_apply",source="stream"}`,
+		`segugiod_slo_burn_rate{objective="graph_freshness",window="fast"}`,
+		`segugiod_slo_burn_rate{objective="graph_freshness",window="slow"}`,
+		`segugiod_slo_firing{objective="graph_freshness"}`,
 	} {
 		if !bytes.Contains(raw, []byte(want)) {
 			t.Fatalf("scrape lacks %s:\n%s", want, raw)

@@ -87,6 +87,22 @@ func (l *Log) E2LDStreak(e2ld string, endDay int) int {
 	return streak(l.e2lds[e2ld], endDay)
 }
 
+// FirstSeenDay returns the earliest recorded activity day for domain.
+// ok is false when the domain has no recorded activity. Because Trim
+// drops days outside the look-back window, this is the first *retained*
+// day — exact for domains younger than the retention horizon (the case
+// detection-freshness audit records care about: new detections are by
+// construction recent arrivals), a lower bound on age otherwise.
+func (l *Log) FirstSeenDay(domain string) (day int, ok bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	days := l.domains[domain]
+	if len(days) == 0 {
+		return 0, false
+	}
+	return days[0], true
+}
+
 // Domains reports the number of distinct tracked domains.
 func (l *Log) Domains() int {
 	l.mu.RLock()

@@ -166,6 +166,17 @@ type Config struct {
 	//	ShedDropOldest evict the oldest queued event to admit the newest
 	//	ShedSample     admit 1 in shedSampleKeep events, shed the rest
 	ShedPolicy string
+	// Watermarks, when non-nil, receives event-time freshness marks:
+	// every source advances its day frontier at dispatch (before any
+	// shedding, so a dropped event still counts as observed input), and
+	// the wal_append / graph_apply / snapshot stages acknowledge the
+	// event days they complete. A nil Watermarks costs one predictable
+	// branch per event.
+	Watermarks *obs.Watermarks
+	// ApplyHook, when non-nil, runs at the start of every apply batch on
+	// the worker goroutine — the test seam the chaos harness uses to
+	// stall graph apply and burn the freshness SLO.
+	ApplyHook func()
 
 	// Durability wiring, set by OpenDurable: a restored builder to resume
 	// from, the graph version it was checkpointed at, and the open WAL
@@ -256,6 +267,10 @@ type Ingester struct {
 	walBuf  bytes.Buffer
 	walLine bytes.Buffer         // scratch for one encoded event line (text WAL)
 	walEnc  *logio.EventEncoder // binary WAL record encoder (BinaryWAL only)
+	// walBatchErr records a WAL append failure inside the current apply
+	// batch so the wal_append watermark holds back (guarded by mu; reset
+	// at the top of each applyLocked).
+	walBatchErr bool
 
 	// Durability plumbing (nil/zero without OpenDurable).
 	wal     *wal.Log
@@ -391,6 +406,11 @@ func New(cfg Config) *Ingester {
 	if in.m.GraphObservations != nil {
 		in.m.GraphObservations.SetInt(int64(in.builder.NumObservations()))
 	}
+	if cfg.Watermarks != nil {
+		// The snapshot stage trails the merged stream, so it is measured
+		// against the max frontier across all sources.
+		cfg.Watermarks.Register(obs.WatermarkSnapshot, obs.WatermarkSourceAll)
+	}
 	if cfg.durable != nil {
 		in.durStop = make(chan struct{})
 		in.durWG.Add(1)
@@ -426,18 +446,31 @@ type eventSource struct {
 	in    *Ingester
 	rings []*eventRing
 	pend  [][]logio.Event
+	// wm is the source's watermark frontier (nil when watermarks are
+	// off); advanced on every dispatch.
+	wm *obs.SourceMark
 }
 
-// newSource attaches a fresh source to every shard.
-func (in *Ingester) newSource() *eventSource {
+// newSource attaches a fresh source to every shard. name labels the
+// source kind ("stream", "binary", "tail", "tracedns") for watermark
+// attribution; parallel connections of one kind share a frontier.
+func (in *Ingester) newSource(name string) *eventSource {
 	s := &eventSource{
 		in:    in,
 		rings: make([]*eventRing, in.cfg.Workers),
 		pend:  make([][]logio.Event, in.cfg.Workers),
 	}
+	if wm := in.cfg.Watermarks; wm != nil {
+		s.wm = wm.Source(name)
+		wm.Register(obs.WatermarkGraphApply, name)
+		if in.wal != nil {
+			wm.Register(obs.WatermarkWALAppend, name)
+		}
+	}
 	in.ringMu.Lock()
 	for i := range s.rings {
 		s.rings[i] = newEventRing(in.cfg.QueueDepth)
+		s.rings[i].source = name
 		cur := *in.shardRings[i].Load()
 		next := make([]*eventRing, 0, len(cur)+1)
 		next = append(append(next, cur...), s.rings[i])
@@ -543,15 +576,19 @@ func (in *Ingester) Consume(r io.Reader) error {
 		return ErrShuttingDown
 	default:
 	}
-	src := in.newSource()
-	defer src.close()
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 64<<10)
 	}
+	// Sniff before attaching the source so the watermark frontier is
+	// attributed to the right source kind from the first event.
 	if sniff, _ := br.Peek(len(logio.BinaryMagic)); string(sniff) == logio.BinaryMagic {
+		src := in.newSource("binary")
+		defer src.close()
 		return in.consumeBinary(br, src)
 	}
+	src := in.newSource("stream")
+	defer src.close()
 	return in.consumeText(br, src)
 }
 
@@ -629,6 +666,7 @@ func (s *eventSource) shardOf(e logio.Event) int {
 // dispatch routes one event to its shard ring. The fast path is a
 // lock-free publish; a full ring falls through to the shed policy.
 func (s *eventSource) dispatch(e logio.Event) {
+	s.wm.Advance(e.Day)
 	shard := s.shardOf(e)
 	if ok, wasEmpty := s.rings[shard].publish1(e); ok {
 		if wasEmpty {
@@ -646,6 +684,7 @@ const dispatchBatchSize = 256
 // dispatchBatched stages one event for batch publication; the batch
 // flushes when full or at the next frame boundary.
 func (s *eventSource) dispatchBatched(e logio.Event) {
+	s.wm.Advance(e.Day)
 	shard := s.shardOf(e)
 	s.pend[shard] = append(s.pend[shard], e)
 	if len(s.pend[shard]) >= dispatchBatchSize {
@@ -836,7 +875,7 @@ func (in *Ingester) sweepShard(shard int, buf []logio.Event) (handled int) {
 			if n == 0 {
 				break
 			}
-			in.apply(buf[:n])
+			in.apply(buf[:n], r.source)
 			handled += n
 		}
 		if r.isClosed() && r.empty() {
@@ -865,16 +904,36 @@ const walFlushBytes = 256 << 10
 
 // apply folds a batch of events into the live epoch, rotating when a
 // later day appears. Each batch is one graph_apply trace; the WAL
-// flushes inside it appear as wal_append child spans.
-func (in *Ingester) apply(batch []logio.Event) {
+// flushes inside it appear as wal_append child spans. source names the
+// producer kind the batch came from, for watermark attribution.
+func (in *Ingester) apply(batch []logio.Event, source string) {
+	if in.cfg.ApplyHook != nil {
+		in.cfg.ApplyHook()
+	}
 	_, span := in.cfg.Tracer.StartSpan(context.Background(), obs.StageGraphApply)
-	rotations, applied, machines, domains, observations := in.applyLocked(batch, span)
+	rotations, applied, machines, domains, observations, walOK := in.applyLocked(batch, span)
 	span.SetAttr("events", len(batch))
 	span.SetAttr("applied", applied)
 	if len(rotations) > 0 {
 		span.SetAttr("rotations", len(rotations))
 	}
 	span.End()
+
+	if wm := in.cfg.Watermarks; wm != nil {
+		maxDay := batch[0].Day
+		for _, e := range batch[1:] {
+			if e.Day > maxDay {
+				maxDay = e.Day
+			}
+		}
+		wm.Ack(obs.WatermarkGraphApply, source, maxDay)
+		// The WAL ack only advances when every flush in the batch landed;
+		// a failed append leaves the wal_append watermark behind, which is
+		// exactly the durability lag the gauge should show.
+		if in.wal != nil && walOK {
+			wm.Ack(obs.WatermarkWALAppend, source, maxDay)
+		}
+	}
 
 	addN(in.m.EventsIngested, applied)
 	if in.m.GraphMachines != nil {
@@ -900,11 +959,13 @@ func (in *Ingester) apply(batch []logio.Event) {
 
 // applyLocked is apply's critical section. The unlock is deferred so a
 // panic inside a builder append or activity mark cannot leave the
-// ingest mutex held when the worker's recovery kicks in.
-func (in *Ingester) applyLocked(batch []logio.Event, span *obs.Span) (rotations []rotation, applied int64, machines, domains, observations int) {
+// ingest mutex held when the worker's recovery kicks in. walOK reports
+// whether every WAL append the batch triggered succeeded.
+func (in *Ingester) applyLocked(batch []logio.Event, span *obs.Span) (rotations []rotation, applied int64, machines, domains, observations int, walOK bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.walBuf.Reset()
+	in.walBatchErr = false
 	for _, e := range batch {
 		switch {
 		case e.Day < in.day:
@@ -952,7 +1013,7 @@ func (in *Ingester) applyLocked(batch []logio.Event, span *obs.Span) (rotations 
 		in.version++
 	}
 	machines, domains, observations = in.builder.NumMachines(), in.builder.NumDomains(), in.builder.NumObservations()
-	return rotations, applied, machines, domains, observations
+	return rotations, applied, machines, domains, observations, !in.walBatchErr
 }
 
 // appendWALLocked stages one event into the WAL record being built, in
@@ -972,6 +1033,7 @@ func (in *Ingester) appendWALLocked(e logio.Event, span *obs.Span) {
 			// An event too large for one frame cannot be made durable;
 			// count it like any other failed append and keep serving.
 			inc(in.m.WALAppendFailures)
+			in.walBatchErr = true
 			return
 		}
 		// Worst case here is walFlushBytes plus one maximum-size frame,
@@ -1016,6 +1078,7 @@ func (in *Ingester) flushWALLocked(span *obs.Span) {
 	took := time.Since(start)
 	if err != nil {
 		inc(in.m.WALAppendFailures)
+		in.walBatchErr = true
 		if h := in.cfg.Health; h != nil {
 			h.SetFor(healthSignalWAL, health.Degraded,
 				fmt.Sprintf("wal append failed: %v", err), walFaultTTL)
@@ -1055,6 +1118,7 @@ func (in *Ingester) Snapshot() (*graph.Graph, uint64) {
 	v, day := in.version, in.day
 	if in.snap != nil && v == in.snapVersion && day == in.snapDay {
 		in.mu.Unlock()
+		in.cfg.Watermarks.Ack(obs.WatermarkSnapshot, obs.WatermarkSourceAll, day)
 		return in.snap, v
 	}
 	start := time.Now()
@@ -1075,6 +1139,7 @@ func (in *Ingester) Snapshot() (*graph.Graph, uint64) {
 		in.m.SnapshotSeconds.Observe(time.Since(start).Seconds())
 	}
 	in.snap, in.snapVersion, in.snapDay = g, v, day
+	in.cfg.Watermarks.Ack(obs.WatermarkSnapshot, obs.WatermarkSourceAll, day)
 	return g, v
 }
 
@@ -1204,7 +1269,7 @@ func (in *Ingester) NewTailer(path string, interval time.Duration) *Tailer {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
-	return &Tailer{in: in, src: in.newSource(), path: path, interval: interval, meter: newParseMeter(in.cfg.Tracer, "tail")}
+	return &Tailer{in: in, src: in.newSource("tail"), path: path, interval: interval, meter: newParseMeter(in.cfg.Tracer, "tail")}
 }
 
 // errFileChanged signals that the tailed path was rotated (new inode) or

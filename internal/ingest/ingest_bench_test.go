@@ -50,7 +50,7 @@ func BenchmarkIngestApply(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in.apply(batches[i%len(batches)])
+		in.apply(batches[i%len(batches)], "bench")
 	}
 	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "events/s")
 }
@@ -67,7 +67,7 @@ func BenchmarkIngestApplyWithSnapshots(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in.apply(batches[i%len(batches)])
+		in.apply(batches[i%len(batches)], "bench")
 		if i%16 == 15 {
 			in.Snapshot()
 		}

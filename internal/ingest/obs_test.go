@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"segugio/internal/logio"
 	"segugio/internal/obs"
 )
 
@@ -84,4 +85,56 @@ func TestParseMeterChunks(t *testing.T) {
 	// A nil meter (tracing off) must be inert.
 	var nilMeter *parseMeter
 	nilMeter.flush()
+}
+
+// TestTailerSampledParseMetering verifies the tailer's 1-in-N parse
+// sampling books exact line counts: every parsed line is accounted for
+// through ObserveStageN, while the clock is consulted only about
+// lines/ParseSampleEvery times.
+func TestTailerSampledParseMetering(t *testing.T) {
+	var mu sync.Mutex
+	var calls, booked int
+	tr := obs.NewTracer(obs.TracerConfig{RingSize: 8, OnStageN: func(stage string, sec float64, n int) {
+		if stage != obs.StageParse {
+			return
+		}
+		mu.Lock()
+		calls++
+		booked += n
+		mu.Unlock()
+	}})
+	m, _ := newMetrics()
+	in := New(Config{Network: "net", StartDay: 1, Workers: 1, Tracer: tr, Metrics: m})
+	defer in.Shutdown()
+	tl := in.NewTailer(t.TempDir()+"/unused.log", time.Second)
+
+	const lines = 3*logio.ParseSampleEvery + 5 // 101
+	for i := 0; i < lines; i++ {
+		tl.processLine([]byte("q\t1\tm1\ta.example.com"))
+	}
+	// Blank lines and comments are skipped before metering.
+	tl.processLine([]byte("   "))
+	tl.processLine([]byte("# comment"))
+	tl.flushMeter()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if booked != lines {
+		t.Fatalf("booked %d parse samples, want exactly %d", booked, lines)
+	}
+	// 1 first-line sample + 3 full groups + 1 flush of the remainder.
+	if want := lines/logio.ParseSampleEvery + 2; calls > want {
+		t.Fatalf("meter calls = %d, want <= %d (sampled 1-in-%d)",
+			calls, want, logio.ParseSampleEvery)
+	}
+
+	// A malformed line counts a parse error and books nothing extra.
+	tl.processLine([]byte("not an event line"))
+	tl.flushMeter()
+	if booked != lines {
+		t.Fatalf("malformed line changed booked count to %d", booked)
+	}
+	if got := m.ParseErrors.Value(); got == 0 {
+		t.Fatal("malformed line did not count a parse error")
+	}
 }

@@ -28,6 +28,10 @@ import (
 type eventRing struct {
 	buf  []logio.Event // len is a power of two
 	mask uint64
+	// source names the producer kind that owns this ring; the consumer
+	// uses it to attribute watermark acks. Set once at attach, read-only
+	// afterwards.
+	source string
 
 	_    [64]byte
 	head atomic.Uint64 // next slot to consume; consumer-owned

@@ -140,7 +140,7 @@ func (in *Ingester) ConsumeTraceDNS(r io.Reader) error {
 		return ErrShuttingDown
 	default:
 	}
-	src := in.newSource()
+	src := in.newSource("tracedns")
 	defer src.close()
 	p := &traceDNSParser{in: in}
 	sc := bufio.NewScanner(r)

@@ -237,7 +237,11 @@ func parseSample(line string) (name, labels, value string, ok bool) {
 }
 
 // parseLabels splits `k="v",k2="v2"` respecting escaped quotes inside
-// values.
+// values. Only the escape sequences the exposition format defines for
+// label values are accepted — `\\`, `\"`, and `\n` — so an emitter that
+// leaks a raw backslash (e.g. from %q on a control character, which Go
+// renders as `\x00`-style escapes Prometheus does not understand) is a
+// lint failure rather than a silently mis-decoded value.
 func parseLabels(s string) (map[string]string, error) {
 	out := map[string]string{}
 	for s != "" {
@@ -258,9 +262,21 @@ func parseLabels(s string) (map[string]string, error) {
 		closed := false
 		for i := 0; i < len(s); i++ {
 			c := s[i]
-			if c == '\\' && i+1 < len(s) {
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in value for %q", key)
+				}
 				i++
-				val.WriteByte(s[i])
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("invalid escape \\%c in value for %q", s[i], key)
+				}
 				continue
 			}
 			if c == '"' {

@@ -136,3 +136,31 @@ func TestLintLabelParsing(t *testing.T) {
 		t.Fatal("invalid label name accepted")
 	}
 }
+
+func TestLintLabelEscapes(t *testing.T) {
+	// The three escapes the exposition format defines must round-trip.
+	labels, err := parseLabels(`a="back\\slash",b="quo\"te",c="new\nline"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["a"] != `back\slash` || labels["b"] != `quo"te` || labels["c"] != "new\nline" {
+		t.Fatalf("labels = %q", labels)
+	}
+	// Anything else is a violation, not a silent pass-through.
+	for _, bad := range []string{`a="\t"`, `a="\x00"`, `a="dangling\`} {
+		if _, err := parseLabels(bad); err == nil {
+			t.Fatalf("invalid escape accepted: %s", bad)
+		}
+	}
+	// End to end: a sample line with a bad escape fails Lint.
+	doc := "# HELP m M.\n# TYPE m gauge\n" + `m{x="\t"} 1` + "\n"
+	found := false
+	for _, e := range lintErrs(t, doc) {
+		if strings.Contains(e, "invalid escape") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lint accepted invalid escape: %v", lintErrs(t, doc))
+	}
+}

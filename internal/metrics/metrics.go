@@ -57,6 +57,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // NewHistogram; observation is lock-free.
 type Histogram struct {
 	bounds  []float64 // sorted upper bounds, not including +Inf
+	les     []string  // bounds pre-rendered for exposition/sampling
 	counts  []atomic.Int64
 	inf     atomic.Int64
 	count   atomic.Int64
@@ -68,7 +69,11 @@ type Histogram struct {
 func NewHistogram(bounds ...float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+	les := make([]string, len(b))
+	for i, bound := range b {
+		les[i] = formatValue(bound)
+	}
+	return &Histogram{bounds: b, les: les, counts: make([]atomic.Int64, len(b))}
 }
 
 // DefBuckets are latency bounds in seconds suited to request handling,
@@ -77,8 +82,18 @@ func DefBuckets() []float64 {
 	return []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN samples are dropped (they would
+// poison the sum and land in +Inf via SearchFloat64s, silently skewing
+// quantiles) and negative samples clamp to zero (durations can come out
+// negative under clock steps; a negative sum breaks the exposition-lint
+// invariant that histogram sums of latency metrics are non-negative).
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
 	// Buckets are cumulative at exposition time; record into the first
 	// bucket whose bound holds the sample, or the +Inf overflow.
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -104,8 +119,11 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 // seam for sampled instrumentation (the ingest parse meter times 1-in-N
 // lines and books the sample N times so counts stay in line units).
 func (h *Histogram) ObserveN(v float64, n int64) {
-	if n <= 0 {
+	if n <= 0 || math.IsNaN(v) {
 		return
+	}
+	if v < 0 {
+		v = 0
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	if i < len(h.bounds) {
@@ -129,6 +147,15 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// LabeledValue is one (label set, value) pair emitted by a gauge-vec
+// callback. Labels is a rendered constant label set ("" or the output
+// of Labels); values with invalid/duplicate label renderings are the
+// callback's responsibility.
+type LabeledValue struct {
+	Labels string
+	Value  float64
+}
+
 // metric is one registered name.
 type metric struct {
 	name   string
@@ -138,7 +165,8 @@ type metric struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
-	fn     func() float64 // gauge callback alternative
+	fn     func() float64        // gauge callback alternative
+	vec    func() []LabeledValue // gauge-vec callback: dynamic label sets
 }
 
 // Registry holds named metrics and renders them. The zero value is not
@@ -211,6 +239,16 @@ func (r *Registry) NewGaugeFunc(name, help, labels string, fn func() float64) {
 	}
 }
 
+// NewGaugeVecFunc registers a gauge family whose (label set, value)
+// pairs are computed at scrape time — the shape for metrics whose label
+// cardinality is only known at runtime, such as per-(stage, source)
+// watermark lag. The callback runs outside the registry lock.
+func (r *Registry) NewGaugeVecFunc(name, help string, fn func() []LabeledValue) {
+	if err := r.register(metric{name: name, help: help, kind: "gauge", vec: fn}); err != nil {
+		panic(err)
+	}
+}
+
 // NewHistogram registers and returns a histogram with the given bucket
 // upper bounds (nil means DefBuckets).
 func (r *Registry) NewHistogram(name, help, labels string, bounds []float64) *Histogram {
@@ -246,6 +284,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	seen := make(map[string]bool)
 	for _, m := range metrics {
+		// A vec whose callback has no rows right now must skip its
+		// headers too: a HELP/TYPE pair with zero samples is a lint
+		// violation. seen stays unset so a later non-empty render (or a
+		// same-name registration) emits them.
+		var vecVals []LabeledValue
+		if m.vec != nil {
+			if vecVals = m.vec(); len(vecVals) == 0 {
+				continue
+			}
+		}
 		if !seen[m.name] {
 			seen[m.name] = true
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
@@ -265,6 +313,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatValue(m.fn())); err != nil {
 				return err
 			}
+		case m.vec != nil:
+			for _, lv := range vecVals {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, lv.Labels, formatValue(lv.Value)); err != nil {
+					return err
+				}
+			}
 		case m.h != nil:
 			if err := writeHistogram(w, m); err != nil {
 				return err
@@ -279,9 +333,9 @@ func writeHistogram(w io.Writer, m metric) error {
 	// Bucket lines carry an le label merged with the constant labels.
 	base := strings.TrimSuffix(strings.TrimPrefix(m.labels, "{"), "}")
 	cum := int64(0)
-	for i, bound := range h.bounds {
+	for i := range h.bounds {
 		cum += h.counts[i].Load()
-		if err := writeBucket(w, m.name, base, formatValue(bound), cum); err != nil {
+		if err := writeBucket(w, m.name, base, h.les[i], cum); err != nil {
 			return err
 		}
 	}
@@ -303,4 +357,57 @@ func writeBucket(w io.Writer, name, baseLabels, le string, cum int64) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, baseLabels, sep, le, cum)
 	return err
+}
+
+// Sample is one scraped series value — the structured (not text)
+// counterpart of a Prometheus exposition line, consumed by the embedded
+// tsdb's self-scraper. Suffix distinguishes histogram components
+// ("_bucket", "_sum", "_count"; empty for scalar series); Le carries the
+// bucket bound for "_bucket" samples.
+type Sample struct {
+	Name   string
+	Labels string // rendered constant label set, "" or `{k="v",...}`
+	Suffix string
+	Le     string
+	Kind   string // "counter" | "gauge" | "histogram"
+	Value  float64
+}
+
+// AppendSamples appends every registered series' current value to dst
+// and returns the extended slice. Reusing dst across scrapes keeps the
+// per-scrape allocation cost at (amortized) zero once the slice has
+// grown to fit the registry — the tsdb scraper's hot-path contract.
+// Histogram buckets are emitted cumulatively, matching exposition.
+// Gauge callbacks (fn/vec) run under the registry lock and must not
+// touch the registry.
+func (r *Registry) AppendSamples(dst []Sample) []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, m := range r.metrics {
+		switch {
+		case m.c != nil:
+			dst = append(dst, Sample{Name: m.name, Labels: m.labels, Kind: "counter", Value: float64(m.c.Value())})
+		case m.g != nil:
+			dst = append(dst, Sample{Name: m.name, Labels: m.labels, Kind: "gauge", Value: m.g.Value()})
+		case m.fn != nil:
+			dst = append(dst, Sample{Name: m.name, Labels: m.labels, Kind: "gauge", Value: m.fn()})
+		case m.vec != nil:
+			for _, lv := range m.vec() {
+				dst = append(dst, Sample{Name: m.name, Labels: lv.Labels, Kind: "gauge", Value: lv.Value})
+			}
+		case m.h != nil:
+			h := m.h
+			cum := int64(0)
+			for i := range h.bounds {
+				cum += h.counts[i].Load()
+				dst = append(dst, Sample{Name: m.name, Labels: m.labels, Suffix: "_bucket", Le: h.les[i], Kind: "histogram", Value: float64(cum)})
+			}
+			cum += h.inf.Load()
+			dst = append(dst, Sample{Name: m.name, Labels: m.labels, Suffix: "_bucket", Le: "+Inf", Kind: "histogram", Value: float64(cum)})
+			dst = append(dst, Sample{Name: m.name, Labels: m.labels, Suffix: "_sum", Kind: "histogram", Value: h.Sum()})
+			dst = append(dst, Sample{Name: m.name, Labels: m.labels, Suffix: "_count", Kind: "histogram", Value: float64(h.Count())})
+		}
+	}
+	return dst
 }

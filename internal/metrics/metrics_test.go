@@ -44,6 +44,117 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramRejectsBadSamples(t *testing.T) {
+	h := NewHistogram(0.1, 1)
+	h.Observe(math.NaN())
+	h.ObserveN(math.NaN(), 5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("NaN recorded: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	h.Observe(-3)     // clamps to 0: lands in the first bucket, sum unchanged
+	h.ObserveN(-7, 2) // same, twice
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 0 {
+		t.Fatalf("sum = %v, want 0 (negatives clamp)", h.Sum())
+	}
+	if got := h.counts[0].Load(); got != 3 {
+		t.Fatalf("first bucket = %d, want 3", got)
+	}
+	if h.inf.Load() != 0 {
+		t.Fatalf("+Inf bucket = %d, want 0", h.inf.Load())
+	}
+}
+
+func TestGaugeVecFunc(t *testing.T) {
+	r := NewRegistry()
+	vals := []LabeledValue{
+		{Labels: Labels("stage", "graph_apply", "source", "stream"), Value: 1.5},
+		{Labels: Labels("stage", "wal_append", "source", "stream"), Value: 0},
+	}
+	r.NewGaugeVecFunc("test_lag_seconds", "Lag.", func() []LabeledValue { return vals })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_lag_seconds gauge",
+		`test_lag_seconds{stage="graph_apply",source="stream"} 1.5`,
+		`test_lag_seconds{stage="wal_append",source="stream"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# HELP test_lag_seconds"); n != 1 {
+		t.Fatalf("HELP emitted %d times", n)
+	}
+
+	// An empty vec must suppress its headers entirely — a family with
+	// headers but no samples fails the scrape linter.
+	vals = nil
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "test_lag_seconds") {
+		t.Fatalf("empty vec still rendered:\n%s", b.String())
+	}
+	if problems := Lint(strings.NewReader(b.String())); len(problems) != 0 {
+		t.Fatalf("lint on empty-vec exposition: %v", problems)
+	}
+}
+
+func TestAppendSamples(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("s_events_total", "Events.", "")
+	c.Add(7)
+	g := r.NewGauge("s_depth", "Depth.", Labels("shard", "0"))
+	g.Set(3.5)
+	r.NewGaugeVecFunc("s_lag_seconds", "Lag.", func() []LabeledValue {
+		return []LabeledValue{{Labels: Labels("stage", "parse"), Value: 2}}
+	})
+	h := r.NewHistogram("s_lat_seconds", "Latency.", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+
+	samples := r.AppendSamples(nil)
+	byKey := map[string]Sample{}
+	for _, s := range samples {
+		byKey[s.Name+s.Labels+s.Suffix+s.Le] = s
+	}
+	checks := []struct {
+		key  string
+		kind string
+		val  float64
+	}{
+		{"s_events_total", "counter", 7},
+		{`s_depth{shard="0"}`, "gauge", 3.5},
+		{`s_lag_seconds{stage="parse"}`, "gauge", 2},
+		{`s_lat_seconds_bucket0.1`, "histogram", 1},
+		{`s_lat_seconds_bucket1`, "histogram", 1},
+		{`s_lat_seconds_bucket+Inf`, "histogram", 2},
+		{`s_lat_seconds_sum`, "histogram", 5.05},
+		{`s_lat_seconds_count`, "histogram", 2},
+	}
+	for _, c := range checks {
+		s, ok := byKey[c.key]
+		if !ok {
+			t.Fatalf("missing sample %q in %v", c.key, byKey)
+		}
+		if s.Kind != c.kind || math.Abs(s.Value-c.val) > 1e-9 {
+			t.Fatalf("sample %q = {%s %v}, want {%s %v}", c.key, s.Kind, s.Value, c.kind, c.val)
+		}
+	}
+	// Reuse: appending into the same slice must not reallocate once grown.
+	samples = samples[:0]
+	if again := r.AppendSamples(samples); len(again) != len(checks) {
+		t.Fatalf("second scrape yielded %d samples, want %d", len(again), len(checks))
+	}
+}
+
 func TestConcurrentObserve(t *testing.T) {
 	r := NewRegistry()
 	c := r.NewCounter("events_total", "events", "")

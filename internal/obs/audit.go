@@ -33,6 +33,16 @@ type AuditRecord struct {
 	// this domain (keyed by plugin name, plus "fused" for the ensemble),
 	// when the daemon runs more than the primary forest.
 	Detectors map[string]DetectorVerdict `json:"detectors,omitempty"`
+	// FirstSeenDay and DetectionLagDays carry detection freshness for
+	// new_detection records: the event day the domain was first queried
+	// on, and first_seen→first_detected in event days (Day −
+	// FirstSeenDay) — the daemon-side analogue of the paper's
+	// detection-latency-vs-blacklists metric. HasFreshness distinguishes
+	// a genuine day-0 detection from a record predating this field (or a
+	// domain whose first activity was trimmed from the activity log).
+	FirstSeenDay     int  `json:"firstSeenDay,omitempty"`
+	DetectionLagDays int  `json:"detectionLagDays,omitempty"`
+	HasFreshness     bool `json:"hasFreshness,omitempty"`
 	// Note carries free-form context for non-detection records (e.g. the
 	// from/to states and triggering signal of a health transition).
 	Note string `json:"note,omitempty"`
@@ -55,6 +65,10 @@ const (
 	// moving (healthy/degraded/overloaded); Note carries the from/to
 	// states and the signal that caused the move.
 	ReasonHealthTransition = "health_transition"
+	// ReasonSLOBreach records an SLO burn-rate alert firing or clearing;
+	// Note carries the objective name, windowed burn rates, and the
+	// threshold that tripped.
+	ReasonSLOBreach = "slo_breach"
 )
 
 // AuditConfig parameterizes an AuditLog.

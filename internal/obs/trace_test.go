@@ -190,3 +190,37 @@ func TestTracerConcurrency(t *testing.T) {
 		t.Fatalf("recent = %d, want full ring", len(d.Recent))
 	}
 }
+
+// TestObserveStageN covers the batched stage-observation path sampled
+// instrumentation uses: with OnStageN wired, one call books the whole
+// group; without it, the tracer falls back to n OnStage calls.
+func TestObserveStageN(t *testing.T) {
+	var calls, samples int
+	tr := NewTracer(TracerConfig{OnStageN: func(stage string, sec float64, n int) {
+		if stage != "parse" || sec <= 0 {
+			t.Errorf("OnStageN(%q, %v, %d)", stage, sec, n)
+		}
+		calls++
+		samples += n
+	}})
+	tr.ObserveStageN("parse", time.Millisecond, 32)
+	tr.ObserveStageN("parse", time.Millisecond, 1)
+	tr.ObserveStageN("parse", time.Millisecond, 0)  // no-op
+	tr.ObserveStageN("parse", time.Millisecond, -3) // no-op
+	if calls != 2 || samples != 33 {
+		t.Fatalf("OnStageN calls = %d, samples = %d; want 2, 33", calls, samples)
+	}
+
+	// Fallback: only OnStage wired, each sample becomes one call.
+	var fallback int
+	tr2 := NewTracer(TracerConfig{OnStage: func(stage string, sec float64) { fallback++ }})
+	tr2.ObserveStageN("parse", time.Millisecond, 5)
+	if fallback != 5 {
+		t.Fatalf("fallback OnStage calls = %d, want 5", fallback)
+	}
+
+	// Neither hook, and a nil tracer, are inert.
+	NewTracer(TracerConfig{}).ObserveStageN("parse", time.Millisecond, 4)
+	var nilTr *Tracer
+	nilTr.ObserveStageN("parse", time.Millisecond, 4)
+}

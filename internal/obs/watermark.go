@@ -1,0 +1,309 @@
+package obs
+
+// watermark.go — event-time freshness tracking for the ingest pipeline.
+//
+// Segugio's event time is day-granular (logio.Event.Day), so watermarks
+// are day frontiers: per source, the maximum event day that has entered
+// the pipeline ("the frontier"); per (stage, source), the maximum event
+// day that stage has acknowledged. A stage is *behind* when its acked
+// day trails the frontier it is measured against, and its lag is the
+// wall-clock time since it fell behind — the time the newest day's data
+// has been waiting for that stage. A stage at (or past) the frontier
+// has zero lag.
+//
+// Granularity caveat, by design: a stage that stalls mid-day is
+// invisible until the frontier crosses a day boundary, because there is
+// no finer event-time signal to compare against. The health layer's
+// queue-pressure and slow-WAL signals cover intra-day stalls; the
+// watermark layer is the cross-day/event-time complement (and the chaos
+// test advances days for exactly this reason).
+//
+// Concurrency: frontier advancement sits on the event dispatch hot path
+// (millions of events/s through the binary frontend), so SourceMark
+// exposes a lock-free fast path — an atomic day load and compare — and
+// only takes the registry lock on an actual day advance, which happens
+// once per (source, day). Stage acks are per-batch and per-flush, which
+// are rare enough to take the lock directly.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watermark stage names (the "stage" label of
+// segugiod_watermark_lag_seconds). WatermarkIngest is the frontier
+// itself.
+const (
+	WatermarkIngest     = "ingest"
+	WatermarkWALAppend  = StageWALAppend
+	WatermarkGraphApply = StageGraphApply
+	WatermarkSnapshot   = StageSnapshot
+	WatermarkScoreCache = "score_cache"
+)
+
+// WatermarkSourceAll is the source label for stages that consume the
+// merged stream (snapshot, score cache): their frontier is the maximum
+// across every source.
+const WatermarkSourceAll = "all"
+
+// unsetDay marks a frontier or stage that has not seen any event yet.
+const unsetDay = int64(math.MinInt64)
+
+// SourceMark is a per-source frontier handle. Advance is called from
+// the source's dispatch loop; it is safe for concurrent use, with a
+// lock-free fast path for the overwhelmingly common no-advance case.
+type SourceMark struct {
+	w      *Watermarks
+	source string
+	day    atomic.Int64
+}
+
+// Advance raises the source frontier to day (no-op if not ahead).
+func (m *SourceMark) Advance(day int) {
+	if m == nil {
+		return
+	}
+	if int64(day) <= m.day.Load() {
+		return
+	}
+	m.w.advance(m, day)
+}
+
+// Day returns the frontier day and whether any event has been seen.
+func (m *SourceMark) Day() (int, bool) {
+	if m == nil {
+		return 0, false
+	}
+	d := m.day.Load()
+	if d == unsetDay {
+		return 0, false
+	}
+	return int(d), true
+}
+
+// stageKey identifies one tracked (stage, source) mark.
+type stageKey struct{ stage, source string }
+
+// stageMark is the mutable state of one tracked stage, guarded by
+// Watermarks.mu.
+type stageMark struct {
+	day         int64
+	ackAt       time.Time
+	behindSince time.Time // zero when caught up with the frontier
+}
+
+// Mark is one row of the watermark table, as exposed to metrics and
+// queries.
+type Mark struct {
+	Stage      string
+	Source     string
+	Day        int
+	HasDay     bool
+	LagSeconds float64
+}
+
+// Watermarks tracks frontier and stage marks for the whole pipeline.
+type Watermarks struct {
+	now func() time.Time
+
+	mu      sync.Mutex
+	sources map[string]*SourceMark
+	stages  map[stageKey]*stageMark
+	maxDay  int64 // max frontier day across sources ("all" frontier)
+}
+
+// NewWatermarks builds an empty watermark registry.
+func NewWatermarks() *Watermarks {
+	return &Watermarks{
+		now:     time.Now,
+		sources: make(map[string]*SourceMark),
+		stages:  make(map[stageKey]*stageMark),
+		maxDay:  unsetDay,
+	}
+}
+
+// SetNow overrides the clock (tests).
+func (w *Watermarks) SetNow(now func() time.Time) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.now = now
+	w.mu.Unlock()
+}
+
+// Source returns the frontier mark for the named source, creating it on
+// first use. Sources are named by kind ("stream", "binary", "tail",
+// "tracedns"), so parallel connections of one kind share a frontier —
+// the pipeline-freshness question is per stream class, not per socket.
+// Safe on a nil receiver (returns nil; Advance on nil no-ops).
+func (w *Watermarks) Source(name string) *SourceMark {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.sources[name]
+	if m == nil {
+		m = &SourceMark{w: w, source: name}
+		m.day.Store(unsetDay)
+		w.sources[name] = m
+	}
+	return m
+}
+
+// Register pre-creates a (stage, source) mark so a stage that never
+// acknowledges anything still shows up — and shows up *behind* — once
+// the frontier moves. Ingest registers its stages when a source
+// attaches; the daemon registers the merged-stream stages at startup.
+func (w *Watermarks) Register(stage, source string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stageLocked(stage, source)
+}
+
+func (w *Watermarks) stageLocked(stage, source string) *stageMark {
+	key := stageKey{stage, source}
+	s := w.stages[key]
+	if s == nil {
+		s = &stageMark{day: unsetDay}
+		// A stage born after the frontier already moved starts behind.
+		if f, ok := w.frontierLocked(source); ok && f > s.day {
+			s.behindSince = w.now()
+		}
+		w.stages[key] = s
+	}
+	return s
+}
+
+// frontierLocked returns the frontier day a (stage, source) mark is
+// measured against: the source's own frontier, or the cross-source
+// maximum for WatermarkSourceAll.
+func (w *Watermarks) frontierLocked(source string) (int64, bool) {
+	if source == WatermarkSourceAll {
+		return w.maxDay, w.maxDay != unsetDay
+	}
+	m := w.sources[source]
+	if m == nil {
+		return 0, false
+	}
+	d := m.day.Load()
+	return d, d != unsetDay
+}
+
+// advance is the slow path of SourceMark.Advance: the frontier actually
+// moved, so record the time and mark trailing stages behind.
+func (w *Watermarks) advance(m *SourceMark, day int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if int64(day) <= m.day.Load() {
+		return
+	}
+	m.day.Store(int64(day))
+	now := w.now()
+	for key, s := range w.stages {
+		if key.source != m.source {
+			continue
+		}
+		if s.day < int64(day) && s.behindSince.IsZero() {
+			s.behindSince = now
+		}
+	}
+	if int64(day) > w.maxDay {
+		w.maxDay = int64(day)
+		for key, s := range w.stages {
+			if key.source != WatermarkSourceAll {
+				continue
+			}
+			if s.day < int64(day) && s.behindSince.IsZero() {
+				s.behindSince = now
+			}
+		}
+	}
+}
+
+// Ack records that stage has processed events up to and including day
+// for the given source (WatermarkSourceAll for merged-stream stages).
+// Day regressions are ignored; catching up with the frontier clears the
+// stage's lag.
+func (w *Watermarks) Ack(stage, source string, day int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.stageLocked(stage, source)
+	if int64(day) > s.day {
+		s.day = int64(day)
+	}
+	s.ackAt = w.now()
+	if f, ok := w.frontierLocked(source); !ok || s.day >= f {
+		s.behindSince = time.Time{}
+	} else if s.behindSince.IsZero() {
+		s.behindSince = s.ackAt
+	}
+}
+
+// Marks snapshots the watermark table: one row per source frontier
+// (stage "ingest", lag always zero) and one per tracked stage, sorted
+// by (stage, source) for stable exposition.
+func (w *Watermarks) Marks() []Mark {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	out := make([]Mark, 0, len(w.sources)+len(w.stages))
+	for name, m := range w.sources {
+		d := m.day.Load()
+		out = append(out, Mark{
+			Stage: WatermarkIngest, Source: name,
+			Day: int(d), HasDay: d != unsetDay,
+		})
+	}
+	for key, s := range w.stages {
+		row := Mark{Stage: key.stage, Source: key.source, Day: int(s.day), HasDay: s.day != unsetDay}
+		if !s.behindSince.IsZero() {
+			row.LagSeconds = now.Sub(s.behindSince).Seconds()
+			if row.LagSeconds < 0 {
+				row.LagSeconds = 0
+			}
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// MaxLagSeconds returns the largest stage lag currently tracked — the
+// headline "how far behind real time is the pipeline" number.
+func (w *Watermarks) MaxLagSeconds() float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	worst := 0.0
+	for _, s := range w.stages {
+		if s.behindSince.IsZero() {
+			continue
+		}
+		if lag := now.Sub(s.behindSince).Seconds(); lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}

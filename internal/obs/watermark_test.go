@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for watermark tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time       { return c.t }
+func (c *fakeClock) tick(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock            { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func markFor(ms []Mark, stage, source string) (Mark, bool) {
+	for _, m := range ms {
+		if m.Stage == stage && m.Source == source {
+			return m, true
+		}
+	}
+	return Mark{}, false
+}
+
+func TestWatermarkLagLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWatermarks()
+	w.SetNow(clk.now)
+
+	src := w.Source("stream")
+	w.Register(WatermarkGraphApply, "stream")
+
+	// No events yet: stage exists, zero lag, no day.
+	m, ok := markFor(w.Marks(), WatermarkGraphApply, "stream")
+	if !ok || m.HasDay || m.LagSeconds != 0 {
+		t.Fatalf("pre-event mark = %+v ok=%v", m, ok)
+	}
+
+	// Frontier reaches day 42; the stage acks it: caught up.
+	src.Advance(42)
+	w.Ack(WatermarkGraphApply, "stream", 42)
+	if m, _ := markFor(w.Marks(), WatermarkGraphApply, "stream"); m.LagSeconds != 0 || m.Day != 42 {
+		t.Fatalf("caught-up mark = %+v", m)
+	}
+
+	// Frontier moves to day 43; the stage stalls. Lag grows with the
+	// wall clock from the moment the frontier advanced.
+	src.Advance(43)
+	clk.tick(10 * time.Second)
+	m, _ = markFor(w.Marks(), WatermarkGraphApply, "stream")
+	if m.LagSeconds != 10 {
+		t.Fatalf("stalled lag = %v, want 10", m.LagSeconds)
+	}
+
+	// Re-acking the old day does not clear the lag...
+	w.Ack(WatermarkGraphApply, "stream", 42)
+	clk.tick(5 * time.Second)
+	if m, _ := markFor(w.Marks(), WatermarkGraphApply, "stream"); m.LagSeconds != 15 {
+		t.Fatalf("stale-ack lag = %v, want 15", m.LagSeconds)
+	}
+	// ...but catching up does.
+	w.Ack(WatermarkGraphApply, "stream", 43)
+	if m, _ := markFor(w.Marks(), WatermarkGraphApply, "stream"); m.LagSeconds != 0 || m.Day != 43 {
+		t.Fatalf("post-catchup mark = %+v", m)
+	}
+	if w.MaxLagSeconds() != 0 {
+		t.Fatalf("MaxLagSeconds = %v after catch-up", w.MaxLagSeconds())
+	}
+}
+
+func TestWatermarkAllSourceFrontier(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWatermarks()
+	w.SetNow(clk.now)
+	w.Register(WatermarkScoreCache, WatermarkSourceAll)
+
+	a := w.Source("stream")
+	b := w.Source("tail")
+	a.Advance(10)
+	b.Advance(12)
+	clk.tick(3 * time.Second)
+
+	// The "all" stage is measured against the max frontier (12).
+	m, _ := markFor(w.Marks(), WatermarkScoreCache, WatermarkSourceAll)
+	if m.LagSeconds != 3 {
+		t.Fatalf("all-source lag = %v, want 3", m.LagSeconds)
+	}
+	w.Ack(WatermarkScoreCache, WatermarkSourceAll, 11)
+	if m, _ := markFor(w.Marks(), WatermarkScoreCache, WatermarkSourceAll); m.LagSeconds == 0 {
+		t.Fatal("acking day 11 must not clear lag against frontier 12")
+	}
+	w.Ack(WatermarkScoreCache, WatermarkSourceAll, 12)
+	if m, _ := markFor(w.Marks(), WatermarkScoreCache, WatermarkSourceAll); m.LagSeconds != 0 {
+		t.Fatalf("lag = %v after catching the max frontier", m.LagSeconds)
+	}
+}
+
+func TestWatermarkFrontierRows(t *testing.T) {
+	w := NewWatermarks()
+	src := w.Source("stream")
+	src.Advance(7)
+	m, ok := markFor(w.Marks(), WatermarkIngest, "stream")
+	if !ok || !m.HasDay || m.Day != 7 || m.LagSeconds != 0 {
+		t.Fatalf("frontier row = %+v ok=%v", m, ok)
+	}
+	if d, ok := src.Day(); !ok || d != 7 {
+		t.Fatalf("Day() = %d,%v", d, ok)
+	}
+	// Nil receivers are safe no-ops (tracing-style ergonomics).
+	var nilW *Watermarks
+	nilW.Ack("x", "y", 1)
+	nilW.Source("z").Advance(3)
+	if nilW.Marks() != nil || nilW.MaxLagSeconds() != 0 {
+		t.Fatal("nil watermarks must be inert")
+	}
+}
+
+func TestWatermarkLateRegistrationStartsBehind(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWatermarks()
+	w.SetNow(clk.now)
+	w.Source("stream").Advance(5)
+	clk.tick(2 * time.Second)
+	// A stage registered after the frontier moved is behind from the
+	// moment it registers — it has never seen day 5.
+	w.Register(WatermarkWALAppend, "stream")
+	clk.tick(4 * time.Second)
+	m, _ := markFor(w.Marks(), WatermarkWALAppend, "stream")
+	if m.LagSeconds != 4 {
+		t.Fatalf("late-registered lag = %v, want 4", m.LagSeconds)
+	}
+}

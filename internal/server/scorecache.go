@@ -337,6 +337,9 @@ func (s *Server) classifyAll(ctx context.Context, det *core.Detector, loadedAt t
 	}
 	c.version = version
 	c.graph = g
+	// A completed pass means every served score is current up to this
+	// snapshot's day: the score_cache watermark advances.
+	s.cfg.Watermarks.Ack(obs.WatermarkScoreCache, obs.WatermarkSourceAll, g.Day())
 	if c.overruns > 0 {
 		c.overruns = 0
 		if s.cfg.Health != nil {
@@ -461,6 +464,17 @@ func (s *Server) auditNewDetections(c *scoreCache, res *classifyAllResult, thres
 			Reason:       obs.ReasonNewDetection,
 			GraphVersion: res.version,
 			ScoreVersion: row.ScoreVersion,
+		}
+		// Detection freshness: how many days sat between the domain first
+		// appearing in traffic and this detection. FirstSeenDay is a lower
+		// bound once activity history has been trimmed, so the lag is an
+		// upper bound on first_seen -> first_detected.
+		if s.cfg.Activity != nil {
+			if first, ok := s.cfg.Activity.FirstSeenDay(row.Domain); ok {
+				rec.FirstSeenDay = first
+				rec.DetectionLagDays = rec.Day - first
+				rec.HasFreshness = true
+			}
 		}
 		if aux != nil {
 			rec.Detectors = aux.detectorVerdicts(row.Domain, row.Score, threshold)

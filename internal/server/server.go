@@ -39,6 +39,7 @@ import (
 	"segugio/internal/obs"
 	"segugio/internal/pdns"
 	"segugio/internal/tracker"
+	"segugio/internal/tsdb"
 )
 
 // GraphSource supplies immutable snapshots of the live behavior graph.
@@ -183,6 +184,13 @@ type Config struct {
 	// pass with the pass context — the chaos harness's stall seam.
 	// Production configs leave it nil.
 	PassHook func(ctx context.Context)
+	// Stats, when non-nil, is the embedded time-series store behind
+	// GET /v1/stats/query; nil means the endpoint answers 503.
+	Stats *tsdb.Store
+	// Watermarks, when non-nil, supplies pipeline freshness marks: the
+	// score_cache stage acks the graph day after each successful
+	// classify-all pass.
+	Watermarks *obs.Watermarks
 }
 
 // Server is the daemon's HTTP API. Create with New, then serve its
@@ -251,7 +259,7 @@ func New(cfg Config) *Server {
 	r := cfg.Registry
 	s.reqTotal = map[string]*metrics.Counter{}
 	s.reqLat = map[string]*metrics.Histogram{}
-	for _, h := range []string{"classify", "domains", "healthz", "readyz", "metrics", "reload", "tracker", "traces", "audit"} {
+	for _, h := range []string{"classify", "domains", "healthz", "readyz", "metrics", "reload", "tracker", "traces", "audit", "stats"} {
 		s.reqTotal[h] = r.NewCounter("segugiod_http_requests_total",
 			"HTTP requests served, by handler.", metrics.Labels("handler", h))
 		s.reqLat[h] = r.NewHistogram("segugiod_http_request_seconds",
@@ -331,7 +339,7 @@ func New(cfg Config) *Server {
 		s.inflight = map[string]chan struct{}{}
 		// Probe endpoints (healthz, readyz, metrics) are deliberately
 		// absent: they must answer even when the daemon is drowning.
-		for _, h := range []string{"classify", "domains", "reload", "tracker", "traces", "audit"} {
+		for _, h := range []string{"classify", "domains", "reload", "tracker", "traces", "audit", "stats"} {
 			s.inflight[h] = make(chan struct{}, cfg.MaxInflight)
 		}
 	}
@@ -345,6 +353,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.route("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /debug/obs/traces", s.route("traces", s.handleTraces))
+	s.mux.HandleFunc("GET /v1/stats/query", s.route("stats", s.handleStats))
 	if cfg.EnablePprof {
 		// Explicit registration keeps the daemon off http.DefaultServeMux;
 		// pprof.Index serves the sub-profiles (heap, goroutine, ...) itself.
@@ -919,9 +928,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // handleTraces dumps the flight recorder: the most recent and the
 // slowest completed traces, newest/slowest first. Without a tracer the
 // dump is empty but the endpoint still answers 200, so dashboards can
-// probe it unconditionally.
+// probe it unconditionally. ?limit=N caps each ring's records; ?ring=
+// recent|slowest keeps only that ring (the other comes back empty).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.cfg.Tracer.Dump())
+	dump := s.cfg.Tracer.Dump()
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			s.writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		if n < len(dump.Recent) {
+			dump.Recent = dump.Recent[:n]
+		}
+		if n < len(dump.Slowest) {
+			dump.Slowest = dump.Slowest[:n]
+		}
+	}
+	switch ring := r.URL.Query().Get("ring"); ring {
+	case "":
+	case "recent":
+		dump.Slowest = []obs.TraceRecord{}
+	case "slowest":
+		dump.Recent = []obs.TraceRecord{}
+	default:
+		s.writeError(w, http.StatusBadRequest, "bad ring %q (want recent or slowest)", ring)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, dump)
 }
 
 // AuditResponse is the GET /v1/audit reply. Records come newest first.

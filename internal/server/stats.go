@@ -1,0 +1,106 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"segugio/internal/tsdb"
+)
+
+// StatsSeriesResponse is the GET /v1/stats/query reply without a
+// metric parameter: what the embedded store currently holds.
+type StatsSeriesResponse struct {
+	IntervalMS int64             `json:"intervalMs"`
+	Capacity   int               `json:"capacity"`
+	Series     []tsdb.SeriesInfo `json:"series"`
+}
+
+// StatsQueryResponse is the GET /v1/stats/query reply for one series.
+// Exactly one of Points, Aggregate, or Value is populated, per the op.
+type StatsQueryResponse struct {
+	Metric   string          `json:"metric"`
+	Labels   string          `json:"labels,omitempty"`
+	Suffix   string          `json:"suffix,omitempty"`
+	Le       string          `json:"le,omitempty"`
+	Op       string          `json:"op"`
+	WindowMS int64           `json:"windowMs,omitempty"`
+	Points   []tsdb.Point    `json:"points,omitempty"`
+	Agg      *tsdb.Aggregate `json:"agg,omitempty"`
+	Value    *float64        `json:"value,omitempty"`
+	// Ok is false when the window held too few points for the op (a
+	// rate needs two, a quantile needs bucket increases); the result
+	// fields are then absent rather than zero.
+	Ok bool `json:"ok"`
+}
+
+// handleStats queries the embedded time-series store.
+//
+//	?metric=NAME     series to query; absent lists all held series
+//	?labels={...}    exact label-set match, e.g. {stage="graph_apply"}
+//	?suffix=_bucket  histogram child series (_bucket, _sum, _count)
+//	?le=0.1          bucket bound, with suffix=_bucket
+//	?window=5m       look-back (Go duration; empty or 0 = everything)
+//	?op=raw          raw | agg | rate | increase | quantile
+//	?q=0.99          quantile, with op=quantile
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	store := s.cfg.Stats
+	if store == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no stats store configured")
+		return
+	}
+	qp := r.URL.Query()
+	metric := qp.Get("metric")
+	if metric == "" {
+		s.writeJSON(w, http.StatusOK, StatsSeriesResponse{
+			IntervalMS: store.Interval().Milliseconds(),
+			Capacity:   store.Capacity(),
+			Series:     store.Series(),
+		})
+		return
+	}
+	window, err := tsdb.ParseWindow(qp.Get("window"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad window %q: %v", qp.Get("window"), err)
+		return
+	}
+	labels, suffix, le := qp.Get("labels"), qp.Get("suffix"), qp.Get("le")
+	op := qp.Get("op")
+	if op == "" {
+		op = "raw"
+	}
+	resp := StatsQueryResponse{
+		Metric: metric, Labels: labels, Suffix: suffix, Le: le,
+		Op: op, WindowMS: window.Milliseconds(),
+	}
+	setValue := func(v float64, ok bool) {
+		if ok {
+			resp.Value = &v
+			resp.Ok = true
+		}
+	}
+	switch op {
+	case "raw":
+		resp.Points = store.Query(metric, labels, suffix, le, window)
+		resp.Ok = len(resp.Points) > 0
+	case "agg":
+		if agg, ok := store.AggregateOver(metric, labels, suffix, le, window); ok {
+			resp.Agg = &agg
+			resp.Ok = true
+		}
+	case "rate":
+		setValue(store.RateOver(metric, labels, suffix, le, window))
+	case "increase":
+		setValue(store.IncreaseOver(metric, labels, suffix, le, window))
+	case "quantile":
+		q, err := strconv.ParseFloat(qp.Get("q"), 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad q %q", qp.Get("q"))
+			return
+		}
+		setValue(store.QuantileOver(metric, labels, q, window))
+	default:
+		s.writeError(w, http.StatusBadRequest, "bad op %q (want raw, agg, rate, increase, or quantile)", op)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

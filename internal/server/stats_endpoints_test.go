@@ -1,0 +1,243 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"segugio/internal/activity"
+	"segugio/internal/obs"
+	"segugio/internal/tsdb"
+)
+
+func TestStatsEndpointWithoutStore(t *testing.T) {
+	ts := newTestServer(t, nil)
+	if code, _ := getJSON(t, ts.URL+"/v1/stats/query", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("stats without store must 503, got %d", code)
+	}
+}
+
+func TestStatsEndpointQueries(t *testing.T) {
+	var store *tsdb.Store
+	now := time.Unix(1_700_000_000, 0)
+	ts := newTestServer(t, func(cfg *Config) {
+		store = tsdb.New(tsdb.Config{
+			Registry: cfg.Registry,
+			Interval: time.Second,
+			Now:      func() time.Time { return now },
+		})
+		cfg.Stats = store
+	})
+	c := ts.reg.NewCounter("stats_test_total", "T.", "")
+	lag := ts.reg.NewGauge("stats_test_lag_seconds", "L.", "")
+	for i := 0; i < 5; i++ {
+		c.Add(10)
+		lag.Set(float64(i))
+		store.Scrape()
+		now = now.Add(time.Second)
+	}
+
+	// Discovery: no metric parameter lists the held series.
+	var disc StatsSeriesResponse
+	if code, raw := getJSON(t, ts.URL+"/v1/stats/query", &disc); code != http.StatusOK {
+		t.Fatalf("discovery: %d %s", code, raw)
+	}
+	if disc.IntervalMS != 1000 || len(disc.Series) == 0 {
+		t.Fatalf("discovery = %+v", disc)
+	}
+	found := false
+	for _, s := range disc.Series {
+		if s.Name == "stats_test_total" && s.Kind == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stats_test_total not discovered: %+v", disc.Series)
+	}
+
+	// Raw points of the gauge.
+	var raw StatsQueryResponse
+	if code, body := getJSON(t, ts.URL+"/v1/stats/query?metric=stats_test_lag_seconds", &raw); code != http.StatusOK {
+		t.Fatalf("raw: %d %s", code, body)
+	}
+	if !raw.Ok || len(raw.Points) != 5 || raw.Points[4].Value != 4 {
+		t.Fatalf("raw = %+v", raw)
+	}
+
+	// Windowed increase of the counter: the 2s window holds the last two
+	// samples (40, 50), so the increase is 10.
+	var inc StatsQueryResponse
+	if code, body := getJSON(t, ts.URL+"/v1/stats/query?metric=stats_test_total&op=increase&window=2s", &inc); code != http.StatusOK {
+		t.Fatalf("increase: %d %s", code, body)
+	}
+	if !inc.Ok || inc.Value == nil || *inc.Value != 10 {
+		t.Fatalf("increase = %+v", inc)
+	}
+
+	// Rate over the whole retention: 40 over 4 seconds.
+	var rate StatsQueryResponse
+	if code, body := getJSON(t, ts.URL+"/v1/stats/query?metric=stats_test_total&op=rate", &rate); code != http.StatusOK {
+		t.Fatalf("rate: %d %s", code, body)
+	}
+	if !rate.Ok || rate.Value == nil || *rate.Value != 10 {
+		t.Fatalf("rate = %+v", rate)
+	}
+
+	// Aggregate over the gauge.
+	var agg StatsQueryResponse
+	if code, body := getJSON(t, ts.URL+"/v1/stats/query?metric=stats_test_lag_seconds&op=agg", &agg); code != http.StatusOK {
+		t.Fatalf("agg: %d %s", code, body)
+	}
+	if !agg.Ok || agg.Agg == nil || agg.Agg.Max != 4 || agg.Agg.Count != 5 {
+		t.Fatalf("agg = %+v", agg)
+	}
+
+	// Quantile from a histogram's bucket increases.
+	hist := ts.reg.NewHistogram("stats_test_seconds", "S.", "", []float64{0.1, 1})
+	for i := 0; i < 3; i++ {
+		hist.Observe(0.05)
+		store.Scrape()
+		now = now.Add(time.Second)
+	}
+	var quant StatsQueryResponse
+	if code, body := getJSON(t, ts.URL+"/v1/stats/query?metric=stats_test_seconds&op=quantile&q=0.5", &quant); code != http.StatusOK {
+		t.Fatalf("quantile: %d %s", code, body)
+	}
+	if !quant.Ok || quant.Value == nil || *quant.Value > 0.1 {
+		t.Fatalf("quantile = %+v", quant)
+	}
+
+	// A series with no data answers ok=false, not an error.
+	var missing StatsQueryResponse
+	if code, _ := getJSON(t, ts.URL+"/v1/stats/query?metric=absent_total&op=rate", &missing); code != http.StatusOK || missing.Ok {
+		t.Fatalf("missing series: %d, %+v", code, missing)
+	}
+
+	// Bad parameters are rejected.
+	for _, q := range []string{
+		"?metric=stats_test_total&window=bogus",
+		"?metric=stats_test_total&op=vibes",
+		"?metric=stats_test_seconds&op=quantile&q=bogus",
+	} {
+		if code, _ := getJSON(t, ts.URL+"/v1/stats/query"+q, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400", q, code)
+		}
+	}
+}
+
+// TestTracesQueryParams covers the flight-recorder dump's ?limit and
+// ?ring filters.
+func TestTracesQueryParams(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{RingSize: 16})
+	ts := newTestServer(t, func(cfg *Config) { cfg.Tracer = tr })
+
+	// Three classifies leave at least three http.classify traces.
+	for i := 0; i < 3; i++ {
+		if code, raw := postJSON(t, ts.URL+"/v1/classify", nil, nil); code != http.StatusOK {
+			t.Fatalf("classify %d: %d %s", i, code, raw)
+		}
+	}
+
+	var full obs.Dump
+	getJSON(t, ts.URL+"/debug/obs/traces", &full)
+	if len(full.Recent) < 3 || len(full.Slowest) < 3 {
+		t.Fatalf("dump holds %d/%d traces, want >= 3", len(full.Recent), len(full.Slowest))
+	}
+
+	var limited obs.Dump
+	if code, raw := getJSON(t, ts.URL+"/debug/obs/traces?limit=1", &limited); code != http.StatusOK {
+		t.Fatalf("limit=1: %d %s", code, raw)
+	}
+	if len(limited.Recent) != 1 || len(limited.Slowest) != 1 {
+		t.Fatalf("limit=1 returned %d/%d traces", len(limited.Recent), len(limited.Slowest))
+	}
+	var recent obs.Dump
+	if code, _ := getJSON(t, ts.URL+"/debug/obs/traces?ring=recent&limit=2", &recent); code != http.StatusOK {
+		t.Fatal("ring=recent failed")
+	}
+	if len(recent.Recent) != 2 || len(recent.Slowest) != 0 {
+		t.Fatalf("ring=recent returned %d/%d", len(recent.Recent), len(recent.Slowest))
+	}
+	var slowest obs.Dump
+	if code, _ := getJSON(t, ts.URL+"/debug/obs/traces?ring=slowest", &slowest); code != http.StatusOK {
+		t.Fatal("ring=slowest failed")
+	}
+	if len(slowest.Recent) != 0 || len(slowest.Slowest) == 0 {
+		t.Fatalf("ring=slowest returned %d/%d", len(slowest.Recent), len(slowest.Slowest))
+	}
+
+	if code, _ := getJSON(t, ts.URL+"/debug/obs/traces?limit=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad limit: %d, want 400", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/debug/obs/traces?ring=sideways", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad ring: %d, want 400", code)
+	}
+}
+
+// TestAuditDetectionFreshness checks that new-detection audit records
+// carry the first_seen -> first_detected lag when activity history knows
+// the domain.
+func TestAuditDetectionFreshness(t *testing.T) {
+	audit, err := obs.OpenAudit(obs.AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := activity.NewLog()
+	// The unknown targets first appeared in traffic on day 39; detection
+	// happens on the graph's day 42.
+	for i := 0; i < 4; i++ {
+		act.MarkDomain(39, "unk0.gray.org")
+		act.MarkDomain(39, "unk1.gray.org")
+		act.MarkDomain(39, "unk2.gray.org")
+		act.MarkDomain(39, "unk3.gray.org")
+	}
+	ts := newTestServer(t, func(cfg *Config) {
+		cfg.Audit = audit
+		cfg.Activity = act
+	})
+
+	var classify ClassifyResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/classify", nil, &classify); code != http.StatusOK {
+		t.Fatalf("classify: %d %s", code, raw)
+	}
+	if classify.Detected == 0 {
+		t.Fatal("test graph must produce detections")
+	}
+	var resp AuditResponse
+	if code, raw := getJSON(t, ts.URL+"/v1/audit", &resp); code != http.StatusOK {
+		t.Fatalf("audit: %d %s", code, raw)
+	}
+	for _, rec := range resp.Records {
+		if rec.Reason != obs.ReasonNewDetection {
+			continue
+		}
+		if !rec.HasFreshness {
+			t.Fatalf("record lacks freshness: %+v", rec)
+		}
+		if rec.FirstSeenDay != 39 || rec.DetectionLagDays != 3 {
+			t.Fatalf("freshness = first seen %d, lag %d; want 39, 3",
+				rec.FirstSeenDay, rec.DetectionLagDays)
+		}
+	}
+}
+
+// TestScoreCacheWatermarkAck checks that a completed classify-all pass
+// advances the score_cache watermark to the snapshot's day.
+func TestScoreCacheWatermarkAck(t *testing.T) {
+	wm := obs.NewWatermarks()
+	wm.Register(obs.WatermarkScoreCache, obs.WatermarkSourceAll)
+	ts := newTestServer(t, func(cfg *Config) { cfg.Watermarks = wm })
+
+	if code, raw := postJSON(t, ts.URL+"/v1/classify", nil, nil); code != http.StatusOK {
+		t.Fatalf("classify: %d %s", code, raw)
+	}
+	for _, m := range wm.Marks() {
+		if m.Stage == obs.WatermarkScoreCache {
+			if !m.HasDay || m.Day != 42 {
+				t.Fatalf("score_cache mark = %+v, want day 42", m)
+			}
+			return
+		}
+	}
+	t.Fatal("no score_cache mark")
+}

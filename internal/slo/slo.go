@@ -1,0 +1,431 @@
+// Package slo evaluates service-level objectives against the embedded
+// tsdb and feeds the daemon's health state machine. Each objective is
+// judged with the multi-window burn-rate method: the fraction of the
+// error budget being consumed is measured over a fast window (catches
+// active incidents quickly) and a slow window (suppresses blips), and
+// the objective fires only when both burns exceed the threshold.
+// Firing objectives plant TTL'd signals in the health tracker — so an
+// evaluator that dies cannot wedge the daemon unhealthy — and both
+// edges (firing, resolved) emit structured-log and audit records.
+//
+// Objective types:
+//
+//   - freshness: a gauge (watermark lag) sampled over the window; a
+//     sample is "bad" when it exceeds Target. Burn = badFraction/Budget.
+//   - latency: a histogram family; an observation is "bad" when it lands
+//     above Target (judged from bucket increases, so Target should align
+//     with a bucket bound). Burn = badFraction/Budget.
+//   - error_rate: two counters; burn = (errors/total)/Budget over the
+//     window.
+//
+// Windows with no data burn zero: an idle daemon is not an incident.
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"segugio/internal/health"
+	"segugio/internal/obs"
+	"segugio/internal/tsdb"
+)
+
+// Duration is a time.Duration that unmarshals from a Go duration string
+// ("90s", "5m") or a bare number of seconds.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = Duration(v)
+		return nil
+	}
+	secs, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Objective is one SLO.
+type Objective struct {
+	// Name identifies the objective; the health signal is "slo_<name>".
+	Name string `json:"name"`
+	// Type is "freshness", "latency", or "error_rate".
+	Type string `json:"type"`
+	// Metric/Labels name the series (for error_rate: the error counter).
+	// Labels is the rendered label set exactly as exposed, e.g.
+	// `{stage="graph_apply",source="stream"}`.
+	Metric string `json:"metric"`
+	Labels string `json:"labels,omitempty"`
+	// TotalMetric/TotalLabels name the denominator counter (error_rate).
+	TotalMetric string `json:"totalMetric,omitempty"`
+	TotalLabels string `json:"totalLabels,omitempty"`
+	// Target is the per-sample/per-observation threshold: max acceptable
+	// lag seconds (freshness) or latency seconds (latency). Unused for
+	// error_rate.
+	Target float64 `json:"target,omitempty"`
+	// Budget is the allowed bad fraction (default 0.05).
+	Budget float64 `json:"budget,omitempty"`
+	// Quantile is accepted for latency objectives as documentation but
+	// the burn is computed from the bad-observation fraction.
+	Quantile float64 `json:"quantile,omitempty"`
+	// FastWindow/SlowWindow are the two burn windows (defaults 1m/10m).
+	FastWindow Duration `json:"fastWindow,omitempty"`
+	SlowWindow Duration `json:"slowWindow,omitempty"`
+	// BurnThreshold is the burn rate both windows must exceed to fire
+	// (default 1: consuming budget exactly at the allowed rate).
+	BurnThreshold float64 `json:"burnThreshold,omitempty"`
+	// Severity is the health state planted while firing: "degraded"
+	// (default) or "overloaded".
+	Severity string `json:"severity,omitempty"`
+}
+
+// Config is the -slo-config file shape.
+type Config struct {
+	Objectives []Objective `json:"objectives"`
+	// Interval is the evaluation cadence (default 10s).
+	Interval Duration `json:"interval,omitempty"`
+}
+
+// Load reads and validates a config file.
+func Load(path string) (Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return Parse(b)
+}
+
+// Parse validates a config document and fills defaults.
+func Parse(b []byte) (Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return Config{}, fmt.Errorf("slo: %w", err)
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = Duration(10 * time.Second)
+	}
+	seen := map[string]bool{}
+	for i := range cfg.Objectives {
+		o := &cfg.Objectives[i]
+		if o.Name == "" {
+			return Config{}, fmt.Errorf("slo: objective %d has no name", i)
+		}
+		if seen[o.Name] {
+			return Config{}, fmt.Errorf("slo: duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+		switch o.Type {
+		case "freshness", "latency":
+			if o.Metric == "" {
+				return Config{}, fmt.Errorf("slo: objective %q has no metric", o.Name)
+			}
+			if o.Target <= 0 {
+				return Config{}, fmt.Errorf("slo: objective %q needs a positive target", o.Name)
+			}
+		case "error_rate":
+			if o.Metric == "" || o.TotalMetric == "" {
+				return Config{}, fmt.Errorf("slo: objective %q needs metric and totalMetric", o.Name)
+			}
+		default:
+			return Config{}, fmt.Errorf("slo: objective %q has unknown type %q", o.Name, o.Type)
+		}
+		switch o.Severity {
+		case "", "degraded", "overloaded":
+		default:
+			return Config{}, fmt.Errorf("slo: objective %q has unknown severity %q", o.Name, o.Severity)
+		}
+		if o.Budget <= 0 {
+			o.Budget = 0.05
+		}
+		if o.FastWindow <= 0 {
+			o.FastWindow = Duration(time.Minute)
+		}
+		if o.SlowWindow <= 0 {
+			o.SlowWindow = Duration(10 * time.Minute)
+		}
+		if o.BurnThreshold <= 0 {
+			o.BurnThreshold = 1
+		}
+	}
+	return cfg, nil
+}
+
+// severityState maps an objective severity to the health state planted.
+func severityState(s string) health.State {
+	if s == "overloaded" {
+		return health.Overloaded
+	}
+	return health.Degraded
+}
+
+// BurnRate is one (objective, window) burn measurement, exposed as
+// segugiod_slo_burn_rate{objective,window}.
+type BurnRate struct {
+	Objective string
+	Window    string // "fast" | "slow"
+	Value     float64
+}
+
+// objState carries per-objective evaluation state across passes.
+type objState struct {
+	fastBurn, slowBurn float64
+	firing             bool
+}
+
+// EvaluatorConfig wires an Evaluator into the daemon.
+type EvaluatorConfig struct {
+	// Store is the tsdb the burns are computed from. Required.
+	Store *tsdb.Store
+	// Health receives TTL'd signals while objectives fire; nil disables
+	// signalling (burns are still computed and exported).
+	Health *health.Tracker
+	// SignalTTL bounds how long a planted signal outlives the evaluator
+	// (default 2× the config interval).
+	SignalTTL time.Duration
+	// Audit receives firing/resolved records; nil skips them.
+	Audit *obs.AuditLog
+	// Day supplies the current event day for audit records; nil means 0.
+	Day func() int
+	// Logger receives transition logs; nil discards.
+	Logger *slog.Logger
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Evaluator runs burn-rate evaluation passes over a set of objectives.
+type Evaluator struct {
+	objectives []Objective
+	interval   time.Duration
+	ec         EvaluatorConfig
+
+	mu    sync.Mutex
+	state map[string]*objState
+}
+
+// NewEvaluator builds an evaluator for cfg.
+func NewEvaluator(cfg Config, ec EvaluatorConfig) *Evaluator {
+	if ec.Now == nil {
+		ec.Now = time.Now
+	}
+	interval := time.Duration(cfg.Interval)
+	if ec.SignalTTL <= 0 {
+		ec.SignalTTL = 2 * interval
+	}
+	e := &Evaluator{
+		objectives: cfg.Objectives,
+		interval:   interval,
+		ec:         ec,
+		state:      make(map[string]*objState, len(cfg.Objectives)),
+	}
+	for _, o := range cfg.Objectives {
+		e.state[o.Name] = &objState{}
+	}
+	return e
+}
+
+// Interval returns the configured evaluation cadence.
+func (e *Evaluator) Interval() time.Duration { return e.interval }
+
+// EvalOnce runs one evaluation pass over every objective.
+func (e *Evaluator) EvalOnce() {
+	for i := range e.objectives {
+		e.evalObjective(&e.objectives[i])
+	}
+}
+
+func (e *Evaluator) evalObjective(o *Objective) {
+	fastBurn, fastOK := e.burn(o, time.Duration(o.FastWindow))
+	slowBurn, slowOK := e.burn(o, time.Duration(o.SlowWindow))
+	firing := fastOK && slowOK && fastBurn >= o.BurnThreshold && slowBurn >= o.BurnThreshold
+
+	e.mu.Lock()
+	st := e.state[o.Name]
+	st.fastBurn, st.slowBurn = fastBurn, slowBurn
+	wasFiring := st.firing
+	st.firing = firing
+	e.mu.Unlock()
+
+	signal := "slo_" + o.Name
+	if firing {
+		reason := fmt.Sprintf("%s burn %.2fx/%.2fx over threshold %.2g", o.Type, fastBurn, slowBurn, o.BurnThreshold)
+		if e.ec.Health != nil {
+			// Refreshed every pass while firing; expires on its own if
+			// the evaluator stops.
+			e.ec.Health.SetFor(signal, severityState(o.Severity), reason, e.ec.SignalTTL)
+		}
+		if !wasFiring {
+			e.transition(o, true, fastBurn, slowBurn)
+		}
+		return
+	}
+	if wasFiring {
+		if e.ec.Health != nil {
+			e.ec.Health.Clear(signal)
+		}
+		e.transition(o, false, fastBurn, slowBurn)
+	}
+}
+
+// transition emits the log + audit record for a firing edge.
+func (e *Evaluator) transition(o *Objective, firing bool, fastBurn, slowBurn float64) {
+	edge := "resolved"
+	if firing {
+		edge = "firing"
+	}
+	if e.ec.Logger != nil {
+		e.ec.Logger.Warn("slo objective "+edge,
+			"objective", o.Name, "type", o.Type, "severity", severityState(o.Severity).String(),
+			"fast_burn", fastBurn, "slow_burn", slowBurn,
+			"threshold", o.BurnThreshold,
+			"fast_window", time.Duration(o.FastWindow).String(),
+			"slow_window", time.Duration(o.SlowWindow).String())
+	}
+	if e.ec.Audit != nil {
+		day := 0
+		if e.ec.Day != nil {
+			day = e.ec.Day()
+		}
+		_ = e.ec.Audit.Append(obs.AuditRecord{
+			Time:   e.ec.Now(),
+			Day:    day,
+			Reason: obs.ReasonSLOBreach,
+			Note: fmt.Sprintf("objective %s %s: fast_burn=%.2f slow_burn=%.2f threshold=%.2g severity=%s",
+				o.Name, edge, fastBurn, slowBurn, o.BurnThreshold, severityState(o.Severity).String()),
+		})
+	}
+}
+
+// burn computes one objective's burn rate over a window. ok is false
+// when the window holds no usable data.
+func (e *Evaluator) burn(o *Objective, window time.Duration) (float64, bool) {
+	switch o.Type {
+	case "freshness":
+		pts := e.ec.Store.Query(o.Metric, o.Labels, "", "", window)
+		if len(pts) == 0 {
+			return 0, false
+		}
+		bad := 0
+		for _, p := range pts {
+			if p.Value > o.Target {
+				bad++
+			}
+		}
+		return (float64(bad) / float64(len(pts))) / o.Budget, true
+	case "latency":
+		frac, ok := e.badLatencyFraction(o, window)
+		if !ok {
+			return 0, false
+		}
+		return frac / o.Budget, true
+	case "error_rate":
+		errInc, ok := e.ec.Store.IncreaseOver(o.Metric, o.Labels, "", "", window)
+		if !ok {
+			return 0, false
+		}
+		totInc, ok := e.ec.Store.IncreaseOver(o.TotalMetric, o.TotalLabels, "", "", window)
+		if !ok || totInc <= 0 {
+			return 0, false
+		}
+		return (errInc / totInc) / o.Budget, true
+	}
+	return 0, false
+}
+
+// badLatencyFraction judges a histogram family from bucket increases:
+// the fraction of windowed observations above Target, taking the
+// largest finite bucket bound <= Target as the good/bad split.
+func (e *Evaluator) badLatencyFraction(o *Objective, window time.Duration) (float64, bool) {
+	type bkt struct {
+		bound float64
+		inc   float64
+	}
+	var bkts []bkt
+	for _, info := range e.ec.Store.Series() {
+		if info.Name != o.Metric || info.Labels != o.Labels || info.Suffix != "_bucket" {
+			continue
+		}
+		inc, ok := e.ec.Store.IncreaseOver(info.Name, info.Labels, info.Suffix, info.Le, window)
+		if !ok {
+			continue
+		}
+		bound := math.Inf(1)
+		if info.Le != "+Inf" {
+			v, err := strconv.ParseFloat(info.Le, 64)
+			if err != nil {
+				continue
+			}
+			bound = v
+		}
+		bkts = append(bkts, bkt{bound: bound, inc: inc})
+	}
+	if len(bkts) == 0 {
+		return 0, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].bound < bkts[j].bound })
+	total := bkts[len(bkts)-1].inc
+	if total <= 0 {
+		return 0, false
+	}
+	good := 0.0
+	for _, b := range bkts {
+		if b.bound <= o.Target {
+			good = b.inc // cumulative: the largest qualifying bound wins
+		}
+	}
+	return (total - good) / total, true
+}
+
+// Burns snapshots the latest per-objective burn rates for the metrics
+// gauge-vec.
+func (e *Evaluator) Burns() []BurnRate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]BurnRate, 0, 2*len(e.objectives))
+	for _, o := range e.objectives {
+		st := e.state[o.Name]
+		out = append(out,
+			BurnRate{Objective: o.Name, Window: "fast", Value: st.fastBurn},
+			BurnRate{Objective: o.Name, Window: "slow", Value: st.slowBurn},
+		)
+	}
+	return out
+}
+
+// Firing snapshots which objectives are currently firing (1) or not
+// (0), for segugiod_slo_firing.
+func (e *Evaluator) Firing() []BurnRate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]BurnRate, 0, len(e.objectives))
+	for _, o := range e.objectives {
+		v := 0.0
+		if e.state[o.Name].firing {
+			v = 1
+		}
+		out = append(out, BurnRate{Objective: o.Name, Value: v})
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"segugio/internal/health"
+	"segugio/internal/metrics"
+	"segugio/internal/obs"
+	"segugio/internal/tsdb"
+)
+
+func TestParseDefaultsAndValidation(t *testing.T) {
+	cfg, err := Parse([]byte(`{"objectives":[
+		{"name":"fresh","type":"freshness","metric":"lag","target":30},
+		{"name":"errs","type":"error_rate","metric":"e_total","totalMetric":"t_total","fastWindow":"30s","slowWindow":"5m","burnThreshold":2,"severity":"overloaded"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(cfg.Interval) != 10*time.Second {
+		t.Fatalf("interval = %v", time.Duration(cfg.Interval))
+	}
+	o := cfg.Objectives[0]
+	if o.Budget != 0.05 || time.Duration(o.FastWindow) != time.Minute ||
+		time.Duration(o.SlowWindow) != 10*time.Minute || o.BurnThreshold != 1 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	if time.Duration(cfg.Objectives[1].FastWindow) != 30*time.Second {
+		t.Fatalf("fastWindow = %v", time.Duration(cfg.Objectives[1].FastWindow))
+	}
+
+	for name, doc := range map[string]string{
+		"no name":           `{"objectives":[{"type":"freshness","metric":"m","target":1}]}`,
+		"dup name":          `{"objectives":[{"name":"x","type":"freshness","metric":"m","target":1},{"name":"x","type":"freshness","metric":"m","target":1}]}`,
+		"unknown type":      `{"objectives":[{"name":"x","type":"vibes","metric":"m"}]}`,
+		"no metric":         `{"objectives":[{"name":"x","type":"latency","target":1}]}`,
+		"no target":         `{"objectives":[{"name":"x","type":"freshness","metric":"m"}]}`,
+		"no total":          `{"objectives":[{"name":"x","type":"error_rate","metric":"m"}]}`,
+		"unknown severity":  `{"objectives":[{"name":"x","type":"freshness","metric":"m","target":1,"severity":"mild"}]}`,
+		"unparseable json":  `{`,
+		"bad window string": `{"objectives":[{"name":"x","type":"freshness","metric":"m","target":1,"fastWindow":"soon"}]}`,
+	} {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDurationUnmarshal(t *testing.T) {
+	var cfg Config
+	c, err := Parse([]byte(`{"interval": 2.5, "objectives": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = c
+	if time.Duration(cfg.Interval) != 2500*time.Millisecond {
+		t.Fatalf("numeric interval = %v", time.Duration(cfg.Interval))
+	}
+}
+
+// sloHarness drives a registry, store, health tracker, audit log and
+// evaluator with a manual clock.
+type sloHarness struct {
+	reg   *metrics.Registry
+	store *tsdb.Store
+	hl    *health.Tracker
+	audit *obs.AuditLog
+	eval  *Evaluator
+	now   time.Time
+}
+
+func newHarness(t *testing.T, objectives string) *sloHarness {
+	t.Helper()
+	h := &sloHarness{reg: metrics.NewRegistry(), now: time.Unix(1_700_000_000, 0)}
+	nowFn := func() time.Time { return h.now }
+	h.store = tsdb.New(tsdb.Config{Registry: h.reg, Interval: time.Second, Retention: time.Minute, Now: nowFn})
+	h.hl = health.New(health.Config{Now: nowFn})
+	audit, err := obs.OpenAudit(obs.AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.audit = audit
+	cfg, err := Parse([]byte(objectives))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.eval = NewEvaluator(cfg, EvaluatorConfig{
+		Store: h.store, Health: h.hl, Audit: audit,
+		Day: func() int { return 42 }, Now: nowFn,
+	})
+	return h
+}
+
+func (h *sloHarness) tick() {
+	h.store.Scrape()
+	h.now = h.now.Add(time.Second)
+}
+
+func TestFreshnessBurnFiresAndResolves(t *testing.T) {
+	h := newHarness(t, `{"interval":"1s","objectives":[{
+		"name":"apply-freshness","type":"freshness",
+		"metric":"lag_seconds","target":5,"budget":0.5,
+		"fastWindow":"3s","slowWindow":"6s","burnThreshold":1,
+		"severity":"overloaded"}]}`)
+	lag := h.reg.NewGauge("lag_seconds", "L.", "")
+
+	// Healthy samples: lag under target, no burn.
+	for i := 0; i < 6; i++ {
+		lag.Set(1)
+		h.tick()
+	}
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Healthy {
+		t.Fatalf("state = %v before breach", h.hl.State())
+	}
+
+	// Lag pinned above target: every sample bad → burn 1/0.5 = 2 ≥ 1 in
+	// both windows once the slow window fills with bad samples.
+	for i := 0; i < 7; i++ {
+		lag.Set(60)
+		h.tick()
+	}
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Overloaded {
+		t.Fatalf("state = %v after breach, signals %+v", h.hl.State(), h.hl.Signals())
+	}
+	burns := h.eval.Burns()
+	if len(burns) != 2 || burns[0].Value < 1 || burns[1].Value < 1 {
+		t.Fatalf("burns = %+v", burns)
+	}
+	if f := h.eval.Firing(); len(f) != 1 || f[0].Value != 1 {
+		t.Fatalf("firing = %+v", f)
+	}
+
+	// The firing edge landed in the audit trail.
+	recs := h.audit.Recent(10)
+	found := false
+	for _, r := range recs {
+		if r.Reason == obs.ReasonSLOBreach && strings.Contains(r.Note, "apply-freshness firing") && r.Day == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no slo_breach audit record: %+v", recs)
+	}
+
+	// Recovery: fresh samples flush the windows; signal clears and the
+	// resolved edge is recorded.
+	for i := 0; i < 8; i++ {
+		lag.Set(0)
+		h.tick()
+	}
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Healthy {
+		t.Fatalf("state = %v after recovery, signals %+v", h.hl.State(), h.hl.Signals())
+	}
+	found = false
+	for _, r := range h.audit.Recent(10) {
+		if r.Reason == obs.ReasonSLOBreach && strings.Contains(r.Note, "apply-freshness resolved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no resolved audit record")
+	}
+	if f := h.eval.Firing(); f[0].Value != 0 {
+		t.Fatalf("still firing: %+v", f)
+	}
+}
+
+func TestErrorRateBurn(t *testing.T) {
+	h := newHarness(t, `{"interval":"1s","objectives":[{
+		"name":"wal-errors","type":"error_rate",
+		"metric":"err_total","totalMetric":"ops_total",
+		"budget":0.01,"fastWindow":"4s","slowWindow":"8s"}]}`)
+	errs := h.reg.NewCounter("err_total", "E.", "")
+	ops := h.reg.NewCounter("ops_total", "O.", "")
+
+	// 0.5% error rate: under the 1% budget, burn 0.5.
+	for i := 0; i < 9; i++ {
+		ops.Add(1000)
+		errs.Add(5)
+		h.tick()
+	}
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Healthy {
+		t.Fatalf("state = %v at 0.5x burn", h.hl.State())
+	}
+
+	// 5% error rate: 5x burn in both windows → degraded (default).
+	for i := 0; i < 9; i++ {
+		ops.Add(1000)
+		errs.Add(50)
+		h.tick()
+	}
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Degraded {
+		t.Fatalf("state = %v at 5x burn, signals %+v", h.hl.State(), h.hl.Signals())
+	}
+}
+
+func TestLatencyBurnFromBuckets(t *testing.T) {
+	h := newHarness(t, `{"interval":"1s","objectives":[{
+		"name":"classify-lat","type":"latency",
+		"metric":"stage_seconds","labels":"{stage=\"classify\"}",
+		"target":0.1,"budget":0.2,"fastWindow":"4s","slowWindow":"8s"}]}`)
+	hist := h.reg.NewHistogram("stage_seconds", "S.", metrics.Labels("stage", "classify"), []float64{0.1, 1})
+	h.tick()
+
+	// 50% of observations above 0.1s against a 20% budget → burn 2.5.
+	for i := 0; i < 9; i++ {
+		hist.Observe(0.05)
+		hist.Observe(0.5)
+		h.tick()
+	}
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Degraded {
+		t.Fatalf("state = %v, signals %+v", h.hl.State(), h.hl.Signals())
+	}
+	burns := h.eval.Burns()
+	for _, b := range burns {
+		if b.Value < 2.4 || b.Value > 2.6 {
+			t.Fatalf("burn = %+v, want ~2.5", burns)
+		}
+	}
+}
+
+func TestNoDataBurnsZero(t *testing.T) {
+	h := newHarness(t, `{"interval":"1s","objectives":[{
+		"name":"fresh","type":"freshness","metric":"missing","target":1}]}`)
+	h.tick()
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Healthy {
+		t.Fatalf("state = %v with no data", h.hl.State())
+	}
+	for _, b := range h.eval.Burns() {
+		if b.Value != 0 {
+			t.Fatalf("burn = %+v with no data", b)
+		}
+	}
+}
+
+func TestSignalTTLExpiresWithoutEvaluator(t *testing.T) {
+	h := newHarness(t, `{"interval":"1s","objectives":[{
+		"name":"fresh","type":"freshness","metric":"lag_seconds",
+		"target":5,"budget":0.5,"fastWindow":"3s","slowWindow":"3s"}]}`)
+	lag := h.reg.NewGauge("lag_seconds", "L.", "")
+	for i := 0; i < 4; i++ {
+		lag.Set(60)
+		h.tick()
+	}
+	h.eval.EvalOnce()
+	if h.hl.State() != health.Degraded {
+		t.Fatalf("state = %v", h.hl.State())
+	}
+	// Evaluator dies; the TTL'd signal must expire on its own (2× the
+	// 1s interval).
+	h.now = h.now.Add(5 * time.Second)
+	if h.hl.State() != health.Healthy {
+		t.Fatalf("state = %v after TTL, signals %+v", h.hl.State(), h.hl.Signals())
+	}
+}

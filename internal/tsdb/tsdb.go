@@ -1,0 +1,440 @@
+// Package tsdb is an embedded, stdlib-only time-series store over the
+// daemon's metrics registry. A Store scrapes the registry at a fixed
+// interval into per-series ring buffers (one shared timestamp ring, one
+// float64 column per series), bounded by retention = interval ×
+// capacity. It answers the windowed questions the SLO evaluator and
+// operators need without an external Prometheus: raw points, min/avg/
+// max, reset-aware rate/increase over counters, and histogram-quantile
+// estimation from bucket deltas.
+//
+// The scrape path is deliberately allocation-frugal: the sample buffer
+// is reused across scrapes and series columns are allocated once when a
+// series first appears, so a steady-state scrape performs no heap
+// allocation beyond map growth on new series (gated in
+// scripts/bench-allocs.sh).
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"segugio/internal/metrics"
+)
+
+// seriesKey identifies one stored column. It mirrors metrics.Sample's
+// identity fields: histogram child series differ in Suffix/Le.
+type seriesKey struct {
+	name, labels, suffix, le string
+}
+
+// series is one stored column. vals is position-aligned with the
+// store's shared timestamp ring; NaN marks scrapes where the series was
+// absent (registered later, or a vec label set that disappeared).
+type series struct {
+	kind string
+	vals []float64
+}
+
+// SeriesInfo describes one stored series for discovery queries.
+type SeriesInfo struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Suffix string `json:"suffix,omitempty"`
+	Le     string `json:"le,omitempty"`
+	Kind   string `json:"kind"`
+}
+
+// Point is one (timestamp, value) sample of a series.
+type Point struct {
+	Ts    time.Time `json:"ts"`
+	Value float64   `json:"value"`
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Registry is the metrics registry to scrape. Required.
+	Registry *metrics.Registry
+	// Interval is the scrape cadence the caller promises to drive
+	// Scrape at; it determines how a Retention translates into ring
+	// capacity (default 5s).
+	Interval time.Duration
+	// Retention is how much history to keep (default 1h). Capacity is
+	// Retention/Interval samples, minimum 2.
+	Retention time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Store holds the sampled series. Safe for concurrent use.
+type Store struct {
+	reg      *metrics.Registry
+	interval time.Duration
+	now      func() time.Time
+
+	mu     sync.Mutex
+	buf    []metrics.Sample
+	ts     []int64 // unix nanos, ring
+	pos    int     // next write slot
+	n      int     // filled slots
+	series map[seriesKey]*series
+}
+
+// New builds a Store from cfg.
+func New(cfg Config) *Store {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = time.Hour
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	capacity := int(cfg.Retention / cfg.Interval)
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Store{
+		reg:      cfg.Registry,
+		interval: cfg.Interval,
+		now:      cfg.Now,
+		ts:       make([]int64, capacity),
+		series:   make(map[seriesKey]*series),
+	}
+}
+
+// Interval returns the configured scrape cadence.
+func (s *Store) Interval() time.Duration { return s.interval }
+
+// Capacity returns the ring size in samples.
+func (s *Store) Capacity() int { return len(s.ts) }
+
+// Scrape samples every registered series once. The caller drives this
+// at the configured interval; irregular cadence only stretches or
+// compresses the effective retention, queries stay correct because
+// every sample carries its own timestamp.
+func (s *Store) Scrape() {
+	if s == nil || s.reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = s.reg.AppendSamples(s.buf[:0])
+	pos := s.pos
+	s.ts[pos] = s.now().UnixNano()
+	// Series not present this scrape hold NaN at this position — the
+	// ring wraps, so yesterday's value must not survive in today's slot.
+	for _, col := range s.series {
+		col.vals[pos] = math.NaN()
+	}
+	for _, smp := range s.buf {
+		key := seriesKey{smp.Name, smp.Labels, smp.Suffix, smp.Le}
+		col := s.series[key]
+		if col == nil {
+			col = &series{kind: smp.Kind, vals: make([]float64, len(s.ts))}
+			for i := range col.vals {
+				col.vals[i] = math.NaN()
+			}
+			s.series[key] = col
+		}
+		col.vals[pos] = smp.Value
+	}
+	s.pos = (pos + 1) % len(s.ts)
+	if s.n < len(s.ts) {
+		s.n++
+	}
+}
+
+// Series lists every stored series, sorted, for discovery.
+func (s *Store) Series() []SeriesInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesInfo, 0, len(s.series))
+	for key, col := range s.series {
+		out = append(out, SeriesInfo{Name: key.name, Labels: key.labels, Suffix: key.suffix, Le: key.le, Kind: col.kind})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Labels != b.Labels {
+			return a.Labels < b.Labels
+		}
+		if a.Suffix != b.Suffix {
+			return a.Suffix < b.Suffix
+		}
+		return leValue(a.Le) < leValue(b.Le)
+	})
+	return out
+}
+
+// pointsLocked collects the series' non-NaN points inside the window
+// ending now, oldest first. Window <= 0 means everything retained.
+func (s *Store) pointsLocked(key seriesKey, window time.Duration) []Point {
+	col := s.series[key]
+	if col == nil {
+		return nil
+	}
+	cutoff := int64(math.MinInt64)
+	if window > 0 {
+		cutoff = s.now().Add(-window).UnixNano()
+	}
+	out := make([]Point, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		// Oldest-first walk of the ring.
+		pos := (s.pos - s.n + i + len(s.ts)) % len(s.ts)
+		if s.ts[pos] < cutoff {
+			continue
+		}
+		v := col.vals[pos]
+		if math.IsNaN(v) {
+			continue
+		}
+		out = append(out, Point{Ts: time.Unix(0, s.ts[pos]), Value: v})
+	}
+	return out
+}
+
+// Query returns the raw points of one series over the window.
+func (s *Store) Query(name, labels, suffix, le string, window time.Duration) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pointsLocked(seriesKey{name, labels, suffix, le}, window)
+}
+
+// Aggregate computes min/max/avg/last over the series' window.
+type Aggregate struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Avg   float64 `json:"avg"`
+	Last  float64 `json:"last"`
+}
+
+// AggregateOver aggregates one series over the window. ok is false when
+// the window holds no points.
+func (s *Store) AggregateOver(name, labels, suffix, le string, window time.Duration) (Aggregate, bool) {
+	pts := s.Query(name, labels, suffix, le, window)
+	if len(pts) == 0 {
+		return Aggregate{}, false
+	}
+	agg := Aggregate{Count: len(pts), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Value
+		if p.Value < agg.Min {
+			agg.Min = p.Value
+		}
+		if p.Value > agg.Max {
+			agg.Max = p.Value
+		}
+	}
+	agg.Avg = sum / float64(len(pts))
+	agg.Last = pts[len(pts)-1].Value
+	return agg, true
+}
+
+// increase computes the reset-aware increase of a counter point list:
+// the sum of positive deltas, with a counter reset (value drop)
+// contributing the post-reset value. Mirrors Prometheus semantics minus
+// window-edge extrapolation — day-to-day SLO math does not need it.
+func increase(pts []Point) (float64, bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	total := 0.0
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].Value - pts[i-1].Value
+		if d < 0 { // reset: the counter restarted from ~0
+			d = pts[i].Value
+		}
+		total += d
+	}
+	return total, true
+}
+
+// IncreaseOver returns the reset-aware increase of a counter series
+// over the window. ok is false with fewer than two points.
+func (s *Store) IncreaseOver(name, labels, suffix, le string, window time.Duration) (float64, bool) {
+	return increase(s.Query(name, labels, suffix, le, window))
+}
+
+// RateOver returns the per-second rate of a counter series over the
+// window: increase divided by the covered time span.
+func (s *Store) RateOver(name, labels, suffix, le string, window time.Duration) (float64, bool) {
+	pts := s.Query(name, labels, suffix, le, window)
+	inc, ok := increase(pts)
+	if !ok {
+		return 0, false
+	}
+	span := pts[len(pts)-1].Ts.Sub(pts[0].Ts).Seconds()
+	if span <= 0 {
+		return 0, false
+	}
+	return inc / span, true
+}
+
+// QuantileOver estimates the φ-quantile of a histogram family over the
+// window from its bucket increases, using the standard linear
+// interpolation within the winning bucket (the +Inf bucket degrades to
+// the highest finite bound, as in Prometheus). ok is false when the
+// window saw no observations.
+func (s *Store) QuantileOver(name, labels string, q float64, window time.Duration) (float64, bool) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, false
+	}
+	s.mu.Lock()
+	type bkt struct {
+		bound float64
+		inc   float64
+	}
+	var bkts []bkt
+	for key := range s.series {
+		if key.name != name || key.labels != labels || key.suffix != "_bucket" {
+			continue
+		}
+		pts := s.pointsLocked(key, window)
+		inc, ok := increase(pts)
+		if !ok {
+			continue
+		}
+		bkts = append(bkts, bkt{bound: leValue(key.le), inc: inc})
+	}
+	s.mu.Unlock()
+	if len(bkts) == 0 {
+		return 0, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].bound < bkts[j].bound })
+	total := bkts[len(bkts)-1].inc // +Inf bucket: cumulative total
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	for i, b := range bkts {
+		if b.inc < rank {
+			continue
+		}
+		if math.IsInf(b.bound, 1) {
+			// Quantile lands past the last finite bound.
+			if len(bkts) > 1 {
+				return bkts[len(bkts)-2].bound, true
+			}
+			return 0, true
+		}
+		lower, lowerCum := 0.0, 0.0
+		if i > 0 {
+			lower, lowerCum = bkts[i-1].bound, bkts[i-1].inc
+		}
+		width := b.inc - lowerCum
+		if width <= 0 {
+			return b.bound, true
+		}
+		return lower + (b.bound-lower)*(rank-lowerCum)/width, true
+	}
+	return bkts[len(bkts)-1].bound, true
+}
+
+// leValue parses a bucket bound label ("+Inf" aware); non-bucket series
+// (empty le) sort first.
+func leValue(le string) float64 {
+	switch le {
+	case "":
+		return math.Inf(-1)
+	case "+Inf":
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// Snapshot is the JSON-serializable dump written to STATE on shutdown —
+// the time-series sibling of the flight recorder's traces.json.
+type Snapshot struct {
+	IntervalMS int64            `json:"intervalMs"`
+	Capacity   int              `json:"capacity"`
+	Timestamps []int64          `json:"timestamps"` // unix nanos, oldest first
+	Series     []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one series' dump. Values aligns with
+// Snapshot.Timestamps; scrapes where the series was absent hold null
+// (NaN is not valid JSON, and null round-trips the gap faithfully).
+type SeriesSnapshot struct {
+	SeriesInfo
+	Values []*float64 `json:"values"`
+}
+
+// Dump snapshots the whole store, oldest sample first.
+func (s *Store) Dump() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		IntervalMS: s.interval.Milliseconds(),
+		Capacity:   len(s.ts),
+		Timestamps: make([]int64, 0, s.n),
+	}
+	positions := make([]int, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		pos := (s.pos - s.n + i + len(s.ts)) % len(s.ts)
+		positions = append(positions, pos)
+		snap.Timestamps = append(snap.Timestamps, s.ts[pos])
+	}
+	keys := make([]seriesKey, 0, len(s.series))
+	for key := range s.series {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.labels != b.labels {
+			return a.labels < b.labels
+		}
+		if a.suffix != b.suffix {
+			return a.suffix < b.suffix
+		}
+		return leValue(a.le) < leValue(b.le)
+	})
+	for _, key := range keys {
+		col := s.series[key]
+		ss := SeriesSnapshot{
+			SeriesInfo: SeriesInfo{Name: key.name, Labels: key.labels, Suffix: key.suffix, Le: key.le, Kind: col.kind},
+			Values:     make([]*float64, 0, s.n),
+		}
+		for _, pos := range positions {
+			if v := col.vals[pos]; !math.IsNaN(v) {
+				vv := v
+				ss.Values = append(ss.Values, &vv)
+			} else {
+				ss.Values = append(ss.Values, nil)
+			}
+		}
+		snap.Series = append(snap.Series, ss)
+	}
+	return snap
+}
+
+// ParseWindow parses a query window parameter: a Go duration string
+// ("90s", "5m"). Empty means the full retention.
+func ParseWindow(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad window %q: %w", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("bad window %q: negative", s)
+	}
+	return d, nil
+}

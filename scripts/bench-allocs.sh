@@ -25,6 +25,13 @@ BUDGET=${BENCH_ALLOC_BUDGET:-1000}
 # budget means the pass fell back to rebuilding full-graph state.
 LBP_BUDGET=${BENCH_LBP_ALLOC_BUDGET:-64}
 
+# The embedded tsdb self-scrapes the whole metrics registry every few
+# seconds for the daemon's lifetime, so a scrape must not allocate in
+# steady state (series columns are preallocated at first sight; the
+# measured steady state is 0 allocs/op). A blown budget means per-scrape
+# garbage on a hot background loop.
+TSDB_SCRAPE_BUDGET=${BENCH_TSDB_SCRAPE_ALLOC_BUDGET:-64}
+
 gate() {
     local bench=$1 pkg=$2 budget=$3
     local out allocs
@@ -46,6 +53,7 @@ gate() {
 
 gate BenchmarkClassifyAllDelta ./internal/server "$BUDGET"
 gate BenchmarkLBPResidual ./internal/belief "$LBP_BUDGET"
+gate BenchmarkScrape ./internal/tsdb "$TSDB_SCRAPE_BUDGET"
 
 # --- Wire-format gates ------------------------------------------------
 #

@@ -36,6 +36,7 @@ done >"$tmp/events.tsv"
     -network smoke \
     -start-day 1 \
     -state "$tmp/state" \
+    -stats-interval 200ms \
     -log-format json \
     <"$tmp/events.tsv" 2>"$tmp/daemon.log" &
 pid=$!
@@ -85,9 +86,13 @@ fetch() {
 # All 60 events ingested, and the parse/graph_apply stage histograms fed.
 fetch /metrics 'segugiod_ingest_events_total 60'
 fetch /metrics 'segugiod_stage_seconds_count{stage="parse"} 60'
+fetch /metrics 'segugiod_watermark_lag_seconds{stage="graph_apply",source="stream"}'
 fetch /healthz '"status": "ok"'
 fetch /debug/obs/traces '"recent"'
 fetch /v1/audit '"records"'
+# The embedded stats store self-scrapes and answers windowed queries.
+fetch /v1/stats/query '"series"'
+fetch '/v1/stats/query?metric=segugiod_ingest_events_total&op=increase&window=30s' '"ok": true'
 
 curl -sf "$base/metrics" >"$tmp/metrics.last"
 grep -q 'segugiod_build_info' "$tmp/metrics.last" || {
@@ -105,8 +110,10 @@ if [ "$status" -ne 0 ]; then
     cat "$tmp/daemon.log" >&2
     exit 1
 fi
-if [ ! -f "$tmp/state/traces.json" ]; then
-    echo "obs-smoke: no traces.json snapshot after graceful shutdown" >&2
-    exit 1
-fi
-echo "obs-smoke: clean shutdown, trace snapshot written"
+for snap in traces.json stats.json; do
+    if [ ! -f "$tmp/state/$snap" ]; then
+        echo "obs-smoke: no $snap snapshot after graceful shutdown" >&2
+        exit 1
+    fi
+done
+echo "obs-smoke: clean shutdown, trace and stats snapshots written"
