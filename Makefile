@@ -21,13 +21,15 @@ check: vet race
 # bench runs the performance suites with 5 samples per benchmark and
 # archives the aggregated results: the snapshot/apply suite as
 # BENCH_snapshot.json, the wire-format ingest suite (segb1 binary
-# encode/decode vs text parse/write, plus end-to-end frontend
-# throughput) as BENCH_ingest.json, the classify pipeline suite (full
-# vs delta classify-all, batch scoring) as BENCH_classify.json, and the
-# belief propagation suite (cold full pass vs residual incremental
-# pass) as BENCH_lbp.json. It is informational (no CI gate); diff the
-# JSON across commits to spot regressions. events/s rates land in each
-# benchmark's "extra" map.
+# encode/decode vs text parse/write, end-to-end frontend throughput,
+# and the BenchmarkIngestApplyShards shards=1/2/4/8 graph-apply scaling
+# curve) as BENCH_ingest.json, the classify pipeline suite (full vs
+# delta classify-all, the sharded-backend delta variant, batch scoring)
+# as BENCH_classify.json, and the belief propagation suite (cold full
+# pass vs residual incremental pass) as BENCH_lbp.json. It is
+# informational (no CI gate; bench-allocs holds the hard gates); diff
+# the JSON across commits to spot regressions. events/s rates land in
+# each benchmark's "extra" map.
 bench:
 	$(GO) test -bench . -benchmem -count=5 -run '^$$' ./internal/graph \
 		| $(GO) run ./cmd/benchjson -o BENCH_snapshot.json

@@ -186,7 +186,11 @@ func TestDaemonCrashRecovery(t *testing.T) {
 	cmd.Wait() // reaps; exit status is "signal: killed", not interesting
 
 	// Phase 2: restart on the same state directory, in-process this time
-	// so the recovered daemon's internals are inspectable.
+	// so the recovered daemon's internals are inspectable. The victim ran
+	// with the default 4 graph shards; restarting with 2 forces recovery
+	// to rehash the per-shard checkpoints and WAL stripes into the new
+	// partition — the flag may change across any restart, crashes
+	// included.
 	logBuf := &logBuffer{}
 	logger, err := obs.NewLogger(logBuf, obs.FormatText, 0)
 	if err != nil {
@@ -198,6 +202,7 @@ func TestDaemonCrashRecovery(t *testing.T) {
 		network:      "crash",
 		startDay:     e2eDay,
 		workers:      4,
+		graphShards:  2,
 		queue:        16384,
 		window:       14,
 		keepDays:     30,
@@ -218,9 +223,13 @@ func TestDaemonCrashRecovery(t *testing.T) {
 	base2 := "http://" + d.httpLn.Addr().String()
 
 	// Recovery must have come from a checkpoint (one was scraped as
-	// durable before the kill) plus the WAL tail.
+	// durable before the kill) plus the WAL tail, and must have rehashed
+	// the victim's 4-shard state into the requested 2 shards.
 	if !strings.Contains(recoveryLog, "checkpoint") {
 		t.Fatalf("recovery did not report a checkpoint:\n%s", recoveryLog)
+	}
+	if !strings.Contains(recoveryLog, "rehashed to 2 shards") {
+		t.Fatalf("recovery did not rehash across the shard-count change:\n%s", recoveryLog)
 	}
 	// No acknowledged event lost: the full day's graph is back. genEvents
 	// yields 34 domains across 37 machines.

@@ -43,6 +43,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -89,6 +90,10 @@ type options struct {
 	queue    int
 	window   int
 	keepDays int
+
+	// graphShards partitions the live graph by machine/domain hash; 0
+	// follows -workers so each ingest shard feeds its own graph shard.
+	graphShards int
 
 	// Durability and hardening knobs. A zero value disables the feature
 	// (no -state means a purely in-memory daemon, as before).
@@ -157,6 +162,7 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&opts.network, "network", "isp", "network name stamped on live graphs")
 	fs.IntVar(&opts.startDay, "start-day", 0, "initial epoch day; earlier events are dropped as stale")
 	fs.IntVar(&opts.workers, "workers", 4, "ingest worker shards")
+	fs.IntVar(&opts.graphShards, "graph-shards", 0, "machine-hash graph shards, each with its own apply lock and WAL stripe (0 = -workers; a restart with a different value rehashes the recovered state)")
 	fs.IntVar(&opts.queue, "queue", 4096, "per-shard event queue depth")
 	fs.IntVar(&opts.window, "window", 14, "activity look-back window in days (F2 features)")
 	fs.IntVar(&opts.keepDays, "keep-days", 30, "days of activity history kept across rotations")
@@ -481,6 +487,21 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 			"Unacknowledged events shed by the overload policy, by reason.",
 			metrics.Labels("reason", reason))
 	}
+	// Per-shard apply instrumentation: one series per graph shard, so a
+	// hot or stalled shard is visible in isolation.
+	graphShards := opts.graphShards
+	if graphShards <= 0 {
+		graphShards = opts.workers
+	}
+	for s := 0; s < graphShards; s++ {
+		lbl := metrics.Labels("shard", strconv.Itoa(s))
+		ingMetrics.ShardEvents = append(ingMetrics.ShardEvents, d.reg.NewCounter(
+			"segugiod_shard_events_total",
+			"Events applied to the live graph, by graph shard.", lbl))
+		ingMetrics.ShardApplySeconds = append(ingMetrics.ShardApplySeconds, d.reg.NewHistogram(
+			"segugiod_shard_apply_seconds",
+			"Latency of applying one event batch to its graph shard, including shard-lock wait.", lbl, nil))
+	}
 
 	ingLog := obs.Component(logger, "ingest")
 	ingCfg := ingest.Config{
@@ -488,6 +509,7 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 		StartDay:         opts.startDay,
 		Suffixes:         suffixes,
 		Workers:          opts.workers,
+		GraphShards:      opts.graphShards,
 		QueueDepth:       opts.queue,
 		Activity:         act,
 		ActivityKeepDays: opts.keepDays,
@@ -548,6 +570,21 @@ func newDaemon(opts options, logger *slog.Logger) (*daemon, error) {
 		}
 		ingLog.Info("state recovered", "dir", opts.stateDir, "summary", info.String())
 	}
+	// Queue depth is a ring (worker) property, sampled at scrape time so a
+	// backed-up shard shows up without a poll loop.
+	d.reg.NewGaugeVecFunc("segugiod_shard_queue_depth",
+		"Events queued per ingest ring shard, summed across attached sources.",
+		func() []metrics.LabeledValue {
+			depths := d.ing.QueueDepths()
+			out := make([]metrics.LabeledValue, len(depths))
+			for s, n := range depths {
+				out[s] = metrics.LabeledValue{
+					Labels: metrics.Labels("shard", strconv.Itoa(s)),
+					Value:  float64(n),
+				}
+			}
+			return out
+		})
 
 	if opts.model != "" {
 		var err error

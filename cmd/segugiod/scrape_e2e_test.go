@@ -150,7 +150,15 @@ func TestMetricsScrapeLints(t *testing.T) {
 		`segugiod_http_rejected_total{code="503"}`,
 		`segugiod_watermark_lag_seconds{stage="graph_apply",source="stream"}`,
 		`segugiod_watermark_lag_seconds{stage="score_cache",source="all"}`,
+		`segugiod_watermark_lag_seconds{stage="shard_apply",source="shard-0"}`,
+		`segugiod_watermark_lag_seconds{stage="shard_apply",source="shard-1"}`,
 		`segugiod_watermark_day{stage="graph_apply",source="stream"}`,
+		`segugiod_shard_events_total{shard="0"}`,
+		`segugiod_shard_events_total{shard="1"}`,
+		`segugiod_shard_apply_seconds_bucket{shard="0"`,
+		`segugiod_shard_apply_seconds_bucket{shard="1"`,
+		`segugiod_shard_queue_depth{shard="0"}`,
+		`segugiod_shard_queue_depth{shard="1"}`,
 		`segugiod_slo_burn_rate{objective="graph_freshness",window="fast"}`,
 		`segugiod_slo_burn_rate{objective="graph_freshness",window="slow"}`,
 		`segugiod_slo_firing{objective="graph_freshness"}`,

@@ -77,13 +77,23 @@ type Builder struct {
 	ovMut, ipMut   uint64
 
 	// Dirty bookkeeping. freshLog records, in order, every edge that
-	// survived deduplication; ipLog every first-time (domain, address)
-	// pair. Positions are absolute (offset by freshBase/ipLogBase) so the
-	// logs can be trimmed once no baseline needs the prefix.
+	// survived deduplication; ipLog/ipLogIP every first-time (domain,
+	// address) pair. Positions are absolute (offset by
+	// freshBase/ipLogBase) so the logs can be trimmed once no baseline
+	// needs the prefix.
 	freshLog  []edge
 	freshBase int
 	ipLog     []int32
+	ipLogIP   []dnsutil.IPv4
 	ipLogBase int
+
+	// Drain cursors for DrainFresh: absolute positions of the last drained
+	// log prefix. Only builders that are actually drained (the per-shard
+	// builders behind a sharded ingester) set drainActive, so ordinary
+	// builders keep trimming their logs as before.
+	drainActive bool
+	drainFresh  int
+	drainIP     int
 
 	// Per-domain "queried at least once this window" flags and per-e2LD
 	// grouping, used to propagate first-query activity dirt to e2LD
@@ -174,6 +184,15 @@ func (b *Builder) NumDomains() int { return len(b.domains) }
 // Build or Snapshot compacts duplicates away.
 func (b *Builder) NumObservations() int { return len(b.base) + len(b.pending) }
 
+// DomainNamesSince returns the names of the domains interned at index n
+// or later, in intern order. The name slab is append-only, so the
+// returned view stays valid (and fixed) across further appends; the
+// sharded ingester uses it to keep an exact global domain count without
+// re-scanning whole shards.
+func (b *Builder) DomainNamesSince(n int) []string {
+	return b.domains[n:len(b.domains):len(b.domains)]
+}
+
 // AddQuery records that machineID queried domain during the window.
 func (b *Builder) AddQuery(machineID, domain string) {
 	m := b.machine(machineID)
@@ -222,6 +241,7 @@ func (b *Builder) AddResolution(domain string, ip dnsutil.IPv4) {
 	// published snapshot sees.
 	b.domainIPs[d] = append(ips, ip)
 	b.ipLog = append(b.ipLog, d)
+	b.ipLogIP = append(b.ipLogIP, ip)
 	b.ipMut++
 }
 
@@ -678,20 +698,110 @@ func (b *Builder) finishSnapshot(g *Graph) {
 	b.trimLogs()
 }
 
-// trimLogs drops log prefixes no outstanding baseline can reference.
+// DrainFresh folds the pending buffer into the base run and replays every
+// not-yet-drained deduplicated edge and first-time (domain, address) pair
+// to the callbacks, in apply order. It is the shard-to-merged feed of the
+// sharded ingest backend: each shard builder absorbs raw events on the hot
+// path, and the snapshot coordinator drains the per-shard deltas into one
+// merged Builder whose Snapshot carries the exact global dirty set.
+//
+// Because query events route by machine and resolution events by domain
+// (see ShardOf), per-shard deduplication equals global deduplication: no
+// two shards ever see the same (machine, domain) or (domain, address)
+// pair, so the drained deltas compose without cross-shard duplicates.
+//
+// The first DrainFresh must happen before any log trimming (in practice:
+// immediately after NewBuilder or DecodeSnapshot, both of which start the
+// logs at position zero); from then on trimLogs keeps the undrained
+// suffix alive. Callers must serialize DrainFresh with other Builder
+// calls.
+// BeginDrain activates the DrainFresh cursor at the current log base
+// without replaying anything. A builder that will be drained later but
+// must be snapshotted first (the rehash path checkpoints redistributed
+// shard builders before the ingester's seed drain) calls this right
+// after construction: otherwise the snapshot's own baseline lets
+// trimLogs discard the not-yet-drained prefix and the first DrainFresh
+// silently emits nothing. Do not call it on builders that are never
+// drained — a pinned cursor keeps the logs alive forever.
+func (b *Builder) BeginDrain() {
+	if !b.drainActive {
+		b.drainActive = true
+		b.drainFresh = b.freshBase
+		b.drainIP = b.ipLogBase
+	}
+}
+
+func (b *Builder) DrainFresh(edgeFn func(machineID, domain string), resFn func(domain string, ip dnsutil.IPv4)) {
+	fresh := b.mergePending()
+	b.freshLog = append(b.freshLog, fresh...)
+	// Keep the CSR/overlay invariant: mergePending grew the base run, so
+	// the adjacency must absorb the fresh edges exactly as snapshot() does
+	// or a later applyOverlay-path snapshot would miss them.
+	if b.csrMOff == nil || b.ovEdges+len(fresh) > len(b.base)/4+overlaySlackMin {
+		b.compact()
+	} else if len(fresh) > 0 {
+		b.applyOverlay(fresh)
+	}
+	b.pending = b.pending[:0]
+
+	if !b.drainActive {
+		b.drainActive = true
+		b.drainFresh = b.freshBase
+		b.drainIP = b.ipLogBase
+	}
+	for _, e := range b.freshLog[b.drainFresh-b.freshBase:] {
+		edgeFn(b.machineIDs[e.m], b.domains[e.d])
+	}
+	b.drainFresh = b.freshBase + len(b.freshLog)
+	tail := b.drainIP - b.ipLogBase
+	for i, d := range b.ipLog[tail:] {
+		resFn(b.domains[d], b.ipLogIP[tail+i])
+	}
+	b.drainIP = b.ipLogBase + len(b.ipLog)
+	b.trimLogs()
+}
+
+// trimLogs drops log prefixes no outstanding baseline can reference: the
+// last snapshot's dirty baseline, the last labeled snapshot's relabel
+// baseline, and (for drained shard builders) the DrainFresh cursor.
 func (b *Builder) trimLogs() {
-	minFresh := b.lastSnapFresh
-	if b.lastLabeled != nil && b.lastLabeled.snapFreshPos < minFresh {
-		minFresh = b.lastLabeled.snapFreshPos
+	minFresh, haveFresh := 0, false
+	lower := func(pos int) {
+		if !haveFresh || pos < minFresh {
+			minFresh, haveFresh = pos, true
+		}
 	}
-	if cut := minFresh - b.freshBase; cut >= logTrimMin && cut > len(b.freshLog)/2 {
-		rest := copy(b.freshLog, b.freshLog[cut:])
-		b.freshLog = b.freshLog[:rest]
-		b.freshBase += cut
+	if b.lastSnap != nil {
+		lower(b.lastSnapFresh)
 	}
-	if cut := b.lastSnapIP - b.ipLogBase; cut >= logTrimMin && cut > len(b.ipLog)/2 {
-		rest := copy(b.ipLog, b.ipLog[cut:])
-		b.ipLog = b.ipLog[:rest]
-		b.ipLogBase += cut
+	if b.lastLabeled != nil {
+		lower(b.lastLabeled.snapFreshPos)
+	}
+	if b.drainActive {
+		lower(b.drainFresh)
+	}
+	if haveFresh {
+		if cut := minFresh - b.freshBase; cut >= logTrimMin && cut > len(b.freshLog)/2 {
+			rest := copy(b.freshLog, b.freshLog[cut:])
+			b.freshLog = b.freshLog[:rest]
+			b.freshBase += cut
+		}
+	}
+
+	minIP, haveIP := 0, false
+	if b.lastSnap != nil {
+		minIP, haveIP = b.lastSnapIP, true
+	}
+	if b.drainActive && (!haveIP || b.drainIP < minIP) {
+		minIP, haveIP = b.drainIP, true
+	}
+	if haveIP {
+		if cut := minIP - b.ipLogBase; cut >= logTrimMin && cut > len(b.ipLog)/2 {
+			rest := copy(b.ipLog, b.ipLog[cut:])
+			b.ipLog = b.ipLog[:rest]
+			copy(b.ipLogIP, b.ipLogIP[cut:])
+			b.ipLogIP = b.ipLogIP[:rest]
+			b.ipLogBase += cut
+		}
 	}
 }

@@ -3,6 +3,7 @@ package ingest
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -23,27 +24,50 @@ import (
 // periodic checkpoints so an unclean death loses at most the WAL's
 // unsynced suffix instead of the whole day's graph.
 //
-// The invariant the layer maintains is simple because WAL appends happen
-// inside apply's critical section: under the ingest mutex, the builder
-// state and the WAL end position always agree. A checkpoint therefore
-// captures (snapshot, version, WAL position) atomically; recovery loads
-// the newest intact checkpoint and replays only the WAL records at or
-// after its position. Corrupt trailing WAL records are truncated by
-// wal.Open; a corrupt or torn checkpoint falls back to the previous one,
-// which still works because WAL segments are only reclaimed up to the
-// position of the checkpoint one generation back.
+// Durability is sharded the same way the live graph is: each graph shard
+// owns a WAL stripe and an A/B checkpoint pair, and a MANIFEST.json at
+// the state-dir root records the shard count and the current layout
+// generation. The invariant the layer maintains is per shard and simple,
+// because stripe appends happen inside shardApply's critical section:
+// under a shard's lock, its builder state and its WAL end position
+// always agree. A checkpoint round therefore captures each shard's
+// (snapshot, WAL position) atomically; recovery loads every shard's
+// newest intact checkpoint and replays only that stripe's records at or
+// after its position. Corrupt trailing stripe records are truncated by
+// wal.Open; a corrupt or torn shard checkpoint falls back to its
+// previous generation, which still works because stripe segments are
+// only reclaimed up to the position of the checkpoint one generation
+// back.
+//
+// When -graph-shards changes across a restart (or a legacy
+// single-builder state directory is found), recovery rehashes: the old
+// partition is loaded in full — checkpoints plus WAL replay — then every
+// edge and resolution is re-routed through graph.ShardOf into the new
+// partition, and the redistributed state is written as a fresh layout
+// generation (new checkpoints, empty stripes) before the old one is
+// deleted. The manifest flips to the new generation atomically, so a
+// crash mid-migration simply re-runs it; generation directories the
+// manifest does not name are orphans and are swept at the next open.
 
-// Checkpoint file names inside the state directory. The previous
-// generation is kept as the fallback for a checkpoint torn mid-write or
-// rotted on disk.
+// State-directory layout names. Legacy (pre-sharding) layouts keep a
+// single checkpoint pair and WAL at the root; sharded layouts live in a
+// per-generation directory named by the manifest.
 const (
-	checkpointFile     = "checkpoint.gob"
-	checkpointPrevFile = "checkpoint.prev.gob"
-	walDirName         = "wal"
+	manifestFile       = "MANIFEST.json"
+	checkpointFile     = "checkpoint.gob"      // legacy layout
+	checkpointPrevFile = "checkpoint.prev.gob" // legacy layout
+	walDirName         = "wal"                 // legacy layout
+	genDirPrefix       = "gen-"
 )
 
-// CheckpointFormatVersion is the current checkpoint file format.
+// CheckpointFormatVersion is the current checkpoint file format. The
+// per-shard files of the sharded layout carry the same format as the
+// legacy single checkpoint; the manifest, not the checkpoint, describes
+// the partition.
 const CheckpointFormatVersion = 1
+
+// ManifestFormatVersion is the current MANIFEST.json format.
+const ManifestFormatVersion = 1
 
 // ErrNotDurable is returned by Checkpoint on an ingester built with New
 // instead of OpenDurable.
@@ -64,31 +88,57 @@ type checkpointWire struct {
 	Snapshot []byte
 }
 
+// manifestWire is MANIFEST.json: which generation directory is live and
+// how many shards it was written with.
+type manifestWire struct {
+	Format int
+	Shards int
+	Gen    uint64
+}
+
+func genDirName(gen uint64) string {
+	return fmt.Sprintf("%s%06d", genDirPrefix, gen)
+}
+
+func shardCheckpointFile(s int) string {
+	return fmt.Sprintf("checkpoint-%04d.gob", s)
+}
+
+func shardCheckpointPrevFile(s int) string {
+	return fmt.Sprintf("checkpoint-%04d.prev.gob", s)
+}
+
+func shardWALDir(s int) string {
+	return fmt.Sprintf("wal-%04d", s)
+}
+
 // DurableMetrics bundles the durability layer's instrumentation. Any
 // field may be nil.
 type DurableMetrics struct {
-	// WAL hooks are passed through to the write-ahead log.
+	// WAL hooks are passed through to every write-ahead log stripe.
 	WAL wal.Metrics
 	// ReplayedEvents counts events re-applied from the WAL at startup.
 	ReplayedEvents *metrics.Counter
 	// ReplayErrors counts CRC-intact WAL records skipped during recovery
 	// because their contents did not parse (version skew or a bug).
 	ReplayErrors *metrics.Counter
-	// CheckpointFallbacks counts recoveries that had to discard the
+	// CheckpointFallbacks counts shard recoveries that had to discard the
 	// newest checkpoint and use the previous generation.
 	CheckpointFallbacks *metrics.Counter
-	// Checkpoints / CheckpointFailures count checkpoint attempts.
+	// Checkpoints / CheckpointFailures count checkpoint rounds (one round
+	// persists every shard).
 	Checkpoints        *metrics.Counter
 	CheckpointFailures *metrics.Counter
 	// LastCheckpointUnix is the wall-clock second of the newest durable
-	// checkpoint.
+	// checkpoint round.
 	LastCheckpointUnix *metrics.Gauge
 }
 
 // DurableConfig parameterizes the durability layer.
 type DurableConfig struct {
-	// Dir is the state directory: checkpoint files live at its root, WAL
-	// segments under Dir/wal. Required.
+	// Dir is the state directory: MANIFEST.json lives at its root, the
+	// per-shard checkpoints and WAL stripes under the generation
+	// directory it names. Required.
 	Dir string
 	// CheckpointEvery is the checkpoint interval (default 30s).
 	CheckpointEvery time.Duration
@@ -109,16 +159,24 @@ type DurableConfig struct {
 	WALHooks *wal.Hooks
 
 	m       DurableMetrics // resolved copy
-	lastPos wal.Pos        // position of the previous checkpoint generation
+	genDir  string         // current generation directory
+	lastPos []wal.Pos      // per-shard position of the previous checkpoint generation
 }
 
 // RecoveryInfo reports what startup recovery found and rebuilt.
 type RecoveryInfo struct {
-	// CheckpointLoaded is true when any checkpoint decoded successfully.
+	// CheckpointLoaded is true when any shard checkpoint decoded
+	// successfully.
 	CheckpointLoaded bool
-	// UsedFallback is true when the newest checkpoint was corrupt and
-	// the previous generation was used instead.
+	// UsedFallback is true when at least one shard's newest checkpoint
+	// was corrupt and its previous generation was used instead.
 	UsedFallback bool
+	// Rehashed is true when the on-disk shard count differed from the
+	// requested one (or a legacy layout was found) and the state was
+	// redistributed through graph.ShardOf.
+	Rehashed bool
+	// Shards is the shard count the recovered ingester runs with.
+	Shards int
 	// ReplayedEvents is how many events were re-applied from the WAL.
 	ReplayedEvents int
 	// ReplayErrors is how many intact WAL records failed to parse and
@@ -128,7 +186,7 @@ type RecoveryInfo struct {
 	Day      int
 	Machines int
 	Domains  int
-	// WALStart is the position replay began from.
+	// WALStart is the position shard 0's replay began from.
 	WALStart wal.Pos
 }
 
@@ -143,15 +201,22 @@ func (ri *RecoveryInfo) String() string {
 			src = "fallback checkpoint"
 		}
 	}
-	return fmt.Sprintf("%s + %d replayed events (%d unparseable) -> day %d, %d machines, %d domains",
-		src, ri.ReplayedEvents, ri.ReplayErrors, ri.Day, ri.Machines, ri.Domains)
+	extra := ""
+	if ri.Rehashed {
+		extra = fmt.Sprintf(" (rehashed to %d shards)", ri.Shards)
+	}
+	return fmt.Sprintf("%s + %d replayed events (%d unparseable) -> day %d, %d machines, %d domains%s",
+		src, ri.ReplayedEvents, ri.ReplayErrors, ri.Day, ri.Machines, ri.Domains, extra)
 }
 
 // OpenDurable builds an Ingester whose state survives crashes: it
-// recovers the newest intact checkpoint from dc.Dir, replays the WAL
-// tail on top, and returns an ingester that logs every applied event to
-// the WAL and checkpoints periodically. The RecoveryInfo describes what
-// was rebuilt (a fresh start on an empty directory is not an error).
+// recovers every shard's newest intact checkpoint from dc.Dir, replays
+// each WAL stripe's tail on top, and returns an ingester that logs every
+// applied event to its shard's stripe and checkpoints periodically. If
+// the on-disk shard count differs from cfg.GraphShards the recovered
+// state is rehashed into the requested partition first. The
+// RecoveryInfo describes what was rebuilt (a fresh start on an empty
+// directory is not an error).
 func OpenDurable(cfg Config, dc DurableConfig) (*Ingester, *RecoveryInfo, error) {
 	if dc.Dir == "" {
 		return nil, nil, errors.New("ingest: DurableConfig.Dir is required")
@@ -168,13 +233,180 @@ func OpenDurable(cfg Config, dc DurableConfig) (*Ingester, *RecoveryInfo, error)
 	if cfg.Suffixes == nil {
 		cfg.Suffixes = dnsutil.DefaultSuffixList()
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.GraphShards <= 0 {
+		cfg.GraphShards = cfg.Workers
+	}
 	if err := os.MkdirAll(dc.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
 
-	info := &RecoveryInfo{}
-	b, version, pos := loadCheckpoints(&dc, cfg, info)
+	info := &RecoveryInfo{Shards: cfg.GraphShards}
+	man, err := readManifest(dc.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Sweep generation directories the manifest does not name: they are
+	// leftovers of a migration that crashed before (orphan new gen) or
+	// after (orphan old gen) the manifest flipped. With no manifest at
+	// all, every generation directory is such an orphan.
+	if man != nil {
+		sweepOrphanGens(dc.Dir, man.Gen)
+	} else {
+		sweepOrphanGens(dc.Dir, 0)
+	}
 
+	var (
+		builders []*graph.Builder
+		logs     []*wal.Log
+		version  uint64
+	)
+	switch {
+	case man == nil && !legacyLayoutPresent(dc.Dir):
+		// Fresh state directory: create generation 1 directly at the
+		// requested shard count.
+		builders, logs, err = createGeneration(&dc, cfg, nil, 1, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+	case man == nil:
+		// Legacy single-builder layout: load it, then rehash into a
+		// first-generation sharded layout.
+		b, v := loadLegacy(&dc, cfg, info)
+		old := []*graph.Builder{b}
+		builders, logs, err = createGeneration(&dc, cfg, old, 1, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		version = v
+		info.Rehashed = true
+		removeLegacyLayout(dc.Dir)
+	default:
+		old, v, pos := loadGeneration(&dc, cfg, man, info)
+		version = v
+		if man.Shards == cfg.GraphShards {
+			// Same partition: reopen the stripes in place and carry on.
+			dc.genDir = filepath.Join(dc.Dir, genDirName(man.Gen))
+			logs = make([]*wal.Log, man.Shards)
+			dc.lastPos = pos
+			for s := range logs {
+				logs[s], err = openShardWAL(&dc, s)
+				if err != nil {
+					closeAll(logs[:s])
+					return nil, nil, err
+				}
+			}
+			// Replay happened during loadGeneration (it needs the stripe
+			// open); loadGeneration already closed its read handles, so
+			// reuse its builders.
+			builders = old
+		} else {
+			// Shard count changed: redistribute the loaded state through
+			// graph.ShardOf into a fresh generation.
+			builders, logs, err = createGeneration(&dc, cfg, old, man.Gen+1, v)
+			if err != nil {
+				return nil, nil, err
+			}
+			info.Rehashed = true
+			os.RemoveAll(filepath.Join(dc.Dir, genDirName(man.Gen)))
+		}
+		if len(pos) > 0 {
+			info.WALStart = pos[0]
+		}
+	}
+
+	alignShardDays(builders, cfg)
+	info.Day = builders[0].Day()
+	for _, b := range builders {
+		info.Machines += b.NumMachines()
+	}
+	info.Domains = countDistinctDomains(builders)
+
+	cfg.restoredShards = builders
+	cfg.restoredVersion = version
+	cfg.walShards = logs
+	cfg.durable = &dc
+	in := New(cfg)
+	return in, info, nil
+}
+
+// readManifest loads MANIFEST.json; a missing file returns (nil, nil).
+func readManifest(dir string) (*manifestWire, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var man manifestWire
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("ingest: parse %s: %w", manifestFile, err)
+	}
+	if man.Format != ManifestFormatVersion {
+		return nil, fmt.Errorf("ingest: manifest format %d, this build reads %d", man.Format, ManifestFormatVersion)
+	}
+	if man.Shards <= 0 || man.Gen == 0 {
+		return nil, fmt.Errorf("ingest: manifest names %d shards, generation %d", man.Shards, man.Gen)
+	}
+	return &man, nil
+}
+
+// writeManifest atomically publishes the manifest — the commit point of
+// a layout migration.
+func writeManifest(dir string, man manifestWire) error {
+	return core.WriteAtomic(filepath.Join(dir, manifestFile), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(man)
+	})
+}
+
+// sweepOrphanGens deletes generation directories other than the live
+// one. Best effort: an undeletable orphan only wastes disk.
+func sweepOrphanGens(dir string, live uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keep := genDirName(live)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() && len(name) > len(genDirPrefix) && name[:len(genDirPrefix)] == genDirPrefix && name != keep {
+			os.RemoveAll(filepath.Join(dir, name))
+		}
+	}
+}
+
+// legacyLayoutPresent reports whether dir holds a pre-sharding state
+// layout (single checkpoint pair and WAL at the root, no manifest).
+func legacyLayoutPresent(dir string) bool {
+	for _, name := range []string{checkpointFile, checkpointPrevFile, walDirName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func removeLegacyLayout(dir string) {
+	os.Remove(filepath.Join(dir, checkpointFile))
+	os.Remove(filepath.Join(dir, checkpointPrevFile))
+	os.RemoveAll(filepath.Join(dir, walDirName))
+}
+
+// loadLegacy recovers a pre-sharding layout: one checkpoint pair plus
+// one WAL, replayed in place. The WAL is opened read-replay-close; the
+// migration that follows writes fresh stripes.
+func loadLegacy(dc *DurableConfig, cfg Config, info *RecoveryInfo) (*graph.Builder, uint64) {
+	b, version, pos := loadCheckpointPair(
+		filepath.Join(dc.Dir, checkpointFile),
+		filepath.Join(dc.Dir, checkpointPrevFile),
+		dc, cfg, info)
+	if b == nil {
+		b = graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes)
+	}
 	l, err := wal.Open(filepath.Join(dc.Dir, walDirName), wal.Options{
 		SegmentBytes: dc.SegmentBytes,
 		SyncEvery:    dc.SyncEvery,
@@ -182,36 +414,58 @@ func OpenDurable(cfg Config, dc DurableConfig) (*Ingester, *RecoveryInfo, error)
 		Hooks:        dc.WALHooks,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("ingest: open wal: %w", err)
+		return b, version
 	}
-
-	if b == nil {
-		b = graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes)
-	}
-	b, version = replayWAL(l, pos, b, version, cfg, &dc, info)
-	info.Day = b.Day()
-	info.Machines = b.NumMachines()
-	info.Domains = b.NumDomains()
+	b, replayed := replayShardWAL(l, pos, b, cfg, dc, info)
+	l.Close()
 	info.WALStart = pos
-
-	// The WAL currently reaches back to pos at most one checkpoint
-	// generation old; remember it so the first new checkpoint does not
-	// reclaim segments the on-disk fallback still points into.
-	dc.lastPos = pos
-
-	cfg.restoredBuilder = b
-	cfg.restoredVersion = version
-	cfg.wal = l
-	cfg.durable = &dc
-	in := New(cfg)
-	return in, info, nil
+	return b, version + uint64(replayed)
 }
 
-// loadCheckpoints tries the current then the previous checkpoint file,
-// returning the restored builder, its graph version, and the WAL replay
-// position. A nil builder means fresh start.
-func loadCheckpoints(dc *DurableConfig, cfg Config, info *RecoveryInfo) (*graph.Builder, uint64, wal.Pos) {
-	cur := filepath.Join(dc.Dir, checkpointFile)
+// loadGeneration recovers every shard of the manifest's generation:
+// checkpoint (with A/B fallback) plus stripe replay. It returns the
+// per-shard builders, the restored graph version (max checkpoint version
+// plus total replayed events — monotonicity is all the version
+// promises), and each stripe's replay start position.
+func loadGeneration(dc *DurableConfig, cfg Config, man *manifestWire, info *RecoveryInfo) ([]*graph.Builder, uint64, []wal.Pos) {
+	genDir := filepath.Join(dc.Dir, genDirName(man.Gen))
+	builders := make([]*graph.Builder, man.Shards)
+	positions := make([]wal.Pos, man.Shards)
+	var maxVersion uint64
+	totalReplayed := 0
+	for s := 0; s < man.Shards; s++ {
+		b, version, pos := loadCheckpointPair(
+			filepath.Join(genDir, shardCheckpointFile(s)),
+			filepath.Join(genDir, shardCheckpointPrevFile(s)),
+			dc, cfg, info)
+		if b == nil {
+			b = graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes)
+		}
+		if version > maxVersion {
+			maxVersion = version
+		}
+		l, err := wal.Open(filepath.Join(genDir, shardWALDir(s)), wal.Options{
+			SegmentBytes: dc.SegmentBytes,
+			SyncEvery:    dc.SyncEvery,
+			Metrics:      &dc.m.WAL,
+			Hooks:        dc.WALHooks,
+		})
+		if err == nil {
+			var replayed int
+			b, replayed = replayShardWAL(l, pos, b, cfg, dc, info)
+			totalReplayed += replayed
+			l.Close()
+		}
+		builders[s] = b
+		positions[s] = pos
+	}
+	return builders, maxVersion + uint64(totalReplayed), positions
+}
+
+// loadCheckpointPair tries the current then the previous checkpoint
+// file, returning the restored builder, its graph version, and the WAL
+// replay position. A nil builder means fresh start for this shard.
+func loadCheckpointPair(cur, prev string, dc *DurableConfig, cfg Config, info *RecoveryInfo) (*graph.Builder, uint64, wal.Pos) {
 	b, version, pos, err := readCheckpoint(cur, cfg)
 	if err == nil {
 		info.CheckpointLoaded = true
@@ -227,14 +481,13 @@ func loadCheckpoints(dc *DurableConfig, cfg Config, info *RecoveryInfo) (*graph.
 		// the file simply stays and the old (weaker) behavior applies.
 		inc(dc.m.CheckpointFallbacks)
 		os.Remove(cur)
+		info.UsedFallback = true
 	}
-	b, version, pos, err = readCheckpoint(filepath.Join(dc.Dir, checkpointPrevFile), cfg)
+	b, version, pos, err = readCheckpoint(prev, cfg)
 	if err != nil {
-		info.UsedFallback = discarded
 		return nil, 0, wal.Pos{}
 	}
 	info.CheckpointLoaded = true
-	info.UsedFallback = discarded
 	return b, version, pos
 }
 
@@ -263,18 +516,20 @@ func readCheckpoint(path string, cfg Config) (*graph.Builder, uint64, wal.Pos, e
 	return b, wire.GraphVersion, wal.Pos{Segment: wire.WALSegment, Offset: wire.WALOffset}, nil
 }
 
-// replayWAL re-applies every intact WAL record at or after pos to the
-// builder, honoring the same day-rotation and staleness rules as live
-// ingestion. Rotation hooks are not re-fired for day boundaries found in
-// the WAL tail, which makes OnRotate delivery at-most-once across
-// crashes: a rotating event is logged inside applyLocked but the hook
-// only runs after the lock is released, so a crash in that window
-// durably records the rotation yet never delivers the finalized epoch on
-// either side of the crash. Consumers needing exactly-once epoch
-// handoff must persist their own handoff state. Records that fail to
-// parse despite an intact CRC are counted and skipped.
-func replayWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, version uint64, cfg Config, dc *DurableConfig, info *RecoveryInfo) (*graph.Builder, uint64) {
+// replayShardWAL re-applies every intact record of one stripe at or
+// after pos to the shard's builder, honoring the same day-rotation and
+// staleness rules as live ingestion. Rotation hooks are not re-fired for
+// day boundaries found in the tail, which makes OnRotate delivery
+// at-most-once across crashes: a rotating event is logged inside
+// shardApply but the hook only runs after the locks are released, so a
+// crash in that window durably records the rotation yet never delivers
+// the finalized epoch on either side of the crash. Consumers needing
+// exactly-once epoch handoff must persist their own handoff state.
+// Records that fail to parse despite an intact CRC are counted and
+// skipped.
+func replayShardWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, cfg Config, dc *DurableConfig, info *RecoveryInfo) (*graph.Builder, int) {
 	day := b.Day()
+	replayed := 0
 	replayErr := l.Replay(pos, func(_ wal.Pos, payload []byte) error {
 		apply := func(e logio.Event) error {
 			if e.Day < day {
@@ -296,6 +551,7 @@ func replayWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, version uint64, cfg Co
 					b.AddResolution(e.Domain, ip)
 				}
 			}
+			replayed++
 			info.ReplayedEvents++
 			inc(dc.m.ReplayedEvents)
 			return nil
@@ -324,17 +580,165 @@ func replayWAL(l *wal.Log, pos wal.Pos, b *graph.Builder, version uint64, cfg Co
 		info.ReplayErrors++
 		inc(dc.m.ReplayErrors)
 	}
-	// Advancing the version by the replayed count keeps it at or beyond
-	// any value the daemon reported before the crash: every applied
-	// batch bumped the version at most once per event it contained, and
-	// each of those events is in the WAL.
-	return b, version + uint64(info.ReplayedEvents)
+	return b, replayed
 }
 
-// Checkpoint durably persists the live graph and the WAL position it
-// covers, then reclaims WAL segments older than the previous checkpoint
-// generation. OpenDurable runs this periodically and at Shutdown; tests
-// and operators may force one.
+// alignShardDays moves every shard to the newest day any shard reached.
+// Stripes replay independently, so a shard whose stripe ended before a
+// day boundary can come back on an older day than its peers; its content
+// belongs to an epoch the newer shards already finalized, so it restarts
+// empty on the shared day — exactly what live rotation would have done.
+func alignShardDays(builders []*graph.Builder, cfg Config) {
+	maxDay := builders[0].Day()
+	for _, b := range builders[1:] {
+		if d := b.Day(); d > maxDay {
+			maxDay = d
+		}
+	}
+	for s, b := range builders {
+		if b.Day() < maxDay {
+			builders[s] = graph.NewBuilder(cfg.Network, maxDay, cfg.Suffixes)
+		}
+	}
+}
+
+// countDistinctDomains sizes the union of the shards' domain sets
+// (domains overlap machine partitions, so the counts cannot be summed).
+func countDistinctDomains(builders []*graph.Builder) int {
+	if len(builders) == 1 {
+		return builders[0].NumDomains()
+	}
+	seen := make(map[string]struct{})
+	for _, b := range builders {
+		for _, name := range b.DomainNamesSince(0) {
+			seen[name] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// openShardWAL opens one stripe of the current generation.
+func openShardWAL(dc *DurableConfig, s int) (*wal.Log, error) {
+	l, err := wal.Open(filepath.Join(dc.genDir, shardWALDir(s)), wal.Options{
+		SegmentBytes: dc.SegmentBytes,
+		SyncEvery:    dc.SyncEvery,
+		Metrics:      &dc.m.WAL,
+		Hooks:        dc.WALHooks,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open wal stripe %d: %w", s, err)
+	}
+	return l, nil
+}
+
+func closeAll(logs []*wal.Log) {
+	for _, l := range logs {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// createGeneration writes a new layout generation at cfg.GraphShards
+// shards: old state (if any) is rehashed through graph.ShardOf into
+// fresh builders, each shard gets an initial checkpoint and an empty WAL
+// stripe, and the manifest flips to the new generation as the final,
+// atomic commit step. A crash before the manifest write leaves the
+// previous generation live and the half-built one an orphan for the next
+// open to sweep.
+func createGeneration(dc *DurableConfig, cfg Config, old []*graph.Builder, gen uint64, version uint64) ([]*graph.Builder, []*wal.Log, error) {
+	dc.genDir = filepath.Join(dc.Dir, genDirName(gen))
+	shards := cfg.GraphShards
+	day := cfg.StartDay
+	if len(old) > 0 {
+		alignShardDays(old, cfg)
+		day = old[0].Day()
+	}
+	builders := make([]*graph.Builder, shards)
+	for s := range builders {
+		builders[s] = graph.NewBuilder(cfg.Network, day, cfg.Suffixes)
+		// The checkpoint snapshot below must not trim the fresh log: the
+		// ingester's seed drain into the merged builder still needs it.
+		builders[s].BeginDrain()
+	}
+	for _, ob := range old {
+		// Rehash-on-replay: route every recovered edge by machine and
+		// every resolution by domain, the same invariants live dispatch
+		// uses. DrainFresh on a freshly decoded/replayed builder emits
+		// its whole content.
+		ob.DrainFresh(func(machineID, domain string) {
+			builders[graph.ShardOf(machineID, shards)].AddQuery(machineID, domain)
+		}, func(domain string, ip dnsutil.IPv4) {
+			builders[graph.ShardOf(domain, shards)].AddResolution(domain, ip)
+		})
+	}
+	if err := os.MkdirAll(dc.genDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	logs := make([]*wal.Log, shards)
+	dc.lastPos = make([]wal.Pos, shards)
+	for s := range logs {
+		l, err := openShardWAL(dc, s)
+		if err != nil {
+			closeAll(logs[:s])
+			return nil, nil, err
+		}
+		logs[s] = l
+		dc.lastPos[s] = l.End()
+		if len(old) == 0 {
+			// Fresh directory: nothing to persist, and writing an empty
+			// checkpoint would make a later WAL-only recovery misreport
+			// CheckpointLoaded.
+			continue
+		}
+		// Persist the redistributed state before the manifest commits to
+		// it: after the flip, the old generation's files are gone and
+		// these checkpoints are the only copy.
+		g := builders[s].Snapshot()
+		if err := writeShardCheckpoint(dc, s, g, version, l.End()); err != nil {
+			closeAll(logs[:s+1])
+			return nil, nil, err
+		}
+	}
+	if err := writeManifest(dc.Dir, manifestWire{Format: ManifestFormatVersion, Shards: shards, Gen: gen}); err != nil {
+		closeAll(logs)
+		return nil, nil, err
+	}
+	return builders, logs, nil
+}
+
+// writeShardCheckpoint encodes one shard's snapshot and A/B-rotates it
+// into place.
+func writeShardCheckpoint(dc *DurableConfig, s int, g *graph.Graph, version uint64, pos wal.Pos) error {
+	var snap bytes.Buffer
+	if err := graph.EncodeSnapshot(&snap, g); err != nil {
+		return err
+	}
+	wire := checkpointWire{
+		Version:      CheckpointFormatVersion,
+		GraphVersion: version,
+		Day:          g.Day(),
+		WALSegment:   pos.Segment,
+		WALOffset:    pos.Offset,
+		CRC:          crc32.Checksum(snap.Bytes(), checkpointCRC),
+		Snapshot:     snap.Bytes(),
+	}
+	cur := filepath.Join(dc.genDir, shardCheckpointFile(s))
+	prev := filepath.Join(dc.genDir, shardCheckpointPrevFile(s))
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, prev); err != nil {
+			return err
+		}
+	}
+	return core.WriteAtomic(cur, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(wire)
+	})
+}
+
+// Checkpoint durably persists every shard's graph and the stripe
+// position it covers, then reclaims stripe segments older than the
+// previous checkpoint generation. OpenDurable runs this periodically and
+// at Shutdown; tests and operators may force one.
 func (in *Ingester) Checkpoint() error {
 	if in.cfg.durable == nil {
 		return ErrNotDurable
@@ -343,9 +747,9 @@ func (in *Ingester) Checkpoint() error {
 }
 
 func (in *Ingester) checkpoint(dc *DurableConfig) error {
-	// Serialize whole checkpoints: the rename dance and lastPos tracking
-	// assume one writer at a time (the periodic loop and a forced
-	// Checkpoint may otherwise overlap).
+	// Serialize whole checkpoint rounds: the rename dance and lastPos
+	// tracking assume one writer at a time (the periodic loop and a
+	// forced Checkpoint may otherwise overlap).
 	in.ckptMu.Lock()
 	defer in.ckptMu.Unlock()
 	err := in.checkpointOnce(dc)
@@ -361,53 +765,41 @@ func (in *Ingester) checkpoint(dc *DurableConfig) error {
 }
 
 func (in *Ingester) checkpointOnce(dc *DurableConfig) error {
-	// Builder snapshot, graph version, and WAL position move together
-	// under mu — this is the whole consistency argument. The snapshot
-	// consumes the builder's dirty-delta baseline, so it must be recorded
-	// in the delta ring like any served snapshot, or the next
-	// SnapshotSince span would silently lose these changes.
-	in.mu.Lock()
-	g := in.builder.Snapshot()
-	in.recordSnapshotLocked(g)
-	version := in.version
-	pos := in.wal.End()
-	in.mu.Unlock()
+	// Each shard's builder snapshot and stripe position move together
+	// under its lock — this is the whole per-shard consistency argument.
+	// The epoch read lock pins one day across the round, so every shard
+	// checkpoint in it belongs to the same epoch. Shard snapshots do not
+	// consume the merged builder's dirty baseline, so — unlike the
+	// pre-sharding code — no delta-ring entry is recorded here.
+	type capture struct {
+		g   *graph.Graph
+		pos wal.Pos
+	}
+	in.epochMu.RLock()
+	version := in.version.Load()
+	caps := make([]capture, len(in.shards))
+	for s, sh := range in.shards {
+		sh.mu.Lock()
+		caps[s] = capture{g: sh.builder.Snapshot(), pos: sh.wal.End()}
+		sh.mu.Unlock()
+	}
+	in.epochMu.RUnlock()
 
-	if err := in.wal.Sync(); err != nil {
-		return err
-	}
-	var snap bytes.Buffer
-	if err := graph.EncodeSnapshot(&snap, g); err != nil {
-		return err
-	}
-	wire := checkpointWire{
-		Version:      CheckpointFormatVersion,
-		GraphVersion: version,
-		Day:          g.Day(),
-		WALSegment:   pos.Segment,
-		WALOffset:    pos.Offset,
-		CRC:          crc32.Checksum(snap.Bytes(), checkpointCRC),
-		Snapshot:     snap.Bytes(),
-	}
-	cur := filepath.Join(dc.Dir, checkpointFile)
-	prev := filepath.Join(dc.Dir, checkpointPrevFile)
-	if _, err := os.Stat(cur); err == nil {
-		if err := os.Rename(cur, prev); err != nil {
+	for s, sh := range in.shards {
+		if err := sh.wal.Sync(); err != nil {
 			return err
 		}
+		if err := writeShardCheckpoint(dc, s, caps[s].g, version, caps[s].pos); err != nil {
+			return err
+		}
+		// Reclaim only up to the PREVIOUS generation's position: if this
+		// checkpoint later turns out corrupt, the fallback file still has
+		// every stripe record it needs.
+		if _, err := sh.wal.TruncateBefore(dc.lastPos[s]); err != nil {
+			return err
+		}
+		dc.lastPos[s] = caps[s].pos
 	}
-	if err := core.WriteAtomic(cur, func(w io.Writer) error {
-		return gob.NewEncoder(w).Encode(wire)
-	}); err != nil {
-		return err
-	}
-	// Reclaim only up to the PREVIOUS generation's position: if this
-	// checkpoint later turns out corrupt, the fallback file still has
-	// every WAL record it needs.
-	if _, err := in.wal.TruncateBefore(dc.lastPos); err != nil {
-		return err
-	}
-	dc.lastPos = pos
 	return nil
 }
 
@@ -424,7 +816,9 @@ func (in *Ingester) durabilityLoop(dc *DurableConfig) {
 		case <-in.durStop:
 			return
 		case <-syncT.C:
-			in.wal.Sync()
+			for _, sh := range in.shards {
+				sh.wal.Sync()
+			}
 		case <-ckptT.C:
 			in.checkpoint(dc)
 		}

@@ -36,15 +36,34 @@ func newDurableMetrics() *DurableMetrics {
 
 // durableCfg builds a durable ingester config pair with fast, test-sized
 // knobs: every WAL record synced immediately, checkpoints only on
-// demand (interval far in the future).
+// demand (interval far in the future). A single graph shard keeps the
+// on-disk layout deterministic for the fault-injection tests (which
+// corrupt specific files); the multi-shard layout has its own tests.
 func durableCfg(dir string, m *Metrics, dm *DurableMetrics) (Config, DurableConfig) {
-	return Config{Network: "net", StartDay: 5, Workers: 2, Metrics: m},
+	return Config{Network: "net", StartDay: 5, Workers: 2, GraphShards: 1, Metrics: m},
 		DurableConfig{
 			Dir:             dir,
 			SyncEvery:       1,
 			CheckpointEvery: time.Hour,
 			Metrics:         dm,
 		}
+}
+
+// Shard 0's file locations in the first-generation sharded layout.
+func shard0WALSeg(dir string) string {
+	return filepath.Join(dir, genDirName(1), shardWALDir(0), "wal-00000001.seg")
+}
+
+func shard0WALGlob(dir string) string {
+	return filepath.Join(dir, genDirName(1), shardWALDir(0), "wal-*.seg")
+}
+
+func shard0Checkpoint(dir string) string {
+	return filepath.Join(dir, genDirName(1), shardCheckpointFile(0))
+}
+
+func shard0CheckpointPrev(dir string) string {
+	return filepath.Join(dir, genDirName(1), shardCheckpointPrevFile(0))
 }
 
 func feed(t *testing.T, in *Ingester, m *Metrics, events []logio.Event) {
@@ -181,7 +200,7 @@ func TestDurableRecoveryTornWALTail(t *testing.T) {
 	feed(t, in, m, []logio.Event{{Kind: logio.EventQuery, Day: 5, Machine: "victim", Domain: "torn.example.com"}})
 
 	// Tear the final record's payload.
-	seg := filepath.Join(dir, walDirName, "wal-00000001.seg")
+	seg := shard0WALSeg(dir)
 	if err := faultinject.TruncateTail(seg, 3); err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +249,7 @@ func TestDurableRecoveryCorruptCheckpointFallsBack(t *testing.T) {
 	want, _ := in.Snapshot()
 
 	// Flip a byte inside the newest checkpoint's snapshot payload.
-	cur := filepath.Join(dir, checkpointFile)
+	cur := shard0Checkpoint(dir)
 	fi, err := os.Stat(cur)
 	if err != nil {
 		t.Fatal(err)
@@ -359,12 +378,12 @@ func TestDurableWALTruncationKeepsFallbackWindow(t *testing.T) {
 		}
 	}
 	want, _ := in.Snapshot()
-	segs, _ := filepath.Glob(filepath.Join(dir, walDirName, "wal-*.seg"))
+	segs, _ := filepath.Glob(shard0WALGlob(dir))
 	if len(segs) == 0 {
 		t.Fatal("no wal segments on disk")
 	}
 
-	cur := filepath.Join(dir, checkpointFile)
+	cur := shard0Checkpoint(dir)
 	fi, err := os.Stat(cur)
 	if err != nil {
 		t.Fatal(err)
@@ -440,12 +459,12 @@ func TestDurableLargeBatchKeepsDurability(t *testing.T) {
 
 	// Stall the single worker on the builder lock so the whole stream
 	// queues up and drains as one maximal batch.
-	in.mu.Lock()
+	in.shards[0].mu.Lock()
 	if err := in.Consume(strings.NewReader(stream(t, evs))); err != nil {
-		in.mu.Unlock()
+		in.shards[0].mu.Unlock()
 		t.Fatal(err)
 	}
-	in.mu.Unlock()
+	in.shards[0].mu.Unlock()
 	waitFor(t, "batch applied", func() bool {
 		return m.EventsIngested.Value() == int64(len(evs))
 	})
@@ -496,7 +515,7 @@ func TestDurableFallbackSurvivesNextCheckpoint(t *testing.T) {
 	if err := in.Checkpoint(); err != nil { // generation B (to be corrupted)
 		t.Fatal(err)
 	}
-	cur := filepath.Join(dir, checkpointFile)
+	cur := shard0Checkpoint(dir)
 	fi, err := os.Stat(cur)
 	if err != nil {
 		t.Fatal(err)
@@ -525,7 +544,7 @@ func TestDurableFallbackSurvivesNextCheckpoint(t *testing.T) {
 	want, _ := in2.Snapshot()
 	cfgRead := cfg2
 	cfgRead.Suffixes = dnsutil.DefaultSuffixList()
-	if _, _, _, err := readCheckpoint(filepath.Join(dir, checkpointPrevFile), cfgRead); err != nil {
+	if _, _, _, err := readCheckpoint(shard0CheckpointPrev(dir), cfgRead); err != nil {
 		t.Fatalf("previous checkpoint generation unreadable after post-fallback checkpoint: %v", err)
 	}
 

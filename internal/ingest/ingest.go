@@ -58,7 +58,9 @@ type Metrics struct {
 	// Rotations counts epoch rotations.
 	Rotations *metrics.Counter
 	// GraphMachines/GraphDomains/GraphObservations mirror the live
-	// builder's size after each applied batch.
+	// graph's size after each applied batch: machines and observations
+	// sum exactly across the shard partition, domains come from the
+	// global domain set (domains overlap machine partitions).
 	GraphMachines     *metrics.Gauge
 	GraphDomains      *metrics.Gauge
 	GraphObservations *metrics.Gauge
@@ -83,6 +85,13 @@ type Metrics struct {
 	// happens in the overloaded health state under an explicit policy;
 	// a missing reason key is simply not recorded.
 	EventsShed map[string]*metrics.Counter
+	// ShardEvents/ShardApplySeconds are per-graph-shard instrumentation:
+	// ShardEvents[s] counts events applied to shard s, ShardApplySeconds[s]
+	// observes shard s's apply-segment latency (lock wait included, so
+	// cross-shard contention is visible). Slices shorter than the shard
+	// count leave the remaining shards uninstrumented.
+	ShardEvents       []*metrics.Counter
+	ShardApplySeconds []*metrics.Histogram
 }
 
 func inc(c *metrics.Counter) {
@@ -110,10 +119,16 @@ type Config struct {
 	// Suffixes annotates domains with effective 2LDs; defaults to
 	// dnsutil.DefaultSuffixList.
 	Suffixes *dnsutil.SuffixList
-	// Workers is the shard count (default 4). Events are sharded by
+	// Workers is the ring shard count (default 4). Events are sharded by
 	// machine-ID hash (queries) or domain hash (resolutions), so one
 	// machine's events stay ordered relative to each other.
 	Workers int
+	// GraphShards is the number of machine-hash-partitioned graph
+	// builders behind the rings (default = Workers). Each shard has its
+	// own apply lock; when GraphShards == Workers (the default) every
+	// ring feeds its shard's builder directly, with no repartition step
+	// and zero cross-shard contention on the hot path.
+	GraphShards int
 	// QueueDepth bounds each (source, shard) ring (default 4096, rounded
 	// up to a power of two). A full ring drops events instead of
 	// blocking the accept loop (see ShedPolicy for the alternatives).
@@ -178,12 +193,13 @@ type Config struct {
 	// stall graph apply and burn the freshness SLO.
 	ApplyHook func()
 
-	// Durability wiring, set by OpenDurable: a restored builder to resume
-	// from, the graph version it was checkpointed at, and the open WAL
-	// that apply() feeds.
-	restoredBuilder *graph.Builder
+	// Durability wiring, set by OpenDurable: restored per-shard builders
+	// to resume from (one per graph shard, all on the same day), the
+	// graph version they were checkpointed at, and the open per-shard
+	// WAL stripes that apply() feeds.
+	restoredShards  []*graph.Builder
 	restoredVersion uint64
-	wal             *wal.Log
+	walShards       []*wal.Log
 	durable         *DurableConfig
 }
 
@@ -230,8 +246,42 @@ func ValidShedPolicy(p string) bool {
 // ErrShuttingDown aborts Consume loops once Shutdown has begun.
 var ErrShuttingDown = errors.New("ingest: shutting down")
 
-// Ingester owns the live behavior graph and the worker shards applying
-// events to it.
+// graphShard is one machine-hash partition of the live graph: a builder
+// with its own apply lock, an optional WAL stripe, and per-shard
+// instrumentation mirrors. Sharding is what lets N ingest workers apply
+// batches with zero cross-shard contention — each worker's ring feeds
+// exactly one shard when the ring and graph shard counts match.
+type graphShard struct {
+	// mu guards the shard's builder and its WAL stripe buffers: appends
+	// happen inside shardApply's critical section, so a checkpoint
+	// always sees builder state and WAL position move together, per
+	// shard.
+	mu      sync.Mutex
+	builder *graph.Builder
+	wal     *wal.Log
+	walBuf  bytes.Buffer
+	walLine bytes.Buffer        // scratch for one encoded event line (text WAL)
+	walEnc  *logio.EventEncoder // binary WAL record encoder (BinaryWAL only)
+	// walBatchErr records a WAL append failure inside the current apply
+	// segment so the wal_append watermark holds back (guarded by mu;
+	// reset at the top of each shardApply).
+	walBatchErr bool
+
+	// machines/observations mirror the builder's size so the global
+	// gauges can sum shards without taking every shard lock. Machines
+	// partition disjointly (queries route by machine hash) and every
+	// observation lands in exactly one shard, so the sums are exact.
+	machines     atomic.Int64
+	observations atomic.Int64
+
+	// Per-shard instrumentation; nil fields are not recorded.
+	events       *metrics.Counter
+	applySeconds *metrics.Histogram
+	wmSource     string // watermark source label ("shard-N")
+}
+
+// Ingester owns the live behavior graph — partitioned into machine-hash
+// graph shards — and the worker shards applying events to it.
 type Ingester struct {
 	cfg Config
 	m   Metrics
@@ -256,24 +306,42 @@ type Ingester struct {
 	// 1 in shedSampleKeep is admitted.
 	sampleSeq atomic.Uint64
 
-	// mu guards the live builder, the epoch day, the activity log, and
-	// the WAL append stream (appends happen inside apply's critical
-	// section so a checkpoint always sees builder state and WAL position
-	// move together).
-	mu      sync.Mutex
-	builder *graph.Builder
-	day     int
-	version uint64
-	walBuf  bytes.Buffer
-	walLine bytes.Buffer         // scratch for one encoded event line (text WAL)
-	walEnc  *logio.EventEncoder // binary WAL record encoder (BinaryWAL only)
-	// walBatchErr records a WAL append failure inside the current apply
-	// batch so the wal_append watermark holds back (guarded by mu; reset
-	// at the top of each applyLocked).
-	walBatchErr bool
+	// aligned is true when the ring shard count equals the graph shard
+	// count, so a ring's batch feeds exactly one graph shard with no
+	// repartition step. hasWAL is set when OpenDurable wired WAL stripes.
+	aligned bool
+	hasWAL  bool
+
+	// epochMu orders epoch rotation against everything that reads the
+	// current day or walks the shard set: batch appliers, delta drains,
+	// and checkpoint captures hold it for read; rotation holds it for
+	// write. Within it, each shard's own mutex serializes access to that
+	// shard's builder and WAL stripe — the hot path takes epochMu.RLock
+	// (uncontended between workers) plus exactly one shard lock.
+	epochMu sync.RWMutex
+	day     int // guarded by epochMu
+	shards  []*graphShard
+	// merged accumulates every shard's drained fresh delta into the one
+	// builder snapshots are served from, so every consumer (classify,
+	// prune plan, score cache, both detectors) runs on a plain merged
+	// *graph.Graph. Guarded by snapMu+epochMu.R (snapshots) or
+	// epochMu.W (rotation).
+	merged *graph.Builder
+
+	// version moves whenever any shard's builder changes; incremented
+	// inside the shard lock, after the change is visible to drains.
+	version atomic.Uint64
+
+	// domainMu guards the global domain set behind the graph_domains
+	// gauge: domains overlap machine partitions, so per-shard counts
+	// cannot simply be summed the way machines can. Shards feed it only
+	// the names they interned for the first time in a batch, so upkeep
+	// is O(new domains), not O(events).
+	domainMu  sync.Mutex
+	domainSet map[string]struct{}
+	domainN   atomic.Int64
 
 	// Durability plumbing (nil/zero without OpenDurable).
-	wal     *wal.Log
 	ckptMu  sync.Mutex
 	durStop chan struct{}
 	durWG   sync.WaitGroup
@@ -286,10 +354,11 @@ type Ingester struct {
 	snapVersion uint64
 	snapDay     int
 
-	// Delta history (guarded by mu): one entry per snapshot taken from
-	// the live builder, so SnapshotSince can answer "which domains
+	// Delta history (guarded by deltaMu): one entry per snapshot taken
+	// from the merged builder, so SnapshotSince can answer "which domains
 	// changed since version X" across several snapshots. lastSnapVer is
 	// the version the most recent snapshot was taken at.
+	deltaMu     sync.Mutex
 	ring        deltaRing
 	lastSnapVer uint64
 }
@@ -372,6 +441,13 @@ func New(cfg Config) *Ingester {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	if cfg.GraphShards <= 0 {
+		cfg.GraphShards = cfg.Workers
+	}
+	if cfg.restoredShards != nil {
+		// OpenDurable already partitioned the restored state.
+		cfg.GraphShards = len(cfg.restoredShards)
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 4096
 	}
@@ -379,37 +455,63 @@ func New(cfg Config) *Ingester {
 		cfg.ActivityKeepDays = 30
 	}
 	in := &Ingester{
-		cfg:     cfg,
-		closing: make(chan struct{}),
-		builder: graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes),
-		day:     cfg.StartDay,
-		wal:     cfg.wal,
+		cfg:       cfg,
+		closing:   make(chan struct{}),
+		day:       cfg.StartDay,
+		aligned:   cfg.GraphShards == cfg.Workers,
+		domainSet: make(map[string]struct{}),
 	}
-	if cfg.restoredBuilder != nil {
-		in.builder = cfg.restoredBuilder
-		in.day = cfg.restoredBuilder.Day()
-		in.version = cfg.restoredVersion
-	}
-	in.lastSnapVer = in.version
 	if cfg.Metrics != nil {
 		in.m = *cfg.Metrics
 	}
-	// Seed the size gauges from the (possibly checkpoint-restored)
-	// builder, so a recovered daemon reports its real graph before the
-	// first new batch lands.
-	if in.m.GraphMachines != nil {
-		in.m.GraphMachines.SetInt(int64(in.builder.NumMachines()))
+	in.shards = make([]*graphShard, cfg.GraphShards)
+	for s := range in.shards {
+		sh := &graphShard{wmSource: "shard-" + strconv.Itoa(s)}
+		if cfg.restoredShards != nil {
+			sh.builder = cfg.restoredShards[s]
+		} else {
+			sh.builder = graph.NewBuilder(cfg.Network, cfg.StartDay, cfg.Suffixes)
+		}
+		if cfg.walShards != nil {
+			sh.wal = cfg.walShards[s]
+			in.hasWAL = true
+		}
+		if s < len(in.m.ShardEvents) {
+			sh.events = in.m.ShardEvents[s]
+		}
+		if s < len(in.m.ShardApplySeconds) {
+			sh.applySeconds = in.m.ShardApplySeconds[s]
+		}
+		in.shards[s] = sh
 	}
-	if in.m.GraphDomains != nil {
-		in.m.GraphDomains.SetInt(int64(in.builder.NumDomains()))
+	if cfg.restoredShards != nil {
+		in.day = in.shards[0].builder.Day()
+		in.version.Store(cfg.restoredVersion)
 	}
-	if in.m.GraphObservations != nil {
-		in.m.GraphObservations.SetInt(int64(in.builder.NumObservations()))
+	// Seed the merged builder, the size mirrors, and the global domain
+	// set from the (possibly checkpoint-restored) shards, so a recovered
+	// daemon reports — and serves — its real graph before the first new
+	// batch lands.
+	in.merged = graph.NewBuilder(cfg.Network, in.day, cfg.Suffixes)
+	for _, sh := range in.shards {
+		sh.builder.DrainFresh(in.merged.AddQuery, in.merged.AddResolution)
+		sh.machines.Store(int64(sh.builder.NumMachines()))
+		sh.observations.Store(int64(sh.builder.NumObservations()))
+		if sh.builder.NumDomains() > 0 {
+			in.noteNewDomains(sh.builder.DomainNamesSince(0))
+		}
 	}
-	if cfg.Watermarks != nil {
+	in.lastSnapVer = in.version.Load()
+	in.publishGauges()
+	if wm := cfg.Watermarks; wm != nil {
 		// The snapshot stage trails the merged stream, so it is measured
-		// against the max frontier across all sources.
-		cfg.Watermarks.Register(obs.WatermarkSnapshot, obs.WatermarkSourceAll)
+		// against the max frontier across all sources — as is each graph
+		// shard's apply mark, whose "shard-N" label partitions the merged
+		// stream rather than naming a source.
+		wm.Register(obs.WatermarkSnapshot, obs.WatermarkSourceAll)
+		for _, sh := range in.shards {
+			wm.RegisterAllFrontier(obs.WatermarkShardApply, sh.wmSource)
+		}
 	}
 	if cfg.durable != nil {
 		in.durStop = make(chan struct{})
@@ -463,7 +565,7 @@ func (in *Ingester) newSource(name string) *eventSource {
 	if wm := in.cfg.Watermarks; wm != nil {
 		s.wm = wm.Source(name)
 		wm.Register(obs.WatermarkGraphApply, name)
-		if in.wal != nil {
+		if in.hasWAL {
 			wm.Register(obs.WatermarkWALAppend, name)
 		}
 	}
@@ -651,16 +753,22 @@ func (in *Ingester) consumeBinary(r io.Reader, src *eventSource) error {
 }
 
 // shardOf routes an event by machine hash (queries) or domain hash
-// (resolutions), so one machine's events stay ordered.
+// (resolutions), so one machine's events stay ordered. The hash is
+// graph.ShardOf — the same routing the graph shards use — so when the
+// ring and graph shard counts match, a ring's events belong to exactly
+// one graph shard.
 func (s *eventSource) shardOf(e logio.Event) int {
-	if len(s.rings) == 1 {
-		return 0 // single-shard deployments skip the hash entirely
-	}
-	key := e.Machine
+	return graph.ShardOf(eventKey(e), len(s.rings))
+}
+
+// eventKey is the routing key of an event: machine for queries, domain
+// for resolutions (see graph.ShardOf for the partition invariants this
+// buys).
+func eventKey(e logio.Event) string {
 	if e.Kind == logio.EventResolution {
-		key = e.Domain
+		return e.Domain
 	}
-	return int(fnv32(key) % uint32(len(s.rings)))
+	return e.Machine
 }
 
 // dispatch routes one event to its shard ring. The fast path is a
@@ -797,19 +905,17 @@ func (in *Ingester) shedN(reason string, n int64) {
 	}
 }
 
-// fnv32 is the FNV-1a hash, inlined to keep dispatch allocation-free.
-func fnv32(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
-}
-
 // batchSize bounds how many queued events a worker applies per lock
-// acquisition, amortizing contention on the shared builder.
+// acquisition, amortizing the per-batch bookkeeping.
 const batchSize = 512
+
+// applyScratch is a worker's reusable repartition buffer for the
+// misaligned case (ring shard count != graph shard count): one pending
+// slice per graph shard, refilled per segment. The partition is stable,
+// so per-machine event order survives repartitioning.
+type applyScratch struct {
+	byShard [][]logio.Event
+}
 
 // worker drains one shard until shutdown. A panic anywhere in the
 // drain path (apply, a rotation hook, a metrics callback) is recovered
@@ -818,7 +924,11 @@ const batchSize = 512
 func (in *Ingester) worker(shard int) {
 	defer in.workers.Done()
 	buf := make([]logio.Event, batchSize)
-	for !in.drainShard(shard, buf) {
+	var scratch *applyScratch
+	if !in.aligned {
+		scratch = &applyScratch{byShard: make([][]logio.Event, len(in.shards))}
+	}
+	for !in.drainShard(shard, buf, scratch) {
 	}
 }
 
@@ -826,14 +936,14 @@ func (in *Ingester) worker(shard int) {
 // everything is empty, and returns true once shutdown has begun and the
 // rings are drained. It returns false when a recovered panic aborted
 // the loop; the caller restarts it.
-func (in *Ingester) drainShard(shard int, buf []logio.Event) (done bool) {
+func (in *Ingester) drainShard(shard int, buf []logio.Event, scratch *applyScratch) (done bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			inc(in.m.Panics)
 		}
 	}()
 	for {
-		if in.sweepShard(shard, buf) > 0 {
+		if in.sweepShard(shard, buf, scratch) > 0 {
 			continue
 		}
 		select {
@@ -841,7 +951,7 @@ func (in *Ingester) drainShard(shard int, buf []logio.Event) (done bool) {
 		case <-in.stopWorkers:
 			// Producers are gone (Shutdown waits for them before closing
 			// stopWorkers): once a sweep comes up empty, so is the shard.
-			if in.sweepShard(shard, buf) == 0 {
+			if in.sweepShard(shard, buf, scratch) == 0 {
 				return true
 			}
 		}
@@ -852,7 +962,7 @@ func (in *Ingester) drainShard(shard int, buf []logio.Event) (done bool) {
 // eviction requests, applying queued events in batches, and retiring
 // rings whose producer closed and whose queue drained. Returns how many
 // events it handled (applied or shed) — zero means the shard was idle.
-func (in *Ingester) sweepShard(shard int, buf []logio.Event) (handled int) {
+func (in *Ingester) sweepShard(shard int, buf []logio.Event, scratch *applyScratch) (handled int) {
 	rings := *in.shardRings[shard].Load()
 	retire := false
 	for _, r := range rings {
@@ -875,7 +985,7 @@ func (in *Ingester) sweepShard(shard int, buf []logio.Event) (handled int) {
 			if n == 0 {
 				break
 			}
-			in.apply(buf[:n], r.source)
+			in.apply(buf[:n], r.source, shard, scratch)
 			handled += n
 		}
 		if r.isClosed() && r.empty() {
@@ -903,15 +1013,39 @@ type rotation struct {
 const walFlushBytes = 256 << 10
 
 // apply folds a batch of events into the live epoch, rotating when a
-// later day appears. Each batch is one graph_apply trace; the WAL
-// flushes inside it appear as wal_append child spans. source names the
-// producer kind the batch came from, for watermark attribution.
-func (in *Ingester) apply(batch []logio.Event, source string) {
+// later day appears. The batch is cut into day segments: each segment
+// applies under the epoch read lock (plus exactly one shard lock per
+// touched shard), and a later-day boundary rotates the epoch under the
+// write lock before the next segment runs. Each batch is one
+// graph_apply trace; the WAL flushes inside it appear as wal_append
+// child spans. source names the producer kind the batch came from and
+// ringShard the ring the batch was swept from — when ring and graph
+// shards are aligned, that is also the graph shard it feeds.
+func (in *Ingester) apply(batch []logio.Event, source string, ringShard int, scratch *applyScratch) {
 	if in.cfg.ApplyHook != nil {
 		in.cfg.ApplyHook()
 	}
 	_, span := in.cfg.Tracer.StartSpan(context.Background(), obs.StageGraphApply)
-	rotations, applied, machines, domains, observations, walOK := in.applyLocked(batch, span)
+	var (
+		rotations []rotation
+		applied   int64
+		walOK     = true
+	)
+	for off := 0; off < len(batch); {
+		n, segApplied, segWALOK := in.applySegment(batch[off:], ringShard, scratch, span)
+		off += n
+		applied += segApplied
+		walOK = walOK && segWALOK
+		if off < len(batch) {
+			// batch[off] belongs to a later day than the epoch the segment
+			// ran under: rotate forward. rotate no-ops (and the next
+			// segment picks the event up) when another worker crossed the
+			// boundary first. A multi-day jump still causes one rotation.
+			if r := in.rotate(batch[off].Day); r != nil {
+				rotations = append(rotations, *r)
+			}
+		}
+	}
 	span.SetAttr("events", len(batch))
 	span.SetAttr("applied", applied)
 	if len(rotations) > 0 {
@@ -930,21 +1064,13 @@ func (in *Ingester) apply(batch []logio.Event, source string) {
 		// The WAL ack only advances when every flush in the batch landed;
 		// a failed append leaves the wal_append watermark behind, which is
 		// exactly the durability lag the gauge should show.
-		if in.wal != nil && walOK {
+		if in.hasWAL && walOK {
 			wm.Ack(obs.WatermarkWALAppend, source, maxDay)
 		}
 	}
 
 	addN(in.m.EventsIngested, applied)
-	if in.m.GraphMachines != nil {
-		in.m.GraphMachines.SetInt(int64(machines))
-	}
-	if in.m.GraphDomains != nil {
-		in.m.GraphDomains.SetInt(int64(domains))
-	}
-	if in.m.GraphObservations != nil {
-		in.m.GraphObservations.SetInt(int64(observations))
-	}
+	in.publishGauges()
 	for _, r := range rotations {
 		// Finalized epochs get the same preparation as served snapshots
 		// (label application), so rotation hooks can classify them.
@@ -957,128 +1083,258 @@ func (in *Ingester) apply(batch []logio.Event, source string) {
 	}
 }
 
-// applyLocked is apply's critical section. The unlock is deferred so a
-// panic inside a builder append or activity mark cannot leave the
-// ingest mutex held when the worker's recovery kicks in. walOK reports
-// whether every WAL append the batch triggered succeeded.
-func (in *Ingester) applyLocked(batch []logio.Event, span *obs.Span) (rotations []rotation, applied int64, machines, domains, observations int, walOK bool) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.walBuf.Reset()
-	in.walBatchErr = false
-	for _, e := range batch {
-		switch {
-		case e.Day < in.day:
+// applySegment applies the longest batch prefix that belongs to the
+// current epoch (events at or before the epoch day) and reports how many
+// events it consumed; a shorter-than-batch return means the next event
+// starts a later day and the caller must rotate. Aligned batches go
+// straight to the ring's graph shard; otherwise the segment is
+// repartitioned by graph.ShardOf through scratch.
+func (in *Ingester) applySegment(events []logio.Event, ringShard int, scratch *applyScratch, span *obs.Span) (n int, applied int64, walOK bool) {
+	in.epochMu.RLock()
+	defer in.epochMu.RUnlock()
+	day := in.day
+	n = len(events)
+	for i := range events {
+		if events[i].Day > day {
+			n = i
+			break
+		}
+	}
+	if n == 0 {
+		return 0, 0, true
+	}
+	seg := events[:n]
+	if in.aligned {
+		applied, walOK = in.shardApply(in.shards[ringShard], seg, day, span)
+		return n, applied, walOK
+	}
+	for _, e := range seg {
+		s := graph.ShardOf(eventKey(e), len(in.shards))
+		scratch.byShard[s] = append(scratch.byShard[s], e)
+	}
+	walOK = true
+	for s, evs := range scratch.byShard {
+		if len(evs) == 0 {
+			continue
+		}
+		a, ok := in.shardApply(in.shards[s], evs, day, span)
+		applied += a
+		walOK = walOK && ok
+		clear(evs) // release event references before reuse
+		scratch.byShard[s] = evs[:0]
+	}
+	return n, applied, walOK
+}
+
+// shardApply is one shard's apply critical section: builder appends,
+// activity marks, and the shard's WAL stripe move together under the
+// shard lock. The unlock is deferred so a panic inside a builder append
+// cannot leave the shard mutex held when the worker's recovery kicks
+// in. Callers hold epochMu for read; day is the epoch day they read
+// under it. walOK reports whether every stripe append succeeded.
+func (in *Ingester) shardApply(sh *graphShard, events []logio.Event, day int, span *obs.Span) (applied int64, walOK bool) {
+	start := time.Now() // before the lock: contention is part of apply latency
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.walBuf.Reset()
+	sh.walBatchErr = false
+	ndBefore := sh.builder.NumDomains()
+	for _, e := range events {
+		if e.Day < day {
 			inc(in.m.EventsStale)
 			continue
-		case e.Day > in.day:
-			// Day boundary: finalize the current epoch and start the next.
-			// A multi-day jump in one event still causes one rotation.
-			final := in.builder.Snapshot()
-			rotations = append(rotations, rotation{day: in.day, final: final})
-			in.builder = graph.NewBuilder(in.cfg.Network, e.Day, in.cfg.Suffixes)
-			in.day = e.Day
-			in.version++
-			// A rotation invalidates every delta baseline: poison the ring
-			// so SnapshotSince spans crossing the boundary come back
-			// inexact and consumers re-score everything.
-			in.ring.push(deltaEntry{from: in.version, to: in.version, inexact: true})
-			in.lastSnapVer = in.version
-			inc(in.m.Rotations)
-			if in.cfg.Activity != nil {
-				in.cfg.Activity.Trim(e.Day - in.cfg.ActivityKeepDays)
-			}
 		}
 		switch e.Kind {
 		case logio.EventQuery:
-			in.builder.AddQuery(e.Machine, e.Domain)
+			sh.builder.AddQuery(e.Machine, e.Domain)
 			if in.cfg.Activity != nil {
 				in.cfg.Activity.MarkDomain(e.Day, e.Domain)
 				in.cfg.Activity.MarkE2LD(e.Day, in.cfg.Suffixes.E2LD(e.Domain))
 			}
 		case logio.EventResolution:
 			for _, ip := range e.IPs {
-				in.builder.AddResolution(e.Domain, ip)
+				sh.builder.AddResolution(e.Domain, ip)
 			}
 		}
-		if in.wal != nil {
-			in.appendWALLocked(e, span)
+		if sh.wal != nil {
+			in.appendShardWAL(sh, e, span)
 		}
 		applied++
 	}
-	if in.wal != nil {
-		in.flushWALLocked(span)
+	if sh.wal != nil {
+		in.flushShardWAL(sh, span)
 	}
 	if applied > 0 {
-		in.version++
+		// Inside the shard lock, after the appends: a drain that wins the
+		// lock next sees every event this version accounts for.
+		in.version.Add(1)
+		sh.machines.Store(int64(sh.builder.NumMachines()))
+		sh.observations.Store(int64(sh.builder.NumObservations()))
+		if nd := sh.builder.NumDomains(); nd > ndBefore {
+			in.noteNewDomains(sh.builder.DomainNamesSince(ndBefore))
+		}
+		addN(sh.events, applied)
+		if sh.applySeconds != nil {
+			sh.applySeconds.Observe(time.Since(start).Seconds())
+		}
+		in.cfg.Watermarks.Ack(obs.WatermarkShardApply, sh.wmSource, day)
 	}
-	machines, domains, observations = in.builder.NumMachines(), in.builder.NumDomains(), in.builder.NumObservations()
-	return rotations, applied, machines, domains, observations, !in.walBatchErr
+	return applied, !sh.walBatchErr
 }
 
-// appendWALLocked stages one event into the WAL record being built, in
-// the configured format, cutting a record whenever the buffer crosses
-// walFlushBytes.
-func (in *Ingester) appendWALLocked(e logio.Event, span *obs.Span) {
-	if in.cfg.BinaryWAL {
-		if in.walEnc == nil {
-			in.walEnc = logio.NewEventEncoder(&in.walBuf)
+// rotate finalizes the current epoch and starts newDay: every shard's
+// outstanding delta is drained into the merged builder, the merged
+// builder is finalized as the epoch's graph, and fresh shard builders
+// start the new day. Returns nil when another worker already rotated to
+// (or past) newDay.
+func (in *Ingester) rotate(newDay int) *rotation {
+	in.epochMu.Lock()
+	defer in.epochMu.Unlock()
+	if newDay <= in.day {
+		return nil
+	}
+	in.drainShardsLocked()
+	final := in.merged.Snapshot()
+	r := &rotation{day: in.day, final: final}
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		sh.builder = graph.NewBuilder(in.cfg.Network, newDay, in.cfg.Suffixes)
+		sh.machines.Store(0)
+		sh.observations.Store(0)
+		sh.mu.Unlock()
+	}
+	in.merged = graph.NewBuilder(in.cfg.Network, newDay, in.cfg.Suffixes)
+	in.day = newDay
+	in.domainMu.Lock()
+	in.domainSet = make(map[string]struct{})
+	in.domainN.Store(0)
+	in.domainMu.Unlock()
+	v := in.version.Add(1)
+	// A rotation invalidates every delta baseline: poison the ring so
+	// SnapshotSince spans crossing the boundary come back inexact and
+	// consumers re-score everything.
+	in.deltaMu.Lock()
+	in.ring.push(deltaEntry{from: v, to: v, inexact: true})
+	in.lastSnapVer = v
+	in.deltaMu.Unlock()
+	inc(in.m.Rotations)
+	if in.cfg.Activity != nil {
+		in.cfg.Activity.Trim(newDay - in.cfg.ActivityKeepDays)
+	}
+	return r
+}
+
+// drainShardsLocked folds every shard's fresh delta since its last drain
+// into the merged builder. The per-shard deltas are already deduplicated
+// and — by the ShardOf routing invariants — disjoint across shards, so
+// the merged builder receives each new edge and address exactly once.
+// Callers must hold epochMu (read side plus snapMu, or write side), so
+// only one drain touches the merged builder at a time.
+func (in *Ingester) drainShardsLocked() {
+	for _, sh := range in.shards {
+		sh.mu.Lock()
+		sh.builder.DrainFresh(in.merged.AddQuery, in.merged.AddResolution)
+		sh.mu.Unlock()
+	}
+}
+
+// noteNewDomains records freshly interned shard domains in the global
+// domain set behind the graph_domains gauge.
+func (in *Ingester) noteNewDomains(names []string) {
+	in.domainMu.Lock()
+	for _, name := range names {
+		in.domainSet[name] = struct{}{}
+	}
+	in.domainN.Store(int64(len(in.domainSet)))
+	in.domainMu.Unlock()
+}
+
+// publishGauges refreshes the graph size gauges from the per-shard
+// mirrors and the global domain set.
+func (in *Ingester) publishGauges() {
+	if in.m.GraphMachines != nil {
+		var n int64
+		for _, sh := range in.shards {
+			n += sh.machines.Load()
 		}
-		if in.walBuf.Len() == 0 && in.walEnc.Buffered() == 0 {
+		in.m.GraphMachines.SetInt(n)
+	}
+	if in.m.GraphDomains != nil {
+		in.m.GraphDomains.SetInt(in.domainN.Load())
+	}
+	if in.m.GraphObservations != nil {
+		var n int64
+		for _, sh := range in.shards {
+			n += sh.observations.Load()
+		}
+		in.m.GraphObservations.SetInt(n)
+	}
+}
+
+// appendShardWAL stages one event into the shard's WAL record being
+// built, in the configured format, cutting a record whenever the buffer
+// crosses walFlushBytes. Callers hold the shard lock.
+func (in *Ingester) appendShardWAL(sh *graphShard, e logio.Event, span *obs.Span) {
+	if in.cfg.BinaryWAL {
+		if sh.walEnc == nil {
+			sh.walEnc = logio.NewEventEncoder(&sh.walBuf)
+		}
+		if sh.walBuf.Len() == 0 && sh.walEnc.Buffered() == 0 {
 			// Record start: fresh symbol table, so every WAL record is a
 			// self-contained segb1 stream replay can decode in isolation.
-			in.walEnc.Reset(&in.walBuf)
+			sh.walEnc.Reset(&sh.walBuf)
 		}
-		if err := in.walEnc.Encode(e); err != nil {
+		if err := sh.walEnc.Encode(e); err != nil {
 			// An event too large for one frame cannot be made durable;
 			// count it like any other failed append and keep serving.
 			inc(in.m.WALAppendFailures)
-			in.walBatchErr = true
+			sh.walBatchErr = true
 			return
 		}
 		// Worst case here is walFlushBytes plus one maximum-size frame,
 		// comfortably under wal.MaxRecordBytes (asserted in tests).
-		if in.walBuf.Len()+in.walEnc.Buffered() >= walFlushBytes {
-			in.flushWALLocked(span)
+		if sh.walBuf.Len()+sh.walEnc.Buffered() >= walFlushBytes {
+			in.flushShardWAL(sh, span)
 		}
 		return
 	}
-	in.walLine.Reset()
-	logio.WriteEvent(&in.walLine, e)
+	sh.walLine.Reset()
+	logio.WriteEvent(&sh.walLine, e)
 	// Flush first if this line would push the buffered record
 	// past the WAL's cap: wal.Append rejects oversized records
 	// wholesale, which would silently void durability for every
 	// event already in the buffer. Unreachable while
 	// walFlushBytes + logio.MaxLineBytes fits in a record
 	// (asserted in tests), but cheap insurance against drift.
-	if in.walBuf.Len() > 0 && in.walBuf.Len()+in.walLine.Len() > wal.MaxRecordBytes {
-		in.flushWALLocked(span)
+	if sh.walBuf.Len() > 0 && sh.walBuf.Len()+sh.walLine.Len() > wal.MaxRecordBytes {
+		in.flushShardWAL(sh, span)
 	}
-	in.walBuf.Write(in.walLine.Bytes())
-	if in.walBuf.Len() >= walFlushBytes {
-		in.flushWALLocked(span)
+	sh.walBuf.Write(sh.walLine.Bytes())
+	if sh.walBuf.Len() >= walFlushBytes {
+		in.flushShardWAL(sh, span)
 	}
 }
 
-// flushWALLocked appends the buffered event lines as one WAL record.
-// Append failures are counted, not fatal: segugiod stays available at
-// reduced durability rather than dying on a full disk. The append shows
-// up as a wal_append child of the batch's graph_apply span.
-func (in *Ingester) flushWALLocked(span *obs.Span) {
-	if in.walEnc != nil && in.walEnc.Buffered() > 0 {
+// flushShardWAL appends the shard's buffered event lines as one record
+// on its WAL stripe. Append failures are counted, not fatal: segugiod
+// stays available at reduced durability rather than dying on a full
+// disk. The append shows up as a wal_append child of the batch's
+// graph_apply span. Callers hold the shard lock.
+func (in *Ingester) flushShardWAL(sh *graphShard, span *obs.Span) {
+	if sh.walEnc != nil && sh.walEnc.Buffered() > 0 {
 		// Complete the in-progress binary frame; writing into a
 		// bytes.Buffer cannot fail.
-		in.walEnc.Flush()
+		sh.walEnc.Flush()
 	}
-	if in.walBuf.Len() == 0 {
+	if sh.walBuf.Len() == 0 {
 		return
 	}
 	start := time.Now()
-	_, err := in.wal.Append(in.walBuf.Bytes())
+	_, err := sh.wal.Append(sh.walBuf.Bytes())
 	took := time.Since(start)
 	if err != nil {
 		inc(in.m.WALAppendFailures)
-		in.walBatchErr = true
+		sh.walBatchErr = true
 		if h := in.cfg.Health; h != nil {
 			h.SetFor(healthSignalWAL, health.Degraded,
 				fmt.Sprintf("wal append failed: %v", err), walFaultTTL)
@@ -1088,52 +1344,74 @@ func (in *Ingester) flushWALLocked(span *obs.Span) {
 			fmt.Sprintf("wal append took %s", took.Round(time.Millisecond)), walFaultTTL)
 	}
 	span.RecordChild(obs.StageWALAppend, took)
-	in.walBuf.Reset()
+	sh.walBuf.Reset()
 }
 
 // Day returns the current epoch day.
 func (in *Ingester) Day() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
+	in.epochMu.RLock()
+	defer in.epochMu.RUnlock()
 	return in.day
 }
 
 // Version returns a counter that moves whenever the live graph changes;
 // callers can cheaply detect staleness between Snapshot calls.
 func (in *Ingester) Version() uint64 {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.version
+	return in.version.Load()
+}
+
+// NumShards reports the graph shard count.
+func (in *Ingester) NumShards() int {
+	return len(in.shards)
+}
+
+// QueueDepths reports the queued-event count per ring shard, summed
+// across each shard's source rings — the shard_queue_depth gauge. With
+// the default aligned configuration, ring shard s feeds graph shard s.
+func (in *Ingester) QueueDepths() []int64 {
+	out := make([]int64, len(in.shardRings))
+	for s := range in.shardRings {
+		var n uint64
+		for _, r := range *in.shardRings[s].Load() {
+			n += r.size()
+		}
+		out[s] = int64(n)
+	}
+	return out
 }
 
 // Snapshot returns an immutable view of the live graph plus its version.
-// Snapshots are cached: repeated calls without intervening ingestion
-// return the same graph. The PrepareSnapshot hook has already run on the
-// returned graph.
+// The view is built by draining every shard's fresh delta into the
+// merged builder and snapshotting that — by the ShardOf routing
+// invariants the drained deltas are disjoint, so the merged view is the
+// exact union of the shards. Snapshots are cached: repeated calls
+// without intervening ingestion return the same graph. The
+// PrepareSnapshot hook has already run on the returned graph.
 func (in *Ingester) Snapshot() (*graph.Graph, uint64) {
 	in.snapMu.Lock()
 	defer in.snapMu.Unlock()
 
-	in.mu.Lock()
-	v, day := in.version, in.day
+	in.epochMu.RLock()
+	v, day := in.version.Load(), in.day
 	if in.snap != nil && v == in.snapVersion && day == in.snapDay {
-		in.mu.Unlock()
+		in.epochMu.RUnlock()
 		in.cfg.Watermarks.Ack(obs.WatermarkSnapshot, obs.WatermarkSourceAll, day)
 		return in.snap, v
 	}
 	start := time.Now()
-	g := in.builder.Snapshot()
-	in.recordSnapshotLocked(g)
-	in.mu.Unlock()
+	in.drainShardsLocked()
+	g := in.merged.Snapshot()
+	in.recordSnapshot(g, v)
+	in.epochMu.RUnlock()
 
 	if in.cfg.PrepareSnapshot != nil {
 		in.cfg.PrepareSnapshot(g)
-		// Tell the builder this snapshot is labeled so the next one can
-		// relabel incrementally against it. The builder ignores the call
-		// if a rotation slipped in between.
-		in.mu.Lock()
-		in.builder.MarkLabeled(g)
-		in.mu.Unlock()
+		// Tell the merged builder this snapshot is labeled so the next
+		// one can relabel incrementally against it. The builder ignores
+		// the call if a rotation slipped in between.
+		in.epochMu.RLock()
+		in.merged.MarkLabeled(g)
+		in.epochMu.RUnlock()
 	}
 	if in.m.SnapshotSeconds != nil {
 		in.m.SnapshotSeconds.Observe(time.Since(start).Seconds())
@@ -1141,6 +1419,37 @@ func (in *Ingester) Snapshot() (*graph.Graph, uint64) {
 	in.snap, in.snapVersion, in.snapDay = g, v, day
 	in.cfg.Watermarks.Ack(obs.WatermarkSnapshot, obs.WatermarkSourceAll, day)
 	return g, v
+}
+
+// ShardSnapshots is Snapshot plus per-shard views: the merged graph the
+// production consumers run on, wrapped with snapshots of every shard
+// taken in parallel for scatter-gather reads (graph.ShardedSnapshot's
+// MachineFractions, DomainIPs) and shard introspection. PrepareSnapshot
+// runs on each shard view, so shard-local labels are in place. Under
+// concurrent ingestion the shard views may include events newer than the
+// merged view; quiesce ingestion first when exact agreement matters.
+func (in *Ingester) ShardSnapshots() (*graph.ShardedSnapshot, uint64) {
+	g, v := in.Snapshot()
+	in.epochMu.RLock()
+	defer in.epochMu.RUnlock()
+	shards := make([]*graph.Graph, len(in.shards))
+	var wg sync.WaitGroup
+	for i, sh := range in.shards {
+		wg.Add(1)
+		go func(i int, sh *graphShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			shards[i] = sh.builder.Snapshot()
+			sh.mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	if in.cfg.PrepareSnapshot != nil {
+		for _, sg := range shards {
+			in.cfg.PrepareSnapshot(sg)
+		}
+	}
+	return graph.NewShardedSnapshot(g, shards), v
 }
 
 // SnapshotSince is Snapshot plus the delta against an earlier version the
@@ -1153,21 +1462,25 @@ func (in *Ingester) SnapshotSince(since uint64) (*graph.Graph, uint64, graph.Del
 	if since == v {
 		return g, v, graph.Delta{Exact: true}
 	}
-	in.mu.Lock()
+	in.deltaMu.Lock()
 	names, ok := in.ring.since(since, v)
-	in.mu.Unlock()
+	in.deltaMu.Unlock()
 	return g, v, graph.Delta{Exact: ok, Domains: names}
 }
 
-// recordSnapshotLocked stamps the ring with the dirty delta of a
-// freshly taken builder snapshot. Callers must hold in.mu; every
-// builder.Snapshot call on the live builder must be recorded here (the
-// snapshot consumes the builder's dirty baseline, so skipping an entry
-// would silently under-report later deltas).
-func (in *Ingester) recordSnapshotLocked(g *graph.Graph) {
+// recordSnapshot stamps the delta ring with the dirty delta of a freshly
+// taken merged snapshot at version v. Every merged.Snapshot call on the
+// live merged builder must be recorded here (the snapshot consumes the
+// builder's dirty baseline, so skipping an entry would silently
+// under-report later deltas). Events drained after v was read are part
+// of g and of this delta — the next snapshot's span then starts at v,
+// which at worst re-reports a domain, never misses one.
+func (in *Ingester) recordSnapshot(g *graph.Graph, v uint64) {
 	names, exact := g.DirtyDomainNames()
-	in.ring.push(deltaEntry{from: in.lastSnapVer, to: in.version, inexact: !exact, domains: names})
-	in.lastSnapVer = in.version
+	in.deltaMu.Lock()
+	in.ring.push(deltaEntry{from: in.lastSnapVer, to: v, inexact: !exact, domains: names})
+	in.lastSnapVer = v
+	in.deltaMu.Unlock()
 	if in.m.DirtyDomains != nil {
 		if exact {
 			in.m.DirtyDomains.SetInt(int64(len(names)))
@@ -1201,7 +1514,7 @@ func (in *Ingester) Shutdown() {
 	})
 	in.workers.Wait()
 	in.durOnce.Do(func() {
-		if in.wal == nil {
+		if !in.hasWAL {
 			return
 		}
 		if in.durStop != nil {
@@ -1211,7 +1524,11 @@ func (in *Ingester) Shutdown() {
 		if in.cfg.durable != nil {
 			in.checkpoint(in.cfg.durable)
 		}
-		in.wal.Close()
+		for _, sh := range in.shards {
+			if sh.wal != nil {
+				sh.wal.Close()
+			}
+		}
 	})
 }
 

@@ -3,9 +3,12 @@ package ingest
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
 	"segugio/internal/logio"
 )
 
@@ -39,6 +42,28 @@ func benchBatches(total, batch int) [][]logio.Event {
 	return out
 }
 
+// benchShardBatches routes the benchBatches stream the way the dispatch
+// layer would — by machine/domain hash — and re-batches per shard, so
+// the sharded benchmarks exercise the aligned (zero-repartition) path.
+func benchShardBatches(total, batch, shards int) [][][]logio.Event {
+	perShard := make([][]logio.Event, shards)
+	for _, events := range benchBatches(total, batch) {
+		for _, e := range events {
+			s := graph.ShardOf(eventKey(e), shards)
+			perShard[s] = append(perShard[s], e)
+		}
+	}
+	out := make([][][]logio.Event, shards)
+	for s, evs := range perShard {
+		for len(evs) > 0 {
+			n := min(batch, len(evs))
+			out[s] = append(out[s], evs[:n])
+			evs = evs[n:]
+		}
+	}
+	return out
+}
+
 // BenchmarkIngestApply measures raw event-application throughput: one op
 // applies one 256-event batch to the live builder (no snapshots).
 func BenchmarkIngestApply(b *testing.B) {
@@ -50,7 +75,7 @@ func BenchmarkIngestApply(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in.apply(batches[i%len(batches)], "bench")
+		in.apply(batches[i%len(batches)], "bench", 0, nil)
 	}
 	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "events/s")
 }
@@ -67,10 +92,51 @@ func BenchmarkIngestApplyWithSnapshots(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in.apply(batches[i%len(batches)], "bench")
+		in.apply(batches[i%len(batches)], "bench", 0, nil)
 		if i%16 == 15 {
 			in.Snapshot()
 		}
 	}
 	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkIngestApplyShards is the sharding scaling curve: N appliers,
+// each feeding its own machine-hash shard, measuring aggregate
+// graph-apply throughput. One op is one 256-event batch on one shard.
+// On a single-core host the curve is flat (appliers serialize on the
+// CPU, not on a lock); the CI gate conditions on available parallelism.
+func BenchmarkIngestApplyShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			m, _ := newMetrics()
+			in := New(Config{Network: "bench", StartDay: 1, Workers: shards, Metrics: m})
+			defer in.Shutdown()
+			perShard := benchShardBatches(1<<20, 256, shards)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var (
+				wg      sync.WaitGroup
+				next    atomic.Int64
+				applied atomic.Int64
+			)
+			for s := 0; s < shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					batches := perShard[s]
+					if len(batches) == 0 {
+						return
+					}
+					for i := 0; next.Add(1) <= int64(b.N); i++ {
+						batch := batches[i%len(batches)]
+						in.apply(batch, "bench", s, nil)
+						applied.Add(int64(len(batch)))
+					}
+				}(s)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(applied.Load())/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }

@@ -217,8 +217,8 @@ func TestBackpressureDropsInsteadOfBlocking(t *testing.T) {
 	m, _ := newMetrics()
 	in := New(Config{Network: "net", StartDay: 1, Workers: 1, QueueDepth: 1, Metrics: m})
 
-	// Stall the single worker by saturating the builder lock.
-	in.mu.Lock()
+	// Stall the single worker by saturating the shard's builder lock.
+	in.shards[0].mu.Lock()
 	var b strings.Builder
 	for i := 0; i < 5000; i++ {
 		fmt.Fprintf(&b, "q\t1\tm%d\td%d.example.com\n", i, i)
@@ -235,7 +235,7 @@ func TestBackpressureDropsInsteadOfBlocking(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Error("accept loop blocked on a stalled worker")
 	}
-	in.mu.Unlock()
+	in.shards[0].mu.Unlock()
 	in.Shutdown()
 	if m.EventsDropped.Value() == 0 {
 		t.Fatal("expected dropped events under backpressure")

@@ -1,0 +1,512 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"testing"
+
+	"segugio/internal/activity"
+	"segugio/internal/core"
+	"segugio/internal/dnsutil"
+	"segugio/internal/graph"
+	"segugio/internal/intel"
+	"segugio/internal/logio"
+	"segugio/internal/ml"
+
+	"segugio/internal/features"
+)
+
+// equivLabelSources builds the label fixture shared by the equivalence
+// tests: 10 blacklisted C&C domains on distinct e2LDs and 20 whitelisted
+// e2LDs, matching the scale the core training pipeline needs.
+func equivLabelSources() (func(day int) graph.LabelSources, *intel.Blacklist, *intel.Whitelist) {
+	bl := intel.NewBlacklist()
+	for i := 0; i < 10; i++ {
+		bl.Add(intel.BlacklistEntry{Domain: fmt.Sprintf("c2.evil%d.net", i), Family: "fam", FirstListed: 0})
+	}
+	var whitelisted []string
+	for i := 0; i < 20; i++ {
+		whitelisted = append(whitelisted, fmt.Sprintf("good%d.com", i))
+	}
+	wl := intel.NewWhitelist(whitelisted)
+	return func(day int) graph.LabelSources {
+		return graph.LabelSources{Blacklist: bl, Whitelist: wl, AsOf: day}
+	}, bl, wl
+}
+
+// genEquivEvents is one day of the equivalence stream: infected machines
+// querying C&C plus unknown domains, clean machines querying whitelisted
+// domains, and resolutions for everything — enough structure for the
+// full train/classify pipeline to run on the resulting graph.
+func genEquivEvents(day int) []logio.Event {
+	var evs []logio.Event
+	query := func(machine, domain string) {
+		evs = append(evs, logio.Event{Kind: logio.EventQuery, Day: day, Machine: machine, Domain: domain})
+	}
+	resolve := func(domain string, ip dnsutil.IPv4) {
+		evs = append(evs, logio.Event{Kind: logio.EventResolution, Day: day, Domain: domain, IPs: []dnsutil.IPv4{ip}})
+	}
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("c2.evil%d.net", i)
+		for m := 0; m < 6; m++ {
+			query(fmt.Sprintf("inf%02d", (i+m)%12), name)
+		}
+		resolve(name, dnsutil.IPv4(0x0a000000+uint32(i)))
+	}
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("www.good%d.com", i)
+		for m := 0; m < 8; m++ {
+			query(fmt.Sprintf("clean%02d", (i+m)%25), name)
+		}
+		resolve(name, dnsutil.IPv4(0x0b000000+uint32(i)))
+	}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("unk.gray%d.org", i)
+		for m := 0; m < 5; m++ {
+			query(fmt.Sprintf("inf%02d", (i+m)%12), name)
+		}
+		resolve(name, dnsutil.IPv4(0x0c000000+uint32(i)))
+	}
+	// Bulk noise: many machines, many domains, deterministic shape, with
+	// deliberate duplicates so edge dedup matters.
+	for i := 0; i < 2000; i++ {
+		query(fmt.Sprintf("bulk%03d", i%211), fmt.Sprintf("h%d.bulkzone%d.example", i%97, i%41))
+	}
+	return evs
+}
+
+// refReplay applies the stream to a single unsharded builder with the
+// same day semantics live ingestion uses: stale days dropped, a newer
+// day starts a fresh epoch.
+func refReplay(network string, startDay int, suffixes *dnsutil.SuffixList, evs []logio.Event) *graph.Builder {
+	b := graph.NewBuilder(network, startDay, suffixes)
+	day := startDay
+	for _, e := range evs {
+		if e.Day < day {
+			continue
+		}
+		if e.Day > day {
+			b = graph.NewBuilder(network, e.Day, suffixes)
+			day = e.Day
+		}
+		switch e.Kind {
+		case logio.EventQuery:
+			b.AddQuery(e.Machine, e.Domain)
+		case logio.EventResolution:
+			for _, ip := range e.IPs {
+				b.AddResolution(e.Domain, ip)
+			}
+		}
+	}
+	return b
+}
+
+// requireGraphsEquivalent compares two labeled graphs by name — intern
+// order differs between a sharded merge and a sequential build, so
+// indices are meaningless across the two — down to per-domain feature
+// vectors and per-machine labels.
+func requireGraphsEquivalent(t *testing.T, want, got *graph.Graph, act *activity.Log) {
+	t.Helper()
+	if want.NumMachines() != got.NumMachines() || want.NumDomains() != got.NumDomains() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("shape differs: want %d/%d/%d machines/domains/edges, got %d/%d/%d",
+			want.NumMachines(), want.NumDomains(), want.NumEdges(),
+			got.NumMachines(), got.NumDomains(), got.NumEdges())
+	}
+	exWant, err := features.NewExtractor(want, act, nil, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exGot, err := features.NewExtractor(got, act, nil, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wd := int32(0); wd < int32(want.NumDomains()); wd++ {
+		name := want.DomainName(wd)
+		gd, ok := got.DomainIndex(name)
+		if !ok {
+			t.Fatalf("domain %s missing from sharded graph", name)
+		}
+		if wl, gl := want.DomainLabel(wd), got.DomainLabel(gd); wl != gl {
+			t.Fatalf("domain %s label %v != %v", name, gl, wl)
+		}
+		wantIPs := slices.Clone(want.DomainIPs(wd))
+		gotIPs := slices.Clone(got.DomainIPs(gd))
+		slices.Sort(wantIPs)
+		slices.Sort(gotIPs)
+		if !slices.Equal(wantIPs, gotIPs) {
+			t.Fatalf("domain %s IPs %v != %v", name, gotIPs, wantIPs)
+		}
+		if wv, gv := exWant.Vector(wd), exGot.Vector(gd); !slices.Equal(wv, gv) {
+			t.Fatalf("domain %s feature vector %v != %v", name, gv, wv)
+		}
+	}
+	for wm := int32(0); wm < int32(want.NumMachines()); wm++ {
+		id := want.MachineID(wm)
+		gm, ok := got.MachineIndex(id)
+		if !ok {
+			t.Fatalf("machine %s missing from sharded graph", id)
+		}
+		if wl, gl := want.MachineLabel(wm), got.MachineLabel(gm); wl != gl {
+			t.Fatalf("machine %s label %v != %v", id, gl, wl)
+		}
+	}
+}
+
+// classifyAllSorted runs a full classify pass and returns the detections
+// sorted by name for order-independent comparison.
+func classifyAllSorted(t *testing.T, det *core.Detector, g *graph.Graph, act *activity.Log) []core.Detection {
+	t.Helper()
+	dets, _, err := det.Classify(core.ClassifyInput{Graph: g, Activity: act})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets = slices.Clone(dets)
+	sort.Slice(dets, func(i, j int) bool { return dets[i].Domain < dets[j].Domain })
+	return dets
+}
+
+// TestShardedEquivalence is the acceptance test for the sharded graph
+// backend: over the same stream, the sharded ingester's merged snapshot
+// must be feature-for-feature and detection-for-detection identical to a
+// single unsharded builder, the within-epoch delta sets must stay exact,
+// and rotation must degrade deltas to inexact. Run under -race it also
+// exercises the concurrent shard-apply path. Both the aligned
+// (shards == workers) and repartitioning (shards != workers) dispatch
+// paths are covered.
+func TestShardedEquivalence(t *testing.T) {
+	for _, tc := range []struct{ workers, shards int }{
+		{workers: 4, shards: 4},
+		{workers: 4, shards: 3},
+	} {
+		t.Run(fmt.Sprintf("workers=%d_shards=%d", tc.workers, tc.shards), func(t *testing.T) {
+			suffixes := dnsutil.DefaultSuffixList()
+			src, _, _ := equivLabelSources()
+			act := activity.NewLog()
+			m, _ := newMetrics()
+			in := New(Config{
+				Network:     "equiv",
+				StartDay:    5,
+				Workers:     tc.workers,
+				GraphShards: tc.shards,
+				Suffixes:    suffixes,
+				Activity:    act,
+				Metrics:     m,
+				PrepareSnapshot: func(g *graph.Graph) {
+					g.ApplyLabels(src(g.Day()))
+				},
+			})
+			defer in.Shutdown()
+			if in.NumShards() != tc.shards {
+				t.Fatalf("NumShards = %d, want %d", in.NumShards(), tc.shards)
+			}
+
+			day5 := genEquivEvents(5)
+			feed(t, in, m, day5)
+			got5, v5 := in.Snapshot()
+
+			ref5 := refReplay("equiv", 5, suffixes, day5)
+			want5 := ref5.Snapshot()
+			want5.ApplyLabels(src(5))
+			requireGraphsEquivalent(t, want5, got5, act)
+
+			// Classify-all over both graphs with one detector trained on
+			// the reference: identical detections, domain by domain.
+			cfg := core.DefaultConfig()
+			cfg.NewModel = func(benign, malware int) ml.Model {
+				return ml.NewLogisticRegression(ml.LogisticRegressionConfig{Seed: 7})
+			}
+			det, _, err := core.Train(cfg, core.TrainInput{Graph: want5, Activity: act})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDets := classifyAllSorted(t, det, want5, act)
+			gotDets := classifyAllSorted(t, det, got5, act)
+			if len(wantDets) == 0 {
+				t.Fatal("classify-all found nothing; fixture too weak to prove equivalence")
+			}
+			if !slices.Equal(wantDets, gotDets) {
+				t.Fatalf("classify-all differs:\nsharded %v\nsingle  %v", gotDets, wantDets)
+			}
+
+			// Within-epoch delta exactness: brand-new edges must surface as
+			// exactly their domains in the next delta, composed across every
+			// shard's fresh set.
+			var deltaEvs []logio.Event
+			wantDirty := make([]string, 0, 8)
+			for i := 0; i < 8; i++ {
+				name := fmt.Sprintf("delta%d.fresh.example", i)
+				wantDirty = append(wantDirty, name)
+				deltaEvs = append(deltaEvs, logio.Event{
+					Kind: logio.EventQuery, Day: 5,
+					Machine: fmt.Sprintf("freshm%02d", i), Domain: name,
+				})
+			}
+			feed(t, in, m, deltaEvs)
+			_, v6, delta := in.SnapshotSince(v5)
+			if v6 <= v5 {
+				t.Fatalf("version did not advance: %d -> %d", v5, v6)
+			}
+			if !delta.Exact {
+				t.Fatal("within-epoch delta is inexact")
+			}
+			gotDirty := slices.Clone(delta.Domains)
+			slices.Sort(gotDirty)
+			slices.Sort(wantDirty)
+			if !slices.Equal(gotDirty, wantDirty) {
+				t.Fatalf("dirty set %v, want %v", gotDirty, wantDirty)
+			}
+
+			// Scatter-gather F1: the per-shard machine fractions must
+			// compose into exactly the merged graph's own tallies.
+			ss, _ := in.ShardSnapshots()
+			if ss.NumShards() != tc.shards {
+				t.Fatalf("ShardSnapshots has %d shards, want %d", ss.NumShards(), tc.shards)
+			}
+			merged := ss.Merged()
+			for d := int32(0); d < int32(merged.NumDomains()); d++ {
+				name := merged.DomainName(d)
+				var inf, unk, total int
+				for _, mm := range merged.MachinesOf(d) {
+					total++
+					switch merged.MachineLabelHiding(mm, d) {
+					case graph.LabelMalware:
+						inf++
+					case graph.LabelUnknown:
+						unk++
+					}
+				}
+				gi, gu, gt := ss.MachineFractions(name)
+				if gt != total || gi != float64(inf)/float64(max(total, 1)) && total > 0 || gu != float64(unk)/float64(max(total, 1)) && total > 0 {
+					t.Fatalf("domain %s fractions (%v,%v,%d), merged says (%d,%d,%d)", name, gi, gu, gt, inf, unk, total)
+				}
+			}
+
+			// Epoch rotation: day 6 arrives, the delta against any pre-
+			// rotation version must be inexact, and the post-rotation graph
+			// must again match the single-builder replay.
+			day6 := genEquivEvents(6)
+			feed(t, in, m, day6)
+			got6, _, delta6 := in.SnapshotSince(v6)
+			if delta6.Exact {
+				t.Fatal("delta across an epoch rotation claims exactness")
+			}
+			ref6 := refReplay("equiv", 6, suffixes, day6)
+			want6 := ref6.Snapshot()
+			want6.ApplyLabels(src(6))
+			requireGraphsEquivalent(t, want6, got6, act)
+		})
+	}
+}
+
+// TestDurableRehashOnShardCountChange kills a 4-shard durable ingester
+// (checkpoint plus WAL tail on disk) and restarts it with 2 shards: the
+// recovered state must be rehashed into the new partition with nothing
+// lost, and the new layout must itself survive a further unclean death.
+func TestDurableRehashOnShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	cfg.GraphShards = 4
+	in, info, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rehashed || info.Shards != 4 {
+		t.Fatalf("fresh 4-shard info = %+v", info)
+	}
+	feed(t, in, m, genDurableEvents(5, 800))
+	if err := in.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	tail := genDurableEvents(5, 300)
+	for i := range tail {
+		tail[i].Machine = fmt.Sprintf("late%03d", i%23)
+	}
+	feed(t, in, m, tail)
+	want, _ := in.Snapshot()
+	// Unclean death: no Shutdown, no final checkpoint.
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	cfg2.GraphShards = 2
+	in2, info2, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Rehashed || info2.Shards != 2 {
+		t.Fatalf("flipped-shards info = %+v, want rehash to 2", info2)
+	}
+	if !info2.CheckpointLoaded {
+		t.Fatalf("info = %+v, want the 4-shard checkpoints loaded", info2)
+	}
+	if info2.ReplayedEvents != len(tail) {
+		t.Fatalf("replayed %d, want the %d tail events", info2.ReplayedEvents, len(tail))
+	}
+	if in2.NumShards() != 2 {
+		t.Fatalf("recovered ingester has %d shards", in2.NumShards())
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("rehashed shape %v, want %v", graphShape(got), graphShape(want))
+	}
+
+	// The rehashed layout keeps working: more durable events, another
+	// unclean death, and a same-shard-count recovery with no rehash.
+	extra := genDurableEvents(5, 200)
+	for i := range extra {
+		extra[i].Machine = fmt.Sprintf("post%03d", i%19)
+	}
+	feed(t, in2, m2, extra)
+	want2, _ := in2.Snapshot()
+
+	m3, _ := newMetrics()
+	cfg3, dc3 := durableCfg(dir, m3, newDurableMetrics())
+	cfg3.GraphShards = 2
+	in3, info3, err := OpenDurable(cfg3, dc3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in3.Shutdown()
+	if info3.Rehashed {
+		t.Fatalf("same shard count must not rehash: %+v", info3)
+	}
+	got2, _ := in3.Snapshot()
+	if graphShape(got2) != graphShape(want2) {
+		t.Fatalf("post-rehash recovery shape %v, want %v", graphShape(got2), graphShape(want2))
+	}
+}
+
+// TestDurableLegacyLayoutMigration plants a pre-sharding state directory
+// (root checkpoint + WAL, no manifest) and opens it sharded: the legacy
+// state must migrate into a first-generation sharded layout and the
+// legacy files must be gone afterwards.
+func TestDurableLegacyLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+
+	// Build legacy state by hand: a single-shard generation's files moved
+	// to the legacy root locations, manifest removed.
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, in, m, genDurableEvents(5, 500))
+	if err := in.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := in.Snapshot()
+	in.Shutdown()
+	if err := os.Rename(shard0Checkpoint(dir), filepath.Join(dir, checkpointFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, genDirName(1), shardWALDir(0)), filepath.Join(dir, walDirName)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, genDirName(1))); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	cfg2.GraphShards = 3
+	in2, info, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if !info.Rehashed || info.Shards != 3 || !info.CheckpointLoaded {
+		t.Fatalf("legacy migration info = %+v", info)
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("migrated shape %v, want %v", graphShape(got), graphShape(want))
+	}
+	if legacyLayoutPresent(dir) {
+		t.Fatal("legacy files still present after migration")
+	}
+}
+
+// TestDurableRehashSurvivesLogTrim pins a recovery hole: the rehash
+// path checkpoints the redistributed shard builders before the
+// ingester's seed drain, and that snapshot used to let the builder trim
+// its fresh log once a shard crossed the log-trim threshold — the
+// merged view after reopen came back empty while the shard builders
+// (and the graph gauges) still reported the full state. The fixture is
+// sized so every post-rehash shard crosses the threshold in both the
+// edge log and the address log.
+func TestDurableRehashSurvivesLogTrim(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newMetrics()
+	cfg, dc := durableCfg(dir, m, newDurableMetrics())
+	cfg.GraphShards = 4
+	// The fixture is ~15k events in one burst: size the rings to take it
+	// losslessly, and skip per-record fsync — the recovery under test is
+	// checkpoint-based, so WAL-tail durability is irrelevant here.
+	cfg.QueueDepth = 32768
+	dc.SyncEvery = 4096
+	in, _, err := OpenDurable(cfg, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []logio.Event
+	for i := 0; i < 12000; i++ {
+		evs = append(evs, logio.Event{
+			Kind: logio.EventQuery, Day: 5,
+			Machine: fmt.Sprintf("trim-m%03d", i%300),
+			Domain:  fmt.Sprintf("trim-d%d.net", i/300),
+		})
+	}
+	for i := 0; i < 2500; i++ {
+		evs = append(evs, logio.Event{
+			Kind: logio.EventResolution, Day: 5,
+			Domain: fmt.Sprintf("trim-r%d.net", i),
+			IPs: []dnsutil.IPv4{
+				dnsutil.IPv4(0x0a000000 + uint32(i)),
+				dnsutil.IPv4(0x0b000000 + uint32(i)),
+				dnsutil.IPv4(0x0c000000 + uint32(i)),
+				dnsutil.IPv4(0x0d000000 + uint32(i)),
+			},
+		})
+	}
+	feed(t, in, m, evs)
+	if err := in.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := in.Snapshot()
+	// Unclean death: no Shutdown.
+
+	m2, _ := newMetrics()
+	cfg2, dc2 := durableCfg(dir, m2, newDurableMetrics())
+	cfg2.GraphShards = 2
+	in2, info2, err := OpenDurable(cfg2, dc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in2.Shutdown()
+	if !info2.Rehashed || info2.Shards != 2 {
+		t.Fatalf("info = %+v, want rehash to 2 shards", info2)
+	}
+	got, _ := in2.Snapshot()
+	if graphShape(got) != graphShape(want) {
+		t.Fatalf("merged snapshot after rehash is %v, want %v (seed drain lost the trimmed log)", graphShape(got), graphShape(want))
+	}
+	for _, name := range []string{"trim-d0.net", "trim-d39.net"} {
+		d, ok := got.DomainIndex(name)
+		if !ok {
+			t.Fatalf("domain %s missing from merged snapshot", name)
+		}
+		if n := got.DomainDegree(d); n != 300 {
+			t.Fatalf("domain %s has %d querying machines, want 300", name, n)
+		}
+	}
+	if d, ok := got.DomainIndex("trim-r2499.net"); !ok || len(got.DomainIPs(d)) != 4 {
+		t.Fatalf("resolutions for trim-r2499.net lost in rehash")
+	}
+}

@@ -42,6 +42,11 @@ const (
 	WatermarkGraphApply = StageGraphApply
 	WatermarkSnapshot   = StageSnapshot
 	WatermarkScoreCache = "score_cache"
+	// WatermarkShardApply tracks each graph shard's apply frontier
+	// ("shard-0", "shard-1", ...). Shard sources are not stream sources,
+	// so these marks are registered with RegisterAllFrontier and measured
+	// against the cross-source maximum.
+	WatermarkShardApply = "shard_apply"
 )
 
 // WatermarkSourceAll is the source label for stages that consume the
@@ -93,6 +98,11 @@ type stageMark struct {
 	day         int64
 	ackAt       time.Time
 	behindSince time.Time // zero when caught up with the frontier
+	// allFrontier marks a stage measured against the cross-source max
+	// frontier even though its source label is not WatermarkSourceAll —
+	// the per-shard apply marks, whose "shard-N" labels partition the
+	// merged stream rather than naming a stream source.
+	allFrontier bool
 }
 
 // Mark is one row of the watermark table, as exposed to metrics and
@@ -168,6 +178,23 @@ func (w *Watermarks) Register(stage, source string) {
 	w.stageLocked(stage, source)
 }
 
+// RegisterAllFrontier is Register for a stage whose lag is measured
+// against the cross-source maximum frontier even though its source label
+// names no stream source — the per-shard apply marks ("shard-N"), which
+// partition the merged stream across graph shards.
+func (w *Watermarks) RegisterAllFrontier(stage, source string) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.stageLocked(stage, source)
+	s.allFrontier = true
+	if w.maxDay != unsetDay && s.day < w.maxDay && s.behindSince.IsZero() {
+		s.behindSince = w.now()
+	}
+}
+
 func (w *Watermarks) stageLocked(stage, source string) *stageMark {
 	key := stageKey{stage, source}
 	s := w.stages[key]
@@ -180,6 +207,15 @@ func (w *Watermarks) stageLocked(stage, source string) *stageMark {
 		w.stages[key] = s
 	}
 	return s
+}
+
+// stageFrontierLocked resolves the frontier a tracked stage mark is
+// measured against, honoring the all-frontier flag.
+func (w *Watermarks) stageFrontierLocked(s *stageMark, source string) (int64, bool) {
+	if s.allFrontier {
+		return w.maxDay, w.maxDay != unsetDay
+	}
+	return w.frontierLocked(source)
 }
 
 // frontierLocked returns the frontier day a (stage, source) mark is
@@ -218,7 +254,7 @@ func (w *Watermarks) advance(m *SourceMark, day int) {
 	if int64(day) > w.maxDay {
 		w.maxDay = int64(day)
 		for key, s := range w.stages {
-			if key.source != WatermarkSourceAll {
+			if key.source != WatermarkSourceAll && !s.allFrontier {
 				continue
 			}
 			if s.day < int64(day) && s.behindSince.IsZero() {
@@ -243,7 +279,7 @@ func (w *Watermarks) Ack(stage, source string, day int) {
 		s.day = int64(day)
 	}
 	s.ackAt = w.now()
-	if f, ok := w.frontierLocked(source); !ok || s.day >= f {
+	if f, ok := w.stageFrontierLocked(s, source); !ok || s.day >= f {
 		s.behindSince = time.Time{}
 	} else if s.behindSince.IsZero() {
 		s.behindSince = s.ackAt

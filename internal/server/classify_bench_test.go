@@ -190,6 +190,153 @@ func BenchmarkClassifyAllDeadline(b *testing.B) {
 	}
 }
 
+// shardedBenchEnv is the classifyBenchEnv fixture built the way the
+// sharded ingest backend builds it: events routed by machine/domain hash
+// into per-shard builders, per-shard fresh deltas drained into one
+// merged builder whose snapshot feeds the server.
+type shardedBenchEnv struct {
+	shards []*graph.Builder
+	merged *graph.Builder
+	src    graph.LabelSources
+	gs     *deltaSource
+	srv    *Server
+	det    *core.Detector
+	step   uint32
+}
+
+var shardedBench struct {
+	once sync.Once
+	env  *shardedBenchEnv
+	err  error
+}
+
+func (env *shardedBenchEnv) addQuery(machine, domain string) {
+	env.shards[graph.ShardOf(machine, len(env.shards))].AddQuery(machine, domain)
+}
+
+func (env *shardedBenchEnv) addResolution(domain string, ip dnsutil.IPv4) {
+	env.shards[graph.ShardOf(domain, len(env.shards))].AddResolution(domain, ip)
+}
+
+// mergeSnapshot folds every shard's fresh delta into the merged builder
+// and publishes its next labeled snapshot — the merge layer whose cost
+// the sharded delta benchmark bounds.
+func (env *shardedBenchEnv) mergeSnapshot() *graph.Graph {
+	for _, sh := range env.shards {
+		sh.DrainFresh(env.merged.AddQuery, env.merged.AddResolution)
+	}
+	g := env.merged.Snapshot()
+	g.ApplyLabels(env.src)
+	env.merged.MarkLabeled(g)
+	return g
+}
+
+func shardedBenchSetup() {
+	const shards = 4
+	suffixes := dnsutil.DefaultSuffixList()
+	env := &shardedBenchEnv{
+		shards: make([]*graph.Builder, shards),
+		merged: graph.NewBuilder("bench", 42, suffixes),
+	}
+	for s := range env.shards {
+		env.shards[s] = graph.NewBuilder("bench", 42, suffixes)
+	}
+	bl := intel.NewBlacklist()
+	for i := 0; i < benchMalware; i++ {
+		name := fmt.Sprintf("c2.evil%d.net", i)
+		bl.Add(intel.BlacklistEntry{Domain: name, Family: "fam", FirstListed: 0})
+		for m := 0; m < 6; m++ {
+			env.addQuery(fmt.Sprintf("inf%03d", (i+m)%benchInfected), name)
+		}
+		env.addResolution(name, dnsutil.IPv4(0x0a000000+uint32(i)))
+	}
+	var whitelisted []string
+	for i := 0; i < benchBenign; i++ {
+		e2ld := fmt.Sprintf("good%d.com", i)
+		whitelisted = append(whitelisted, e2ld)
+		name := "www." + e2ld
+		for m := 0; m < 8; m++ {
+			env.addQuery(fmt.Sprintf("clean%04d", (i+m)%benchClean), name)
+		}
+	}
+	for i := 0; i < benchUnknown; i++ {
+		name := benchUnkName(i)
+		env.addQuery(fmt.Sprintf("inf%03d", i%benchInfected), name)
+		env.addQuery(fmt.Sprintf("clean%04d", i%benchClean), name)
+		env.addQuery(fmt.Sprintf("clean%04d", (i*7+1)%benchClean), name)
+	}
+	for i := 0; i < 5000; i++ {
+		env.addQuery("heavy0", benchUnkName(i))
+		env.addQuery("heavy1", benchUnkName(benchUnknown-1-i))
+	}
+	env.src = graph.LabelSources{Blacklist: bl, Whitelist: intel.NewWhitelist(whitelisted), AsOf: 42}
+
+	g := env.mergeSnapshot()
+	cfg := core.DefaultConfig()
+	cfg.NewModel = func(benign, malware int) ml.Model {
+		return ml.NewLogisticRegression(ml.LogisticRegressionConfig{Seed: 7})
+	}
+	det, _, err := core.Train(cfg, core.TrainInput{Graph: g})
+	if err != nil {
+		shardedBench.err = fmt.Errorf("train: %w", err)
+		return
+	}
+	env.gs = &deltaSource{g: g, version: 1}
+	env.srv = New(Config{Graphs: env.gs, Registry: metrics.NewRegistry()})
+	env.det = det
+	shardedBench.env = env
+}
+
+// advanceDirty routes benchDirty domain touches through the shard
+// builders and publishes the next merged snapshot with its exact dirty
+// set — the same delta the sharded ingester's snapshot path emits.
+func (env *shardedBenchEnv) advanceDirty(b *testing.B) {
+	b.Helper()
+	env.step++
+	for j := 0; j < benchDirty; j++ {
+		i := int(env.step)*benchDirty + j
+		env.addResolution(benchUnkName(i%benchUnknown), dnsutil.IPv4(0x30000000+uint32(i)))
+	}
+	g := env.mergeSnapshot()
+	dirty, exact := g.DirtyDomainNames()
+	if !exact || len(dirty) != benchDirty {
+		b.Fatalf("dirty = %d domains (exact=%v), want %d", len(dirty), exact, benchDirty)
+	}
+	env.gs.advance(g, dirty, true)
+}
+
+// BenchmarkClassifyAllDeltaSharded is BenchmarkClassifyAllDelta over the
+// sharded backend's merged snapshots: per-shard dirty deltas composed
+// through the merge layer must keep the pass O(dirty) with the same
+// allocs/op budget as the single-builder path.
+func BenchmarkClassifyAllDeltaSharded(b *testing.B) {
+	shardedBench.once.Do(shardedBenchSetup)
+	if shardedBench.err != nil {
+		b.Fatal(shardedBench.err)
+	}
+	env := shardedBench.env
+	ctx := context.Background()
+	loadedAt := env.srv.start
+	env.gs.advance(env.gs.g, nil, false)
+	if _, err := env.srv.classifyAll(ctx, env.det, loadedAt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env.advanceDirty(b)
+		b.StartTimer()
+		res, err := env.srv.classifyAll(ctx, env.det, loadedAt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.rescored == 0 || res.rescored > benchDirty {
+			b.Fatalf("rescored = %d, want 1..%d", res.rescored, benchDirty)
+		}
+	}
+}
+
 // BenchmarkClassifyAllDelta is the steady-state pass: benchDirty domains
 // change per snapshot and everything else is served from the score cache
 // through the memoized prune plan. The ns/op ratio against

@@ -35,10 +35,13 @@ TSDB_SCRAPE_BUDGET=${BENCH_TSDB_SCRAPE_ALLOC_BUDGET:-64}
 gate() {
     local bench=$1 pkg=$2 budget=$3
     local out allocs
-    out=$(go test -run '^$' -bench "$bench" -benchmem -benchtime 10x "$pkg")
+    # Anchor the selector and match the result line exactly (names are
+    # suffixed "-<GOMAXPROCS>" in the output), so sibling benchmarks
+    # sharing a prefix don't bleed into each other's gates.
+    out=$(go test -run '^$' -bench "${bench}\$" -benchmem -benchtime 10x "$pkg")
     echo "$out"
 
-    allocs=$(echo "$out" | awk -v b="$bench" '$0 ~ b {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}')
+    allocs=$(echo "$out" | awk -v b="$bench" '$1 == b || index($1, b "-") == 1 {for (i=1; i<=NF; i++) if ($i == "allocs/op") print $(i-1)}' | head -n1)
     if [ -z "$allocs" ]; then
         echo "bench-allocs: could not parse allocs/op from $bench output" >&2
         exit 1
@@ -51,9 +54,51 @@ gate() {
     echo "bench-allocs: $bench: $allocs allocs/op within budget $budget"
 }
 
+# metric OUTPUT BENCH UNIT -> the value preceding UNIT on BENCH's line.
+metric() {
+    echo "$1" | awk -v b="$2" -v u="$3" \
+        '$0 ~ b {for (i = 2; i <= NF; i++) if ($i == u) print $(i-1)}' | head -n1
+}
+
 gate BenchmarkClassifyAllDelta ./internal/server "$BUDGET"
+# The sharded backend's merged snapshots must keep the same O(dirty)
+# contract: the per-shard delta merge may not reintroduce per-pass
+# O(graph) allocation.
+gate BenchmarkClassifyAllDeltaSharded ./internal/server "$BUDGET"
 gate BenchmarkLBPResidual ./internal/belief "$LBP_BUDGET"
 gate BenchmarkScrape ./internal/tsdb "$TSDB_SCRAPE_BUDGET"
+
+# --- Graph-apply scaling gate -----------------------------------------
+#
+# The sharded graph backend exists to remove the single apply lock from
+# the hot path: with 4 machine-hash shards, aggregate apply throughput
+# must reach at least APPLY_SCALING_FLOOR x the single-shard rate. The
+# curve only exists when the host can actually run appliers in parallel,
+# so the gate is conditioned on >=4 CPUs; below that the appliers
+# serialize on the core, the ratio is meaningless, and the gate is
+# skipped with a note (the full shards=1/2/4/8 curve is still archived
+# by `make bench` into BENCH_ingest.json on every host).
+APPLY_SCALING_FLOOR=${BENCH_APPLY_SCALING_FLOOR:-2.5}
+ncpu=$(nproc 2>/dev/null || echo 1)
+if [ "$ncpu" -ge 4 ]; then
+    scale_out=$(go test -run '^$' -bench 'BenchmarkIngestApplyShards/shards=(1|4)$' \
+        -benchmem -benchtime 2s ./internal/ingest)
+    echo "$scale_out"
+    rate1=$(metric "$scale_out" "shards=1-" events/s)
+    rate4=$(metric "$scale_out" "shards=4-" events/s)
+    if [ -z "$rate1" ] || [ -z "$rate4" ]; then
+        echo "bench-allocs: could not parse events/s from BenchmarkIngestApplyShards output" >&2
+        exit 1
+    fi
+    if ! awk -v r1="$rate1" -v r4="$rate4" -v f="$APPLY_SCALING_FLOOR" \
+        'BEGIN { exit !(r4 >= f * r1) }'; then
+        echo "bench-allocs: 4-shard graph apply is only $(awk -v r1="$rate1" -v r4="$rate4" 'BEGIN { printf "%.2f", r4/r1 }')x single-shard ($rate4 vs $rate1 events/s), floor is ${APPLY_SCALING_FLOOR}x" >&2
+        exit 1
+    fi
+    echo "bench-allocs: 4-shard graph apply $(awk -v r1="$rate1" -v r4="$rate4" 'BEGIN { printf "%.1f", r4/r1 }')x single-shard (floor ${APPLY_SCALING_FLOOR}x)"
+else
+    echo "bench-allocs: skipping graph-apply scaling gate: $ncpu CPU(s), need >=4 for a meaningful parallel-apply ratio"
+fi
 
 # --- Wire-format gates ------------------------------------------------
 #
@@ -79,12 +124,6 @@ gate BenchmarkScrape ./internal/tsdb "$TSDB_SCRAPE_BUDGET"
 DECODE_ALLOC_BUDGET=${BENCH_DECODE_ALLOC_BUDGET:-100000}
 DECODE_SPEEDUP_FLOOR=${BENCH_DECODE_SPEEDUP_FLOOR:-5}
 INGEST_EVENTS_FLOOR=${BENCH_INGEST_EVENTS_FLOOR:-1000000}
-
-# metric OUTPUT BENCH UNIT -> the value preceding UNIT on BENCH's line.
-metric() {
-    echo "$1" | awk -v b="$2" -v u="$3" \
-        '$0 ~ b {for (i = 2; i <= NF; i++) if ($i == u) print $(i-1)}' | head -n1
-}
 
 wire_out=$(go test -run '^$' -bench 'BenchmarkParseEventText|BenchmarkDecodeEventsBinary' \
     -benchmem -benchtime 10x ./internal/logio)
